@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples cli doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	for e in quickstart disease_susceptibility module_privacy_audit \
+	         keyword_search structural_privacy provenance_debugging \
+	         interactive_session; do \
+	  echo "== $$e =="; dune exec examples/$$e.exe; done
+
+cli:
+	dune exec bin/wfpriv.exe -- --help
+
+clean:
+	dune clean

@@ -1,0 +1,414 @@
+(* E9: differentially-private aggregate queries (paper Sec. 5's DP
+        discussion, made concrete for the aggregates DP *can* serve).
+   E10: multi-target structural-privacy planning ablation.
+   A1:  ablation — bitset topological closure vs. per-node DFS.
+   A2:  ablation — user-group reachability cache on/off. *)
+
+open Wfpriv_workflow
+open Wfpriv_privacy
+open Wfpriv_query
+module Rng = Wfpriv_workloads.Rng
+module Synthetic = Wfpriv_workloads.Synthetic
+module Disease = Wfpriv_workloads.Disease
+module Digraph = Wfpriv_graph.Digraph
+module Reachability = Wfpriv_graph.Reachability
+
+let e9 () =
+  Util.heading
+    "E9  Differentially private repository aggregates (Sec. 5 discussion)";
+  let rng = Rng.create 2 in
+  let patients =
+    List.init 40 (fun i ->
+        [
+          ("snps", Data_value.Str (Printf.sprintf "rs%d" (Rng.int rng 5)));
+          ("ethnicity", Data_value.Str (Printf.sprintf "e%d" (Rng.int rng 3)));
+          ("lifestyle", Data_value.Str (Printf.sprintf "l%d" (i mod 2)));
+          ("family_history", Data_value.Str "none");
+          ("symptoms", Data_value.Str "s");
+        ])
+  in
+  let runs = List.map Disease.run_with patients in
+  let q = Dp_count.Module_ran Disease.m6 in
+  let exact = Dp_count.exact_count runs q in
+  Printf.printf "query: #runs where M6 (Query OMIM) executed; exact = %d/40\n"
+    exact;
+  let trials = 500 in
+  let rows =
+    List.map
+      (fun epsilon ->
+        let uniform () = Rng.float rng 1.0 in
+        let errors =
+          List.init trials (fun _ ->
+              Float.abs
+                (Dp_count.noisy_count ~uniform ~epsilon runs q
+                -. float_of_int exact))
+        in
+        let mean = List.fold_left ( +. ) 0.0 errors /. float_of_int trials in
+        [
+          Util.fmt_f ~digits:2 epsilon;
+          Util.fmt_f mean;
+          Util.fmt_f (Dp_count.expected_absolute_error ~epsilon);
+        ])
+      [ 0.1; 0.25; 0.5; 1.0; 2.0; 4.0 ]
+  in
+  Util.print_table [ "epsilon"; "measured |error|"; "theory 1/eps" ] rows;
+  Printf.printf
+    "expected shape: measured error tracks the 1/epsilon law — aggregates\n\
+     tolerate DP noise even though provenance graphs themselves cannot\n\
+     (the paper's reproducibility argument).\n"
+
+let e10 () =
+  Util.heading
+    "E10 Planning multi-target structural privacy: per-target mechanism choice";
+  let rng = Rng.create 12 in
+  let trials = 15 in
+  let strategies =
+    [
+      ("planner a=0.0", `Plan 0.0);
+      ("planner a=0.5", `Plan 0.5);
+      ("planner a=1.0", `Plan 1.0);
+      ("all-delete", `Plan_forced Planner.Delete);
+      ("all-cluster", `Plan_forced Planner.Cluster);
+    ]
+  in
+  let run_strategy g targets = function
+    | `Plan alpha ->
+        let p = Planner.plan ~alpha g targets in
+        ( p.Planner.facts_lost,
+          p.Planner.facts_hidden,
+          p.Planner.facts_fabricated,
+          Planner.verify g p )
+    | `Plan_forced mech ->
+        let p = Planner.plan ~force:mech g targets in
+        ( p.Planner.facts_lost,
+          p.Planner.facts_hidden,
+          p.Planner.facts_fabricated,
+          Planner.verify g p )
+  in
+  let samples =
+    List.init trials (fun _ ->
+        let g = Synthetic.random_dag rng ~nodes:16 ~edge_probability:0.25 in
+        let facts = Reachability.closure_facts (Reachability.closure g) in
+        let targets = Rng.sample rng (min 3 (List.length facts)) facts in
+        (g, targets))
+    |> List.filter (fun (_, ts) -> ts <> [])
+  in
+  let rows =
+    List.map
+      (fun (name, strat) ->
+        let lost, hid, fab, ok =
+          List.fold_left
+            (fun (l, h, f, ok) (g, targets) ->
+              let l', h', f', ok' = run_strategy g targets strat in
+              (l + l', h + h', f + f', ok && ok'))
+            (0, 0, 0, true) samples
+        in
+        let n = float_of_int (List.length samples) in
+        [
+          name;
+          Util.fmt_f (float_of_int lost /. n);
+          Util.fmt_f (float_of_int hid /. n);
+          Util.fmt_f (float_of_int fab /. n);
+          string_of_bool ok;
+        ])
+      strategies
+  in
+  Util.print_table
+    [
+      "strategy"; "avg collateral lost"; "avg absorbed"; "avg fabricated";
+      "all hidden";
+    ]
+    rows;
+  Printf.printf
+    "expected shape: a=0 (sound views) pays in collateral loss and\n\
+     fabricates nothing; a=1 pays in fabrication with no collateral;\n\
+     a=0.5 trades between them — and every strategy hides every target.\n"
+
+let a1 () =
+  Util.heading
+    "A1  Ablation: transitive closure via bitset topo-sweep vs. per-node DFS";
+  (* The DFS baseline mirrors what Reachability.closure falls back to on
+     cyclic graphs: one full DFS per node. *)
+  let dfs_closure g =
+    List.iter (fun u -> ignore (Reachability.reachable_from g u)) (Digraph.nodes g)
+  in
+  let rng = Rng.create 4 in
+  let rows =
+    List.map
+      (fun nodes ->
+        let g =
+          Synthetic.random_dag rng ~nodes
+            ~edge_probability:(8.0 /. float_of_int nodes)
+        in
+        let t_bitset = Util.bench_ms (fun () -> Reachability.closure g) in
+        let t_dfs = Util.bench_ms (fun () -> dfs_closure g) in
+        [
+          string_of_int nodes;
+          string_of_int (Digraph.nb_edges g);
+          Util.fmt_f ~digits:3 t_bitset;
+          Util.fmt_f ~digits:3 t_dfs;
+          Util.fmt_f (t_dfs /. t_bitset);
+        ])
+      [ 50; 100; 200; 400 ]
+  in
+  Util.print_table
+    [ "|V|"; "|E|"; "bitset ms"; "per-node DFS ms"; "speedup" ]
+    rows;
+  Printf.printf
+    "expected shape: the bitset sweep wins by a growing factor (word-level\n\
+     parallelism on closure rows), which is why closures and E3/E4-scale\n\
+     soundness checks stay cheap.\n"
+
+let a2 () =
+  Util.heading
+    "A2  Ablation: per-user-group reachability cache for repeated queries (Sec. 4)";
+  let rng = Rng.create 9 in
+  let params =
+    { Synthetic.default_params with Synthetic.levels = 3; atomics_per_workflow = 5 }
+  in
+  let spec, exec = Synthetic.run rng params in
+  let privilege =
+    Privilege.make spec
+      (Spec.workflow_ids spec
+      |> List.filter (fun w -> w <> Spec.root spec)
+      |> List.mapi (fun i w -> (w, 1 + (i mod 2))))
+  in
+  let policy = Policy.make spec in
+  ignore policy;
+  let repo = Repository.create () in
+  Repository.add repo
+    ~name:"synthetic"
+    ~policy:
+      (Policy.make
+         ~expand_levels:
+           (Spec.workflow_ids spec
+           |> List.filter (fun w -> w <> Spec.root spec)
+           |> List.mapi (fun i w -> (w, 1 + (i mod 2))))
+         spec)
+    ~executions:[ exec ] ();
+  ignore privilege;
+  let queries =
+    [
+      Query_ast.Before (Query_ast.Atomic_only, Query_ast.Atomic_only);
+      Query_ast.Before (Query_ast.Any, Query_ast.Atomic_only);
+      Query_ast.Before (Query_ast.Atomic_only, Query_ast.Any);
+    ]
+  in
+  let run_batch cache =
+    List.iter
+      (fun q ->
+        List.iter
+          (fun level ->
+            ignore (Repository.structural_query ?cache repo ~level "synthetic" q))
+          [ 1; 2 ])
+      queries
+  in
+  let t_uncached = Util.bench_ms ~budget_ms:200.0 (fun () -> run_batch None) in
+  let cache = Reach_cache.create () in
+  let t_cached =
+    Util.bench_ms ~budget_ms:200.0 (fun () -> run_batch (Some cache))
+  in
+  Util.print_table
+    [ "mode"; "batch ms"; "speedup" ]
+    [
+      [ "uncached (DFS per pair)"; Util.fmt_f ~digits:3 t_uncached; "1.00" ];
+      [
+        "user-group cache";
+        Util.fmt_f ~digits:3 t_cached;
+        Util.fmt_f (t_uncached /. t_cached);
+      ];
+    ];
+  Printf.printf
+    "cache stats: %d entries, %d misses, %d hits\n"
+    (Reach_cache.entries cache) (Reach_cache.misses cache)
+    (Reach_cache.hits cache);
+  Printf.printf
+    "expected shape: two user groups need two closures total; every repeated\n\
+     Before-query answers from the cache and the batch accelerates.\n"
+
+let e11 () =
+  Util.heading
+    "E11 One integrated repository vs. per-level materialised copies (Sec. 1)";
+  let rng = Rng.create 41 in
+  let make_repo n =
+    let repo = Repository.create () in
+    for i = 0 to n - 1 do
+      let spec, exec = Synthetic.run rng Synthetic.default_params in
+      let policy =
+        Policy.make
+          ~expand_levels:
+            (Spec.workflow_ids spec
+            |> List.filter (fun w -> w <> Spec.root spec)
+            |> List.mapi (fun j w -> (w, 1 + (j mod 3))))
+          spec
+      in
+      Repository.add repo ~name:(Printf.sprintf "wf%d" i) ~policy
+        ~executions:[ exec ] ()
+    done;
+    repo
+  in
+  let levels = [ 0; 1; 2; 3 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let repo = make_repo n in
+        let m, t_build = Util.time_ms (fun () -> Materialized.materialize repo ~levels) in
+        let integrated = Materialized.integrated_space repo in
+        let copies = Materialized.space m in
+        (* The cost every update imposes on the materialised design. *)
+        Repository.add_execution repo ~name:"wf0"
+          (let e = Repository.find repo "wf0" in
+           let spec = e.Repository.spec in
+           Wfpriv_workflow.Executor.run spec (Synthetic.semantics spec)
+             ~inputs:(Synthetic.inputs_for spec ~seed:999));
+        let _, t_refresh =
+          Util.time_ms (fun () -> Materialized.refresh_entry m repo "wf0")
+        in
+        let _, t_check = Util.time_ms (fun () -> Materialized.consistent m repo) in
+        [
+          string_of_int n;
+          string_of_int integrated;
+          string_of_int copies;
+          Util.fmt_f (float_of_int copies /. float_of_int integrated);
+          Util.fmt_f t_build;
+          Util.fmt_f t_refresh;
+          Util.fmt_f t_check;
+        ])
+      [ 2; 4; 8; 16 ]
+  in
+  Util.print_table
+    [
+      "entries"; "integrated space"; "4-copy space"; "ratio"; "build ms";
+      "per-update refresh ms"; "consistency check ms";
+    ]
+    rows;
+  Printf.printf
+    "expected shape: materialised copies multiply storage by ~#levels and\n\
+     impose per-update refresh work across every copy (skipping it leaves\n\
+     stale, inconsistent answers — asserted in the test suite); the\n\
+     integrated design pays neither.\n"
+
+let a3 () =
+  Util.heading
+    "A3  Ablation: exhaustive vs. best-first exact hiding-set search";
+  let rng = Rng.create 77 in
+  let weights n = 1 + (Hashtbl.hash n mod 5) in
+  let rows =
+    List.map
+      (fun (n_in, n_out) ->
+        let table =
+          Synthetic.random_table rng ~n_inputs:n_in ~n_outputs:n_out
+            ~domain_size:2
+        in
+        let gamma = 4 in
+        let exhaustive, t_exh =
+          Util.time_ms (fun () ->
+              Module_privacy.optimal_hiding ~weights table ~gamma)
+        in
+        let ordered, t_ord =
+          Util.time_ms (fun () ->
+              Module_privacy.optimal_hiding_ordered ~weights table ~gamma)
+        in
+        let cost = function
+          | Some h -> string_of_int (Module_privacy.hiding_cost weights h)
+          | None -> "-"
+        in
+        [
+          Printf.sprintf "%d+%d" n_in n_out;
+          cost exhaustive;
+          cost ordered;
+          Util.fmt_f ~digits:3 t_exh;
+          Util.fmt_f ~digits:3 t_ord;
+          Util.fmt_f (t_exh /. Float.max t_ord 0.0001);
+        ])
+      [ (3, 3); (4, 4); (5, 5); (6, 6); (8, 4) ]
+  in
+  Util.print_table
+    [ "attrs"; "exh cost"; "ordered cost"; "exhaustive ms"; "best-first ms"; "speedup" ]
+    rows;
+  Printf.printf
+    "expected shape: identical optimal costs; best-first stops at the first\n\
+     safe subset in cost order and wins by orders of magnitude when cheap\n\
+     solutions exist (it also has no attribute-count cap).\n"
+
+let e12 () =
+  Util.heading
+    "E12 Workflow-level module privacy: public modules undo hiding (companion paper)";
+  let int_fun ~name_in ~name_out ~dom_in ~dom_out f =
+    Module_privacy.of_function
+      ~inputs:[ Module_privacy.int_attr name_in dom_in ]
+      ~outputs:[ Module_privacy.int_attr name_out dom_out ]
+      (fun x ->
+        match x.(0) with
+        | Data_value.Int n -> [| Data_value.Int (f n) |]
+        | _ -> assert false)
+  in
+  let wiring id table vis =
+    { Workflow_privacy.w_id = id; w_table = table; w_visibility = vis }
+  in
+  let m1 = int_fun ~name_in:"s" ~name_out:"t" ~dom_in:4 ~dom_out:4 (fun n -> (n + 1) mod 4) in
+  let variants =
+    [
+      ( "m2 private",
+        int_fun ~name_in:"t" ~name_out:"z" ~dom_in:4 ~dom_out:4 (fun n -> (n + 2) mod 4),
+        Workflow_privacy.Private );
+      ( "m2 public, invertible",
+        int_fun ~name_in:"t" ~name_out:"z" ~dom_in:4 ~dom_out:4 (fun n -> (n + 2) mod 4),
+        Workflow_privacy.Public );
+      ( "m2 public, parity (lossy)",
+        int_fun ~name_in:"t" ~name_out:"z" ~dom_in:4 ~dom_out:2 (fun n -> n mod 2),
+        Workflow_privacy.Public );
+      ( "m2 public, constant",
+        int_fun ~name_in:"t" ~name_out:"z" ~dom_in:4 ~dom_out:2 (fun _ -> 0),
+        Workflow_privacy.Public );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, m2, vis) ->
+        let p =
+          Workflow_privacy.make ~t_sources:[ "s" ]
+            [
+              wiring (Wfpriv_workflow.Ids.m 1) m1 Workflow_privacy.Private;
+              wiring (Wfpriv_workflow.Ids.m 2) m2 vis;
+            ]
+        in
+        let hidden = [ "t" ] in
+        let standalone =
+          List.assoc (Wfpriv_workflow.Ids.m 1)
+            (Workflow_privacy.standalone_gamma p ~hidden)
+        in
+        let (wf_gammas), ms =
+          Util.time_ms (fun () -> Workflow_privacy.gamma p ~hidden)
+        in
+        let wf = List.assoc (Wfpriv_workflow.Ids.m 1) wf_gammas in
+        [
+          label;
+          string_of_int standalone;
+          string_of_int wf;
+          string_of_int (Workflow_privacy.nb_candidate_worlds p);
+          Util.fmt_f ms;
+        ])
+      variants
+  in
+  Util.print_table
+    [
+      "pipeline s -> m1(priv) -> t -> m2 -> z, hide {t}";
+      "standalone gamma(m1)"; "workflow gamma(m1)"; "worlds"; "ms";
+    ]
+    rows;
+  Printf.printf
+    "expected shape: standalone analysis always claims gamma=4; the\n\
+     possible-worlds analysis shows an invertible public module collapses\n\
+     it to 1, a lossy one to 2, a constant one leaks nothing (4), and a\n\
+     private downstream preserves 4 — hiding must account for what the\n\
+     adversary already knows.\n"
+
+let all () =
+  e9 ();
+  e10 ();
+  e11 ();
+  e12 ();
+  a1 ();
+  a2 ();
+  a3 ()

@@ -1,0 +1,67 @@
+(* F1–F5: regenerate the paper's five figures from the implementation.
+   These are exact artefacts (also pinned by the test suite); the harness
+   prints them so EXPERIMENTS.md can cite the output verbatim. *)
+
+open Wfpriv_workflow
+open Wfpriv_query
+module Disease = Wfpriv_workloads.Disease
+
+let f1 () =
+  Util.heading "F1  Fig. 1 — disease susceptibility workflow specification";
+  Format.printf "%a@." Spec.pp Disease.spec;
+  Printf.printf "modules: %d  workflows: %d  composites: %s\n"
+    (Spec.nb_modules Disease.spec)
+    (Spec.nb_workflows Disease.spec)
+    (String.concat ", "
+       (List.map Ids.module_name (Spec.composite_modules Disease.spec)))
+
+let f2 () =
+  Util.heading "F2  Fig. 2 — view of the provenance graph under prefix {W1}";
+  let exec = Disease.run () in
+  let v = Exec_view.coarsest exec in
+  Format.printf "%a@." Exec_view.pp v
+
+let f3 () =
+  Util.heading "F3  Fig. 3 — expansion hierarchy and its prefixes";
+  let h = Hierarchy.of_spec Disease.spec in
+  Format.printf "%a@." Hierarchy.pp h;
+  Printf.printf "prefixes (%d):\n" (Hierarchy.nb_prefixes h);
+  List.iter
+    (fun p -> Printf.printf "  {%s}\n" (String.concat ", " p))
+    (Hierarchy.all_prefixes h)
+
+let f4 () =
+  Util.heading "F4  Fig. 4 — execution of the disease workflow";
+  let exec = Disease.run () in
+  Format.printf "%a@." Execution.pp exec;
+  Printf.printf "process ids: S1..S%d   data items: d0..d%d\n"
+    (List.length
+       (List.filter
+          (fun n ->
+            match Execution.node_kind exec n with
+            | Execution.Atomic_exec _ | Execution.Begin_composite _ -> true
+            | _ -> false)
+          (Execution.nodes exec)))
+    (Execution.nb_items exec - 1)
+
+let f5 () =
+  Util.heading
+    "F5  Fig. 5 — keyword query \"database, disorder risk\" (finest-witness answer)";
+  match
+    Keyword.search ~strategy:`Specific Disease.spec [ "database"; "disorder risk" ]
+  with
+  | None -> Printf.printf "no match (unexpected)\n"
+  | Some a ->
+      List.iter
+        (fun (m : Keyword.match_info) ->
+          Printf.printf "keyword %-15S witnesses: %s\n" m.Keyword.keyword
+            (String.concat ", " (List.map Ids.module_name m.Keyword.witnesses)))
+        a.Keyword.matches;
+      Format.printf "%a@." View.pp a.Keyword.view
+
+let all () =
+  f1 ();
+  f2 ();
+  f3 ();
+  f4 ();
+  f5 ()

@@ -1,0 +1,262 @@
+(* E1, E2, E8: module privacy (Γ-privacy) experiments.
+   E3, E4: structural privacy experiments. *)
+
+open Wfpriv_privacy
+module Rng = Wfpriv_workloads.Rng
+module Synthetic = Wfpriv_workloads.Synthetic
+module Reachability = Wfpriv_graph.Reachability
+module Digraph = Wfpriv_graph.Digraph
+
+(* A concrete stand-in for the paper's M1 "Determine Genetic
+   Susceptibility": SNP panel (8 values) x ethnicity (4) -> disorder set
+   (8) x risk score (4). Deterministic mixing keeps it interesting. *)
+let m1_table =
+  Module_privacy.of_function
+    ~inputs:
+      [ Module_privacy.int_attr "snps" 8; Module_privacy.int_attr "ethnicity" 4 ]
+    ~outputs:
+      [ Module_privacy.int_attr "disorders" 8; Module_privacy.int_attr "risk" 4 ]
+    (fun x ->
+      let v i =
+        match x.(i) with Wfpriv_workflow.Data_value.Int n -> n | _ -> 0
+      in
+      let s = v 0 and e = v 1 in
+      [|
+        Wfpriv_workflow.Data_value.Int (((s * 3) + (e * 5)) mod 8);
+        Wfpriv_workflow.Data_value.Int ((s + e) mod 4);
+      |])
+
+(* Utility weights: intermediate analysis data is cheap to hide, final
+   outputs are precious (the optimisation has to work for its money). *)
+let m1_weights = function
+  | "disorders" -> 8
+  | "risk" -> 6
+  | "snps" -> 3
+  | "ethnicity" -> 1
+  | _ -> 1
+
+let e1 () =
+  Util.heading
+    "E1  Privacy vs. utility: min-cost Γ-safe hiding for M1's table (Sec. 3)";
+  let max_gamma = Module_privacy.max_achievable_gamma m1_table in
+  Printf.printf "table: %d rows, max achievable Γ = %d\n"
+    (Module_privacy.nb_rows m1_table)
+    max_gamma;
+  let rows =
+    List.filter_map
+      (fun gamma ->
+        match Module_privacy.optimal_hiding ~weights:m1_weights m1_table ~gamma with
+        | None -> Some [ string_of_int gamma; "-"; "unachievable"; "-" ]
+        | Some hidden ->
+            let cost = Module_privacy.hiding_cost m1_weights hidden in
+            let total =
+              Module_privacy.hiding_cost m1_weights
+                (Module_privacy.attr_names m1_table)
+            in
+            Some
+              [
+                string_of_int gamma;
+                string_of_int cost;
+                String.concat "," hidden;
+                Util.fmt_pct (1.0 -. (float_of_int cost /. float_of_int total));
+              ])
+      [ 2; 4; 8; 16; 32; 64 ]
+  in
+  Util.print_table [ "gamma"; "min cost"; "hidden set"; "utility kept" ] rows;
+  Printf.printf
+    "expected shape: cost grows with gamma; gamma > %d is unachievable.\n"
+    max_gamma
+
+let e2 () =
+  Util.heading "E2  Exact vs. greedy hiding-set optimisation (Sec. 3)";
+  let rng = Rng.create 42 in
+  (* Skewed utility weights make the choice non-trivial: hiding y0 is
+     expensive, inputs are cheap but individually weak. *)
+  let weights name =
+    1 + (Hashtbl.hash name mod 5) + if name.[0] = 'y' then 4 else 0
+  in
+  let rows =
+    List.map
+      (fun (n_in, n_out) ->
+        let table =
+          Synthetic.random_table rng ~n_inputs:n_in ~n_outputs:n_out
+            ~domain_size:2
+        in
+        let gamma = 4 in
+        let (opt, t_exact), (greedy, t_greedy) =
+          ( Util.time_ms (fun () ->
+                Module_privacy.optimal_hiding ~weights table ~gamma),
+            Util.time_ms (fun () ->
+                Module_privacy.greedy_hiding ~weights table ~gamma) )
+        in
+        let cost = function
+          | Some h -> Module_privacy.hiding_cost weights h
+          | None -> -1
+        in
+        [
+          Printf.sprintf "%d+%d" n_in n_out;
+          string_of_int (cost opt);
+          string_of_int (cost greedy);
+          (if cost opt > 0 then
+             Util.fmt_f (float_of_int (cost greedy) /. float_of_int (cost opt))
+           else "-");
+          Util.fmt_f ~digits:3 t_exact;
+          Util.fmt_f ~digits:3 t_greedy;
+        ])
+      [ (2, 2); (3, 3); (4, 4); (5, 5); (6, 6); (8, 4) ]
+  in
+  Util.print_table
+    [ "attrs"; "opt cost"; "greedy cost"; "ratio"; "exact ms"; "greedy ms" ]
+    rows;
+  Printf.printf
+    "expected shape: exact time explodes exponentially with attribute count\n\
+     while greedy stays in low milliseconds; greedy usually matches the\n\
+     optimum but can overpay on skewed weights (no approximation guarantee\n\
+     — the hardness the companion paper proves).\n"
+
+let e8 () =
+  Util.heading
+    "E8  Adversary: module function recovered vs. executions observed (Sec. 3)";
+  let rng = Rng.create 7 in
+  let table =
+    Synthetic.random_table rng ~n_inputs:2 ~n_outputs:1 ~domain_size:4
+  in
+  let hidden =
+    match Module_privacy.optimal_hiding table ~gamma:4 with
+    | Some h -> h
+    | None -> Module_privacy.attr_names table
+  in
+  let all_inputs = List.map fst (Module_privacy.rows table) in
+  Printf.printf "table: %d rows; Γ=4-safe hidden set: {%s}\n"
+    (List.length all_inputs)
+    (String.concat ", " hidden);
+  let rows =
+    List.map
+      (fun k ->
+        let obs =
+          List.init k (fun _ -> Rng.pick rng all_inputs)
+        in
+        let a_open = Audit.assess table (Audit.observe table ~hidden:[] obs) in
+        let a_safe = Audit.assess table (Audit.observe table ~hidden obs) in
+        [
+          string_of_int k;
+          Util.fmt_pct a_open.Audit.recovered_fraction;
+          Util.fmt_pct a_safe.Audit.recovered_fraction;
+          string_of_int a_safe.Audit.min_candidates;
+        ])
+      [ 1; 2; 4; 8; 16; 32; 64; 128 ]
+  in
+  Util.print_table
+    [ "runs seen"; "recovered (no hiding)"; "recovered (Γ=4 hiding)"; "empirical Γ" ]
+    rows;
+  Printf.printf
+    "expected shape: without hiding the adversary converges to 100%%;\n\
+     with a Γ-safe hidden set recovery stays at 0%% and the empirical Γ >= 4.\n"
+
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  Util.heading
+    "E3  Structural privacy: deletion vs. clustering (Sec. 3's two mechanisms)";
+  let rng = Rng.create 99 in
+  let rows =
+    List.map
+      (fun nodes ->
+        let g = Synthetic.random_dag rng ~nodes ~edge_probability:(4.0 /. float_of_int nodes) in
+        let closure = Reachability.closure g in
+        let facts = Reachability.closure_facts closure in
+        let candidates =
+          List.filter
+            (fun (u, v) -> not (Digraph.mem_edge g u v) || List.length facts < 30)
+            facts
+        in
+        let sample =
+          Rng.sample rng (min 20 (List.length candidates)) candidates
+        in
+        let stats =
+          List.map
+            (fun pair ->
+              let d = Structural_privacy.hide_by_deletion g pair in
+              let c = Structural_privacy.hide_by_clustering g pair in
+              ( List.length d.Structural_privacy.collateral,
+                List.length d.Structural_privacy.cut,
+                List.length c.Structural_privacy.spurious,
+                List.length c.Structural_privacy.cluster ))
+            sample
+        in
+        let n = float_of_int (max 1 (List.length stats)) in
+        let avg f = List.fold_left (fun a s -> a +. float_of_int (f s)) 0.0 stats /. n in
+        [
+          string_of_int nodes;
+          string_of_int (List.length facts);
+          string_of_int (List.length sample);
+          Util.fmt_f (avg (fun (_, c, _, _) -> c));
+          Util.fmt_f (avg (fun (c, _, _, _) -> c));
+          Util.fmt_f (avg (fun (_, _, _, s) -> s));
+          Util.fmt_f (avg (fun (_, _, s, _) -> s));
+        ])
+      [ 10; 20; 30; 40 ]
+  in
+  Util.print_table
+    [
+      "|V|"; "facts"; "pairs"; "cut size"; "deletion collateral";
+      "cluster size"; "cluster spurious";
+    ]
+    rows;
+  Printf.printf
+    "expected shape: deletion loses true facts (collateral) but fabricates\n\
+     nothing; clustering hides without losing external facts but fabricates\n\
+     spurious ones — the paper's soundness trade-off.\n"
+
+let e4 () =
+  Util.heading "E4  Unsound view detection and repair (Sec. 3; Sun et al.)";
+  let rng = Rng.create 5 in
+  let rows =
+    List.map
+      (fun nodes ->
+        let g = Synthetic.random_dag rng ~nodes ~edge_probability:0.15 in
+        let trials = 10 in
+        let results =
+          List.init trials (fun _ ->
+              let clustering =
+                Synthetic.random_clustering rng g ~nb_clusters:(nodes / 8)
+                  ~cluster_size:4
+              in
+              if clustering = [] then None
+              else begin
+                let v, t_detect = Util.time_ms (fun () -> Soundness.check g clustering) in
+                let steps, t_repair =
+                  Util.time_ms (fun () -> Soundness.repair_steps g clustering)
+                in
+                Some (v.Soundness.sound, List.length v.Soundness.spurious, steps, t_detect, t_repair)
+              end)
+          |> List.filter_map Fun.id
+        in
+        let n = float_of_int (max 1 (List.length results)) in
+        let avg f = List.fold_left (fun a r -> a +. f r) 0.0 results /. n in
+        let unsound =
+          List.length (List.filter (fun (s, _, _, _, _) -> not s) results)
+        in
+        [
+          string_of_int nodes;
+          Printf.sprintf "%d/%d" unsound (List.length results);
+          Util.fmt_f (avg (fun (_, sp, _, _, _) -> float_of_int sp));
+          Util.fmt_f (avg (fun (_, _, st, _, _) -> float_of_int st));
+          Util.fmt_f ~digits:3 (avg (fun (_, _, _, td, _) -> td));
+          Util.fmt_f ~digits:3 (avg (fun (_, _, _, _, tr) -> tr));
+        ])
+      [ 16; 32; 48; 64 ]
+  in
+  Util.print_table
+    [ "|V|"; "unsound"; "avg spurious"; "avg splits"; "detect ms"; "repair ms" ]
+    rows;
+  Printf.printf
+    "expected shape: random clusterings are mostly unsound; repair needs few\n\
+     splits; detection cost grows with closure size.\n"
+
+let all () =
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e8 ()

@@ -1,0 +1,215 @@
+(* E5: on-the-fly vs. zoom-out query evaluation.
+   E6: privacy-partitioned index vs. per-level indexes vs. full scan.
+   E7: ranking leakage and the quantisation counter-measure. *)
+
+open Wfpriv_workflow
+open Wfpriv_privacy
+open Wfpriv_query
+module Rng = Wfpriv_workloads.Rng
+module Synthetic = Wfpriv_workloads.Synthetic
+
+let synthetic_case rng ~levels ~atomics =
+  let params =
+    {
+      Synthetic.default_params with
+      Synthetic.levels;
+      atomics_per_workflow = atomics;
+    }
+  in
+  let spec, exec = Synthetic.run rng params in
+  let assignments =
+    Spec.workflow_ids spec
+    |> List.filter (fun w -> w <> Spec.root spec)
+    |> List.mapi (fun i w -> (w, 1 + (i mod 3)))
+  in
+  (spec, exec, Privilege.make spec assignments)
+
+let e5 () =
+  Util.heading
+    "E5  Privacy-preserving evaluation: on-the-fly vs. zoom-out (Sec. 4)";
+  let rng = Rng.create 2024 in
+  let q = Query_ast.Before (Query_ast.Atomic_only, Query_ast.Atomic_only) in
+  let rows =
+    List.map
+      (fun (levels, atomics) ->
+        let spec, exec, privilege = synthetic_case rng ~levels ~atomics in
+        let level = 1 in
+        let direct = Secure_eval.on_the_fly privilege ~level exec q in
+        let zoomed = Secure_eval.zoom_out privilege ~level exec q in
+        assert (Secure_eval.agree direct zoomed);
+        let t_direct =
+          Util.bench_ms (fun () -> Secure_eval.on_the_fly privilege ~level exec q)
+        in
+        let t_zoom =
+          Util.bench_ms (fun () -> Secure_eval.zoom_out privilege ~level exec q)
+        in
+        [
+          Printf.sprintf "%d/%d" levels atomics;
+          string_of_int (Spec.nb_modules spec);
+          string_of_int (List.length (Execution.nodes exec));
+          string_of_int zoomed.Secure_eval.collapse_count;
+          Util.fmt_f ~digits:3 t_direct;
+          Util.fmt_f ~digits:3 t_zoom;
+          Util.fmt_f (t_zoom /. t_direct);
+        ])
+      [ (1, 4); (2, 4); (2, 6); (3, 4); (3, 6) ]
+  in
+  Util.print_table
+    [
+      "depth/atomics"; "modules"; "exec nodes"; "zoom steps"; "on-the-fly ms";
+      "zoom-out ms"; "slowdown";
+    ]
+    rows;
+  Printf.printf
+    "expected shape: both agree on every answer; zoom-out pays one view\n\
+     reconstruction per hidden workflow and loses by a growing factor.\n"
+
+let e6 () =
+  Util.heading
+    "E6  Indexing under privacy: shared partitioned index vs. alternatives (Sec. 4)";
+  let rng = Rng.create 31 in
+  let mk_entries n =
+    List.init n (fun i ->
+        let spec, _, privilege =
+          synthetic_case rng ~levels:2 ~atomics:4
+        in
+        (Printf.sprintf "wf%d" i, spec, privilege))
+  in
+  let terms = [ "align"; "blast"; "variant"; "pathway"; "assay" ] in
+  let rows =
+    List.map
+      (fun n ->
+        let entries = mk_entries n in
+        let idx, t_build = Util.time_ms (fun () -> Index.build entries) in
+        let pl, t_build_pl =
+          Util.time_ms (fun () -> Index.build_per_level ~levels:[ 0; 1; 2; 3 ] entries)
+        in
+        let t_idx =
+          Util.bench_ms (fun () ->
+              List.iter (fun t -> ignore (Index.lookup idx ~level:2 t)) terms)
+        in
+        let t_pl =
+          Util.bench_ms (fun () ->
+              List.iter
+                (fun t -> ignore (Index.lookup_per_level pl ~level:2 t))
+                terms)
+        in
+        let t_scan =
+          Util.bench_ms (fun () ->
+              List.iter
+                (fun t -> ignore (Index.lookup_scan entries ~level:2 t))
+                terms)
+        in
+        [
+          string_of_int n;
+          string_of_int (Index.nb_postings idx);
+          string_of_int (Index.per_level_postings pl);
+          Util.fmt_f t_build;
+          Util.fmt_f t_build_pl;
+          Util.fmt_f ~digits:4 t_idx;
+          Util.fmt_f ~digits:4 t_pl;
+          Util.fmt_f ~digits:4 t_scan;
+        ])
+      [ 4; 8; 16; 32 ]
+  in
+  Util.print_table
+    [
+      "repo size"; "shared postings"; "per-level postings"; "build ms";
+      "per-level build ms"; "shared lookup ms"; "per-level lookup ms";
+      "scan ms";
+    ]
+    rows;
+  Printf.printf
+    "expected shape: the shared partitioned index answers nearly as fast as\n\
+     materialised per-level indexes at a fraction of the space; full scans\n\
+     lose by orders of magnitude as the repository grows.\n"
+
+let e7 () =
+  Util.heading "E7  Ranking as a leakage channel, and score quantisation (Sec. 4)";
+  let rng = Rng.create 64 in
+  let max_tf = 10 in
+  let idf = 1.0 in
+  let trials = 200 in
+  let widths = [ 0.0; 1.0; 2.0; 4.0; 8.0 ] in
+  (* For each trial: a target doc with secret tf, 4 competitors with known
+     scores. Publish a ranking (exact or quantised); measure the interval
+     the adversary infers, and how well the published ranking preserves
+     the true order (utility). *)
+  let run_trial width =
+    let tf = Rng.int rng (max_tf + 1) in
+    let others =
+      List.init 4 (fun i ->
+          (Printf.sprintf "d%d" i, float_of_int (Rng.int rng (max_tf + 1))))
+    in
+    let entries =
+      { Ranking.doc = "t"; score = float_of_int tf *. idf }
+      :: List.map (fun (d, s) -> { Ranking.doc = d; score = s }) others
+    in
+    let true_order =
+      List.map (fun (e : Ranking.entry) -> e.Ranking.doc) (Ranking.rank entries)
+    in
+    let published_entries =
+      if width = 0.0 then entries else Ranking.quantize ~width entries
+    in
+    let published =
+      List.map
+        (fun (e : Ranking.entry) -> e.Ranking.doc)
+        (Ranking.rank published_entries)
+    in
+    let interval =
+      if width = 0.0 then
+        Ranking.infer_masked_tf ~target_base:0.0 ~others ~idf ~max_tf
+          ~ranking:published ~target:"t"
+      else
+        Ranking.infer_masked_tf_quantized ~bucket_width:width ~target_base:0.0
+          ~others ~idf ~max_tf ~ranking:published ~target:"t"
+    in
+    (* Rank fidelity: fraction of ordered pairs agreeing with the truth. *)
+    let pairs l =
+      let rec go = function
+        | [] -> []
+        | x :: rest -> List.map (fun y -> (x, y)) rest @ go rest
+      in
+      go l
+    in
+    let truth_pairs = pairs true_order in
+    let agree =
+      List.length
+        (List.filter
+           (fun (a, b) ->
+             match (Ranking.position (Ranking.rank published_entries) a,
+                    Ranking.position (Ranking.rank published_entries) b)
+             with
+             | Some pa, Some pb -> pa < pb
+             | _ -> false)
+           truth_pairs)
+    in
+    ( float_of_int (Ranking.width interval) /. float_of_int (max_tf + 1),
+      float_of_int agree /. float_of_int (List.length truth_pairs) )
+  in
+  let rows =
+    List.map
+      (fun width ->
+        let results = List.init trials (fun _ -> run_trial width) in
+        let n = float_of_int trials in
+        let avg f = List.fold_left (fun a r -> a +. f r) 0.0 results /. n in
+        [
+          (if width = 0.0 then "exact" else Util.fmt_f ~digits:1 width);
+          Util.fmt_pct (avg fst);
+          Util.fmt_pct (1.0 -. avg fst);
+          Util.fmt_pct (avg snd);
+        ])
+      widths
+  in
+  Util.print_table
+    [ "bucket width"; "tf interval kept"; "leakage"; "rank fidelity" ]
+    rows;
+  Printf.printf
+    "expected shape: exact ranking leaks most (narrow surviving interval);\n\
+     wider buckets cut leakage at a modest cost in rank fidelity — the\n\
+     privacy-aware ranking trade-off the paper calls for.\n"
+
+let all () =
+  e5 ();
+  e6 ();
+  e7 ()

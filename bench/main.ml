@@ -1,0 +1,58 @@
+(* Experiment harness entry point.
+
+   Usage:
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- f1 e3 e7     -- run selected experiments
+     dune exec bench/main.exe -- bechamel     -- micro-benchmarks only
+
+   Experiment ids map to DESIGN.md's index: F1-F5 regenerate the paper's
+   figures, E1-E10 quantify the challenges its sections pose, and A1-A2
+   are design ablations. *)
+
+let experiments =
+  [
+    ("f1", Exp_figures.f1);
+    ("f2", Exp_figures.f2);
+    ("f3", Exp_figures.f3);
+    ("f4", Exp_figures.f4);
+    ("f5", Exp_figures.f5);
+    ("e1", Exp_privacy.e1);
+    ("e2", Exp_privacy.e2);
+    ("e3", Exp_privacy.e3);
+    ("e4", Exp_privacy.e4);
+    ("e5", Exp_query.e5);
+    ("e6", Exp_query.e6);
+    ("e7", Exp_query.e7);
+    ("e8", Exp_privacy.e8);
+    ("e9", Exp_extensions.e9);
+    ("e10", Exp_extensions.e10);
+    ("e11", Exp_extensions.e11);
+    ("e12", Exp_extensions.e12);
+    ("a1", Exp_extensions.a1);
+    ("a2", Exp_extensions.a2);
+    ("a3", Exp_extensions.a3);
+    ("bechamel", Bech.run);
+  ]
+
+let () =
+  let args =
+    Array.to_list Sys.argv |> List.tl
+    |> List.map String.lowercase_ascii
+  in
+  match args with
+  | [] ->
+      print_endline
+        "wfpriv experiment harness: F1-F5 (paper figures), E1-E10 (challenge\n\
+         experiments), A1-A2 (ablations), bechamel (micro-benchmarks).\n\
+         Running everything.";
+      List.iter (fun (_, f) -> f ()) experiments
+  | ids ->
+      List.iter
+        (fun id ->
+          match List.assoc_opt id experiments with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown experiment %S; known: %s\n" id
+                (String.concat ", " (List.map fst experiments));
+              exit 1)
+        ids

@@ -1,0 +1,46 @@
+(* Shared helpers for the experiment harness: timing, table rendering. *)
+
+let time_ms f =
+  let t0 = Sys.time () in
+  let r = f () in
+  let t1 = Sys.time () in
+  (r, (t1 -. t0) *. 1000.0)
+
+(* Repeat a thunk until ~[budget_ms] of CPU time is spent (at least once)
+   and report the mean per-run milliseconds. *)
+let bench_ms ?(budget_ms = 50.0) f =
+  let t0 = Sys.time () in
+  let rec go n =
+    ignore (f ());
+    let elapsed = (Sys.time () -. t0) *. 1000.0 in
+    if elapsed < budget_ms then go (n + 1) else (n, elapsed)
+  in
+  let n, elapsed = go 1 in
+  elapsed /. float_of_int n
+
+let heading title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+let subheading title = Printf.printf "\n-- %s --\n%!" title
+
+(* Fixed-width table printer: header row + rows of strings. *)
+let print_table header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let print_row row =
+    List.iteri
+      (fun c cell -> Printf.printf "%-*s  " (List.nth widths c) cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  flush stdout
+
+let fmt_f ?(digits = 2) x = Printf.sprintf "%.*f" digits x
+let fmt_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)

@@ -1,0 +1,425 @@
+(* wfpriv — command-line tool over the privacy-aware workflow library.
+
+   Operates on the built-in workloads (the paper's disease-susceptibility
+   workflow, or seeded synthetic specifications), exposing views,
+   executions, provenance, privacy transformations and search from the
+   shell. Run `wfpriv --help` for the command list. *)
+
+open Cmdliner
+open Wfpriv_workflow
+open Wfpriv_privacy
+open Wfpriv_query
+module Disease = Wfpriv_workloads.Disease
+module Synthetic = Wfpriv_workloads.Synthetic
+module Rng = Wfpriv_workloads.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Workload selection *)
+
+type workload = { spec : Spec.t; run : unit -> Execution.t }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Specs loaded from files get synthetic hash-based semantics so `run`
+   and `query` still work on them. *)
+let workload_of_spec seed spec =
+  {
+    spec;
+    run =
+      (fun () ->
+        Executor.run spec (Synthetic.semantics spec)
+          ~inputs:(Synthetic.inputs_for spec ~seed));
+  }
+
+let load_workload ?file name seed =
+  match file with
+  | Some path when Filename.check_suffix path ".json" ->
+      workload_of_spec seed (Wfpriv_serial.Spec_codec.of_string (read_file path))
+  | Some path -> workload_of_spec seed (Wfpriv_serial.Wfdsl.parse (read_file path))
+  | None -> (
+      match name with
+      | "disease" -> { spec = Disease.spec; run = Disease.run }
+      | "synthetic" ->
+          workload_of_spec seed
+            (Synthetic.spec (Rng.create seed) Synthetic.default_params)
+      | other -> failwith (Printf.sprintf "unknown workload %S" other))
+
+let workload_arg =
+  Arg.(
+    value
+    & opt string "disease"
+    & info [ "w"; "workload" ] ~docv:"NAME"
+        ~doc:"Workload: $(b,disease) (the paper's Fig. 1) or $(b,synthetic).")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "f"; "file" ] ~docv:"FILE"
+        ~doc:"Load the specification from FILE instead of a built-in \
+              workload: .json (Spec_codec) or the textual .wf language \
+              (Wfdsl).")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for synthetic workloads.")
+
+let level_arg =
+  Arg.(
+    value
+    & opt int max_int
+    & info [ "l"; "level" ] ~docv:"LEVEL"
+        ~doc:"Privilege level of the caller (default: unlimited).")
+
+let dot_arg =
+  Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of text.")
+
+let prefix_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "p"; "prefix" ] ~docv:"W1,W2"
+        ~doc:"Comma-separated hierarchy prefix; default: full expansion.")
+
+let parse_prefix spec = function
+  | None -> Spec.workflow_ids spec
+  | Some s -> String.split_on_char ',' s |> List.map String.trim
+
+(* Demo privilege assignment: deeper workflows need higher levels. *)
+let demo_privilege spec =
+  let h = Hierarchy.of_spec spec in
+  Privilege.make spec
+    (Spec.workflow_ids spec
+    |> List.filter (fun w -> w <> Spec.root spec)
+    |> List.map (fun w -> (w, Hierarchy.depth h w)))
+
+(* ------------------------------------------------------------------ *)
+(* Commands *)
+
+let show file workload seed prefix dot =
+  let { spec; _ } = load_workload ?file workload seed in
+  let view = View.of_prefix spec (parse_prefix spec prefix) in
+  if dot then print_string (View.to_dot view)
+  else Format.printf "%a@." View.pp view
+
+let hierarchy file workload seed =
+  let { spec; _ } = load_workload ?file workload seed in
+  let h = Hierarchy.of_spec spec in
+  Format.printf "%a@." Hierarchy.pp h;
+  Printf.printf "prefixes: %d\n" (Hierarchy.nb_prefixes h)
+
+let run_cmd file workload seed prefix dot =
+  let wl = load_workload ?file workload seed in
+  let exec = wl.run () in
+  let ev = Exec_view.of_prefix exec (parse_prefix wl.spec prefix) in
+  if dot then print_string (Exec_view.to_dot ev)
+  else Format.printf "%a@." Exec_view.pp ev
+
+let provenance file workload seed data =
+  let wl = load_workload ?file workload seed in
+  let exec = wl.run () in
+  let p = Provenance.of_data exec data in
+  Format.printf "%a@." Provenance.pp p;
+  Printf.printf "lineage: %s\n"
+    (String.concat ", " (List.map Ids.data_name (Provenance.lineage exec data)));
+  Printf.printf "impacts: %s\n"
+    (String.concat ", " (List.map Ids.data_name (Provenance.impacted exec data)))
+
+let search file workload seed level keywords specific provenance =
+  let wl = load_workload ?file workload seed in
+  let spec = wl.spec in
+  let privilege = demo_privilege spec in
+  let level = if level = max_int then 99 else level in
+  if provenance then begin
+    (* Search an execution of the workload instead of its specification. *)
+    let exec = wl.run () in
+    let admissible = function
+      | Exec_search.Module_witness n -> (
+          match Execution.module_of_node exec n with
+          | Some m -> Privilege.min_level_to_see privilege m <= level
+          | None -> true)
+      | Exec_search.Data_witness _ -> true
+    in
+    match Exec_search.search ~restrict_to:admissible exec keywords with
+    | None -> Printf.printf "no provenance match at level %d\n" level
+    | Some a ->
+        List.iter
+          (fun (m : Exec_search.match_info) ->
+            Printf.printf "keyword %S: needs {%s}\n" m.Exec_search.keyword
+              (String.concat ", " m.Exec_search.required_prefix))
+          a.Exec_search.matches;
+        Format.printf "%a@." Exec_view.pp a.Exec_search.view
+  end
+  else begin
+    let visible m = Privilege.min_level_to_see privilege m <= level in
+    let strategy = if specific then `Specific else `Minimal in
+    match Keyword.search ~strategy ~restrict_to:visible spec keywords with
+    | None -> Printf.printf "no match at level %d\n" level
+    | Some a ->
+        List.iter
+          (fun (m : Keyword.match_info) ->
+            Printf.printf "keyword %S: witnesses %s\n" m.Keyword.keyword
+              (String.concat ", " (List.map Ids.module_name m.Keyword.witnesses)))
+          a.Keyword.matches;
+        let capped =
+          View.meet a.Keyword.view (Privilege.access_view privilege level)
+        in
+        Format.printf "%a@." View.pp capped
+  end
+
+let query file workload seed level query_src =
+  let wl = load_workload ?file workload seed in
+  let exec = wl.run () in
+  let privilege = demo_privilege wl.spec in
+  let level = if level = max_int then 99 else level in
+  let q = Query_parser.parse query_src in
+  let r = Secure_eval.on_the_fly privilege ~level exec q in
+  Printf.printf "%s at level %d: %b\n" (Query_ast.to_string q) level
+    r.Secure_eval.witness.Query_eval.holds
+
+let structural file workload seed src dst method_ =
+  let { spec; _ } = load_workload ?file workload seed in
+  let view = View.full spec in
+  let g = View.graph view in
+  let pair = (src, dst) in
+  match method_ with
+  | "deletion" ->
+      let r = Structural_privacy.hide_by_deletion g pair in
+      Printf.printf "delete: %s\n"
+        (String.concat ", "
+           (List.map
+              (fun (u, v) -> Ids.module_name u ^ "->" ^ Ids.module_name v)
+              r.Structural_privacy.cut));
+      Printf.printf "collateral facts lost: %d\n"
+        (List.length r.Structural_privacy.collateral)
+  | "clustering" ->
+      let r = Structural_privacy.hide_by_clustering g pair in
+      Printf.printf "cluster: {%s}\n"
+        (String.concat ", "
+           (List.map Ids.module_name r.Structural_privacy.cluster));
+      Printf.printf "spurious facts fabricated: %d\n"
+        (List.length r.Structural_privacy.spurious)
+  | m -> failwith (Printf.sprintf "unknown method %S (deletion|clustering)" m)
+
+let export file workload seed format =
+  let wl = load_workload ?file workload seed in
+  match format with
+  | "json" ->
+      print_string (Wfpriv_serial.Spec_codec.to_string ~pretty:true wl.spec);
+      print_newline ()
+  | "dsl" -> print_string (Wfpriv_serial.Wfdsl.print wl.spec)
+  | "dot" -> print_string (View.to_dot (View.full wl.spec))
+  | "exec-json" ->
+      print_string (Wfpriv_serial.Exec_codec.to_string ~pretty:true (wl.run ()));
+      print_newline ()
+  | other -> failwith (Printf.sprintf "unknown format %S (json|dsl|dot|exec-json)" other)
+
+(* ------------------------------------------------------------------ *)
+(* Repository commands *)
+
+let repo_init path =
+  let repo = Repository.create () in
+  let disease_policy =
+    Policy.make
+      ~expand_levels:[ ("W2", 1); ("W3", 2); ("W4", 3) ]
+      ~data_levels:[ ("disorders", 2); ("prognosis", 1) ]
+      Disease.spec
+  in
+  Repository.add repo ~name:"disease-susceptibility" ~policy:disease_policy
+    ~executions:[ Disease.run () ] ();
+  Repository.add repo ~name:"clinical-trial"
+    ~policy:Wfpriv_workloads.Clinical.policy
+    ~executions:[ Wfpriv_workloads.Clinical.run () ] ();
+  Wfpriv_store.Repo_store.save path repo;
+  Printf.printf "wrote %s (%d entries)\n" path (Repository.nb_entries repo)
+
+let repo_info path =
+  let repo = Wfpriv_store.Repo_store.load path in
+  List.iter
+    (fun name ->
+      let e = Repository.find repo name in
+      Printf.printf "%s: %d modules, %d workflows, %d stored runs, audit level %d\n"
+        name
+        (Spec.nb_modules e.Repository.spec)
+        (Spec.nb_workflows e.Repository.spec)
+        (List.length e.Repository.executions)
+        (Policy.audit_level e.Repository.policy))
+    (Repository.names repo)
+
+let repo_search path level keywords =
+  let repo = Wfpriv_store.Repo_store.load path in
+  let hits = Repository.keyword_search repo ~level keywords in
+  if hits = [] then Printf.printf "no hits at level %d\n" level
+  else
+    List.iter
+      (fun h ->
+        Printf.printf "%s (score %.2f), view {%s}\n" h.Repository.entry_name
+          h.Repository.score
+          (String.concat ", " (View.prefix h.Repository.answer.Keyword.view)))
+      hits
+
+let repo_prov_search path level keywords =
+  let repo = Wfpriv_store.Repo_store.load path in
+  let hits = Repository.provenance_search repo ~level keywords in
+  if hits = [] then Printf.printf "no hits at level %d\n" level
+  else
+    List.iter
+      (fun h ->
+        Printf.printf "%s run %d, view {%s}\n" h.Repository.prov_entry
+          h.Repository.run
+          (String.concat ", "
+             (Wfpriv_workflow.Exec_view.prefix
+                h.Repository.prov_answer.Exec_search.view)))
+      hits
+
+let repo_query path level entry query_src =
+  let repo = Wfpriv_store.Repo_store.load path in
+  let q = Query_parser.parse query_src in
+  List.iteri
+    (fun run w ->
+      Printf.printf "%s run %d at level %d: %b\n" entry run level
+        w.Query_eval.holds)
+    (Repository.structural_query repo ~level entry q)
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner plumbing *)
+
+let keywords_arg =
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"KEYWORD")
+
+let specific_arg =
+  Arg.(
+    value & flag
+    & info [ "specific" ]
+        ~doc:"Finest-witness answers (the paper's Fig. 5 shape) instead of \
+              minimal views.")
+
+let provenance_flag =
+  Arg.(
+    value & flag
+    & info [ "provenance" ]
+        ~doc:"Search an execution of the workload (provenance) instead of \
+              its specification.")
+
+let show_cmd =
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a specification view for a prefix")
+    Term.(const show $ file_arg $ workload_arg $ seed_arg $ prefix_arg $ dot_arg)
+
+let hierarchy_cmd =
+  Cmd.v
+    (Cmd.info "hierarchy" ~doc:"Print the expansion hierarchy")
+    Term.(const hierarchy $ file_arg $ workload_arg $ seed_arg)
+
+let run_cmd_ =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute the workflow and print the provenance view")
+    Term.(const run_cmd $ file_arg $ workload_arg $ seed_arg $ prefix_arg $ dot_arg)
+
+let prov_cmd =
+  let data =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"DATA_ID")
+  in
+  Cmd.v
+    (Cmd.info "provenance" ~doc:"Provenance / lineage / impact of a data item")
+    Term.(const provenance $ file_arg $ workload_arg $ seed_arg $ data)
+
+let search_cmd =
+  Cmd.v
+    (Cmd.info "search" ~doc:"Keyword search with privacy-capped answers")
+    Term.(
+      const search $ file_arg $ workload_arg $ seed_arg $ level_arg
+      $ keywords_arg $ specific_arg $ provenance_flag)
+
+let query_cmd =
+  let q =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:"Structural query, e.g. 'before(~\"Expand SNP\", ~\"OMIM\")'.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate a structural query at a level")
+    Term.(const query $ file_arg $ workload_arg $ seed_arg $ level_arg $ q)
+
+let structural_cmd =
+  let src = Arg.(required & pos 0 (some int) None & info [] ~docv:"SRC_ID") in
+  let dst = Arg.(required & pos 1 (some int) None & info [] ~docv:"DST_ID") in
+  let m =
+    Arg.(
+      value & opt string "deletion"
+      & info [ "m"; "method" ] ~docv:"METHOD" ~doc:"deletion or clustering")
+  in
+  Cmd.v
+    (Cmd.info "structural"
+       ~doc:"Hide a reachability fact by deletion or clustering")
+    Term.(const structural $ file_arg $ workload_arg $ seed_arg $ src $ dst $ m)
+
+let export_cmd =
+  let fmt =
+    Arg.(
+      value & opt string "dsl"
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: dsl, json, dot or exec-json.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Serialise the specification (or an execution)")
+    Term.(const export $ file_arg $ workload_arg $ seed_arg $ fmt)
+
+let repo_group =
+  let path p = Arg.(required & pos p (some string) None & info [] ~docv:"REPO_FILE") in
+  let lvl =
+    Arg.(
+      value & opt int 0
+      & info [ "l"; "level" ] ~docv:"LEVEL" ~doc:"Caller privilege level.")
+  in
+  let kws p = Arg.(non_empty & pos_right p string [] & info [] ~docv:"KEYWORD") in
+  let init =
+    Cmd.v
+      (Cmd.info "init" ~doc:"Write a demo repository (disease + clinical)")
+      Term.(const repo_init $ path 0)
+  in
+  let info_ =
+    Cmd.v (Cmd.info "info" ~doc:"Summarise a repository file")
+      Term.(const repo_info $ path 0)
+  in
+  let search =
+    Cmd.v
+      (Cmd.info "search" ~doc:"Keyword search over specifications")
+      Term.(const repo_search $ path 0 $ lvl $ kws 0)
+  in
+  let prov =
+    Cmd.v
+      (Cmd.info "prov-search" ~doc:"Keyword search over stored executions")
+      Term.(const repo_prov_search $ path 0 $ lvl $ kws 0)
+  in
+  let query =
+    let entry = Arg.(required & pos 1 (some string) None & info [] ~docv:"ENTRY") in
+    let q = Arg.(required & pos 2 (some string) None & info [] ~docv:"QUERY") in
+    Cmd.v
+      (Cmd.info "query" ~doc:"Structural query against stored executions")
+      Term.(const repo_query $ path 0 $ lvl $ entry $ q)
+  in
+  Cmd.group
+    (Cmd.info "repo" ~doc:"Operate on persisted repositories")
+    [ init; info_; search; prov; query ]
+
+let () =
+  let info =
+    Cmd.info "wfpriv" ~version:"1.0.0"
+      ~doc:"Privacy-aware provenance workflow toolkit (CIDR 2011 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            show_cmd; hierarchy_cmd; run_cmd_; prov_cmd; search_cmd; query_cmd;
+            structural_cmd; export_cmd; repo_group;
+          ]))

@@ -1,0 +1,98 @@
+type t = { mutable words : int array; cap : int }
+
+let bits_per_word = 63 (* OCaml native ints hold 63 usable bits on 64-bit *)
+
+let create cap =
+  if cap < 0 then invalid_arg "Bitset.create: negative capacity";
+  let nwords = (cap + bits_per_word - 1) / bits_per_word in
+  { words = Array.make (max nwords 1) 0; cap }
+
+let capacity s = s.cap
+
+let check s i op =
+  if i < 0 || i >= s.cap then
+    invalid_arg (Printf.sprintf "Bitset.%s: index %d out of [0,%d)" op i s.cap)
+
+let add s i =
+  check s i "add";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) <- s.words.(w) lor (1 lsl b)
+
+let remove s i =
+  check s i "remove";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl b)
+
+let mem s i =
+  check s i "mem";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) land (1 lsl b) <> 0
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+let copy s = { words = Array.copy s.words; cap = s.cap }
+let clear s = Array.fill s.words 0 (Array.length s.words) 0
+
+let check_same_cap a b op =
+  if a.cap <> b.cap then
+    invalid_arg (Printf.sprintf "Bitset.%s: capacity mismatch (%d vs %d)" op a.cap b.cap)
+
+let union_into ~dst src =
+  check_same_cap dst src "union_into";
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) lor src.words.(w)
+  done
+
+let inter_into ~dst src =
+  check_same_cap dst src "inter_into";
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) land src.words.(w)
+  done
+
+let diff_into ~dst src =
+  check_same_cap dst src "diff_into";
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) land lnot src.words.(w)
+  done
+
+let equal a b = a.cap = b.cap && a.words = b.words
+
+let subset a b =
+  check_same_cap a b "subset";
+  let ok = ref true in
+  for w = 0 to Array.length a.words - 1 do
+    if a.words.(w) land lnot b.words.(w) <> 0 then ok := false
+  done;
+  !ok
+
+let iter f s =
+  for w = 0 to Array.length s.words - 1 do
+    let word = s.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list cap xs =
+  let s = create cap in
+  List.iter (add s) xs;
+  s
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       Format.pp_print_int)
+    (elements s)

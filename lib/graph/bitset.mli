@@ -1,0 +1,64 @@
+(** Dense, fixed-capacity bit sets over the integer universe [0, capacity).
+
+    Used as rows of transitive-closure matrices and as compact node sets in
+    reachability computations, where the node universe is known up front.
+    All operations besides {!copy}, {!union} and {!inter} are constant-time
+    or linear in the number of 63-bit words. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is the empty set able to hold elements
+    [0 .. capacity - 1]. Raises [Invalid_argument] if [capacity < 0]. *)
+
+val capacity : t -> int
+(** Number of elements the set can hold. *)
+
+val add : t -> int -> unit
+(** [add s i] inserts [i]. Raises [Invalid_argument] if [i] is out of
+    range. *)
+
+val remove : t -> int -> unit
+(** [remove s i] deletes [i]; no-op when absent. *)
+
+val mem : t -> int -> bool
+(** Membership test. Raises [Invalid_argument] if out of range. *)
+
+val cardinal : t -> int
+(** Number of elements currently in the set. *)
+
+val is_empty : t -> bool
+
+val copy : t -> t
+
+val clear : t -> unit
+(** Remove every element. *)
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] adds every element of [src] to [dst]. The two sets
+    must have equal capacity. *)
+
+val inter_into : dst:t -> t -> unit
+(** [inter_into ~dst src] removes from [dst] elements absent from [src]. *)
+
+val diff_into : dst:t -> t -> unit
+(** [diff_into ~dst src] removes from [dst] every element of [src]. *)
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every element of [a] is in [b]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate elements in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over elements in increasing order. *)
+
+val elements : t -> int list
+(** Elements in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list capacity xs] is the set of [xs]. *)
+
+val pp : Format.formatter -> t -> unit

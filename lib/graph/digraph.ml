@@ -1,0 +1,123 @@
+module Int_set = Set.Make (Int)
+
+type t = {
+  succ : (int, Int_set.t) Hashtbl.t;
+  pred : (int, Int_set.t) Hashtbl.t;
+  mutable nb_edges : int;
+}
+
+let create ?(initial_capacity = 16) () =
+  {
+    succ = Hashtbl.create initial_capacity;
+    pred = Hashtbl.create initial_capacity;
+    nb_edges = 0;
+  }
+
+let mem_node g u = Hashtbl.mem g.succ u
+
+let add_node g u =
+  if u < 0 then invalid_arg "Digraph.add_node: negative id";
+  if not (mem_node g u) then begin
+    Hashtbl.replace g.succ u Int_set.empty;
+    Hashtbl.replace g.pred u Int_set.empty
+  end
+
+let succ_set g u =
+  match Hashtbl.find_opt g.succ u with
+  | Some s -> s
+  | None -> raise Not_found
+
+let pred_set g u =
+  match Hashtbl.find_opt g.pred u with
+  | Some s -> s
+  | None -> raise Not_found
+
+let mem_edge g u v =
+  match Hashtbl.find_opt g.succ u with
+  | Some s -> Int_set.mem v s
+  | None -> false
+
+let add_edge g u v =
+  add_node g u;
+  add_node g v;
+  if not (mem_edge g u v) then begin
+    Hashtbl.replace g.succ u (Int_set.add v (succ_set g u));
+    Hashtbl.replace g.pred v (Int_set.add u (pred_set g v));
+    g.nb_edges <- g.nb_edges + 1
+  end
+
+let remove_edge g u v =
+  if mem_edge g u v then begin
+    Hashtbl.replace g.succ u (Int_set.remove v (succ_set g u));
+    Hashtbl.replace g.pred v (Int_set.remove u (pred_set g v));
+    g.nb_edges <- g.nb_edges - 1
+  end
+
+let remove_node g u =
+  if mem_node g u then begin
+    Int_set.iter (fun v -> remove_edge g u v) (succ_set g u);
+    Int_set.iter (fun w -> remove_edge g w u) (pred_set g u);
+    Hashtbl.remove g.succ u;
+    Hashtbl.remove g.pred u
+  end
+
+let nb_nodes g = Hashtbl.length g.succ
+let nb_edges g = g.nb_edges
+let succ g u = Int_set.elements (succ_set g u)
+let pred g u = Int_set.elements (pred_set g u)
+let out_degree g u = Int_set.cardinal (succ_set g u)
+let in_degree g u = Int_set.cardinal (pred_set g u)
+
+let nodes g =
+  Hashtbl.fold (fun u _ acc -> u :: acc) g.succ [] |> List.sort compare
+
+let edges g =
+  Hashtbl.fold
+    (fun u s acc -> Int_set.fold (fun v acc -> (u, v) :: acc) s acc)
+    g.succ []
+  |> List.sort compare
+
+let iter_nodes f g = List.iter f (nodes g)
+let iter_edges f g = List.iter (fun (u, v) -> f u v) (edges g)
+let iter_succ f g u = Int_set.iter f (succ_set g u)
+let iter_pred f g u = Int_set.iter f (pred_set g u)
+let fold_nodes f g init = List.fold_left (fun acc u -> f u acc) init (nodes g)
+
+let fold_edges f g init =
+  List.fold_left (fun acc (u, v) -> f u v acc) init (edges g)
+
+let copy g =
+  { succ = Hashtbl.copy g.succ; pred = Hashtbl.copy g.pred; nb_edges = g.nb_edges }
+
+let transpose g =
+  { succ = Hashtbl.copy g.pred; pred = Hashtbl.copy g.succ; nb_edges = g.nb_edges }
+
+let sources g =
+  fold_nodes (fun u acc -> if in_degree g u = 0 then u :: acc else acc) g []
+  |> List.rev
+
+let sinks g =
+  fold_nodes (fun u acc -> if out_degree g u = 0 then u :: acc else acc) g []
+  |> List.rev
+
+let of_edges ?(nodes = []) edge_list =
+  let g = create () in
+  List.iter (add_node g) nodes;
+  List.iter (fun (u, v) -> add_edge g u v) edge_list;
+  g
+
+let induced g ~keep =
+  let h = create () in
+  iter_nodes (fun u -> if keep u then add_node h u) g;
+  iter_edges (fun u v -> if keep u && keep v then add_edge h u v) g;
+  h
+
+let equal a b = nodes a = nodes b && edges a = edges b
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>nodes: %a@,edges: %a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+    (nodes g)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf (u, v) ->
+         Format.fprintf ppf "%d->%d" u v))
+    (edges g)

@@ -1,0 +1,83 @@
+(** Mutable directed graphs over integer node identifiers.
+
+    This is the shared substrate for workflow specifications, execution
+    (provenance) graphs, views and the privacy transformations. Nodes are
+    arbitrary non-negative [int] identifiers assigned by the caller; edges
+    are unlabelled here (layers above keep their own [edge -> payload]
+    tables keyed by the [(src, dst)] pair).
+
+    Parallel edges are not represented: adding an existing edge is a no-op.
+    Self-loops are allowed by the structure (workflow layers reject them at
+    construction time). All query operations are O(degree) or better. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+(** Fresh empty graph. [initial_capacity] sizes internal tables. *)
+
+val add_node : t -> int -> unit
+(** Insert an isolated node; no-op when already present. Raises
+    [Invalid_argument] on negative ids. *)
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g u v] inserts edge [u -> v], inserting both endpoints as
+    needed. No-op when the edge already exists. *)
+
+val remove_edge : t -> int -> int -> unit
+(** Delete an edge; no-op when absent. *)
+
+val remove_node : t -> int -> unit
+(** Delete a node and all incident edges; no-op when absent. *)
+
+val mem_node : t -> int -> bool
+val mem_edge : t -> int -> int -> bool
+
+val nb_nodes : t -> int
+val nb_edges : t -> int
+
+val succ : t -> int -> int list
+(** Successors of a node in increasing order. Raises [Not_found] when the
+    node is absent. *)
+
+val pred : t -> int -> int list
+(** Predecessors in increasing order. Raises [Not_found] when absent. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val nodes : t -> int list
+(** All nodes in increasing order. *)
+
+val edges : t -> (int * int) list
+(** All edges, sorted lexicographically. *)
+
+val iter_nodes : (int -> unit) -> t -> unit
+val iter_edges : (int -> int -> unit) -> t -> unit
+val iter_succ : (int -> unit) -> t -> int -> unit
+val iter_pred : (int -> unit) -> t -> int -> unit
+
+val fold_nodes : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val copy : t -> t
+(** Deep, independent copy. *)
+
+val transpose : t -> t
+(** Graph with every edge reversed. *)
+
+val sources : t -> int list
+(** Nodes with in-degree 0, increasing order. *)
+
+val sinks : t -> int list
+(** Nodes with out-degree 0, increasing order. *)
+
+val of_edges : ?nodes:int list -> (int * int) list -> t
+(** Build from an edge list, plus optional extra isolated nodes. *)
+
+val induced : t -> keep:(int -> bool) -> t
+(** Subgraph induced by the nodes satisfying [keep]. *)
+
+val equal : t -> t -> bool
+(** Same node set and edge set. *)
+
+val pp : Format.formatter -> t -> unit

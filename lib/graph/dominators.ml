@@ -1,0 +1,86 @@
+type t = {
+  entry : int;
+  dom : (int, Bitset.t) Hashtbl.t; (* node -> dominator set (dense ids) *)
+  index_of : (int, int) Hashtbl.t;
+  node_of : int array;
+}
+
+let compute g ~entry =
+  if not (Digraph.mem_node g entry) then
+    invalid_arg "Dominators.compute: entry is not a node";
+  let node_of = Array.of_list (Digraph.nodes g) in
+  let n = Array.length node_of in
+  let index_of = Hashtbl.create n in
+  Array.iteri (fun i u -> Hashtbl.replace index_of u i) node_of;
+  (* Reverse post-order from the entry for fast convergence. *)
+  let order = ref [] in
+  let visited = Hashtbl.create n in
+  let rec dfs u =
+    if not (Hashtbl.mem visited u) then begin
+      Hashtbl.replace visited u ();
+      List.iter dfs (Digraph.succ g u);
+      order := u :: !order
+    end
+  in
+  dfs entry;
+  let rpo = !order in
+  let dom = Hashtbl.create n in
+  let full () =
+    let s = Bitset.create n in
+    List.iter (fun u -> Bitset.add s (Hashtbl.find index_of u)) rpo;
+    s
+  in
+  List.iter
+    (fun u ->
+      let s = if u = entry then Bitset.create n else full () in
+      if u = entry then Bitset.add s (Hashtbl.find index_of entry);
+      Hashtbl.replace dom u s)
+    rpo;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun u ->
+        if u <> entry then begin
+          let preds =
+            List.filter (fun p -> Hashtbl.mem visited p) (Digraph.pred g u)
+          in
+          let acc =
+            match preds with
+            | [] -> Bitset.create n (* only the entry has no reachable preds *)
+            | p :: rest ->
+                let s = Bitset.copy (Hashtbl.find dom p) in
+                List.iter (fun q -> Bitset.inter_into ~dst:s (Hashtbl.find dom q)) rest;
+                s
+          in
+          Bitset.add acc (Hashtbl.find index_of u);
+          if not (Bitset.equal acc (Hashtbl.find dom u)) then begin
+            Hashtbl.replace dom u acc;
+            changed := true
+          end
+        end)
+      rpo
+  done;
+  { entry; dom; index_of; node_of }
+
+let dominators t v =
+  match Hashtbl.find_opt t.dom v with
+  | None -> raise Not_found
+  | Some s -> List.map (fun i -> t.node_of.(i)) (Bitset.elements s) |> List.sort compare
+
+let dominates t d v =
+  match (Hashtbl.find_opt t.dom v, Hashtbl.find_opt t.index_of d) with
+  | Some s, Some i -> Bitset.mem s i
+  | _ -> false
+
+let strict_dominators t v = List.filter (fun d -> d <> v) (dominators t v)
+
+let immediate_dominator t v =
+  let strict = strict_dominators t v in
+  if v = t.entry then None
+  else begin
+    (* The strict dominator dominated by every other strict dominator. *)
+    List.find_opt
+      (fun d -> List.for_all (fun d' -> dominates t d' d) strict)
+      strict
+  end

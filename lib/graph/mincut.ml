@@ -1,0 +1,149 @@
+type weights = int * int -> int
+
+let uniform _ = 1
+
+(* Residual network as a hashtable of (u,v) -> residual capacity, seeded
+   with forward capacities and zero-capacity reverse arcs. *)
+type residual = {
+  cap : (int * int, int) Hashtbl.t;
+  adj : (int, int list) Hashtbl.t; (* residual adjacency, both directions *)
+}
+
+let build_residual g w =
+  let cap = Hashtbl.create 64 in
+  let adj = Hashtbl.create 64 in
+  let add_adj u v =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt adj u) in
+    if not (List.mem v cur) then Hashtbl.replace adj u (v :: cur)
+  in
+  Digraph.iter_edges
+    (fun u v ->
+      let c = w (u, v) in
+      if c <= 0 then
+        invalid_arg
+          (Printf.sprintf "Mincut: non-positive capacity on edge %d->%d" u v);
+      Hashtbl.replace cap (u, v)
+        (c + Option.value ~default:0 (Hashtbl.find_opt cap (u, v)));
+      if not (Hashtbl.mem cap (v, u)) then Hashtbl.replace cap (v, u) 0;
+      add_adj u v;
+      add_adj v u)
+    g;
+  { cap; adj }
+
+let residual_cap r u v = Option.value ~default:0 (Hashtbl.find_opt r.cap (u, v))
+
+(* BFS in the residual network; returns parent map if dst reached. *)
+let bfs r ~src ~dst =
+  let parent = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  Hashtbl.replace parent src src;
+  Queue.add src queue;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if (not (Hashtbl.mem parent v)) && residual_cap r u v > 0 then begin
+          Hashtbl.replace parent v u;
+          if v = dst then found := true else Queue.add v queue
+        end)
+      (List.sort compare (Option.value ~default:[] (Hashtbl.find_opt r.adj u)))
+  done;
+  if !found then Some parent else None
+
+let run_max_flow g w ~src ~dst =
+  if src = dst then invalid_arg "Mincut: src = dst";
+  if (not (Digraph.mem_node g src)) || not (Digraph.mem_node g dst) then
+    (build_residual g w, 0)
+  else begin
+    let r = build_residual g w in
+    let flow = ref 0 in
+    let rec augment () =
+      match bfs r ~src ~dst with
+      | None -> ()
+      | Some parent ->
+          (* bottleneck along the path *)
+          let rec bottleneck v acc =
+            if v = src then acc
+            else
+              let u = Hashtbl.find parent v in
+              bottleneck u (min acc (residual_cap r u v))
+          in
+          let b = bottleneck dst max_int in
+          let rec push v =
+            if v <> src then begin
+              let u = Hashtbl.find parent v in
+              Hashtbl.replace r.cap (u, v) (residual_cap r u v - b);
+              Hashtbl.replace r.cap (v, u) (residual_cap r v u + b);
+              push u
+            end
+          in
+          push dst;
+          flow := !flow + b;
+          augment ()
+    in
+    augment ();
+    (r, !flow)
+  end
+
+let max_flow g w ~src ~dst = snd (run_max_flow g w ~src ~dst)
+
+let min_cut g w ~src ~dst =
+  let r, _ = run_max_flow g w ~src ~dst in
+  if not (Digraph.mem_node g src) then []
+  else begin
+    (* Source side = nodes reachable from src in the final residual net. *)
+    let side = Hashtbl.create 16 in
+    let rec go u =
+      if not (Hashtbl.mem side u) then begin
+        Hashtbl.replace side u ();
+        List.iter
+          (fun v -> if residual_cap r u v > 0 then go v)
+          (Option.value ~default:[] (Hashtbl.find_opt r.adj u))
+      end
+    in
+    go src;
+    Digraph.fold_edges
+      (fun u v acc ->
+        if Hashtbl.mem side u && not (Hashtbl.mem side v) then (u, v) :: acc
+        else acc)
+      g []
+    |> List.sort compare
+  end
+
+let disconnects g cut ~src ~dst =
+  let h = Digraph.copy g in
+  List.iter (fun (u, v) -> Digraph.remove_edge h u v) cut;
+  not (Reachability.reaches h src dst)
+
+(* Node splitting: v becomes v_in = 2v -> v_out = 2v+1 with capacity 1;
+   original edges get effectively-infinite capacity, so min cuts only
+   ever cross split arcs. *)
+let min_vertex_cut g ~src ~dst =
+  if src = dst then invalid_arg "Mincut.min_vertex_cut: src = dst";
+  if (not (Digraph.mem_node g src)) || not (Digraph.mem_node g dst) then
+    Some []
+  else if Digraph.mem_edge g src dst then None
+  else begin
+    let infinite = 1 + Digraph.nb_nodes g in
+    let split = Digraph.create () in
+    Digraph.iter_nodes
+      (fun v ->
+        if v <> src && v <> dst then Digraph.add_edge split (2 * v) ((2 * v) + 1))
+      g;
+    Digraph.iter_edges
+      (fun u v ->
+        let u_out = if u = src || u = dst then 2 * u else (2 * u) + 1 in
+        let v_in = 2 * v in
+        Digraph.add_edge split u_out v_in)
+      g;
+    let weights (a, b) = if b = a + 1 && a mod 2 = 0 then 1 else infinite in
+    let cut = min_cut split weights ~src:(2 * src) ~dst:(2 * dst) in
+    if List.exists (fun e -> weights e >= infinite) cut then None
+    else Some (List.map (fun (a, _) -> a / 2) cut |> List.sort compare)
+  end
+
+let vertex_cut_disconnects g vertices ~src ~dst =
+  let h = Digraph.copy g in
+  List.iter (Digraph.remove_node h) vertices;
+  not (Reachability.reaches h src dst)

@@ -1,0 +1,39 @@
+(** Minimum s-t cuts on edge-weighted directed graphs.
+
+    Structural privacy by deletion — "remove edges so no path connects
+    module [u] to module [v]" while losing as little other provenance as
+    possible — is exactly a minimum s-t cut. Edge weights model the utility
+    of the dataflow link; unweighted cuts minimize the number of deleted
+    edges. Solved with Edmonds–Karp (BFS augmenting paths), adequate for
+    workflow-scale graphs. *)
+
+type weights = int * int -> int
+(** Capacity function over edges. Must be positive on every edge of the
+    graph; violations raise [Invalid_argument] during {!min_cut}. *)
+
+val uniform : weights
+(** Every edge has capacity 1: minimize the number of deleted edges. *)
+
+val max_flow : Digraph.t -> weights -> src:int -> dst:int -> int
+(** Value of a maximum [src]->[dst] flow. 0 when either node is absent or
+    [dst] unreachable. Raises [Invalid_argument] when [src = dst]. *)
+
+val min_cut : Digraph.t -> weights -> src:int -> dst:int -> (int * int) list
+(** A minimum-capacity set of edges whose removal disconnects [dst] from
+    [src], sorted lexicographically. Empty when already disconnected.
+    By max-flow/min-cut duality the returned set's total weight equals
+    [max_flow]. *)
+
+val disconnects : Digraph.t -> (int * int) list -> src:int -> dst:int -> bool
+(** [disconnects g cut ~src ~dst] checks that removing [cut] from [g]
+    leaves [dst] unreachable from [src] (validation helper). *)
+
+val min_vertex_cut : Digraph.t -> src:int -> dst:int -> int list option
+(** A minimum set of vertices (excluding [src] and [dst]) whose removal
+    disconnects [dst] from [src], sorted — via the standard node-splitting
+    reduction to edge min-cut. [Some []] when already disconnected;
+    [None] when no vertex cut exists (a direct [src -> dst] edge).
+    Raises [Invalid_argument] when [src = dst]. *)
+
+val vertex_cut_disconnects : Digraph.t -> int list -> src:int -> dst:int -> bool
+(** Validation helper for {!min_vertex_cut}. *)

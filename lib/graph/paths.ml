@@ -1,0 +1,91 @@
+let shortest g ~src ~dst =
+  if (not (Digraph.mem_node g src)) || not (Digraph.mem_node g dst) then None
+  else begin
+    let parent = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    Hashtbl.replace parent src src;
+    Queue.add src queue;
+    let found = ref (src = dst) in
+    while (not !found) && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem parent v) then begin
+            Hashtbl.replace parent v u;
+            if v = dst then found := true;
+            Queue.add v queue
+          end)
+        (Digraph.succ g u)
+    done;
+    if not (Hashtbl.mem parent dst) then None
+    else begin
+      let rec build v acc =
+        if v = src then src :: acc else build (Hashtbl.find parent v) (v :: acc)
+      in
+      Some (build dst [])
+    end
+  end
+
+let distance g ~src ~dst =
+  Option.map (fun p -> List.length p - 1) (shortest g ~src ~dst)
+
+let require_dag g op =
+  if not (Topo.is_dag g) then
+    invalid_arg (Printf.sprintf "Paths.%s: graph is cyclic" op)
+
+let saturating_add a b = if a > max_int - b then max_int else a + b
+
+let count_paths g ~src ~dst =
+  require_dag g "count_paths";
+  if (not (Digraph.mem_node g src)) || not (Digraph.mem_node g dst) then 0
+  else begin
+    (* counts.(u) = #paths u ~> dst, computed by memoized recursion. *)
+    let memo = Hashtbl.create 16 in
+    let rec count u =
+      match Hashtbl.find_opt memo u with
+      | Some c -> c
+      | None ->
+          let c =
+            if u = dst then 1
+            else
+              List.fold_left
+                (fun acc v -> saturating_add acc (count v))
+                0 (Digraph.succ g u)
+          in
+          Hashtbl.replace memo u c;
+          c
+    in
+    count src
+  end
+
+let enumerate ?(limit = 100) g ~src ~dst =
+  require_dag g "enumerate";
+  if (not (Digraph.mem_node g src)) || not (Digraph.mem_node g dst) then []
+  else begin
+    let results = ref [] and n = ref 0 in
+    let rec go u prefix =
+      if !n < limit then
+        if u = dst then begin
+          results := List.rev (dst :: prefix) :: !results;
+          incr n
+        end
+        else List.iter (fun v -> go v (u :: prefix)) (Digraph.succ g u)
+    in
+    go src [];
+    List.rev !results
+  end
+
+let longest_path_length g =
+  require_dag g "longest_path_length";
+  let order = Topo.sort_exn g in
+  let depth = Hashtbl.create 16 in
+  List.iter
+    (fun u ->
+      let d =
+        List.fold_left
+          (fun acc p -> max acc (1 + Hashtbl.find depth p))
+          0 (Digraph.pred g u)
+      in
+      Hashtbl.replace depth u d)
+    order;
+  Hashtbl.fold (fun _ d acc -> max acc d) depth 0

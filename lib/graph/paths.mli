@@ -1,0 +1,28 @@
+(** Path queries: shortest paths and bounded path enumeration.
+
+    Used by the query engine ("was [Expand SNP Set] executed before
+    [Query OMIM]?" needs a witness path) and by the structural-privacy
+    analyses (counting distinct information-flow routes between modules). *)
+
+val shortest : Digraph.t -> src:int -> dst:int -> int list option
+(** [shortest g ~src ~dst] is the node sequence of a minimum-hop path from
+    [src] to [dst] (inclusive), or [None]. BFS; deterministic because
+    successors are explored in increasing order. [Some [src]] when
+    [src = dst]. *)
+
+val distance : Digraph.t -> src:int -> dst:int -> int option
+(** Hop count of {!shortest}. *)
+
+val count_paths : Digraph.t -> src:int -> dst:int -> int
+(** Number of distinct simple paths from [src] to [dst]. Only meaningful on
+    DAGs (raises [Invalid_argument] on cyclic input); linear in edges via
+    memoized topological sweep. Counts saturate at [max_int]. *)
+
+val enumerate : ?limit:int -> Digraph.t -> src:int -> dst:int -> int list list
+(** Up to [limit] (default 100) simple paths from [src] to [dst], each as a
+    node list, in lexicographic order. DAG-only ([Invalid_argument]
+    otherwise). *)
+
+val longest_path_length : Digraph.t -> int
+(** Length (in edges) of the longest path in a DAG — the workflow's depth.
+    Raises [Invalid_argument] on cyclic input; 0 for an empty graph. *)

@@ -1,0 +1,89 @@
+let dfs_from g u =
+  let visited = Hashtbl.create 16 in
+  let rec go u =
+    if not (Hashtbl.mem visited u) then begin
+      Hashtbl.replace visited u ();
+      Digraph.iter_succ go g u
+    end
+  in
+  if Digraph.mem_node g u then go u;
+  visited
+
+let reaches g u v =
+  if (not (Digraph.mem_node g u)) || not (Digraph.mem_node g v) then false
+  else Hashtbl.mem (dfs_from g u) v
+
+let reachable_from g u =
+  Hashtbl.fold (fun k () acc -> k :: acc) (dfs_from g u) []
+  |> List.sort compare
+
+let co_reachable g u = reachable_from (Digraph.transpose g) u
+
+let between g ~src ~dst =
+  let fwd = dfs_from g src in
+  let bwd = dfs_from (Digraph.transpose g) dst in
+  if Hashtbl.mem fwd dst then
+    Hashtbl.fold
+      (fun k () acc -> if Hashtbl.mem bwd k then k :: acc else acc)
+      fwd []
+    |> List.sort compare
+  else []
+
+type closure = {
+  index_of : (int, int) Hashtbl.t;
+  node_of : int array;
+  rows : Bitset.t array; (* rows.(i) = dense indices reachable from node i *)
+}
+
+let closure g =
+  let node_of = Array.of_list (Digraph.nodes g) in
+  let n = Array.length node_of in
+  let index_of = Hashtbl.create (max n 1) in
+  Array.iteri (fun i u -> Hashtbl.replace index_of u i) node_of;
+  let rows = Array.init n (fun _ -> Bitset.create n) in
+  let fill_row_via_dfs u =
+    let i = Hashtbl.find index_of u in
+    let visited = dfs_from g u in
+    Hashtbl.iter (fun v () -> Bitset.add rows.(i) (Hashtbl.find index_of v)) visited
+  in
+  (match Topo.sort g with
+  | Some order ->
+      (* Reverse topological order: a node's row is itself plus the union of
+         its successors' already-complete rows. *)
+      List.iter
+        (fun u ->
+          let i = Hashtbl.find index_of u in
+          Bitset.add rows.(i) i;
+          Digraph.iter_succ
+            (fun v ->
+              let j = Hashtbl.find index_of v in
+              Bitset.union_into ~dst:rows.(i) rows.(j))
+            g u)
+        (List.rev order)
+  | None -> Array.iter fill_row_via_dfs node_of);
+  { index_of; node_of; rows }
+
+let closure_reaches c u v =
+  match (Hashtbl.find_opt c.index_of u, Hashtbl.find_opt c.index_of v) with
+  | Some i, Some j -> Bitset.mem c.rows.(i) j
+  | _ -> false
+
+let closure_facts c =
+  let facts = ref [] in
+  Array.iteri
+    (fun i row ->
+      Bitset.iter
+        (fun j ->
+          if i <> j then facts := (c.node_of.(i), c.node_of.(j)) :: !facts)
+        row)
+    c.rows;
+  List.sort compare !facts
+
+let nb_facts c =
+  let total = ref 0 in
+  Array.iteri
+    (fun i row ->
+      let card = Bitset.cardinal row in
+      total := !total + card - (if Bitset.mem row i then 1 else 0))
+    c.rows;
+  !total

@@ -1,0 +1,41 @@
+(** Reachability queries and transitive closures.
+
+    Structural privacy is stated in terms of reachability facts ("module M
+    contributes to the data output by M′"), so this module provides both
+    one-off DFS queries and a bitset-matrix transitive closure used when a
+    whole graph's fact set must be compared against a view's. *)
+
+val reaches : Digraph.t -> int -> int -> bool
+(** [reaches g u v] is [true] iff there is a (possibly empty) path
+    [u -> ... -> v]. [reaches g u u = true] whenever [u] is a node. *)
+
+val reachable_from : Digraph.t -> int -> int list
+(** Nodes reachable from [u] (including [u]), increasing order. *)
+
+val co_reachable : Digraph.t -> int -> int list
+(** Nodes that can reach [u] (including [u]), increasing order. *)
+
+val between : Digraph.t -> src:int -> dst:int -> int list
+(** Nodes lying on some path from [src] to [dst] (inclusive); empty when
+    [dst] is unreachable. This is the induced-node set of the provenance
+    subgraph between two nodes. *)
+
+type closure
+(** Transitive closure of a graph, supporting O(1) queries. *)
+
+val closure : Digraph.t -> closure
+(** Compute the full closure. O(V * E / 63) via bitset rows propagated in
+    reverse topological order (falls back to per-node DFS on cyclic
+    graphs). *)
+
+val closure_reaches : closure -> int -> int -> bool
+(** [closure_reaches c u v]: reflexive-transitive reachability. Nodes
+    absent from the closed graph are never related. *)
+
+val closure_facts : closure -> (int * int) list
+(** All ordered pairs [(u, v)], [u <> v], with [u] reaching [v]; sorted.
+    These are the "reachability facts" whose preservation defines view
+    utility and whose concealment defines structural privacy. *)
+
+val nb_facts : closure -> int
+(** [List.length (closure_facts c)] without materializing the list. *)

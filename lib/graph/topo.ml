@@ -1,0 +1,124 @@
+module Int_map = Map.Make (Int)
+
+(* Kahn's algorithm with a sorted-set frontier for a deterministic,
+   lexicographically-smallest order. *)
+let sort g =
+  let module S = Set.Make (Int) in
+  let indeg =
+    Digraph.fold_nodes (fun u m -> Int_map.add u (Digraph.in_degree g u) m) g
+      Int_map.empty
+  in
+  let frontier =
+    Int_map.fold (fun u d s -> if d = 0 then S.add u s else s) indeg S.empty
+  in
+  let rec loop frontier indeg acc n =
+    match S.min_elt_opt frontier with
+    | None -> if n = Digraph.nb_nodes g then Some (List.rev acc) else None
+    | Some u ->
+        let frontier = S.remove u frontier in
+        let frontier, indeg =
+          List.fold_left
+            (fun (frontier, indeg) v ->
+              let d = Int_map.find v indeg - 1 in
+              let indeg = Int_map.add v d indeg in
+              if d = 0 then (S.add v frontier, indeg) else (frontier, indeg))
+            (frontier, indeg) (Digraph.succ g u)
+        in
+        loop frontier indeg (u :: acc) (n + 1)
+  in
+  loop frontier indeg [] 0
+
+let sort_exn g =
+  match sort g with
+  | Some order -> order
+  | None -> invalid_arg "Topo.sort_exn: graph has a cycle"
+
+let is_dag g = Option.is_some (sort g)
+
+(* Iterative DFS with colouring; returns the cycle found via back edge. *)
+let find_cycle g =
+  let color = Hashtbl.create 16 in
+  (* 0 absent/white, 1 grey, 2 black *)
+  let parent = Hashtbl.create 16 in
+  let result = ref None in
+  let rec dfs u =
+    Hashtbl.replace color u 1;
+    List.iter
+      (fun v ->
+        if !result = None then
+          match Hashtbl.find_opt color v with
+          | Some 1 ->
+              (* back edge u -> v: cycle is v ... u *)
+              let rec collect w acc =
+                if w = v then v :: acc
+                else collect (Hashtbl.find parent w) (w :: acc)
+              in
+              result := Some (collect u [])
+          | Some _ -> ()
+          | None ->
+              Hashtbl.replace parent v u;
+              dfs v)
+      (Digraph.succ g u);
+    Hashtbl.replace color u 2
+  in
+  List.iter
+    (fun u -> if !result = None && not (Hashtbl.mem color u) then dfs u)
+    (Digraph.nodes g);
+  !result
+
+(* Tarjan's SCC, iterative to survive deep graphs. *)
+let scc g =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (Digraph.succ g v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      components := List.sort compare (pop []) :: !components
+    end
+  in
+  List.iter
+    (fun v -> if not (Hashtbl.mem index v) then strongconnect v)
+    (Digraph.nodes g);
+  List.rev !components
+
+let condensation g =
+  let comps = scc g in
+  let comp_of = Hashtbl.create 16 in
+  List.iteri
+    (fun i comp -> List.iter (fun v -> Hashtbl.replace comp_of v i) comp)
+    comps;
+  let dag = Digraph.create () in
+  List.iteri (fun i _ -> Digraph.add_node dag i) comps;
+  Digraph.iter_edges
+    (fun u v ->
+      let cu = Hashtbl.find comp_of u and cv = Hashtbl.find comp_of v in
+      if cu <> cv then Digraph.add_edge dag cu cv)
+    g;
+  (dag, fun v -> Hashtbl.find comp_of v)

@@ -1,0 +1,28 @@
+(** Topological ordering, cycle detection and strongly connected components.
+
+    Workflow specifications and executions are DAGs; these checks enforce
+    the invariant at construction time, and SCCs are used when repairing
+    clustered (composite) views that would otherwise create cycles. *)
+
+val sort : Digraph.t -> int list option
+(** [sort g] is [Some order] listing every node so that each edge goes from
+    an earlier to a later node, or [None] when [g] is cyclic. The order is
+    deterministic: Kahn's algorithm with a min-priority frontier, so among
+    all valid orders the lexicographically smallest is returned. *)
+
+val sort_exn : Digraph.t -> int list
+(** Like {!sort} but raises [Invalid_argument] on a cyclic graph. *)
+
+val is_dag : Digraph.t -> bool
+
+val find_cycle : Digraph.t -> int list option
+(** [find_cycle g] is [Some [v1; ...; vk]] with edges [v1->v2->...->vk->v1]
+    when [g] has a cycle, else [None]. *)
+
+val scc : Digraph.t -> int list list
+(** Strongly connected components (Tarjan), each sorted increasingly, the
+    list in reverse topological order of the condensation. *)
+
+val condensation : Digraph.t -> Digraph.t * (int -> int)
+(** [condensation g] is the DAG of SCCs plus the mapping from original node
+    to its component id (components numbered by {!scc} position). *)

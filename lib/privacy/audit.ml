@@ -1,0 +1,111 @@
+open Wfpriv_workflow
+
+let visible_indices attrs hidden =
+  List.mapi (fun i (a : Module_privacy.attr) -> (i, a)) attrs
+  |> List.filter_map (fun (i, a) ->
+         if List.mem a.Module_privacy.attr_name hidden then None else Some i)
+
+let project indices tuple = Array.of_list (List.map (fun i -> tuple.(i)) indices)
+
+let tuple_compare a b =
+  let n = Array.length a and m = Array.length b in
+  if n <> m then compare n m
+  else begin
+    let rec go i =
+      if i = n then 0
+      else
+        let c = Data_value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
+
+module Tuple_map = Map.Make (struct
+  type t = Data_value.t array
+
+  let compare = tuple_compare
+end)
+
+type observation = {
+  hidden : string list;
+  nb_runs : int;
+  seen : Data_value.t array list Tuple_map.t; (* vis_in -> distinct vis_outs *)
+}
+
+let observe table ~hidden inputs_list =
+  let vi = visible_indices (Module_privacy.inputs table) hidden in
+  let vo = visible_indices (Module_privacy.outputs table) hidden in
+  let seen =
+    List.fold_left
+      (fun acc x ->
+        let y = Module_privacy.lookup table x in
+        let kx = project vi x and ky = project vo y in
+        let cur = Option.value ~default:[] (Tuple_map.find_opt kx acc) in
+        if List.exists (fun k -> tuple_compare k ky = 0) cur then acc
+        else Tuple_map.add kx (ky :: cur) acc)
+      Tuple_map.empty inputs_list
+  in
+  { hidden; nb_runs = List.length inputs_list; seen }
+
+type assessment = {
+  runs : int;
+  domain_size : int;
+  pinned : int;
+  confident_wrong : int;
+  min_candidates : int;
+  recovered_fraction : float;
+}
+
+let full_domain attrs =
+  List.fold_left
+    (fun acc (a : Module_privacy.attr) ->
+      List.concat_map
+        (fun tuple -> List.map (fun v -> tuple @ [ v ]) a.Module_privacy.domain)
+        acc)
+    [ [] ] attrs
+  |> List.map Array.of_list
+
+let assess table obs =
+  let vi = visible_indices (Module_privacy.inputs table) obs.hidden in
+  let vo = visible_indices (Module_privacy.outputs table) obs.hidden in
+  let hidden_out_product =
+    List.fold_left
+      (fun acc (a : Module_privacy.attr) ->
+        if List.mem a.Module_privacy.attr_name obs.hidden then
+          acc * List.length a.Module_privacy.domain
+        else acc)
+      1 (Module_privacy.outputs table)
+  in
+  let domain = full_domain (Module_privacy.inputs table) in
+  let runs = obs.nb_runs in
+  let pinned, confident_wrong, min_candidates =
+    List.fold_left
+      (fun (pinned, wrong, mc) x ->
+        let kx = project vi x in
+        match Tuple_map.find_opt kx obs.seen with
+        | None -> (pinned, wrong, mc) (* unconstrained input *)
+        | Some outs ->
+            let candidates = List.length outs * hidden_out_product in
+            if candidates = 1 then begin
+              (* No hidden output attribute and one visible output group:
+                 the adversary's single guess is that group's tuple. *)
+              let guess = List.hd outs in
+              let truth = project vo (Module_privacy.lookup table x) in
+              if tuple_compare guess truth = 0 then (pinned + 1, wrong, 1)
+              else (pinned, wrong + 1, 1)
+            end
+            else (pinned, wrong, min mc candidates))
+      (0, 0, max_int) domain
+  in
+  let domain_size = List.length domain in
+  {
+    runs;
+    domain_size;
+    pinned;
+    confident_wrong;
+    min_candidates = (if min_candidates = max_int then 0 else min_candidates);
+    recovered_fraction = float_of_int pinned /. float_of_int domain_size;
+  }
+
+let recovered_fraction table ~hidden inputs_list =
+  (assess table (observe table ~hidden inputs_list)).recovered_fraction

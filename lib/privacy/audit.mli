@@ -1,0 +1,58 @@
+(** Adversary simulation: empirical validation of module privacy
+    (paper Sec. 3: the guarantee must hold "over repeated executions of a
+    workflow with varied inputs").
+
+    The adversary watches [k] executions of a module on (distinct or
+    repeated) inputs, seeing only the visible attributes of each run, and
+    then tries to predict the module's output on {e every} input of the
+    domain. {!observe} accumulates the visible relation; {!assess}
+    measures how much of the function the adversary pins down. With an
+    empty hidden set the adversary recovers exactly the observed rows;
+    with a Γ-safe hidden set the candidate set for every input stays
+    ≥ Γ — the property experiment E8 demonstrates. *)
+
+type observation
+(** The adversary's accumulated knowledge about one module. *)
+
+val observe :
+  Module_privacy.table ->
+  hidden:string list ->
+  Wfpriv_workflow.Data_value.t array list ->
+  observation
+(** Run the module on each listed input tuple and record the visible
+    projection of each run. *)
+
+type assessment = {
+  runs : int;  (** executions observed *)
+  domain_size : int;  (** inputs in the module's full domain *)
+  pinned : int;
+      (** inputs whose candidate-output set is a singleton {e and} equal to
+          the true output — the adversary knows the output exactly *)
+  confident_wrong : int;
+      (** inputs with a singleton candidate set that is {e not} the true
+          output: the over-confident adversary guesses, and is wrong
+          (possible only under partial observation) *)
+  min_candidates : int;
+      (** the worst-case candidate-set size over inputs with at least one
+          compatible observation — the empirical Γ (domain inputs with no
+          compatible observation are unconstrained and excluded) *)
+  recovered_fraction : float;  (** pinned / domain_size *)
+}
+
+val assess : Module_privacy.table -> observation -> assessment
+(** For each input of the full domain, compute the candidate outputs
+    consistent with the observations (same possible-worlds semantics as
+    {!Module_privacy.candidate_outputs}, but over the {e observed} visible
+    relation rather than the full table — i.e. an adversary who assumes
+    what they saw is everything). When the observations cover the whole
+    domain and the hidden set is Γ-safe, [min_candidates >= Γ] and
+    [pinned = confident_wrong = 0]; under partial observation the
+    over-confident adversary can pin inputs (sometimes wrongly), which is
+    exactly what experiment E8 charts. *)
+
+val recovered_fraction :
+  Module_privacy.table ->
+  hidden:string list ->
+  Wfpriv_workflow.Data_value.t array list ->
+  float
+(** Convenience: [assess] ∘ [observe], returning only the fraction. *)

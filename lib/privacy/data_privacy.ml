@@ -1,0 +1,63 @@
+open Wfpriv_workflow
+module Smap = Map.Make (String)
+
+type t = { levels : Privilege.level Smap.t; default_level : Privilege.level }
+
+let make ?(default_level = 0) assignments =
+  if default_level < 0 then invalid_arg "Data_privacy.make: negative level";
+  let levels =
+    List.fold_left
+      (fun acc (name, l) ->
+        if l < 0 then invalid_arg "Data_privacy.make: negative level";
+        if Smap.mem name acc then
+          invalid_arg
+            (Printf.sprintf "Data_privacy.make: duplicate name %S" name);
+        Smap.add name l acc)
+      Smap.empty assignments
+  in
+  { levels; default_level }
+
+let public = make []
+
+let required_level t name =
+  Option.value ~default:t.default_level (Smap.find_opt name t.levels)
+
+let readable t level name = required_level t name <= level
+
+type projection = {
+  exec : Execution.t;
+  classification : t;
+  level : Privilege.level;
+}
+
+let project classification level exec = { exec; classification; level }
+
+let value_of p d =
+  let item = Execution.find_item p.exec d in
+  if readable p.classification p.level item.Execution.name then
+    item.Execution.value
+  else Data_value.masked
+
+let is_masked p d =
+  let item = Execution.find_item p.exec d in
+  not (readable p.classification p.level item.Execution.name)
+
+let masked_items p =
+  List.filter_map
+    (fun (it : Execution.item) ->
+      if readable p.classification p.level it.name then None
+      else Some it.data_id)
+    (Execution.items p.exec)
+
+let visible_ratio p =
+  let total = Execution.nb_items p.exec in
+  if total = 0 then 1.0
+  else
+    let masked = List.length (masked_items p) in
+    float_of_int (total - masked) /. float_of_int total
+
+let sensitive_names t level =
+  Smap.fold
+    (fun name l acc -> if l > level then name :: acc else acc)
+    t.levels []
+  |> List.sort compare

@@ -1,0 +1,53 @@
+(** Data privacy: masking of (intermediate) data values (paper, Sec. 3).
+
+    Data items are classified by their {e name} (the dataflow label in the
+    specification — all items called [disorders] across all executions are
+    equally sensitive) and each name is assigned the privilege level
+    required to read the value. A user below that level still sees the
+    item's existence and id in their execution view — the graph shape is
+    governed by structural privacy, not here — but the value is replaced
+    by {!Wfpriv_workflow.Data_value.masked}.
+
+    A {!projection} bundles an execution with a user's level: the
+    read-API through which query evaluation sees values. *)
+
+type t
+(** Sensitivity classification: data name → required level. *)
+
+val make :
+  ?default_level:Privilege.level ->
+  (string * Privilege.level) list ->
+  t
+(** Unlisted names require [default_level] (default 0 = public). Raises
+    [Invalid_argument] on negative levels or duplicate names. *)
+
+val public : t
+(** Everything readable by everyone. *)
+
+val required_level : t -> string -> Privilege.level
+
+val readable : t -> Privilege.level -> string -> bool
+
+type projection = {
+  exec : Wfpriv_workflow.Execution.t;
+  classification : t;
+  level : Privilege.level;
+}
+
+val project : t -> Privilege.level -> Wfpriv_workflow.Execution.t -> projection
+
+val value_of : projection -> Wfpriv_workflow.Ids.data_id -> Wfpriv_workflow.Data_value.t
+(** The item's value, or [Data_value.masked] when the user's level is
+    insufficient. Raises [Not_found] on unknown ids. *)
+
+val is_masked : projection -> Wfpriv_workflow.Ids.data_id -> bool
+
+val masked_items : projection -> Wfpriv_workflow.Ids.data_id list
+(** Items whose value is hidden at this level, sorted. *)
+
+val visible_ratio : projection -> float
+(** Fraction of items whose value is readable (1.0 on an empty
+    execution). *)
+
+val sensitive_names : t -> Privilege.level -> string list
+(** Names not readable at the given level, sorted. *)

@@ -1,0 +1,33 @@
+open Wfpriv_workflow
+
+type query =
+  | Module_ran of Ids.module_id
+  | Data_flowed of string
+  | Ran_before of Ids.module_id * Ids.module_id
+
+let matches exec = function
+  | Module_ran m -> Execution.nodes_of_module exec m <> []
+  | Data_flowed name -> Execution.items_named exec name <> []
+  | Ran_before (m1, m2) -> Provenance.executed_before exec m1 m2
+
+let exact_count execs q =
+  List.length (List.filter (fun e -> matches e q) execs)
+
+let sensitivity _ = 1
+
+let laplace ~uniform ~scale =
+  if scale <= 0.0 then invalid_arg "Dp_count.laplace: scale <= 0";
+  (* Inverse CDF: u uniform in (-1/2, 1/2], noise = -scale*sgn(u)*ln(1-2|u|). *)
+  let u = uniform () -. 0.5 in
+  let sign = if u < 0.0 then -1.0 else 1.0 in
+  let magnitude = Float.max epsilon_float (1.0 -. (2.0 *. Float.abs u)) in
+  -.scale *. sign *. log magnitude
+
+let noisy_count ~uniform ~epsilon execs q =
+  if epsilon <= 0.0 then invalid_arg "Dp_count.noisy_count: epsilon <= 0";
+  let scale = float_of_int (sensitivity q) /. epsilon in
+  float_of_int (exact_count execs q) +. laplace ~uniform ~scale
+
+let expected_absolute_error ~epsilon =
+  if epsilon <= 0.0 then invalid_arg "Dp_count.expected_absolute_error";
+  1.0 /. epsilon

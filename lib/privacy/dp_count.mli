@@ -1,0 +1,44 @@
+(** Differentially private aggregate queries over execution collections.
+
+    The paper (Sec. 5) observes that differential privacy cannot protect
+    {e provenance itself} — noisy provenance breaks reproducibility — but
+    the classical DP mechanism fits the {e aggregate} questions a shared
+    repository also answers ("in how many runs did module M execute?",
+    "how often did data [disorders] flow?"). Counting queries over a set
+    of executions have sensitivity 1 (each run contributes 0 or 1), so
+    the Laplace mechanism with scale [1/ε] gives ε-differential privacy
+    per query.
+
+    Randomness is supplied by the caller as a uniform sampler so results
+    stay reproducible under seeded generators (no hidden global state). *)
+
+type query =
+  | Module_ran of Wfpriv_workflow.Ids.module_id
+      (** the module executed at least once in the run *)
+  | Data_flowed of string  (** an item with this name was produced *)
+  | Ran_before of Wfpriv_workflow.Ids.module_id * Wfpriv_workflow.Ids.module_id
+      (** first module preceded the second in the run's dataflow *)
+
+val matches : Wfpriv_workflow.Execution.t -> query -> bool
+
+val exact_count : Wfpriv_workflow.Execution.t list -> query -> int
+
+val sensitivity : query -> int
+(** Always 1: adding/removing one execution changes any count by ≤ 1. *)
+
+val laplace : uniform:(unit -> float) -> scale:float -> float
+(** One Laplace(0, scale) sample via inverse-CDF from a uniform draw in
+    [0, 1). Raises [Invalid_argument] when [scale <= 0]. *)
+
+val noisy_count :
+  uniform:(unit -> float) ->
+  epsilon:float ->
+  Wfpriv_workflow.Execution.t list ->
+  query ->
+  float
+(** ε-DP count: [exact + Laplace(sensitivity/ε)]. Raises
+    [Invalid_argument] when [epsilon <= 0]. *)
+
+val expected_absolute_error : epsilon:float -> float
+(** [E|noise| = sensitivity/ε] — the utility the mechanism promises, used
+    by experiment E9 to compare against measured error. *)

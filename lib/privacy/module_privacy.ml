@@ -1,0 +1,439 @@
+open Wfpriv_workflow
+
+type attr = { attr_name : string; domain : Data_value.t list }
+
+let attr name domain =
+  if domain = [] then
+    invalid_arg (Printf.sprintf "Module_privacy.attr %S: empty domain" name);
+  let sorted = List.sort_uniq Data_value.compare domain in
+  if List.length sorted <> List.length domain then
+    invalid_arg (Printf.sprintf "Module_privacy.attr %S: duplicate values" name);
+  { attr_name = name; domain }
+
+let int_attr name k =
+  if k <= 0 then invalid_arg "Module_privacy.int_attr: k must be positive";
+  attr name (List.init k (fun i -> Data_value.Int i))
+
+type table = {
+  module_id : Ids.module_id option;
+  t_inputs : attr list;
+  t_outputs : attr list;
+  t_rows : (Data_value.t array * Data_value.t array) list;
+}
+
+(* Cartesian product of the domains, in domain order (first attribute
+   slowest). *)
+let product attrs =
+  List.fold_left
+    (fun acc a ->
+      List.concat_map (fun tuple -> List.map (fun v -> tuple @ [ v ]) a.domain) acc)
+    [ [] ] attrs
+  |> List.map Array.of_list
+
+let tuple_compare a b =
+  let n = Array.length a and m = Array.length b in
+  if n <> m then compare n m
+  else begin
+    let rec go i =
+      if i = n then 0
+      else
+        let c = Data_value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
+
+module Tuple_map = Map.Make (struct
+  type t = Data_value.t array
+
+  let compare = tuple_compare
+end)
+
+let check_names inputs outputs =
+  let names = List.map (fun a -> a.attr_name) (inputs @ outputs) in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Module_privacy: duplicate attribute names"
+
+let check_in_domain attrs tuple what =
+  if Array.length tuple <> List.length attrs then
+    invalid_arg (Printf.sprintf "Module_privacy: %s tuple arity mismatch" what);
+  List.iteri
+    (fun i a ->
+      if not (List.exists (Data_value.equal tuple.(i)) a.domain) then
+        invalid_arg
+          (Printf.sprintf "Module_privacy: %s value %s outside domain of %S"
+             what
+             (Data_value.to_string tuple.(i))
+             a.attr_name))
+    attrs
+
+let make_table ?module_id ~inputs ~outputs row_list =
+  check_names inputs outputs;
+  List.iter
+    (fun (x, y) ->
+      check_in_domain inputs x "input";
+      check_in_domain outputs y "output")
+    row_list;
+  let by_input =
+    List.fold_left
+      (fun acc (x, y) ->
+        if Tuple_map.mem x acc then
+          invalid_arg "Module_privacy.make_table: duplicate input row"
+        else Tuple_map.add x y acc)
+      Tuple_map.empty row_list
+  in
+  let full = product inputs in
+  List.iter
+    (fun x ->
+      if not (Tuple_map.mem x by_input) then
+        invalid_arg "Module_privacy.make_table: input domain not covered")
+    full;
+  let t_rows = List.map (fun x -> (x, Tuple_map.find x by_input)) full in
+  { module_id; t_inputs = inputs; t_outputs = outputs; t_rows }
+
+let of_function ?module_id ~inputs ~outputs f =
+  check_names inputs outputs;
+  let rows =
+    List.map
+      (fun x ->
+        let y = f x in
+        check_in_domain outputs y "output";
+        (x, y))
+      (product inputs)
+  in
+  { module_id; t_inputs = inputs; t_outputs = outputs; t_rows = rows }
+
+let inputs t = t.t_inputs
+let outputs t = t.t_outputs
+let attr_names t = List.map (fun a -> a.attr_name) (t.t_inputs @ t.t_outputs)
+let rows t = t.t_rows
+let nb_rows t = List.length t.t_rows
+
+let lookup t x =
+  match List.find_opt (fun (x', _) -> tuple_compare x x' = 0) t.t_rows with
+  | Some (_, y) -> y
+  | None -> raise Not_found
+
+let check_hidden t hidden =
+  let names = attr_names t in
+  List.iter
+    (fun h ->
+      if not (List.mem h names) then
+        invalid_arg
+          (Printf.sprintf "Module_privacy: unknown hidden attribute %S" h))
+    hidden
+
+(* Indices of visible positions in a tuple, given attrs and hidden names. *)
+let visible_indices attrs hidden =
+  List.mapi (fun i a -> (i, a)) attrs
+  |> List.filter_map (fun (i, a) ->
+         if List.mem a.attr_name hidden then None else Some i)
+
+let project indices tuple = Array.of_list (List.map (fun i -> tuple.(i)) indices)
+
+(* Grouped view of the table under a hidden set:
+   vis_in -> set of distinct vis_out values appearing with it. *)
+let visible_groups t hidden =
+  let vi = visible_indices t.t_inputs hidden in
+  let vo = visible_indices t.t_outputs hidden in
+  let groups =
+    List.fold_left
+      (fun acc (x, y) ->
+        let kx = project vi x and ky = project vo y in
+        let cur = Option.value ~default:[] (Tuple_map.find_opt kx acc) in
+        if List.exists (fun k -> tuple_compare k ky = 0) cur then acc
+        else Tuple_map.add kx (ky :: cur) acc)
+      Tuple_map.empty t.t_rows
+  in
+  (vi, vo, groups)
+
+let hidden_output_product t hidden =
+  List.fold_left
+    (fun acc a ->
+      if List.mem a.attr_name hidden then acc * List.length a.domain else acc)
+    1 t.t_outputs
+
+let candidate_outputs t ~hidden x =
+  check_hidden t hidden;
+  let vi, _, groups = visible_groups t hidden in
+  let kx = project vi x in
+  let distinct_vis_outs =
+    match Tuple_map.find_opt kx groups with
+    | Some l -> List.length l
+    | None -> 0
+  in
+  distinct_vis_outs * hidden_output_product t hidden
+
+let privacy_level t ~hidden =
+  check_hidden t hidden;
+  let _, _, groups = visible_groups t hidden in
+  let h = hidden_output_product t hidden in
+  Tuple_map.fold
+    (fun _ outs acc -> min acc (List.length outs * h))
+    groups max_int
+
+let is_safe t ~hidden ~gamma = privacy_level t ~hidden >= gamma
+
+let max_achievable_gamma t =
+  List.fold_left (fun acc a -> acc * List.length a.domain) 1 t.t_outputs
+
+type weights = string -> int
+
+let unit_weights _ = 1
+
+let hiding_cost w names =
+  List.fold_left
+    (fun acc n ->
+      let c = w n in
+      if c <= 0 then
+        invalid_arg (Printf.sprintf "Module_privacy: non-positive weight for %S" n);
+      acc + c)
+    0 names
+
+(* Enumerate all subsets of [names] (as sorted lists), calling [safe] on
+   each, and return the minimum-cost safe one. *)
+let exact_search ~weights ~names ~safe =
+  let n = List.length names in
+  if n > 20 then
+    invalid_arg
+      (Printf.sprintf
+         "Module_privacy: exact search over %d attributes is infeasible; use \
+          the greedy variant"
+         n);
+  let arr = Array.of_list names in
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let subset =
+      List.filter_map
+        (fun i -> if mask land (1 lsl i) <> 0 then Some arr.(i) else None)
+        (List.init n Fun.id)
+    in
+    if safe subset then begin
+      let cost = hiding_cost weights subset in
+      let better =
+        match !best with
+        | None -> true
+        | Some (c, s) ->
+            cost < c
+            || (cost = c && List.length subset < List.length s)
+            || (cost = c && List.length subset = List.length s && subset < s)
+      in
+      if better then best := Some (cost, subset)
+    end
+  done;
+  Option.map snd !best
+
+(* Greedy: repeatedly add the attribute with the best gain/cost ratio on
+   log Γ; when stuck (no positive gain), add the cheapest remaining. *)
+let greedy_search ~weights ~names ~level ~gamma =
+  let rec grow hidden remaining =
+    if level hidden >= gamma then Some (List.sort compare hidden)
+    else
+      match remaining with
+      | [] -> None
+      | _ ->
+          let current = level hidden in
+          let scored =
+            List.map
+              (fun a ->
+                let gain =
+                  log (float_of_int (level (a :: hidden)))
+                  -. log (float_of_int current)
+                in
+                (a, gain /. float_of_int (weights a)))
+              remaining
+          in
+          let best_positive =
+            List.fold_left
+              (fun acc (a, r) ->
+                match acc with
+                | Some (_, r') when r' >= r -> acc
+                | _ when r > 0.0 -> Some (a, r)
+                | _ -> acc)
+              None scored
+          in
+          let pick =
+            match best_positive with
+            | Some (a, _) -> a
+            | None ->
+                (* No single attribute helps yet (correlated hiding):
+                   take the cheapest to make progress. *)
+                List.fold_left
+                  (fun best a ->
+                    if (weights a, a) < (weights best, best) then a else best)
+                  (List.hd remaining) (List.tl remaining)
+          in
+          grow (pick :: hidden) (List.filter (fun a -> a <> pick) remaining)
+  in
+  grow [] names
+
+(* Best-first subset enumeration in nondecreasing total cost via the
+   classic extend/replace-last scheme over attributes sorted by weight:
+   from subset S with greatest chosen index j, emit S ∪ {j+1} (extend)
+   and S \ {j} ∪ {j+1} (replace). Every subset is generated exactly
+   once, and a min-heap on cost yields them cheapest-first. *)
+module Subset_heap = struct
+  type entry = { cost : int; indices : int list (* descending *) }
+  type t = { mutable heap : entry array; mutable size : int }
+
+  let create () = { heap = Array.make 64 { cost = 0; indices = [] }; size = 0 }
+  let swap h i j =
+    let tmp = h.heap.(i) in
+    h.heap.(i) <- h.heap.(j);
+    h.heap.(j) <- tmp
+
+  let push h e =
+    if h.size = Array.length h.heap then begin
+      let bigger = Array.make (2 * h.size) e in
+      Array.blit h.heap 0 bigger 0 h.size;
+      h.heap <- bigger
+    end;
+    h.heap.(h.size) <- e;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && h.heap.((!i - 1) / 2).cost > h.heap.(!i).cost do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.heap.(0) in
+      h.size <- h.size - 1;
+      h.heap.(0) <- h.heap.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && h.heap.(l).cost < h.heap.(!smallest).cost then
+          smallest := l;
+        if r < h.size && h.heap.(r).cost < h.heap.(!smallest).cost then
+          smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+let ordered_search ~weights ~names ~safe =
+  let sorted =
+    List.sort compare (List.map (fun n -> (weights n, n)) names)
+    |> Array.of_list
+  in
+  let n = Array.length sorted in
+  let names_of indices =
+    List.map (fun i -> snd sorted.(i)) indices |> List.sort compare
+  in
+  let heap = Subset_heap.create () in
+  Subset_heap.push heap { Subset_heap.cost = 0; indices = [] };
+  let rec drain () =
+    match Subset_heap.pop heap with
+    | None -> None
+    | Some { Subset_heap.cost; indices } ->
+        if safe (names_of indices) then Some (names_of indices)
+        else begin
+          (match indices with
+          | [] ->
+              if n > 0 then
+                Subset_heap.push heap
+                  { Subset_heap.cost = fst sorted.(0); indices = [ 0 ] }
+          | j :: rest ->
+              if j + 1 < n then begin
+                Subset_heap.push heap
+                  {
+                    Subset_heap.cost = cost + fst sorted.(j + 1);
+                    indices = (j + 1) :: j :: rest;
+                  };
+                Subset_heap.push heap
+                  {
+                    Subset_heap.cost = cost - fst sorted.(j) + fst sorted.(j + 1);
+                    indices = (j + 1) :: rest;
+                  }
+              end);
+          drain ()
+        end
+  in
+  drain ()
+
+let ordered_subset_search ~weights ~names ~safe =
+  List.iter (fun n -> ignore (hiding_cost weights [ n ])) names;
+  ordered_search ~weights ~names ~safe
+
+let optimal_hiding_ordered ?(weights = unit_weights) t ~gamma =
+  ordered_subset_search ~weights ~names:(attr_names t) ~safe:(fun hidden ->
+      is_safe t ~hidden ~gamma)
+
+let optimal_hiding ?(weights = unit_weights) t ~gamma =
+  exact_search ~weights ~names:(attr_names t)
+    ~safe:(fun hidden -> is_safe t ~hidden ~gamma)
+
+let greedy_hiding ?(weights = unit_weights) t ~gamma =
+  greedy_search ~weights ~names:(attr_names t)
+    ~level:(fun hidden -> privacy_level t ~hidden)
+    ~gamma
+
+type network = {
+  tables : (Ids.module_id * table) list;
+  shared : (string * Ids.module_id list) list;
+}
+
+let make_network tables =
+  let shared = Hashtbl.create 16 in
+  List.iter
+    (fun (m, t) ->
+      List.iter
+        (fun n ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt shared n) in
+          Hashtbl.replace shared n (m :: cur))
+        (attr_names t))
+    tables;
+  let shared =
+    Hashtbl.fold (fun n ms acc -> (n, List.sort compare ms) :: acc) shared []
+    |> List.sort compare
+  in
+  { tables; shared }
+
+let network_attr_names net = List.map fst net.shared
+
+let restrict_hidden t hidden =
+  List.filter (fun h -> List.mem h (attr_names t)) hidden
+
+let network_privacy_level net ~hidden =
+  List.map
+    (fun (m, t) -> (m, privacy_level t ~hidden:(restrict_hidden t hidden)))
+    net.tables
+
+let network_is_safe net ~hidden ~gamma =
+  List.for_all (fun (_, l) -> l >= gamma) (network_privacy_level net ~hidden)
+
+let optimal_network_hiding ?(weights = unit_weights) net ~gamma =
+  exact_search ~weights ~names:(network_attr_names net)
+    ~safe:(fun hidden -> network_is_safe net ~hidden ~gamma)
+
+let greedy_network_hiding ?(weights = unit_weights) net ~gamma =
+  let level hidden =
+    List.fold_left
+      (fun acc (_, l) -> min acc l)
+      max_int
+      (network_privacy_level net ~hidden)
+  in
+  greedy_search ~weights ~names:(network_attr_names net) ~level ~gamma
+
+let pp_table ppf t =
+  let names = attr_names t in
+  Format.fprintf ppf "@[<v>%s@," (String.concat " | " names);
+  List.iter
+    (fun (x, y) ->
+      let cells =
+        Array.to_list (Array.map Data_value.to_string x)
+        @ Array.to_list (Array.map Data_value.to_string y)
+      in
+      Format.fprintf ppf "%s@," (String.concat " | " cells))
+    t.t_rows;
+  Format.fprintf ppf "@]"

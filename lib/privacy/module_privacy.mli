@@ -1,0 +1,165 @@
+(** Module privacy: Γ-privacy by hiding intermediate data
+    (paper Sec. 3; algorithmics reconstructed from the companion paper
+    arXiv:1005.5543, "Preserving module privacy in workflow provenance").
+
+    A module's behaviour is an explicit {e relation table}: one row per
+    point of its (finite) input domain, mapping an input tuple to an
+    output tuple. Publishing provenance for all executions reveals, for
+    every row, the values of the {e visible} attributes; the attributes in
+    the chosen hidden set [H] are masked in every execution.
+
+    The adversary's knowledge is the visible relation
+    [R_vis = { (vis_in(x), vis_out(f(x))) | x ∈ dom }]. A candidate
+    function [g] is {e consistent} when for every input [x],
+    [(vis_in(x), vis_out(g(x)))] belongs to [R_vis]. The possible outputs
+    for [x] are [OUT_x = { g(x) | g consistent }] — concretely, every
+    output tuple [y] whose visible part is paired with [vis_in(x)] in
+    [R_vis], with hidden output attributes ranging over their full
+    domains.
+
+    [H] is {e Γ-safe} when [|OUT_x| ≥ Γ] for every input [x]; the
+    guarantee holds over repeated executions with varied inputs because
+    hiding is by attribute, not by run. Since attributes (data) carry
+    utility weights, finding a minimum-weight Γ-safe [H] is the paper's
+    "interesting optimization problem": {!optimal_hiding} solves it
+    exactly (exponential in attribute count), {!greedy_hiding}
+    heuristically.
+
+    The workflow-level composition ({!network}) ties attributes of
+    different modules that name the same data item: hiding a data name
+    hides it for its producer and all its consumers, everywhere. *)
+
+type attr = {
+  attr_name : string;
+  domain : Wfpriv_workflow.Data_value.t list;  (** finite, non-empty, no duplicates *)
+}
+
+val attr : string -> Wfpriv_workflow.Data_value.t list -> attr
+(** Validates the domain (non-empty, duplicate-free). *)
+
+val int_attr : string -> int -> attr
+(** [int_attr name k] has domain [{0 .. k-1}]. *)
+
+type table
+(** A total function over the product of input domains. *)
+
+val make_table :
+  ?module_id:Wfpriv_workflow.Ids.module_id ->
+  inputs:attr list ->
+  outputs:attr list ->
+  (Wfpriv_workflow.Data_value.t array * Wfpriv_workflow.Data_value.t array) list ->
+  table
+(** Validates: attribute names unique across inputs and outputs; rows
+    cover the full input product exactly once; every value drawn from its
+    attribute's domain. Raises [Invalid_argument] otherwise. *)
+
+val of_function :
+  ?module_id:Wfpriv_workflow.Ids.module_id ->
+  inputs:attr list ->
+  outputs:attr list ->
+  (Wfpriv_workflow.Data_value.t array -> Wfpriv_workflow.Data_value.t array) ->
+  table
+(** Tabulate a function over the full input product. *)
+
+val inputs : table -> attr list
+val outputs : table -> attr list
+val attr_names : table -> string list
+(** Input then output attribute names. *)
+
+val rows : table ->
+  (Wfpriv_workflow.Data_value.t array * Wfpriv_workflow.Data_value.t array) list
+(** Rows in input-product order. *)
+
+val nb_rows : table -> int
+
+val lookup : table -> Wfpriv_workflow.Data_value.t array -> Wfpriv_workflow.Data_value.t array
+(** [lookup t x] is [f(x)]. Raises [Not_found] when [x] is not a valid
+    input tuple. *)
+
+val candidate_outputs :
+  table -> hidden:string list -> Wfpriv_workflow.Data_value.t array -> int
+(** [|OUT_x|] for one input tuple under the hidden set. Unknown attribute
+    names in [hidden] raise [Invalid_argument]. *)
+
+val privacy_level : table -> hidden:string list -> int
+(** [Γ(H) = min_x |OUT_x|]; at least 1, and 1 when nothing is hidden. *)
+
+val is_safe : table -> hidden:string list -> gamma:int -> bool
+
+val max_achievable_gamma : table -> int
+(** [Γ] when everything is hidden: the product of output domain sizes. *)
+
+type weights = string -> int
+(** Utility weight (hiding cost) of an attribute; must be positive. *)
+
+val unit_weights : weights
+
+val hiding_cost : weights -> string list -> int
+
+val optimal_hiding :
+  ?weights:weights -> table -> gamma:int -> string list option
+(** Minimum-cost Γ-safe hidden set (ties broken by size, then
+    lexicographically), or [None] when even hiding everything fails.
+    Enumerates subsets: raises [Invalid_argument] beyond 20 attributes —
+    use {!greedy_hiding} there. *)
+
+val greedy_hiding :
+  ?weights:weights -> table -> gamma:int -> string list option
+(** Grows the hidden set by the best privacy-gain-per-cost attribute
+    (log-scale gain on [Γ(H)]); falls back to cheapest-first when no
+    single attribute improves [Γ]. Always Γ-safe when [Some]; cost may
+    exceed the optimum. *)
+
+val optimal_hiding_ordered :
+  ?weights:weights -> table -> gamma:int -> string list option
+(** Exact like {!optimal_hiding} (the returned set has minimum cost;
+    tie-breaking may differ) but enumerates candidate sets {e best-first}
+    by total cost and stops at the first Γ-safe one, so it has no
+    attribute-count cap and is fast whenever a cheap safe set exists —
+    the worst case (Γ unachievable or barely achievable) still visits
+    exponentially many subsets. Ablation A3 measures the difference. *)
+
+val ordered_subset_search :
+  weights:weights ->
+  names:string list ->
+  safe:(string list -> bool) ->
+  string list option
+(** The best-first enumerator behind {!optimal_hiding_ordered}, exposed
+    for other exact minimisation problems over attribute/name subsets
+    (e.g. {!Workflow_privacy.optimal_hiding}): generates subsets of
+    [names] in nondecreasing total weight and returns the first
+    satisfying [safe] (sorted), or [None] after exhausting all [2^n]. *)
+
+(** {2 Workflow-level composition} *)
+
+type network = {
+  tables : (Wfpriv_workflow.Ids.module_id * table) list;
+      (** the private modules requiring protection *)
+  shared : (string * Wfpriv_workflow.Ids.module_id list) list;
+      (** data name → modules whose table mentions it (derived helper;
+          see {!make_network}) *)
+}
+
+val make_network : (Wfpriv_workflow.Ids.module_id * table) list -> network
+(** Attributes with equal names across tables denote the same workflow
+    data item (producer's output, consumers' input). *)
+
+val network_attr_names : network -> string list
+(** All distinct data names, sorted. *)
+
+val network_privacy_level :
+  network -> hidden:string list -> (Wfpriv_workflow.Ids.module_id * int) list
+(** Per-module [Γ(H ∩ attrs(m))]. *)
+
+val network_is_safe : network -> hidden:string list -> gamma:int -> bool
+(** Every private module reaches [gamma]. *)
+
+val optimal_network_hiding :
+  ?weights:weights -> network -> gamma:int -> string list option
+(** Exact minimum-cost set of data names making every module Γ-safe
+    (subset enumeration over distinct names; ≤ 20). *)
+
+val greedy_network_hiding :
+  ?weights:weights -> network -> gamma:int -> string list option
+
+val pp_table : Format.formatter -> table -> unit

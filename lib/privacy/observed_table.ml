@@ -1,0 +1,84 @@
+open Wfpriv_workflow
+
+type row = {
+  inputs : (string * Data_value.t) list;
+  outputs : (string * Data_value.t) list;
+}
+
+let named_items exec ids =
+  List.map
+    (fun d ->
+      let it = Execution.find_item exec d in
+      (it.Execution.name, it.Execution.value))
+    ids
+  |> List.sort compare
+
+let rows_of_run exec m =
+  ignore (Spec.find_module (Execution.spec exec) m);
+  let g = Execution.graph exec in
+  (* For atomic modules the node itself consumes and produces; for
+     composites the begin node consumes and the matching end node (same
+     process id) produces. *)
+  List.map
+    (fun n ->
+      let inputs =
+        Wfpriv_graph.Digraph.pred g n
+        |> List.concat_map (fun p -> Execution.edge_items exec p n)
+        |> List.sort_uniq compare
+      in
+      let out_node =
+        match Execution.node_kind exec n with
+        | Execution.Begin_composite { proc; _ } ->
+            List.find
+              (fun n' ->
+                match Execution.node_kind exec n' with
+                | Execution.End_composite { proc = p'; _ } -> p' = proc
+                | _ -> false)
+              (Execution.nodes exec)
+        | _ -> n
+      in
+      let outputs =
+        match Execution.node_kind exec n with
+        | Execution.Begin_composite _ ->
+            (* Items flowing out of the end node (or produced inside and
+               crossing the boundary). *)
+            Wfpriv_graph.Digraph.succ g out_node
+            |> List.concat_map (fun s -> Execution.edge_items exec out_node s)
+            |> List.sort_uniq compare
+        | _ ->
+            List.filter_map
+              (fun (it : Execution.item) ->
+                if it.Execution.producer = n then Some it.Execution.data_id
+                else None)
+              (Execution.items exec)
+      in
+      { inputs = named_items exec inputs; outputs = named_items exec outputs })
+    (Execution.nodes_of_module exec m)
+
+let of_runs execs m =
+  List.concat_map (fun e -> rows_of_run e m) execs |> List.sort_uniq compare
+
+let functional rows =
+  let by_inputs = Hashtbl.create 16 in
+  List.for_all
+    (fun r ->
+      match Hashtbl.find_opt by_inputs r.inputs with
+      | Some outputs -> outputs = r.outputs
+      | None ->
+          Hashtbl.replace by_inputs r.inputs r.outputs;
+          true)
+    rows
+
+let union_names project rows =
+  List.concat_map (fun r -> List.map fst (project r)) rows
+  |> List.sort_uniq compare
+
+let input_names rows = union_names (fun r -> r.inputs) rows
+let output_names rows = union_names (fun r -> r.outputs) rows
+
+let revealed_fraction ~domain_size rows =
+  if domain_size <= 0 then invalid_arg "Observed_table.revealed_fraction";
+  let distinct_inputs =
+    List.sort_uniq compare (List.map (fun r -> r.inputs) rows)
+  in
+  float_of_int (List.length distinct_inputs) /. float_of_int domain_size

@@ -1,0 +1,36 @@
+(** Deriving a module's observed I/O relation from stored executions.
+
+    Module privacy reasons over a module's relation table; in a deployed
+    repository that relation is exactly what provenance {e reveals}: for
+    every execution of module [m], the named data items flowing in and
+    the items it produced. This module extracts those rows, bridging the
+    workflow layer (Sec. 2) to the Γ-privacy machinery (Sec. 3) — it is
+    how an auditor measures what the repository has already leaked about
+    a module. *)
+
+type row = {
+  inputs : (string * Wfpriv_workflow.Data_value.t) list;  (** sorted by name *)
+  outputs : (string * Wfpriv_workflow.Data_value.t) list;  (** sorted by name *)
+}
+
+val rows_of_run : Wfpriv_workflow.Execution.t -> Wfpriv_workflow.Ids.module_id -> row list
+(** One row per execution node of the module in this run (composite
+    modules observe at their begin/end boundary). Raises [Not_found] on
+    modules absent from the spec. *)
+
+val of_runs :
+  Wfpriv_workflow.Execution.t list -> Wfpriv_workflow.Ids.module_id -> row list
+(** Distinct observed rows across runs, sorted. *)
+
+val functional : row list -> bool
+(** No two rows share inputs with different outputs — sanity check that
+    observations are consistent with the module being a function. *)
+
+val input_names : row list -> string list
+val output_names : row list -> string list
+(** Union of names across rows, sorted. *)
+
+val revealed_fraction :
+  domain_size:int -> row list -> float
+(** [|distinct observed input rows| / domain_size]: how much of the
+    module's input domain the repository has exposed. *)

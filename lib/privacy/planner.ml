@@ -1,0 +1,136 @@
+module Digraph = Wfpriv_graph.Digraph
+module Reachability = Wfpriv_graph.Reachability
+module Mincut = Wfpriv_graph.Mincut
+
+type mechanism = Delete | Cluster
+
+type decision = {
+  target : Structural_privacy.fact;
+  mechanism : mechanism;
+  score_delete : float;
+  score_cluster : float;
+}
+
+type plan = {
+  decisions : decision list;
+  deleted_edges : (int * int) list;
+  clustering : Structural_privacy.clustering;
+  view : Digraph.t;
+  rep : int -> int;
+  facts_lost : int;
+  facts_hidden : int;
+  facts_fabricated : int;
+}
+
+(* Merge overlapping clusters and re-take convex closures until the
+   clustering is disjoint and every cluster convex. Termination: each
+   round either merges two clusters (count strictly decreases) or reaches
+   a fixpoint. *)
+let rec consolidate g clusters =
+  let clusters = List.map (Structural_privacy.convex_closure g) clusters in
+  let overlap a b = List.exists (fun x -> List.mem x b) a in
+  let rec merge_round = function
+    | [] -> None
+    | c :: rest -> (
+        match List.partition (overlap c) rest with
+        | [], _ -> (
+            match merge_round rest with
+            | Some merged -> Some (c :: merged)
+            | None -> None)
+        | overlapping, disjoint ->
+            Some
+              ((List.sort_uniq compare (List.concat (c :: overlapping)))
+              :: disjoint))
+  in
+  match merge_round clusters with
+  | Some merged when List.length merged < List.length clusters ->
+      consolidate g merged
+  | Some merged -> merged
+  | None -> clusters
+
+let plan ?(alpha = 0.5) ?force g targets =
+  if alpha < 0.0 || alpha > 1.0 then invalid_arg "Planner.plan: alpha";
+  let sorted = List.sort_uniq compare targets in
+  if List.length sorted <> List.length targets then
+    invalid_arg "Planner.plan: duplicate targets";
+  (* Score both mechanisms per target on the base graph. *)
+  let decisions =
+    List.map
+      (fun target ->
+        let d = Structural_privacy.hide_by_deletion g target in
+        let c = Structural_privacy.hide_by_clustering g target in
+        let score_delete =
+          alpha *. float_of_int (List.length d.Structural_privacy.collateral)
+        in
+        let score_cluster =
+          (alpha
+          *. float_of_int (List.length c.Structural_privacy.internal_hidden - 1)
+          )
+          +. ((1.0 -. alpha)
+             *. float_of_int (List.length c.Structural_privacy.spurious))
+        in
+        let mechanism =
+          match force with
+          | Some m -> m
+          | None -> if score_delete <= score_cluster then Delete else Cluster
+        in
+        { target; mechanism; score_delete; score_cluster })
+      targets
+  in
+  (* Build the merged clustering from the Cluster decisions. *)
+  let cluster_seeds =
+    List.filter_map
+      (fun d ->
+        if d.mechanism = Cluster then
+          Some (Structural_privacy.convex_closure g [ fst d.target; snd d.target ])
+        else None)
+      decisions
+  in
+  let clustering =
+    consolidate g cluster_seeds
+    |> List.filter (fun c -> List.length c >= 2)
+  in
+  let view, rep =
+    if clustering = [] then (Digraph.copy g, Fun.id)
+    else Structural_privacy.quotient g clustering
+  in
+  (* Apply deletions on the evolving quotient view. *)
+  let deleted = ref [] in
+  List.iter
+    (fun d ->
+      if d.mechanism = Delete then begin
+        let u = rep (fst d.target) and v = rep (snd d.target) in
+        if u <> v && Reachability.reaches view u v then begin
+          let cut = Mincut.min_cut view Mincut.uniform ~src:u ~dst:v in
+          List.iter (fun (a, b) -> Digraph.remove_edge view a b) cut;
+          deleted := !deleted @ cut
+        end
+      end)
+    decisions;
+  (* Final accounting against the base graph: split absorbed (same-rep)
+     facts from genuinely lost external ones. *)
+  let score = Utility.reachability_score ~base:g ~view ~map:rep in
+  let base_facts = Reachability.closure_facts (Reachability.closure g) in
+  let hidden =
+    List.length (List.filter (fun (u, v) -> rep u = rep v) base_facts)
+  in
+  {
+    decisions;
+    deleted_edges = !deleted;
+    clustering;
+    view;
+    rep;
+    facts_lost = score.Utility.lost - hidden;
+    facts_hidden = hidden;
+    facts_fabricated = score.Utility.spurious;
+  }
+
+let verify g p =
+  List.for_all
+    (fun d ->
+      let u, v = d.target in
+      (if not (Reachability.reaches g u v) then
+         invalid_arg "Planner.verify: target does not hold in the base");
+      let ru = p.rep u and rv = p.rep v in
+      ru = rv || not (Reachability.reaches p.view ru rv))
+    p.decisions

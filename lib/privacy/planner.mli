@@ -1,0 +1,63 @@
+(** Structural-privacy planning: hide a {e set} of reachability facts,
+    choosing a mechanism per fact to maximise utility.
+
+    The paper (Sec. 3) presents deletion and clustering as alternatives
+    with dual failure modes — deletion destroys true facts, clustering
+    fabricates false ones — and asks for optimisation that balances
+    "privacy ... while preserving soundness and minimizing unnecessary
+    loss of information". The planner scores both mechanisms for every
+    target fact on the base graph and picks, per fact, the one minimising
+    [alpha * facts_concealed_beyond_target + (1 - alpha) *
+    facts_fabricated], where deletion conceals its collateral and
+    clustering conceals its extra internal facts while fabricating its
+    spurious ones. [alpha = 0] yields sound views (fabrication is the
+    only cost, so deletion always wins its ties); [alpha = 1] minimises
+    total concealment regardless of soundness.
+
+    Chosen clusterings are merged (overlapping clusters unioned, convex
+    closure re-taken) and deletions applied to the quotient, so a single
+    published view hides every target. {!verify} re-checks the result
+    against the final view — the planner's output is validated, not
+    trusted. *)
+
+type mechanism = Delete | Cluster
+
+type decision = {
+  target : Structural_privacy.fact;
+  mechanism : mechanism;
+  score_delete : float;  (** alpha-weighted cost of deleting *)
+  score_cluster : float;  (** alpha-weighted cost of clustering *)
+}
+
+type plan = {
+  decisions : decision list;  (** one per target, input order *)
+  deleted_edges : (int * int) list;
+  clustering : Structural_privacy.clustering;
+      (** merged, convex, disjoint clusters *)
+  view : Wfpriv_graph.Digraph.t;
+      (** final published graph: quotient minus deleted edges *)
+  rep : int -> int;  (** base node → view node *)
+  facts_lost : int;
+      (** collateral: true facts between nodes that remain {e distinct} in
+          the view yet are no longer implied — unnecessary loss *)
+  facts_hidden : int;
+      (** true facts absorbed inside composites (endpoints share a
+          cluster) — the intended concealment, not counted as loss *)
+  facts_fabricated : int;  (** view facts false in the base *)
+}
+
+val plan :
+  ?alpha:float ->
+  ?force:mechanism ->
+  Wfpriv_graph.Digraph.t ->
+  Structural_privacy.fact list ->
+  plan
+(** [alpha] defaults to 0.5. [force] overrides the per-target choice with
+    one mechanism (the all-deletion / all-clustering baselines of
+    experiment E10). Raises [Invalid_argument] when a target does not
+    hold in the base graph, on duplicate targets, or when
+    [alpha ∉ [0,1]]. *)
+
+val verify : Wfpriv_graph.Digraph.t -> plan -> bool
+(** Every target is hidden in the final view: its endpoints share a
+    cluster, or the view has no path between their representatives. *)

@@ -1,0 +1,75 @@
+open Wfpriv_workflow
+
+type t = {
+  p_spec : Spec.t;
+  p_privilege : Privilege.t;
+  declared_data : (string * Privilege.level) list;
+  module_masks : (Ids.module_id * string list * Privilege.level) list;
+}
+
+let make ?(expand_levels = []) ?(data_levels = []) ?(module_masks = []) spec =
+  let p_privilege = Privilege.make spec expand_levels in
+  List.iter
+    (fun (m, names, level) ->
+      ignore (Spec.find_module spec m);
+      if level < 0 then invalid_arg "Policy.make: negative level";
+      if names = [] then invalid_arg "Policy.make: empty module mask")
+    module_masks;
+  { p_spec = spec; p_privilege; declared_data = data_levels; module_masks }
+
+let spec t = t.p_spec
+let privilege t = t.p_privilege
+
+let effective_data_levels t =
+  let bump acc (name, level) =
+    let cur = Option.value ~default:0 (List.assoc_opt name acc) in
+    (name, max cur level) :: List.remove_assoc name acc
+  in
+  let from_masks =
+    List.concat_map
+      (fun (_, names, level) -> List.map (fun n -> (n, level)) names)
+      t.module_masks
+  in
+  List.fold_left bump [] (t.declared_data @ from_masks)
+  |> List.sort compare
+
+let data_classification t = Data_privacy.make (effective_data_levels t)
+
+type user_view = {
+  level : Privilege.level;
+  view : View.t;
+  masked_names : string list;
+}
+
+let for_user t level =
+  {
+    level;
+    view = Privilege.access_view t.p_privilege level;
+    masked_names = Data_privacy.sensitive_names (data_classification t) level;
+  }
+
+let project_execution t level exec =
+  ( Privilege.access_exec_view t.p_privilege level exec,
+    Data_privacy.project (data_classification t) level exec )
+
+let protected_modules t =
+  List.map (fun (m, _, _) -> m) t.module_masks |> List.sort_uniq compare
+
+let expand_levels t =
+  Spec.workflow_ids t.p_spec
+  |> List.map (fun w -> (w, Privilege.required_level t.p_privilege w))
+
+let data_levels t = List.sort compare t.declared_data
+let module_masks t = t.module_masks
+
+let audit_level t =
+  let data_max =
+    List.fold_left (fun acc (_, l) -> max acc l) 0 (effective_data_levels t)
+  in
+  let expand_max =
+    List.fold_left
+      (fun acc w -> max acc (Privilege.required_level t.p_privilege w))
+      0
+      (Spec.workflow_ids t.p_spec)
+  in
+  max data_max expand_max

@@ -1,0 +1,69 @@
+(** Privacy policies: one object combining the paper's three concerns and
+    compiling, per user level, into the artefacts query evaluation needs
+    (paper Sec. 3–4: "privacy guarantees should be integrated in the
+    design of the search and query engines").
+
+    A policy over a specification holds:
+    - {e structural}: the privilege level required to expand each
+      workflow (access views);
+    - {e data}: the level required to read each data name;
+    - {e module}: a Γ target plus, per private module, the data names
+      that must be masked for {e everyone below a stated level} to meet it
+      (computed by {!Module_privacy} and stored here).
+
+    {!for_user} compiles the policy into a {!user_view}: the finest
+    specification prefix plus the data-name mask set for that level. *)
+
+type t
+
+val make :
+  ?expand_levels:(Wfpriv_workflow.Ids.workflow_id * Privilege.level) list ->
+  ?data_levels:(string * Privilege.level) list ->
+  ?module_masks:(Wfpriv_workflow.Ids.module_id * string list * Privilege.level) list ->
+  Wfpriv_workflow.Spec.t ->
+  t
+(** [module_masks] entries say: to protect this module, these data names
+    are masked for users below the given level. Raises [Invalid_argument]
+    on unknown ids/levels (validation delegated to {!Privilege.make} /
+    {!Data_privacy.make}). *)
+
+val spec : t -> Wfpriv_workflow.Spec.t
+val privilege : t -> Privilege.t
+
+val data_classification : t -> Data_privacy.t
+(** Effective per-name levels: the max of the declared data level and
+    every module-mask level mentioning the name. *)
+
+type user_view = {
+  level : Privilege.level;
+  view : Wfpriv_workflow.View.t;  (** access view of the specification *)
+  masked_names : string list;  (** data names unreadable at this level *)
+}
+
+val for_user : t -> Privilege.level -> user_view
+
+val project_execution :
+  t -> Privilege.level -> Wfpriv_workflow.Execution.t ->
+  Wfpriv_workflow.Exec_view.t * Data_privacy.projection
+(** What a user actually sees of an execution: the collapsed graph and
+    the masked value accessor. *)
+
+val protected_modules : t -> Wfpriv_workflow.Ids.module_id list
+(** Modules with a module-privacy mask, sorted. *)
+
+val expand_levels : t -> (Wfpriv_workflow.Ids.workflow_id * Privilege.level) list
+(** Effective (monotone) expansion level per workflow, sorted — feeding
+    these back into {!make} reproduces the same policy (serialisation
+    hook). *)
+
+val data_levels : t -> (string * Privilege.level) list
+(** Declared data-name levels (excluding module-mask contributions),
+    sorted. *)
+
+val module_masks :
+  t -> (Wfpriv_workflow.Ids.module_id * string list * Privilege.level) list
+(** The module-privacy masks as given to {!make}. *)
+
+val audit_level : t -> Privilege.level
+(** The highest level mentioned anywhere in the policy — a user at this
+    level sees everything. *)

@@ -1,0 +1,66 @@
+open Wfpriv_workflow
+module Smap = Map.Make (String)
+
+type level = int
+type user = { name : string; level : level }
+
+let user ?(name = "user") level = { name; level }
+
+type t = { p_spec : Spec.t; effective : level Smap.t }
+
+let make spec assignments =
+  let declared =
+    List.fold_left
+      (fun acc (w, l) ->
+        if l < 0 then invalid_arg "Privilege.make: negative level";
+        if not (List.mem w (Spec.workflow_ids spec)) then
+          invalid_arg (Printf.sprintf "Privilege.make: unknown workflow %s" w);
+        Smap.add w l acc)
+      Smap.empty assignments
+  in
+  let hierarchy = Hierarchy.of_spec spec in
+  (* Effective level = max of declared levels along the ancestor chain;
+     the root is public by definition. *)
+  let effective =
+    List.fold_left
+      (fun acc w ->
+        let chain = Hierarchy.ancestors hierarchy w in
+        let l =
+          List.fold_left
+            (fun acc' a ->
+              if a = Spec.root spec then acc'
+              else max acc' (Option.value ~default:0 (Smap.find_opt a declared)))
+            0 chain
+        in
+        Smap.add w l acc)
+      Smap.empty (Spec.workflow_ids spec)
+  in
+  { p_spec = spec; effective }
+
+let public spec = make spec []
+let spec t = t.p_spec
+
+let required_level t w =
+  match Smap.find_opt w t.effective with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Privilege: unknown workflow %s" w)
+
+let access_prefix t level =
+  Spec.workflow_ids t.p_spec
+  |> List.filter (fun w -> required_level t w <= level)
+
+let access_view t level = View.of_prefix t.p_spec (access_prefix t level)
+
+let access_exec_view t level exec =
+  Exec_view.of_prefix exec (access_prefix t level)
+
+let can_expand t level w = required_level t w <= level
+
+let min_level_to_see t m =
+  let hierarchy = Hierarchy.of_spec t.p_spec in
+  let chain = Hierarchy.module_path t.p_spec hierarchy m in
+  List.fold_left (fun acc w -> max acc (required_level t w)) 0 chain
+
+let levels t =
+  Smap.fold (fun _ l acc -> l :: acc) t.effective [ 0 ]
+  |> List.sort_uniq compare

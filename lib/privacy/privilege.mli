@@ -1,0 +1,52 @@
+(** Access privileges and access views (paper, Sec. 2–3).
+
+    Privileges are totally ordered integer levels: level 0 is public and
+    higher levels see more. A specification's privacy settings assign to
+    each workflow the level required to expand it; the {e access view} of
+    a user is the finest view whose prefix only contains workflows the
+    user may expand. Expansion requirements are made monotone along the
+    hierarchy (a child can never require less than its parent) so access
+    views are always valid prefixes. *)
+
+type level = int
+
+type user = { name : string; level : level }
+
+val user : ?name:string -> level -> user
+
+type t
+(** Expansion-level assignment for one specification. *)
+
+val make : Wfpriv_workflow.Spec.t -> (Wfpriv_workflow.Ids.workflow_id * level) list -> t
+(** [make spec assignments] assigns each listed workflow its required
+    level (unlisted workflows default to 0, the root is forced to 0) and
+    then takes the running maximum down the hierarchy to enforce
+    monotonicity. Raises [Invalid_argument] on unknown workflow ids or
+    negative levels. *)
+
+val public : Wfpriv_workflow.Spec.t -> t
+(** Everything expandable by everyone. *)
+
+val spec : t -> Wfpriv_workflow.Spec.t
+
+val required_level : t -> Wfpriv_workflow.Ids.workflow_id -> level
+(** Effective (monotone) level required to expand a workflow. *)
+
+val access_prefix : t -> level -> Wfpriv_workflow.Ids.workflow_id list
+(** Workflows expandable at the given level — always a prefix. *)
+
+val access_view : t -> level -> Wfpriv_workflow.View.t
+(** The user's finest specification view. *)
+
+val access_exec_view : t -> level -> Wfpriv_workflow.Execution.t -> Wfpriv_workflow.Exec_view.t
+(** The user's finest view of an execution. *)
+
+val can_expand : t -> level -> Wfpriv_workflow.Ids.workflow_id -> bool
+
+val min_level_to_see : t -> Wfpriv_workflow.Ids.module_id -> level
+(** Smallest level at which the module is visible (its whole ancestor
+    chain expandable). *)
+
+val levels : t -> level list
+(** The distinct effective levels in use, sorted — the interesting points
+    of the privilege lattice. Always contains 0. *)

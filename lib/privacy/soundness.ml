@@ -1,0 +1,98 @@
+module Digraph = Wfpriv_graph.Digraph
+module Reachability = Wfpriv_graph.Reachability
+module Topo = Wfpriv_graph.Topo
+module Paths = Wfpriv_graph.Paths
+
+type verdict = { sound : bool; spurious : (int * int) list }
+
+let check g clusters =
+  let view, map = Structural_privacy.quotient g clusters in
+  let base_closure = Reachability.closure g in
+  let view_closure = Reachability.closure view in
+  let base_nodes = Digraph.nodes g in
+  let preimage r = List.filter (fun n -> map n = r) base_nodes in
+  let spurious =
+    List.filter
+      (fun (a, b) ->
+        not
+          (List.exists
+             (fun x ->
+               List.exists
+                 (fun y ->
+                   x <> y && Reachability.closure_reaches base_closure x y)
+                 (preimage b))
+             (preimage a)))
+      (Reachability.closure_facts view_closure)
+  in
+  { sound = spurious = []; spurious }
+
+let is_sound g clusters = (check g clusters).sound
+
+(* Split one cluster at its topological median (positions in a fixed
+   topological order of the base graph; falls back to the id order on
+   cyclic bases). Returns the one-or-two non-trivial parts. *)
+let split_cluster g cluster =
+  let order =
+    match Topo.sort g with
+    | Some o -> o
+    | None -> Digraph.nodes g
+  in
+  let position n =
+    let rec find i = function
+      | [] -> max_int
+      | x :: rest -> if x = n then i else find (i + 1) rest
+    in
+    find 0 order
+  in
+  let sorted =
+    List.sort (fun a b -> compare (position a, a) (position b, b)) cluster
+  in
+  let k = List.length sorted / 2 in
+  let left = List.filteri (fun i _ -> i < k) sorted in
+  let right = List.filteri (fun i _ -> i >= k) sorted in
+  List.filter (fun part -> List.length part >= 2) [ left; right ]
+
+let rec repair_count g clusters steps =
+  let verdict = check g clusters in
+  if verdict.sound then (clusters, steps)
+  else begin
+    let view, map = Structural_privacy.quotient g clusters in
+    let a, b = List.hd verdict.spurious in
+    (* Clusters implicated in the spurious fact: any cluster whose
+       representative lies on a witness path from a to b in the view. *)
+    let witness =
+      match Paths.shortest view ~src:a ~dst:b with Some p -> p | None -> [ a; b ]
+    in
+    let reps_of_clusters =
+      List.map (fun c -> List.fold_left min (List.hd c) c) clusters
+    in
+    let implicated =
+      List.filter (fun r -> List.mem r witness) reps_of_clusters
+    in
+    let target_rep =
+      match implicated with
+      | r :: _ -> r
+      | [] ->
+          (* Shouldn't happen: a spurious fact needs a cluster on its
+             path. Fall back to the largest cluster to guarantee
+             progress. *)
+          List.fold_left
+            (fun best c ->
+              let r = List.fold_left min (List.hd c) c in
+              match best with
+              | Some (s, _) when s >= List.length c -> best
+              | _ -> Some (List.length c, r))
+            None clusters
+          |> Option.get |> snd
+    in
+    ignore map;
+    let to_split =
+      List.find (fun c -> List.fold_left min (List.hd c) c = target_rep) clusters
+    in
+    let rest = List.filter (fun c -> c != to_split) clusters in
+    let parts = split_cluster g to_split in
+    repair_count g (rest @ parts) (steps + 1)
+  end
+
+let repair g clusters = fst (repair_count g clusters 0)
+let repair_steps g clusters = snd (repair_count g clusters 0)

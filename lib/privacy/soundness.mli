@@ -1,0 +1,40 @@
+(** Detecting and repairing unsound workflow views
+    (paper Sec. 3–4; notion from Sun et al., SIGMOD 2009).
+
+    A clustered view is {e sound} when every reachability fact it implies
+    between its nodes is witnessed in the base graph — no spurious
+    provenance. Unsound views mislead provenance analysis, so after a
+    clustering transformation one detects the spurious pairs and repairs
+    the view by splitting clusters until soundness holds, keeping clusters
+    as large as possible (each split discloses structure, reducing
+    privacy). *)
+
+type verdict = {
+  sound : bool;
+  spurious : (int * int) list;
+      (** facts implied by the view but false in the base graph, expressed
+          over view representatives, sorted *)
+}
+
+val check :
+  Wfpriv_graph.Digraph.t -> Structural_privacy.clustering -> verdict
+(** Raises [Invalid_argument] on invalid clusterings (see
+    {!Structural_privacy.quotient}). *)
+
+val is_sound : Wfpriv_graph.Digraph.t -> Structural_privacy.clustering -> bool
+
+val repair :
+  Wfpriv_graph.Digraph.t ->
+  Structural_privacy.clustering ->
+  Structural_privacy.clustering
+(** Split offending clusters along topological cuts until {!is_sound}
+    holds. Deterministic; terminates because every step splits some
+    cluster and singletons are dropped (the fully-split clustering is
+    trivially sound). The result preserves every cluster that caused no
+    spuriousness. *)
+
+val repair_steps :
+  Wfpriv_graph.Digraph.t ->
+  Structural_privacy.clustering ->
+  int
+(** Number of splits {!repair} performed (for the E4 experiment). *)

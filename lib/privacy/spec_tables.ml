@@ -1,0 +1,117 @@
+open Wfpriv_workflow
+module Digraph = Wfpriv_graph.Digraph
+
+exception Unsupported of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let full_view_names spec m ~incoming =
+  ignore (Spec.find_module spec m);
+  let view = View.full spec in
+  if not (View.is_visible view m) then
+    fail "module %s is not atomic (not visible in the full expansion)"
+      (Ids.module_name m);
+  let g = View.graph view in
+  let neighbours = if incoming then Digraph.pred g m else Digraph.succ g m in
+  List.concat_map
+    (fun n ->
+      if incoming then View.edge_data view n m else View.edge_data view m n)
+    neighbours
+  |> List.sort_uniq compare
+
+let input_names spec m = full_view_names spec m ~incoming:true
+let output_names spec m = full_view_names spec m ~incoming:false
+
+let tabulate spec semantics ~domains m =
+  let in_names = input_names spec m in
+  if in_names = [] then
+    fail "module %s has no incoming dataflow to tabulate over"
+      (Ids.module_name m);
+  let domain_of name =
+    match List.assoc_opt name domains with
+    | Some d when d <> [] -> d
+    | Some _ -> fail "empty domain declared for %S" name
+    | None -> fail "no domain declared for input %S of %s" name (Ids.module_name m)
+  in
+  let in_attrs =
+    List.map (fun n -> Module_privacy.attr n (domain_of n)) in_names
+  in
+  (* Enumerate the input product and run the semantics. *)
+  let product =
+    List.fold_left
+      (fun acc (a : Module_privacy.attr) ->
+        List.concat_map
+          (fun tuple ->
+            List.map (fun v -> tuple @ [ v ]) a.Module_privacy.domain)
+          acc)
+      [ [] ] in_attrs
+  in
+  let rows =
+    List.map
+      (fun tuple ->
+        let named = List.combine in_names tuple in
+        let outs = semantics m (List.sort compare named) in
+        (Array.of_list tuple, List.sort compare outs))
+      product
+  in
+  (* Output schema: names must agree across rows; domains inferred from
+     the produced values (plus declared extras when available). *)
+  let out_names =
+    match rows with
+    | (_, outs) :: rest ->
+        let names = List.map fst outs in
+        List.iter
+          (fun (_, outs') ->
+            if List.map fst outs' <> names then
+              fail "module %s produces inconsistent output names"
+                (Ids.module_name m))
+          rest;
+        names
+    | [] -> assert false
+  in
+  let out_attrs =
+    List.map
+      (fun name ->
+        let observed =
+          List.map (fun (_, outs) -> List.assoc name outs) rows
+          |> List.sort_uniq Data_value.compare
+        in
+        let declared = Option.value ~default:[] (List.assoc_opt name domains) in
+        let domain =
+          List.sort_uniq Data_value.compare (observed @ declared)
+        in
+        Module_privacy.attr name domain)
+      out_names
+  in
+  Module_privacy.make_table ~module_id:m ~inputs:in_attrs ~outputs:out_attrs
+    (List.map
+       (fun (x, outs) ->
+         (x, Array.of_list (List.map (fun n -> List.assoc n outs) out_names)))
+       rows)
+
+let network spec semantics ~domains ~private_modules =
+  if private_modules = [] then
+    invalid_arg "Spec_tables.network: no private modules";
+  Module_privacy.make_network
+    (List.map (fun m -> (m, tabulate spec semantics ~domains m)) private_modules)
+
+let recommend_masks ?weights spec semantics ~domains ~private_modules ~gamma
+    ~level =
+  let net = network spec semantics ~domains ~private_modules in
+  let hidden =
+    if List.length (Module_privacy.network_attr_names net) <= 20 then
+      Module_privacy.optimal_network_hiding ?weights net ~gamma
+    else Module_privacy.greedy_network_hiding ?weights net ~gamma
+  in
+  Option.map
+    (fun hidden ->
+      List.filter_map
+        (fun (m, table) ->
+          let names =
+            List.filter
+              (fun h -> List.mem h (Module_privacy.attr_names table))
+              hidden
+          in
+          if names = [] then None else Some (m, names, level))
+        net.Module_privacy.tables)
+    hidden

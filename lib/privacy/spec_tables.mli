@@ -1,0 +1,59 @@
+(** End-to-end workflow-level module privacy: from a specification and
+    its executable semantics to relation tables, a shared-attribute
+    network, and ready-to-install policy masks.
+
+    This closes the loop the paper draws between its model (Sec. 2) and
+    module privacy (Sec. 3): the data names of the {e full expansion}
+    view are the attributes an adversary observes across executions, so a
+    module's table is obtained by tabulating its semantics over declared
+    finite domains for its incoming data names, and hiding is decided
+    network-wide ("hide once, hidden everywhere" — a name masked for one
+    module is masked wherever it flows).
+
+    Output-attribute domains are {e inferred} as the set of values the
+    module actually produces over the tabulated input product (the
+    relation's active range); input domains must be declared. *)
+
+exception Unsupported of string
+(** Raised when a module cannot be tabulated: not atomic, no incoming
+    dataflow in the full expansion, inconsistent output names across
+    rows, or an input name without a declared domain. *)
+
+val input_names :
+  Wfpriv_workflow.Spec.t -> Wfpriv_workflow.Ids.module_id -> string list
+(** Data names the module receives in the full expansion, sorted. *)
+
+val output_names :
+  Wfpriv_workflow.Spec.t -> Wfpriv_workflow.Ids.module_id -> string list
+(** Data names the module sends onward in the full expansion, sorted. *)
+
+val tabulate :
+  Wfpriv_workflow.Spec.t ->
+  Wfpriv_workflow.Executor.semantics ->
+  domains:(string * Wfpriv_workflow.Data_value.t list) list ->
+  Wfpriv_workflow.Ids.module_id ->
+  Module_privacy.table
+(** The module's full relation over the declared input domains. *)
+
+val network :
+  Wfpriv_workflow.Spec.t ->
+  Wfpriv_workflow.Executor.semantics ->
+  domains:(string * Wfpriv_workflow.Data_value.t list) list ->
+  private_modules:Wfpriv_workflow.Ids.module_id list ->
+  Module_privacy.network
+(** Tables for every private module, tied by shared data names. *)
+
+val recommend_masks :
+  ?weights:Module_privacy.weights ->
+  Wfpriv_workflow.Spec.t ->
+  Wfpriv_workflow.Executor.semantics ->
+  domains:(string * Wfpriv_workflow.Data_value.t list) list ->
+  private_modules:Wfpriv_workflow.Ids.module_id list ->
+  gamma:int ->
+  level:Privilege.level ->
+  (Wfpriv_workflow.Ids.module_id * string list * Privilege.level) list option
+(** Compute a minimum-cost network-wide Γ-safe hidden name set (exact for
+    ≤ 20 names, greedy beyond) and shape it as {!Policy.make}
+    [module_masks] entries — each private module masked on the hidden
+    names among its own attributes, below [level]. [None] when Γ is
+    unachievable. *)

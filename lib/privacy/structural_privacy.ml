@@ -1,0 +1,192 @@
+module Digraph = Wfpriv_graph.Digraph
+module Reachability = Wfpriv_graph.Reachability
+module Mincut = Wfpriv_graph.Mincut
+module Topo = Wfpriv_graph.Topo
+
+type fact = int * int
+
+let facts_of g = Reachability.closure_facts (Reachability.closure g)
+
+let check_target g (u, v) =
+  if u = v then invalid_arg "Structural_privacy: target with u = v";
+  if not (Reachability.reaches g u v) then
+    invalid_arg
+      (Printf.sprintf "Structural_privacy: fact %d⇝%d does not hold" u v)
+
+type deletion_report = {
+  cut : (int * int) list;
+  view : Digraph.t;
+  base_facts : int;
+  hidden_target : fact;
+  collateral : fact list;
+}
+
+let hide_by_deletion ?(weights = Mincut.uniform) g ((u, v) as target) =
+  check_target g target;
+  let cut = Mincut.min_cut g weights ~src:u ~dst:v in
+  let view = Digraph.copy g in
+  List.iter (fun (a, b) -> Digraph.remove_edge view a b) cut;
+  let base = facts_of g in
+  let after = facts_of view in
+  let collateral =
+    List.filter (fun f -> f <> target && not (List.mem f after)) base
+  in
+  { cut; view; base_facts = List.length base; hidden_target = target; collateral }
+
+type vertex_deletion_report = {
+  removed : int list;
+  vd_view : Digraph.t;
+  vd_collateral : fact list;
+  facts_about_removed : int;
+}
+
+let hide_by_vertex_deletion g ((u, v) as target) =
+  check_target g target;
+  match Mincut.min_vertex_cut g ~src:u ~dst:v with
+  | None -> None
+  | Some removed ->
+      let view = Digraph.copy g in
+      List.iter (Digraph.remove_node view) removed;
+      let base = facts_of g in
+      let after = facts_of view in
+      let about_removed, between_survivors =
+        List.partition
+          (fun (a, b) -> List.mem a removed || List.mem b removed)
+          base
+      in
+      let vd_collateral =
+        List.filter
+          (fun f -> f <> target && not (List.mem f after))
+          between_survivors
+      in
+      Some
+        {
+          removed;
+          vd_view = view;
+          vd_collateral;
+          facts_about_removed = List.length about_removed;
+        }
+
+type clustering = int list list
+
+let validate_clustering g clusters =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun group ->
+      if List.length group < 2 then
+        invalid_arg "Structural_privacy: cluster of size < 2";
+      List.iter
+        (fun n ->
+          if not (Digraph.mem_node g n) then
+            invalid_arg
+              (Printf.sprintf "Structural_privacy: unknown node %d in cluster" n);
+          if Hashtbl.mem seen n then
+            invalid_arg
+              (Printf.sprintf "Structural_privacy: node %d in two clusters" n);
+          Hashtbl.replace seen n ())
+        group)
+    clusters
+
+let quotient g clusters =
+  validate_clustering g clusters;
+  let rep = Hashtbl.create 16 in
+  List.iter
+    (fun group ->
+      let r = List.fold_left min (List.hd group) group in
+      List.iter (fun n -> Hashtbl.replace rep n r) group)
+    clusters;
+  let map n = Option.value ~default:n (Hashtbl.find_opt rep n) in
+  let q = Digraph.create () in
+  Digraph.iter_nodes (fun n -> Digraph.add_node q (map n)) g;
+  Digraph.iter_edges
+    (fun a b ->
+      let ra = map a and rb = map b in
+      if ra <> rb then Digraph.add_edge q ra rb)
+    g;
+  (q, map)
+
+let convex_closure g nodes =
+  (* Fixpoint: add every node lying between two current members. *)
+  let current = ref (List.sort_uniq compare nodes) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let members = !current in
+    let additions =
+      List.concat_map
+        (fun a ->
+          List.concat_map
+            (fun b -> if a = b then [] else Reachability.between g ~src:a ~dst:b)
+            members)
+        members
+      |> List.sort_uniq compare
+      |> List.filter (fun n -> not (List.mem n members))
+    in
+    if additions <> [] then begin
+      current := List.sort_uniq compare (additions @ members);
+      changed := true
+    end
+  done;
+  !current
+
+type cluster_report = {
+  cluster : int list;
+  cluster_view : Digraph.t;
+  cluster_rep : int;
+  internal_hidden : fact list;
+  spurious : fact list;
+  acyclic : bool;
+}
+
+let cluster_report g group =
+  let group = List.sort_uniq compare group in
+  let view, map = quotient g [ group ] in
+  let rep = List.fold_left min (List.hd group) group in
+  let base_closure = Reachability.closure g in
+  let view_closure = Reachability.closure view in
+  let internal_hidden =
+    List.filter
+      (fun (a, b) -> List.mem a group && List.mem b group)
+      (Reachability.closure_facts base_closure)
+  in
+  (* A view fact (a, b) over representatives is spurious when no pair of
+     base nodes mapping to (a, b) is actually connected. *)
+  let base_nodes = Digraph.nodes g in
+  let preimage r = List.filter (fun n -> map n = r) base_nodes in
+  let spurious =
+    List.filter
+      (fun (a, b) ->
+        not
+          (List.exists
+             (fun x ->
+               List.exists
+                 (fun y ->
+                   x <> y && Reachability.closure_reaches base_closure x y)
+                 (preimage b))
+             (preimage a)))
+      (Reachability.closure_facts view_closure)
+  in
+  {
+    cluster = group;
+    cluster_view = view;
+    cluster_rep = rep;
+    internal_hidden;
+    spurious;
+    acyclic = Topo.is_dag view;
+  }
+
+let hide_by_clustering g ((u, v) as target) =
+  check_target g target;
+  cluster_report g (convex_closure g [ u; v ])
+
+let hides g ((u, v) as target) ~method_ =
+  check_target g target;
+  match method_ with
+  | `Deletion ->
+      let r = hide_by_deletion g target in
+      not (Reachability.reaches r.view u v)
+  | `Clustering ->
+      let r = hide_by_clustering g target in
+      (* Both endpoints merged into one composite: the fact is no longer
+         expressible, hence hidden. *)
+      List.mem u r.cluster && List.mem v r.cluster

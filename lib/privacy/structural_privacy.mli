@@ -1,0 +1,99 @@
+(** Structural privacy: hiding the fact that one module contributes to the
+    output of another (paper, Sec. 3).
+
+    A {e reachability fact} is an ordered pair [(u, v)], [u ≠ v], with a
+    path [u ⇝ v]. Hiding the pair means publishing a transformed graph in
+    which the fact is no longer derivable. Two mechanisms are analysed:
+
+    - {e Deletion}: remove edges until no [u ⇝ v] path remains. The
+      minimum-utility-loss edge set is exactly a minimum s-t cut
+      ({!Wfpriv_graph.Mincut}); collateral damage is the set of {e other}
+      true facts destroyed (the paper's "hide additional provenance
+      information that does not need to be hidden", e.g. losing
+      [M12 ⇝ M11] when deleting [M13 → M11]).
+    - {e Clustering}: absorb a node set containing [u] and [v] into one
+      composite node. Internal facts become invisible, but the quotient
+      may imply {e spurious} facts (the paper's [M10 ⇝ M14] example),
+      producing an unsound view — quantified here and repaired in
+      {!Soundness}.
+
+    All functions expect DAGs (executions/specification views) and treat
+    node ids opaquely. *)
+
+type fact = int * int
+
+type deletion_report = {
+  cut : (int * int) list;  (** deleted edges *)
+  view : Wfpriv_graph.Digraph.t;  (** graph after deletion *)
+  base_facts : int;  (** #facts in the original graph *)
+  hidden_target : fact;
+  collateral : fact list;
+      (** true facts other than the target lost by the deletion, sorted *)
+}
+
+val hide_by_deletion :
+  ?weights:Wfpriv_graph.Mincut.weights ->
+  Wfpriv_graph.Digraph.t ->
+  fact ->
+  deletion_report
+(** Raises [Invalid_argument] when the target fact does not hold (nothing
+    to hide) or [u = v]. *)
+
+type vertex_deletion_report = {
+  removed : int list;  (** deleted modules, sorted *)
+  vd_view : Wfpriv_graph.Digraph.t;  (** graph after removal *)
+  vd_collateral : fact list;
+      (** true facts between surviving nodes that were lost, sorted *)
+  facts_about_removed : int;
+      (** facts with a deleted endpoint — gone wholesale *)
+}
+
+val hide_by_vertex_deletion :
+  Wfpriv_graph.Digraph.t -> fact -> vertex_deletion_report option
+(** Remove a minimum set of {e modules} so no path connects the pair —
+    the paper's "delete edges and vertices" alternative. [None] when a
+    direct edge joins the pair (no vertex cut exists). Vertex deletion
+    conceals more aggressively than edge deletion: every fact mentioning
+    a removed module disappears too, which {!vd_collateral} and
+    [facts_about_removed] quantify. Raises like {!hide_by_deletion}. *)
+
+type clustering = int list list
+(** Disjoint groups of at least two nodes; ungrouped nodes stay
+    singletons. *)
+
+val quotient :
+  Wfpriv_graph.Digraph.t -> clustering -> Wfpriv_graph.Digraph.t * (int -> int)
+(** Cluster graph and the node→representative mapping (representative =
+    least member; singleton nodes map to themselves). Self-edges produced
+    by contraction are dropped. Raises [Invalid_argument] on overlapping
+    groups, groups of size < 2, or unknown nodes. *)
+
+val convex_closure : Wfpriv_graph.Digraph.t -> int list -> int list
+(** Smallest superset of the given nodes closed under betweenness (every
+    node on a path between two members joins). Convex clusters keep the
+    quotient acyclic. *)
+
+type cluster_report = {
+  cluster : int list;
+  cluster_view : Wfpriv_graph.Digraph.t;
+  cluster_rep : int;
+  internal_hidden : fact list;
+      (** true facts with both endpoints inside the cluster — these become
+          invisible, including the target *)
+  spurious : fact list;
+      (** facts implied by the view between outside nodes (or an outside
+          node and the composite) that are false in the base graph *)
+  acyclic : bool;  (** quotient is a DAG (true for convex clusters) *)
+}
+
+val hide_by_clustering : Wfpriv_graph.Digraph.t -> fact -> cluster_report
+(** Clusters the convex closure of [{u, v}] — the minimal DAG-preserving
+    composite hiding the fact. Raises [Invalid_argument] when the fact
+    does not hold or [u = v]. *)
+
+val cluster_report : Wfpriv_graph.Digraph.t -> int list -> cluster_report
+(** Analyse an arbitrary (validated, size ≥ 2) cluster. *)
+
+val hides : Wfpriv_graph.Digraph.t -> fact -> method_:[ `Deletion | `Clustering ] -> bool
+(** Sanity predicate used by tests: does applying the mechanism actually
+    conceal the fact? *)

@@ -1,0 +1,69 @@
+module Digraph = Wfpriv_graph.Digraph
+module Reachability = Wfpriv_graph.Reachability
+open Wfpriv_workflow
+
+type reachability_score = {
+  preserved : int;
+  lost : int;
+  spurious : int;
+  precision : float;
+  recall : float;
+}
+
+let reachability_score ~base ~view ~map =
+  let base_closure = Reachability.closure base in
+  let view_closure = Reachability.closure view in
+  let base_facts = Reachability.closure_facts base_closure in
+  let view_facts = Reachability.closure_facts view_closure in
+  let preserved, lost =
+    List.fold_left
+      (fun (p, l) (u, v) ->
+        let ru = map u and rv = map v in
+        if ru <> rv && Reachability.closure_reaches view_closure ru rv then
+          (p + 1, l)
+        else (p, l + 1))
+      (0, 0) base_facts
+  in
+  let base_nodes = Digraph.nodes base in
+  let preimage r = List.filter (fun n -> map n = r) base_nodes in
+  let spurious =
+    List.length
+      (List.filter
+         (fun (a, b) ->
+           not
+             (List.exists
+                (fun x ->
+                  List.exists
+                    (fun y ->
+                      x <> y && Reachability.closure_reaches base_closure x y)
+                    (preimage b))
+                (preimage a)))
+         view_facts)
+  in
+  let ratio num den = if den = 0 then 1.0 else float_of_int num /. float_of_int den in
+  let nb_view = List.length view_facts in
+  {
+    preserved;
+    lost;
+    spurious;
+    precision = ratio (nb_view - spurious) nb_view;
+    recall = ratio preserved (List.length base_facts);
+  }
+
+let data_utility ~weights exec ~visible =
+  List.fold_left
+    (fun acc (it : Execution.item) ->
+      if visible it.data_id then acc +. weights it.name else acc)
+    0.0 (Execution.items exec)
+
+let combined ~alpha ~connectivity ~disclosed_modules ~total_modules =
+  if alpha < 0.0 || alpha > 1.0 then invalid_arg "Utility.combined: alpha";
+  let f1 =
+    let p = connectivity.precision and r = connectivity.recall in
+    if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)
+  in
+  let disclosure =
+    if total_modules = 0 then 1.0
+    else float_of_int disclosed_modules /. float_of_int total_modules
+  in
+  (alpha *. f1) +. ((1.0 -. alpha) *. disclosure)

@@ -1,0 +1,36 @@
+(** Utility measures for the privacy–utility trade-off (paper Sec. 3–4).
+
+    The paper defines the utility of a (possibly transformed) result as a
+    function of (a) the number of correct node-connectivity relationships
+    captured, and (b) the amount/weight of data disclosed. These metrics
+    quantify both, for graphs and for data masking. *)
+
+type reachability_score = {
+  preserved : int;  (** base facts still implied by the view *)
+  lost : int;  (** base facts no longer implied *)
+  spurious : int;  (** view facts false in the base *)
+  precision : float;
+      (** fraction of view facts that are true, i.e.
+          [1 - spurious / view facts] (1.0 when the view has no facts) *)
+  recall : float;  (** preserved / base facts (1.0 when base empty) *)
+}
+
+val reachability_score :
+  base:Wfpriv_graph.Digraph.t ->
+  view:Wfpriv_graph.Digraph.t ->
+  map:(int -> int) ->
+  reachability_score
+(** [map] sends base nodes to their view representatives (identity for
+    deletion views). A base fact [(u, v)] is preserved when
+    [map u <> map v] and the view connects them; a view fact is spurious
+    when no base pair mapping onto it is connected. *)
+
+val data_utility :
+  weights:(string -> float) -> Wfpriv_workflow.Execution.t -> visible:(Wfpriv_workflow.Ids.data_id -> bool) -> float
+(** Total weight (by data name) of items whose value is visible. *)
+
+val combined :
+  alpha:float -> connectivity:reachability_score -> disclosed_modules:int -> total_modules:int -> float
+(** The paper's "function of both": [alpha * connectivity-F1 +
+    (1 - alpha) * disclosure-ratio], in [0, 1]. [Invalid_argument] unless
+    [0 <= alpha <= 1]. *)

@@ -1,0 +1,329 @@
+open Wfpriv_workflow
+
+type visibility = Public | Private
+
+type wiring = {
+  w_id : Ids.module_id;
+  w_table : Module_privacy.table;
+  w_visibility : visibility;
+}
+
+exception Ill_formed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Ill_formed s)) fmt
+
+let in_names w = List.map (fun (a : Module_privacy.attr) -> a.Module_privacy.attr_name) (Module_privacy.inputs w.w_table)
+let out_names w = List.map (fun (a : Module_privacy.attr) -> a.Module_privacy.attr_name) (Module_privacy.outputs w.w_table)
+
+let all_attrs w = Module_privacy.inputs w.w_table @ Module_privacy.outputs w.w_table
+
+type t = {
+  src : (string * Data_value.t list) list;
+  modules : wiring list; (* topologically ordered *)
+}
+
+let make ~t_sources wirings =
+  (* Distinct module ids. *)
+  let ids = List.map (fun w -> w.w_id) wirings in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    fail "duplicate module ids";
+  (* Single producer per data name. *)
+  let producers = Hashtbl.create 16 in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun n ->
+          if List.mem n t_sources then
+            fail "source name %S also produced by a module" n;
+          if Hashtbl.mem producers n then fail "data name %S produced twice" n;
+          Hashtbl.replace producers n w.w_id)
+        (out_names w))
+    wirings;
+  (* Every input available. *)
+  List.iter
+    (fun w ->
+      List.iter
+        (fun n ->
+          if (not (List.mem n t_sources)) && not (Hashtbl.mem producers n) then
+            fail "input %S of module %s has no producer" n
+              (Ids.module_name w.w_id))
+        (in_names w))
+    wirings;
+  (* Domains of shared names agree across tables. *)
+  let domain_of = Hashtbl.create 16 in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun (a : Module_privacy.attr) ->
+          match Hashtbl.find_opt domain_of a.Module_privacy.attr_name with
+          | None ->
+              Hashtbl.replace domain_of a.Module_privacy.attr_name
+                a.Module_privacy.domain
+          | Some d ->
+              if d <> a.Module_privacy.domain then
+                fail "conflicting domains for data name %S"
+                  a.Module_privacy.attr_name)
+        (all_attrs w))
+    wirings;
+  (* Source domains must be known (some table consumes them). *)
+  let src =
+    List.map
+      (fun n ->
+        match Hashtbl.find_opt domain_of n with
+        | Some d -> (n, d)
+        | None -> fail "source %S is not consumed by any module" n)
+      t_sources
+  in
+  (* Topological order via Kahn on module dependencies. *)
+  let remaining = ref wirings in
+  let available = ref t_sources in
+  let ordered = ref [] in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    let ready, blocked =
+      List.partition
+        (fun w -> List.for_all (fun n -> List.mem n !available) (in_names w))
+        !remaining
+    in
+    if ready <> [] then begin
+      progress := true;
+      ordered := !ordered @ ready;
+      available := !available @ List.concat_map out_names ready;
+      remaining := blocked
+    end
+  done;
+  if !remaining <> [] then fail "cyclic wiring";
+  { src; modules = !ordered }
+
+let of_spec spec semantics ~domains ~private_modules =
+  (* Canonical domain order so producer-inferred and consumer-declared
+     domains compare equal. *)
+  let domains =
+    List.map (fun (n, d) -> (n, List.sort_uniq Data_value.compare d)) domains
+  in
+  let view = View.full spec in
+  let atomic =
+    List.filter
+      (fun m ->
+        (Spec.find_module spec m).Module_def.kind = Module_def.Atomic)
+      (View.visible_modules view)
+  in
+  let wirings =
+    List.map
+      (fun m ->
+        {
+          w_id = m;
+          w_table = Spec_tables.tabulate spec semantics ~domains m;
+          w_visibility =
+            (if List.mem m private_modules then Private else Public);
+        })
+      atomic
+  in
+  let produced = List.concat_map out_names wirings in
+  let consumed = List.concat_map in_names wirings in
+  let t_sources =
+    List.filter (fun n -> not (List.mem n produced)) consumed
+    |> List.sort_uniq compare
+  in
+  make ~t_sources wirings
+
+let sources t = t.src
+
+let data_names t =
+  List.map fst t.src @ List.concat_map out_names t.modules
+  |> List.sort_uniq compare
+
+(* Evaluate the pipeline on one source assignment, with [apply] giving
+   each module's function (row index -> output tuple). *)
+let eval t ~apply source_assignment =
+  List.fold_left
+    (fun env w ->
+      let x =
+        Array.of_list
+          (List.map (fun n -> List.assoc n env) (in_names w))
+      in
+      let y = apply w x in
+      env
+      @ List.mapi (fun i n -> (n, y.(i))) (out_names w))
+    source_assignment t.modules
+
+let source_product t =
+  List.fold_left
+    (fun acc (n, domain) ->
+      List.concat_map
+        (fun partial -> List.map (fun v -> partial @ [ (n, v) ]) domain)
+        acc)
+    [ [] ] t.src
+
+let true_apply w x = Module_privacy.lookup w.w_table x
+
+let runs t =
+  List.map
+    (fun src_assign ->
+      List.sort compare (eval t ~apply:true_apply src_assign))
+    (source_product t)
+
+let output_space w =
+  List.fold_left
+    (fun acc (a : Module_privacy.attr) ->
+      List.concat_map
+        (fun tuple -> List.map (fun v -> tuple @ [ v ]) a.Module_privacy.domain)
+        acc)
+    [ [] ]
+    (Module_privacy.outputs w.w_table)
+  |> List.map Array.of_list
+
+let saturating_pow base exp =
+  let rec go acc = function
+    | 0 -> acc
+    | e -> if acc > max_int / base then max_int else go (acc * base) (e - 1)
+  in
+  go 1 exp
+
+let nb_candidate_worlds t =
+  List.fold_left
+    (fun acc w ->
+      match w.w_visibility with
+      | Public -> acc
+      | Private ->
+          let per =
+            saturating_pow
+              (List.length (output_space w))
+              (Module_privacy.nb_rows w.w_table)
+          in
+          if acc > max_int / max per 1 then max_int else acc * per)
+    1 t.modules
+
+(* Row index of an input tuple within a table (product order). *)
+let row_index table =
+  let rows = Module_privacy.rows table in
+  let tbl = Hashtbl.create (List.length rows) in
+  List.iteri
+    (fun i (x, _) ->
+      Hashtbl.replace tbl (List.map Data_value.to_string (Array.to_list x)) i)
+    rows;
+  fun x ->
+    Hashtbl.find tbl (List.map Data_value.to_string (Array.to_list x))
+
+let standalone_gamma t ~hidden =
+  List.filter_map
+    (fun w ->
+      match w.w_visibility with
+      | Public -> None
+      | Private ->
+          let names =
+            List.filter
+              (fun h -> List.mem h (Module_privacy.attr_names w.w_table))
+              hidden
+          in
+          Some (w.w_id, Module_privacy.privacy_level w.w_table ~hidden:names))
+    t.modules
+
+let gamma t ~hidden =
+  let names = data_names t in
+  List.iter
+    (fun h ->
+      if not (List.mem h names) then
+        invalid_arg (Printf.sprintf "Workflow_privacy.gamma: unknown name %S" h))
+    hidden;
+  let budget = nb_candidate_worlds t in
+  if budget > 1_000_000 then
+    invalid_arg
+      (Printf.sprintf
+         "Workflow_privacy.gamma: %d candidate worlds exceed the exact-search \
+          budget"
+         budget);
+  let privates = List.filter (fun w -> w.w_visibility = Private) t.modules in
+  let spaces = List.map (fun w -> Array.of_list (output_space w)) privates in
+  let row_counts =
+    List.map (fun w -> Module_privacy.nb_rows w.w_table) privates
+  in
+  let indexers = List.map (fun w -> row_index w.w_table) privates in
+  (* World = per private module, an array (row -> output-space index). *)
+  let sourcesq = source_product t in
+  let visible_of env =
+    List.filter (fun (n, _) -> not (List.mem n hidden)) env
+    |> List.sort compare
+  in
+  let observed =
+    List.map
+      (fun s -> visible_of (eval t ~apply:true_apply s))
+      sourcesq
+  in
+  (* Odometer over all candidate tuples. *)
+  let digits =
+    List.concat
+      (List.mapi
+         (fun mi rows -> List.init rows (fun r -> (mi, r)))
+         row_counts)
+  in
+  let bases =
+    List.map (fun (mi, _) -> Array.length (List.nth spaces mi)) digits
+  in
+  let counter = Array.make (List.length digits) 0 in
+  let candidate = List.map (fun rows -> Array.make rows 0) row_counts in
+  let load_counter () =
+    List.iteri
+      (fun di (mi, r) -> (List.nth candidate mi).(r) <- counter.(di))
+      digits
+  in
+  (* Output-value collectors: per private module, per row, the set of
+     output tuples seen in consistent worlds (keyed by rendering). *)
+  let collected =
+    List.map (fun rows -> Array.init rows (fun _ -> Hashtbl.create 4)) row_counts
+  in
+  let apply_world w x =
+    match
+      List.find_index (fun p -> p.w_id = w.w_id) privates
+    with
+    | Some mi ->
+        let idx = (List.nth indexers mi) x in
+        let choice = (List.nth candidate mi).(idx) in
+        (List.nth spaces mi).(choice)
+    | None -> true_apply w x
+  in
+  let consistent () =
+    List.for_all2
+      (fun s obs -> visible_of (eval t ~apply:apply_world s) = obs)
+      sourcesq observed
+  in
+  let record () =
+    List.iteri
+      (fun mi per_row ->
+        Array.iteri
+          (fun r h ->
+            let choice = (List.nth candidate mi).(r) in
+            Hashtbl.replace h choice ())
+          per_row)
+      collected
+  in
+  let rec iterate di =
+    if di = Array.length counter then begin
+      load_counter ();
+      if consistent () then record ()
+    end
+    else
+      for v = 0 to List.nth bases di - 1 do
+        counter.(di) <- v;
+        iterate (di + 1)
+      done
+  in
+  iterate 0;
+  List.map2
+    (fun w per_row ->
+      let g =
+        Array.fold_left (fun acc h -> min acc (Hashtbl.length h)) max_int per_row
+      in
+      (w.w_id, if g = max_int then 1 else g))
+    privates collected
+
+let is_safe t ~hidden ~gamma:target =
+  List.for_all (fun (_, g) -> g >= target) (gamma t ~hidden)
+
+let optimal_hiding ?(weights = Module_privacy.unit_weights) t ~gamma:target =
+  let names = data_names t in
+  (* Reuse the best-first enumerator: the first safe subset in cost order
+     is the optimum. *)
+  Module_privacy.ordered_subset_search ~weights ~names ~safe:(fun hidden ->
+      is_safe t ~hidden ~gamma:target)

@@ -1,0 +1,96 @@
+(** Workflow-level Γ-privacy with {e public} modules — the full
+    possible-worlds semantics of the paper's companion work
+    (arXiv:1005.5543): in a workflow, some modules are proprietary
+    (private) while others are textbook steps whose behaviour the
+    adversary already knows (public). Hiding a data item then interacts
+    with knowledge: a hidden value feeding a {e known, invertible} public
+    module is recoverable from that module's visible output, so the same
+    hidden set gives far less privacy than standalone analysis suggests.
+
+    The model: a {!t} is an acyclic pipeline of relation-table modules
+    wired by data names, with distinguished source names (workflow
+    inputs). The adversary observes, for {e every} workflow input, the
+    visible data values of the run. A {e possible world} re-chooses each
+    private module's function arbitrarily (over its declared domains),
+    keeps public modules fixed at their true functions, re-executes all
+    runs, and is {e consistent} when every run's visible values match the
+    observation. [Γ(m, H)] is the least, over inputs [x] to [m], number
+    of distinct values consistent worlds assign to [m(x)].
+
+    Everything is exact and exponential in (candidate functions per
+    private module) — intended for the small domains where the
+    companion paper's phenomena are already visible; {!nb_worlds} reports
+    the search size so callers can bound it. *)
+
+type visibility = Public | Private
+
+type wiring = {
+  w_id : Wfpriv_workflow.Ids.module_id;
+  w_table : Module_privacy.table;
+      (** attribute names double as data names: inputs consumed, outputs
+          produced *)
+  w_visibility : visibility;
+}
+
+type t
+
+exception Ill_formed of string
+
+val make : t_sources:string list -> wiring list -> t
+(** Validates: every non-source input name is produced by exactly one
+    module, no name produced twice, the wiring is acyclic, shared names
+    have equal domains, and module ids are distinct. Raises
+    {!Ill_formed}. *)
+
+val of_spec :
+  Wfpriv_workflow.Spec.t ->
+  Wfpriv_workflow.Executor.semantics ->
+  domains:(string * Wfpriv_workflow.Data_value.t list) list ->
+  private_modules:Wfpriv_workflow.Ids.module_id list ->
+  t
+(** Build the pipeline from a real specification: every atomic module is
+    tabulated over the declared domains ({!Spec_tables.tabulate} on the
+    full expansion), marked [Private] when listed and [Public] otherwise;
+    sources are the data names nothing produces. Domains must be declared
+    for {e every} data name (outputs too, so shared-name domains agree).
+    Raises {!Spec_tables.Unsupported} / {!Ill_formed} on failure. *)
+
+val sources : t -> (string * Wfpriv_workflow.Data_value.t list) list
+(** Source names with their domains (taken from the consuming tables). *)
+
+val data_names : t -> string list
+(** Every data name in the pipeline, sorted. *)
+
+val runs : t -> (string * Wfpriv_workflow.Data_value.t) list list
+(** One complete assignment (data name → value) per workflow-input
+    combination, with the true functions. *)
+
+val nb_candidate_worlds : t -> int
+(** Product over private modules of (output-space size ^ rows) —
+    the exact search's cost; saturates at [max_int]. *)
+
+val gamma :
+  t -> hidden:string list -> (Wfpriv_workflow.Ids.module_id * int) list
+(** Γ per private module under the hidden-name set, by exhaustive
+    possible-world enumeration. Raises [Invalid_argument] on unknown
+    hidden names and {!Ill_formed} via {!make}'s guarantees. *)
+
+val standalone_gamma :
+  t -> hidden:string list -> (Wfpriv_workflow.Ids.module_id * int) list
+(** Each private module analysed in isolation
+    ({!Module_privacy.privacy_level} on its own table) — the optimistic
+    estimate the workflow-level analysis corrects. *)
+
+val is_safe : t -> hidden:string list -> gamma:int -> bool
+(** Workflow-level safety: every private module reaches the target. *)
+
+val optimal_hiding :
+  ?weights:Module_privacy.weights -> t -> gamma:int -> string list option
+(** Minimum-cost data-name set that is workflow-level Γ-safe (best-first
+    cost-ordered search over name subsets, each candidate checked by
+    possible-world enumeration — exact and expensive; meant for the same
+    small pipelines as {!gamma}). [None] when unachievable even hiding
+    every name. Note that, unlike the standalone problem, safety here is
+    {e not} monotone-trivial: hiding more never hurts, but a set that
+    standalone analysis accepts may fail (E12), so this is the search a
+    deployment would actually need. *)

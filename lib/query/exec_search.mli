@@ -1,0 +1,52 @@
+(** Keyword search over executions — the provenance half of the paper's
+    Sec. 1 promise ("search and query both workflow specifications and
+    their provenance graphs").
+
+    A keyword matches an execution through a {e module witness} (an
+    execution node whose module's name/keywords match) or a {e data
+    witness} (an item whose data name contains the keyword). The answer
+    is the coarsest execution view making a witness of every keyword
+    visible:
+
+    - a module execution is visible once every enclosing composite
+      execution is expanded (its scope chain);
+    - a data item is visible once at least one edge carrying it survives
+      collapsing, i.e. the common composite scope of that edge's
+      endpoints is expanded.
+
+    Witnesses are chosen to minimise the expanded-workflow count, ties
+    broken deterministically; [restrict_to] is the privacy hook, as in
+    {!Keyword.search}. *)
+
+type witness =
+  | Module_witness of int  (** execution node id *)
+  | Data_witness of Wfpriv_workflow.Ids.data_id
+
+type match_info = {
+  keyword : string;
+  chosen : witness;
+  required_prefix : Wfpriv_workflow.Ids.workflow_id list;
+      (** what the chosen witness forces open, root included, sorted *)
+}
+
+type answer = {
+  view : Wfpriv_workflow.Exec_view.t;
+  matches : match_info list;  (** one per keyword, query order *)
+}
+
+val witness_candidates :
+  Wfpriv_workflow.Execution.t -> string -> witness list
+(** All witnesses for one keyword: module witnesses (begin nodes for
+    composites) then data witnesses, each sorted. *)
+
+val required_prefix :
+  Wfpriv_workflow.Execution.t -> witness -> Wfpriv_workflow.Ids.workflow_id list
+(** Minimal prefix making the witness visible. *)
+
+val search :
+  ?restrict_to:(witness -> bool) ->
+  Wfpriv_workflow.Execution.t ->
+  string list ->
+  answer option
+(** [None] when some keyword has no (admissible) witness. Raises
+    [Invalid_argument] on an empty keyword list. *)

@@ -1,0 +1,89 @@
+open Wfpriv_workflow
+open Wfpriv_privacy
+module Smap = Map.Make (String)
+
+type posting = {
+  doc : string;
+  module_id : Ids.module_id;
+  min_level : Privilege.level;
+}
+
+type t = { postings : posting list Smap.t; terms : int; total : int }
+
+let posting_compare a b =
+  compare (a.doc, a.module_id, a.min_level) (b.doc, b.module_id, b.min_level)
+
+let entry_postings (name, spec, privilege) =
+  List.concat_map
+    (fun m ->
+      let md = Spec.find_module spec m in
+      let min_level = Privilege.min_level_to_see privilege m in
+      List.map
+        (fun term -> (term, { doc = name; module_id = m; min_level }))
+        (Module_def.terms md))
+    (Spec.module_ids spec)
+
+let build entries =
+  let names = List.map (fun (n, _, _) -> n) entries in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Index.build: duplicate entry names";
+  let postings =
+    List.fold_left
+      (fun acc (term, p) ->
+        let cur = Option.value ~default:[] (Smap.find_opt term acc) in
+        Smap.add term (p :: cur) acc)
+      Smap.empty
+      (List.concat_map entry_postings entries)
+  in
+  let postings = Smap.map (List.sort posting_compare) postings in
+  let total = Smap.fold (fun _ l acc -> acc + List.length l) postings 0 in
+  { postings; terms = Smap.cardinal postings; total }
+
+let lookup t ~level term =
+  Option.value ~default:[]
+    (Smap.find_opt (String.lowercase_ascii term) t.postings)
+  |> List.filter (fun p -> p.min_level <= level)
+
+let nb_terms t = t.terms
+let nb_postings t = t.total
+
+type per_level = (Privilege.level * t) list
+
+let build_per_level ~levels entries =
+  let levels = List.sort_uniq compare levels in
+  if levels = [] then invalid_arg "Index.build_per_level: no levels";
+  List.map
+    (fun level ->
+      (* Materialise only what this level may see. *)
+      let idx = build entries in
+      let filtered =
+        Smap.map
+          (List.filter (fun p -> p.min_level <= level))
+          idx.postings
+        |> Smap.filter (fun _ l -> l <> [])
+      in
+      let total = Smap.fold (fun _ l acc -> acc + List.length l) filtered 0 in
+      (level, { postings = filtered; terms = Smap.cardinal filtered; total }))
+    levels
+
+let lookup_per_level pl ~level term =
+  let candidates = List.filter (fun (l, _) -> l <= level) pl in
+  match List.rev candidates with
+  | [] -> invalid_arg "Index.lookup_per_level: no index at or below the level"
+  | (_, idx) :: _ ->
+      Option.value ~default:[]
+        (Smap.find_opt (String.lowercase_ascii term) idx.postings)
+
+let per_level_postings pl =
+  List.fold_left (fun acc (_, idx) -> acc + idx.total) 0 pl
+
+let lookup_scan entries ~level term =
+  let term = String.lowercase_ascii term in
+  List.concat_map
+    (fun entry ->
+      List.filter
+        (fun (t, p) -> String.equal t term && p.min_level <= level)
+        (entry_postings entry)
+      |> List.map snd)
+    entries
+  |> List.sort posting_compare

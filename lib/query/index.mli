@@ -1,0 +1,54 @@
+(** Privacy-partitioned keyword index (paper Sec. 4: "manage an index with
+    different user views ... advanced data structures that classify and
+    group their elements based on privacy settings").
+
+    Instead of materialising one index per privilege level (high space
+    overhead, the paper's strawman), a single inverted index stores with
+    every posting the minimum privilege level at which its module is
+    visible; a lookup at level [l] filters postings to [min_level <= l].
+    {!build_per_level} materialises the strawman for comparison (E6). *)
+
+type posting = {
+  doc : string;  (** repository entry name *)
+  module_id : Wfpriv_workflow.Ids.module_id;
+  min_level : Wfpriv_privacy.Privilege.level;
+}
+
+type t
+
+val build :
+  (string * Wfpriv_workflow.Spec.t * Wfpriv_privacy.Privilege.t) list -> t
+(** One entry per repository workflow: name, spec, and its expansion-level
+    assignment. Every term of every module (including I/O pseudo-modules)
+    is indexed. Raises [Invalid_argument] on duplicate names. *)
+
+val lookup : t -> level:Wfpriv_privacy.Privilege.level -> string -> posting list
+(** Postings for a term visible at the level, sorted by (doc, module). *)
+
+val nb_terms : t -> int
+val nb_postings : t -> int
+
+(** {2 Baselines for experiment E6} *)
+
+type per_level
+(** One full index per privilege level (the space-hungry alternative). *)
+
+val build_per_level :
+  levels:Wfpriv_privacy.Privilege.level list ->
+  (string * Wfpriv_workflow.Spec.t * Wfpriv_privacy.Privilege.t) list ->
+  per_level
+
+val lookup_per_level :
+  per_level -> level:Wfpriv_privacy.Privilege.level -> string -> posting list
+(** Uses the index of the largest materialised level [<= level]; raises
+    [Invalid_argument] when none exists. *)
+
+val per_level_postings : per_level -> int
+(** Total postings across all materialised indexes (space proxy). *)
+
+val lookup_scan :
+  (string * Wfpriv_workflow.Spec.t * Wfpriv_privacy.Privilege.t) list ->
+  level:Wfpriv_privacy.Privilege.level ->
+  string ->
+  posting list
+(** Index-free full scan (the no-index baseline). *)

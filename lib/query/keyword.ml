@@ -1,0 +1,133 @@
+open Wfpriv_workflow
+
+type match_info = {
+  keyword : string;
+  witnesses : Ids.module_id list;
+  all_matches : Ids.module_id list;
+}
+
+type answer = { view : View.t; matches : match_info list }
+
+(* Workflows that must be expanded for a module to be visible: the
+   ancestor chain of its owner. *)
+let chain spec hierarchy m = Hierarchy.module_path spec hierarchy m
+
+let union_sorted lists = List.sort_uniq compare (List.concat lists)
+
+(* Exact minimal witness choice: one candidate per keyword minimising
+   (#expanded workflows, #visible modules). DFS over the candidate
+   product with branch-and-bound on prefix size; candidate products are
+   capped — callers with huge match sets get the greedy path. *)
+let minimal_choice spec hierarchy candidates_per_kw =
+  let product_size =
+    List.fold_left
+      (fun acc c -> if acc > 100_000 then acc else acc * List.length c)
+      1 candidates_per_kw
+  in
+  if product_size <= 20_000 then begin
+    let best = ref None in
+    let rec go chosen prefix = function
+      | [] ->
+          let size = List.length prefix in
+          let better =
+            match !best with
+            | None -> true
+            | Some (s, _, _) -> size < s
+          in
+          if better then best := Some (size, List.rev chosen, prefix)
+      | cands :: rest ->
+          List.iter
+            (fun m ->
+              let prefix' = union_sorted [ prefix; chain spec hierarchy m ] in
+              (* Bound: prefix only grows along the branch. *)
+              let keep =
+                match !best with
+                | Some (s, _, _) -> List.length prefix' < s
+                | None -> true
+              in
+              if keep then go (m :: chosen) prefix' rest)
+            cands
+    in
+    go [] [ Spec.root spec ] candidates_per_kw;
+    Option.map (fun (_, chosen, prefix) -> (chosen, prefix)) !best
+  end
+  else begin
+    (* Greedy: per keyword, pick the candidate adding the fewest new
+       workflows to the running prefix. *)
+    let prefix = ref [ Spec.root spec ] in
+    let chosen =
+      List.map
+        (fun cands ->
+          let cost m =
+            let added =
+              List.filter
+                (fun w -> not (List.mem w !prefix))
+                (chain spec hierarchy m)
+            in
+            (List.length added, m)
+          in
+          let best =
+            List.fold_left
+              (fun acc m -> if cost m < cost acc then m else acc)
+              (List.hd cands) (List.tl cands)
+          in
+          prefix := union_sorted [ !prefix; chain spec hierarchy best ];
+          best)
+        candidates_per_kw
+    in
+    Some (chosen, !prefix)
+  end
+
+let search ?(strategy = `Minimal) ?(restrict_to = fun _ -> true) spec keywords =
+  if keywords = [] then invalid_arg "Keyword.search: empty keyword list";
+  let hierarchy = Hierarchy.of_spec spec in
+  let all_matches kw =
+    List.filter
+      (fun m ->
+        restrict_to m
+        && Module_def.matches (Spec.find_module spec m) kw)
+      (Spec.module_ids spec)
+  in
+  let per_kw = List.map (fun kw -> (kw, all_matches kw)) keywords in
+  if List.exists (fun (_, ms) -> ms = []) per_kw then None
+  else begin
+    let result =
+      match strategy with
+      | `Minimal -> (
+          match minimal_choice spec hierarchy (List.map snd per_kw) with
+          | Some (chosen, prefix) ->
+              Some (List.map (fun m -> [ m ]) chosen, prefix)
+          | None -> None)
+      | `Specific ->
+          (* Deepest matches per keyword; all their chains expanded. *)
+          let witnesses =
+            List.map
+              (fun (_, ms) ->
+                let depth m = Hierarchy.depth hierarchy (Spec.owner spec m) in
+                let dmax = List.fold_left (fun a m -> max a (depth m)) 0 ms in
+                List.filter (fun m -> depth m = dmax) ms)
+              per_kw
+          in
+          let prefix =
+            union_sorted
+              ([ Spec.root spec ]
+              :: List.concat_map
+                   (fun ws -> List.map (chain spec hierarchy) ws)
+                   witnesses)
+          in
+          Some (witnesses, prefix)
+    in
+    match result with
+    | None -> None
+    | Some (witness_sets, prefix) ->
+        let view = View.of_prefix spec prefix in
+        let matches =
+          List.map2
+            (fun (kw, ms) ws ->
+              { keyword = kw; witnesses = List.sort compare ws; all_matches = ms })
+            per_kw witness_sets
+        in
+        Some { view; matches }
+  end
+
+let answer_modules a = View.visible_modules a.view

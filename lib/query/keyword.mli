@@ -1,0 +1,49 @@
+(** Keyword search over hierarchical workflows (paper Sec. 4, Fig. 5;
+    semantics reconstructed from Liu, Shao, Chen, PVLDB 2010).
+
+    The answer to a keyword set over one specification is a {e view}: the
+    query matches when every keyword matches some module, and the answer
+    view expands exactly enough composites to make a witnessing match of
+    each keyword visible. A visible composite module can itself witness a
+    keyword without being expanded (the paper's Fig. 5 keeps
+    [M2 "Evaluate Disorder Risk"] collapsed while it witnesses "disorder
+    risk").
+
+    Two answer strategies are provided:
+    - [`Minimal] — the fewest-expansion view: choose one witness per
+      keyword minimising the number of expanded workflows (exact
+      set-cover search when the candidate product is small, greedy
+      otherwise), tie-broken by fewer visible modules;
+    - [`Specific] — the finest-granularity answer: witness each keyword
+      by its {e deepest} matches in the hierarchy and expand their whole
+      ancestor chains. This reproduces the paper's Fig. 5, which exposes
+      [M5 "Generate Database Queries"] inside [W4] rather than answering
+      with the shallower composite [M4 "Consult External Databases"]. *)
+
+type match_info = {
+  keyword : string;
+  witnesses : Wfpriv_workflow.Ids.module_id list;  (** chosen, sorted *)
+  all_matches : Wfpriv_workflow.Ids.module_id list;  (** every matching module *)
+}
+
+type answer = {
+  view : Wfpriv_workflow.View.t;
+  matches : match_info list;  (** one per keyword, query order *)
+}
+
+val search :
+  ?strategy:[ `Minimal | `Specific ] ->
+  ?restrict_to:(Wfpriv_workflow.Ids.module_id -> bool) ->
+  Wfpriv_workflow.Spec.t ->
+  string list ->
+  answer option
+(** [None] when some keyword matches no (admissible) module. Keywords
+    match via {!Wfpriv_workflow.Module_def.matches} (case-insensitive
+    substring of name or keyword list). [restrict_to] filters admissible
+    witness modules — the privacy hook: pass the user's visibility
+    predicate so hidden modules can neither witness nor be exposed.
+    Default strategy: [`Minimal]. Raises [Invalid_argument] on an empty
+    keyword list. *)
+
+val answer_modules : answer -> Wfpriv_workflow.Ids.module_id list
+(** Visible modules of the answer view, sorted. *)

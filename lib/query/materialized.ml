@@ -1,0 +1,136 @@
+open Wfpriv_workflow
+open Wfpriv_privacy
+module Digraph = Wfpriv_graph.Digraph
+
+type entry_copy = {
+  ec_name : string;
+  spec_view : View.t;
+  exec_views : Exec_view.t list;
+  visible_item_counts : int list; (* per execution *)
+}
+
+type level_copy = { lc_level : Privilege.level; copies : entry_copy list }
+type t = { level_copies : level_copy list }
+
+let copy_entry level (e : Repository.entry) =
+  let privilege = Policy.privilege e.Repository.policy in
+  let spec_view = Privilege.access_view privilege level in
+  let exec_views =
+    List.map (Privilege.access_exec_view privilege level) e.Repository.executions
+  in
+  {
+    ec_name = e.Repository.name;
+    spec_view;
+    exec_views;
+    visible_item_counts =
+      List.map (fun v -> List.length (Exec_view.visible_items v)) exec_views;
+  }
+
+let materialize repo ~levels =
+  let levels = List.sort_uniq compare levels in
+  if levels = [] then invalid_arg "Materialized.materialize: no levels";
+  {
+    level_copies =
+      List.map
+        (fun lc_level ->
+          {
+            lc_level;
+            copies =
+              List.map
+                (fun name -> copy_entry lc_level (Repository.find repo name))
+                (Repository.names repo);
+          })
+        levels;
+  }
+
+let levels t = List.map (fun lc -> lc.lc_level) t.level_copies
+
+let view_space g = Digraph.nb_nodes g + Digraph.nb_edges g
+
+let space t =
+  List.fold_left
+    (fun acc lc ->
+      List.fold_left
+        (fun acc ec ->
+          let spec_part = view_space (View.graph ec.spec_view) in
+          let exec_part =
+            List.fold_left2
+              (fun acc v items -> acc + view_space (Exec_view.graph v) + items)
+              0 ec.exec_views ec.visible_item_counts
+          in
+          acc + spec_part + exec_part)
+        acc lc.copies)
+    0 t.level_copies
+
+let integrated_space repo =
+  List.fold_left
+    (fun acc name ->
+      let e = Repository.find repo name in
+      let spec_part = view_space (View.graph (View.full e.Repository.spec)) in
+      let exec_part =
+        List.fold_left
+          (fun acc exec ->
+            acc
+            + view_space (Execution.graph exec)
+            + Execution.nb_items exec)
+          0 e.Repository.executions
+      in
+      acc + spec_part + exec_part)
+    0 (Repository.names repo)
+
+let entry_consistent level (e : Repository.entry) ec =
+  let fresh = copy_entry level e in
+  String.equal fresh.ec_name ec.ec_name
+  && View.prefix fresh.spec_view = View.prefix ec.spec_view
+  && List.length fresh.exec_views = List.length ec.exec_views
+  && fresh.visible_item_counts = ec.visible_item_counts
+
+let consistent t repo =
+  let names = Repository.names repo in
+  List.for_all
+    (fun lc ->
+      List.length lc.copies = List.length names
+      && List.for_all2
+           (fun name ec ->
+             entry_consistent lc.lc_level (Repository.find repo name) ec)
+           names lc.copies)
+    t.level_copies
+
+let refresh_entry t repo name =
+  let e = Repository.find repo name in
+  {
+    level_copies =
+      List.map
+        (fun lc ->
+          let fresh = copy_entry lc.lc_level e in
+          let replaced = ref false in
+          let copies =
+            List.map
+              (fun ec ->
+                if String.equal ec.ec_name name then begin
+                  replaced := true;
+                  fresh
+                end
+                else ec)
+              lc.copies
+          in
+          let copies = if !replaced then copies else copies @ [ fresh ] in
+          { lc with copies })
+        t.level_copies;
+  }
+
+let search_copy t ~level term =
+  match List.find_opt (fun lc -> lc.lc_level = level) t.level_copies with
+  | None -> invalid_arg "Materialized.search_copy: level not materialised"
+  | Some lc ->
+      List.concat_map
+        (fun ec ->
+          let spec = View.spec ec.spec_view in
+          List.filter_map
+            (fun m ->
+              if Module_def.matches (Spec.find_module spec m) term then
+                Some (ec.ec_name, m)
+              else None)
+            (View.visible_modules ec.spec_view))
+        lc.copies
+      |> List.sort compare

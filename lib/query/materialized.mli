@@ -1,0 +1,51 @@
+(** The strawman the paper argues against (Sec. 1): "the alternative
+    would be to create multiple repositories corresponding to different
+    levels of access, which would lead to inconsistencies, inefficiency,
+    and a lack of flexibility."
+
+    This module {e implements} that alternative — one fully materialised
+    copy of every entry (spec view + collapsed executions + readable
+    items) per privilege level — so its costs can be measured against the
+    integrated design (experiment E11):
+
+    - {!space} vs {!integrated_space}: the duplication factor;
+    - {!refresh_entry}: what every update must touch;
+    - {!consistent}: the invariant that silently breaks when an update
+      misses a copy (stale copies are exactly the paper's
+      "inconsistencies"). *)
+
+type t
+
+val materialize :
+  Repository.t -> levels:Wfpriv_privacy.Privilege.level list -> t
+(** Build one copy per level (deduplicated, sorted). Raises
+    [Invalid_argument] on an empty level list. *)
+
+val levels : t -> Wfpriv_privacy.Privilege.level list
+
+val space : t -> int
+(** Stored elements across all copies: per materialised view, its nodes +
+    edges + visible item count (spec views count modules + edges). *)
+
+val integrated_space : Repository.t -> int
+(** Same accounting for the single integrated store: each spec and each
+    execution once, at full resolution. *)
+
+val consistent : t -> Repository.t -> bool
+(** Every copy matches what the integrated store would serve that level
+    today: same entries, same spec-view prefixes, same number of
+    executions, same visible items per execution. *)
+
+val refresh_entry : t -> Repository.t -> string -> t
+(** Rebuild one entry's views in {e every} copy from the master — the
+    per-update work the multiple-repository design forces. Raises
+    [Not_found] on unknown entries. *)
+
+val search_copy :
+  t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  string ->
+  (string * Wfpriv_workflow.Ids.module_id) list
+(** Keyword lookup served directly from a copy (modules of that level's
+    spec views matching the term) — the one thing this design is good
+    at. Raises [Invalid_argument] when the level was not materialised. *)

@@ -1,0 +1,232 @@
+open Wfpriv_workflow
+module Digraph = Wfpriv_graph.Digraph
+
+type t =
+  | Atom of Query_ast.node_pred
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Eps
+
+let plus r = Seq (r, Star r)
+let any = Atom Query_ast.Any
+let anything = Star any
+
+let rec to_string = function
+  | Atom p -> Query_ast.node_pred_to_string p
+  | Seq (a, b) -> Printf.sprintf "(%s . %s)" (to_string a) (to_string b)
+  | Alt (a, b) -> Printf.sprintf "(%s | %s)" (to_string a) (to_string b)
+  | Star a -> Printf.sprintf "%s*" (to_string a)
+  | Eps -> "ε"
+
+(* ------------------------------------------------------------------ *)
+(* Thompson construction *)
+
+type nfa = {
+  nb_states : int;
+  start : int;
+  accept : int;
+  eps : (int, int list) Hashtbl.t;
+  sym : (int, (Query_ast.node_pred * int) list) Hashtbl.t;
+}
+
+let compile pattern =
+  let counter = ref 0 in
+  let fresh () =
+    let s = !counter in
+    incr counter;
+    s
+  in
+  let eps = Hashtbl.create 16 and sym = Hashtbl.create 16 in
+  let add_eps a b =
+    Hashtbl.replace eps a (b :: Option.value ~default:[] (Hashtbl.find_opt eps a))
+  in
+  let add_sym a p b =
+    Hashtbl.replace sym a
+      ((p, b) :: Option.value ~default:[] (Hashtbl.find_opt sym a))
+  in
+  let rec build = function
+    | Atom p ->
+        let s = fresh () and a = fresh () in
+        add_sym s p a;
+        (s, a)
+    | Eps ->
+        let s = fresh () in
+        (s, s)
+    | Seq (x, y) ->
+        let sx, ax = build x in
+        let sy, ay = build y in
+        add_eps ax sy;
+        (sx, ay)
+    | Alt (x, y) ->
+        let s = fresh () and a = fresh () in
+        let sx, ax = build x in
+        let sy, ay = build y in
+        add_eps s sx;
+        add_eps s sy;
+        add_eps ax a;
+        add_eps ay a;
+        (s, a)
+    | Star x ->
+        let s = fresh () and a = fresh () in
+        let sx, ax = build x in
+        add_eps s sx;
+        add_eps s a;
+        add_eps ax sx;
+        add_eps ax a;
+        (s, a)
+  in
+  let start, accept = build pattern in
+  { nb_states = !counter; start; accept; eps; sym }
+
+let closure nfa states =
+  let seen = Hashtbl.create 8 in
+  let rec go s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.replace seen s ();
+      List.iter go (Option.value ~default:[] (Hashtbl.find_opt nfa.eps s))
+    end
+  in
+  List.iter go states;
+  Hashtbl.fold (fun s () acc -> s :: acc) seen [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Product walk over an abstract graph *)
+
+type 'node walker = {
+  succ : 'node -> 'node list;
+  satisfies : 'node -> Query_ast.node_pred -> bool;
+}
+
+let consume nfa walker states node =
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun (p, target) ->
+          if walker.satisfies node p then Some target else None)
+        (Option.value ~default:[] (Hashtbl.find_opt nfa.sym s)))
+    states
+  |> fun moved -> closure nfa moved
+
+let matches_walk nfa walker ~src ~dst =
+  let init = consume nfa walker (closure nfa [ nfa.start ]) src in
+  if init = [] then false
+  else begin
+    let memo = Hashtbl.create 64 in
+    let rec go node states =
+      states <> []
+      &&
+      let key = (node, states) in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+          Hashtbl.replace memo key false (* cycle cut *)
+          ;
+          let here = node = dst && List.mem nfa.accept states in
+          let r =
+            here
+            || List.exists
+                 (fun next -> go next (consume nfa walker states next))
+                 (walker.succ node)
+          in
+          Hashtbl.replace memo key r;
+          r
+    in
+    go src init
+  end
+
+let witness_walk nfa walker ~src ~dst ~bound =
+  let init = consume nfa walker (closure nfa [ nfa.start ]) src in
+  let rec go node states path depth =
+    if states = [] || depth > bound then None
+    else if node = dst && List.mem nfa.accept states then
+      Some (List.rev (node :: path))
+    else
+      List.fold_left
+        (fun acc next ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              go next (consume nfa walker states next) (node :: path) (depth + 1))
+        None (walker.succ node)
+  in
+  go src init [] 0
+
+(* ------------------------------------------------------------------ *)
+(* Spec and execution instantiations *)
+
+let spec_walker view =
+  let g = View.graph view in
+  let spec = View.spec view in
+  {
+    succ = (fun m -> Digraph.succ g m);
+    satisfies =
+      (fun m p ->
+        match p with
+        | Query_ast.Any -> true
+        | Query_ast.Name_matches s -> Module_def.matches (Spec.find_module spec m) s
+        | Query_ast.Module_is m' -> m = m'
+        | Query_ast.Atomic_only ->
+            (Spec.find_module spec m).Module_def.kind = Module_def.Atomic
+        | Query_ast.Composite_only ->
+            Module_def.is_composite (Spec.find_module spec m));
+  }
+
+let exec_walker ev =
+  let g = Exec_view.graph ev in
+  let e = Exec_view.exec ev in
+  let spec = Execution.spec e in
+  {
+    succ = (fun n -> Digraph.succ g n);
+    satisfies =
+      (fun n p ->
+        match (Exec_view.module_of_node ev n, p) with
+        | None, Query_ast.Any -> true
+        | None, Query_ast.Module_is m ->
+            (* The I/O pseudo-modules have no execution module id but are
+               addressable by their reserved ids. *)
+            (match Execution.node_kind e n with
+            | Execution.Input -> m = Ids.input_module
+            | Execution.Output -> m = Ids.output_module
+            | _ -> false)
+        | None, _ -> false
+        | Some m, p -> (
+            let md = Spec.find_module spec m in
+            match p with
+            | Query_ast.Any -> true
+            | Query_ast.Name_matches s -> Module_def.matches md s
+            | Query_ast.Module_is m' -> m = m'
+            | Query_ast.Atomic_only -> md.Module_def.kind = Module_def.Atomic
+            | Query_ast.Composite_only -> Module_def.is_composite md));
+  }
+
+let matches_spec view pattern ~src ~dst =
+  View.is_visible view src && View.is_visible view dst
+  && matches_walk (compile pattern) (spec_walker view) ~src ~dst
+
+let matches_exec ev pattern ~src ~dst =
+  let nodes = Exec_view.nodes ev in
+  List.mem src nodes && List.mem dst nodes
+  && matches_walk (compile pattern) (exec_walker ev) ~src ~dst
+
+let find_spec view pattern =
+  let nfa = compile pattern in
+  let walker = spec_walker view in
+  let nodes = View.visible_modules view in
+  List.concat_map
+    (fun src ->
+      List.filter_map
+        (fun dst -> if matches_walk nfa walker ~src ~dst then Some (src, dst) else None)
+        nodes)
+    nodes
+  |> List.sort compare
+
+let witness_spec view pattern ~src ~dst =
+  if not (View.is_visible view src && View.is_visible view dst) then None
+  else begin
+    let nfa = compile pattern in
+    let bound =
+      List.length (View.visible_modules view) * (nfa.nb_states + 1)
+    in
+    witness_walk nfa (spec_walker view) ~src ~dst ~bound
+  end

@@ -1,0 +1,62 @@
+(** Regular path queries over views — the BP-QL-style query class the
+    paper cites for workflow querying (Beeri et al. [1]): "find paths
+    whose module sequence matches a pattern", e.g. {e a SNP expansion,
+    then anything not touching private datasets, then a combine step}.
+
+    A pattern is a regular expression whose alphabet is node predicates;
+    a path [n0 → n1 → ... → nk] in the view matches when its full node
+    sequence spells a word in the pattern's language. Matching compiles
+    the pattern to a Thompson NFA and runs the product construction with
+    the view's DAG, memoised — polynomial in [nodes × NFA states], no
+    path enumeration. *)
+
+type t =
+  | Atom of Query_ast.node_pred  (** one node satisfying the predicate *)
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t  (** zero or more *)
+  | Eps  (** the empty word *)
+
+val plus : t -> t
+(** One or more: [Seq (r, Star r)]. *)
+
+val any : t
+(** [Atom Any]. *)
+
+val anything : t
+(** [Star any] — matches any (possibly empty) node sequence. *)
+
+val to_string : t -> string
+(** [atom . atom], [r | r], [r*], [ε]; parenthesised unambiguously. *)
+
+(** {2 Matching} *)
+
+val matches_spec :
+  Wfpriv_workflow.View.t ->
+  t ->
+  src:Wfpriv_workflow.Ids.module_id ->
+  dst:Wfpriv_workflow.Ids.module_id ->
+  bool
+(** Some dataflow path from [src] to [dst] (inclusive, so a single node
+    is the word [[src]] when [src = dst]) matches the pattern. False when
+    either endpoint is not visible. *)
+
+val matches_exec : Wfpriv_workflow.Exec_view.t -> t -> src:int -> dst:int -> bool
+(** Same over an execution view's nodes. *)
+
+val find_spec :
+  Wfpriv_workflow.View.t ->
+  t ->
+  (Wfpriv_workflow.Ids.module_id * Wfpriv_workflow.Ids.module_id) list
+(** All (src, dst) pairs with a matching path, sorted — the pattern's
+    answer set on a specification view. *)
+
+val witness_spec :
+  Wfpriv_workflow.View.t ->
+  t ->
+  src:Wfpriv_workflow.Ids.module_id ->
+  dst:Wfpriv_workflow.Ids.module_id ->
+  Wfpriv_workflow.Ids.module_id list option
+(** A concrete matching path (node sequence), if any — found by bounded
+    search guided by the product automaton; the path length is bounded by
+    [nodes × (NFA states + 1)] so [Star] cannot loop forever. *)

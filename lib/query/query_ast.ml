@@ -1,0 +1,49 @@
+type node_pred =
+  | Any
+  | Name_matches of string
+  | Module_is of Wfpriv_workflow.Ids.module_id
+  | Atomic_only
+  | Composite_only
+
+type t =
+  | Node of node_pred
+  | Edge of node_pred * node_pred
+  | Before of node_pred * node_pred
+  | Carries of node_pred * node_pred * string
+  | Inside of node_pred * Wfpriv_workflow.Ids.workflow_id
+  | Refines of node_pred * node_pred
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let before_by_name a b = Before (Name_matches a, Name_matches b)
+
+let node_pred_to_string = function
+  | Any -> "*"
+  | Name_matches s -> Printf.sprintf "~%S" s
+  | Module_is m -> Wfpriv_workflow.Ids.module_name m
+  | Atomic_only -> "atomic"
+  | Composite_only -> "composite"
+
+let rec to_string = function
+  | Node p -> Printf.sprintf "node(%s)" (node_pred_to_string p)
+  | Edge (a, b) ->
+      Printf.sprintf "edge(%s, %s)" (node_pred_to_string a) (node_pred_to_string b)
+  | Before (a, b) ->
+      Printf.sprintf "before(%s, %s)" (node_pred_to_string a)
+        (node_pred_to_string b)
+  | Carries (a, b, d) ->
+      Printf.sprintf "carries(%s, %s, %S)" (node_pred_to_string a)
+        (node_pred_to_string b) d
+  | Inside (p, w) -> Printf.sprintf "inside(%s, %s)" (node_pred_to_string p) w
+  | Refines (a, b) ->
+      Printf.sprintf "refines(%s, %s)" (node_pred_to_string a)
+        (node_pred_to_string b)
+  | And (a, b) -> Printf.sprintf "(%s and %s)" (to_string a) (to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s or %s)" (to_string a) (to_string b)
+  | Not a -> Printf.sprintf "not %s" (to_string a)
+
+let rec size = function
+  | Node _ | Edge _ | Before _ | Carries _ | Inside _ | Refines _ -> 1
+  | And (a, b) | Or (a, b) -> 1 + size a + size b
+  | Not a -> 1 + size a

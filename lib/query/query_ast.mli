@@ -1,0 +1,50 @@
+(** Structural query language over workflow specifications and executions
+    (paper, Sec. 4: "select sub-workflows based on structural
+    properties", e.g. "find executions where Expand SNP Set was executed
+    before Query OMIM").
+
+    Queries combine node predicates with structural relations; they are
+    evaluated against a {e view} (specification or execution), so privacy
+    is enforced by choosing the view, not by the evaluator
+    ({!Secure_eval}). *)
+
+type node_pred =
+  | Any
+  | Name_matches of string
+      (** case-insensitive substring of the module name or keywords *)
+  | Module_is of Wfpriv_workflow.Ids.module_id
+  | Atomic_only
+  | Composite_only
+
+type t =
+  | Node of node_pred  (** some visible node matches *)
+  | Edge of node_pred * node_pred  (** a direct dataflow edge between matches *)
+  | Before of node_pred * node_pred
+      (** a match of the first (strictly) precedes a match of the second
+          in the dataflow order *)
+  | Carries of node_pred * node_pred * string
+      (** a direct edge between matches carrying the named data *)
+  | Inside of node_pred * Wfpriv_workflow.Ids.workflow_id
+      (** a match whose {e defining} workflow is (a descendant of) the
+          named one — a τ-edge predicate, distinct from dataflow
+          reachability (paper Sec. 5: "the difference between them cannot
+          be ignored") *)
+  | Refines of node_pred * node_pred
+      (** the second match lies (transitively) inside the sub-workflow
+          defining the first (composite) match — τ-descendancy between
+          modules. Both matches must be visible, so this is meaningful on
+          execution views (where an expanded composite's begin/end nodes
+          coexist with its internals) and vacuous on specification views
+          (expanding a composite splices it away). *)
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val before_by_name : string -> string -> t
+(** Convenience for the paper's example query shape. *)
+
+val node_pred_to_string : node_pred -> string
+val to_string : t -> string
+
+val size : t -> int
+(** Number of AST nodes (complexity measure for benches). *)

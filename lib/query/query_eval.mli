@@ -1,0 +1,55 @@
+(** Evaluation of structural queries against views.
+
+    Both evaluators work on what the view exposes: invisible modules,
+    collapsed composites' internals and masked structure simply do not
+    participate, so running the evaluator on a user's access view {e is}
+    the privacy-correct semantics.
+
+    On execution views, a node matches through the module it executes
+    (a collapsed composite matches as the composite module). [Before]
+    uses reachability in the view's DAG. *)
+
+type witness = {
+  holds : bool;
+  nodes : int list;
+      (** nodes involved in making the query true: match sets for node
+          queries, endpoint pairs flattened for relational ones; empty
+          when [holds = false]. Sorted. *)
+}
+
+(** {2 Specification views} *)
+
+val spec_nodes_matching :
+  Wfpriv_workflow.View.t -> Query_ast.node_pred -> Wfpriv_workflow.Ids.module_id list
+(** Visible modules satisfying the predicate, sorted. *)
+
+val eval_spec : Wfpriv_workflow.View.t -> Query_ast.t -> witness
+val holds_spec : Wfpriv_workflow.View.t -> Query_ast.t -> bool
+
+(** {2 Execution views} *)
+
+val exec_nodes_matching :
+  Wfpriv_workflow.Exec_view.t -> Query_ast.node_pred -> int list
+(** View nodes whose module satisfies the predicate ([I]/[O] only match
+    [Any]), sorted. *)
+
+val eval_exec :
+  ?reaches:(int -> int -> bool) ->
+  Wfpriv_workflow.Exec_view.t ->
+  Query_ast.t ->
+  witness
+(** [reaches] overrides the reachability oracle used by [Before] — pass
+    {!Reach_cache.reaches} partially applied to serve a user group from a
+    cached closure instead of a DFS per node pair. *)
+
+val holds_exec :
+  ?reaches:(int -> int -> bool) ->
+  Wfpriv_workflow.Exec_view.t ->
+  Query_ast.t ->
+  bool
+
+val provenance_of_matches :
+  Wfpriv_workflow.Exec_view.t -> Query_ast.node_pred -> int list
+(** Nodes of the view that can reach a match — "return the provenance
+    information for the latter" (paper Sec. 4). Sorted; includes the
+    matches. *)

@@ -1,0 +1,29 @@
+(** Concrete syntax for structural queries — what the CLI and examples
+    accept. The grammar mirrors {!Query_ast.to_string} so printing and
+    parsing are mutually inverse:
+
+    {v
+    query   := or-expr
+    or      := and { "or" and }
+    and     := unary { "and" unary }
+    unary   := "not" unary | primary
+    primary := "(" query ")"
+             | "node"    "(" pred ")"
+             | "edge"    "(" pred "," pred ")"
+             | "before"  "(" pred "," pred ")"
+             | "carries" "(" pred "," pred "," STRING ")"
+             | "inside"  "(" pred "," WORKFLOW ")"
+             | "refines" "(" pred "," pred ")"
+    pred    := "*" | "atomic" | "composite"
+             | "~" STRING          (name/keyword substring)
+             | "I" | "O" | "M" n   (a specific module)
+    v}
+
+    Example: [before(~"Expand SNP Set", ~"Query OMIM") and not node(~"private")]. *)
+
+exception Syntax_error of { pos : int; message : string }
+
+val parse : string -> Query_ast.t
+(** Raises {!Syntax_error} with a character offset on malformed input. *)
+
+val parse_result : string -> (Query_ast.t, string) result

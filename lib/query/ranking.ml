@@ -1,0 +1,73 @@
+type entry = { doc : string; score : float }
+
+let rank entries =
+  List.sort
+    (fun a b ->
+      let c = compare b.score a.score in
+      if c <> 0 then c else compare a.doc b.doc)
+    entries
+
+let top_k k entries = List.filteri (fun i _ -> i < k) (rank entries)
+
+let position ranked doc =
+  let rec go i = function
+    | [] -> None
+    | e :: rest -> if String.equal e.doc doc then Some i else go (i + 1) rest
+  in
+  go 0 ranked
+
+let quantize ~width entries =
+  if width <= 0.0 then invalid_arg "Ranking.quantize: width must be positive";
+  List.map
+    (fun e -> { e with score = Float.of_int (int_of_float (e.score /. width)) *. width })
+    entries
+
+type interval = { lo : int; hi : int }
+
+let width i = i.hi - i.lo + 1
+
+(* A candidate tf is consistent with the published order when ranking the
+   (transformed) scores reproduces it. [transform] is identity for exact
+   scores and bucket-flooring for quantised ones. *)
+let feasible_tfs ~transform ~target_base ~others ~idf ~max_tf ~ranking ~target =
+  if max_tf < 0 then invalid_arg "Ranking.infer: max_tf < 0";
+  if idf <= 0.0 then invalid_arg "Ranking.infer: idf <= 0";
+  if not (List.mem target ranking) then
+    invalid_arg "Ranking.infer: target not in ranking";
+  let consistent t =
+    let s = transform (target_base +. (float_of_int t *. idf)) in
+    let score_of d =
+      if String.equal d target then s
+      else
+        match List.assoc_opt d others with
+        | Some x -> transform x
+        | None -> invalid_arg (Printf.sprintf "Ranking.infer: unknown doc %S" d)
+    in
+    (* Published order must be a valid ranking of these scores. *)
+    let rec ordered = function
+      | a :: (b :: _ as rest) ->
+          let sa = score_of a and sb = score_of b in
+          (sa > sb || (sa = sb && String.compare a b < 0)) && ordered rest
+      | _ -> true
+    in
+    ordered ranking
+  in
+  List.filter consistent (List.init (max_tf + 1) Fun.id)
+
+let to_interval ~max_tf = function
+  | [] -> { lo = 0; hi = max_tf }
+  | ts -> { lo = List.fold_left min max_int ts; hi = List.fold_left max 0 ts }
+
+let infer_masked_tf ~target_base ~others ~idf ~max_tf ~ranking ~target =
+  feasible_tfs ~transform:Fun.id ~target_base ~others ~idf ~max_tf ~ranking
+    ~target
+  |> to_interval ~max_tf
+
+let infer_masked_tf_quantized ~bucket_width ~target_base ~others ~idf ~max_tf
+    ~ranking ~target =
+  if bucket_width <= 0.0 then invalid_arg "Ranking.infer: bucket_width <= 0";
+  let transform x =
+    Float.of_int (int_of_float (x /. bucket_width)) *. bucket_width
+  in
+  feasible_tfs ~transform ~target_base ~others ~idf ~max_tf ~ranking ~target
+  |> to_interval ~max_tf

@@ -1,0 +1,66 @@
+(** Ranking, and ranking as a privacy leak (paper Sec. 4).
+
+    "A highly ranked result is likely to have more occurrences of an
+    input keyword ... a user might be able to infer the range of value
+    occurrences in a result even though s/he is unable to see the
+    values." This module provides ordinary ranking, the inference attack
+    that quantifies the leak, and the privacy-aware counter-measure the
+    paper calls for: score quantisation, which coarsens what rank
+    positions reveal.
+
+    Attack model for {!infer_masked_tf} (experiment E7): a query term's
+    occurrences are masked inside one target document, but the adversary
+    knows every document's score contribution from visible terms
+    ([base]), the masked term's IDF, and the published ranking. The
+    target's score is [base + tf * idf] with [tf ∈ {0..max_tf}] unknown;
+    every published comparison ["target outranks d"] / ["d outranks
+    target"] bounds [tf] from below/above. The returned interval is what
+    the adversary cannot rule out — smaller interval, bigger leak. *)
+
+type entry = { doc : string; score : float }
+
+val rank : entry list -> entry list
+(** Descending score, ties broken by ascending doc id (deterministic). *)
+
+val top_k : int -> entry list -> entry list
+
+val position : entry list -> string -> int option
+(** 0-based rank of a document in a ranked list. *)
+
+val quantize : width:float -> entry list -> entry list
+(** Scores floored to multiples of [width] (privacy-aware ranking);
+    [width <= 0] raises [Invalid_argument]. *)
+
+type interval = { lo : int; hi : int }
+(** Inclusive bounds on the masked term frequency. *)
+
+val width : interval -> int
+(** [hi - lo + 1]: the number of candidate frequencies left. *)
+
+val infer_masked_tf :
+  target_base:float ->
+  others:(string * float) list ->
+  idf:float ->
+  max_tf:int ->
+  ranking:string list ->
+  target:string ->
+  interval
+(** [others] are the fully-known scores of the other documents;
+    [ranking] is the published order (doc ids, best first) and must
+    mention [target]. Raises [Invalid_argument] on inconsistent input
+    (target missing, [max_tf < 0], [idf <= 0]). The interval is clamped
+    to [0, max_tf]; an empty feasible set (cannot happen for rankings
+    actually produced by {!rank}) returns [{lo=0; hi=max_tf}]. *)
+
+val infer_masked_tf_quantized :
+  bucket_width:float ->
+  target_base:float ->
+  others:(string * float) list ->
+  idf:float ->
+  max_tf:int ->
+  ranking:string list ->
+  target:string ->
+  interval
+(** Same attack against a ranking published from quantised scores: order
+    constraints only bound the {e buckets}, so the interval is wider —
+    the counter-measure's effect, measured in E7. *)

@@ -1,0 +1,49 @@
+module Reachability = Wfpriv_graph.Reachability
+open Wfpriv_workflow
+
+type t = {
+  table : (string, Reachability.closure) Hashtbl.t;
+  mutable order : string list; (* insertion order, oldest last *)
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Reach_cache.create: capacity < 1";
+  { table = Hashtbl.create 64; order = []; capacity; hits = 0; misses = 0 }
+
+let group_key ~entry ~run ~prefix =
+  Printf.sprintf "%s/%d/{%s}" entry run (String.concat "," prefix)
+
+let closure t ~key view =
+  match Hashtbl.find_opt t.table key with
+  | Some c ->
+      t.hits <- t.hits + 1;
+      c
+  | None ->
+      t.misses <- t.misses + 1;
+      let c = Reachability.closure (Exec_view.graph view) in
+      if Hashtbl.length t.table >= t.capacity then begin
+        match List.rev t.order with
+        | oldest :: _ ->
+            Hashtbl.remove t.table oldest;
+            t.order <- List.filter (fun k -> k <> oldest) t.order
+        | [] -> ()
+      end;
+      Hashtbl.replace t.table key c;
+      t.order <- key :: t.order;
+      c
+
+let reaches t ~key view u v =
+  Reachability.closure_reaches (closure t ~key view) u v
+
+let hits t = t.hits
+let misses t = t.misses
+let entries t = Hashtbl.length t.table
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.order <- [];
+  t.hits <- 0;
+  t.misses <- 0

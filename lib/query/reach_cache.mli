@@ -1,0 +1,34 @@
+(** Reachability caching keyed by user group (paper Sec. 4: "another
+    promising direction is to consider user groups when utilizing cached
+    information during query processing").
+
+    Users sharing an access prefix see the same collapsed execution view,
+    so one transitive closure serves the whole group. The cache maps a
+    caller-supplied key — canonically [entry-name / run-index / prefix] —
+    to the view's closure; [Before]-style queries then answer in O(1) per
+    node pair instead of a DFS per pair.
+
+    The cache never invalidates on its own: executions are immutable, so
+    a key's closure is valid forever; evict only to bound memory. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the number of cached closures (default 256);
+    eviction is FIFO. *)
+
+val group_key :
+  entry:string -> run:int -> prefix:Wfpriv_workflow.Ids.workflow_id list -> string
+(** Canonical key for a user group's view of one stored run. *)
+
+val closure :
+  t -> key:string -> Wfpriv_workflow.Exec_view.t -> Wfpriv_graph.Reachability.closure
+(** Cached transitive closure of the view's graph; computed on miss. *)
+
+val reaches : t -> key:string -> Wfpriv_workflow.Exec_view.t -> int -> int -> bool
+(** O(1) after the first call per key. *)
+
+val hits : t -> int
+val misses : t -> int
+val entries : t -> int
+val clear : t -> unit

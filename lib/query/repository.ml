@@ -1,0 +1,169 @@
+open Wfpriv_workflow
+open Wfpriv_privacy
+
+type entry = {
+  name : string;
+  spec : Spec.t;
+  policy : Policy.t;
+  executions : Execution.t list;
+}
+
+type t = { mutable entries : entry list }
+
+let create () = { entries = [] }
+
+let find t name =
+  match List.find_opt (fun e -> String.equal e.name name) t.entries with
+  | Some e -> e
+  | None -> raise Not_found
+
+let add t ~name ~policy ?(executions = []) () =
+  if List.exists (fun e -> String.equal e.name name) t.entries then
+    invalid_arg (Printf.sprintf "Repository.add: duplicate entry %S" name);
+  let spec = Policy.spec policy in
+  List.iter
+    (fun exec ->
+      if Execution.spec exec != spec then
+        invalid_arg "Repository.add: execution of a different spec")
+    executions;
+  t.entries <- t.entries @ [ { name; spec; policy; executions } ]
+
+let add_execution t ~name exec =
+  let e = find t name in
+  if Execution.spec exec != e.spec then
+    invalid_arg "Repository.add_execution: execution of a different spec";
+  t.entries <-
+    List.map
+      (fun e' ->
+        if String.equal e'.name name then
+          { e' with executions = e'.executions @ [ exec ] }
+        else e')
+      t.entries
+
+let names t = List.map (fun e -> e.name) t.entries |> List.sort compare
+let nb_entries t = List.length t.entries
+
+let visible_terms entry level =
+  let view = Privilege.access_view (Policy.privilege entry.policy) level in
+  List.concat_map
+    (fun m -> Module_def.terms (Spec.find_module entry.spec m))
+    (View.visible_modules view)
+
+let visible_corpus t ~level =
+  Tfidf.build (List.map (fun e -> (e.name, visible_terms e level)) t.entries)
+
+type search_hit = {
+  entry_name : string;
+  answer : Keyword.answer;
+  score : float;
+}
+
+let keyword_search t ~level ?strategy ?quantize_scores keywords =
+  let corpus = visible_corpus t ~level in
+  let hits =
+    List.filter_map
+      (fun e ->
+        let privilege = Policy.privilege e.policy in
+        let visible m = Privilege.min_level_to_see privilege m <= level in
+        match Keyword.search ?strategy ~restrict_to:visible e.spec keywords with
+        | None -> None
+        | Some answer ->
+            (* Never show more than the access view allows. *)
+            let access = Privilege.access_view privilege level in
+            let capped = View.meet answer.Keyword.view access in
+            let answer = { answer with Keyword.view = capped } in
+            Some
+              {
+                entry_name = e.name;
+                answer;
+                score = Tfidf.score corpus ~doc:e.name keywords;
+              })
+      t.entries
+  in
+  let entries = List.map (fun h -> { Ranking.doc = h.entry_name; score = h.score }) hits in
+  let entries =
+    match quantize_scores with
+    | Some width -> Ranking.quantize ~width entries
+    | None -> entries
+  in
+  let ranked = Ranking.rank entries in
+  List.filter_map
+    (fun (r : Ranking.entry) ->
+      Option.map
+        (fun h -> { h with score = r.Ranking.score })
+        (List.find_opt (fun h -> String.equal h.entry_name r.Ranking.doc) hits))
+    ranked
+
+type prov_hit = {
+  prov_entry : string;
+  run : int;
+  prov_answer : Exec_search.answer;
+}
+
+let provenance_search t ~level keywords =
+  List.concat_map
+    (fun e ->
+      let privilege = Policy.privilege e.policy in
+      let classification = Policy.data_classification e.policy in
+      let allowed = Privilege.access_prefix privilege level in
+      List.concat
+        (List.mapi
+           (fun run exec ->
+             let displayable w =
+               (* The witness must be exposable within the access view,
+                  or the capped answer could not show it. *)
+               List.for_all
+                 (fun wf -> List.mem wf allowed)
+                 (Exec_search.required_prefix exec w)
+             in
+             let admissible w =
+               displayable w
+               &&
+               match w with
+               | Exec_search.Module_witness n -> (
+                   match Execution.module_of_node exec n with
+                   | Some m -> Privilege.min_level_to_see privilege m <= level
+                   | None -> true)
+               | Exec_search.Data_witness d ->
+                   let item = Execution.find_item exec d in
+                   Data_privacy.readable classification level
+                     item.Execution.name
+             in
+             match Exec_search.search ~restrict_to:admissible exec keywords with
+             | None -> []
+             | Some answer ->
+                 (* Cap the answer at the caller's access view. *)
+                 let capped_prefix =
+                   List.filter
+                     (fun w -> List.mem w allowed)
+                     (Exec_view.prefix answer.Exec_search.view)
+                 in
+                 let answer =
+                   {
+                     answer with
+                     Exec_search.view = Exec_view.of_prefix exec capped_prefix;
+                   }
+                 in
+                 [ { prov_entry = e.name; run; prov_answer = answer } ])
+           e.executions))
+    t.entries
+  |> List.sort (fun a b -> compare (a.prov_entry, a.run) (b.prov_entry, b.run))
+
+let structural_query ?cache t ~level name q =
+  let e = find t name in
+  List.mapi
+    (fun run exec ->
+      let privilege = Policy.privilege e.policy in
+      let ev = Privilege.access_exec_view privilege level exec in
+      let reaches =
+        Option.map
+          (fun c ->
+            let key =
+              Reach_cache.group_key ~entry:name ~run
+                ~prefix:(Privilege.access_prefix privilege level)
+            in
+            Reach_cache.reaches c ~key ev)
+          cache
+      in
+      Query_eval.eval_exec ?reaches ev q)
+    e.executions

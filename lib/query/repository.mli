@@ -1,0 +1,98 @@
+(** A provenance-aware workflow repository with integrated privacy
+    (paper Sec. 1: "repositories of workflow specifications and of
+    provenance graphs ... made available as part of scientific
+    information sharing", with privacy designed in rather than bolted
+    on).
+
+    Each entry bundles a specification, its privacy policy and its stored
+    executions. All read APIs take the caller's privilege level and only
+    ever traverse the caller's access views and masked projections —
+    there is one repository, not one per privilege setting. *)
+
+type entry = {
+  name : string;
+  spec : Wfpriv_workflow.Spec.t;
+  policy : Wfpriv_privacy.Policy.t;
+  executions : Wfpriv_workflow.Execution.t list;
+}
+
+type t
+
+val create : unit -> t
+
+val add :
+  t ->
+  name:string ->
+  policy:Wfpriv_privacy.Policy.t ->
+  ?executions:Wfpriv_workflow.Execution.t list ->
+  unit ->
+  unit
+(** The spec is the policy's. Raises [Invalid_argument] on duplicate
+    names or on executions of a different spec. *)
+
+val add_execution : t -> name:string -> Wfpriv_workflow.Execution.t -> unit
+
+val find : t -> string -> entry
+(** Raises [Not_found]. *)
+
+val names : t -> string list
+(** Sorted. *)
+
+val nb_entries : t -> int
+
+type search_hit = {
+  entry_name : string;
+  answer : Keyword.answer;  (** capped at the caller's access view *)
+  score : float;  (** TF/IDF of the query against the visible terms *)
+}
+
+val keyword_search :
+  t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  ?strategy:[ `Minimal | `Specific ] ->
+  ?quantize_scores:float ->
+  string list ->
+  search_hit list
+(** Ranked hits across the repository. Witness modules are restricted to
+    those visible at the caller's level, and each answer view is the meet
+    of the keyword answer with the caller's access view, so no hit ever
+    reveals structure beyond the caller's privilege. [quantize_scores]
+    applies privacy-aware score bucketing before ranking. *)
+
+val structural_query :
+  ?cache:Reach_cache.t ->
+  t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  string ->
+  Query_ast.t ->
+  Query_eval.witness list
+(** Evaluate a structural query against each stored execution of the
+    named entry, on the caller's execution views. When [cache] is given,
+    reachability is answered from the per-user-group closure cache
+    (Sec. 4's "consider user groups when utilizing cached information").
+    Raises [Not_found] on unknown entries. *)
+
+val visible_corpus :
+  t -> level:Wfpriv_privacy.Privilege.level -> Tfidf.corpus
+(** The TF/IDF corpus a user at this level searches: per entry, the terms
+    of the modules visible in their access view. *)
+
+type prov_hit = {
+  prov_entry : string;
+  run : int;  (** index of the execution within the entry *)
+  prov_answer : Exec_search.answer;  (** capped at the access view *)
+}
+
+val provenance_search :
+  t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  string list ->
+  prov_hit list
+(** Keyword search over every stored execution (the provenance half of
+    Sec. 1's search promise). A witness is admissible only when it is
+    {e displayable} within the caller's access view (its required prefix
+    is permitted) and, additionally, module witnesses must be visible at
+    the caller's level and data witnesses readable under the entry's
+    data classification. Answer views are intersected with the access
+    view — and by the displayability rule the chosen witness always
+    survives that cap. Hits ordered by (entry, run). *)

@@ -1,0 +1,48 @@
+open Wfpriv_workflow
+open Wfpriv_privacy
+
+type result = {
+  witness : Query_eval.witness;
+  final_prefix : Ids.workflow_id list;
+  collapse_count : int;
+}
+
+let on_the_fly privilege ~level exec q =
+  let prefix = Privilege.access_prefix privilege level in
+  let ev = Exec_view.of_prefix exec prefix in
+  {
+    witness = Query_eval.eval_exec ev q;
+    final_prefix = prefix;
+    collapse_count = 1;
+  }
+
+let zoom_out privilege ~level exec q =
+  let spec = Execution.spec exec in
+  let hierarchy = Hierarchy.of_spec spec in
+  let allowed = Privilege.access_prefix privilege level in
+  let rec refine prefix count =
+    let ev = Exec_view.of_prefix exec prefix in
+    let witness = Query_eval.eval_exec ev q in
+    let offending = List.filter (fun w -> not (List.mem w allowed)) prefix in
+    match offending with
+    | [] -> { witness; final_prefix = prefix; collapse_count = count }
+    | _ ->
+        (* Hide the deepest offending workflow and retry: one "zoom-out",
+           i.e. one more view construction. *)
+        let deepest =
+          List.fold_left
+            (fun best w ->
+              if Hierarchy.depth hierarchy w > Hierarchy.depth hierarchy best
+              then w
+              else best)
+            (List.hd offending) (List.tl offending)
+        in
+        let drop = Hierarchy.descendants hierarchy deepest in
+        let prefix' = List.filter (fun w -> not (List.mem w drop)) prefix in
+        refine prefix' (count + 1)
+  in
+  refine (Spec.workflow_ids spec) 1
+
+let agree a b =
+  a.witness.Query_eval.holds = b.witness.Query_eval.holds
+  && a.final_prefix = b.final_prefix

@@ -1,0 +1,44 @@
+(** Privacy-preserving query evaluation strategies (paper Sec. 4,
+    "Efficient Search with Privacy Guarantees").
+
+    The paper contrasts two ways to answer a structural query for a user
+    who may only see their access view of an execution:
+
+    - {e zoom-out} (the strawman): "first construct a full answer,
+      oblivious to the privacy requirement. If the result reveals
+      sensitive information, gradually zoom-out the view by hiding
+      details of composite modules ... until privacy is achieved.
+      However, this can be expensive as each zoom-out may involve a disk
+      access." {!zoom_out} evaluates on the full execution, then while
+      the current view exposes any workflow beyond the user's access
+      prefix, collapses the deepest offending workflow and re-evaluates.
+    - {e on-the-fly}: build the user's access view once and evaluate
+      directly — {!on_the_fly}.
+
+    Both return the same answer (the access-view evaluation); experiment
+    E5 measures the cost gap. [collapse_count] exposes how many view
+    reconstructions zoom-out performed (its "disk accesses"). *)
+
+type result = {
+  witness : Query_eval.witness;
+  final_prefix : Wfpriv_workflow.Ids.workflow_id list;
+  collapse_count : int;  (** view (re)constructions performed *)
+}
+
+val on_the_fly :
+  Wfpriv_privacy.Privilege.t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  Wfpriv_workflow.Execution.t ->
+  Query_ast.t ->
+  result
+(** Always [collapse_count = 1]. *)
+
+val zoom_out :
+  Wfpriv_privacy.Privilege.t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  Wfpriv_workflow.Execution.t ->
+  Query_ast.t ->
+  result
+
+val agree : result -> result -> bool
+(** Same holds-bit and same final prefix (the invariant E5 checks). *)

@@ -1,0 +1,79 @@
+open Wfpriv_workflow
+open Wfpriv_privacy
+
+type t = {
+  privilege : Privilege.t;
+  s_level : Privilege.level;
+  exec : Execution.t;
+  mutable view : Exec_view.t;
+  mutable denied : (int * Privilege.level) list; (* reversed *)
+}
+
+type zoom_result =
+  | Ok of Exec_view.t
+  | Denied of Privilege.level
+  | Not_expandable
+
+let start privilege ~level exec =
+  {
+    privilege;
+    s_level = level;
+    exec;
+    view = Exec_view.coarsest exec;
+    denied = [];
+  }
+
+let current t = t.view
+let level t = t.s_level
+let prefix t = Exec_view.prefix t.view
+
+(* The workflow a collapsed view node would expand into. *)
+let expansion_of_node t n =
+  if not (Exec_view.is_collapsed t.view n) then None
+  else
+    match Exec_view.module_of_node t.view n with
+    | Some m ->
+        Module_def.expansion (Spec.find_module (Execution.spec t.exec) m)
+    | None -> None
+
+let zoom_in t n =
+  if not (List.mem n (Exec_view.nodes t.view)) then Not_expandable
+  else
+    match expansion_of_node t n with
+    | None -> Not_expandable
+    | Some w ->
+        let required = Privilege.required_level t.privilege w in
+        if required > t.s_level then begin
+          t.denied <- (n, required) :: t.denied;
+          Denied required
+        end
+        else begin
+          let view = Exec_view.of_prefix t.exec (w :: prefix t) in
+          t.view <- view;
+          Ok view
+        end
+
+let zoom_out t w =
+  let spec = Execution.spec t.exec in
+  if w = Spec.root spec || not (List.mem w (prefix t)) then Not_expandable
+  else begin
+    let hierarchy = Hierarchy.of_spec spec in
+    let drop = Hierarchy.descendants hierarchy w in
+    let p = List.filter (fun x -> not (List.mem x drop)) (prefix t) in
+    let view = Exec_view.of_prefix t.exec p in
+    t.view <- view;
+    Ok view
+  end
+
+let zoom_to_access_view t =
+  let view =
+    Privilege.access_exec_view t.privilege t.s_level t.exec
+  in
+  t.view <- view;
+  view
+
+let denied_attempts t = List.rev t.denied
+
+let within_access_view t =
+  let allowed = Privilege.access_prefix t.privilege t.s_level in
+  List.for_all (fun w -> List.mem w allowed) (prefix t)

@@ -1,0 +1,47 @@
+(** Interactive navigation sessions: the zoom-in/zoom-out browsing UX the
+    paper's repositories imply, with access control enforced at every
+    step rather than once per query.
+
+    A session pins a user (privilege level) to one stored execution and
+    tracks the prefix they are currently looking at. Zooming into a
+    composite asks {!Wfpriv_privacy.Privilege.can_expand} first; denied
+    zooms are recorded (an audit trail of attempted over-reach). The
+    current view never exceeds the user's access view — an invariant the
+    test suite checks after arbitrary navigation sequences. *)
+
+type t
+
+type zoom_result =
+  | Ok of Wfpriv_workflow.Exec_view.t
+  | Denied of Wfpriv_privacy.Privilege.level
+      (** the level the expansion would require *)
+  | Not_expandable  (** unknown node / not a collapsed composite *)
+
+val start :
+  Wfpriv_privacy.Privilege.t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  Wfpriv_workflow.Execution.t ->
+  t
+(** Begins at the coarsest view (prefix = root only). *)
+
+val current : t -> Wfpriv_workflow.Exec_view.t
+val level : t -> Wfpriv_privacy.Privilege.level
+val prefix : t -> Wfpriv_workflow.Ids.workflow_id list
+
+val zoom_in : t -> int -> zoom_result
+(** Expand the collapsed composite shown as the given view node; on [Ok]
+    the session has moved to the finer view. *)
+
+val zoom_out : t -> Wfpriv_workflow.Ids.workflow_id -> zoom_result
+(** Collapse a non-root workflow of the current prefix (and its
+    descendants). *)
+
+val zoom_to_access_view : t -> Wfpriv_workflow.Exec_view.t
+(** Jump straight to the finest permitted view. *)
+
+val denied_attempts : t -> (int * Wfpriv_privacy.Privilege.level) list
+(** Audit trail: view nodes whose expansion was refused, with the level
+    each would need; chronological. *)
+
+val within_access_view : t -> bool
+(** Invariant: the current prefix is contained in the access prefix. *)

@@ -1,0 +1,56 @@
+module Smap = Map.Make (String)
+
+type corpus = {
+  docs : int Smap.t Smap.t; (* doc id -> term -> count *)
+  df : int Smap.t; (* term -> #docs containing it *)
+  n : int;
+}
+
+let normalize = String.lowercase_ascii
+
+let build entries =
+  let docs =
+    List.fold_left
+      (fun acc (doc, terms) ->
+        if Smap.mem doc acc then
+          invalid_arg (Printf.sprintf "Tfidf.build: duplicate doc %S" doc);
+        let counts =
+          List.fold_left
+            (fun c t ->
+              let t = normalize t in
+              Smap.add t (1 + Option.value ~default:0 (Smap.find_opt t c)) c)
+            Smap.empty terms
+        in
+        Smap.add doc counts acc)
+      Smap.empty entries
+  in
+  let df =
+    Smap.fold
+      (fun _ counts acc ->
+        Smap.fold
+          (fun t _ acc ->
+            Smap.add t (1 + Option.value ~default:0 (Smap.find_opt t acc)) acc)
+          counts acc)
+      docs Smap.empty
+  in
+  { docs; df; n = Smap.cardinal docs }
+
+let nb_docs c = c.n
+let doc_ids c = Smap.fold (fun d _ acc -> d :: acc) c.docs [] |> List.rev
+
+let tf c ~doc term =
+  match Smap.find_opt doc c.docs with
+  | None -> 0
+  | Some counts -> Option.value ~default:0 (Smap.find_opt (normalize term) counts)
+
+let idf c term =
+  let df = Option.value ~default:0 (Smap.find_opt (normalize term) c.df) in
+  log (float_of_int (1 + c.n) /. float_of_int (1 + df)) +. 1.0
+
+let score c ~doc terms =
+  List.fold_left
+    (fun acc t -> acc +. (float_of_int (tf c ~doc t) *. idf c t))
+    0.0 terms
+
+let scores c terms =
+  List.map (fun d -> (d, score c ~doc:d terms)) (doc_ids c)

@@ -1,0 +1,33 @@
+(** TF/IDF scoring over a workflow repository (paper Sec. 4, "Impact of
+    Ranking on Privacy Preservation").
+
+    Documents are bags of terms — for workflows, the searchable terms of
+    the modules visible in some view. Scores use raw term frequency and
+    smoothed logarithmic IDF; what matters for the privacy analysis is
+    only that the score is strictly increasing in the frequency of each
+    query term, which is what lets rank positions leak masked
+    frequencies ({!Ranking.infer_masked_tf}). *)
+
+type corpus
+
+val build : (string * string list) list -> corpus
+(** [(doc_id, terms)] pairs; duplicate terms are the frequencies. Raises
+    [Invalid_argument] on duplicate document ids. Terms are compared
+    case-insensitively. *)
+
+val nb_docs : corpus -> int
+val doc_ids : corpus -> string list
+(** Sorted. *)
+
+val tf : corpus -> doc:string -> string -> int
+(** Raw occurrence count (0 for unknown docs or terms). *)
+
+val idf : corpus -> string -> float
+(** [log ((1 + N) / (1 + df)) + 1] — positive even for ubiquitous
+    terms. *)
+
+val score : corpus -> doc:string -> string list -> float
+(** Sum over query terms of [tf * idf]. *)
+
+val scores : corpus -> string list -> (string * float) list
+(** Score of every document for the query, sorted by doc id. *)

@@ -1,0 +1,163 @@
+open Wfpriv_workflow
+module Digraph = Wfpriv_graph.Digraph
+
+let rec encode_value = function
+  | Data_value.Unit -> Json.Obj [ ("t", Json.str "unit") ]
+  | Data_value.Bool b -> Json.Obj [ ("t", Json.str "bool"); ("v", Json.Bool b) ]
+  | Data_value.Int i -> Json.Obj [ ("t", Json.str "int"); ("v", Json.int i) ]
+  | Data_value.Str s -> Json.Obj [ ("t", Json.str "str"); ("v", Json.str s) ]
+  | Data_value.List xs ->
+      Json.Obj [ ("t", Json.str "list"); ("v", Json.Arr (List.map encode_value xs)) ]
+  | Data_value.Record fields ->
+      Json.Obj
+        [
+          ("t", Json.str "record");
+          ( "v",
+            Json.Obj (List.map (fun (k, v) -> (k, encode_value v)) fields) );
+        ]
+
+let rec decode_value j =
+  match Json.get_string (Json.member "t" j) with
+  | "unit" -> Data_value.Unit
+  | "bool" -> Data_value.Bool (Json.get_bool (Json.member "v" j))
+  | "int" -> Data_value.Int (Json.get_int (Json.member "v" j))
+  | "str" -> Data_value.Str (Json.get_string (Json.member "v" j))
+  | "list" ->
+      Data_value.List (List.map decode_value (Json.to_list (Json.member "v" j)))
+  | "record" -> (
+      match Json.member "v" j with
+      | Json.Obj fields ->
+          Data_value.record (List.map (fun (k, v) -> (k, decode_value v)) fields)
+      | _ -> invalid_arg "Exec_codec: record value must be an object")
+  | other -> invalid_arg (Printf.sprintf "Exec_codec: unknown value tag %S" other)
+
+let encode_node exec n =
+  let base =
+    [
+      ("id", Json.int n);
+      ( "scope",
+        Json.Arr (List.map Json.int (Execution.scope exec n)) );
+    ]
+  in
+  let rest =
+    match Execution.node_kind exec n with
+    | Execution.Input -> [ ("kind", Json.str "input") ]
+    | Execution.Output -> [ ("kind", Json.str "output") ]
+    | Execution.Atomic_exec { proc; module_id } ->
+        [
+          ("kind", Json.str "atomic");
+          ("proc", Json.int proc);
+          ("module", Json.int module_id);
+        ]
+    | Execution.Begin_composite { proc; module_id } ->
+        [
+          ("kind", Json.str "begin");
+          ("proc", Json.int proc);
+          ("module", Json.int module_id);
+        ]
+    | Execution.End_composite { proc; module_id } ->
+        [
+          ("kind", Json.str "end");
+          ("proc", Json.int proc);
+          ("module", Json.int module_id);
+        ]
+  in
+  Json.Obj (base @ rest)
+
+let encode exec =
+  let g = Execution.graph exec in
+  Json.Obj
+    [
+      ("spec", Spec_codec.encode (Execution.spec exec));
+      ("nodes", Json.Arr (List.map (encode_node exec) (Execution.nodes exec)));
+      ( "edges",
+        Json.Arr
+          (List.map
+             (fun (u, v) ->
+               Json.Obj
+                 [
+                   ("src", Json.int u);
+                   ("dst", Json.int v);
+                   ( "items",
+                     Json.Arr (List.map Json.int (Execution.edge_items exec u v))
+                   );
+                 ])
+             (Digraph.edges g)) );
+      ( "items",
+        Json.Arr
+          (List.map
+             (fun (it : Execution.item) ->
+               Json.Obj
+                 [
+                   ("id", Json.int it.Execution.data_id);
+                   ("name", Json.str it.Execution.name);
+                   ("value", encode_value it.Execution.value);
+                   ("producer", Json.int it.Execution.producer);
+                   ( "derived_from",
+                     Json.Arr (List.map Json.int it.Execution.derived_from) );
+                 ])
+             (Execution.items exec)) );
+    ]
+
+let decode_kind j =
+  let proc () = Json.get_int (Json.member "proc" j) in
+  let module_id () = Json.get_int (Json.member "module" j) in
+  match Json.get_string (Json.member "kind" j) with
+  | "input" -> Execution.Input
+  | "output" -> Execution.Output
+  | "atomic" -> Execution.Atomic_exec { proc = proc (); module_id = module_id () }
+  | "begin" ->
+      Execution.Begin_composite { proc = proc (); module_id = module_id () }
+  | "end" -> Execution.End_composite { proc = proc (); module_id = module_id () }
+  | other -> invalid_arg (Printf.sprintf "Exec_codec: unknown node kind %S" other)
+
+let decode_with_spec spec j =
+  let b = Execution.Builder.create spec in
+  let nodes = Json.to_list (Json.member "nodes" j) in
+  (* Builder assigns node ids sequentially; the encoder emits nodes in id
+     order, so feeding them back in document order preserves ids —
+     asserted here rather than assumed. *)
+  List.iter
+    (fun nj ->
+      let declared = Json.get_int (Json.member "id" nj) in
+      let scope =
+        List.map Json.get_int (Json.to_list (Json.member "scope" nj))
+      in
+      let id = Execution.Builder.add_node b ~scope (decode_kind nj) in
+      if id <> declared then
+        invalid_arg
+          (Printf.sprintf
+             "Exec_codec: node ids must be dense and sorted (expected %d, \
+              declared %d)"
+             id declared))
+    nodes;
+  List.iter
+    (fun ij ->
+      let declared = Json.get_int (Json.member "id" ij) in
+      let item =
+        Execution.Builder.add_item b
+          ~name:(Json.get_string (Json.member "name" ij))
+          ~value:(decode_value (Json.member "value" ij))
+          ~producer:(Json.get_int (Json.member "producer" ij))
+          ~derived_from:
+            (List.map Json.get_int (Json.to_list (Json.member "derived_from" ij)))
+      in
+      if item.Execution.data_id <> declared then
+        invalid_arg "Exec_codec: item ids must be dense and sorted")
+    (Json.to_list (Json.member "items" j));
+  List.iter
+    (fun ej ->
+      Execution.Builder.connect b
+        ~src:(Json.get_int (Json.member "src" ej))
+        ~dst:(Json.get_int (Json.member "dst" ej))
+        (List.map Json.get_int (Json.to_list (Json.member "items" ej))))
+    (Json.to_list (Json.member "edges" j));
+  Execution.Builder.finish b
+
+let decode j = decode_with_spec (Spec_codec.decode (Json.member "spec" j)) j
+
+let to_string ?(pretty = false) exec =
+  let j = encode exec in
+  if pretty then Json.to_string_pretty j else Json.to_string j
+
+let of_string s = decode (Json.parse s)

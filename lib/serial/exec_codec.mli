@@ -1,0 +1,36 @@
+(** JSON (de)serialisation of executions (provenance graphs).
+
+    An execution is stored together with its specification so the decoded
+    value is self-contained:
+
+    {v
+    { "spec": { ... Spec_codec ... },
+      "nodes": [ {"id": 0, "kind": "input", "scope": []},
+                 {"id": 2, "kind": "atomic", "proc": 2, "module": 4,
+                  "scope": [1]}, ... ],
+      "edges": [ {"src": 0, "dst": 1, "items": [0, 1]} ],
+      "items": [ {"id": 0, "name": "snps", "value": {...},
+                  "producer": 0, "derived_from": []} ] }
+    v}
+
+    Values use a tagged encoding ({!encode_value}). Decoding rebuilds the
+    execution through {!Wfpriv_workflow.Execution.Builder}, so the result
+    passes the same validation as a freshly executed run; node and data
+    ids are preserved exactly. *)
+
+val encode_value : Wfpriv_workflow.Data_value.t -> Json.t
+val decode_value : Json.t -> Wfpriv_workflow.Data_value.t
+
+val encode : Wfpriv_workflow.Execution.t -> Json.t
+val decode : Json.t -> Wfpriv_workflow.Execution.t
+(** Raises [Invalid_argument] on ill-formed documents (unknown kinds,
+    id mismatches, cyclic graphs). *)
+
+val decode_with_spec : Wfpriv_workflow.Spec.t -> Json.t -> Wfpriv_workflow.Execution.t
+(** Like {!decode} but binds the execution to the given (already decoded)
+    specification, ignoring any embedded ["spec"] member — used by
+    {!Wfpriv_store.Repo_store} (sharing one spec across many runs) and
+    whenever physical identity with an existing spec matters. *)
+
+val to_string : ?pretty:bool -> Wfpriv_workflow.Execution.t -> string
+val of_string : string -> Wfpriv_workflow.Execution.t

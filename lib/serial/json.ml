@@ -1,0 +1,358 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of { line : int; col : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Parser: single pass over the string with explicit position. *)
+
+type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let error st message = raise (Parse_error { line = st.line; col = st.col; message })
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> error st (Printf.sprintf "expected %C, found %C" c c')
+  | None -> error st (Printf.sprintf "expected %C, found end of input" c)
+
+let expect_keyword st kw value =
+  String.iter (fun c -> expect st c) kw;
+  value
+
+(* Encode a Unicode code point as UTF-8 into the buffer. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_hex4 st =
+  let value = ref 0 in
+  for _ = 1 to 4 do
+    (match peek st with
+    | Some c when c >= '0' && c <= '9' ->
+        value := (!value * 16) + Char.code c - Char.code '0'
+    | Some c when c >= 'a' && c <= 'f' ->
+        value := (!value * 16) + Char.code c - Char.code 'a' + 10
+    | Some c when c >= 'A' && c <= 'F' ->
+        value := (!value * 16) + Char.code c - Char.code 'A' + 10
+    | _ -> error st "invalid \\u escape");
+    advance st
+  done;
+  !value
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' ->
+        advance st;
+        Buffer.contents buf
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | Some '"' -> Buffer.add_char buf '"'; advance st
+        | Some '\\' -> Buffer.add_char buf '\\'; advance st
+        | Some '/' -> Buffer.add_char buf '/'; advance st
+        | Some 'b' -> Buffer.add_char buf '\b'; advance st
+        | Some 'f' -> Buffer.add_char buf '\012'; advance st
+        | Some 'n' -> Buffer.add_char buf '\n'; advance st
+        | Some 'r' -> Buffer.add_char buf '\r'; advance st
+        | Some 't' -> Buffer.add_char buf '\t'; advance st
+        | Some 'u' ->
+            advance st;
+            let cp = parse_hex4 st in
+            (* Surrogate pair handling. *)
+            if cp >= 0xD800 && cp <= 0xDBFF then begin
+              expect st '\\';
+              expect st 'u';
+              let low = parse_hex4 st in
+              if low < 0xDC00 || low > 0xDFFF then
+                error st "invalid low surrogate"
+              else
+                add_utf8 buf
+                  (0x10000 + ((cp - 0xD800) lsl 10) + (low - 0xDC00))
+            end
+            else add_utf8 buf cp
+        | _ -> error st "invalid escape sequence");
+        go ()
+    | Some c when Char.code c < 0x20 -> error st "control character in string"
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let consume_while pred =
+    let rec go () =
+      match peek st with Some c when pred c -> advance st; go () | _ -> ()
+    in
+    go ()
+  in
+  if peek st = Some '-' then advance st;
+  consume_while (fun c -> c >= '0' && c <= '9');
+  if peek st = Some '.' then begin
+    advance st;
+    consume_while (fun c -> c >= '0' && c <= '9')
+  end;
+  (match peek st with
+  | Some ('e' | 'E') ->
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      consume_while (fun c -> c >= '0' && c <= '9')
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> Num f
+  | None -> error st (Printf.sprintf "invalid number %S" text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | Some 'n' -> expect_keyword st "null" Null
+  | Some 't' -> expect_keyword st "true" (Bool true)
+  | Some 'f' -> expect_keyword st "false" (Bool false)
+  | Some '"' -> Str (parse_string st)
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              items (v :: acc)
+          | Some ']' ->
+              advance st;
+              List.rev (v :: acc)
+          | _ -> error st "expected ',' or ']' in array"
+        in
+        Arr (items [])
+      end
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              fields (kv :: acc)
+          | Some '}' ->
+              advance st;
+              List.rev (kv :: acc)
+          | _ -> error st "expected ',' or '}' in object"
+        in
+        Obj (fields [])
+      end
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> error st (Printf.sprintf "unexpected character %C" c)
+  | None -> error st "unexpected end of input"
+
+let parse src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let v = parse_value st in
+  skip_ws st;
+  (match peek st with
+  | Some c -> error st (Printf.sprintf "trailing garbage starting with %C" c)
+  | None -> ());
+  v
+
+let parse_result src =
+  match parse src with
+  | v -> Ok v
+  | exception Parse_error { line; col; message } ->
+      Error (Printf.sprintf "line %d, column %d: %s" line col message)
+
+(* ------------------------------------------------------------------ *)
+(* Printers *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Num f -> Buffer.add_string buf (number_to_string f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        escape_into buf s;
+        Buffer.add_char buf '"'
+    | Arr items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            go item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            escape_into buf k;
+            Buffer.add_string buf "\":";
+            go v)
+          fields;
+        Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+let to_string_pretty v =
+  let buf = Buffer.create 256 in
+  let indent n = Buffer.add_string buf (String.make (2 * n) ' ') in
+  let rec go depth = function
+    | (Null | Bool _ | Num _ | Str _) as atom -> Buffer.add_string buf (to_string atom)
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr items ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            indent (depth + 1);
+            go (depth + 1) item)
+          items;
+        Buffer.add_char buf '\n';
+        indent depth;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            indent (depth + 1);
+            Buffer.add_char buf '"';
+            escape_into buf k;
+            Buffer.add_string buf "\": ";
+            go (depth + 1) v)
+          fields;
+        Buffer.add_char buf '\n';
+        indent depth;
+        Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Num _ -> "number"
+  | Str _ -> "string"
+  | Arr _ -> "array"
+  | Obj _ -> "object"
+
+let shape_error what v =
+  invalid_arg (Printf.sprintf "Json: expected %s, found %s" what (type_name v))
+
+let member key = function
+  | Obj fields -> (
+      match List.assoc_opt key fields with
+      | Some v -> v
+      | None -> invalid_arg (Printf.sprintf "Json: missing member %S" key))
+  | v -> shape_error "object" v
+
+let member_opt key = function
+  | Obj fields -> List.assoc_opt key fields
+  | v -> shape_error "object" v
+
+let to_list = function Arr items -> items | v -> shape_error "array" v
+let get_string = function Str s -> s | v -> shape_error "string" v
+
+let get_int = function
+  | Num f when Float.is_integer f -> int_of_float f
+  | v -> shape_error "integer" v
+
+let get_float = function Num f -> f | v -> shape_error "number" v
+let get_bool = function Bool b -> b | v -> shape_error "bool" v
+let int i = Num (float_of_int i)
+let str s = Str s
+
+let equal a b = a = b

@@ -1,0 +1,50 @@
+(** Minimal self-contained JSON: value type, strict parser with
+    line/column errors, compact and pretty printers, and typed accessors.
+
+    Workflow repositories are shared artefacts (paper Sec. 1); this module
+    is the interchange layer used by {!Spec_codec}, {!Exec_codec} and
+    {!Policy_codec}. It implements the JSON subset those codecs emit:
+    UTF-8 strings with the standard escapes (\uXXXX accepted and decoded
+    to UTF-8), IEEE doubles, and no trailing commas or comments. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of { line : int; col : int; message : string }
+
+val parse : string -> t
+(** Raises {!Parse_error} on malformed input (including trailing
+    garbage). *)
+
+val parse_result : string -> (t, string) result
+(** Like {!parse} but returning the rendered error. *)
+
+val to_string : t -> string
+(** Compact rendering. Strings are escaped; numbers print as integers
+    when integral, shortest-roundtrip otherwise. *)
+
+val to_string_pretty : t -> string
+(** Two-space indentation. *)
+
+(** {2 Typed accessors}
+
+    All raise [Invalid_argument] with a descriptive message on shape
+    mismatch; [member] raises on missing keys, [member_opt] does not. *)
+
+val member : string -> t -> t
+val member_opt : string -> t -> t option
+val to_list : t -> t list
+val get_string : t -> string
+val get_int : t -> int
+val get_float : t -> float
+val get_bool : t -> bool
+
+val int : int -> t
+val str : string -> t
+
+val equal : t -> t -> bool

@@ -1,0 +1,62 @@
+open Wfpriv_privacy
+
+let encode policy =
+  Json.Obj
+    [
+      ("spec", Spec_codec.encode (Policy.spec policy));
+      ( "expand_levels",
+        Json.Arr
+          (List.map
+             (fun (w, l) ->
+               Json.Obj [ ("workflow", Json.str w); ("level", Json.int l) ])
+             (Policy.expand_levels policy)) );
+      ( "data_levels",
+        Json.Arr
+          (List.map
+             (fun (n, l) ->
+               Json.Obj [ ("name", Json.str n); ("level", Json.int l) ])
+             (Policy.data_levels policy)) );
+      ( "module_masks",
+        Json.Arr
+          (List.map
+             (fun (m, names, l) ->
+               Json.Obj
+                 [
+                   ("module", Json.int m);
+                   ("names", Json.Arr (List.map Json.str names));
+                   ("level", Json.int l);
+                 ])
+             (Policy.module_masks policy)) );
+    ]
+
+let decode j =
+  let spec = Spec_codec.decode (Json.member "spec" j) in
+  let expand_levels =
+    List.map
+      (fun e ->
+        ( Json.get_string (Json.member "workflow" e),
+          Json.get_int (Json.member "level" e) ))
+      (Json.to_list (Json.member "expand_levels" j))
+  in
+  let data_levels =
+    List.map
+      (fun e ->
+        ( Json.get_string (Json.member "name" e),
+          Json.get_int (Json.member "level" e) ))
+      (Json.to_list (Json.member "data_levels" j))
+  in
+  let module_masks =
+    List.map
+      (fun e ->
+        ( Json.get_int (Json.member "module" e),
+          List.map Json.get_string (Json.to_list (Json.member "names" e)),
+          Json.get_int (Json.member "level" e) ))
+      (Json.to_list (Json.member "module_masks" j))
+  in
+  Policy.make ~expand_levels ~data_levels ~module_masks spec
+
+let to_string ?(pretty = false) policy =
+  let j = encode policy in
+  if pretty then Json.to_string_pretty j else Json.to_string j
+
+let of_string s = decode (Json.parse s)

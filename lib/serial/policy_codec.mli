@@ -1,0 +1,21 @@
+(** JSON (de)serialisation of privacy policies.
+
+    A policy document embeds its specification:
+
+    {v
+    { "spec": { ... Spec_codec ... },
+      "expand_levels": [ {"workflow": "W2", "level": 1}, ... ],
+      "data_levels": [ {"name": "snps", "level": 1}, ... ],
+      "module_masks": [ {"module": 2, "names": ["snps"], "level": 2} ] }
+    v}
+
+    Decoding re-validates through {!Wfpriv_privacy.Policy.make}. Encoding
+    stores {e effective} expansion levels, which {!Wfpriv_privacy.Policy}
+    treats idempotently, so encode/decode round-trips to an equivalent
+    policy. *)
+
+val encode : Wfpriv_privacy.Policy.t -> Json.t
+val decode : Json.t -> Wfpriv_privacy.Policy.t
+
+val to_string : ?pretty:bool -> Wfpriv_privacy.Policy.t -> string
+val of_string : string -> Wfpriv_privacy.Policy.t

@@ -1,0 +1,104 @@
+open Wfpriv_workflow
+
+let encode_module (m : Module_def.t) =
+  let kind, expands =
+    match m.Module_def.kind with
+    | Module_def.Input -> ("input", None)
+    | Module_def.Output -> ("output", None)
+    | Module_def.Atomic -> ("atomic", None)
+    | Module_def.Composite w -> ("composite", Some w)
+  in
+  Json.Obj
+    ([
+       ("id", Json.int m.Module_def.id);
+       ("name", Json.str m.Module_def.name);
+       ("kind", Json.str kind);
+     ]
+    @ (match expands with Some w -> [ ("expands", Json.str w) ] | None -> [])
+    @
+    match m.Module_def.keywords with
+    | [] -> []
+    | kws -> [ ("keywords", Json.Arr (List.map Json.str kws)) ])
+
+let encode_edge (e : Spec.edge) =
+  Json.Obj
+    [
+      ("src", Json.int e.Spec.src);
+      ("dst", Json.int e.Spec.dst);
+      ("data", Json.Arr (List.map Json.str e.Spec.data));
+    ]
+
+let encode_workflow (wf : Spec.workflow) =
+  Json.Obj
+    [
+      ("id", Json.str wf.Spec.wf_id);
+      ("title", Json.str wf.Spec.title);
+      ("members", Json.Arr (List.map Json.int wf.Spec.members));
+      ("edges", Json.Arr (List.map encode_edge wf.Spec.edges));
+    ]
+
+let encode spec =
+  Json.Obj
+    [
+      ("root", Json.str (Spec.root spec));
+      ( "modules",
+        Json.Arr
+          (List.map
+             (fun m -> encode_module (Spec.find_module spec m))
+             (Spec.module_ids spec)) );
+      ( "workflows",
+        Json.Arr
+          (List.map
+             (fun w -> encode_workflow (Spec.find_workflow spec w))
+             (Spec.workflow_ids spec)) );
+    ]
+
+let decode_module j =
+  let id = Json.get_int (Json.member "id" j) in
+  let name = Json.get_string (Json.member "name" j) in
+  let keywords =
+    match Json.member_opt "keywords" j with
+    | Some kws -> List.map Json.get_string (Json.to_list kws)
+    | None -> []
+  in
+  let kind =
+    match Json.get_string (Json.member "kind" j) with
+    | "input" -> Module_def.Input
+    | "output" -> Module_def.Output
+    | "atomic" -> Module_def.Atomic
+    | "composite" ->
+        Module_def.Composite (Json.get_string (Json.member "expands" j))
+    | other -> invalid_arg (Printf.sprintf "Spec_codec: unknown kind %S" other)
+  in
+  Module_def.make ~keywords ~id ~name kind
+
+let decode_edge j =
+  {
+    Spec.src = Json.get_int (Json.member "src" j);
+    dst = Json.get_int (Json.member "dst" j);
+    data = List.map Json.get_string (Json.to_list (Json.member "data" j));
+  }
+
+let decode_workflow j =
+  {
+    Spec.wf_id = Json.get_string (Json.member "id" j);
+    title = Json.get_string (Json.member "title" j);
+    members = List.map Json.get_int (Json.to_list (Json.member "members" j));
+    edges = List.map decode_edge (Json.to_list (Json.member "edges" j));
+  }
+
+let decode j =
+  let root = Json.get_string (Json.member "root" j) in
+  let modules =
+    List.map decode_module (Json.to_list (Json.member "modules" j))
+  in
+  let workflows =
+    List.map decode_workflow (Json.to_list (Json.member "workflows" j))
+  in
+  Spec.create ~root modules workflows
+
+let to_string ?(pretty = false) spec =
+  let j = encode spec in
+  if pretty then Json.to_string_pretty j else Json.to_string j
+
+let of_string s = decode (Json.parse s)

@@ -1,0 +1,26 @@
+(** JSON (de)serialisation of workflow specifications.
+
+    The encoding is stable and human-readable:
+
+    {v
+    { "root": "W1",
+      "modules": [ {"id": 2, "name": "...", "kind": "composite",
+                    "expands": "W2", "keywords": ["genetics"]}, ... ],
+      "workflows": [ {"id": "W1", "title": "...",
+                      "members": [0, 1, 2, 3],
+                      "edges": [ {"src": 0, "dst": 2,
+                                  "data": ["snps", "ethnicity"]} ]} ] }
+    v}
+
+    Decoding re-validates through {!Wfpriv_workflow.Spec.create}, so a
+    decoded value satisfies every specification invariant or fails with
+    {!Wfpriv_workflow.Spec.Invalid} / [Invalid_argument]. *)
+
+val encode : Wfpriv_workflow.Spec.t -> Json.t
+val decode : Json.t -> Wfpriv_workflow.Spec.t
+
+val to_string : ?pretty:bool -> Wfpriv_workflow.Spec.t -> string
+val of_string : string -> Wfpriv_workflow.Spec.t
+(** Raises {!Json.Parse_error} on malformed JSON and
+    {!Wfpriv_workflow.Spec.Invalid} / [Invalid_argument] on invalid
+    specifications. *)

@@ -1,0 +1,367 @@
+open Wfpriv_workflow
+
+exception Syntax_error of { line : int; col : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+type token =
+  | Ident of string  (** bare identifier, including I / O / M<n> *)
+  | String of string
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semicolon
+  | Arrow
+  | Eof
+
+type lexer = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let lex_error lx message =
+  raise (Syntax_error { line = lx.line; col = lx.col; message })
+
+let peek_char lx =
+  if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-'
+
+let rec next_token lx =
+  match peek_char lx with
+  | None -> (Eof, lx.line, lx.col)
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance lx;
+      next_token lx
+  | Some '#' ->
+      let rec skip () =
+        match peek_char lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            skip ()
+      in
+      skip ();
+      next_token lx
+  | Some c ->
+      let line = lx.line and col = lx.col in
+      let tok =
+        match c with
+        | '{' -> advance lx; Lbrace
+        | '}' -> advance lx; Rbrace
+        | '[' -> advance lx; Lbracket
+        | ']' -> advance lx; Rbracket
+        | ',' -> advance lx; Comma
+        | ';' -> advance lx; Semicolon
+        | '-' ->
+            advance lx;
+            (match peek_char lx with
+            | Some '>' ->
+                advance lx;
+                Arrow
+            | _ -> lex_error lx "expected '>' after '-'")
+        | '"' ->
+            advance lx;
+            let buf = Buffer.create 16 in
+            let rec str () =
+              match peek_char lx with
+              | None -> lex_error lx "unterminated string"
+              | Some '"' ->
+                  advance lx;
+                  String (Buffer.contents buf)
+              | Some '\\' ->
+                  advance lx;
+                  (match peek_char lx with
+                  | Some '"' -> Buffer.add_char buf '"'; advance lx
+                  | Some '\\' -> Buffer.add_char buf '\\'; advance lx
+                  | Some 'n' -> Buffer.add_char buf '\n'; advance lx
+                  | _ -> lex_error lx "invalid escape in string");
+                  str ()
+              | Some c ->
+                  Buffer.add_char buf c;
+                  advance lx;
+                  str ()
+            in
+            str ()
+        | c when is_ident_char c ->
+            let buf = Buffer.create 8 in
+            let rec ident () =
+              match peek_char lx with
+              | Some c when is_ident_char c ->
+                  Buffer.add_char buf c;
+                  advance lx;
+                  ident ()
+              | _ -> Ident (Buffer.contents buf)
+            in
+            ident ()
+        | c -> lex_error lx (Printf.sprintf "unexpected character %C" c)
+      in
+      (tok, line, col)
+
+(* ------------------------------------------------------------------ *)
+(* Parser: recursive descent with one token of lookahead. *)
+
+type parser_state = {
+  lx : lexer;
+  mutable tok : token;
+  mutable tline : int;
+  mutable tcol : int;
+}
+
+let parse_error ps message =
+  raise (Syntax_error { line = ps.tline; col = ps.tcol; message })
+
+let shift ps =
+  let tok, line, col = next_token ps.lx in
+  ps.tok <- tok;
+  ps.tline <- line;
+  ps.tcol <- col
+
+let eat ps expected describe =
+  if ps.tok = expected then shift ps
+  else parse_error ps (Printf.sprintf "expected %s" describe)
+
+let ident ps =
+  match ps.tok with
+  | Ident s ->
+      shift ps;
+      s
+  | _ -> parse_error ps "expected an identifier"
+
+let module_ref ps name =
+  if String.equal name "I" then Ids.input_module
+  else if String.equal name "O" then Ids.output_module
+  else if
+    String.length name >= 2
+    && name.[0] = 'M'
+    && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub name 1 (String.length name - 1))
+  then Ids.m (int_of_string (String.sub name 1 (String.length name - 1)))
+  else parse_error ps (Printf.sprintf "expected a module reference (I, O or M<n>), found %S" name)
+
+let opt_string ps =
+  match ps.tok with
+  | String s ->
+      shift ps;
+      s
+  | _ -> ""
+
+let ident_or_string ps =
+  match ps.tok with
+  | String s ->
+      shift ps;
+      s
+  | _ -> ident ps
+
+let ident_list ps =
+  eat ps Lbracket "'['";
+  let rec items acc =
+    let x = ident_or_string ps in
+    match ps.tok with
+    | Comma ->
+        shift ps;
+        items (x :: acc)
+    | Rbracket ->
+        shift ps;
+        List.rev (x :: acc)
+    | _ -> parse_error ps "expected ',' or ']'"
+  in
+  items []
+
+type decl =
+  | Dinput
+  | Doutput
+  | Dmodule of Module_def.t
+  | Dedge of Spec.edge
+
+let parse_decl ps =
+  match ps.tok with
+  | Ident "input" ->
+      shift ps;
+      eat ps Semicolon "';'";
+      Dinput
+  | Ident "output" ->
+      shift ps;
+      eat ps Semicolon "';'";
+      Doutput
+  | Ident "module" ->
+      shift ps;
+      let id = module_ref ps (ident ps) in
+      let name = opt_string ps in
+      let expands =
+        match ps.tok with
+        | Ident "expands" ->
+            shift ps;
+            Some (ident ps)
+        | _ -> None
+      in
+      let keywords =
+        match ps.tok with
+        | Ident "keywords" ->
+            shift ps;
+            ident_list ps
+        | _ -> []
+      in
+      eat ps Semicolon "';'";
+      let kind =
+        match expands with
+        | Some w -> Module_def.Composite w
+        | None -> Module_def.Atomic
+      in
+      Dmodule
+        (Module_def.make ~keywords ~id
+           ~name:(if name = "" then Ids.module_name id else name)
+           kind)
+  | Ident other ->
+      let src = module_ref ps (ident ps) in
+      ignore other;
+      eat ps Arrow "'->'";
+      let dst = module_ref ps (ident ps) in
+      let data = ident_list ps in
+      eat ps Semicolon "';'";
+      Dedge { Spec.src; dst; data }
+  | _ -> parse_error ps "expected a declaration"
+
+let parse_workflow ps =
+  eat ps (Ident "workflow") "'workflow'";
+  let wf_id = ident ps in
+  let title = opt_string ps in
+  eat ps Lbrace "'{'";
+  let rec decls acc =
+    if ps.tok = Rbrace then begin
+      shift ps;
+      List.rev acc
+    end
+    else decls (parse_decl ps :: acc)
+  in
+  let ds = decls [] in
+  let members =
+    List.filter_map
+      (function
+        | Dinput -> Some Ids.input_module
+        | Doutput -> Some Ids.output_module
+        | Dmodule m -> Some m.Module_def.id
+        | Dedge _ -> None)
+      ds
+  in
+  let modules =
+    List.filter_map (function Dmodule m -> Some m | _ -> None) ds
+  in
+  let has_input = List.mem Dinput ds and has_output = List.mem Doutput ds in
+  let edges = List.filter_map (function Dedge e -> Some e | _ -> None) ds in
+  ( { Spec.wf_id; title; members; edges },
+    modules,
+    (has_input, has_output) )
+
+let parse src =
+  let lx = { src; pos = 0; line = 1; col = 1 } in
+  let ps = { lx; tok = Eof; tline = 1; tcol = 1 } in
+  shift ps;
+  let rec workflows acc =
+    match ps.tok with
+    | Ident "workflow" -> workflows (parse_workflow ps :: acc)
+    | _ -> List.rev acc
+  in
+  let wfs = workflows [] in
+  eat ps (Ident "root") "'root'";
+  let root = ident ps in
+  (match ps.tok with
+  | Eof -> ()
+  | _ -> parse_error ps "trailing content after 'root'");
+  let module_defs = List.concat_map (fun (_, ms, _) -> ms) wfs in
+  let io =
+    List.concat_map
+      (fun (_, _, (has_in, has_out)) ->
+        (if has_in then [ Module_def.input ] else [])
+        @ if has_out then [ Module_def.output ] else [])
+      wfs
+  in
+  Spec.create ~root (io @ module_defs) (List.map (fun (w, _, _) -> w) wfs)
+
+let parse_result src =
+  match parse src with
+  | spec -> Ok spec
+  | exception Syntax_error { line; col; message } ->
+      Error (Printf.sprintf "line %d, column %d: %s" line col message)
+  | exception Spec.Invalid message -> Error message
+
+(* ------------------------------------------------------------------ *)
+(* Printer *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print spec =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun w ->
+      let wf = Spec.find_workflow spec w in
+      Buffer.add_string buf
+        (Printf.sprintf "workflow %s \"%s\" {\n" w (escape wf.Spec.title));
+      List.iter
+        (fun m ->
+          let md = Spec.find_module spec m in
+          match md.Module_def.kind with
+          | Module_def.Input -> Buffer.add_string buf "  input;\n"
+          | Module_def.Output -> Buffer.add_string buf "  output;\n"
+          | Module_def.Atomic | Module_def.Composite _ ->
+              Buffer.add_string buf
+                (Printf.sprintf "  module %s \"%s\"" (Ids.module_name m)
+                   (escape md.Module_def.name));
+              (match md.Module_def.kind with
+              | Module_def.Composite target ->
+                  Buffer.add_string buf (Printf.sprintf " expands %s" target)
+              | _ -> ());
+              (match md.Module_def.keywords with
+              | [] -> ()
+              | kws ->
+                  let ident_safe k =
+                    k <> ""
+                    && String.for_all
+                         (fun c ->
+                           (c >= 'a' && c <= 'z')
+                           || (c >= 'A' && c <= 'Z')
+                           || (c >= '0' && c <= '9')
+                           || c = '_' || c = '-')
+                         k
+                  in
+                  let render k =
+                    if ident_safe k then k else "\"" ^ escape k ^ "\""
+                  in
+                  Buffer.add_string buf
+                    (Printf.sprintf " keywords [%s]"
+                       (String.concat ", " (List.map render kws))));
+              Buffer.add_string buf ";\n")
+        wf.Spec.members;
+      List.iter
+        (fun (e : Spec.edge) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s -> %s [%s];\n" (Ids.module_name e.Spec.src)
+               (Ids.module_name e.Spec.dst)
+               (String.concat ", " e.Spec.data)))
+        wf.Spec.edges;
+      Buffer.add_string buf "}\n")
+    (Spec.workflow_ids spec);
+  Buffer.add_string buf (Printf.sprintf "root %s\n" (Spec.root spec));
+  Buffer.contents buf

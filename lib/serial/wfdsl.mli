@@ -1,0 +1,38 @@
+(** A small textual language for workflow specifications — the format the
+    CLI reads and the docs show. Example (the quickstart pipeline):
+
+    {v
+    workflow main "Quickstart pipeline" {
+      input;
+      output;
+      module M1 "Clean samples";
+      module M2 "Analyze cohort" expands sub keywords [cohort, analysis];
+      I -> M1 [samples];
+      M1 -> M2 [cleaned];
+      M2 -> O [report];
+    }
+    workflow sub "Cohort analysis" {
+      module M3 "Align reads";
+      module M4 "Score variants";
+      M3 -> M4 [aligned];
+    }
+    root main
+    v}
+
+    Module references are [I], [O] or [M<n>] (paper numbering); data-name
+    lists use identifier syntax [[a, b]], and keyword lists additionally
+    accept quoted strings for terms that are not plain identifiers. Comments run from [#] to end of
+    line. {!parse} validates through {!Wfpriv_workflow.Spec.create};
+    {!print} emits text that {!parse} accepts ({e print ∘ parse} is
+    identity up to formatting, property-tested). *)
+
+exception Syntax_error of { line : int; col : int; message : string }
+
+val parse : string -> Wfpriv_workflow.Spec.t
+(** Raises {!Syntax_error} on lexical/grammatical errors and
+    {!Wfpriv_workflow.Spec.Invalid} on semantic ones. *)
+
+val parse_result : string -> (Wfpriv_workflow.Spec.t, string) result
+
+val print : Wfpriv_workflow.Spec.t -> string
+(** Canonical rendering: workflows in id order, modules then edges. *)

@@ -1,0 +1,68 @@
+open Wfpriv_query
+open Wfpriv_serial
+open Wfpriv_privacy
+
+let strip_spec = function
+  | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "spec") fields)
+  | other -> other
+
+let encode repo =
+  Json.Obj
+    [
+      ("version", Json.int 1);
+      ( "entries",
+        Json.Arr
+          (List.map
+             (fun name ->
+               let e = Repository.find repo name in
+               Json.Obj
+                 [
+                   ("name", Json.str e.Repository.name);
+                   ("policy", Policy_codec.encode e.Repository.policy);
+                   ( "executions",
+                     Json.Arr
+                       (List.map
+                          (fun exec -> strip_spec (Exec_codec.encode exec))
+                          e.Repository.executions) );
+                 ])
+             (Repository.names repo)) );
+    ]
+
+let decode j =
+  (match Json.get_int (Json.member "version" j) with
+  | 1 -> ()
+  | v -> invalid_arg (Printf.sprintf "Repo_store: unsupported version %d" v));
+  let repo = Repository.create () in
+  List.iter
+    (fun ej ->
+      let name = Json.get_string (Json.member "name" ej) in
+      let policy = Policy_codec.decode (Json.member "policy" ej) in
+      let spec = Policy.spec policy in
+      let executions =
+        List.map
+          (fun xj -> Exec_codec.decode_with_spec spec xj)
+          (Json.to_list (Json.member "executions" ej))
+      in
+      Repository.add repo ~name ~policy ~executions ())
+    (Json.to_list (Json.member "entries" j));
+  repo
+
+let to_string ?(pretty = false) repo =
+  let j = encode repo in
+  if pretty then Json.to_string_pretty j else Json.to_string j
+
+let of_string s = decode (Json.parse s)
+
+let save path repo =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string ~pretty:true repo);
+      output_char oc '\n')
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

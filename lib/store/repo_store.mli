@@ -1,0 +1,33 @@
+(** Whole-repository persistence: save and load a
+    {!Wfpriv_query.Repository.t} — entries, policies and stored
+    executions — as one JSON document, the artefact a site would actually
+    publish ("repositories ... made available as part of scientific
+    information sharing", paper Sec. 1).
+
+    Format:
+
+    {v
+    { "version": 1,
+      "entries": [ { "name": "...",
+                     "policy": { ... Policy_codec ... },
+                     "executions": [ { ... Exec_codec, without the spec } ] } ] }
+    v}
+
+    To avoid duplicating the specification per execution, stored
+    executions reference the entry's policy spec: {!save} strips the
+    [spec] field {!Wfpriv_serial.Exec_codec} emits and {!load} re-injects
+    the decoded policy's. Loading re-validates everything (specs,
+    policies, execution DAGs) — a tampered document fails loudly. *)
+
+val encode : Wfpriv_query.Repository.t -> Wfpriv_serial.Json.t
+val decode : Wfpriv_serial.Json.t -> Wfpriv_query.Repository.t
+
+val to_string : ?pretty:bool -> Wfpriv_query.Repository.t -> string
+val of_string : string -> Wfpriv_query.Repository.t
+
+val save : string -> Wfpriv_query.Repository.t -> unit
+(** Write to a file (pretty-printed). *)
+
+val load : string -> Wfpriv_query.Repository.t
+(** Read from a file. Raises [Sys_error], {!Wfpriv_serial.Json.Parse_error},
+    or validation exceptions from the underlying codecs. *)

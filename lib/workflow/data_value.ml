@@ -1,0 +1,71 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Record of (string * t) list
+
+let record fields =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) fields in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg (Printf.sprintf "Data_value.record: duplicate field %S" a);
+        check rest
+    | _ -> ()
+  in
+  check sorted;
+  Record sorted
+
+let rec compare a b =
+  match (a, b) with
+  | Unit, Unit -> 0
+  | Unit, _ -> -1
+  | _, Unit -> 1
+  | Bool x, Bool y -> Bool.compare x y
+  | Bool _, _ -> -1
+  | _, Bool _ -> 1
+  | Int x, Int y -> Int.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Str x, Str y -> String.compare x y
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | List xs, List ys -> List.compare compare xs ys
+  | List _, _ -> -1
+  | _, List _ -> 1
+  | Record xs, Record ys ->
+      List.compare
+        (fun (fa, va) (fb, vb) ->
+          let c = String.compare fa fb in
+          if c <> 0 then c else compare va vb)
+        xs ys
+
+let equal a b = compare a b = 0
+
+let rec hash = function
+  | Unit -> 17
+  | Bool b -> if b then 31 else 37
+  | Int i -> Hashtbl.hash i
+  | Str s -> Hashtbl.hash s
+  | List xs -> List.fold_left (fun acc x -> (acc * 67) + hash x) 41 xs
+  | Record fs ->
+      List.fold_left
+        (fun acc (f, v) -> (acc * 71) + Hashtbl.hash f + hash v)
+        43 fs
+
+let rec to_string = function
+  | Unit -> "()"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Str s -> s
+  | List xs -> "[" ^ String.concat "; " (List.map to_string xs) ^ "]"
+  | Record fs ->
+      "{"
+      ^ String.concat "; " (List.map (fun (f, v) -> f ^ "=" ^ to_string v) fs)
+      ^ "}"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+let masked = Str "*"
+let is_masked v = equal v masked

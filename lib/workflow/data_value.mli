@@ -1,0 +1,36 @@
+(** Values carried by data items in workflow executions.
+
+    The paper's modules move domain data (SNP sets, disorder lists, query
+    strings) between modules; for privacy the only thing that matters is
+    the value's identity and equality, so a small structured universe
+    suffices. Values are immutable and totally ordered. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Record of (string * t) list
+      (** Field list kept sorted by field name (enforced by {!record}). *)
+
+val record : (string * t) list -> t
+(** Build a record, sorting fields and rejecting duplicate names with
+    [Invalid_argument]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash, compatible with {!equal}. *)
+
+val to_string : t -> string
+(** Compact single-line rendering, e.g. [{risk=high; n=3}]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val masked : t
+(** The distinguished placeholder shown instead of a hidden value
+    ([Str "*"]). *)
+
+val is_masked : t -> bool

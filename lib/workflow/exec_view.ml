@@ -1,0 +1,138 @@
+module Digraph = Wfpriv_graph.Digraph
+module Dot = Wfpriv_graph.Dot
+
+type t = {
+  exec : Execution.t;
+  prefix : Ids.workflow_id list;
+  graph : Digraph.t;
+  rep : (int, int) Hashtbl.t; (* execution node -> view node *)
+  collapsed : (int, unit) Hashtbl.t; (* view nodes hiding internals *)
+  edge_items : (int * int, Ids.data_id list) Hashtbl.t;
+}
+
+let of_prefix exec ws =
+  let spec = Execution.spec exec in
+  let hierarchy = Hierarchy.of_spec spec in
+  let prefix = Hierarchy.normalize_prefix hierarchy ws in
+  (* proc id -> (begin node, expansion workflow) for every composite run *)
+  let composite_info = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      match Execution.node_kind exec n with
+      | Execution.Begin_composite { proc; module_id } ->
+          let w =
+            match Module_def.expansion (Spec.find_module spec module_id) with
+            | Some w -> w
+            | None -> assert false
+          in
+          Hashtbl.replace composite_info proc (n, w)
+      | _ -> ())
+    (Execution.nodes exec);
+  let rep = Hashtbl.create 32 in
+  let collapsed = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      (* Outermost enclosing composite whose expansion is not in the
+         prefix absorbs the node. *)
+      let collapse_at =
+        List.find_opt
+          (fun proc ->
+            let _, w = Hashtbl.find composite_info proc in
+            not (List.mem w prefix))
+          (Execution.scope exec n)
+      in
+      match collapse_at with
+      | Some proc ->
+          let bnode, _ = Hashtbl.find composite_info proc in
+          Hashtbl.replace rep n bnode;
+          Hashtbl.replace collapsed bnode ()
+      | None -> Hashtbl.replace rep n n)
+    (Execution.nodes exec);
+  let graph = Digraph.create () in
+  let edge_items = Hashtbl.create 32 in
+  List.iter (fun n -> Digraph.add_node graph (Hashtbl.find rep n)) (Execution.nodes exec);
+  let base = Execution.graph exec in
+  Digraph.iter_edges
+    (fun u v ->
+      let ru = Hashtbl.find rep u and rv = Hashtbl.find rep v in
+      if ru <> rv then begin
+        Digraph.add_edge graph ru rv;
+        let items = Execution.edge_items exec u v in
+        let existing =
+          Option.value ~default:[] (Hashtbl.find_opt edge_items (ru, rv))
+        in
+        Hashtbl.replace edge_items (ru, rv)
+          (List.sort_uniq compare (existing @ items))
+      end)
+    base;
+  { exec; prefix; graph; rep; collapsed; edge_items }
+
+let full exec =
+  of_prefix exec (Spec.workflow_ids (Execution.spec exec))
+
+let coarsest exec = of_prefix exec [ Spec.root (Execution.spec exec) ]
+let exec t = t.exec
+let prefix t = t.prefix
+let graph t = Digraph.copy t.graph
+let nodes t = Digraph.nodes t.graph
+
+let representative t n =
+  match Hashtbl.find_opt t.rep n with Some r -> r | None -> raise Not_found
+
+let is_collapsed t n = Hashtbl.mem t.collapsed n
+
+let node_label t n =
+  if is_collapsed t n then
+    match Execution.node_kind t.exec n with
+    | Execution.Begin_composite { proc; module_id } ->
+        Printf.sprintf "%s:%s" (Ids.process_name proc) (Ids.module_name module_id)
+    | _ -> Execution.node_label t.exec n
+  else Execution.node_label t.exec n
+
+let module_of_node t n = Execution.module_of_node t.exec n
+
+let edge_items t u v =
+  Option.value ~default:[] (Hashtbl.find_opt t.edge_items (u, v))
+
+let visible_items t =
+  Hashtbl.fold (fun _ items acc -> items @ acc) t.edge_items []
+  |> List.sort_uniq compare
+
+let hidden_items t =
+  let visible = visible_items t in
+  List.filter_map
+    (fun (it : Execution.item) ->
+      if List.mem it.Execution.data_id visible then None
+      else Some it.Execution.data_id)
+    (Execution.items t.exec)
+
+let visible_lineage t d =
+  let visible = visible_items t in
+  List.filter (fun a -> List.mem a visible) (Provenance.lineage t.exec d)
+
+let to_dot t =
+  let style n =
+    if is_collapsed t n then
+      { Dot.label = node_label t n; shape = "box3d"; fill = Some "lightyellow" }
+    else
+      match Execution.node_kind t.exec n with
+      | Execution.Input | Execution.Output ->
+          { Dot.label = node_label t n; shape = "ellipse"; fill = Some "gray90" }
+      | _ -> { Dot.label = node_label t n; shape = "box"; fill = None }
+  in
+  let edge_label u v =
+    match edge_items t u v with
+    | [] -> None
+    | ds -> Some (String.concat "," (List.map Ids.data_name ds))
+  in
+  Dot.render ~name:"execution-view" ~node_style:style ~edge_label t.graph
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>execution view prefix {%s}@,"
+    (String.concat ", " t.prefix);
+  List.iter
+    (fun (u, v) ->
+      Format.fprintf ppf "%s -> %s [%s]@," (node_label t u) (node_label t v)
+        (String.concat "," (List.map Ids.data_name (edge_items t u v))))
+    (Digraph.edges t.graph);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,62 @@
+(** Views of executions (paper, Sec. 2, Fig. 2).
+
+    A hierarchy prefix applied to an execution collapses every composite
+    module execution whose defining workflow is outside the prefix into a
+    single node: its begin/end pair and all enclosed executions merge, and
+    only the data crossing the composite's boundary stays visible. Under
+    prefix [{W1}], the paper's Fig. 4 execution becomes Fig. 2:
+    [I -> S1:M1 -> S8:M2 -> O] with items [d0,d1 / d2,d3,d4 / d10 / d19].
+
+    The nodes of a view are represented by the execution node id of the
+    collapsed composite's begin node (or the original node id when not
+    collapsed), so view nodes can be traced back to the execution. *)
+
+type t
+
+val of_prefix : Execution.t -> Ids.workflow_id list -> t
+(** Raises [Invalid_argument] when the list is not a prefix of the spec's
+    expansion hierarchy. *)
+
+val full : Execution.t -> t
+(** Identity view (every workflow expanded). *)
+
+val coarsest : Execution.t -> t
+
+val exec : t -> Execution.t
+val prefix : t -> Ids.workflow_id list
+val graph : t -> Wfpriv_graph.Digraph.t
+(** Fresh copy of the collapsed DAG, over representative node ids. *)
+
+val nodes : t -> int list
+(** Sorted representative node ids. *)
+
+val representative : t -> int -> int
+(** View node standing for an execution node. *)
+
+val is_collapsed : t -> int -> bool
+(** Whether the view node hides a composite's internals. *)
+
+val node_label : t -> int -> string
+(** ["S1:M1"] for a collapsed composite (no begin/end suffix), otherwise
+    the execution's own label. *)
+
+val module_of_node : t -> int -> Ids.module_id option
+
+val edge_items : t -> int -> int -> Ids.data_id list
+(** Items annotated on a view edge — only data crossing collapse
+    boundaries survives. *)
+
+val visible_items : t -> Ids.data_id list
+(** Items appearing on at least one view edge, sorted. *)
+
+val hidden_items : t -> Ids.data_id list
+(** Items of the execution absent from every view edge, sorted. *)
+
+val visible_lineage : t -> Ids.data_id -> Ids.data_id list
+(** The item's fine-grained ancestry ({!Provenance.lineage}) filtered to
+    items visible in this view — what a user at this granularity can
+    learn about where a result came from. The queried item itself need
+    not be visible. Sorted; raises [Not_found] on unknown ids. *)
+
+val to_dot : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,199 @@
+module Digraph = Wfpriv_graph.Digraph
+module Topo = Wfpriv_graph.Topo
+module Dot = Wfpriv_graph.Dot
+
+type node_kind =
+  | Input
+  | Output
+  | Atomic_exec of { proc : Ids.process_id; module_id : Ids.module_id }
+  | Begin_composite of { proc : Ids.process_id; module_id : Ids.module_id }
+  | End_composite of { proc : Ids.process_id; module_id : Ids.module_id }
+
+type item = {
+  data_id : Ids.data_id;
+  name : string;
+  value : Data_value.t;
+  producer : int;
+  derived_from : Ids.data_id list;
+}
+
+type t = {
+  spec : Spec.t;
+  graph : Digraph.t;
+  kinds : (int, node_kind) Hashtbl.t;
+  scopes : (int, Ids.process_id list) Hashtbl.t;
+  edge_items : (int * int, Ids.data_id list) Hashtbl.t;
+  items : item array;
+}
+
+let spec t = t.spec
+let graph t = Digraph.copy t.graph
+let nodes t = Digraph.nodes t.graph
+
+let node_kind t n =
+  match Hashtbl.find_opt t.kinds n with Some k -> k | None -> raise Not_found
+
+let node_label t n =
+  match node_kind t n with
+  | Input -> "I"
+  | Output -> "O"
+  | Atomic_exec { proc; module_id } ->
+      Printf.sprintf "%s:%s" (Ids.process_name proc) (Ids.module_name module_id)
+  | Begin_composite { proc; module_id } ->
+      Printf.sprintf "%s:%s begin" (Ids.process_name proc)
+        (Ids.module_name module_id)
+  | End_composite { proc; module_id } ->
+      Printf.sprintf "%s:%s end" (Ids.process_name proc)
+        (Ids.module_name module_id)
+
+let module_of_node t n =
+  match node_kind t n with
+  | Input | Output -> None
+  | Atomic_exec { module_id; _ }
+  | Begin_composite { module_id; _ }
+  | End_composite { module_id; _ } ->
+      Some module_id
+
+let scope t n =
+  match Hashtbl.find_opt t.scopes n with Some s -> s | None -> raise Not_found
+
+let nodes_of_module t m =
+  List.filter
+    (fun n ->
+      match node_kind t n with
+      | Atomic_exec { module_id; _ } | Begin_composite { module_id; _ } ->
+          module_id = m
+      | Input | Output | End_composite _ -> false)
+    (nodes t)
+
+let node_of_process t p =
+  let found =
+    List.find_opt
+      (fun n ->
+        match node_kind t n with
+        | Atomic_exec { proc; _ } | Begin_composite { proc; _ } -> proc = p
+        | Input | Output | End_composite _ -> false)
+      (nodes t)
+  in
+  match found with Some n -> n | None -> raise Not_found
+
+let edge_items t u v =
+  Option.value ~default:[] (Hashtbl.find_opt t.edge_items (u, v))
+
+let items t = Array.to_list t.items
+let nb_items t = Array.length t.items
+
+let find_item t d =
+  if d < 0 || d >= Array.length t.items then raise Not_found else t.items.(d)
+
+let items_named t name =
+  List.filter (fun it -> String.equal it.name name) (items t)
+
+let output_items t =
+  let out_node =
+    List.find_opt (fun n -> node_kind t n = Output) (nodes t)
+  in
+  match out_node with
+  | None -> []
+  | Some o ->
+      Digraph.pred t.graph o
+      |> List.concat_map (fun p -> edge_items t p o)
+      |> List.sort_uniq compare
+      |> List.map (find_item t)
+
+let to_dot t =
+  let style n =
+    match node_kind t n with
+    | Input | Output ->
+        { Dot.label = node_label t n; shape = "ellipse"; fill = Some "gray90" }
+    | Atomic_exec _ -> { Dot.label = node_label t n; shape = "box"; fill = None }
+    | Begin_composite _ | End_composite _ ->
+        { Dot.label = node_label t n; shape = "box"; fill = Some "lightblue" }
+  in
+  let edge_label u v =
+    match edge_items t u v with
+    | [] -> None
+    | ds -> Some (String.concat "," (List.map Ids.data_name ds))
+  in
+  Dot.render ~name:"execution" ~node_style:style ~edge_label t.graph
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (u, v) ->
+      Format.fprintf ppf "%s -> %s [%s]@," (node_label t u) (node_label t v)
+        (String.concat "," (List.map Ids.data_name (edge_items t u v))))
+    (Digraph.edges t.graph);
+  Format.fprintf ppf "@]"
+
+module Builder = struct
+  type exec = t
+
+  type t = {
+    b_spec : Spec.t;
+    b_graph : Digraph.t;
+    b_kinds : (int, node_kind) Hashtbl.t;
+    b_scopes : (int, Ids.process_id list) Hashtbl.t;
+    b_edges : (int * int, Ids.data_id list) Hashtbl.t;
+    mutable b_items : item list; (* reversed *)
+    mutable next_node : int;
+    mutable next_proc : int;
+    mutable next_data : int;
+  }
+
+  let create spec =
+    {
+      b_spec = spec;
+      b_graph = Digraph.create ();
+      b_kinds = Hashtbl.create 32;
+      b_scopes = Hashtbl.create 32;
+      b_edges = Hashtbl.create 32;
+      b_items = [];
+      next_node = 0;
+      next_proc = 1;
+      next_data = 0;
+    }
+
+  let add_node b ~scope kind =
+    let n = b.next_node in
+    b.next_node <- n + 1;
+    Digraph.add_node b.b_graph n;
+    Hashtbl.replace b.b_kinds n kind;
+    Hashtbl.replace b.b_scopes n scope;
+    n
+
+  let fresh_process b =
+    let p = b.next_proc in
+    b.next_proc <- p + 1;
+    p
+
+  let add_item b ~name ~value ~producer ~derived_from =
+    let d = b.next_data in
+    b.next_data <- d + 1;
+    let it = { data_id = d; name; value; producer; derived_from } in
+    b.b_items <- it :: b.b_items;
+    it
+
+  let connect b ~src ~dst ds =
+    Digraph.add_edge b.b_graph src dst;
+    let existing = Option.value ~default:[] (Hashtbl.find_opt b.b_edges (src, dst)) in
+    Hashtbl.replace b.b_edges (src, dst) (List.sort_uniq compare (existing @ ds))
+
+  let finish b =
+    if not (Topo.is_dag b.b_graph) then
+      invalid_arg "Execution.Builder.finish: execution graph is cyclic";
+    let items = Array.of_list (List.rev b.b_items) in
+    Array.iter
+      (fun it ->
+        if not (Digraph.mem_node b.b_graph it.producer) then
+          invalid_arg "Execution.Builder.finish: item with unknown producer")
+      items;
+    {
+      spec = b.b_spec;
+      graph = b.b_graph;
+      kinds = b.b_kinds;
+      scopes = b.b_scopes;
+      edge_items = b.b_edges;
+      items;
+    }
+end

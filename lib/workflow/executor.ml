@@ -1,0 +1,197 @@
+type semantics =
+  Ids.module_id -> (string * Data_value.t) list -> (string * Data_value.t) list
+
+exception Execution_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Execution_error s)) fmt
+
+type feed = int * Execution.item list (* source node, items delivered *)
+
+let named_inputs feeds =
+  List.concat_map
+    (fun (_, its) ->
+      List.map (fun (it : Execution.item) -> (it.name, it.value)) its)
+    feeds
+  |> List.sort compare
+
+let input_ids feeds =
+  List.concat_map
+    (fun (_, its) -> List.map (fun (it : Execution.item) -> it.data_id) its)
+    feeds
+  |> List.sort_uniq compare
+
+let check_no_dup_names ctx outs =
+  let names = List.map fst outs in
+  let sorted = List.sort compare names in
+  let rec dup = function
+    | a :: b :: _ when String.equal a b -> Some a
+    | _ :: rest -> dup rest
+    | [] -> None
+  in
+  match dup sorted with
+  | Some n -> fail "%s produced output name %S twice" ctx n
+  | None -> ()
+
+let run ?(priority = fun _ -> 0) spec sem ~inputs =
+  let b = Execution.Builder.create spec in
+  let connect_feeds node feeds =
+    List.iter
+      (fun (src, its) ->
+        Execution.Builder.connect b ~src ~dst:node
+          (List.map (fun (it : Execution.item) -> it.data_id) its))
+      feeds
+  in
+  (* Execute one module given its gathered input feeds; returns the node
+     emitting its outputs and the produced (or forwarded) items. *)
+  let rec exec_module m scope (feeds : feed list) : int * Execution.item list =
+    let md = Spec.find_module spec m in
+    match md.Module_def.kind with
+    | Module_def.Input ->
+        let node = Execution.Builder.add_node b ~scope Execution.Input in
+        let items =
+          List.map
+            (fun (name, value) ->
+              Execution.Builder.add_item b ~name ~value ~producer:node
+                ~derived_from:[])
+            inputs
+        in
+        (node, items)
+    | Module_def.Output ->
+        let node = Execution.Builder.add_node b ~scope Execution.Output in
+        connect_feeds node feeds;
+        (node, [])
+    | Module_def.Atomic ->
+        let proc = Execution.Builder.fresh_process b in
+        let node =
+          Execution.Builder.add_node b ~scope
+            (Execution.Atomic_exec { proc; module_id = m })
+        in
+        connect_feeds node feeds;
+        let outs = sem m (named_inputs feeds) in
+        check_no_dup_names (Ids.module_name m) outs;
+        let deps = input_ids feeds in
+        let items =
+          List.map
+            (fun (name, value) ->
+              Execution.Builder.add_item b ~name ~value ~producer:node
+                ~derived_from:deps)
+            outs
+        in
+        (node, items)
+    | Module_def.Composite w ->
+        let proc = Execution.Builder.fresh_process b in
+        let inner_scope = scope @ [ proc ] in
+        let bnode =
+          Execution.Builder.add_node b ~scope:inner_scope
+            (Execution.Begin_composite { proc; module_id = m })
+        in
+        connect_feeds bnode feeds;
+        let all_items = List.concat_map snd feeds in
+        let exits = exec_workflow w inner_scope ~entry_feed:(Some (bnode, all_items)) in
+        let enode =
+          Execution.Builder.add_node b ~scope:inner_scope
+            (Execution.End_composite { proc; module_id = m })
+        in
+        List.iter
+          (fun (xnode, xitems) ->
+            Execution.Builder.connect b ~src:xnode ~dst:enode
+              (List.map (fun (it : Execution.item) -> it.data_id) xitems))
+          exits;
+        (enode, List.concat_map snd exits)
+  (* Execute every module of a workflow in deterministic dataflow order;
+     returns the exit feeds (modules without outgoing internal edges). *)
+  and exec_workflow w scope ~entry_feed : (int * Execution.item list) list =
+    let wf = Spec.find_workflow spec w in
+    let pending : (Ids.module_id, feed list) Hashtbl.t = Hashtbl.create 8 in
+    let add_pending m f =
+      Hashtbl.replace pending m (Option.value ~default:[] (Hashtbl.find_opt pending m) @ [ f ])
+    in
+    let in_remaining = Hashtbl.create 8 in
+    List.iter
+      (fun m ->
+        let n =
+          List.length (List.filter (fun (e : Spec.edge) -> e.dst = m) wf.Spec.edges)
+        in
+        Hashtbl.replace in_remaining m n)
+      wf.Spec.members;
+    (* Entry modules of a sub-workflow receive everything flowing into the
+       composite they refine. *)
+    (match entry_feed with
+    | Some (bnode, items) ->
+        List.iter
+          (fun m -> add_pending m (bnode, items))
+          (Spec.entries spec w)
+    | None -> ());
+    let ready =
+      ref
+        (List.filter (fun m -> Hashtbl.find in_remaining m = 0) wf.Spec.members)
+    in
+    let exits = ref [] in
+    while !ready <> [] do
+      let m =
+        List.fold_left
+          (fun best cand ->
+            if (priority cand, cand) < (priority best, best) then cand else best)
+          (List.hd !ready) (List.tl !ready)
+      in
+      ready := List.filter (fun x -> x <> m) !ready;
+      let feeds = Option.value ~default:[] (Hashtbl.find_opt pending m) in
+      let node, out_items = exec_module m scope feeds in
+      let out_edges = List.filter (fun (e : Spec.edge) -> e.src = m) wf.Spec.edges in
+      if out_edges = [] then begin
+        (* Exit module: outputs flow to the enclosing composite's end node
+           (sub-workflows) or terminate (root). Output pseudo-modules
+           terminate the flow by construction. *)
+        let md = Spec.find_module spec m in
+        if md.Module_def.kind <> Module_def.Output && out_items <> [] then
+          exits := (node, out_items) :: !exits
+      end
+      else
+        List.iter
+          (fun (e : Spec.edge) ->
+            let routed =
+              List.filter
+                (fun (it : Execution.item) -> List.mem it.name e.data)
+                out_items
+            in
+            List.iter
+              (fun name ->
+                if
+                  not
+                    (List.exists
+                       (fun (it : Execution.item) -> String.equal it.name name)
+                       routed)
+                then
+                  fail "edge %s->%s expects data %S which %s did not produce"
+                    (Ids.module_name e.src) (Ids.module_name e.dst) name
+                    (Ids.module_name m))
+              e.data;
+            add_pending e.dst (node, routed);
+            let r = Hashtbl.find in_remaining e.dst - 1 in
+            Hashtbl.replace in_remaining e.dst r;
+            if r = 0 then ready := e.dst :: !ready)
+          out_edges
+    done;
+    Hashtbl.iter
+      (fun m r ->
+        if r > 0 then
+          fail "module %s never became ready (dataflow starved)"
+            (Ids.module_name m))
+      in_remaining;
+    List.rev !exits
+  in
+  ignore (exec_workflow (Spec.root spec) [] ~entry_feed:None);
+  Execution.Builder.finish b
+
+let table_semantics assoc : semantics =
+ fun m inputs ->
+  match List.assoc_opt m assoc with
+  | Some f -> f inputs
+  | None ->
+      raise
+        (Execution_error
+           (Printf.sprintf "no semantics registered for module %s"
+              (Ids.module_name m)))
+
+let run_many ?priority spec sem ~inputs_list =
+  List.map (fun inputs -> run ?priority spec sem ~inputs) inputs_list

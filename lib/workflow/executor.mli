@@ -1,0 +1,54 @@
+(** Deterministic workflow interpreter: specification + module semantics →
+    execution (provenance graph).
+
+    Module semantics are functions over {e named} values: a module receives
+    the (name, value) pairs of every data item delivered to it and returns
+    the (name, value) pairs it produces. Each produced pair becomes a fresh
+    data item; an item flows along each outgoing dataflow edge whose
+    annotation contains its name. The [Input] pseudo-module produces the
+    caller-supplied workflow inputs.
+
+    Composite modules execute like procedure calls (paper, Sec. 2): a
+    begin node receives the composite's inputs, entry modules of the
+    sub-workflow consume them, exit modules' outputs flow to the matching
+    end node, and from there onward along the composite's outgoing edges.
+
+    Scheduling is sequential and deterministic: among ready modules the one
+    with the smallest [priority] (ties broken by module id) runs first;
+    process ids are assigned in this order, which is how Fig. 4's
+    [S1..S15] numbering is reproduced. *)
+
+type semantics = Ids.module_id -> (string * Data_value.t) list -> (string * Data_value.t) list
+(** [semantics m inputs] returns the named outputs of atomic module [m].
+    Inputs arrive sorted by name. *)
+
+exception Execution_error of string
+(** Raised when semantics or routing are inconsistent with the spec:
+    an atomic module without semantics for a required output name, an
+    output name produced twice, etc. *)
+
+val run :
+  ?priority:(Ids.module_id -> int) ->
+  Spec.t ->
+  semantics ->
+  inputs:(string * Data_value.t) list ->
+  Execution.t
+(** Execute the specification once. [inputs] are the items produced by the
+    [Input] pseudo-module (or, for a root workflow without an [Input]
+    module, delivered to its entry modules). Raises {!Execution_error} on
+    inconsistency; the result is a valid DAG otherwise. *)
+
+val table_semantics :
+  (Ids.module_id * ((string * Data_value.t) list -> (string * Data_value.t) list)) list ->
+  semantics
+(** Assemble semantics from a per-module association list; missing modules
+    raise {!Execution_error} when executed. *)
+
+val run_many :
+  ?priority:(Ids.module_id -> int) ->
+  Spec.t ->
+  semantics ->
+  inputs_list:(string * Data_value.t) list list ->
+  Execution.t list
+(** Independent runs over several input assignments — "repeated executions
+    of a workflow with varied inputs" (paper, Sec. 3). *)

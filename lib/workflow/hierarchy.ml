@@ -1,0 +1,112 @@
+module Smap = Map.Make (String)
+
+type t = {
+  root : Ids.workflow_id;
+  parent : Ids.workflow_id option Smap.t;
+  children : Ids.workflow_id list Smap.t;
+}
+
+let of_spec spec =
+  let root = Spec.root spec in
+  let wfs = Spec.workflow_ids spec in
+  let parent =
+    List.fold_left
+      (fun acc w ->
+        let p =
+          match Spec.defined_by spec w with
+          | None -> None
+          | Some m -> Some (Spec.owner spec m)
+        in
+        Smap.add w p acc)
+      Smap.empty wfs
+  in
+  let children =
+    List.fold_left
+      (fun acc w ->
+        match Smap.find w parent with
+        | None -> acc
+        | Some p ->
+            let cur = Option.value ~default:[] (Smap.find_opt p acc) in
+            Smap.add p (List.sort compare (w :: cur)) acc)
+      Smap.empty wfs
+  in
+  { root; parent; children }
+
+let root t = t.root
+
+let parent t w =
+  match Smap.find_opt w t.parent with Some p -> p | None -> raise Not_found
+
+let children t w =
+  if not (Smap.mem w t.parent) then raise Not_found;
+  Option.value ~default:[] (Smap.find_opt w t.children)
+
+let ancestors t w =
+  let rec up w acc =
+    match parent t w with None -> w :: acc | Some p -> up p (w :: acc)
+  in
+  up w []
+
+let descendants t w =
+  let rec down w acc =
+    List.fold_left (fun acc c -> down c acc) (w :: acc) (children t w)
+  in
+  List.sort compare (down w [])
+
+let depth t w = List.length (ancestors t w) - 1
+
+let workflows t = Smap.fold (fun w _ acc -> w :: acc) t.parent [] |> List.rev
+
+let height t =
+  List.fold_left (fun acc w -> max acc (depth t w)) 0 (workflows t)
+
+let is_prefix t ws =
+  let set = List.sort_uniq compare ws in
+  List.mem t.root set
+  && List.for_all
+       (fun w ->
+         Smap.mem w t.parent
+         && match parent t w with None -> true | Some p -> List.mem p set)
+       set
+
+let normalize_prefix t ws =
+  if not (is_prefix t ws) then
+    invalid_arg
+      (Printf.sprintf "Hierarchy.normalize_prefix: {%s} is not a prefix"
+         (String.concat ", " ws));
+  List.sort_uniq compare ws
+
+let all_prefixes t =
+  (* Subtree-prefixes of node w that contain w: choose, for every child,
+     either nothing or one of its own prefixes. *)
+  let rec prefixes_of w =
+    let child_choices =
+      List.map (fun c -> [] :: prefixes_of c) (children t w)
+    in
+    List.fold_left
+      (fun acc choice ->
+        List.concat_map (fun base -> List.map (fun add -> add @ base) choice) acc)
+      [ [ w ] ] child_choices
+  in
+  prefixes_of t.root
+  |> List.map (List.sort compare)
+  |> List.sort (fun a b ->
+         compare (List.length a, a) (List.length b, b))
+
+let nb_prefixes t =
+  let rec count w =
+    List.fold_left (fun acc c -> acc * (1 + count c)) 1 (children t w)
+  in
+  count t.root
+
+let module_path spec t m =
+  ancestors t (Spec.owner spec m)
+
+let pp ppf t =
+  let rec render w indent =
+    Format.fprintf ppf "%s%s@," indent w;
+    List.iter (fun c -> render c (indent ^ "  ")) (children t w)
+  in
+  Format.fprintf ppf "@[<v>";
+  render t.root "";
+  Format.fprintf ppf "@]"

@@ -1,0 +1,58 @@
+(** The expansion hierarchy and its prefixes (paper, Fig. 3).
+
+    The τ-edges of a specification induce a tree over workflows: [W'] is a
+    child of [W] when some composite module of [W] expands to [W']. A
+    {e prefix} of this tree — any subtree containing the root, obtained by
+    deleting whole subtrees — determines a view of the specification
+    (see {!View}): the workflows in the prefix are the expanded ones. *)
+
+type t
+
+val of_spec : Spec.t -> t
+
+val root : t -> Ids.workflow_id
+val parent : t -> Ids.workflow_id -> Ids.workflow_id option
+(** [None] for the root. Raises [Not_found] on unknown workflows. *)
+
+val children : t -> Ids.workflow_id -> Ids.workflow_id list
+(** Sorted. Raises [Not_found] on unknown workflows. *)
+
+val ancestors : t -> Ids.workflow_id -> Ids.workflow_id list
+(** Path from the root to the workflow, inclusive. *)
+
+val descendants : t -> Ids.workflow_id -> Ids.workflow_id list
+(** The workflow and everything below it, sorted. *)
+
+val depth : t -> Ids.workflow_id -> int
+(** Root has depth 0. *)
+
+val height : t -> int
+(** Maximum depth over all workflows. *)
+
+val workflows : t -> Ids.workflow_id list
+(** All workflows, sorted. *)
+
+val is_prefix : t -> Ids.workflow_id list -> bool
+(** True when the given set (duplicates ignored) contains the root and is
+    closed under {!parent}. *)
+
+val normalize_prefix : t -> Ids.workflow_id list -> Ids.workflow_id list
+(** Sorted, deduplicated; raises [Invalid_argument] when not a prefix. *)
+
+val all_prefixes : t -> Ids.workflow_id list list
+(** Every prefix, each sorted, the list ordered by (size, contents). The
+    count is exponential in general; intended for small hierarchies and
+    tests. *)
+
+val nb_prefixes : t -> int
+(** Number of prefixes without enumerating them (product formula
+    [p(v) = 1 + prod p(children)] counts subtrees containing each node;
+    the root's value counts all prefixes including the trivial [{root}]).
+*)
+
+val module_path : Spec.t -> t -> Ids.module_id -> Ids.workflow_id list
+(** Workflows that must all be expanded for the module to be visible: the
+    ancestor chain of its owning workflow (root first). *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented tree rendering, e.g. the paper's Fig. 3. *)

@@ -1,0 +1,24 @@
+type module_id = int
+type workflow_id = string
+type data_id = int
+type process_id = int
+
+let input_module = 0
+let output_module = 1
+let first_user_id = 2
+
+let m k =
+  if k < 1 then invalid_arg "Ids.m: module index must be >= 1";
+  k + 1
+
+let module_name = function
+  | 0 -> "I"
+  | 1 -> "O"
+  | m -> Printf.sprintf "M%d" (m - 1)
+
+let pp_module ppf m = Format.pp_print_string ppf (module_name m)
+let pp_workflow ppf w = Format.pp_print_string ppf w
+let data_name d = Printf.sprintf "d%d" d
+let pp_data ppf d = Format.pp_print_string ppf (data_name d)
+let process_name p = Printf.sprintf "S%d" p
+let pp_process ppf p = Format.pp_print_string ppf (process_name p)

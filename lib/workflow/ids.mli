@@ -1,0 +1,42 @@
+(** Identifier conventions shared by the workflow model.
+
+    - Modules are numbered like the paper's [M1 .. M15]; the distinguished
+      input and output pseudo-modules of a top-level workflow use reserved
+      ids {!input_module} and {!output_module} and print as [I] / [O].
+    - Workflows are named strings ([W1], [W2], ...).
+    - Data items are numbered in creation order and print as [d0], [d1], ...
+    - Process ids are numbered in scheduling order and print as [S1], ... *)
+
+type module_id = int
+type workflow_id = string
+type data_id = int
+type process_id = int
+
+val input_module : module_id
+(** Reserved id for the workflow input pseudo-module [I] (0). *)
+
+val output_module : module_id
+(** Reserved id for the workflow output pseudo-module [O] (-1 is invalid
+    for graphs, so 1 is reserved; user modules start at {!first_user_id}).
+*)
+
+val first_user_id : module_id
+(** Smallest id available for user-defined modules (2). *)
+
+val m : int -> module_id
+(** [m k] is the id of the module the paper calls [M<k>] ([k >= 1]);
+    [module_name (m k) = "M<k>"]. Raises [Invalid_argument] on [k < 1]. *)
+
+val module_name : module_id -> string
+(** ["I"], ["O"] or ["M<n>"]. *)
+
+val pp_module : Format.formatter -> module_id -> unit
+val pp_workflow : Format.formatter -> workflow_id -> unit
+val pp_data : Format.formatter -> data_id -> unit
+(** Prints [d<n>]. *)
+
+val pp_process : Format.formatter -> process_id -> unit
+(** Prints [S<n>]. *)
+
+val data_name : data_id -> string
+val process_name : process_id -> string

@@ -1,0 +1,50 @@
+type kind = Input | Output | Atomic | Composite of Ids.workflow_id
+
+type t = {
+  id : Ids.module_id;
+  name : string;
+  kind : kind;
+  keywords : string list;
+}
+
+let make ?(keywords = []) ~id ~name kind = { id; name; kind; keywords }
+let input = make ~id:Ids.input_module ~name:"I" Input
+let output = make ~id:Ids.output_module ~name:"O" Output
+
+let is_composite m = match m.kind with Composite _ -> true | _ -> false
+let expansion m = match m.kind with Composite w -> Some w | _ -> None
+
+let lowercase = String.lowercase_ascii
+
+let words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '-')
+  |> List.filter (fun w -> w <> "")
+
+let terms m =
+  List.map lowercase (words m.name @ m.keywords)
+  |> List.sort_uniq String.compare
+
+(* Substring search; [needle] assumed non-empty after lowercasing. *)
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  if n = 0 then true
+  else begin
+    let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+    at 0
+  end
+
+let matches m kw =
+  let kw = lowercase kw in
+  contains ~needle:kw (lowercase m.name)
+  || List.exists (fun k -> contains ~needle:kw (lowercase k)) m.keywords
+
+let pp ppf m =
+  let kind_str =
+    match m.kind with
+    | Input -> "input"
+    | Output -> "output"
+    | Atomic -> "atomic"
+    | Composite w -> Printf.sprintf "composite(%s)" w
+  in
+  Format.fprintf ppf "%a %S [%s]" Ids.pp_module m.id m.name kind_str

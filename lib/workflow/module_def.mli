@@ -1,0 +1,43 @@
+(** Module descriptors: the nodes of workflow specifications.
+
+    A module is either the distinguished input/output pseudo-module of a
+    top-level workflow, an atomic (executable) step, or a composite module
+    defined by a τ-expansion into a sub-workflow (paper, Sec. 2).
+    Keywords drive keyword search (Sec. 4); by convention every word of the
+    human-readable name is implicitly a keyword too (see {!matches}). *)
+
+type kind =
+  | Input  (** the [I] pseudo-module; produces the workflow inputs *)
+  | Output  (** the [O] pseudo-module; absorbs the workflow outputs *)
+  | Atomic
+  | Composite of Ids.workflow_id
+      (** τ-edge target: the sub-workflow defining this module *)
+
+type t = {
+  id : Ids.module_id;
+  name : string;  (** human-readable, e.g. ["Determine Genetic Susceptibility"] *)
+  kind : kind;
+  keywords : string list;  (** extra searchable terms beyond the name *)
+}
+
+val make : ?keywords:string list -> id:Ids.module_id -> name:string -> kind -> t
+val input : t
+(** The [I] pseudo-module (id {!Ids.input_module}). *)
+
+val output : t
+(** The [O] pseudo-module (id {!Ids.output_module}). *)
+
+val is_composite : t -> bool
+val expansion : t -> Ids.workflow_id option
+(** [Some w] when the module is [Composite w]. *)
+
+val terms : t -> string list
+(** All searchable terms: lowercased name words plus lowercased keywords,
+    deduplicated, sorted. *)
+
+val matches : t -> string -> bool
+(** [matches m kw] is [true] when lowercased [kw] occurs as a substring of
+    the lowercased name or of any keyword — the matching rule used for the
+    paper's Fig. 5 query ("Database" matches "Generate Database Queries"). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+module Digraph = Wfpriv_graph.Digraph
+module Reachability = Wfpriv_graph.Reachability
+
+type t = {
+  exec : Execution.t;
+  focus : Ids.data_id;
+  nodes : int list;
+  graph : Digraph.t;
+}
+
+let of_data exec d =
+  let item = Execution.find_item exec d in
+  let g = Execution.graph exec in
+  let nodes = Reachability.co_reachable g item.Execution.producer in
+  let keep n = List.mem n nodes in
+  { exec; focus = d; nodes; graph = Digraph.induced g ~keep }
+
+let lineage exec d =
+  ignore (Execution.find_item exec d);
+  let seen = Hashtbl.create 16 in
+  let rec go d' =
+    List.iter
+      (fun p ->
+        if not (Hashtbl.mem seen p) then begin
+          Hashtbl.replace seen p ();
+          go p
+        end)
+      (Execution.find_item exec d').Execution.derived_from
+  in
+  go d;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare
+
+let impacted exec d =
+  ignore (Execution.find_item exec d);
+  (* Forward closure over the inverted derivation edges. *)
+  let children = Hashtbl.create 32 in
+  List.iter
+    (fun (it : Execution.item) ->
+      List.iter
+        (fun parent ->
+          Hashtbl.replace children parent
+            (it.data_id :: Option.value ~default:[] (Hashtbl.find_opt children parent)))
+        it.derived_from)
+    (Execution.items exec);
+  let seen = Hashtbl.create 16 in
+  let rec go d' =
+    List.iter
+      (fun c ->
+        if not (Hashtbl.mem seen c) then begin
+          Hashtbl.replace seen c ();
+          go c
+        end)
+      (Option.value ~default:[] (Hashtbl.find_opt children d'))
+  in
+  go d;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare
+
+let depends_on exec d d' = List.mem d' (lineage exec d)
+
+let contributing_modules exec d =
+  let prov = of_data exec d in
+  List.filter_map (Execution.module_of_node exec) prov.nodes
+  |> List.sort_uniq compare
+
+let necessary_modules exec d =
+  let item = Execution.find_item exec d in
+  let g = Execution.graph exec in
+  (* Virtual super-source so dominators are defined even with several
+     sources (e.g. parameter nodes). *)
+  let source = 1 + List.fold_left max 0 (Digraph.nodes g) in
+  let sources = Digraph.sources g in
+  Digraph.add_node g source;
+  List.iter (fun s -> Digraph.add_edge g source s) sources;
+  let doms = Wfpriv_graph.Dominators.compute g ~entry:source in
+  Wfpriv_graph.Dominators.dominators doms item.Execution.producer
+  |> List.filter_map (fun n ->
+         if n = source then None else Execution.module_of_node exec n)
+  |> List.sort_uniq compare
+
+let executed_before exec m1 m2 =
+  let g = Execution.graph exec in
+  let n1 = Execution.nodes_of_module exec m1 in
+  let n2 = Execution.nodes_of_module exec m2 in
+  List.exists
+    (fun a -> List.exists (fun b -> a <> b && Reachability.reaches g a b) n2)
+    n1
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>provenance of %a:@," Ids.pp_data t.focus;
+  List.iter
+    (fun n -> Format.fprintf ppf "  %s@," (Execution.node_label t.exec n))
+    t.nodes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,49 @@
+(** Provenance queries over executions (paper, Sec. 2).
+
+    The provenance of a data item [d] is the subgraph of the execution
+    induced by the paths from the start of the execution to [d]'s
+    producer — everything that contributed to producing [d]. Two
+    granularities are provided: coarse (graph co-reachability of the
+    producer node) and fine (the [derived_from] lineage recorded per
+    item). Downstream impact ("what data might have been affected by this
+    erroneous item?", paper Sec. 1) is the dual. *)
+
+type t = {
+  exec : Execution.t;
+  focus : Ids.data_id;
+  nodes : int list;  (** sorted node ids of the provenance subgraph *)
+  graph : Wfpriv_graph.Digraph.t;  (** induced subgraph *)
+}
+
+val of_data : Execution.t -> Ids.data_id -> t
+(** Coarse provenance subgraph of an item. Raises [Not_found] on unknown
+    ids. *)
+
+val lineage : Execution.t -> Ids.data_id -> Ids.data_id list
+(** Fine-grained ancestry: every item [d'] such that [d] was (transitively)
+    derived from [d'], sorted; excludes [d] itself. *)
+
+val impacted : Execution.t -> Ids.data_id -> Ids.data_id list
+(** Dual of {!lineage}: items (transitively) derived from [d], sorted. *)
+
+val depends_on : Execution.t -> Ids.data_id -> Ids.data_id -> bool
+(** [depends_on e d d'] — [d] was derived (transitively) from [d']. *)
+
+val contributing_modules : Execution.t -> Ids.data_id -> Ids.module_id list
+(** Modules with an execution inside the item's provenance subgraph,
+    sorted — the facts structural privacy hides (paper, Sec. 3). *)
+
+val necessary_modules : Execution.t -> Ids.data_id -> Ids.module_id list
+(** Modules the item {e necessarily} flowed through: those with an
+    execution node dominating the item's producer (w.r.t. a virtual
+    source feeding all the execution's sources). Strictly stronger than
+    {!contributing_modules} — a contributing module on only one of two
+    parallel paths is not necessary. Sorted; includes the producer's own
+    module. *)
+
+val executed_before : Execution.t -> Ids.module_id -> Ids.module_id -> bool
+(** True when some execution of the first module reaches (precedes in the
+    dataflow order) some execution of the second — the predicate behind
+    queries like "Expand SNP Set was executed before Query OMIM". *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,224 @@
+module Digraph = Wfpriv_graph.Digraph
+module Topo = Wfpriv_graph.Topo
+module Smap = Map.Make (String)
+module Imap = Map.Make (Int)
+
+type edge = { src : Ids.module_id; dst : Ids.module_id; data : string list }
+
+type workflow = {
+  wf_id : Ids.workflow_id;
+  title : string;
+  members : Ids.module_id list;
+  edges : edge list;
+}
+
+type t = {
+  root : Ids.workflow_id;
+  workflows : workflow Smap.t;
+  modules : Module_def.t Imap.t;
+  owner_of : Ids.workflow_id Imap.t;
+  defined_by : Ids.module_id Smap.t; (* workflow -> composite module it defines *)
+}
+
+exception Invalid of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let normalize_workflow wf =
+  {
+    wf with
+    members = List.sort_uniq compare wf.members;
+    edges = List.sort (fun a b -> compare (a.src, a.dst) (b.src, b.dst)) wf.edges;
+  }
+
+let dataflow_graph wf =
+  let g = Digraph.create () in
+  List.iter (Digraph.add_node g) wf.members;
+  List.iter (fun e -> Digraph.add_edge g e.src e.dst) wf.edges;
+  g
+
+let create ~root module_list workflow_list =
+  let workflow_list = List.map normalize_workflow workflow_list in
+  (* Unique module ids. *)
+  let modules =
+    List.fold_left
+      (fun acc (m : Module_def.t) ->
+        if Imap.mem m.id acc then
+          fail "duplicate module id %s" (Ids.module_name m.id)
+        else Imap.add m.id m acc)
+      Imap.empty module_list
+  in
+  (* Unique workflow ids; root present. *)
+  let workflows =
+    List.fold_left
+      (fun acc wf ->
+        if Smap.mem wf.wf_id acc then fail "duplicate workflow id %s" wf.wf_id
+        else Smap.add wf.wf_id wf acc)
+      Smap.empty workflow_list
+  in
+  if not (Smap.mem root workflows) then fail "root workflow %s not declared" root;
+  (* Membership: every member declared, every module in exactly one workflow. *)
+  let owner_of =
+    Smap.fold
+      (fun wf_id wf acc ->
+        List.fold_left
+          (fun acc m ->
+            if not (Imap.mem m modules) then
+              fail "workflow %s lists undeclared module %s" wf_id
+                (Ids.module_name m);
+            match Imap.find_opt m acc with
+            | Some other ->
+                fail "module %s belongs to both %s and %s" (Ids.module_name m)
+                  other wf_id
+            | None -> Imap.add m wf_id acc)
+          acc wf.members)
+      workflows Imap.empty
+  in
+  Imap.iter
+    (fun id _ ->
+      if not (Imap.mem id owner_of) then
+        fail "module %s belongs to no workflow" (Ids.module_name id))
+    modules;
+  (* Edges: same workflow, no self-loops, non-empty data, DAG. *)
+  Smap.iter
+    (fun wf_id wf ->
+      List.iter
+        (fun e ->
+          if e.src = e.dst then
+            fail "self-loop on %s in %s" (Ids.module_name e.src) wf_id;
+          if e.data = [] then
+            fail "edge %s->%s in %s carries no data names"
+              (Ids.module_name e.src) (Ids.module_name e.dst) wf_id;
+          let check m =
+            if Imap.find_opt m owner_of <> Some wf_id then
+              fail "edge endpoint %s is not a member of %s"
+                (Ids.module_name m) wf_id
+          in
+          check e.src;
+          check e.dst)
+        wf.edges;
+      if not (Topo.is_dag (dataflow_graph wf)) then
+        fail "workflow %s has a dataflow cycle" wf_id)
+    workflows;
+  (* Input/Output placement. *)
+  Imap.iter
+    (fun id (m : Module_def.t) ->
+      match m.kind with
+      | Module_def.Input | Module_def.Output ->
+          if Imap.find id owner_of <> root then
+            fail "%s pseudo-module %s outside the root workflow"
+              (if m.kind = Module_def.Input then "input" else "output")
+              (Ids.module_name id)
+      | Module_def.Atomic | Module_def.Composite _ -> ())
+    modules;
+  let count_kind wf_id k =
+    let wf = Smap.find wf_id workflows in
+    List.length
+      (List.filter (fun m -> (Imap.find m modules).Module_def.kind = k) wf.members)
+  in
+  if count_kind root Module_def.Input > 1 then fail "multiple input modules";
+  if count_kind root Module_def.Output > 1 then fail "multiple output modules";
+  (* τ-edges: expansion targets exist, are not the root, and each non-root
+     workflow is defined by exactly one composite. *)
+  let defined_by =
+    Imap.fold
+      (fun id (m : Module_def.t) acc ->
+        match m.Module_def.kind with
+        | Module_def.Composite w ->
+            if not (Smap.mem w workflows) then
+              fail "composite %s expands to undeclared workflow %s"
+                (Ids.module_name id) w;
+            if w = root then
+              fail "composite %s expands to the root workflow"
+                (Ids.module_name id);
+            if Smap.mem w acc then
+              fail "workflow %s defines two composite modules" w;
+            Smap.add w id acc
+        | _ -> acc)
+      modules Smap.empty
+  in
+  Smap.iter
+    (fun wf_id _ ->
+      if wf_id <> root && not (Smap.mem wf_id defined_by) then
+        fail "workflow %s is not the expansion of any composite module" wf_id)
+    workflows;
+  (* Acyclicity of the expansion hierarchy: walking parents must reach root. *)
+  Smap.iter
+    (fun wf_id _ ->
+      let rec climb seen w =
+        if w = root then ()
+        else if List.mem w seen then
+          fail "expansion hierarchy contains a cycle through %s" w
+        else
+          let parent_module = Smap.find w defined_by in
+          climb (w :: seen) (Imap.find parent_module owner_of)
+      in
+      climb [] wf_id)
+    workflows;
+  { root; workflows; modules; owner_of; defined_by }
+
+let root t = t.root
+let workflow_ids t = Smap.fold (fun k _ acc -> k :: acc) t.workflows [] |> List.rev
+
+let find_workflow t w =
+  match Smap.find_opt w t.workflows with Some wf -> wf | None -> raise Not_found
+
+let module_ids t = Imap.fold (fun k _ acc -> k :: acc) t.modules [] |> List.rev
+
+let find_module t m =
+  match Imap.find_opt m t.modules with Some md -> md | None -> raise Not_found
+
+let owner t m =
+  match Imap.find_opt m t.owner_of with Some w -> w | None -> raise Not_found
+
+let defined_by t w =
+  if not (Smap.mem w t.workflows) then raise Not_found;
+  Smap.find_opt w t.defined_by
+
+let graph_of t w = dataflow_graph (find_workflow t w)
+
+let edge_between t u v =
+  match Imap.find_opt u t.owner_of with
+  | None -> None
+  | Some w ->
+      List.find_opt (fun e -> e.src = u && e.dst = v) (Smap.find w t.workflows).edges
+
+let entries t w =
+  let wf = find_workflow t w in
+  let has_in m = List.exists (fun e -> e.dst = m) wf.edges in
+  List.filter (fun m -> not (has_in m)) wf.members
+
+let exits t w =
+  let wf = find_workflow t w in
+  let has_out m = List.exists (fun e -> e.src = m) wf.edges in
+  List.filter (fun m -> not (has_out m)) wf.members
+
+let nb_modules t = Imap.cardinal t.modules
+let nb_workflows t = Smap.cardinal t.workflows
+
+let filter_modules t pred =
+  Imap.fold (fun id m acc -> if pred m then id :: acc else acc) t.modules []
+  |> List.rev
+
+let atomic_modules t =
+  filter_modules t (fun m -> m.Module_def.kind = Module_def.Atomic)
+
+let composite_modules t = filter_modules t Module_def.is_composite
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>spec (root %s)@," t.root;
+  Smap.iter
+    (fun wf_id wf ->
+      Format.fprintf ppf "  workflow %s %S@," wf_id wf.title;
+      List.iter
+        (fun m ->
+          Format.fprintf ppf "    %a@," Module_def.pp (Imap.find m t.modules))
+        wf.members;
+      List.iter
+        (fun e ->
+          Format.fprintf ppf "    %a -> %a [%s]@," Ids.pp_module e.src
+            Ids.pp_module e.dst
+            (String.concat ", " e.data))
+        wf.edges)
+    t.workflows;
+  Format.fprintf ppf "@]"

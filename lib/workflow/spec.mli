@@ -1,0 +1,94 @@
+(** Hierarchical workflow specifications (paper, Sec. 2).
+
+    A specification is a set of workflows. Each workflow is a DAG of
+    modules connected by dataflow edges; a composite module carries a
+    τ-edge to the sub-workflow that defines it. The sub-workflow
+    relationship must form a tree — the {e expansion hierarchy} — rooted at
+    the distinguished root workflow (the paper's [W1], Fig. 3).
+
+    Dataflow edges are annotated with the {e names} of the data that flow
+    over them ([snps], [disorders], ...); names connect producers to
+    consumers during execution. Within a sub-workflow, {e entry} modules
+    (no in-edges) receive all data entering the composite module it
+    defines, and {e exit} modules (no out-edges) send their outputs to the
+    composite's completion.
+
+    Values of type {!t} are immutable and validated at construction: use
+    {!create} (or the lighter {!Builder}) and rely on every stated
+    invariant afterwards. *)
+
+type edge = {
+  src : Ids.module_id;
+  dst : Ids.module_id;
+  data : string list;  (** names of data items flowing on this edge *)
+}
+
+type workflow = {
+  wf_id : Ids.workflow_id;
+  title : string;
+  members : Ids.module_id list;  (** sorted, no duplicates *)
+  edges : edge list;  (** sorted by (src, dst) *)
+}
+
+type t
+
+exception Invalid of string
+(** Raised by {!create} with a human-readable explanation. *)
+
+val create :
+  root:Ids.workflow_id -> Module_def.t list -> workflow list -> t
+(** [create ~root modules workflows] validates and freezes a
+    specification. Checks (raising {!Invalid}):
+    - module ids unique; workflow ids unique; [root] present;
+    - every member of a workflow is a declared module, and every module is
+      a member of exactly one workflow;
+    - edges connect members of the same workflow, no self-loops, each
+      workflow's dataflow graph is a DAG, edge data-name lists non-empty;
+    - [Input]/[Output] modules appear only in the root workflow (at most
+      one of each, input a source / output a sink);
+    - each composite module's expansion names an existing workflow other
+      than the root, and each non-root workflow is the expansion of exactly
+      one composite module (τ-edges form a tree: Fig. 3);
+    - a composite module does not (transitively) expand to the workflow
+      containing it. *)
+
+val root : t -> Ids.workflow_id
+val workflow_ids : t -> Ids.workflow_id list
+(** Sorted. *)
+
+val find_workflow : t -> Ids.workflow_id -> workflow
+(** Raises [Not_found]. *)
+
+val module_ids : t -> Ids.module_id list
+(** Sorted. *)
+
+val find_module : t -> Ids.module_id -> Module_def.t
+(** Raises [Not_found]. *)
+
+val owner : t -> Ids.module_id -> Ids.workflow_id
+(** Workflow the module is a member of. Raises [Not_found]. *)
+
+val defined_by : t -> Ids.workflow_id -> Ids.module_id option
+(** The composite module this workflow defines; [None] for the root. *)
+
+val graph_of : t -> Ids.workflow_id -> Wfpriv_graph.Digraph.t
+(** Dataflow graph of one workflow (fresh copy, over module ids). *)
+
+val edge_between : t -> Ids.module_id -> Ids.module_id -> edge option
+(** The dataflow edge between two modules of the same workflow, if any. *)
+
+val entries : t -> Ids.workflow_id -> Ids.module_id list
+(** Members with no incoming dataflow edge (for the root this includes the
+    [Input] module only, since everything else is fed by it). Sorted. *)
+
+val exits : t -> Ids.workflow_id -> Ids.module_id list
+(** Members with no outgoing dataflow edge. Sorted. *)
+
+val nb_modules : t -> int
+val nb_workflows : t -> int
+
+val atomic_modules : t -> Ids.module_id list
+val composite_modules : t -> Ids.module_id list
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line listing of workflows, members and edges. *)

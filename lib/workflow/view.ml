@@ -1,0 +1,166 @@
+module Digraph = Wfpriv_graph.Digraph
+module Dot = Wfpriv_graph.Dot
+
+type t = {
+  spec : Spec.t;
+  hierarchy : Hierarchy.t;
+  prefix : Ids.workflow_id list; (* sorted *)
+  graph : Digraph.t;
+  edge_data : (Ids.module_id * Ids.module_id, string list) Hashtbl.t;
+}
+
+let expanded t w = List.mem w t.prefix
+
+(* Flatten the root workflow under [prefix]. The graph is built by first
+   inserting every workflow of the prefix as-is, then splicing each
+   expanded composite out: in-edges move to the expansion's entries,
+   out-edges to its exits. *)
+let build spec prefix =
+  let graph = Digraph.create () in
+  let edge_data = Hashtbl.create 64 in
+  let add_edge u v data =
+    Digraph.add_edge graph u v;
+    let existing = Option.value ~default:[] (Hashtbl.find_opt edge_data (u, v)) in
+    Hashtbl.replace edge_data (u, v) (List.sort_uniq compare (existing @ data))
+  in
+  (* Insert all members and internal edges of every expanded workflow. *)
+  List.iter
+    (fun w ->
+      let wf = Spec.find_workflow spec w in
+      List.iter (Digraph.add_node graph) wf.Spec.members;
+      List.iter
+        (fun (e : Spec.edge) -> add_edge e.src e.dst e.data)
+        wf.Spec.edges)
+    prefix;
+  (* Splice expanded composites shallowest-first: a deeper workflow's
+     entries/exits stay in the graph until its own splice, so redirected
+     edges always land on present nodes. *)
+  let hierarchy = Hierarchy.of_spec spec in
+  let by_depth =
+    List.sort
+      (fun a b -> compare (Hierarchy.depth hierarchy a) (Hierarchy.depth hierarchy b))
+      prefix
+  in
+  List.iter
+    (fun w ->
+      match Spec.defined_by spec w with
+      | None -> () (* root *)
+      | Some comp ->
+          let entry = Spec.entries spec w and exit = Spec.exits spec w in
+          List.iter
+            (fun p ->
+              let data = Hashtbl.find edge_data (p, comp) in
+              Hashtbl.remove edge_data (p, comp);
+              List.iter (fun e -> add_edge p e data) entry)
+            (Digraph.pred graph comp);
+          List.iter
+            (fun s ->
+              let data = Hashtbl.find edge_data (comp, s) in
+              Hashtbl.remove edge_data (comp, s);
+              List.iter (fun x -> add_edge x s data) exit)
+            (Digraph.succ graph comp);
+          Digraph.remove_node graph comp)
+    by_depth;
+  (graph, edge_data, hierarchy)
+
+let of_prefix spec ws =
+  let hierarchy = Hierarchy.of_spec spec in
+  let prefix = Hierarchy.normalize_prefix hierarchy ws in
+  let graph, edge_data, hierarchy = build spec prefix in
+  { spec; hierarchy; prefix; graph; edge_data }
+
+let coarsest spec = of_prefix spec [ Spec.root spec ]
+let full spec = of_prefix spec (Spec.workflow_ids spec)
+let spec t = t.spec
+let prefix t = t.prefix
+let graph t = Digraph.copy t.graph
+let visible_modules t = Digraph.nodes t.graph
+let is_visible t m = Digraph.mem_node t.graph m
+
+let edge_data t u v =
+  Option.value ~default:[] (Hashtbl.find_opt t.edge_data (u, v))
+
+let representative t m =
+  if is_visible t m then m
+  else begin
+    let chain = Hierarchy.module_path t.spec t.hierarchy m in
+    (* First workflow on the root->owner chain that is not expanded; the
+       composite defining it is the visible stand-in. *)
+    match List.find_opt (fun w -> not (expanded t w)) chain with
+    | Some w -> (
+        match Spec.defined_by t.spec w with
+        | Some comp -> comp
+        | None -> raise Not_found)
+    | None ->
+        (* Module's whole chain is expanded yet it is not in the graph:
+           unknown module id. *)
+        raise Not_found
+  end
+
+let zoom_in t m =
+  if not (is_visible t m) then None
+  else
+    match Module_def.expansion (Spec.find_module t.spec m) with
+    | None -> None
+    | Some w -> Some (of_prefix t.spec (w :: t.prefix))
+
+let zoom_out t w =
+  if w = Spec.root t.spec || not (expanded t w) then None
+  else begin
+    let drop = Hierarchy.descendants t.hierarchy w in
+    let prefix = List.filter (fun x -> not (List.mem x drop)) t.prefix in
+    Some (of_prefix t.spec prefix)
+  end
+
+let refines a b = List.for_all (fun w -> List.mem w a.prefix) b.prefix
+
+let meet a b =
+  if a.spec != b.spec then invalid_arg "View.meet: views of different specs";
+  of_prefix a.spec (List.filter (fun w -> List.mem w b.prefix) a.prefix)
+
+let node_label t m =
+  let md = Spec.find_module t.spec m in
+  match md.Module_def.kind with
+  | Module_def.Input -> "I"
+  | Module_def.Output -> "O"
+  | _ -> Printf.sprintf "%s %S" (Ids.module_name m) md.Module_def.name
+
+let to_dot t =
+  let style m =
+    let md = Spec.find_module t.spec m in
+    match md.Module_def.kind with
+    | Module_def.Input | Module_def.Output ->
+        { Dot.label = Ids.module_name m; shape = "ellipse"; fill = Some "gray90" }
+    | Module_def.Atomic ->
+        {
+          Dot.label = Printf.sprintf "%s\n%s" (Ids.module_name m) md.Module_def.name;
+          shape = "box";
+          fill = None;
+        }
+    | Module_def.Composite w ->
+        {
+          Dot.label =
+            Printf.sprintf "%s\n%s\n(= %s)" (Ids.module_name m)
+              md.Module_def.name w;
+          shape = "doubleoctagon";
+          fill = Some "lightyellow";
+        }
+  in
+  let edge_label u v =
+    match edge_data t u v with [] -> None | d -> Some (String.concat ", " d)
+  in
+  Dot.render ~name:(Spec.root t.spec) ~node_style:style ~edge_label t.graph
+
+let equal a b = a.spec == b.spec && a.prefix = b.prefix
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>view prefix {%s}@," (String.concat ", " t.prefix);
+  List.iter
+    (fun m -> Format.fprintf ppf "  %s@," (node_label t m))
+    (visible_modules t);
+  Digraph.iter_edges
+    (fun u v ->
+      Format.fprintf ppf "  %a -> %a [%s]@," Ids.pp_module u Ids.pp_module v
+        (String.concat ", " (edge_data t u v)))
+    t.graph;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,73 @@
+(** Views of a workflow specification defined by hierarchy prefixes
+    (paper, Sec. 2).
+
+    The view for prefix [P] is the flat workflow obtained from the root by
+    repeatedly replacing each composite module whose expansion workflow is
+    in [P] with the contents of that workflow: the composite's incoming
+    edges are redirected to the sub-workflow's entry modules and its
+    outgoing edges to the exit modules. Composite modules whose expansion
+    is {e not} in [P] stay as opaque single nodes.
+
+    Views are the unit of access control (a user's {e access view} is the
+    finest view they may see) and the shape of query answers (Fig. 5). *)
+
+type t
+
+val of_prefix : Spec.t -> Ids.workflow_id list -> t
+(** Raises [Invalid_argument] when the list is not a prefix of the
+    expansion hierarchy. *)
+
+val coarsest : Spec.t -> t
+(** Prefix [{root}]: only the root workflow's own modules are visible. *)
+
+val full : Spec.t -> t
+(** Every workflow expanded: the paper's "full expansion". *)
+
+val spec : t -> Spec.t
+val prefix : t -> Ids.workflow_id list
+(** Sorted. *)
+
+val graph : t -> Wfpriv_graph.Digraph.t
+(** Flat dataflow graph over visible module ids (fresh copy). *)
+
+val visible_modules : t -> Ids.module_id list
+(** Sorted. *)
+
+val is_visible : t -> Ids.module_id -> bool
+
+val edge_data : t -> Ids.module_id -> Ids.module_id -> string list
+(** Data names on a visible edge; [[]] when the edge is absent. *)
+
+val representative : t -> Ids.module_id -> Ids.module_id
+(** The visible node standing for a module: the module itself when
+    visible, otherwise the composite ancestor whose expansion was not
+    taken. Raises [Not_found] on unknown modules and on composite modules
+    whose expansion {e is} in the prefix (they are spliced into their
+    contents and have no single stand-in). *)
+
+val zoom_in : t -> Ids.module_id -> t option
+(** Expand one visible composite module; [None] when the module is not a
+    visible composite. *)
+
+val zoom_out : t -> Ids.workflow_id -> t option
+(** Collapse a non-root workflow of the prefix (and its descendants);
+    [None] when the workflow is the root or not in the prefix. *)
+
+val refines : t -> t -> bool
+(** [refines a b]: [a]'s prefix contains [b]'s — [a] shows at least as
+    much. *)
+
+val meet : t -> t -> t
+(** Coarsest common refinement bound from below: intersection of
+    prefixes. Views must share a spec ([Invalid_argument] otherwise). *)
+
+val node_label : t -> Ids.module_id -> string
+(** ["M4 \"Consult External Databases\""]-style label. *)
+
+val to_dot : t -> string
+(** DOT rendering: composites as double octagons, I/O as ellipses. *)
+
+val equal : t -> t -> bool
+(** Same spec (physically) and same prefix. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,143 @@
+open Wfpriv_workflow
+
+let m = Ids.m
+
+let atomic ?keywords id name = Module_def.make ?keywords ~id ~name Module_def.Atomic
+
+let composite ?keywords id name w =
+  Module_def.make ?keywords ~id ~name (Module_def.Composite w)
+
+let modules =
+  [
+    Module_def.input;
+    Module_def.output;
+    atomic (m 1) "Ingest Patient Records" ~keywords:[ "records"; "intake" ];
+    composite (m 2) "De-identify Records" ~keywords:[ "privacy"; "anonymize" ] "C2";
+    atomic (m 3) "Assign Cohorts" ~keywords:[ "cohort"; "randomize" ];
+    composite (m 4) "Run Trial Analysis" ~keywords:[ "trial"; "statistics" ] "C3";
+    atomic (m 5) "Generate Report" ~keywords:[ "report" ];
+    atomic (m 6) "Strip Identifiers" ~keywords:[ "identifier" ];
+    composite (m 7) "Pseudonymize" ~keywords:[ "pseudonym"; "hash" ] "C4";
+    atomic (m 8) "Audit Sample" ~keywords:[ "audit" ];
+    atomic (m 9) "Salt and Hash" ~keywords:[ "salt"; "hash" ];
+    atomic (m 10) "Validate Pseudonyms" ~keywords:[ "validate" ];
+    atomic (m 11) "Split Arms" ~keywords:[ "arm" ];
+    atomic (m 12) "Treatment Arm Stats" ~keywords:[ "treatment"; "statistics" ];
+    atomic (m 13) "Control Arm Stats" ~keywords:[ "control"; "statistics" ];
+    atomic (m 14) "Compare Outcomes" ~keywords:[ "outcome"; "significance" ];
+    atomic (m 15) "Power Check" ~keywords:[ "power" ];
+  ]
+
+let edge src dst data = { Spec.src; dst; data }
+
+let workflows =
+  [
+    {
+      Spec.wf_id = "C1";
+      title = "Clinical trial outcome analysis";
+      members = [ Ids.input_module; Ids.output_module; m 1; m 2; m 3; m 4; m 5 ];
+      edges =
+        [
+          edge Ids.input_module (m 1) [ "records"; "consent" ];
+          edge (m 1) (m 2) [ "validated_records" ];
+          edge (m 2) (m 3) [ "deidentified" ];
+          edge (m 3) (m 4) [ "cohorts" ];
+          edge (m 4) (m 5) [ "findings" ];
+          edge (m 5) Ids.output_module [ "report" ];
+        ];
+    };
+    {
+      Spec.wf_id = "C2";
+      title = "De-identification";
+      members = [ m 6; m 7; m 8 ];
+      edges =
+        [ edge (m 6) (m 7) [ "stripped" ]; edge (m 7) (m 8) [ "pseudonymized" ] ];
+    };
+    {
+      Spec.wf_id = "C4";
+      title = "Pseudonymisation core";
+      members = [ m 9; m 10 ];
+      edges = [ edge (m 9) (m 10) [ "hashed" ] ];
+    };
+    {
+      Spec.wf_id = "C3";
+      title = "Trial analysis";
+      members = [ m 11; m 12; m 13; m 14; m 15 ];
+      edges =
+        [
+          edge (m 11) (m 12) [ "treatment_arm" ];
+          edge (m 11) (m 13) [ "control_arm" ];
+          edge (m 11) (m 15) [ "arm_sizes" ];
+          edge (m 12) (m 14) [ "treatment_stats" ];
+          edge (m 13) (m 14) [ "control_stats" ];
+          edge (m 15) (m 14) [ "power" ];
+        ];
+    };
+  ]
+
+let spec = Spec.create ~root:"C1" modules workflows
+
+let get name inputs =
+  match List.assoc_opt name inputs with
+  | Some v -> Data_value.to_string v
+  | None -> "?"
+
+let semantics mid inputs =
+  let s = Printf.sprintf in
+  let v x = Data_value.Str x in
+  if mid = m 1 then
+    [ ("validated_records", v (s "validated(%s)" (get "records" inputs))) ]
+  else if mid = m 6 then
+    [ ("stripped", v (s "strip(%s)" (get "validated_records" inputs))) ]
+  else if mid = m 9 then
+    [ ("hashed", v (s "hash(%s)" (get "stripped" inputs))) ]
+  else if mid = m 10 then
+    [ ("pseudonymized", v (s "validated_pseudo(%s)" (get "hashed" inputs))) ]
+  else if mid = m 8 then
+    [ ("deidentified", v (s "audited(%s)" (get "pseudonymized" inputs))) ]
+  else if mid = m 3 then
+    [ ("cohorts", v (s "cohorts(%s)" (get "deidentified" inputs))) ]
+  else if mid = m 11 then
+    [
+      ("treatment_arm", v (s "treat(%s)" (get "cohorts" inputs)));
+      ("control_arm", v (s "ctrl(%s)" (get "cohorts" inputs)));
+      ("arm_sizes", v (s "sizes(%s)" (get "cohorts" inputs)));
+    ]
+  else if mid = m 12 then
+    [ ("treatment_stats", v (s "tstats(%s)" (get "treatment_arm" inputs))) ]
+  else if mid = m 13 then
+    [ ("control_stats", v (s "cstats(%s)" (get "control_arm" inputs))) ]
+  else if mid = m 15 then
+    [ ("power", v (s "power(%s)" (get "arm_sizes" inputs))) ]
+  else if mid = m 14 then
+    [
+      ( "findings",
+        v
+          (s "compare(%s,%s,%s)"
+             (get "treatment_stats" inputs)
+             (get "control_stats" inputs)
+             (get "power" inputs)) );
+    ]
+  else if mid = m 5 then
+    [ ("report", v (s "report(%s)" (get "findings" inputs))) ]
+  else
+    raise
+      (Executor.Execution_error
+         (Printf.sprintf "clinical: no semantics for %s" (Ids.module_name mid)))
+
+let default_inputs =
+  [
+    ("records", Data_value.Str "cohort-2026-03");
+    ("consent", Data_value.Str "signed");
+  ]
+
+let run_with inputs = Executor.run spec semantics ~inputs
+let run () = run_with default_inputs
+
+let policy =
+  Wfpriv_privacy.Policy.make
+    ~expand_levels:[ ("C2", 2); ("C4", 3); ("C3", 1) ]
+    ~data_levels:
+      [ ("records", 2); ("validated_records", 2); ("hashed", 3); ("stripped", 3) ]
+    ~module_masks:[ (m 7, [ "stripped"; "pseudonymized" ], 2) ]
+    spec

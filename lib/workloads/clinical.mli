@@ -1,0 +1,28 @@
+(** A second hand-built workload: a clinical-trial outcome analysis
+    pipeline with a three-deep hierarchy and acutely sensitive
+    intermediate data (patient identifiers, per-arm statistics).
+
+    Exists so tests and experiments exercise privacy machinery on a
+    hierarchy that differs structurally from the paper's Fig. 1 (deeper
+    nesting under the de-identification branch, a diamond inside the
+    analysis branch) and so examples have a second searchable repository
+    entry. Module numbering continues the paper's convention. *)
+
+val spec : Wfpriv_workflow.Spec.t
+(** Root [C1]: I → M1 ingest → M2 de-identify ([C2]) → M3 cohorts →
+    M4 analysis ([C3]) → M5 report → O; [C2] = M6 strip → M7
+    pseudonymize ([C4]) → M8 audit; [C4] = M9 salt+hash → M10 validate;
+    [C3] = M11 split → {M12 treatment, M13 control, M15 power} → M14
+    compare. *)
+
+val semantics : Wfpriv_workflow.Executor.semantics
+val default_inputs : (string * Wfpriv_workflow.Data_value.t) list
+
+val run : unit -> Wfpriv_workflow.Execution.t
+val run_with :
+  (string * Wfpriv_workflow.Data_value.t) list -> Wfpriv_workflow.Execution.t
+
+val policy : Wfpriv_privacy.Policy.t
+(** A realistic policy: de-identification internals at level 2, its
+    pseudonymisation core at level 3, analysis internals at level 1;
+    patient records and pseudonym data masked below level 2. *)

@@ -1,0 +1,193 @@
+open Wfpriv_workflow
+
+let m1 = Ids.m 1
+let m2 = Ids.m 2
+let m3 = Ids.m 3
+let m4 = Ids.m 4
+let m5 = Ids.m 5
+let m6 = Ids.m 6
+let m7 = Ids.m 7
+let m8 = Ids.m 8
+let m9 = Ids.m 9
+let m10 = Ids.m 10
+let m11 = Ids.m 11
+let m12 = Ids.m 12
+let m13 = Ids.m 13
+let m14 = Ids.m 14
+let m15 = Ids.m 15
+
+let atomic ?keywords id name = Module_def.make ?keywords ~id ~name Module_def.Atomic
+
+let composite ?keywords id name w =
+  Module_def.make ?keywords ~id ~name (Module_def.Composite w)
+
+let modules =
+  [
+    Module_def.input;
+    Module_def.output;
+    composite m1 "Determine Genetic Susceptibility"
+      ~keywords:[ "genetics"; "susceptibility"; "SNP" ] "W2";
+    composite m2 "Evaluate Disorder Risk"
+      ~keywords:[ "disorder"; "risk"; "prognosis" ] "W3";
+    atomic m3 "Expand SNP Set" ~keywords:[ "SNP" ];
+    composite m4 "Consult External Databases" ~keywords:[ "database" ] "W4";
+    atomic m5 "Generate Database Queries" ~keywords:[ "database"; "query" ];
+    atomic m6 "Query OMIM" ~keywords:[ "OMIM"; "database" ];
+    atomic m7 "Query PubMed" ~keywords:[ "PubMed"; "database" ];
+    atomic m8 "Combine Disorder Sets" ~keywords:[ "disorder" ];
+    atomic m9 "Generate Queries" ~keywords:[ "query" ];
+    atomic m10 "Search Private Datasets" ~keywords:[ "private"; "dataset" ];
+    atomic m11 "Update Private Datasets" ~keywords:[ "private"; "dataset" ];
+    atomic m12 "Search PubMed Central" ~keywords:[ "PubMed"; "article" ];
+    atomic m13 "Reformat" ~keywords:[ "format" ];
+    atomic m14 "Summarize Articles" ~keywords:[ "summary"; "article" ];
+    atomic m15 "Combine notes and summary" ~keywords:[ "notes"; "summary" ];
+  ]
+
+let edge src dst data = { Spec.src; dst; data }
+
+let workflows =
+  [
+    {
+      Spec.wf_id = "W1";
+      title = "Personalized disease susceptibility";
+      members = [ Ids.input_module; Ids.output_module; m1; m2 ];
+      edges =
+        [
+          edge Ids.input_module m1 [ "snps"; "ethnicity" ];
+          edge Ids.input_module m2 [ "lifestyle"; "family_history"; "symptoms" ];
+          edge m1 m2 [ "disorders" ];
+          edge m2 Ids.output_module [ "prognosis" ];
+        ];
+    };
+    {
+      Spec.wf_id = "W2";
+      title = "Determine genetic susceptibility";
+      members = [ m3; m4 ];
+      edges = [ edge m3 m4 [ "expanded_snps" ] ];
+    };
+    {
+      Spec.wf_id = "W4";
+      title = "Consult external databases";
+      members = [ m5; m6; m7; m8 ];
+      edges =
+        [
+          edge m5 m6 [ "omim_query" ];
+          edge m5 m7 [ "pubmed_query" ];
+          edge m6 m8 [ "omim_disorders" ];
+          edge m7 m8 [ "pubmed_disorders" ];
+        ];
+    };
+    {
+      Spec.wf_id = "W3";
+      title = "Evaluate disorder risk";
+      members = [ m9; m10; m11; m12; m13; m14; m15 ];
+      edges =
+        [
+          edge m9 m12 [ "pmc_query" ];
+          edge m9 m10 [ "private_query" ];
+          edge m12 m13 [ "pmc_results" ];
+          edge m13 m14 [ "articles" ];
+          edge m13 m11 [ "reformatted" ];
+          edge m14 m15 [ "summary" ];
+          edge m10 m11 [ "private_results" ];
+          edge m11 m15 [ "notes" ];
+        ];
+    };
+  ]
+
+let spec = Spec.create ~root:"W1" modules workflows
+
+let get name inputs =
+  match List.assoc_opt name inputs with
+  | Some v -> Data_value.to_string v
+  | None -> "?"
+
+(* Symbolic semantics: every output is a readable term over the inputs, so
+   provenance and privacy examples stay legible. *)
+let semantics m inputs =
+  let s = Printf.sprintf in
+  let v x = Data_value.Str x in
+  if m = m3 then [ ("expanded_snps", v (s "expand(%s)" (get "snps" inputs))) ]
+  else if m = m5 then
+    [
+      ("omim_query", v (s "omim?%s" (get "expanded_snps" inputs)));
+      ("pubmed_query", v (s "pubmed?%s" (get "expanded_snps" inputs)));
+    ]
+  else if m = m6 then
+    [ ("omim_disorders", v (s "omim_hits(%s)" (get "omim_query" inputs))) ]
+  else if m = m7 then
+    [ ("pubmed_disorders", v (s "pubmed_hits(%s)" (get "pubmed_query" inputs))) ]
+  else if m = m8 then
+    [
+      ( "disorders",
+        v
+          (s "combine(%s,%s)"
+             (get "omim_disorders" inputs)
+             (get "pubmed_disorders" inputs)) );
+    ]
+  else if m = m9 then
+    [
+      ("pmc_query", v (s "pmc?%s" (get "disorders" inputs)));
+      ( "private_query",
+        v
+          (s "private?%s;%s;%s;%s" (get "disorders" inputs)
+             (get "lifestyle" inputs)
+             (get "family_history" inputs)
+             (get "symptoms" inputs)) );
+    ]
+  else if m = m12 then
+    [ ("pmc_results", v (s "pmc_hits(%s)" (get "pmc_query" inputs))) ]
+  else if m = m13 then
+    [
+      ("articles", v (s "fmt_articles(%s)" (get "pmc_results" inputs)));
+      ("reformatted", v (s "fmt(%s)" (get "pmc_results" inputs)));
+    ]
+  else if m = m14 then
+    [ ("summary", v (s "summarize(%s)" (get "articles" inputs))) ]
+  else if m = m10 then
+    [
+      ( "private_results",
+        v (s "private_hits(%s)" (get "private_query" inputs)) );
+    ]
+  else if m = m11 then
+    [
+      ( "notes",
+        v
+          (s "update_db(%s,%s)"
+             (get "private_results" inputs)
+             (get "reformatted" inputs)) );
+    ]
+  else if m = m15 then
+    [
+      ( "prognosis",
+        v (s "prognosis(%s,%s)" (get "notes" inputs) (get "summary" inputs)) );
+    ]
+  else
+    raise
+      (Executor.Execution_error
+         (Printf.sprintf "disease: no semantics for %s" (Ids.module_name m)))
+
+(* Reproduces Fig. 4's S1..S15 numbering: inside W3 the scheduler must run
+   M12, M13, M14 before M10, M11. *)
+let priority m =
+  if m = m9 then 0
+  else if m = m12 then 1
+  else if m = m13 then 2
+  else if m = m14 then 3
+  else if m = m10 then 4
+  else if m = m11 then 5
+  else if m = m15 then 6
+  else 0
+
+let default_inputs =
+  [
+    ("snps", Data_value.Str "rs429358,rs7412");
+    ("ethnicity", Data_value.Str "ashkenazi");
+    ("lifestyle", Data_value.Str "sedentary");
+    ("family_history", Data_value.Str "cardiac");
+    ("symptoms", Data_value.Str "fatigue");
+  ]
+
+let run_with inputs = Executor.run ~priority spec semantics ~inputs
+let run () = run_with default_inputs

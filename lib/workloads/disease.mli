@@ -1,0 +1,52 @@
+(** The paper's running example, coded exactly: the personalised disease
+    susceptibility workflow of Fig. 1, its expansion hierarchy (Fig. 3),
+    and the execution of Fig. 4.
+
+    Module numbering follows the paper ([M1..M15]); the wiring of [W3]
+    (under-specified in the figure) is reconstructed from the narrative
+    constraints of Sec. 3 — see DESIGN.md §5. The exact figure artefacts
+    this module reproduces are checked in the test suite and regenerated
+    by bench experiments F1–F4. *)
+
+val spec : Wfpriv_workflow.Spec.t
+(** Fig. 1: root [W1] = I → M1 → M2 → O with M1 = W2 = (M3 → M4 = W4) and
+    M2 = W3; W4 = M5 → {M6, M7} → M8; W3 = M9 → {M12 → M13 → {M14, M11},
+    M10 → M11} → M15. *)
+
+(** Module ids under their paper names. *)
+
+val m1 : Wfpriv_workflow.Ids.module_id
+val m2 : Wfpriv_workflow.Ids.module_id
+val m3 : Wfpriv_workflow.Ids.module_id
+val m4 : Wfpriv_workflow.Ids.module_id
+val m5 : Wfpriv_workflow.Ids.module_id
+val m6 : Wfpriv_workflow.Ids.module_id
+val m7 : Wfpriv_workflow.Ids.module_id
+val m8 : Wfpriv_workflow.Ids.module_id
+val m9 : Wfpriv_workflow.Ids.module_id
+val m10 : Wfpriv_workflow.Ids.module_id
+val m11 : Wfpriv_workflow.Ids.module_id
+val m12 : Wfpriv_workflow.Ids.module_id
+val m13 : Wfpriv_workflow.Ids.module_id
+val m14 : Wfpriv_workflow.Ids.module_id
+val m15 : Wfpriv_workflow.Ids.module_id
+
+val semantics : Wfpriv_workflow.Executor.semantics
+(** Deterministic symbolic semantics for M3, M5–M15: each module builds a
+    readable value from its inputs (e.g. M3 maps SNPs [s] to
+    [expand(s)]). *)
+
+val priority : Wfpriv_workflow.Ids.module_id -> int
+(** Scheduling priority reproducing Fig. 4's process numbering
+    [S1..S15]. *)
+
+val default_inputs : (string * Wfpriv_workflow.Data_value.t) list
+(** A concrete patient: snps, ethnicity, lifestyle, family history and
+    symptoms. *)
+
+val run : unit -> Wfpriv_workflow.Execution.t
+(** The execution of Fig. 4 (process ids [S1..S15], data ids [d0..d19]). *)
+
+val run_with :
+  (string * Wfpriv_workflow.Data_value.t) list -> Wfpriv_workflow.Execution.t
+(** Same spec and scheduling, different patient inputs. *)

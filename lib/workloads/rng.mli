@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every randomized component (synthetic workloads, adversary simulation,
+    sampled sweeps) takes an explicit generator so experiments and tests
+    are exactly reproducible. Not cryptographic. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds yield equal streams. *)
+
+val split : t -> t
+(** Derive an independent generator (advances the parent). *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound > 0] required. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive; [lo <= hi]. *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** True with the given probability. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element; raises [Invalid_argument] on the empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Uniform permutation (Fisher–Yates). *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs]: [k] distinct elements of [xs] in a random order;
+    the whole (shuffled) list when [k >= length xs]. *)

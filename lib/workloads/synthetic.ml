@@ -1,0 +1,224 @@
+open Wfpriv_workflow
+module Digraph = Wfpriv_graph.Digraph
+
+type params = {
+  levels : int;
+  composites_per_workflow : int;
+  atomics_per_workflow : int;
+  edge_probability : float;
+  keyword_vocabulary : string list;
+  keywords_per_module : int;
+}
+
+let default_params =
+  {
+    levels = 2;
+    composites_per_workflow = 2;
+    atomics_per_workflow = 4;
+    edge_probability = 0.35;
+    keyword_vocabulary =
+      [
+        "align"; "blast"; "filter"; "merge"; "annotate"; "cluster"; "sample";
+        "normalize"; "genotype"; "phenotype"; "pathway"; "expression";
+        "variant"; "sequence"; "assembly"; "ontology"; "cohort"; "imaging";
+        "biomarker"; "screening"; "dosage"; "protein"; "transcript"; "assay";
+      ];
+    keywords_per_module = 2;
+  }
+
+(* Intermediate structure before data names are resolved. *)
+type proto_workflow = {
+  pw_id : Ids.workflow_id;
+  pw_members : (Ids.module_id * [ `Atomic | `Composite of Ids.workflow_id ]) list;
+      (* in generation (topological) order *)
+  pw_edges : (Ids.module_id * Ids.module_id) list;
+}
+
+let out_name m = Printf.sprintf "o%d" m
+
+let spec rng params =
+  if params.atomics_per_workflow < 1 then
+    invalid_arg "Synthetic.spec: need at least one atomic module per workflow";
+  let next_module = ref Ids.first_user_id in
+  let next_wf = ref 0 in
+  let fresh_module () =
+    let m = !next_module in
+    incr next_module;
+    m
+  in
+  let fresh_wf () =
+    let w = Printf.sprintf "V%d" !next_wf in
+    incr next_wf;
+    w
+  in
+  let protos = ref [] in
+  (* Generate the hierarchy top-down. *)
+  let rec gen_workflow depth =
+    let wf_id = fresh_wf () in
+    let nb_composites = if depth < params.levels then params.composites_per_workflow else 0 in
+    let kinds =
+      List.init nb_composites (fun _ -> `C)
+      @ List.init params.atomics_per_workflow (fun _ -> `A)
+    in
+    let kinds = Rng.shuffle rng kinds in
+    let members =
+      List.map
+        (fun k ->
+          let m = fresh_module () in
+          match k with
+          | `A -> (m, `Atomic)
+          | `C -> (m, `Composite (gen_workflow (depth + 1))))
+        kinds
+    in
+    let ms = List.map fst members in
+    let rec pairs = function
+      | [] -> []
+      | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+    in
+    let edges =
+      List.filter (fun _ -> Rng.bernoulli rng params.edge_probability) (pairs ms)
+    in
+    protos := { pw_id = wf_id; pw_members = members; pw_edges = edges } :: !protos;
+    wf_id
+  in
+  let root = gen_workflow 0 in
+  let protos = !protos in
+  let proto w = List.find (fun p -> String.equal p.pw_id w) protos in
+  (* out_names, bottom-up through the expansion tree (recursion follows
+     τ-edges, which form a tree, so it terminates). *)
+  let rec out_names (m, kind) =
+    match kind with
+    | `Atomic -> [ out_name m ]
+    | `Composite w ->
+        let p = proto w in
+        let has_out x = List.exists (fun (s, _) -> s = x) p.pw_edges in
+        List.concat_map
+          (fun (x, k) -> if has_out x then [] else out_names (x, k))
+          p.pw_members
+        |> List.sort_uniq compare
+  in
+  let module_defs =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun (m, kind) ->
+            let keywords =
+              Rng.sample rng params.keywords_per_module params.keyword_vocabulary
+            in
+            let name =
+              Printf.sprintf "%s step %d"
+                (String.capitalize_ascii (Rng.pick rng params.keyword_vocabulary))
+                m
+            in
+            match kind with
+            | `Atomic -> Module_def.make ~keywords ~id:m ~name Module_def.Atomic
+            | `Composite w ->
+                Module_def.make ~keywords ~id:m ~name (Module_def.Composite w))
+          p.pw_members)
+      protos
+  in
+  let root_inputs = [ "in0"; "in1"; "in2" ] in
+  let workflows =
+    List.map
+      (fun p ->
+        let kind_of m = List.assoc m p.pw_members in
+        let edges =
+          List.map
+            (fun (s, d) -> { Spec.src = s; dst = d; data = out_names (s, kind_of s) })
+            p.pw_edges
+        in
+        let is_root = String.equal p.pw_id root in
+        if is_root then begin
+          let has_in m = List.exists (fun (_, d) -> d = m) p.pw_edges in
+          let has_out m = List.exists (fun (s, _) -> s = m) p.pw_edges in
+          let entries = List.filter (fun (m, _) -> not (has_in m)) p.pw_members in
+          let exits = List.filter (fun (m, _) -> not (has_out m)) p.pw_members in
+          let io_edges =
+            List.map
+              (fun (m, _) ->
+                { Spec.src = Ids.input_module; dst = m; data = root_inputs })
+              entries
+            @ List.map
+                (fun (m, k) ->
+                  {
+                    Spec.src = m;
+                    dst = Ids.output_module;
+                    data = out_names (m, k);
+                  })
+                exits
+          in
+          {
+            Spec.wf_id = p.pw_id;
+            title = Printf.sprintf "synthetic %s" p.pw_id;
+            members =
+              Ids.input_module :: Ids.output_module :: List.map fst p.pw_members;
+            edges = io_edges @ edges;
+          }
+        end
+        else
+          {
+            Spec.wf_id = p.pw_id;
+            title = Printf.sprintf "synthetic %s" p.pw_id;
+            members = List.map fst p.pw_members;
+            edges;
+          })
+      protos
+  in
+  Spec.create ~root (Module_def.input :: Module_def.output :: module_defs) workflows
+
+let semantics spec : Executor.semantics =
+ fun m inputs ->
+  let wf = Spec.find_workflow spec (Spec.owner spec m) in
+  let outgoing =
+    List.concat_map
+      (fun (e : Spec.edge) -> if e.src = m then e.data else [])
+      wf.Spec.edges
+    |> List.sort_uniq compare
+  in
+  let names = if outgoing = [] then [ out_name m ] else outgoing in
+  List.map
+    (fun n -> (n, Data_value.Int (abs (Hashtbl.hash (m, n, inputs)) mod 1000)))
+    names
+
+let inputs_for _spec ~seed =
+  List.init 3 (fun i ->
+      (Printf.sprintf "in%d" i, Data_value.Int (abs (Hashtbl.hash (seed, i)) mod 1000)))
+
+let run rng params =
+  let s = spec rng params in
+  let seed = Rng.int rng 1_000_000 in
+  (s, Executor.run s (semantics s) ~inputs:(inputs_for s ~seed))
+
+let random_table rng ~n_inputs ~n_outputs ~domain_size =
+  let open Wfpriv_privacy.Module_privacy in
+  let inputs = List.init n_inputs (fun i -> int_attr (Printf.sprintf "x%d" i) domain_size) in
+  let outputs = List.init n_outputs (fun i -> int_attr (Printf.sprintf "y%d" i) domain_size) in
+  of_function ~inputs ~outputs (fun _x ->
+      Array.init n_outputs (fun _ -> Data_value.Int (Rng.int rng domain_size)))
+
+let random_clustering rng g ~nb_clusters ~cluster_size =
+  let nodes = Rng.shuffle rng (Digraph.nodes g) in
+  let rec take_groups nodes k acc =
+    if k = 0 then acc
+    else
+      match nodes with
+      | [] -> acc
+      | _ ->
+          let group = List.filteri (fun i _ -> i < cluster_size) nodes in
+          let rest = List.filteri (fun i _ -> i >= cluster_size) nodes in
+          if List.length group >= 2 then take_groups rest (k - 1) (group :: acc)
+          else acc
+  in
+  take_groups nodes nb_clusters []
+
+let random_dag rng ~nodes ~edge_probability =
+  let g = Digraph.create () in
+  for i = 0 to nodes - 1 do
+    Digraph.add_node g i
+  done;
+  for i = 0 to nodes - 1 do
+    for j = i + 1 to nodes - 1 do
+      if Rng.bernoulli rng edge_probability then Digraph.add_edge g i j
+    done
+  done;
+  g

@@ -1,0 +1,64 @@
+(** Seeded synthetic workloads: hierarchical specifications, executions,
+    module tables and clusterings at controllable scale.
+
+    The paper's repositories (myGrid/Taverna-style collections of
+    life-science workflows) are not redistributable; these generators
+    produce structurally comparable artefacts — hierarchical DAGs with
+    keyword-annotated modules, executable semantics and finite-domain
+    module functions — that exercise exactly the same code paths
+    (DESIGN.md §2). Everything is deterministic in the generator. *)
+
+type params = {
+  levels : int;  (** hierarchy height below the root (0 = flat) *)
+  composites_per_workflow : int;
+      (** how many modules of each non-leaf workflow are composite *)
+  atomics_per_workflow : int;
+  edge_probability : float;
+      (** probability of a dataflow edge between two order-compatible
+          modules of the same workflow *)
+  keyword_vocabulary : string list;
+  keywords_per_module : int;
+}
+
+val default_params : params
+(** 2 levels, 2 composites, 4 atomics per workflow, edge probability 0.35,
+    a 24-word bioinformatics vocabulary, 2 keywords per module. *)
+
+val spec : Rng.t -> params -> Wfpriv_workflow.Spec.t
+(** A valid specification: every workflow a DAG, τ-edges a tree, root
+    carrying I/O pseudo-modules. Module count ≈
+    [(composites + atomics) * #workflows]. *)
+
+val semantics : Wfpriv_workflow.Spec.t -> Wfpriv_workflow.Executor.semantics
+(** Deterministic hash-based semantics for any synthetic spec: module [m]
+    outputs, for each of its declared output names, a small [Int] value
+    derived from its inputs. *)
+
+val inputs_for : Wfpriv_workflow.Spec.t -> seed:int -> (string * Wfpriv_workflow.Data_value.t) list
+(** A valid input assignment for {!spec}'s root (names [in0..]), values
+    derived from [seed]. *)
+
+val run : Rng.t -> params -> Wfpriv_workflow.Spec.t * Wfpriv_workflow.Execution.t
+(** Generate and execute once. *)
+
+val random_table :
+  Rng.t ->
+  n_inputs:int ->
+  n_outputs:int ->
+  domain_size:int ->
+  Wfpriv_privacy.Module_privacy.table
+(** A uniformly random total function over [n_inputs] input attributes
+    and [n_outputs] output attributes, all with domain [{0..domain_size-1}]
+    (attribute names [x0.. / y0..]). *)
+
+val random_clustering :
+  Rng.t ->
+  Wfpriv_graph.Digraph.t ->
+  nb_clusters:int ->
+  cluster_size:int ->
+  Wfpriv_privacy.Structural_privacy.clustering
+(** Disjoint random groups of the given size (fewer/smaller when the
+    graph runs out of nodes); groups of size < 2 are dropped. *)
+
+val random_dag : Rng.t -> nodes:int -> edge_probability:float -> Wfpriv_graph.Digraph.t
+(** Random DAG over nodes [0..nodes-1] with edges oriented low → high. *)

@@ -1,0 +1,69 @@
+The CLI renders the paper's Fig. 2 view of the disease execution:
+
+  $ wfpriv run --prefix W1
+  execution view prefix {W1}
+  I -> S1:M1 [d0,d1]
+  I -> S8:M2 [d2,d3,d4]
+  S1:M1 -> S8:M2 [d10]
+  S8:M2 -> O [d19]
+  
+
+Structural queries respect privilege levels (the demo assignment needs
+level 2 for W4's internals):
+
+  $ wfpriv query 'before(~"Expand SNP", ~"OMIM")' --level 0
+  before(~"Expand SNP", ~"OMIM") at level 0: false
+
+  $ wfpriv query 'before(~"Expand SNP", ~"OMIM")' --level 2
+  before(~"Expand SNP", ~"OMIM") at level 2: true
+
+Keyword search caps answers at the caller's access view:
+
+  $ wfpriv search --level 0 risk
+  keyword "risk": witnesses M2
+  view prefix {W1}
+    I
+    O
+    M1 "Determine Genetic Susceptibility"
+    M2 "Evaluate Disorder Risk"
+    I -> M1 [ethnicity, snps]
+    I -> M2 [family_history, lifestyle, symptoms]
+    M1 -> M2 [disorders]
+    M2 -> O [prognosis]
+  
+
+Export to the textual language and reload the file:
+
+  $ wfpriv export --format dsl > disease.wf
+  $ wfpriv hierarchy -f disease.wf
+  W1
+    W2
+      W4
+    W3
+  
+  prefixes: 6
+
+Structural privacy from the shell (module ids: M13 = 14, M11 = 12):
+
+  $ wfpriv structural 14 12 -m deletion
+  delete: M13->M11
+  collateral facts lost: 1
+
+  $ wfpriv structural 14 12 -m clustering
+  cluster: {M11, M13}
+  spurious facts fabricated: 1
+
+Persisted repositories:
+
+  $ wfpriv repo init demo.json
+  wrote demo.json (2 entries)
+  $ wfpriv repo search demo.json -l 3 database
+  disease-susceptibility (score 4.22), view {W1, W2}
+  $ wfpriv repo prov-search demo.json -l 0 omim
+  no hits at level 0
+
+Provenance search on the built-in workload:
+
+  $ wfpriv search --provenance --level 0 risk | head -2
+  keyword "risk": needs {W1}
+  execution view prefix {W1}

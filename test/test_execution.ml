@@ -1,0 +1,313 @@
+(* Tests for Executor, Execution, Provenance and Exec_view, pinned against
+   the paper's Fig. 4 (execution) and Fig. 2 (provenance view). *)
+
+open Wfpriv_workflow
+module Disease = Wfpriv_workloads.Disease
+module Digraph = Wfpriv_graph.Digraph
+
+let check = Alcotest.check
+let intl = Alcotest.(list int)
+let strl = Alcotest.(list string)
+let exec = Disease.run ()
+
+let node_by_label e label =
+  match
+    List.find_opt (fun n -> String.equal (Execution.node_label e n) label)
+      (Execution.nodes e)
+  with
+  | Some n -> n
+  | None -> Alcotest.fail (Printf.sprintf "no node labelled %s" label)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: the execution *)
+
+let test_fig4_process_numbering () =
+  (* Process ids and begin/end bracketing exactly as in the paper. *)
+  List.iter
+    (fun label -> ignore (node_by_label exec label))
+    [
+      "I"; "O"; "S1:M1 begin"; "S1:M1 end"; "S2:M3"; "S3:M4 begin";
+      "S3:M4 end"; "S4:M5"; "S5:M6"; "S6:M7"; "S7:M8"; "S8:M2 begin";
+      "S8:M2 end"; "S9:M9"; "S10:M12"; "S11:M13"; "S12:M14"; "S13:M10";
+      "S14:M11"; "S15:M15";
+    ]
+
+let test_fig4_data_flow () =
+  let e = exec in
+  let edge a b = Execution.edge_items e (node_by_label e a) (node_by_label e b) in
+  check intl "I -> M1 begin carries d0,d1" [ 0; 1 ] (edge "I" "S1:M1 begin");
+  check intl "I -> M2 begin carries d2,d3,d4" [ 2; 3; 4 ] (edge "I" "S8:M2 begin");
+  check intl "M1 begin -> M3 carries d0,d1" [ 0; 1 ] (edge "S1:M1 begin" "S2:M3");
+  check intl "M3 -> M4 begin carries d5" [ 5 ] (edge "S2:M3" "S3:M4 begin");
+  check intl "M8 -> M4 end carries d10" [ 10 ] (edge "S7:M8" "S3:M4 end");
+  check intl "M4 end -> M1 end carries d10" [ 10 ] (edge "S3:M4 end" "S1:M1 end");
+  check intl "M1 end -> M2 begin carries d10" [ 10 ]
+    (edge "S1:M1 end" "S8:M2 begin");
+  check intl "M2 begin -> M9 carries d2,d3,d4,d10" [ 2; 3; 4; 10 ]
+    (edge "S8:M2 begin" "S9:M9");
+  check intl "M15 -> M2 end carries d19" [ 19 ] (edge "S15:M15" "S8:M2 end");
+  check intl "M2 end -> O carries d19" [ 19 ] (edge "S8:M2 end" "O")
+
+let test_fig4_items () =
+  check Alcotest.int "20 data items d0..d19" 20 (Execution.nb_items exec);
+  let it = Execution.find_item exec 10 in
+  check Alcotest.string "d10 is the disorders output" "disorders"
+    it.Execution.name;
+  check Alcotest.string "d10 produced by S7:M8" "S7:M8"
+    (Execution.node_label exec it.Execution.producer);
+  let outs = Execution.output_items exec in
+  check intl "workflow output is d19" [ 19 ]
+    (List.map (fun (i : Execution.item) -> i.Execution.data_id) outs);
+  check strl "items named snps" [ "rs429358,rs7412" ]
+    (List.map
+       (fun (i : Execution.item) -> Data_value.to_string i.Execution.value)
+       (Execution.items_named exec "snps"))
+
+let test_execution_is_dag_with_scopes () =
+  check Alcotest.bool "DAG" true (Wfpriv_graph.Topo.is_dag (Execution.graph exec));
+  let m5 = node_by_label exec "S4:M5" in
+  (* M5 runs inside M4 (S3) inside M1 (S1). *)
+  check intl "scope of S4:M5" [ 1; 3 ] (Execution.scope exec m5);
+  let i = node_by_label exec "I" in
+  check intl "scope of I" [] (Execution.scope exec i);
+  let b = node_by_label exec "S3:M4 begin" in
+  check intl "begin node carries own proc" [ 1; 3 ] (Execution.scope exec b)
+
+let test_node_lookups () =
+  check intl "nodes of M3" [ node_by_label exec "S2:M3" ]
+    (Execution.nodes_of_module exec Disease.m3);
+  check Alcotest.int "node of process 2" (node_by_label exec "S2:M3")
+    (Execution.node_of_process exec 2);
+  check (Alcotest.option Alcotest.int) "module of begin node"
+    (Some Disease.m4)
+    (Execution.module_of_node exec (node_by_label exec "S3:M4 begin"))
+
+let test_executor_errors () =
+  (* Semantics missing an edge's required output name must fail. *)
+  let broken m inputs =
+    if m = Disease.m3 then [ ("wrong_name", Data_value.Str "x") ]
+    else Disease.semantics m inputs
+  in
+  (match Executor.run ~priority:Disease.priority Disease.spec broken
+           ~inputs:Disease.default_inputs
+   with
+  | exception Executor.Execution_error _ -> ()
+  | _ -> Alcotest.fail "expected Execution_error for missing output");
+  (* Duplicate output names must fail. *)
+  let dup m inputs =
+    if m = Disease.m3 then
+      [ ("expanded_snps", Data_value.Str "a"); ("expanded_snps", Data_value.Str "b") ]
+    else Disease.semantics m inputs
+  in
+  match Executor.run ~priority:Disease.priority Disease.spec dup
+          ~inputs:Disease.default_inputs
+  with
+  | exception Executor.Execution_error _ -> ()
+  | _ -> Alcotest.fail "expected Execution_error for duplicate output"
+
+let test_run_many_deterministic () =
+  match Executor.run_many ~priority:Disease.priority Disease.spec
+          Disease.semantics
+          ~inputs_list:[ Disease.default_inputs; Disease.default_inputs ]
+  with
+  | [ a; b ] ->
+      check Alcotest.bool "same graph" true
+        (Digraph.equal (Execution.graph a) (Execution.graph b));
+      check Alcotest.int "same item count" (Execution.nb_items a)
+        (Execution.nb_items b)
+  | _ -> Alcotest.fail "expected two executions"
+
+(* ------------------------------------------------------------------ *)
+(* Provenance *)
+
+let test_provenance_of_d10 () =
+  let p = Provenance.of_data exec 10 in
+  let labels = List.map (Execution.node_label exec) p.Provenance.nodes in
+  (* Everything that led to the disorders set: I, M1's subtree. *)
+  check strl "provenance nodes of d10"
+    [ "I"; "S1:M1 begin"; "S2:M3"; "S3:M4 begin"; "S4:M5"; "S5:M6"; "S6:M7"; "S7:M8" ]
+    (List.sort compare labels)
+
+let test_lineage_and_impact () =
+  check intl "lineage of d5 is d0,d1" [ 0; 1 ] (Provenance.lineage exec 5);
+  check intl "lineage of d10"
+    [ 0; 1; 5; 6; 7; 8; 9 ]
+    (Provenance.lineage exec 10);
+  check Alcotest.bool "d19 depends on d0" true (Provenance.depends_on exec 19 0);
+  check Alcotest.bool "d5 independent of d2" false
+    (Provenance.depends_on exec 5 2);
+  (* Downstream impact of the expanded SNP set: everything after M3. *)
+  check intl "impact of d5"
+    [ 6; 7; 8; 9; 10; 11; 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (Provenance.impacted exec 5);
+  check intl "impact of d19 is empty" [] (Provenance.impacted exec 19)
+
+let test_contributing_modules () =
+  let ms = Provenance.contributing_modules exec 10 in
+  check intl "modules contributing to d10"
+    (List.sort compare
+       [ Disease.m1; Disease.m3; Disease.m4; Disease.m5; Disease.m6; Disease.m7; Disease.m8 ])
+    ms
+
+let test_necessary_modules () =
+  (* d10 (disorders) necessarily flowed through M3, M5, M8 and the
+     composites, but NOT M6 or M7 — they are parallel alternatives. *)
+  let necessary = Provenance.necessary_modules exec 10 in
+  List.iter
+    (fun m ->
+      check Alcotest.bool
+        (Ids.module_name m ^ " necessary")
+        true (List.mem m necessary))
+    [ Disease.m1; Disease.m3; Disease.m4; Disease.m5; Disease.m8 ];
+  List.iter
+    (fun m ->
+      check Alcotest.bool
+        (Ids.module_name m ^ " not necessary (parallel branch)")
+        false (List.mem m necessary))
+    [ Disease.m6; Disease.m7 ];
+  (* Contrast with contributing_modules, which includes both branches. *)
+  let contributing = Provenance.contributing_modules exec 10 in
+  check Alcotest.bool "necessary ⊆ contributing" true
+    (List.for_all (fun m -> List.mem m contributing) necessary);
+  check Alcotest.bool "strictly smaller here" true
+    (List.length necessary < List.length contributing)
+
+let test_executed_before () =
+  (* The paper's example query: Expand SNP Set before Query OMIM. *)
+  check Alcotest.bool "M3 before M6" true
+    (Provenance.executed_before exec Disease.m3 Disease.m6);
+  check Alcotest.bool "M6 not before M3" false
+    (Provenance.executed_before exec Disease.m6 Disease.m3);
+  check Alcotest.bool "M13 contributes to M11" true
+    (Provenance.executed_before exec Disease.m13 Disease.m11)
+
+(* ------------------------------------------------------------------ *)
+(* Exec views (Fig. 2) *)
+
+let test_fig2_coarsest_view () =
+  let v = Exec_view.coarsest exec in
+  check strl "prefix" [ "W1" ] (Exec_view.prefix v);
+  let labels = List.map (Exec_view.node_label v) (Exec_view.nodes v) in
+  check strl "exactly Fig. 2's nodes" [ "I"; "O"; "S1:M1"; "S8:M2" ]
+    (List.sort compare labels);
+  let n l =
+    List.find (fun x -> Exec_view.node_label v x = l) (Exec_view.nodes v)
+  in
+  check intl "I->M1 d0,d1" [ 0; 1 ] (Exec_view.edge_items v (n "I") (n "S1:M1"));
+  check intl "I->M2 d2,d3,d4" [ 2; 3; 4 ]
+    (Exec_view.edge_items v (n "I") (n "S8:M2"));
+  check intl "M1->M2 d10" [ 10 ] (Exec_view.edge_items v (n "S1:M1") (n "S8:M2"));
+  check intl "M2->O d19" [ 19 ] (Exec_view.edge_items v (n "S8:M2") (n "O"));
+  check Alcotest.bool "M1 collapsed" true (Exec_view.is_collapsed v (n "S1:M1"));
+  check intl "visible items" [ 0; 1; 2; 3; 4; 10; 19 ] (Exec_view.visible_items v);
+  check intl "hidden items" [ 5; 6; 7; 8; 9; 11; 12; 13; 14; 15; 16; 17; 18 ]
+    (Exec_view.hidden_items v)
+
+let test_partial_view () =
+  (* Expanding only W2 keeps M4 collapsed inside it and M2 collapsed. *)
+  let v = Exec_view.of_prefix exec [ "W1"; "W2" ] in
+  let labels = List.map (Exec_view.node_label v) (Exec_view.nodes v) in
+  check strl "nodes"
+    [ "I"; "O"; "S1:M1 begin"; "S1:M1 end"; "S2:M3"; "S3:M4"; "S8:M2" ]
+    (List.sort compare labels);
+  let n l =
+    List.find (fun x -> Exec_view.node_label v x = l) (Exec_view.nodes v)
+  in
+  check Alcotest.bool "M4 collapsed" true (Exec_view.is_collapsed v (n "S3:M4"));
+  check Alcotest.bool "M1 begin kept (expanded)" false
+    (Exec_view.is_collapsed v (n "S1:M1 begin"));
+  check intl "M3 -> M4 carries d5" [ 5 ] (Exec_view.edge_items v (n "S2:M3") (n "S3:M4"))
+
+let test_full_view_identity () =
+  let v = Exec_view.full exec in
+  check Alcotest.int "same node count" (List.length (Execution.nodes exec))
+    (List.length (Exec_view.nodes v));
+  check intl "nothing hidden" [] (Exec_view.hidden_items v);
+  check Alcotest.bool "graphs equal" true
+    (Digraph.equal (Exec_view.graph v) (Execution.graph exec))
+
+let test_visible_lineage () =
+  (* Full ancestry of the prognosis d19 spans d0..d18; the coarsest view
+     only ever shows the boundary items. *)
+  let coarse = Exec_view.coarsest exec in
+  check intl "coarse lineage of d19" [ 0; 1; 2; 3; 4; 10 ]
+    (Exec_view.visible_lineage coarse 19);
+  (* Opening W2 (and nothing else) adds d5 (between M3 and M4). *)
+  let mid = Exec_view.of_prefix exec [ "W1"; "W2" ] in
+  check intl "lineage after opening W2" [ 0; 1; 2; 3; 4; 5; 10 ]
+    (Exec_view.visible_lineage mid 19);
+  (* The full view recovers the complete lineage. *)
+  let full = Exec_view.full exec in
+  check intl "full lineage" (Provenance.lineage exec 19)
+    (Exec_view.visible_lineage full 19)
+
+let test_view_representative_roundtrip () =
+  let v = Exec_view.coarsest exec in
+  let m5 = Execution.node_of_process exec 4 in
+  let rep = Exec_view.representative v m5 in
+  check Alcotest.string "M5 hidden inside S1:M1" "S1:M1" (Exec_view.node_label v rep)
+
+(* Property: on every prefix, the view preserves the base reachability
+   facts between its visible representative pairs (collapsing never loses
+   connectivity, only granularity). *)
+let prop_view_preserves_reachability =
+  QCheck.Test.make ~name:"exec views preserve base reachability" ~count:30
+    (QCheck.int_bound 5) (fun i ->
+      let spec = Disease.spec in
+      let hierarchy = Hierarchy.of_spec spec in
+      let prefixes = Hierarchy.all_prefixes hierarchy in
+      let p = List.nth prefixes (i mod List.length prefixes) in
+      let v = Exec_view.of_prefix exec p in
+      let base = Execution.graph exec in
+      let vg = Exec_view.graph v in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              let ra = Exec_view.representative v a
+              and rb = Exec_view.representative v b in
+              ra = rb
+              || (not (Wfpriv_graph.Reachability.reaches base a b))
+              || Wfpriv_graph.Reachability.reaches vg ra rb)
+            (Execution.nodes exec))
+        (Execution.nodes exec))
+
+let () =
+  Alcotest.run "execution"
+    [
+      ( "fig4",
+        [
+          Alcotest.test_case "process numbering" `Quick
+            test_fig4_process_numbering;
+          Alcotest.test_case "data flow" `Quick test_fig4_data_flow;
+          Alcotest.test_case "items" `Quick test_fig4_items;
+          Alcotest.test_case "dag + scopes" `Quick
+            test_execution_is_dag_with_scopes;
+          Alcotest.test_case "node lookups" `Quick test_node_lookups;
+          Alcotest.test_case "executor errors" `Quick test_executor_errors;
+          Alcotest.test_case "run_many deterministic" `Quick
+            test_run_many_deterministic;
+        ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "subgraph of d10" `Quick test_provenance_of_d10;
+          Alcotest.test_case "lineage and impact" `Quick test_lineage_and_impact;
+          Alcotest.test_case "contributing modules" `Quick
+            test_contributing_modules;
+          Alcotest.test_case "necessary modules (dominators)" `Quick
+            test_necessary_modules;
+          Alcotest.test_case "executed before" `Quick test_executed_before;
+        ] );
+      ( "exec_view",
+        [
+          Alcotest.test_case "Fig. 2 coarsest view" `Quick
+            test_fig2_coarsest_view;
+          Alcotest.test_case "partial view {W1,W2}" `Quick test_partial_view;
+          Alcotest.test_case "full view is identity" `Quick
+            test_full_view_identity;
+          Alcotest.test_case "representative roundtrip" `Quick
+            test_view_representative_roundtrip;
+          Alcotest.test_case "visible lineage" `Quick test_visible_lineage;
+        ]
+        @ [ QCheck_alcotest.to_alcotest prop_view_preserves_reachability ] );
+    ]

@@ -1,0 +1,143 @@
+(* Robustness fuzzing: every [parse_result]-style entry point must
+   return [Error _] (never raise, never hang) on arbitrary input, and
+   structured decoders must reject shape-violating documents with their
+   documented exceptions only. *)
+
+open Wfpriv_serial
+open Wfpriv_query
+module Synthetic = Wfpriv_workloads.Synthetic
+module Rng = Wfpriv_workloads.Rng
+
+let arbitrary_string =
+  QCheck.(string_gen_of_size (Gen.int_bound 60) Gen.printable)
+
+let arbitrary_bytes =
+  QCheck.(string_gen_of_size (Gen.int_bound 60) (Gen.char_range '\000' '\255'))
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let prop_json_never_raises =
+  QCheck.Test.make ~name:"Json.parse_result never raises (printable)" ~count:500
+    arbitrary_string (fun s ->
+      match Json.parse_result s with Ok _ | Error _ -> true)
+
+let prop_json_never_raises_bytes =
+  QCheck.Test.make ~name:"Json.parse_result never raises (bytes)" ~count:500
+    arbitrary_bytes (fun s ->
+      match Json.parse_result s with Ok _ | Error _ -> true)
+
+let prop_json_mutation =
+  (* Mutate one byte of a valid document: must parse or error, never
+     raise; if it parses, printing must round-trip. *)
+  QCheck.Test.make ~name:"Json survives single-byte mutations" ~count:300
+    QCheck.(pair (int_bound 10_000) (pair small_nat (make Gen.(char_range ' ' '~'))))
+    (fun (seed, (pos, c)) ->
+      let spec = Synthetic.spec (Rng.create seed) Synthetic.default_params in
+      let doc = Bytes.of_string (Spec_codec.to_string spec) in
+      let pos = pos mod Bytes.length doc in
+      Bytes.set doc pos c;
+      match Json.parse_result (Bytes.to_string doc) with
+      | Error _ -> true
+      | Ok v -> Json.equal v (Json.parse (Json.to_string v)))
+
+(* ------------------------------------------------------------------ *)
+(* Wfdsl *)
+
+let prop_wfdsl_never_raises =
+  QCheck.Test.make ~name:"Wfdsl.parse_result never raises" ~count:500
+    arbitrary_string (fun s ->
+      match Wfdsl.parse_result s with Ok _ | Error _ -> true)
+
+let prop_wfdsl_keyword_soup =
+  (* Strings made of the language's own tokens are the nastiest input. *)
+  let token =
+    QCheck.Gen.oneofl
+      [ "workflow"; "module"; "input"; "output"; "root"; "expands"; "keywords";
+        "M1"; "I"; "O"; "->"; "{"; "}"; "["; "]"; ";"; ","; "\"x\""; "w" ]
+  in
+  QCheck.Test.make ~name:"Wfdsl survives token soup" ~count:500
+    (QCheck.make QCheck.Gen.(map (String.concat " ") (list_size (int_bound 25) token)))
+    (fun s -> match Wfdsl.parse_result s with Ok _ | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Query parser *)
+
+let prop_query_parser_never_raises =
+  QCheck.Test.make ~name:"Query_parser.parse_result never raises" ~count:500
+    arbitrary_string (fun s ->
+      match Query_parser.parse_result s with Ok _ | Error _ -> true)
+
+let prop_query_parser_token_soup =
+  let token =
+    QCheck.Gen.oneofl
+      [ "node"; "edge"; "before"; "carries"; "and"; "or"; "not"; "("; ")";
+        "*"; "~"; "\"x\""; ","; "atomic"; "composite"; "M3" ]
+  in
+  QCheck.Test.make ~name:"Query_parser survives token soup" ~count:500
+    (QCheck.make QCheck.Gen.(map (String.concat " ") (list_size (int_bound 20) token)))
+    (fun s -> match Query_parser.parse_result s with Ok _ | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Structured decoders: shape violations raise Invalid_argument (or the
+   documented validation exceptions), nothing else. *)
+
+let acceptable_decode_failure f =
+  match f () with
+  | _ -> true
+  | exception Invalid_argument _ -> true
+  | exception Wfpriv_workflow.Spec.Invalid _ -> true
+  | exception Not_found -> false
+  | exception _ -> false
+
+let prop_spec_decode_contained =
+  (* Decoding random JSON values must either work or raise
+     Invalid_argument / Spec.Invalid. *)
+  QCheck.Test.make ~name:"Spec_codec.decode fails cleanly on random JSON"
+    ~count:300 arbitrary_string (fun s ->
+      match Json.parse_result ("{\"root\": \"w\", \"x\": \"" ^ s ^ "\"}") with
+      | Error _ -> true
+      | Ok j -> acceptable_decode_failure (fun () -> Spec_codec.decode j))
+
+let prop_exec_decode_contained =
+  QCheck.Test.make ~name:"Exec_codec.decode fails cleanly on truncated docs"
+    ~count:100 (QCheck.int_bound 10_000) (fun seed ->
+      let rng = Rng.create seed in
+      let _, exec = Synthetic.run rng Synthetic.default_params in
+      let doc = Exec_codec.to_string exec in
+      (* Truncate at a random point, then close the braces crudely. *)
+      let cut = 1 + Rng.int rng (String.length doc - 1) in
+      let mangled = String.sub doc 0 cut ^ "}" in
+      match Json.parse_result mangled with
+      | Error _ -> true
+      | Ok j -> acceptable_decode_failure (fun () -> Exec_codec.decode j))
+
+(* ------------------------------------------------------------------ *)
+(* Executor determinism under repeated runs *)
+
+let prop_executor_deterministic =
+  QCheck.Test.make ~name:"executor is deterministic across repeated runs"
+    ~count:30 (QCheck.int_bound 10_000) (fun seed ->
+      let rng1 = Rng.create seed and rng2 = Rng.create seed in
+      let _, e1 = Synthetic.run rng1 Synthetic.default_params in
+      let _, e2 = Synthetic.run rng2 Synthetic.default_params in
+      Wfpriv_graph.Digraph.equal
+        (Wfpriv_workflow.Execution.graph e1)
+        (Wfpriv_workflow.Execution.graph e2)
+      && Wfpriv_workflow.Execution.nb_items e1
+         = Wfpriv_workflow.Execution.nb_items e2)
+
+let () =
+  Alcotest.run "fuzz"
+    (List.map
+       (fun (name, tests) -> (name, List.map QCheck_alcotest.to_alcotest tests))
+       [
+         ( "json",
+           [ prop_json_never_raises; prop_json_never_raises_bytes; prop_json_mutation ] );
+         ("wfdsl", [ prop_wfdsl_never_raises; prop_wfdsl_keyword_soup ]);
+         ( "query_parser",
+           [ prop_query_parser_never_raises; prop_query_parser_token_soup ] );
+         ( "decoders",
+           [ prop_spec_decode_contained; prop_exec_decode_contained ] );
+         ("executor", [ prop_executor_deterministic ]);
+       ])

@@ -1,0 +1,531 @@
+(* Unit and property tests for the graph substrate: Bitset, Digraph, Topo,
+   Reachability, Paths, Mincut, Dot. *)
+
+open Wfpriv_graph
+
+let check = Alcotest.check
+let intl = Alcotest.(list int)
+let pairs = Alcotest.(list (pair int int))
+
+(* A small diamond DAG used across cases: 0 -> 1,2 -> 3, plus tail 3 -> 4. *)
+let diamond () = Digraph.of_edges [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bitset *)
+
+let test_bitset_basics () =
+  let s = Bitset.create 100 in
+  check Alcotest.bool "fresh empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  check Alcotest.int "cardinal" 4 (Bitset.cardinal s);
+  check Alcotest.bool "mem 63" true (Bitset.mem s 63);
+  check Alcotest.bool "mem 64" true (Bitset.mem s 64);
+  check Alcotest.bool "not mem 1" false (Bitset.mem s 1);
+  Bitset.remove s 63;
+  check Alcotest.bool "removed" false (Bitset.mem s 63);
+  check intl "elements sorted" [ 0; 64; 99 ] (Bitset.elements s)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "add out of range"
+    (Invalid_argument "Bitset.add: index 10 out of [0,10)") (fun () ->
+      Bitset.add s 10);
+  Alcotest.check_raises "mem negative"
+    (Invalid_argument "Bitset.mem: index -1 out of [0,10)") (fun () ->
+      ignore (Bitset.mem s (-1)))
+
+let test_bitset_setops () =
+  let a = Bitset.of_list 70 [ 1; 2; 65 ] in
+  let b = Bitset.of_list 70 [ 2; 3; 65 ] in
+  let u = Bitset.copy a in
+  Bitset.union_into ~dst:u b;
+  check intl "union" [ 1; 2; 3; 65 ] (Bitset.elements u);
+  let i = Bitset.copy a in
+  Bitset.inter_into ~dst:i b;
+  check intl "inter" [ 2; 65 ] (Bitset.elements i);
+  let d = Bitset.copy a in
+  Bitset.diff_into ~dst:d b;
+  check intl "diff" [ 1 ] (Bitset.elements d);
+  check Alcotest.bool "subset yes" true (Bitset.subset i a);
+  check Alcotest.bool "subset no" false (Bitset.subset a b)
+
+let bitset_prop_roundtrip =
+  QCheck.Test.make ~name:"bitset of_list/elements roundtrip" ~count:200
+    QCheck.(list (int_bound 199))
+    (fun xs ->
+      let s = Bitset.of_list 200 xs in
+      Bitset.elements s = List.sort_uniq compare xs)
+
+let bitset_prop_union_card =
+  QCheck.Test.make ~name:"bitset |a ∪ b| >= max(|a|,|b|)" ~count:200
+    QCheck.(pair (list (int_bound 99)) (list (int_bound 99)))
+    (fun (xs, ys) ->
+      let a = Bitset.of_list 100 xs and b = Bitset.of_list 100 ys in
+      let u = Bitset.copy a in
+      Bitset.union_into ~dst:u b;
+      Bitset.cardinal u >= max (Bitset.cardinal a) (Bitset.cardinal b)
+      && Bitset.subset a u && Bitset.subset b u)
+
+(* ------------------------------------------------------------------ *)
+(* Digraph *)
+
+let test_digraph_basics () =
+  let g = diamond () in
+  check Alcotest.int "nodes" 5 (Digraph.nb_nodes g);
+  check Alcotest.int "edges" 5 (Digraph.nb_edges g);
+  check intl "succ 0" [ 1; 2 ] (Digraph.succ g 0);
+  check intl "pred 3" [ 1; 2 ] (Digraph.pred g 3);
+  check intl "sources" [ 0 ] (Digraph.sources g);
+  check intl "sinks" [ 4 ] (Digraph.sinks g);
+  Digraph.add_edge g 0 1;
+  check Alcotest.int "no parallel edges" 5 (Digraph.nb_edges g)
+
+let test_digraph_removal () =
+  let g = diamond () in
+  Digraph.remove_edge g 1 3;
+  check Alcotest.bool "edge gone" false (Digraph.mem_edge g 1 3);
+  check Alcotest.int "edge count" 4 (Digraph.nb_edges g);
+  Digraph.remove_node g 2;
+  check Alcotest.bool "node gone" false (Digraph.mem_node g 2);
+  check Alcotest.int "incident edges dropped" 2 (Digraph.nb_edges g);
+  check intl "succ 0 after removal" [ 1 ] (Digraph.succ g 0)
+
+let test_digraph_transpose_induced () =
+  let g = diamond () in
+  let t = Digraph.transpose g in
+  check pairs "transposed edges"
+    [ (1, 0); (2, 0); (3, 1); (3, 2); (4, 3) ]
+    (Digraph.edges t);
+  let sub = Digraph.induced g ~keep:(fun n -> n <> 2) in
+  check intl "induced nodes" [ 0; 1; 3; 4 ] (Digraph.nodes sub);
+  check pairs "induced edges" [ (0, 1); (1, 3); (3, 4) ] (Digraph.edges sub)
+
+let test_digraph_copy_independent () =
+  let g = diamond () in
+  let h = Digraph.copy g in
+  Digraph.remove_node h 0;
+  check Alcotest.bool "original intact" true (Digraph.mem_node g 0);
+  check Alcotest.bool "copies equal initially" false (Digraph.equal g h)
+
+let digraph_gen =
+  (* Random edge list over 12 nodes; may contain cycles. *)
+  QCheck.(list_of_size (Gen.int_bound 40) (pair (int_bound 11) (int_bound 11)))
+
+let digraph_prop_degree_sum =
+  QCheck.Test.make ~name:"digraph sum of out-degrees = #edges" ~count:200
+    digraph_gen (fun es ->
+      let g = Digraph.of_edges es in
+      let total =
+        Digraph.fold_nodes (fun u acc -> acc + Digraph.out_degree g u) g 0
+      in
+      total = Digraph.nb_edges g)
+
+let digraph_prop_transpose_involution =
+  QCheck.Test.make ~name:"digraph transpose is an involution" ~count:200
+    digraph_gen (fun es ->
+      let g = Digraph.of_edges es in
+      Digraph.equal g (Digraph.transpose (Digraph.transpose g)))
+
+(* ------------------------------------------------------------------ *)
+(* Topo *)
+
+let test_topo_sort () =
+  let g = diamond () in
+  check (Alcotest.option intl) "lexicographically smallest order"
+    (Some [ 0; 1; 2; 3; 4 ])
+    (Topo.sort g);
+  check Alcotest.bool "is dag" true (Topo.is_dag g)
+
+let test_topo_cycle () =
+  let g = Digraph.of_edges [ (0, 1); (1, 2); (2, 0) ] in
+  check (Alcotest.option intl) "no order on cycle" None (Topo.sort g);
+  (match Topo.find_cycle g with
+  | Some cyc ->
+      check Alcotest.int "cycle length" 3 (List.length cyc);
+      (* consecutive edges (wrapping) must exist *)
+      let ok =
+        List.for_all2
+          (fun a b -> Digraph.mem_edge g a b)
+          cyc
+          (List.tl cyc @ [ List.hd cyc ])
+      in
+      check Alcotest.bool "cycle edges exist" true ok
+  | None -> Alcotest.fail "expected a cycle");
+  Alcotest.check_raises "sort_exn raises"
+    (Invalid_argument "Topo.sort_exn: graph has a cycle") (fun () ->
+      ignore (Topo.sort_exn g))
+
+let test_topo_scc () =
+  let g =
+    Digraph.of_edges [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 3); (4, 5) ]
+  in
+  let comps = Topo.scc g in
+  check
+    Alcotest.(list intl)
+    "components" [ [ 0; 1; 2 ]; [ 3; 4 ]; [ 5 ] ]
+    (List.sort compare comps);
+  let dag, comp_of = Topo.condensation g in
+  check Alcotest.bool "condensation is a DAG" true (Topo.is_dag dag);
+  check Alcotest.bool "same component" true (comp_of 0 = comp_of 2);
+  check Alcotest.bool "different components" true (comp_of 2 <> comp_of 3)
+
+let topo_prop_order_respects_edges =
+  QCheck.Test.make ~name:"topo order puts edge sources first" ~count:200
+    digraph_gen (fun es ->
+      let g = Digraph.of_edges (List.filter (fun (a, b) -> a < b) es) in
+      match Topo.sort g with
+      | None -> false (* low→high edges can never cycle *)
+      | Some order ->
+          let pos = Hashtbl.create 16 in
+          List.iteri (fun i n -> Hashtbl.replace pos n i) order;
+          Digraph.fold_edges
+            (fun u v acc -> acc && Hashtbl.find pos u < Hashtbl.find pos v)
+            g true)
+
+let topo_prop_scc_partition =
+  QCheck.Test.make ~name:"SCCs partition the nodes" ~count:200 digraph_gen
+    (fun es ->
+      let g = Digraph.of_edges es in
+      let comps = Topo.scc g in
+      List.sort compare (List.concat comps) = Digraph.nodes g)
+
+(* ------------------------------------------------------------------ *)
+(* Reachability *)
+
+let test_reachability_basics () =
+  let g = diamond () in
+  check Alcotest.bool "0 reaches 4" true (Reachability.reaches g 0 4);
+  check Alcotest.bool "4 does not reach 0" false (Reachability.reaches g 4 0);
+  check Alcotest.bool "reflexive" true (Reachability.reaches g 2 2);
+  check intl "reachable_from 1" [ 1; 3; 4 ] (Reachability.reachable_from g 1);
+  check intl "co_reachable 3" [ 0; 1; 2; 3 ] (Reachability.co_reachable g 3);
+  check intl "between 0 3" [ 0; 1; 2; 3 ] (Reachability.between g ~src:0 ~dst:3);
+  check intl "between unreachable" [] (Reachability.between g ~src:4 ~dst:0)
+
+let test_closure_matches_dfs () =
+  let g = diamond () in
+  let c = Reachability.closure g in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          check Alcotest.bool
+            (Printf.sprintf "closure %d->%d" u v)
+            (Reachability.reaches g u v)
+            (Reachability.closure_reaches c u v))
+        (Digraph.nodes g))
+    (Digraph.nodes g);
+  check Alcotest.int "fact count" (List.length (Reachability.closure_facts c))
+    (Reachability.nb_facts c)
+
+let reach_prop_closure_agrees_dfs =
+  QCheck.Test.make ~name:"closure agrees with DFS (incl. cyclic)" ~count:100
+    digraph_gen (fun es ->
+      let g = Digraph.of_edges es in
+      let c = Reachability.closure g in
+      List.for_all
+        (fun u ->
+          List.for_all
+            (fun v ->
+              Reachability.closure_reaches c u v = Reachability.reaches g u v)
+            (Digraph.nodes g))
+        (Digraph.nodes g))
+
+let reach_prop_transitive =
+  QCheck.Test.make ~name:"reachability facts are transitive" ~count:100
+    digraph_gen (fun es ->
+      let g = Digraph.of_edges es in
+      let c = Reachability.closure g in
+      let facts = Reachability.closure_facts c in
+      List.for_all
+        (fun (a, b) ->
+          List.for_all
+            (fun (b', d) ->
+              b <> b' || d = a || Reachability.closure_reaches c a d)
+            facts)
+        facts)
+
+(* ------------------------------------------------------------------ *)
+(* Paths *)
+
+let test_paths_shortest () =
+  let g = diamond () in
+  check
+    (Alcotest.option intl)
+    "shortest 0->4"
+    (Some [ 0; 1; 3; 4 ])
+    (Paths.shortest g ~src:0 ~dst:4);
+  check (Alcotest.option Alcotest.int) "distance" (Some 3)
+    (Paths.distance g ~src:0 ~dst:4);
+  check (Alcotest.option intl) "self" (Some [ 2 ]) (Paths.shortest g ~src:2 ~dst:2);
+  check (Alcotest.option intl) "unreachable" None (Paths.shortest g ~src:4 ~dst:0)
+
+let test_paths_count_enumerate () =
+  let g = diamond () in
+  check Alcotest.int "two paths 0->3" 2 (Paths.count_paths g ~src:0 ~dst:3);
+  check Alcotest.int "two paths 0->4" 2 (Paths.count_paths g ~src:0 ~dst:4);
+  check
+    Alcotest.(list intl)
+    "enumerate 0->3 lexicographic"
+    [ [ 0; 1; 3 ]; [ 0; 2; 3 ] ]
+    (Paths.enumerate g ~src:0 ~dst:3);
+  check
+    Alcotest.(list intl)
+    "limit respected"
+    [ [ 0; 1; 3 ] ]
+    (Paths.enumerate ~limit:1 g ~src:0 ~dst:3);
+  check Alcotest.int "longest path" 3 (Paths.longest_path_length g)
+
+let test_paths_cyclic_rejected () =
+  let g = Digraph.of_edges [ (0, 1); (1, 0) ] in
+  Alcotest.check_raises "count_paths cyclic"
+    (Invalid_argument "Paths.count_paths: graph is cyclic") (fun () ->
+      ignore (Paths.count_paths g ~src:0 ~dst:1))
+
+let paths_prop_count_matches_enumeration =
+  QCheck.Test.make ~name:"count_paths = |enumerate| on DAGs" ~count:100
+    digraph_gen (fun es ->
+      let g = Digraph.of_edges ((0, 1) :: List.filter (fun (a, b) -> a < b) es) in
+      let c = Paths.count_paths g ~src:0 ~dst:11 in
+      c > 10_000
+      || c = List.length (Paths.enumerate ~limit:20_000 g ~src:0 ~dst:11))
+
+let paths_prop_shortest_is_path =
+  QCheck.Test.make ~name:"shortest returns a real path" ~count:200 digraph_gen
+    (fun es ->
+      let g = Digraph.of_edges es in
+      match Paths.shortest g ~src:0 ~dst:11 with
+      | None -> true
+      | Some p ->
+          let rec edges_ok = function
+            | a :: (b :: _ as rest) -> Digraph.mem_edge g a b && edges_ok rest
+            | _ -> true
+          in
+          List.hd p = 0 && List.hd (List.rev p) = 11 && edges_ok p)
+
+(* ------------------------------------------------------------------ *)
+(* Mincut *)
+
+let test_mincut_diamond () =
+  let g = diamond () in
+  check Alcotest.int "max flow 0->3 is 2" 2
+    (Mincut.max_flow g Mincut.uniform ~src:0 ~dst:3);
+  check Alcotest.int "max flow 0->4 is 1" 1
+    (Mincut.max_flow g Mincut.uniform ~src:0 ~dst:4);
+  let cut = Mincut.min_cut g Mincut.uniform ~src:0 ~dst:4 in
+  check pairs "bottleneck edge" [ (3, 4) ] cut;
+  check Alcotest.bool "cut disconnects" true
+    (Mincut.disconnects g cut ~src:0 ~dst:4)
+
+let test_mincut_weighted () =
+  (* 0 -> 1 -> 3 and 0 -> 2 -> 3; making one branch expensive steers the
+     cut to the cheap edges. *)
+  let g = Digraph.of_edges [ (0, 1); (1, 3); (0, 2); (2, 3) ] in
+  let w (u, v) = if (u, v) = (0, 1) || (u, v) = (1, 3) then 10 else 1 in
+  let cut = Mincut.min_cut g w ~src:0 ~dst:3 in
+  check Alcotest.bool "cut avoids heavy edges" true
+    (List.for_all (fun e -> w e = 1 || e = (0, 1) || e = (1, 3)) cut);
+  check Alcotest.int "flow value" 11 (Mincut.max_flow g w ~src:0 ~dst:3);
+  check Alcotest.bool "disconnects" true (Mincut.disconnects g cut ~src:0 ~dst:3)
+
+let test_mincut_disconnected () =
+  let g = Digraph.of_edges ~nodes:[ 9 ] [ (0, 1) ] in
+  check Alcotest.int "flow to isolated node" 0
+    (Mincut.max_flow g Mincut.uniform ~src:0 ~dst:9);
+  check pairs "empty cut" [] (Mincut.min_cut g Mincut.uniform ~src:0 ~dst:9)
+
+let test_min_vertex_cut () =
+  (* 0 -> {1, 2} -> 3 -> 4: the bottleneck vertex is 3. *)
+  let g = diamond () in
+  check
+    (Alcotest.option intl)
+    "bottleneck vertex"
+    (Some [ 3 ])
+    (Mincut.min_vertex_cut g ~src:0 ~dst:4);
+  (* 0 -> 3 needs both middle vertices. *)
+  check
+    (Alcotest.option intl)
+    "two-vertex cut"
+    (Some [ 1; 2 ])
+    (Mincut.min_vertex_cut g ~src:0 ~dst:3);
+  (* Direct edge: no vertex cut exists. *)
+  let h = Digraph.of_edges [ (0, 1); (0, 2); (2, 1) ] in
+  check (Alcotest.option intl) "direct edge" None
+    (Mincut.min_vertex_cut h ~src:0 ~dst:1);
+  check
+    (Alcotest.option intl)
+    "already disconnected"
+    (Some [])
+    (Mincut.min_vertex_cut (Digraph.of_edges ~nodes:[ 5 ] [ (0, 1) ]) ~src:1 ~dst:5)
+
+let mincut_prop_vertex_cut_valid =
+  QCheck.Test.make ~name:"vertex cuts disconnect and are minimal-size sane"
+    ~count:80 digraph_gen (fun es ->
+      let es = List.filter (fun (a, b) -> a <> b) es in
+      let g = Digraph.of_edges ~nodes:[ 0; 11 ] es in
+      match Mincut.min_vertex_cut g ~src:0 ~dst:11 with
+      | None -> Digraph.mem_edge g 0 11
+      | Some cut ->
+          (not (List.mem 0 cut))
+          && (not (List.mem 11 cut))
+          && Mincut.vertex_cut_disconnects g cut ~src:0 ~dst:11)
+
+let mincut_prop_duality =
+  QCheck.Test.make ~name:"min cut weight = max flow, and disconnects"
+    ~count:100 digraph_gen (fun es ->
+      let es = List.filter (fun (a, b) -> a <> b) es in
+      let g = Digraph.of_edges ~nodes:[ 0; 11 ] es in
+      let flow = Mincut.max_flow g Mincut.uniform ~src:0 ~dst:11 in
+      let cut = Mincut.min_cut g Mincut.uniform ~src:0 ~dst:11 in
+      List.length cut = flow && Mincut.disconnects g cut ~src:0 ~dst:11)
+
+(* ------------------------------------------------------------------ *)
+(* Dot *)
+
+let test_dot_render () =
+  let g = Digraph.of_edges [ (0, 1) ] in
+  let dot =
+    Dot.render ~name:"t"
+      ~node_style:(fun n ->
+        { Dot.label = Printf.sprintf "n\"%d" n; shape = "box"; fill = Some "red" })
+      ~edge_label:(fun _ _ -> Some "lbl")
+      g
+  in
+  check Alcotest.bool "has header" true
+    (String.length dot > 0 && String.sub dot 0 11 = "digraph \"t\"");
+  check Alcotest.bool "escapes quotes" true
+    (let needle = "n\\\"0" in
+     let rec contains i =
+       i + String.length needle <= String.length dot
+       && (String.sub dot i (String.length needle) = needle || contains (i + 1))
+     in
+     contains 0);
+  check Alcotest.bool "edge label present" true
+    (let needle = "[label=\"lbl\"]" in
+     let rec contains i =
+       i + String.length needle <= String.length dot
+       && (String.sub dot i (String.length needle) = needle || contains (i + 1))
+     in
+     contains 0)
+
+(* ------------------------------------------------------------------ *)
+(* Dominators *)
+
+let test_dominators_diamond () =
+  let g = diamond () in
+  let d = Dominators.compute g ~entry:0 in
+  check intl "dominators of 4" [ 0; 3; 4 ] (Dominators.dominators d 4);
+  check intl "dominators of 3 (diamond merges)" [ 0; 3 ] (Dominators.dominators d 3);
+  check Alcotest.bool "1 does not dominate 3" false (Dominators.dominates d 1 3);
+  check Alcotest.bool "0 dominates everything" true
+    (List.for_all (fun v -> Dominators.dominates d 0 v) (Digraph.nodes g));
+  check (Alcotest.option Alcotest.int) "idom of 4" (Some 3)
+    (Dominators.immediate_dominator d 4);
+  check (Alcotest.option Alcotest.int) "idom of 3" (Some 0)
+    (Dominators.immediate_dominator d 3);
+  check (Alcotest.option Alcotest.int) "entry has no idom" None
+    (Dominators.immediate_dominator d 0)
+
+let test_dominators_chain_and_unreachable () =
+  let g = Digraph.of_edges ~nodes:[ 9 ] [ (0, 1); (1, 2) ] in
+  let d = Dominators.compute g ~entry:0 in
+  check intl "chain dominators" [ 0; 1; 2 ] (Dominators.dominators d 2);
+  check Alcotest.bool "unreachable not dominated" false
+    (Dominators.dominates d 0 9);
+  (match Dominators.dominators d 9 with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found for unreachable node");
+  Alcotest.check_raises "bad entry"
+    (Invalid_argument "Dominators.compute: entry is not a node") (fun () ->
+      ignore (Dominators.compute g ~entry:77))
+
+let dominators_prop_sound =
+  (* d dominates v iff removing d disconnects v from the entry. *)
+  QCheck.Test.make ~name:"dominators = cut vertices for the entry" ~count:60
+    digraph_gen (fun es ->
+      let g = Digraph.of_edges ~nodes:[ 0 ] (List.filter (fun (a, b) -> a < b) es) in
+      let d = Dominators.compute g ~entry:0 in
+      List.for_all
+        (fun v ->
+          match Dominators.dominators d v with
+          | exception Not_found -> not (Reachability.reaches g 0 v) || v = 0
+          | doms ->
+              List.for_all
+                (fun candidate ->
+                  let is_dom = List.mem candidate doms in
+                  if candidate = v || candidate = 0 then is_dom
+                  else begin
+                    let h = Digraph.copy g in
+                    Digraph.remove_node h candidate;
+                    let cut_off = not (Reachability.reaches h 0 v) in
+                    is_dom = cut_off
+                  end)
+                (Digraph.nodes g))
+        (Digraph.nodes g))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "set operations" `Quick test_bitset_setops;
+        ]
+        @ qsuite [ bitset_prop_roundtrip; bitset_prop_union_card ] );
+      ( "digraph",
+        [
+          Alcotest.test_case "basics" `Quick test_digraph_basics;
+          Alcotest.test_case "removal" `Quick test_digraph_removal;
+          Alcotest.test_case "transpose/induced" `Quick
+            test_digraph_transpose_induced;
+          Alcotest.test_case "copy independent" `Quick
+            test_digraph_copy_independent;
+        ]
+        @ qsuite [ digraph_prop_degree_sum; digraph_prop_transpose_involution ]
+      );
+      ( "topo",
+        [
+          Alcotest.test_case "sort" `Quick test_topo_sort;
+          Alcotest.test_case "cycle detection" `Quick test_topo_cycle;
+          Alcotest.test_case "scc/condensation" `Quick test_topo_scc;
+        ]
+        @ qsuite [ topo_prop_order_respects_edges; topo_prop_scc_partition ] );
+      ( "reachability",
+        [
+          Alcotest.test_case "basics" `Quick test_reachability_basics;
+          Alcotest.test_case "closure matches dfs" `Quick
+            test_closure_matches_dfs;
+        ]
+        @ qsuite [ reach_prop_closure_agrees_dfs; reach_prop_transitive ] );
+      ( "paths",
+        [
+          Alcotest.test_case "shortest" `Quick test_paths_shortest;
+          Alcotest.test_case "count/enumerate" `Quick test_paths_count_enumerate;
+          Alcotest.test_case "cyclic rejected" `Quick test_paths_cyclic_rejected;
+        ]
+        @ qsuite
+            [ paths_prop_count_matches_enumeration; paths_prop_shortest_is_path ]
+      );
+      ( "mincut",
+        [
+          Alcotest.test_case "diamond" `Quick test_mincut_diamond;
+          Alcotest.test_case "weighted" `Quick test_mincut_weighted;
+          Alcotest.test_case "disconnected" `Quick test_mincut_disconnected;
+          Alcotest.test_case "vertex cut" `Quick test_min_vertex_cut;
+        ]
+        @ qsuite [ mincut_prop_duality; mincut_prop_vertex_cut_valid ] );
+      ( "dominators",
+        [
+          Alcotest.test_case "diamond" `Quick test_dominators_diamond;
+          Alcotest.test_case "chain and unreachable" `Quick
+            test_dominators_chain_and_unreachable;
+        ]
+        @ qsuite [ dominators_prop_sound ] );
+      ("dot", [ Alcotest.test_case "render" `Quick test_dot_render ]);
+    ]

@@ -1,0 +1,230 @@
+(* System-level invariants across workloads: properties that tie several
+   subsystems together (access control × views × search × evaluation),
+   checked on the disease, clinical and synthetic workloads. *)
+
+open Wfpriv_workflow
+open Wfpriv_privacy
+open Wfpriv_query
+module Disease = Wfpriv_workloads.Disease
+module Clinical = Wfpriv_workloads.Clinical
+module Synthetic = Wfpriv_workloads.Synthetic
+module Rng = Wfpriv_workloads.Rng
+
+let check = Alcotest.check
+
+let synthetic_privilege spec rng =
+  Privilege.make spec
+    (Spec.workflow_ids spec
+    |> List.filter (fun w -> w <> Spec.root spec)
+    |> List.map (fun w -> (w, Rng.int rng 4)))
+
+(* ------------------------------------------------------------------ *)
+
+let prop_access_views_nest =
+  QCheck.Test.make ~name:"higher levels see refinements of lower levels"
+    ~count:25 (QCheck.int_bound 100_000) (fun seed ->
+      let rng = Rng.create seed in
+      let spec = Synthetic.spec rng Synthetic.default_params in
+      let privilege = synthetic_privilege spec rng in
+      let rec nested = function
+        | a :: (b :: _ as rest) ->
+            View.refines b a && nested rest
+        | _ -> true
+      in
+      nested (List.map (Privilege.access_view privilege) [ 0; 1; 2; 3; 4 ]))
+
+let prop_items_partition =
+  QCheck.Test.make
+    ~name:"visible and hidden items partition every view's items" ~count:20
+    (QCheck.int_bound 100_000) (fun seed ->
+      let rng = Rng.create seed in
+      let spec, exec = Synthetic.run rng Synthetic.default_params in
+      let hierarchy = Hierarchy.of_spec spec in
+      let prefixes = Hierarchy.all_prefixes hierarchy in
+      let p = List.nth prefixes (Rng.int rng (List.length prefixes)) in
+      let v = Exec_view.of_prefix exec p in
+      let visible = Exec_view.visible_items v in
+      let hidden = Exec_view.hidden_items v in
+      let all =
+        List.map (fun (it : Execution.item) -> it.Execution.data_id)
+          (Execution.items exec)
+      in
+      List.sort compare (visible @ hidden) = all
+      && List.for_all (fun d -> not (List.mem d hidden)) visible)
+
+let prop_search_respects_levels =
+  QCheck.Test.make
+    ~name:"keyword answers never expose modules above the caller's level"
+    ~count:20
+    (QCheck.pair (QCheck.int_bound 100_000) (QCheck.int_bound 3))
+    (fun (seed, level) ->
+      let rng = Rng.create seed in
+      let spec = Synthetic.spec rng Synthetic.default_params in
+      let privilege = synthetic_privilege spec rng in
+      let repo = Repository.create () in
+      Repository.add repo ~name:"wf"
+        ~policy:
+          (Policy.make
+             ~expand_levels:
+               (List.map
+                  (fun w -> (w, Privilege.required_level privilege w))
+                  (Spec.workflow_ids spec))
+             spec)
+        ();
+      let term = List.hd Synthetic.default_params.Synthetic.keyword_vocabulary in
+      List.for_all
+        (fun h ->
+          List.for_all
+            (fun m -> Privilege.min_level_to_see privilege m <= level)
+            (View.visible_modules h.Repository.answer.Keyword.view))
+        (Repository.keyword_search repo ~level [ term ]))
+
+let prop_minimal_never_larger_than_specific =
+  QCheck.Test.make
+    ~name:"`Minimal keyword answers expand no more than `Specific" ~count:25
+    (QCheck.int_bound 100_000) (fun seed ->
+      let rng = Rng.create seed in
+      let spec = Synthetic.spec rng Synthetic.default_params in
+      let vocab = Synthetic.default_params.Synthetic.keyword_vocabulary in
+      let kw = List.nth vocab (Rng.int rng (List.length vocab)) in
+      match
+        ( Keyword.search ~strategy:`Minimal spec [ kw ],
+          Keyword.search ~strategy:`Specific spec [ kw ] )
+      with
+      | None, None -> true
+      | Some a, Some b ->
+          List.length (View.prefix a.Keyword.view)
+          <= List.length (View.prefix b.Keyword.view)
+      | _ -> false)
+
+let prop_secure_eval_agree_clinical =
+  QCheck.Test.make ~name:"secure evaluation strategies agree on clinical"
+    ~count:12 (QCheck.int_bound 3) (fun level ->
+      let exec = Clinical.run () in
+      let privilege = Policy.privilege Clinical.policy in
+      let q = Query_ast.Before (Query_ast.Atomic_only, Query_ast.Atomic_only) in
+      Secure_eval.agree
+        (Secure_eval.on_the_fly privilege ~level exec q)
+        (Secure_eval.zoom_out privilege ~level exec q))
+
+let prop_masked_below_level =
+  QCheck.Test.make
+    ~name:"projected values are masked exactly below the required level"
+    ~count:20 (QCheck.int_bound 100_000) (fun seed ->
+      let rng = Rng.create seed in
+      let exec = Disease.run () in
+      let names =
+        List.sort_uniq compare
+          (List.map (fun (it : Execution.item) -> it.Execution.name)
+             (Execution.items exec))
+      in
+      let assignment = List.map (fun n -> (n, Rng.int rng 4)) names in
+      let classification = Data_privacy.make assignment in
+      List.for_all
+        (fun level ->
+          let proj = Data_privacy.project classification level exec in
+          List.for_all
+            (fun (it : Execution.item) ->
+              let required = List.assoc it.Execution.name assignment in
+              Data_privacy.is_masked proj it.Execution.data_id
+              = (required > level))
+            (Execution.items exec))
+        [ 0; 1; 2; 3 ])
+
+let prop_planner_on_clinical =
+  QCheck.Test.make ~name:"planner hides targets on the clinical analysis graph"
+    ~count:10 (QCheck.float_range 0.0 1.0) (fun alpha ->
+      let g = Spec.graph_of Clinical.spec "C3" in
+      let facts =
+        Wfpriv_graph.Reachability.closure_facts
+          (Wfpriv_graph.Reachability.closure g)
+      in
+      let targets = List.filteri (fun i _ -> i mod 4 = 0) facts in
+      targets = []
+      ||
+      let p = Planner.plan ~alpha g targets in
+      Planner.verify g p)
+
+let prop_view_meet_commutes =
+  QCheck.Test.make ~name:"View.meet is commutative and coarser than both"
+    ~count:20
+    (QCheck.pair (QCheck.int_bound 5) (QCheck.int_bound 5))
+    (fun (i, j) ->
+      let spec = Disease.spec in
+      let prefixes = Hierarchy.all_prefixes (Hierarchy.of_spec spec) in
+      let a = View.of_prefix spec (List.nth prefixes (i mod 6)) in
+      let b = View.of_prefix spec (List.nth prefixes (j mod 6)) in
+      let m1 = View.meet a b and m2 = View.meet b a in
+      View.equal m1 m2 && View.refines a m1 && View.refines b m1)
+
+(* ------------------------------------------------------------------ *)
+(* A couple of directed cross-subsystem checks. *)
+
+let test_clinical_store_roundtrip_behaviour () =
+  let repo = Repository.create () in
+  Repository.add repo ~name:"clinical" ~policy:Clinical.policy
+    ~executions:[ Clinical.run () ] ();
+  let loaded =
+    Wfpriv_store.Repo_store.of_string (Wfpriv_store.Repo_store.to_string repo)
+  in
+  let q = Query_parser.parse "before(~\"Split Arms\", ~\"Compare\")" in
+  List.iter
+    (fun level ->
+      let a = Repository.structural_query repo ~level "clinical" q in
+      let b = Repository.structural_query loaded ~level "clinical" q in
+      check Alcotest.bool
+        (Printf.sprintf "same answers at level %d" level)
+        true
+        (List.map (fun w -> w.Query_eval.holds) a
+        = List.map (fun w -> w.Query_eval.holds) b))
+    [ 0; 1; 2; 3 ]
+
+let test_recommended_masks_defeat_adversary () =
+  (* End-to-end: Spec_tables recommends masks for M3; install them; the
+     adversary watching masked executions pins nothing about M3. *)
+  let domains =
+    [
+      ("snps", [ Data_value.Str "rs1"; Data_value.Str "rs2" ]);
+      ("ethnicity", [ Data_value.Str "a"; Data_value.Str "b" ]);
+    ]
+  in
+  match
+    Spec_tables.recommend_masks Disease.spec Disease.semantics ~domains
+      ~private_modules:[ Disease.m3 ] ~gamma:2 ~level:2
+  with
+  | None -> Alcotest.fail "Γ=2 achievable"
+  | Some masks ->
+      let table =
+        Spec_tables.tabulate Disease.spec Disease.semantics ~domains Disease.m3
+      in
+      let hidden = List.concat_map (fun (_, names, _) -> names) masks in
+      let hidden =
+        List.filter (fun h -> List.mem h (Module_privacy.attr_names table)) hidden
+      in
+      let inputs = List.map fst (Module_privacy.rows table) in
+      let a = Audit.assess table (Audit.observe table ~hidden inputs) in
+      check Alcotest.int "nothing pinned" 0 a.Audit.pinned;
+      check Alcotest.bool "empirical Γ >= 2" true (a.Audit.min_candidates >= 2)
+
+let () =
+  Alcotest.run "invariants"
+    [
+      ( "cross-subsystem",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_access_views_nest;
+            prop_items_partition;
+            prop_search_respects_levels;
+            prop_minimal_never_larger_than_specific;
+            prop_secure_eval_agree_clinical;
+            prop_masked_below_level;
+            prop_planner_on_clinical;
+            prop_view_meet_commutes;
+          ]
+        @ [
+            Alcotest.test_case "clinical store roundtrip behaviour" `Quick
+              test_clinical_store_roundtrip_behaviour;
+            Alcotest.test_case "recommended masks defeat the adversary" `Quick
+              test_recommended_masks_defeat_adversary;
+          ] );
+    ]

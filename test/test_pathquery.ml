@@ -1,0 +1,170 @@
+(* Tests for Path_query: regular path queries over views. *)
+
+open Wfpriv_workflow
+open Wfpriv_query
+module Disease = Wfpriv_workloads.Disease
+
+let check = Alcotest.check
+let spec = Disease.spec
+let full = View.full spec
+let name s = Path_query.Atom (Query_ast.Name_matches s)
+
+let test_exact_path () =
+  (* I . Expand SNP . Generate Database Queries . Query OMIM: the precise
+     module sequence of Fig. 1's upper path. *)
+  let pattern =
+    Path_query.(
+      Seq (Atom (Query_ast.Module_is Ids.input_module),
+           Seq (name "Expand SNP", Seq (name "Generate Database", name "OMIM"))))
+  in
+  check Alcotest.bool "exact sequence matches" true
+    (Path_query.matches_spec full pattern ~src:Ids.input_module ~dst:Disease.m6);
+  (* The same pattern cannot reach PubMed. *)
+  check Alcotest.bool "wrong terminal" false
+    (Path_query.matches_spec full pattern ~src:Ids.input_module ~dst:Disease.m7)
+
+let test_star_and_alt () =
+  (* I .* O — any complete path. *)
+  let whole =
+    Path_query.(
+      Seq (Atom (Query_ast.Module_is Ids.input_module),
+           Seq (anything, Atom (Query_ast.Module_is Ids.output_module))))
+  in
+  check Alcotest.bool "some complete path" true
+    (Path_query.matches_spec full whole ~src:Ids.input_module
+       ~dst:Ids.output_module);
+  (* I . any* . (OMIM | PubMed) . any* . O — the flow passes one of the
+     two external databases. *)
+  let via_db =
+    Path_query.(
+      Seq ( Atom (Query_ast.Module_is Ids.input_module),
+            Seq (anything,
+                 Seq (Alt (name "Query OMIM", name "Query PubMed"),
+                      Seq (anything, Atom (Query_ast.Module_is Ids.output_module))))))
+  in
+  check Alcotest.bool "passes a database" true
+    (Path_query.matches_spec full via_db ~src:Ids.input_module
+       ~dst:Ids.output_module)
+
+let test_negation_by_construction () =
+  (* Paths from M9 to M15 avoiding the private datasets: spell out the
+     allowed steps (everything but M10/M11) — here via the PubMed side. *)
+  let not_private =
+    Path_query.(
+      Seq (Atom (Query_ast.Module_is Disease.m9),
+           Seq (Star (Alt (name "PubMed", Alt (name "Reformat", name "Summarize"))),
+                Atom (Query_ast.Module_is Disease.m15))))
+  in
+  check Alcotest.bool "pubmed-side path avoids private datasets" true
+    (Path_query.matches_spec full not_private ~src:Disease.m9 ~dst:Disease.m15);
+  (* But from M10 there is no private-free continuation. *)
+  let from_m10 =
+    Path_query.(
+      Seq (Atom (Query_ast.Module_is Disease.m10),
+           Seq (Star (name "PubMed"), Atom (Query_ast.Module_is Disease.m15))))
+  in
+  check Alcotest.bool "M10 cannot avoid M11" false
+    (Path_query.matches_spec full from_m10 ~src:Disease.m10 ~dst:Disease.m15)
+
+let test_single_node_and_eps () =
+  let self = Path_query.(Atom (Query_ast.Module_is Disease.m5)) in
+  check Alcotest.bool "single-node word" true
+    (Path_query.matches_spec full self ~src:Disease.m5 ~dst:Disease.m5);
+  check Alcotest.bool "eps matches no node sequence" false
+    (Path_query.matches_spec full Path_query.Eps ~src:Disease.m5 ~dst:Disease.m5)
+
+let test_find_and_witness () =
+  let pattern = Path_query.(Seq (name "Generate Database", name "Query OMIM")) in
+  check
+    Alcotest.(list (pair int int))
+    "answer set" [ (Disease.m5, Disease.m6) ]
+    (Path_query.find_spec full pattern);
+  (match
+     Path_query.witness_spec full
+       Path_query.(
+         Seq (Atom (Query_ast.Module_is Ids.input_module),
+              Seq (anything, Atom (Query_ast.Module_is Disease.m8))))
+       ~src:Ids.input_module ~dst:Disease.m8
+   with
+  | Some path ->
+      check Alcotest.int "path starts at I" Ids.input_module (List.hd path);
+      check Alcotest.int "path ends at M8" Disease.m8
+        (List.hd (List.rev path));
+      (* Consecutive nodes are view edges. *)
+      let g = View.graph full in
+      let rec ok = function
+        | a :: (b :: _ as rest) ->
+            Wfpriv_graph.Digraph.mem_edge g a b && ok rest
+        | _ -> true
+      in
+      check Alcotest.bool "witness is a real path" true (ok path)
+  | None -> Alcotest.fail "witness expected")
+
+let test_privacy_via_views () =
+  (* On the coarsest view the OMIM step is invisible: the pattern fails
+     even though it holds on the full expansion. *)
+  let coarse = View.coarsest spec in
+  let pattern = Path_query.(Seq (anything, Seq (name "OMIM", anything))) in
+  check Alcotest.bool "full view matches" true
+    (Path_query.find_spec full pattern <> []);
+  check Alcotest.bool "coarse view hides it" true
+    (Path_query.find_spec coarse pattern = [])
+
+let test_exec_paths () =
+  let exec = Disease.run () in
+  let ev = Exec_view.full exec in
+  let src = Execution.node_of_process exec 2 (* S2:M3 *) in
+  let dst = Execution.node_of_process exec 7 (* S7:M8 *) in
+  let via_omim =
+    Path_query.(Seq (any, Seq (anything, Seq (name "OMIM", Seq (anything, any)))))
+  in
+  check Alcotest.bool "execution path through OMIM" true
+    (Path_query.matches_exec ev via_omim ~src ~dst);
+  (* Begin/end nodes participate as their module. *)
+  let begins =
+    Path_query.(
+      Seq (Atom (Query_ast.Module_is Disease.m4), Seq (anything, any)))
+  in
+  let b = Execution.node_of_process exec 3 in
+  check Alcotest.bool "composite begin node matches" true
+    (Path_query.matches_exec ev begins ~src:b ~dst);
+  (* I/O pseudo-modules are addressable by their reserved ids. *)
+  let i_node =
+    List.find
+      (fun n -> Execution.node_kind exec n = Execution.Input)
+      (Execution.nodes exec)
+  in
+  let o_node =
+    List.find
+      (fun n -> Execution.node_kind exec n = Execution.Output)
+      (Execution.nodes exec)
+  in
+  let whole =
+    Path_query.(
+      Seq ( Atom (Query_ast.Module_is Ids.input_module),
+            Seq (anything, Atom (Query_ast.Module_is Ids.output_module))))
+  in
+  check Alcotest.bool "I ...* O over the execution" true
+    (Path_query.matches_exec ev whole ~src:i_node ~dst:o_node)
+
+let test_to_string () =
+  check Alcotest.string "rendering" "(~\"a\" . ~\"b\"*)"
+    (Path_query.to_string
+       Path_query.(Seq (name "a", Star (name "b"))))
+
+let () =
+  Alcotest.run "pathquery"
+    [
+      ( "path_query",
+        [
+          Alcotest.test_case "exact sequence" `Quick test_exact_path;
+          Alcotest.test_case "star and alternation" `Quick test_star_and_alt;
+          Alcotest.test_case "avoidance by construction" `Quick
+            test_negation_by_construction;
+          Alcotest.test_case "single node / eps" `Quick test_single_node_and_eps;
+          Alcotest.test_case "find and witness" `Quick test_find_and_witness;
+          Alcotest.test_case "privacy via views" `Quick test_privacy_via_views;
+          Alcotest.test_case "execution paths" `Quick test_exec_paths;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+    ]

@@ -1,0 +1,589 @@
+(* Tests for Privilege, Data_privacy, Module_privacy (Γ-privacy), Policy
+   and Audit. *)
+
+open Wfpriv_workflow
+open Wfpriv_privacy
+module Disease = Wfpriv_workloads.Disease
+
+let check = Alcotest.check
+let strl = Alcotest.(list string)
+let spec = Disease.spec
+
+(* ------------------------------------------------------------------ *)
+(* Privilege / access views *)
+
+let privilege = Privilege.make spec [ ("W2", 1); ("W3", 2); ("W4", 3) ]
+
+let test_privilege_monotone () =
+  check Alcotest.int "root is public" 0 (Privilege.required_level privilege "W1");
+  check Alcotest.int "W2" 1 (Privilege.required_level privilege "W2");
+  check Alcotest.int "W4 inherits max of chain" 3
+    (Privilege.required_level privilege "W4");
+  (* Even if W4 declared lower than its parent, the chain max applies. *)
+  let p2 = Privilege.make spec [ ("W2", 2); ("W4", 1) ] in
+  check Alcotest.int "child bumped to parent level" 2
+    (Privilege.required_level p2 "W4")
+
+let test_access_prefix_is_prefix () =
+  let hierarchy = Hierarchy.of_spec spec in
+  List.iter
+    (fun level ->
+      let p = Privilege.access_prefix privilege level in
+      check Alcotest.bool
+        (Printf.sprintf "prefix at level %d" level)
+        true
+        (Hierarchy.is_prefix hierarchy p))
+    [ 0; 1; 2; 3; 42 ]
+
+let test_access_views () =
+  check strl "level 0 sees only W1" [ "W1" ]
+    (Privilege.access_prefix privilege 0);
+  check strl "level 1 adds W2" [ "W1"; "W2" ] (Privilege.access_prefix privilege 1);
+  check strl "level 2 adds W3" [ "W1"; "W2"; "W3" ]
+    (Privilege.access_prefix privilege 2);
+  check strl "level 3 sees all" [ "W1"; "W2"; "W3"; "W4" ]
+    (Privilege.access_prefix privilege 3);
+  check Alcotest.int "min level to see M5" 3
+    (Privilege.min_level_to_see privilege Disease.m5);
+  check Alcotest.int "min level to see M9" 2
+    (Privilege.min_level_to_see privilege Disease.m9);
+  check Alcotest.int "min level to see M1" 0
+    (Privilege.min_level_to_see privilege Disease.m1);
+  check (Alcotest.list Alcotest.int) "levels in use" [ 0; 1; 2; 3 ]
+    (Privilege.levels privilege)
+
+let test_privilege_validation () =
+  Alcotest.check_raises "unknown workflow"
+    (Invalid_argument "Privilege.make: unknown workflow W9") (fun () ->
+      ignore (Privilege.make spec [ ("W9", 1) ]));
+  Alcotest.check_raises "negative level"
+    (Invalid_argument "Privilege.make: negative level") (fun () ->
+      ignore (Privilege.make spec [ ("W2", -1) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Data privacy *)
+
+let classification =
+  Data_privacy.make [ ("disorders", 2); ("snps", 1); ("prognosis", 2) ]
+
+let test_data_masking () =
+  let exec = Disease.run () in
+  let low = Data_privacy.project classification 0 exec in
+  let mid = Data_privacy.project classification 1 exec in
+  let high = Data_privacy.project classification 2 exec in
+  check Alcotest.bool "d10 masked at 0" true (Data_privacy.is_masked low 10);
+  check Alcotest.bool "d10 masked at 1" true (Data_privacy.is_masked mid 10);
+  check Alcotest.bool "d10 readable at 2" false (Data_privacy.is_masked high 10);
+  check Alcotest.bool "d0 masked at 0" true (Data_privacy.is_masked low 0);
+  check Alcotest.bool "d0 readable at 1" false (Data_privacy.is_masked mid 0);
+  check Alcotest.string "masked value is *" "*"
+    (Data_value.to_string (Data_privacy.value_of low 10));
+  check (Alcotest.list Alcotest.int) "masked items at level 0" [ 0; 10; 19 ]
+    (Data_privacy.masked_items low);
+  check (Alcotest.float 0.001) "visible ratio at 0" (17.0 /. 20.0)
+    (Data_privacy.visible_ratio low);
+  check strl "sensitive names at level 1" [ "disorders"; "prognosis" ]
+    (Data_privacy.sensitive_names classification 1)
+
+(* ------------------------------------------------------------------ *)
+(* Module privacy: Γ-privacy *)
+
+(* XOR module: y = x0 xor x1. Visible in full, it is fully determined; a
+   classic example where hiding only the output or only one input gives
+   the whole story away under equality of visible rows. *)
+let xor_table =
+  Module_privacy.of_function
+    ~inputs:[ Module_privacy.int_attr "x0" 2; Module_privacy.int_attr "x1" 2 ]
+    ~outputs:[ Module_privacy.int_attr "y" 2 ]
+    (fun x ->
+      match (x.(0), x.(1)) with
+      | Data_value.Int a, Data_value.Int b -> [| Data_value.Int (a lxor b) |]
+      | _ -> assert false)
+
+let test_gamma_no_hiding () =
+  check Alcotest.int "no hiding => Γ = 1" 1
+    (Module_privacy.privacy_level xor_table ~hidden:[]);
+  check Alcotest.bool "safe for Γ=1" true
+    (Module_privacy.is_safe xor_table ~hidden:[] ~gamma:1);
+  check Alcotest.bool "unsafe for Γ=2" false
+    (Module_privacy.is_safe xor_table ~hidden:[] ~gamma:2)
+
+let test_gamma_hide_output () =
+  (* Hiding y: for any input the candidate outputs range over dom(y). *)
+  check Alcotest.int "hide y => Γ = 2" 2
+    (Module_privacy.privacy_level xor_table ~hidden:[ "y" ]);
+  check Alcotest.int "candidates per input" 2
+    (Module_privacy.candidate_outputs xor_table ~hidden:[ "y" ]
+       [| Data_value.Int 0; Data_value.Int 1 |])
+
+let test_gamma_hide_input () =
+  (* Hiding x0: visible rows (x1=0 -> y∈{0,1}), so 2 candidates. *)
+  check Alcotest.int "hide x0 => Γ = 2" 2
+    (Module_privacy.privacy_level xor_table ~hidden:[ "x0" ]);
+  check Alcotest.int "hide both inputs => Γ = 2" 2
+    (Module_privacy.privacy_level xor_table ~hidden:[ "x0"; "x1" ])
+
+let test_gamma_max () =
+  check Alcotest.int "max achievable" 2 (Module_privacy.max_achievable_gamma xor_table);
+  check Alcotest.int "hide everything" 2
+    (Module_privacy.privacy_level xor_table ~hidden:[ "x0"; "x1"; "y" ])
+
+let test_optimal_hiding () =
+  (* Γ=2 is achievable by hiding any single attribute; unit weights make
+     the lexicographically-smallest singleton optimal. *)
+  check
+    (Alcotest.option strl)
+    "unit-weight optimum"
+    (Some [ "x0" ])
+    (Module_privacy.optimal_hiding xor_table ~gamma:2);
+  (* Make inputs expensive: the optimum flips to the output. *)
+  let weights a = if a = "y" then 1 else 10 in
+  check
+    (Alcotest.option strl)
+    "weighted optimum"
+    (Some [ "y" ])
+    (Module_privacy.optimal_hiding ~weights xor_table ~gamma:2);
+  check (Alcotest.option strl) "unachievable Γ" None
+    (Module_privacy.optimal_hiding xor_table ~gamma:3)
+
+let prop_ordered_matches_exhaustive =
+  QCheck.Test.make
+    ~name:"best-first exact search matches exhaustive cost" ~count:40
+    (QCheck.pair (QCheck.int_bound 10_000) (QCheck.int_range 2 4))
+    (fun (seed, gamma) ->
+      let rng = Wfpriv_workloads.Rng.create seed in
+      let table =
+        Wfpriv_workloads.Synthetic.random_table rng ~n_inputs:2 ~n_outputs:2
+          ~domain_size:2
+      in
+      let weights n = 1 + (Hashtbl.hash n mod 4) in
+      let a = Module_privacy.optimal_hiding ~weights table ~gamma in
+      let b = Module_privacy.optimal_hiding_ordered ~weights table ~gamma in
+      match (a, b) with
+      | None, None -> true
+      | Some ha, Some hb ->
+          Module_privacy.hiding_cost weights ha
+          = Module_privacy.hiding_cost weights hb
+          && Module_privacy.is_safe table ~hidden:hb ~gamma
+      | _ -> false)
+
+let test_ordered_beyond_cap () =
+  (* 22 attributes defeat the exhaustive enumerator but not the ordered
+     one (a cheap safe set exists: hide the single output). Singleton
+     input domains keep the table tiny while the attribute count is what
+     trips the cap. *)
+  let inputs = List.init 21 (fun i -> Module_privacy.int_attr (Printf.sprintf "x%d" i) 1) in
+  let outputs = [ Module_privacy.int_attr "y" 4 ] in
+  let table =
+    Module_privacy.of_function ~inputs ~outputs (fun x ->
+        let sum =
+          Array.fold_left
+            (fun acc v -> match v with Data_value.Int n -> acc + n | _ -> acc)
+            0 x
+        in
+        [| Data_value.Int (sum mod 4) |])
+  in
+  (match Module_privacy.optimal_hiding table ~gamma:4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "exhaustive enumerator should refuse 22 attributes");
+  match Module_privacy.optimal_hiding_ordered table ~gamma:4 with
+  | Some [ "y" ] -> ()
+  | Some other ->
+      Alcotest.fail ("unexpected hidden set: " ^ String.concat "," other)
+  | None -> Alcotest.fail "Γ=4 is achievable by hiding y"
+
+let test_greedy_hiding_safe () =
+  match Module_privacy.greedy_hiding xor_table ~gamma:2 with
+  | Some hidden ->
+      check Alcotest.bool "greedy result is safe" true
+        (Module_privacy.is_safe xor_table ~hidden ~gamma:2)
+  | None -> Alcotest.fail "greedy failed on achievable Γ"
+
+(* A wider module: 3 input bits, 2 output bits, y = (parity, majority). *)
+let wide_table =
+  Module_privacy.of_function
+    ~inputs:
+      [
+        Module_privacy.int_attr "a" 2;
+        Module_privacy.int_attr "b" 2;
+        Module_privacy.int_attr "c" 2;
+      ]
+    ~outputs:
+      [ Module_privacy.int_attr "parity" 2; Module_privacy.int_attr "majority" 2 ]
+    (fun x ->
+      let v i = match x.(i) with Data_value.Int n -> n | _ -> assert false in
+      let s = v 0 + v 1 + v 2 in
+      [| Data_value.Int (s land 1); Data_value.Int (if s >= 2 then 1 else 0) |])
+
+let test_wide_optimal_vs_greedy () =
+  List.iter
+    (fun gamma ->
+      match
+        ( Module_privacy.optimal_hiding wide_table ~gamma,
+          Module_privacy.greedy_hiding wide_table ~gamma )
+      with
+      | Some opt, Some greedy ->
+          check Alcotest.bool
+            (Printf.sprintf "both safe at Γ=%d" gamma)
+            true
+            (Module_privacy.is_safe wide_table ~hidden:opt ~gamma
+            && Module_privacy.is_safe wide_table ~hidden:greedy ~gamma);
+          check Alcotest.bool "greedy cost >= optimal cost" true
+            (Module_privacy.hiding_cost Module_privacy.unit_weights greedy
+            >= Module_privacy.hiding_cost Module_privacy.unit_weights opt)
+      | None, None -> ()
+      | _ -> Alcotest.fail "optimal and greedy disagree on achievability")
+    [ 2; 3; 4 ]
+
+let test_table_validation () =
+  (* Incomplete row set. *)
+  (match
+     Module_privacy.make_table
+       ~inputs:[ Module_privacy.int_attr "x" 2 ]
+       ~outputs:[ Module_privacy.int_attr "y" 2 ]
+       [ ([| Data_value.Int 0 |], [| Data_value.Int 0 |]) ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected incomplete-domain rejection");
+  (* Value outside its domain. *)
+  match
+    Module_privacy.make_table
+      ~inputs:[ Module_privacy.int_attr "x" 2 ]
+      ~outputs:[ Module_privacy.int_attr "y" 2 ]
+      [
+        ([| Data_value.Int 0 |], [| Data_value.Int 5 |]);
+        ([| Data_value.Int 1 |], [| Data_value.Int 0 |]);
+      ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected out-of-domain rejection"
+
+let test_lookup () =
+  let y =
+    Module_privacy.lookup xor_table [| Data_value.Int 1; Data_value.Int 1 |]
+  in
+  check Alcotest.int "xor(1,1) = 0" 0
+    (match y.(0) with Data_value.Int n -> n | _ -> -1)
+
+(* Workflow-level network: m1 -> m2 chained through shared attribute "t". *)
+let chain_network =
+  let t1 =
+    Module_privacy.of_function
+      ~inputs:[ Module_privacy.int_attr "x" 2 ]
+      ~outputs:[ Module_privacy.int_attr "t" 2 ]
+      (fun x -> [| x.(0) |])
+  in
+  let t2 =
+    Module_privacy.of_function
+      ~inputs:[ Module_privacy.int_attr "t" 2 ]
+      ~outputs:[ Module_privacy.int_attr "z" 2 ]
+      (fun x ->
+        match x.(0) with
+        | Data_value.Int n -> [| Data_value.Int (1 - n) |]
+        | _ -> assert false)
+  in
+  Module_privacy.make_network [ (Ids.m 1, t1); (Ids.m 2, t2) ]
+
+let test_network_sharing () =
+  check strl "shared attribute names" [ "t"; "x"; "z" ]
+    (Module_privacy.network_attr_names chain_network);
+  (* Hiding "t" hides m1's output AND m2's input simultaneously. *)
+  let levels = Module_privacy.network_privacy_level chain_network ~hidden:[ "t" ] in
+  check Alcotest.int "m1 gets Γ=2 from hiding t" 2 (List.assoc (Ids.m 1) levels);
+  (* m2's output z is still visible: z = 1 - t reveals t, so hiding t
+     alone leaves m2 exposed? No: with t hidden, for input t the visible
+     relation pairs () with both z values — Γ(m2) = 2 as well. *)
+  check Alcotest.int "m2 level" 2 (List.assoc (Ids.m 2) levels);
+  check Alcotest.bool "network safe at Γ=2 hiding t" true
+    (Module_privacy.network_is_safe chain_network ~hidden:[ "t" ] ~gamma:2)
+
+let test_network_optimal () =
+  check
+    (Alcotest.option strl)
+    "single shared attribute suffices"
+    (Some [ "t" ])
+    (Module_privacy.optimal_network_hiding chain_network ~gamma:2);
+  match Module_privacy.greedy_network_hiding chain_network ~gamma:2 with
+  | Some hidden ->
+      check Alcotest.bool "greedy network safe" true
+        (Module_privacy.network_is_safe chain_network ~hidden ~gamma:2)
+  | None -> Alcotest.fail "greedy network failed"
+
+(* Property: the optimal hiding set is always safe and never beats a
+   manually-verified exhaustive scan. *)
+let prop_optimal_is_minimal =
+  QCheck.Test.make ~name:"optimal hiding is safe and minimal" ~count:25
+    (QCheck.int_bound 1000) (fun seed ->
+      let rng = Wfpriv_workloads.Rng.create seed in
+      let table =
+        Wfpriv_workloads.Synthetic.random_table rng ~n_inputs:2 ~n_outputs:1
+          ~domain_size:2
+      in
+      let gamma = 2 in
+      match Module_privacy.optimal_hiding table ~gamma with
+      | None ->
+          (* Must genuinely be unachievable even hiding everything. *)
+          not
+            (Module_privacy.is_safe table
+               ~hidden:(Module_privacy.attr_names table)
+               ~gamma)
+      | Some hidden ->
+          Module_privacy.is_safe table ~hidden ~gamma
+          &&
+          (* No strictly cheaper subset is safe: check all subsets. *)
+          let names = Module_privacy.attr_names table in
+          let n = List.length names in
+          let cost = List.length in
+          List.for_all
+            (fun mask ->
+              let subset =
+                List.filteri (fun i _ -> mask land (1 lsl i) <> 0) names
+              in
+              (not (Module_privacy.is_safe table ~hidden:subset ~gamma))
+              || cost subset >= cost hidden)
+            (List.init (1 lsl n) Fun.id))
+
+let prop_greedy_always_safe =
+  QCheck.Test.make ~name:"greedy hiding, when Some, is safe" ~count:40
+    (QCheck.pair (QCheck.int_bound 1000) (QCheck.int_range 2 4))
+    (fun (seed, gamma) ->
+      let rng = Wfpriv_workloads.Rng.create seed in
+      let table =
+        Wfpriv_workloads.Synthetic.random_table rng ~n_inputs:2 ~n_outputs:2
+          ~domain_size:2
+      in
+      match Module_privacy.greedy_hiding table ~gamma with
+      | Some hidden -> Module_privacy.is_safe table ~hidden ~gamma
+      | None -> gamma > Module_privacy.max_achievable_gamma table)
+
+let prop_hiding_monotone =
+  QCheck.Test.make ~name:"Γ is monotone in the hidden set" ~count:40
+    (QCheck.int_bound 1000) (fun seed ->
+      let rng = Wfpriv_workloads.Rng.create seed in
+      let table =
+        Wfpriv_workloads.Synthetic.random_table rng ~n_inputs:2 ~n_outputs:1
+          ~domain_size:3
+      in
+      let names = Module_privacy.attr_names table in
+      let rec prefixes acc = function
+        | [] -> [ acc ]
+        | x :: rest -> acc :: prefixes (x :: acc) rest
+      in
+      let chains = prefixes [] names in
+      let levels =
+        List.map (fun h -> Module_privacy.privacy_level table ~hidden:h) chains
+      in
+      let rec non_decreasing = function
+        | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+        | _ -> true
+      in
+      non_decreasing levels)
+
+(* ------------------------------------------------------------------ *)
+(* Spec_tables: tabulating real workflow modules *)
+
+let snps_domain = [ Data_value.Str "rs1"; Data_value.Str "rs2"; Data_value.Str "rs3" ]
+let ethnicity_domain = [ Data_value.Str "a"; Data_value.Str "b" ]
+
+let disease_domains =
+  [ ("snps", snps_domain); ("ethnicity", ethnicity_domain) ]
+
+let test_spec_tables_names () =
+  check strl "M3 receives the workflow inputs routed to M1"
+    [ "ethnicity"; "snps" ]
+    (Spec_tables.input_names spec Disease.m3);
+  check strl "M3 sends the expanded set" [ "expanded_snps" ]
+    (Spec_tables.output_names spec Disease.m3);
+  (* M9 sits at a composite boundary: full expansion routes M8's output
+     and the root inputs to it. *)
+  check strl "M9 inputs"
+    [ "disorders"; "family_history"; "lifestyle"; "symptoms" ]
+    (Spec_tables.input_names spec Disease.m9)
+
+let test_spec_tables_tabulate () =
+  let table = Spec_tables.tabulate spec Disease.semantics ~domains:disease_domains Disease.m3 in
+  check Alcotest.int "3x2 input combinations" 6 (Module_privacy.nb_rows table);
+  (* M3 ignores ethnicity, so its output domain has 3 values. *)
+  check Alcotest.int "Γ hiding snps = 3" 3
+    (Module_privacy.privacy_level table ~hidden:[ "snps" ]);
+  check Alcotest.int "Γ hiding ethnicity stays 1" 1
+    (Module_privacy.privacy_level table ~hidden:[ "ethnicity" ]);
+  check Alcotest.int "Γ hiding the output = 3" 3
+    (Module_privacy.privacy_level table ~hidden:[ "expanded_snps" ])
+
+let test_spec_tables_unsupported () =
+  (match Spec_tables.tabulate spec Disease.semantics ~domains:disease_domains Disease.m1 with
+  | exception Spec_tables.Unsupported _ -> ()
+  | _ -> Alcotest.fail "composite modules cannot be tabulated");
+  match Spec_tables.tabulate spec Disease.semantics ~domains:[] Disease.m3 with
+  | exception Spec_tables.Unsupported _ -> ()
+  | _ -> Alcotest.fail "missing domains must be rejected"
+
+let test_spec_tables_recommend () =
+  match
+    Spec_tables.recommend_masks spec Disease.semantics ~domains:disease_domains
+      ~private_modules:[ Disease.m3 ] ~gamma:3 ~level:2
+  with
+  | None -> Alcotest.fail "Γ=3 is achievable for M3"
+  | Some masks ->
+      (* Install the masks into a policy and check the hidden names are
+         masked for low-privilege users. *)
+      let policy = Policy.make ~module_masks:masks spec in
+      let uv = Policy.for_user policy 0 in
+      check Alcotest.bool "some name masked at level 0" true
+        (uv.Policy.masked_names <> []);
+      let exec = Disease.run () in
+      let _, proj = Policy.project_execution policy 0 exec in
+      let hidden_names = uv.Policy.masked_names in
+      List.iter
+        (fun (it : Execution.item) ->
+          if List.mem it.Execution.name hidden_names then
+            check Alcotest.bool
+              (Ids.data_name it.Execution.data_id ^ " masked")
+              true
+              (Data_privacy.is_masked proj it.Execution.data_id))
+        (Execution.items exec)
+
+(* ------------------------------------------------------------------ *)
+(* Audit: the empirical adversary *)
+
+let test_audit_full_disclosure () =
+  (* No hiding, all inputs observed: everything recovered. *)
+  let inputs = List.map fst (Module_privacy.rows xor_table) in
+  let a = Audit.assess xor_table (Audit.observe xor_table ~hidden:[] inputs) in
+  check Alcotest.int "all pinned" 4 a.Audit.pinned;
+  check (Alcotest.float 0.001) "fraction 1.0" 1.0 a.Audit.recovered_fraction;
+  check Alcotest.int "empirical Γ = 1" 1 a.Audit.min_candidates
+
+let test_audit_partial_observation () =
+  let inputs = [ [| Data_value.Int 0; Data_value.Int 0 |] ] in
+  let a = Audit.assess xor_table (Audit.observe xor_table ~hidden:[] inputs) in
+  check Alcotest.int "only the observed row pinned" 1 a.Audit.pinned;
+  check (Alcotest.float 0.001) "fraction 0.25" 0.25 a.Audit.recovered_fraction
+
+let test_audit_respects_gamma () =
+  (* With a Γ=2-safe hidden set, nothing is ever pinned, no matter how
+     many executions are observed. *)
+  let inputs = List.map fst (Module_privacy.rows xor_table) in
+  let all = inputs @ inputs @ inputs in
+  let a =
+    Audit.assess xor_table (Audit.observe xor_table ~hidden:[ "y" ] all)
+  in
+  check Alcotest.int "nothing pinned" 0 a.Audit.pinned;
+  check Alcotest.bool "empirical Γ >= 2" true (a.Audit.min_candidates >= 2);
+  check (Alcotest.float 0.001) "fraction 0" 0.0 a.Audit.recovered_fraction
+
+let prop_audit_never_beats_gamma =
+  QCheck.Test.make
+    ~name:"complete observation never beats the Γ guarantee" ~count:30
+    (QCheck.pair (QCheck.int_bound 1000) (QCheck.int_bound 50))
+    (fun (seed, extra_obs) ->
+      let rng = Wfpriv_workloads.Rng.create seed in
+      let table =
+        Wfpriv_workloads.Synthetic.random_table rng ~n_inputs:2 ~n_outputs:1
+          ~domain_size:2
+      in
+      match Module_privacy.optimal_hiding table ~gamma:2 with
+      | None -> true
+      | Some hidden ->
+          (* Worst case for privacy: the adversary sees every input at
+             least once (plus random repeats). *)
+          let all_inputs = List.map fst (Module_privacy.rows table) in
+          let obs =
+            all_inputs
+            @ List.init extra_obs (fun _ ->
+                  Wfpriv_workloads.Rng.pick rng all_inputs)
+          in
+          let a = Audit.assess table (Audit.observe table ~hidden obs) in
+          a.Audit.pinned = 0
+          && a.Audit.confident_wrong = 0
+          && a.Audit.min_candidates >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Policy *)
+
+let policy =
+  Policy.make
+    ~expand_levels:[ ("W3", 2); ("W4", 3) ]
+    ~data_levels:[ ("snps", 1) ]
+    ~module_masks:[ (Disease.m1, [ "disorders"; "expanded_snps" ], 2) ]
+    spec
+
+let test_policy_compilation () =
+  let uv0 = Policy.for_user policy 0 in
+  check strl "level-0 prefix" [ "W1"; "W2" ] (View.prefix uv0.Policy.view);
+  check strl "level-0 masks" [ "disorders"; "expanded_snps"; "snps" ]
+    uv0.Policy.masked_names;
+  let uv2 = Policy.for_user policy 2 in
+  check strl "level-2 masks nothing" [] uv2.Policy.masked_names;
+  check (Alcotest.list Alcotest.int) "protected modules" [ Disease.m1 ]
+    (Policy.protected_modules policy);
+  check Alcotest.int "audit level" 3 (Policy.audit_level policy)
+
+let test_policy_projection () =
+  let exec = Disease.run () in
+  let ev, proj = Policy.project_execution policy 0 exec in
+  check strl "exec view prefix" [ "W1"; "W2" ] (Exec_view.prefix ev);
+  check Alcotest.bool "d10 (disorders) masked" true (Data_privacy.is_masked proj 10);
+  check Alcotest.bool "d2 readable" false (Data_privacy.is_masked proj 2)
+
+let qtests = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "privacy"
+    [
+      ( "privilege",
+        [
+          Alcotest.test_case "monotone levels" `Quick test_privilege_monotone;
+          Alcotest.test_case "access prefixes are prefixes" `Quick
+            test_access_prefix_is_prefix;
+          Alcotest.test_case "access views" `Quick test_access_views;
+          Alcotest.test_case "validation" `Quick test_privilege_validation;
+        ] );
+      ( "data_privacy",
+        [ Alcotest.test_case "masking" `Quick test_data_masking ] );
+      ( "module_privacy",
+        [
+          Alcotest.test_case "Γ without hiding" `Quick test_gamma_no_hiding;
+          Alcotest.test_case "hide output" `Quick test_gamma_hide_output;
+          Alcotest.test_case "hide input" `Quick test_gamma_hide_input;
+          Alcotest.test_case "max achievable" `Quick test_gamma_max;
+          Alcotest.test_case "optimal hiding" `Quick test_optimal_hiding;
+          Alcotest.test_case "greedy is safe" `Quick test_greedy_hiding_safe;
+          Alcotest.test_case "ordered search beyond the cap" `Quick
+            test_ordered_beyond_cap;
+          Alcotest.test_case "optimal vs greedy (wide)" `Quick
+            test_wide_optimal_vs_greedy;
+          Alcotest.test_case "table validation" `Quick test_table_validation;
+          Alcotest.test_case "lookup" `Quick test_lookup;
+          Alcotest.test_case "network sharing" `Quick test_network_sharing;
+          Alcotest.test_case "network optimal" `Quick test_network_optimal;
+        ]
+        @ qtests
+            [ prop_optimal_is_minimal; prop_greedy_always_safe;
+              prop_hiding_monotone; prop_ordered_matches_exhaustive ]
+      );
+      ( "spec_tables",
+        [
+          Alcotest.test_case "effective I/O names" `Quick test_spec_tables_names;
+          Alcotest.test_case "tabulation" `Quick test_spec_tables_tabulate;
+          Alcotest.test_case "unsupported modules" `Quick
+            test_spec_tables_unsupported;
+          Alcotest.test_case "recommended masks -> policy" `Quick
+            test_spec_tables_recommend;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "full disclosure" `Quick test_audit_full_disclosure;
+          Alcotest.test_case "partial observation" `Quick
+            test_audit_partial_observation;
+          Alcotest.test_case "Γ-safe hiding defeats adversary" `Quick
+            test_audit_respects_gamma;
+        ]
+        @ qtests [ prop_audit_never_beats_gamma ] );
+      ( "policy",
+        [
+          Alcotest.test_case "compilation" `Quick test_policy_compilation;
+          Alcotest.test_case "execution projection" `Quick test_policy_projection;
+        ] );
+    ]

@@ -1,0 +1,205 @@
+(* Tests for Exec_search (keyword search over executions) and the
+   Clinical workload fixture. *)
+
+open Wfpriv_workflow
+open Wfpriv_privacy
+open Wfpriv_query
+module Disease = Wfpriv_workloads.Disease
+module Clinical = Wfpriv_workloads.Clinical
+
+let check = Alcotest.check
+let strl = Alcotest.(list string)
+let exec = Disease.run ()
+
+(* ------------------------------------------------------------------ *)
+(* Exec_search *)
+
+let test_required_prefix_module () =
+  (* M6 (Query OMIM) runs inside M4 inside M1: needs W2 and W4 open. *)
+  let n = Execution.node_of_process exec 5 in
+  check strl "atomic deep inside"
+    [ "W1"; "W2"; "W4" ]
+    (Exec_search.required_prefix exec (Exec_search.Module_witness n));
+  (* M1's own begin node witnesses at the top level. *)
+  let b = Execution.node_of_process exec 1 in
+  check strl "composite witnesses collapsed" [ "W1" ]
+    (Exec_search.required_prefix exec (Exec_search.Module_witness b))
+
+let test_required_prefix_data () =
+  (* d10 (disorders) crosses the top level: visible in the coarsest view. *)
+  check strl "boundary-crossing item" [ "W1" ]
+    (Exec_search.required_prefix exec (Exec_search.Data_witness 10));
+  (* d8 (omim_disorders) only flows M6 -> M8 inside W4. *)
+  check strl "deep internal item"
+    [ "W1"; "W2"; "W4" ]
+    (Exec_search.required_prefix exec (Exec_search.Data_witness 8));
+  (* d11 (pmc_query) flows inside W3 only. *)
+  check strl "item inside W3" [ "W1"; "W3" ]
+    (Exec_search.required_prefix exec (Exec_search.Data_witness 11))
+
+let test_exec_search_minimal_view () =
+  (* "disorder" is witnessed most cheaply by a top-level element (M2's
+     name or the d10 item): coarsest view suffices. *)
+  (match Exec_search.search exec [ "disorder" ] with
+  | Some a -> check strl "coarsest" [ "W1" ] (Exec_view.prefix a.Exec_search.view)
+  | None -> Alcotest.fail "expected a hit");
+  (* "omim" needs the execution opened down to W4. *)
+  match Exec_search.search exec [ "omim" ] with
+  | Some a ->
+      check strl "opens W2/W4" [ "W1"; "W2"; "W4" ]
+        (Exec_view.prefix a.Exec_search.view)
+  | None -> Alcotest.fail "expected a hit"
+
+let test_exec_search_multi_keyword () =
+  match Exec_search.search exec [ "omim"; "notes"; "disorder" ] with
+  | Some a ->
+      check strl "union of requirements"
+        [ "W1"; "W2"; "W3"; "W4" ]
+        (Exec_view.prefix a.Exec_search.view);
+      check Alcotest.int "three matches" 3 (List.length a.Exec_search.matches)
+  | None -> Alcotest.fail "expected hits"
+
+let test_exec_search_restriction_and_miss () =
+  check Alcotest.bool "unmatchable keyword" true
+    (Exec_search.search exec [ "quantum" ] = None);
+  (* Deny data witnesses: "pmc_query" (an item name with no matching
+     module) becomes unmatchable. *)
+  let deny = function Exec_search.Data_witness _ -> false | _ -> true in
+  check Alcotest.bool "restriction kills data witnesses" true
+    (Exec_search.search ~restrict_to:deny exec [ "pmc_query" ] = None);
+  Alcotest.check_raises "empty keywords"
+    (Invalid_argument "Exec_search.search: empty keyword list") (fun () ->
+      ignore (Exec_search.search exec []))
+
+let test_exec_search_data_visible_in_answer () =
+  match Exec_search.search exec [ "pmc_query" ] with
+  | Some a ->
+      check Alcotest.bool "witness item visible in the answer view" true
+        (List.mem 11 (Exec_view.visible_items a.Exec_search.view))
+  | None -> Alcotest.fail "expected a hit"
+
+let prop_witness_always_visible =
+  QCheck.Test.make ~name:"chosen witnesses are visible in the answer view"
+    ~count:30
+    (QCheck.int_bound 19)
+    (fun d ->
+      let item = Execution.find_item exec d in
+      let kw = item.Execution.name in
+      match Exec_search.search exec [ kw ] with
+      | None -> false
+      | Some a -> (
+          match (List.hd a.Exec_search.matches).Exec_search.chosen with
+          | Exec_search.Data_witness d' ->
+              List.mem d' (Exec_view.visible_items a.Exec_search.view)
+          | Exec_search.Module_witness n ->
+              let rep = Exec_view.representative a.Exec_search.view n in
+              List.mem rep (Exec_view.nodes a.Exec_search.view)))
+
+(* ------------------------------------------------------------------ *)
+(* Clinical workload *)
+
+let test_clinical_shape () =
+  check Alcotest.int "17 modules" 17 (Spec.nb_modules Clinical.spec);
+  check strl "workflows" [ "C1"; "C2"; "C3"; "C4" ]
+    (Spec.workflow_ids Clinical.spec);
+  let h = Hierarchy.of_spec Clinical.spec in
+  check strl "C4 under C2" [ "C1"; "C2"; "C4" ] (Hierarchy.ancestors h "C4");
+  check strl "C3 under C1" [ "C1"; "C3" ] (Hierarchy.ancestors h "C3")
+
+let test_clinical_runs () =
+  let e = Clinical.run () in
+  check Alcotest.bool "DAG" true (Wfpriv_graph.Topo.is_dag (Execution.graph e));
+  let report = Execution.output_items e in
+  check Alcotest.int "one output" 1 (List.length report);
+  let value = Data_value.to_string (List.hd report).Execution.value in
+  check Alcotest.bool "report derives from the full pipeline" true
+    (String.length value > 30);
+  (* The diamond in C3: both arms feed the comparison. *)
+  check Alcotest.bool "treatment before compare" true
+    (Provenance.executed_before e (Ids.m 12) (Ids.m 14));
+  check Alcotest.bool "control before compare" true
+    (Provenance.executed_before e (Ids.m 13) (Ids.m 14));
+  check Alcotest.bool "arms are parallel" false
+    (Provenance.executed_before e (Ids.m 12) (Ids.m 13))
+
+let test_clinical_policy () =
+  let e = Clinical.run () in
+  let level0 = Policy.for_user Clinical.policy 0 in
+  check strl "level 0 sees only the top" [ "C1" ] (View.prefix level0.Policy.view);
+  let level1 = Policy.for_user Clinical.policy 1 in
+  check Alcotest.bool "level 1 opens analysis but not de-identification" true
+    (List.mem "C3" (View.prefix level1.Policy.view)
+    && not (List.mem "C2" (View.prefix level1.Policy.view)));
+  let _, proj = Policy.project_execution Clinical.policy 1 e in
+  let records =
+    (List.hd (Execution.items_named e "records")).Execution.data_id
+  in
+  check Alcotest.bool "records masked at level 1" true
+    (Data_privacy.is_masked proj records);
+  let _, proj3 = Policy.project_execution Clinical.policy 3 e in
+  check Alcotest.bool "records readable at level 3" false
+    (Data_privacy.is_masked proj3 records)
+
+let test_clinical_module_privacy_interop () =
+  (* The pseudonymisation composite's observed relation across runs. *)
+  let runs =
+    List.map
+      (fun i ->
+        Clinical.run_with
+          [
+            ("records", Data_value.Str (Printf.sprintf "batch-%d" i));
+            ("consent", Data_value.Str "signed");
+          ])
+      [ 1; 2; 3 ]
+  in
+  let rows = Observed_table.of_runs runs (Ids.m 7) in
+  check Alcotest.int "three distinct observations" 3 (List.length rows);
+  check Alcotest.bool "functional" true (Observed_table.functional rows);
+  check strl "consumes stripped data" [ "stripped" ]
+    (Observed_table.input_names rows);
+  check strl "emits pseudonymized data" [ "pseudonymized" ]
+    (Observed_table.output_names rows)
+
+let test_clinical_exec_search () =
+  let e = Clinical.run () in
+  (* "hash" is witnessed most cheaply by the collapsed M7 "Pseudonymize"
+     composite (keyword "hash"), which only needs C2 open. *)
+  (match Exec_search.search e [ "hash" ] with
+  | Some a ->
+      check strl "hash needs C2 open" [ "C1"; "C2" ]
+        (Exec_view.prefix a.Exec_search.view)
+  | None -> Alcotest.fail "expected a hit");
+  (* The "hashed" data item itself lives inside C4. *)
+  match Exec_search.search e [ "hashed" ] with
+  | Some a ->
+      check strl "the hashed item forces the deep chain open"
+        [ "C1"; "C2"; "C4" ]
+        (Exec_view.prefix a.Exec_search.view)
+  | None -> Alcotest.fail "expected a hit"
+
+let () =
+  Alcotest.run "provsearch"
+    [
+      ( "exec_search",
+        [
+          Alcotest.test_case "module requirements" `Quick
+            test_required_prefix_module;
+          Alcotest.test_case "data requirements" `Quick test_required_prefix_data;
+          Alcotest.test_case "minimal views" `Quick test_exec_search_minimal_view;
+          Alcotest.test_case "multi keyword" `Quick test_exec_search_multi_keyword;
+          Alcotest.test_case "restriction and misses" `Quick
+            test_exec_search_restriction_and_miss;
+          Alcotest.test_case "witness visibility" `Quick
+            test_exec_search_data_visible_in_answer;
+        ]
+        @ [ QCheck_alcotest.to_alcotest prop_witness_always_visible ] );
+      ( "clinical",
+        [
+          Alcotest.test_case "shape" `Quick test_clinical_shape;
+          Alcotest.test_case "executes" `Quick test_clinical_runs;
+          Alcotest.test_case "policy" `Quick test_clinical_policy;
+          Alcotest.test_case "module-privacy interop" `Quick
+            test_clinical_module_privacy_interop;
+          Alcotest.test_case "exec search" `Quick test_clinical_exec_search;
+        ] );
+    ]

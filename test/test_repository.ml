@@ -1,0 +1,164 @@
+(* Tests for Repository (integrated privacy-aware search) and Secure_eval
+   (on-the-fly vs. zoom-out evaluation). *)
+
+open Wfpriv_workflow
+open Wfpriv_privacy
+open Wfpriv_query
+module Disease = Wfpriv_workloads.Disease
+module Synthetic = Wfpriv_workloads.Synthetic
+module Rng = Wfpriv_workloads.Rng
+
+let check = Alcotest.check
+let strl = Alcotest.(list string)
+let spec = Disease.spec
+let exec = Disease.run ()
+
+let policy =
+  Policy.make
+    ~expand_levels:[ ("W2", 1); ("W3", 2); ("W4", 3) ]
+    ~data_levels:[ ("disorders", 2) ]
+    spec
+
+let make_repo () =
+  let repo = Repository.create () in
+  Repository.add repo ~name:"disease" ~policy ~executions:[ exec ] ();
+  repo
+
+(* ------------------------------------------------------------------ *)
+(* Repository basics *)
+
+let test_repo_admin () =
+  let repo = make_repo () in
+  check strl "names" [ "disease" ] (Repository.names repo);
+  check Alcotest.int "entries" 1 (Repository.nb_entries repo);
+  let e = Repository.find repo "disease" in
+  check Alcotest.int "stored executions" 1 (List.length e.Repository.executions);
+  Repository.add_execution repo ~name:"disease" (Disease.run ());
+  check Alcotest.int "after add_execution" 2
+    (List.length (Repository.find repo "disease").Repository.executions);
+  (match Repository.add repo ~name:"disease" ~policy () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate name accepted");
+  match Repository.find repo "nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let test_repo_search_respects_level () =
+  let repo = make_repo () in
+  (* "omim" is only on M6 (inside W4, level 3). *)
+  check Alcotest.int "level 0 gets no omim hit" 0
+    (List.length (Repository.keyword_search repo ~level:0 [ "omim" ]));
+  let hits = Repository.keyword_search repo ~level:3 [ "omim" ] in
+  check Alcotest.int "level 3 gets the hit" 1 (List.length hits);
+  (* "risk" is public. *)
+  let hits0 = Repository.keyword_search repo ~level:0 [ "risk" ] in
+  check Alcotest.int "public hit" 1 (List.length hits0);
+  let a = (List.hd hits0).Repository.answer in
+  check strl "answer stays within the coarsest access view" [ "W1" ]
+    (View.prefix a.Keyword.view)
+
+let test_repo_search_caps_view () =
+  let repo = make_repo () in
+  (* At level 1 the user can open W2 but not W4; a "database" query would
+     like to show W4's modules but must be capped. *)
+  let hits =
+    Repository.keyword_search repo ~level:1 ~strategy:`Specific [ "database" ]
+  in
+  check Alcotest.int "one hit" 1 (List.length hits);
+  let a = (List.hd hits).Repository.answer in
+  check Alcotest.bool "capped below W4" true
+    (not (List.mem "W4" (View.prefix a.Keyword.view)))
+
+let test_repo_search_ranking () =
+  (* Two entries; the one whose visible modules mention the term more
+     often ranks first. *)
+  let repo = make_repo () in
+  let rng = Rng.create 7 in
+  let spec2 = Synthetic.spec rng Synthetic.default_params in
+  let policy2 = Policy.make spec2 in
+  Repository.add repo ~name:"synthetic" ~policy:policy2 ();
+  let hits = Repository.keyword_search repo ~level:3 [ "risk" ] in
+  (* Only the disease workflow mentions "risk". *)
+  check
+    (Alcotest.list Alcotest.string)
+    "only disease matches" [ "disease" ]
+    (List.map (fun h -> h.Repository.entry_name) hits);
+  let corpus = Repository.visible_corpus repo ~level:3 in
+  check Alcotest.bool "corpus covers both entries" true
+    (Tfidf.nb_docs corpus = 2)
+
+let test_repo_structural_query () =
+  let repo = make_repo () in
+  let q = Query_ast.before_by_name "Expand SNP" "OMIM" in
+  (match Repository.structural_query repo ~level:3 "disease" q with
+  | [ w ] -> check Alcotest.bool "holds at level 3" true w.Query_eval.holds
+  | _ -> Alcotest.fail "expected one witness");
+  match Repository.structural_query repo ~level:0 "disease" q with
+  | [ w ] -> check Alcotest.bool "hidden at level 0" false w.Query_eval.holds
+  | _ -> Alcotest.fail "expected one witness"
+
+(* ------------------------------------------------------------------ *)
+(* Secure_eval: both strategies agree; zoom-out works harder *)
+
+let privilege = Policy.privilege policy
+
+let test_secure_eval_agreement () =
+  let q = Query_ast.before_by_name "Expand SNP" "OMIM" in
+  List.iter
+    (fun level ->
+      let a = Secure_eval.on_the_fly privilege ~level exec q in
+      let b = Secure_eval.zoom_out privilege ~level exec q in
+      check Alcotest.bool
+        (Printf.sprintf "agree at level %d" level)
+        true (Secure_eval.agree a b))
+    [ 0; 1; 2; 3 ]
+
+let test_secure_eval_costs () =
+  let q = Query_ast.Node Query_ast.Any in
+  let a = Secure_eval.on_the_fly privilege ~level:0 exec q in
+  let b = Secure_eval.zoom_out privilege ~level:0 exec q in
+  check Alcotest.int "on-the-fly builds one view" 1 a.Secure_eval.collapse_count;
+  (* Zoom-out starts from the full 4-workflow expansion and must strip
+     W4, W3, W2: three extra reconstructions. *)
+  check Alcotest.int "zoom-out rebuilds repeatedly" 4 b.Secure_eval.collapse_count;
+  check strl "both end at the access view" (Privilege.access_prefix privilege 0)
+    b.Secure_eval.final_prefix
+
+let prop_strategies_agree_on_synthetic =
+  QCheck.Test.make ~name:"on-the-fly and zoom-out agree on synthetic runs"
+    ~count:20
+    (QCheck.pair (QCheck.int_bound 10_000) (QCheck.int_bound 3))
+    (fun (seed, level) ->
+      let rng = Rng.create seed in
+      let spec, exec = Synthetic.run rng Synthetic.default_params in
+      let assignments =
+        List.filteri (fun i _ -> i > 0) (Spec.workflow_ids spec)
+        |> List.mapi (fun i w -> (w, 1 + (i mod 3)))
+      in
+      let privilege = Privilege.make spec assignments in
+      let q =
+        Query_ast.Before (Query_ast.Atomic_only, Query_ast.Atomic_only)
+      in
+      let a = Secure_eval.on_the_fly privilege ~level exec q in
+      let b = Secure_eval.zoom_out privilege ~level exec q in
+      Secure_eval.agree a b)
+
+let () =
+  Alcotest.run "repository"
+    [
+      ( "repository",
+        [
+          Alcotest.test_case "admin" `Quick test_repo_admin;
+          Alcotest.test_case "search respects levels" `Quick
+            test_repo_search_respects_level;
+          Alcotest.test_case "search caps views" `Quick test_repo_search_caps_view;
+          Alcotest.test_case "ranking" `Quick test_repo_search_ranking;
+          Alcotest.test_case "structural query" `Quick test_repo_structural_query;
+        ] );
+      ( "secure_eval",
+        [
+          Alcotest.test_case "strategies agree" `Quick test_secure_eval_agreement;
+          Alcotest.test_case "cost asymmetry" `Quick test_secure_eval_costs;
+        ]
+        @ [ QCheck_alcotest.to_alcotest prop_strategies_agree_on_synthetic ] );
+    ]

@@ -1,0 +1,362 @@
+(* Tests for the serialisation substrate: Json, Spec_codec, Exec_codec,
+   Policy_codec and the Wfdsl textual language. *)
+
+open Wfpriv_workflow
+open Wfpriv_serial
+module Disease = Wfpriv_workloads.Disease
+module Synthetic = Wfpriv_workloads.Synthetic
+module Rng = Wfpriv_workloads.Rng
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_atoms () =
+  check Alcotest.bool "null" true (Json.parse "null" = Json.Null);
+  check Alcotest.bool "true" true (Json.parse "true" = Json.Bool true);
+  check Alcotest.bool "false" true (Json.parse " false " = Json.Bool false);
+  check (Alcotest.float 0.0001) "int" 42.0 (Json.get_float (Json.parse "42"));
+  check (Alcotest.float 0.0001) "negative" (-3.5)
+    (Json.get_float (Json.parse "-3.5"));
+  check (Alcotest.float 0.0001) "exponent" 1200.0
+    (Json.get_float (Json.parse "1.2e3"));
+  check Alcotest.string "string" "hi" (Json.get_string (Json.parse "\"hi\""))
+
+let test_json_escapes () =
+  check Alcotest.string "standard escapes" "a\"b\\c\nd"
+    (Json.get_string (Json.parse "\"a\\\"b\\\\c\\nd\""));
+  check Alcotest.string "unicode bmp" "\xc3\xa9"
+    (Json.get_string (Json.parse "\"\\u00e9\""));
+  check Alcotest.string "surrogate pair" "\xf0\x9d\x84\x9e"
+    (Json.get_string (Json.parse "\"\\ud834\\udd1e\""))
+
+let test_json_structures () =
+  let v = Json.parse {| {"a": [1, 2, {"b": null}], "c": "x"} |} in
+  check Alcotest.int "nested access" 2
+    (Json.get_int (List.nth (Json.to_list (Json.member "a" v)) 1));
+  check Alcotest.bool "member_opt missing" true (Json.member_opt "zz" v = None);
+  check Alcotest.string "roundtrip compact"
+    {|{"a":[1,2,{"b":null}],"c":"x"}|}
+    (Json.to_string v)
+
+let expect_parse_error src expected_line =
+  match Json.parse src with
+  | exception Json.Parse_error { line; _ } ->
+      check Alcotest.int ("error line for " ^ src) expected_line line
+  | _ -> Alcotest.fail ("expected parse error for " ^ src)
+
+let test_json_errors () =
+  expect_parse_error "{" 1;
+  expect_parse_error "[1,]" 1;
+  expect_parse_error "\"unterminated" 1;
+  expect_parse_error "{\"a\": 1,}" 1;
+  expect_parse_error "nul" 1;
+  expect_parse_error "1 2" 1;
+  expect_parse_error "{\n\"a\": ?\n}" 2;
+  match Json.parse_result "[" with
+  | Error msg ->
+      check Alcotest.bool "message mentions position" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected error"
+
+let json_gen =
+  (* Random JSON values of bounded depth. *)
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.int i) (int_range (-1000) 1000);
+        map (fun s -> Json.Str s) (string_size ~gen:printable (int_bound 8));
+      ]
+  in
+  let value =
+    sized_size (int_bound 3) (fix (fun self n ->
+        if n = 0 then scalar
+        else
+          oneof
+            [
+              scalar;
+              map (fun xs -> Json.Arr xs) (list_size (int_bound 4) (self (n - 1)));
+              map
+                (fun kvs ->
+                  (* Dedupe keys to keep objects canonical. *)
+                  let seen = Hashtbl.create 8 in
+                  Json.Obj
+                    (List.filter
+                       (fun (k, _) ->
+                         if Hashtbl.mem seen k then false
+                         else begin
+                           Hashtbl.replace seen k ();
+                           true
+                         end)
+                       kvs))
+                (list_size (int_bound 4)
+                   (pair (string_size ~gen:printable (int_bound 6)) (self (n - 1))));
+            ]))
+  in
+  QCheck.make value
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"json parse ∘ to_string = id" ~count:300 json_gen
+    (fun v -> Json.equal v (Json.parse (Json.to_string v)))
+
+let prop_json_pretty_roundtrip =
+  QCheck.Test.make ~name:"json parse ∘ to_string_pretty = id" ~count:300
+    json_gen (fun v -> Json.equal v (Json.parse (Json.to_string_pretty v)))
+
+(* ------------------------------------------------------------------ *)
+(* Spec codec *)
+
+let specs_equal a b =
+  Spec.root a = Spec.root b
+  && Spec.workflow_ids a = Spec.workflow_ids b
+  && Spec.module_ids a = Spec.module_ids b
+  && List.for_all
+       (fun w -> Spec.find_workflow a w = Spec.find_workflow b w)
+       (Spec.workflow_ids a)
+  && List.for_all
+       (fun m -> Spec.find_module a m = Spec.find_module b m)
+       (Spec.module_ids a)
+
+let test_spec_roundtrip_disease () =
+  let s = Spec_codec.to_string ~pretty:true Disease.spec in
+  check Alcotest.bool "roundtrip equal" true
+    (specs_equal Disease.spec (Spec_codec.of_string s))
+
+let prop_spec_roundtrip_synthetic =
+  QCheck.Test.make ~name:"spec codec roundtrips synthetic specs" ~count:25
+    (QCheck.int_bound 100_000) (fun seed ->
+      let spec = Synthetic.spec (Rng.create seed) Synthetic.default_params in
+      specs_equal spec (Spec_codec.of_string (Spec_codec.to_string spec)))
+
+let test_spec_decode_rejects_invalid () =
+  (* Valid JSON, invalid specification (cycle). *)
+  let doc =
+    {|{"root":"W","modules":[
+        {"id":0,"name":"I","kind":"input"},
+        {"id":1,"name":"O","kind":"output"},
+        {"id":2,"name":"A","kind":"atomic"},
+        {"id":3,"name":"B","kind":"atomic"}],
+      "workflows":[{"id":"W","title":"t","members":[0,1,2,3],
+        "edges":[{"src":2,"dst":3,"data":["x"]},
+                 {"src":3,"dst":2,"data":["y"]}]}]}|}
+  in
+  match Spec_codec.of_string doc with
+  | exception Spec.Invalid _ -> ()
+  | _ -> Alcotest.fail "expected Spec.Invalid"
+
+(* ------------------------------------------------------------------ *)
+(* Exec codec *)
+
+let execs_equal a b =
+  Wfpriv_graph.Digraph.equal (Execution.graph a) (Execution.graph b)
+  && Execution.nb_items a = Execution.nb_items b
+  && List.for_all2
+       (fun (x : Execution.item) (y : Execution.item) -> x = y)
+       (Execution.items a) (Execution.items b)
+  && List.for_all
+       (fun n ->
+         Execution.node_kind a n = Execution.node_kind b n
+         && Execution.scope a n = Execution.scope b n)
+       (Execution.nodes a)
+  && List.for_all
+       (fun (u, v) -> Execution.edge_items a u v = Execution.edge_items b u v)
+       (Wfpriv_graph.Digraph.edges (Execution.graph a))
+
+let test_exec_roundtrip_disease () =
+  let exec = Disease.run () in
+  let s = Exec_codec.to_string exec in
+  check Alcotest.bool "roundtrip equal" true
+    (execs_equal exec (Exec_codec.of_string s))
+
+let prop_exec_roundtrip_synthetic =
+  QCheck.Test.make ~name:"exec codec roundtrips synthetic runs" ~count:15
+    (QCheck.int_bound 100_000) (fun seed ->
+      let _, exec = Synthetic.run (Rng.create seed) Synthetic.default_params in
+      execs_equal exec (Exec_codec.of_string (Exec_codec.to_string exec)))
+
+let test_value_codec () =
+  let v =
+    Data_value.record
+      [
+        ("xs", Data_value.List [ Data_value.Int 1; Data_value.Bool true ]);
+        ("s", Data_value.Str "hi");
+        ("u", Data_value.Unit);
+      ]
+  in
+  check Alcotest.bool "value roundtrip" true
+    (Data_value.equal v (Exec_codec.decode_value (Exec_codec.encode_value v)))
+
+(* ------------------------------------------------------------------ *)
+(* Policy codec *)
+
+let test_policy_roundtrip () =
+  let open Wfpriv_privacy in
+  let policy =
+    Policy.make
+      ~expand_levels:[ ("W2", 1); ("W3", 2) ]
+      ~data_levels:[ ("snps", 1) ]
+      ~module_masks:[ (Disease.m1, [ "disorders" ], 2) ]
+      Disease.spec
+  in
+  let decoded = Policy_codec.of_string (Policy_codec.to_string policy) in
+  List.iter
+    (fun w ->
+      check Alcotest.int ("level of " ^ w)
+        (Privilege.required_level (Policy.privilege policy) w)
+        (Privilege.required_level (Policy.privilege decoded) w))
+    [ "W1"; "W2"; "W3"; "W4" ];
+  check
+    Alcotest.(list string)
+    "masked names at 0"
+    (Policy.for_user policy 0).Policy.masked_names
+    (Policy.for_user decoded 0).Policy.masked_names;
+  check
+    Alcotest.(list int)
+    "protected modules"
+    (Policy.protected_modules policy)
+    (Policy.protected_modules decoded)
+
+(* ------------------------------------------------------------------ *)
+(* Wfdsl *)
+
+let quickstart_src =
+  {|
+# Quickstart pipeline in the textual language.
+workflow main "Quickstart pipeline" {
+  input;
+  output;
+  module M1 "Clean samples";
+  module M2 "Analyze cohort" expands sub keywords [cohort, analysis];
+  I -> M1 [samples];
+  M1 -> M2 [cleaned];
+  M2 -> O [report];
+}
+workflow sub "Cohort analysis" {
+  module M3 "Align reads";
+  module M4 "Score variants";
+  M3 -> M4 [aligned];
+}
+root main
+|}
+
+let test_wfdsl_parse () =
+  let spec = Wfdsl.parse quickstart_src in
+  check Alcotest.string "root" "main" (Spec.root spec);
+  check Alcotest.int "modules" 6 (Spec.nb_modules spec);
+  let m2 = Spec.find_module spec (Ids.m 2) in
+  check Alcotest.bool "M2 composite" true (Module_def.is_composite m2);
+  check
+    Alcotest.(list string)
+    "keywords" [ "cohort"; "analysis" ]
+    m2.Module_def.keywords;
+  check (Alcotest.option (Alcotest.list Alcotest.int)) "edge data present"
+    (Some [ Ids.m 1 ])
+    (Option.map
+       (fun (e : Spec.edge) -> [ e.Spec.src ])
+       (Spec.edge_between spec (Ids.m 1) (Ids.m 2)))
+
+let test_wfdsl_print_parse_roundtrip () =
+  let printed = Wfdsl.print Disease.spec in
+  let reparsed = Wfdsl.parse printed in
+  check Alcotest.bool "disease roundtrip" true (specs_equal Disease.spec reparsed)
+
+let test_wfdsl_errors () =
+  let expect_syntax src =
+    match Wfdsl.parse src with
+    | exception Wfdsl.Syntax_error _ -> ()
+    | _ -> Alcotest.fail ("expected syntax error in: " ^ src)
+  in
+  expect_syntax "workflow w {";
+  expect_syntax "workflow w { module Q; } root w";
+  expect_syntax "workflow w { module M1 } root w";
+  expect_syntax "workflow w { M1 -> ; } root w";
+  expect_syntax "workflow w {} ";
+  (match Wfdsl.parse_result "workflow w {\n  module M1 oops;\n} root w" with
+  | Error msg ->
+      check Alcotest.bool "error mentions line 2" true
+        (String.length msg >= 6 && String.sub msg 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "expected error");
+  (* Semantic error surfaces as Spec.Invalid. *)
+  match Wfdsl.parse "workflow w { module M1; module M1; } root w" with
+  | exception Spec.Invalid _ -> ()
+  | _ -> Alcotest.fail "expected Spec.Invalid for duplicate module"
+
+let test_wfdsl_quoted_keywords () =
+  (* Keywords with spaces round-trip through quoting. *)
+  let spec =
+    Spec.create ~root:"w"
+      [
+        Module_def.input;
+        Module_def.output;
+        Module_def.make
+          ~keywords:[ "disorder risk"; "plain" ]
+          ~id:(Ids.m 1) ~name:"A" Module_def.Atomic;
+      ]
+      [
+        {
+          Spec.wf_id = "w";
+          title = "t";
+          members = [ Ids.input_module; Ids.output_module; Ids.m 1 ];
+          edges =
+            [
+              { Spec.src = Ids.input_module; dst = Ids.m 1; data = [ "x" ] };
+              { Spec.src = Ids.m 1; dst = Ids.output_module; data = [ "y" ] };
+            ];
+        };
+      ]
+  in
+  let reparsed = Wfdsl.parse (Wfdsl.print spec) in
+  check Alcotest.(list string) "keywords survive"
+    [ "disorder risk"; "plain" ]
+    (Spec.find_module reparsed (Ids.m 1)).Module_def.keywords
+
+let prop_wfdsl_roundtrip_synthetic =
+  QCheck.Test.make ~name:"wfdsl print ∘ parse = id on synthetic specs"
+    ~count:20 (QCheck.int_bound 100_000) (fun seed ->
+      let spec = Synthetic.spec (Rng.create seed) Synthetic.default_params in
+      specs_equal spec (Wfdsl.parse (Wfdsl.print spec)))
+
+let qtests = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "serial"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "atoms" `Quick test_json_atoms;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "structures" `Quick test_json_structures;
+          Alcotest.test_case "errors carry positions" `Quick test_json_errors;
+        ]
+        @ qtests [ prop_json_roundtrip; prop_json_pretty_roundtrip ] );
+      ( "spec_codec",
+        [
+          Alcotest.test_case "disease roundtrip" `Quick
+            test_spec_roundtrip_disease;
+          Alcotest.test_case "rejects invalid spec" `Quick
+            test_spec_decode_rejects_invalid;
+        ]
+        @ qtests [ prop_spec_roundtrip_synthetic ] );
+      ( "exec_codec",
+        [
+          Alcotest.test_case "disease roundtrip" `Quick
+            test_exec_roundtrip_disease;
+          Alcotest.test_case "value roundtrip" `Quick test_value_codec;
+        ]
+        @ qtests [ prop_exec_roundtrip_synthetic ] );
+      ( "policy_codec",
+        [ Alcotest.test_case "roundtrip" `Quick test_policy_roundtrip ] );
+      ( "wfdsl",
+        [
+          Alcotest.test_case "parse quickstart" `Quick test_wfdsl_parse;
+          Alcotest.test_case "print/parse roundtrip (disease)" `Quick
+            test_wfdsl_print_parse_roundtrip;
+          Alcotest.test_case "errors" `Quick test_wfdsl_errors;
+          Alcotest.test_case "quoted keywords" `Quick test_wfdsl_quoted_keywords;
+        ]
+        @ qtests [ prop_wfdsl_roundtrip_synthetic ] );
+    ]

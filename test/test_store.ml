@@ -1,0 +1,261 @@
+(* Tests for Session (interactive zooming), Repository.provenance_search,
+   and Repo_store (whole-repository persistence). *)
+
+open Wfpriv_workflow
+open Wfpriv_privacy
+open Wfpriv_query
+module Disease = Wfpriv_workloads.Disease
+module Clinical = Wfpriv_workloads.Clinical
+module Rng = Wfpriv_workloads.Rng
+module Repo_store = Wfpriv_store.Repo_store
+
+let check = Alcotest.check
+let strl = Alcotest.(list string)
+let exec = Disease.run ()
+let privilege = Privilege.make Disease.spec [ ("W2", 1); ("W3", 2); ("W4", 3) ]
+
+(* ------------------------------------------------------------------ *)
+(* Session *)
+
+let node_showing session m =
+  let v = Session.current session in
+  List.find
+    (fun n -> Exec_view.module_of_node v n = Some m)
+    (Exec_view.nodes v)
+
+let test_session_allowed_zoom () =
+  let s = Session.start privilege ~level:1 exec in
+  check strl "starts coarse" [ "W1" ] (Session.prefix s);
+  (match Session.zoom_in s (node_showing s Disease.m1) with
+  | Session.Ok _ -> ()
+  | _ -> Alcotest.fail "level 1 may open W2");
+  check strl "after zoom" [ "W1"; "W2" ] (Session.prefix s);
+  check Alcotest.bool "invariant holds" true (Session.within_access_view s);
+  (* Zoom back out. *)
+  match Session.zoom_out s "W2" with
+  | Session.Ok _ -> check strl "collapsed again" [ "W1" ] (Session.prefix s)
+  | _ -> Alcotest.fail "zoom out failed"
+
+let test_session_denied_zoom () =
+  let s = Session.start privilege ~level:1 exec in
+  (match Session.zoom_in s (node_showing s Disease.m2) with
+  | Session.Denied required -> check Alcotest.int "W3 needs level 2" 2 required
+  | _ -> Alcotest.fail "level 1 must not open W3");
+  check strl "view unchanged" [ "W1" ] (Session.prefix s);
+  check Alcotest.int "denial recorded" 1
+    (List.length (Session.denied_attempts s));
+  (* Nested denial: even after opening W2, W4 needs level 3. *)
+  ignore (Session.zoom_in s (node_showing s Disease.m1));
+  match Session.zoom_in s (node_showing s Disease.m4) with
+  | Session.Denied required -> check Alcotest.int "W4 needs level 3" 3 required
+  | _ -> Alcotest.fail "level 1 must not open W4"
+
+let test_session_not_expandable () =
+  let s = Session.start privilege ~level:3 exec in
+  let v = Session.current s in
+  let input_node =
+    List.find (fun n -> Exec_view.module_of_node v n = None) (Exec_view.nodes v)
+  in
+  check Alcotest.bool "I is not expandable" true
+    (Session.zoom_in s input_node = Session.Not_expandable);
+  check Alcotest.bool "unknown node" true
+    (Session.zoom_in s 9999 = Session.Not_expandable);
+  check Alcotest.bool "zoom_out of root refused" true
+    (Session.zoom_out s "W1" = Session.Not_expandable)
+
+let test_session_jump_to_access_view () =
+  let s = Session.start privilege ~level:2 exec in
+  ignore (Session.zoom_to_access_view s);
+  check strl "access view for level 2" [ "W1"; "W2"; "W3" ] (Session.prefix s);
+  check Alcotest.bool "invariant" true (Session.within_access_view s)
+
+let prop_session_never_escapes =
+  (* Arbitrary navigation never exceeds the access view. *)
+  QCheck.Test.make ~name:"sessions never exceed the access view" ~count:50
+    (QCheck.pair (QCheck.int_bound 3) (QCheck.list_of_size (QCheck.Gen.int_bound 12) (QCheck.int_bound 30)))
+    (fun (level, moves) ->
+      let s = Session.start privilege ~level exec in
+      List.iter
+        (fun mv ->
+          let nodes = Exec_view.nodes (Session.current s) in
+          if mv mod 3 = 0 && List.length nodes > 0 then
+            ignore (Session.zoom_in s (List.nth nodes (mv mod List.length nodes)))
+          else if mv mod 3 = 1 then
+            ignore (Session.zoom_out s (Printf.sprintf "W%d" (1 + (mv mod 4))))
+          else ignore (Session.zoom_to_access_view s))
+        moves;
+      Session.within_access_view s)
+
+(* ------------------------------------------------------------------ *)
+(* Repository.provenance_search *)
+
+let make_repo () =
+  let repo = Repository.create () in
+  let policy =
+    Policy.make
+      ~expand_levels:[ ("W2", 1); ("W3", 2); ("W4", 3) ]
+      ~data_levels:[ ("pmc_query", 2) ]
+      Disease.spec
+  in
+  Repository.add repo ~name:"disease" ~policy ~executions:[ exec; Disease.run () ] ();
+  Repository.add repo ~name:"clinical" ~policy:Clinical.policy
+    ~executions:[ Clinical.run () ] ();
+  repo
+
+let test_provenance_search_basic () =
+  let repo = make_repo () in
+  let hits = Repository.provenance_search repo ~level:3 [ "omim" ] in
+  check Alcotest.int "both disease runs hit" 2 (List.length hits);
+  List.iter
+    (fun h ->
+      check Alcotest.string "entry" "disease" h.Repository.prov_entry;
+      check strl "answer view opens W2/W4"
+        [ "W1"; "W2"; "W4" ]
+        (Exec_view.prefix h.Repository.prov_answer.Exec_search.view))
+    hits
+
+let test_provenance_search_privacy () =
+  let repo = make_repo () in
+  (* At level 0 the OMIM witness is invisible: no hits. *)
+  check Alcotest.int "hidden at level 0" 0
+    (List.length (Repository.provenance_search repo ~level:0 [ "omim" ]));
+  (* "pmc_query" is a data witness with data level 2: masked below. *)
+  check Alcotest.int "data witness masked at level 1" 0
+    (List.length (Repository.provenance_search repo ~level:1 [ "pmc_query" ]));
+  check Alcotest.int "data witness readable at level 2" 2
+    (List.length (Repository.provenance_search repo ~level:2 [ "pmc_query" ]));
+  (* The answer view is capped at the access view even when the witness
+     needs a deeper prefix. *)
+  let hits = Repository.provenance_search repo ~level:2 [ "pmc_query" ] in
+  List.iter
+    (fun h ->
+      check Alcotest.bool "capped below W4" true
+        (not
+           (List.mem "W4"
+              (Exec_view.prefix h.Repository.prov_answer.Exec_search.view))))
+    hits
+
+let test_provenance_search_across_entries () =
+  let repo = make_repo () in
+  let hits = Repository.provenance_search repo ~level:3 [ "report" ] in
+  check Alcotest.bool "clinical entry matches" true
+    (List.exists (fun h -> h.Repository.prov_entry = "clinical") hits)
+
+(* ------------------------------------------------------------------ *)
+(* Materialized per-level repositories (the paper's strawman) *)
+
+let test_materialized_space_overhead () =
+  let repo = make_repo () in
+  let m = Materialized.materialize repo ~levels:[ 0; 1; 2; 3 ] in
+  check (Alcotest.list Alcotest.int) "levels" [ 0; 1; 2; 3 ]
+    (Materialized.levels m);
+  check Alcotest.bool "four copies cost more than one integrated store" true
+    (Materialized.space m > Materialized.integrated_space repo)
+
+let test_materialized_consistency_breaks () =
+  let repo = make_repo () in
+  let m = Materialized.materialize repo ~levels:[ 0; 2 ] in
+  check Alcotest.bool "fresh materialisation is consistent" true
+    (Materialized.consistent m repo);
+  (* The master moves on; the copies silently go stale. *)
+  Repository.add_execution repo ~name:"disease" (Disease.run ());
+  check Alcotest.bool "stale after an update" false
+    (Materialized.consistent m repo);
+  (* Repairing requires touching every copy. *)
+  let m' = Materialized.refresh_entry m repo "disease" in
+  check Alcotest.bool "consistent after refresh" true
+    (Materialized.consistent m' repo)
+
+let test_materialized_search () =
+  let repo = make_repo () in
+  let m = Materialized.materialize repo ~levels:[ 0; 3 ] in
+  (* "omim" (M6, deep in W4) is absent from the level-0 copy but present
+     in the level-3 copy. *)
+  check Alcotest.int "level-0 copy hides omim" 0
+    (List.length (Materialized.search_copy m ~level:0 "omim"));
+  check Alcotest.int "level-3 copy serves omim" 1
+    (List.length (Materialized.search_copy m ~level:3 "omim"));
+  (match Materialized.search_copy m ~level:1 "omim" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unmaterialised level must be rejected");
+  (* And the copies agree with the integrated store's answers. *)
+  check Alcotest.int "matches integrated search" 1
+    (List.length (Repository.keyword_search repo ~level:3 [ "omim" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Repo_store *)
+
+let test_store_roundtrip () =
+  let repo = make_repo () in
+  let doc = Repo_store.to_string ~pretty:true repo in
+  let loaded = Repo_store.of_string doc in
+  check strl "entry names survive" (Repository.names repo)
+    (Repository.names loaded);
+  let e = Repository.find loaded "disease" in
+  check Alcotest.int "executions survive" 2 (List.length e.Repository.executions);
+  (* Loaded executions are bound to the loaded policy's spec. *)
+  List.iter
+    (fun exec ->
+      check Alcotest.bool "spec physically shared" true
+        (Execution.spec exec == Policy.spec e.Repository.policy))
+    e.Repository.executions;
+  (* Behaviour survives: the same searches give the same answers. *)
+  let q = [ "omim" ] in
+  check Alcotest.int "same provenance hits"
+    (List.length (Repository.provenance_search repo ~level:3 q))
+    (List.length (Repository.provenance_search loaded ~level:3 q));
+  let ks = Repository.keyword_search loaded ~level:3 [ "risk" ] in
+  check Alcotest.int "keyword search works on loaded repo" 1 (List.length ks)
+
+let test_store_file_io () =
+  let repo = make_repo () in
+  let path = Filename.temp_file "wfpriv" ".repo.json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Repo_store.save path repo;
+      let loaded = Repo_store.load path in
+      check strl "file roundtrip" (Repository.names repo) (Repository.names loaded))
+
+let test_store_rejects_garbage () =
+  (match Repo_store.of_string "{\"version\": 2, \"entries\": []}" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "version check missing");
+  match Repo_store.of_string "not json" with
+  | exception Wfpriv_serial.Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "parse error expected"
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "session",
+        [
+          Alcotest.test_case "allowed zoom" `Quick test_session_allowed_zoom;
+          Alcotest.test_case "denied zoom" `Quick test_session_denied_zoom;
+          Alcotest.test_case "not expandable" `Quick test_session_not_expandable;
+          Alcotest.test_case "jump to access view" `Quick
+            test_session_jump_to_access_view;
+        ]
+        @ [ QCheck_alcotest.to_alcotest prop_session_never_escapes ] );
+      ( "provenance_search",
+        [
+          Alcotest.test_case "basic" `Quick test_provenance_search_basic;
+          Alcotest.test_case "privacy" `Quick test_provenance_search_privacy;
+          Alcotest.test_case "across entries" `Quick
+            test_provenance_search_across_entries;
+        ] );
+      ( "materialized",
+        [
+          Alcotest.test_case "space overhead" `Quick
+            test_materialized_space_overhead;
+          Alcotest.test_case "consistency breaks on update" `Quick
+            test_materialized_consistency_breaks;
+          Alcotest.test_case "per-copy search" `Quick test_materialized_search;
+        ] );
+      ( "repo_store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "file io" `Quick test_store_file_io;
+          Alcotest.test_case "rejects garbage" `Quick test_store_rejects_garbage;
+        ] );
+    ]

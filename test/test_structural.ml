@@ -1,0 +1,329 @@
+(* Tests for Structural_privacy, Soundness and Utility, pinned against the
+   paper's Sec. 3 W3 examples: deleting M13 -> M11 also hides M12 ⇝ M11;
+   clustering {M11, M13} fabricates M10 ⇝ M14. *)
+
+open Wfpriv_workflow
+open Wfpriv_privacy
+module Disease = Wfpriv_workloads.Disease
+module Synthetic = Wfpriv_workloads.Synthetic
+module Rng = Wfpriv_workloads.Rng
+module Digraph = Wfpriv_graph.Digraph
+module Reachability = Wfpriv_graph.Reachability
+
+let check = Alcotest.check
+let pairs = Alcotest.(list (pair int int))
+
+(* W3's internal dataflow graph (module ids as nodes). *)
+let w3 () = Spec.graph_of Disease.spec "W3"
+
+(* ------------------------------------------------------------------ *)
+(* Deletion (paper: "delete the edge M13 -> M11 ... we may hide additional
+   provenance information that does not need to be hidden (e.g., the
+   existence of a path from M12 to M11)") *)
+
+let test_deletion_paper_example () =
+  let g = w3 () in
+  let r =
+    Structural_privacy.hide_by_deletion g (Disease.m13, Disease.m11)
+  in
+  check pairs "min cut is the single edge M13 -> M11"
+    [ (Disease.m13, Disease.m11) ]
+    r.Structural_privacy.cut;
+  check Alcotest.bool "fact hidden" false
+    (Reachability.reaches r.Structural_privacy.view Disease.m13 Disease.m11);
+  (* The collateral damage the paper warns about. *)
+  check Alcotest.bool "M12 ⇝ M11 lost too" true
+    (List.mem (Disease.m12, Disease.m11) r.Structural_privacy.collateral);
+  check Alcotest.bool "M10 ⇝ M11 survives" true
+    (Reachability.reaches r.Structural_privacy.view Disease.m10 Disease.m11)
+
+let test_deletion_weighted () =
+  let g = w3 () in
+  (* Make the direct edge precious: the cut must instead sever the path
+     upstream (M12 -> M13 or M9 -> M12). *)
+  let weights (u, v) =
+    if (u, v) = (Disease.m13, Disease.m11) then 100 else 1
+  in
+  let r =
+    Structural_privacy.hide_by_deletion ~weights g (Disease.m12, Disease.m11)
+  in
+  check Alcotest.bool "cut avoids the precious edge" true
+    (not (List.mem (Disease.m13, Disease.m11) r.Structural_privacy.cut));
+  check Alcotest.bool "target hidden" false
+    (Reachability.reaches r.Structural_privacy.view Disease.m12 Disease.m11)
+
+let test_vertex_deletion () =
+  let g = w3 () in
+  (* Hiding M12 ⇝ M14 by removing modules: M13 is the unique bottleneck. *)
+  (match Structural_privacy.hide_by_vertex_deletion g (Disease.m12, Disease.m14) with
+  | Some r ->
+      check (Alcotest.list Alcotest.int) "M13 removed" [ Disease.m13 ]
+        r.Structural_privacy.removed;
+      check Alcotest.bool "facts about M13 wiped" true
+        (r.Structural_privacy.facts_about_removed > 0);
+      check Alcotest.bool "target gone" false
+        (Reachability.reaches r.Structural_privacy.vd_view Disease.m12 Disease.m14)
+  | None -> Alcotest.fail "vertex cut exists");
+  (* A direct edge defeats vertex deletion. *)
+  check Alcotest.bool "direct edge -> None" true
+    (Structural_privacy.hide_by_vertex_deletion g (Disease.m13, Disease.m11) = None)
+
+let prop_vertex_deletion_hides =
+  QCheck.Test.make ~name:"vertex deletion severs the target when possible"
+    ~count:40
+    (QCheck.pair (QCheck.int_bound 10_000) (QCheck.int_bound 12))
+    (fun (seed, a) ->
+      let rng = Rng.create seed in
+      let g = Synthetic.random_dag rng ~nodes:13 ~edge_probability:0.3 in
+      let b = (a + 4) mod 13 in
+      if a = b || not (Reachability.reaches g a b) then true
+      else
+        match Structural_privacy.hide_by_vertex_deletion g (a, b) with
+        | None -> Digraph.mem_edge g a b
+        | Some r ->
+            not (Reachability.reaches r.Structural_privacy.vd_view a b))
+
+let test_deletion_rejects_non_fact () =
+  let g = w3 () in
+  (match Structural_privacy.hide_by_deletion g (Disease.m10, Disease.m14) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of a non-fact");
+  match Structural_privacy.hide_by_deletion g (Disease.m9, Disease.m9) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of u = v"
+
+(* ------------------------------------------------------------------ *)
+(* Clustering (paper: "cluster M11 and M13 into a single composite module.
+   However, we may now infer incorrect provenance information, e.g., that
+   there is a path from M10 to M14") *)
+
+let test_clustering_paper_example () =
+  let g = w3 () in
+  let r = Structural_privacy.cluster_report g [ Disease.m11; Disease.m13 ] in
+  check Alcotest.bool "quotient acyclic" true r.Structural_privacy.acyclic;
+  check Alcotest.bool "target internal fact hidden" true
+    (List.mem (Disease.m13, Disease.m11) r.Structural_privacy.internal_hidden);
+  (* The fabricated fact, expressed over representatives: the cluster rep
+     is min(M11, M13) = M11, and the spurious outside pair is M10 ⇝ M14. *)
+  check Alcotest.bool "M10 ⇝ M14 is spurious" true
+    (List.mem (Disease.m10, Disease.m14) r.Structural_privacy.spurious);
+  check Alcotest.bool "M10 ⇝ M14 false in base" false
+    (Reachability.reaches g Disease.m10 Disease.m14)
+
+let test_hide_by_clustering_convex () =
+  let g = w3 () in
+  let r = Structural_privacy.hide_by_clustering g (Disease.m13, Disease.m11) in
+  check (Alcotest.list Alcotest.int) "convex closure is just the pair"
+    [ Disease.m11; Disease.m13 ]
+    r.Structural_privacy.cluster;
+  check Alcotest.bool "hides" true
+    (Structural_privacy.hides g (Disease.m13, Disease.m11) ~method_:`Clustering)
+
+let test_convex_closure_pulls_in_between () =
+  let g = w3 () in
+  (* M12 ⇝ M11 passes through M13: the convex closure must include it. *)
+  let c = Structural_privacy.convex_closure g [ Disease.m12; Disease.m11 ] in
+  check (Alcotest.list Alcotest.int) "between node included"
+    [ Disease.m11; Disease.m12; Disease.m13 ]
+    c
+
+let test_quotient_validation () =
+  let g = w3 () in
+  (match Structural_privacy.quotient g [ [ Disease.m11 ] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "singleton cluster accepted");
+  match
+    Structural_privacy.quotient g
+      [ [ Disease.m11; Disease.m13 ]; [ Disease.m13; Disease.m14 ] ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "overlapping clusters accepted"
+
+let test_nonconvex_cluster_cycles () =
+  (* 0 -> 1 -> 2; clustering {0, 2} without 1 creates a quotient cycle. *)
+  let g = Digraph.of_edges [ (0, 1); (1, 2) ] in
+  let r = Structural_privacy.cluster_report g [ 0; 2 ] in
+  check Alcotest.bool "cyclic quotient flagged" false r.Structural_privacy.acyclic
+
+(* ------------------------------------------------------------------ *)
+(* Soundness detection and repair *)
+
+let test_soundness_check () =
+  let g = w3 () in
+  let v = Soundness.check g [ [ Disease.m11; Disease.m13 ] ] in
+  check Alcotest.bool "unsound" false v.Soundness.sound;
+  check Alcotest.bool "spurious includes M10 ⇝ M14" true
+    (List.mem (Disease.m10, Disease.m14) v.Soundness.spurious);
+  (* A harmless cluster: merging a chain's adjacent pair fabricates
+     nothing here. *)
+  let v2 = Soundness.check g [ [ Disease.m9; Disease.m12 ] ] in
+  check Alcotest.bool "chain-head cluster sound" true v2.Soundness.sound
+
+let test_repair_paper_example () =
+  let g = w3 () in
+  let clustering = [ [ Disease.m11; Disease.m13 ] ] in
+  let repaired = Soundness.repair g clustering in
+  check Alcotest.bool "repaired clustering is sound" true
+    (Soundness.is_sound g repaired);
+  check Alcotest.int "one split needed" 1 (Soundness.repair_steps g clustering)
+
+let test_repair_keeps_innocent_clusters () =
+  let g = w3 () in
+  let clustering =
+    [ [ Disease.m11; Disease.m13 ]; [ Disease.m9; Disease.m12 ] ]
+  in
+  let repaired = Soundness.repair g clustering in
+  check Alcotest.bool "sound after repair" true (Soundness.is_sound g repaired);
+  check Alcotest.bool "innocent cluster preserved" true
+    (List.exists
+       (fun c -> List.sort compare c = [ Disease.m9; Disease.m12 ])
+       repaired)
+
+let prop_repair_always_sound =
+  QCheck.Test.make ~name:"repair always reaches a sound clustering" ~count:40
+    (QCheck.int_bound 10_000) (fun seed ->
+      let rng = Rng.create seed in
+      let g = Synthetic.random_dag rng ~nodes:14 ~edge_probability:0.25 in
+      let clustering =
+        Synthetic.random_clustering rng g ~nb_clusters:3 ~cluster_size:3
+      in
+      clustering = [] || Soundness.is_sound g (Soundness.repair g clustering))
+
+let prop_convex_clusters_acyclic =
+  QCheck.Test.make ~name:"convex-closure clusters keep the quotient a DAG"
+    ~count:40
+    (QCheck.pair (QCheck.int_bound 10_000) (QCheck.int_bound 12))
+    (fun (seed, a) ->
+      let rng = Rng.create seed in
+      let g = Synthetic.random_dag rng ~nodes:13 ~edge_probability:0.3 in
+      let b = (a + 5) mod 13 in
+      if a = b || not (Reachability.reaches g a b) then true
+      else begin
+        let r = Structural_privacy.hide_by_clustering g (a, b) in
+        r.Structural_privacy.acyclic
+      end)
+
+let prop_deletion_hides =
+  QCheck.Test.make ~name:"deletion always severs the target pair" ~count:40
+    (QCheck.pair (QCheck.int_bound 10_000) (QCheck.int_bound 12))
+    (fun (seed, a) ->
+      let rng = Rng.create seed in
+      let g = Synthetic.random_dag rng ~nodes:13 ~edge_probability:0.3 in
+      let b = (a + 4) mod 13 in
+      if a = b || not (Reachability.reaches g a b) then true
+      else begin
+        let r = Structural_privacy.hide_by_deletion g (a, b) in
+        not (Reachability.reaches r.Structural_privacy.view a b)
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Utility metrics *)
+
+let test_reachability_score_identity () =
+  let g = w3 () in
+  let s = Utility.reachability_score ~base:g ~view:g ~map:Fun.id in
+  check Alcotest.int "nothing lost" 0 s.Utility.lost;
+  check Alcotest.int "nothing spurious" 0 s.Utility.spurious;
+  check (Alcotest.float 0.0001) "precision 1" 1.0 s.Utility.precision;
+  check (Alcotest.float 0.0001) "recall 1" 1.0 s.Utility.recall
+
+let test_reachability_score_deletion () =
+  let g = w3 () in
+  let r = Structural_privacy.hide_by_deletion g (Disease.m13, Disease.m11) in
+  let s =
+    Utility.reachability_score ~base:g ~view:r.Structural_privacy.view ~map:Fun.id
+  in
+  (* Deletion never fabricates; it loses the target plus collateral. *)
+  check Alcotest.int "no spurious" 0 s.Utility.spurious;
+  check Alcotest.int "lost = target + collateral"
+    (1 + List.length r.Structural_privacy.collateral)
+    s.Utility.lost;
+  check (Alcotest.float 0.0001) "precision stays 1" 1.0 s.Utility.precision
+
+let test_reachability_score_clustering () =
+  let g = w3 () in
+  let r = Structural_privacy.cluster_report g [ Disease.m11; Disease.m13 ] in
+  let map n =
+    if List.mem n r.Structural_privacy.cluster then r.Structural_privacy.cluster_rep
+    else n
+  in
+  let s =
+    Utility.reachability_score ~base:g ~view:r.Structural_privacy.cluster_view ~map
+  in
+  check Alcotest.bool "clustering fabricates here" true (s.Utility.spurious > 0);
+  check Alcotest.bool "precision drops below 1" true (s.Utility.precision < 1.0)
+
+let test_data_utility () =
+  let exec = Disease.run () in
+  let weights name = if name = "disorders" then 5.0 else 1.0 in
+  let all = Utility.data_utility ~weights exec ~visible:(fun _ -> true) in
+  let without_disorders =
+    Utility.data_utility ~weights exec ~visible:(fun d -> d <> 10)
+  in
+  check (Alcotest.float 0.0001) "full utility = 19 + 5" 24.0 all;
+  check (Alcotest.float 0.0001) "hiding d10 costs 5" 19.0 without_disorders
+
+let test_combined_utility () =
+  let g = w3 () in
+  let s = Utility.reachability_score ~base:g ~view:g ~map:Fun.id in
+  check (Alcotest.float 0.0001) "perfect view, full disclosure" 1.0
+    (Utility.combined ~alpha:0.5 ~connectivity:s ~disclosed_modules:7
+       ~total_modules:7);
+  check (Alcotest.float 0.0001) "alpha=1 ignores disclosure" 1.0
+    (Utility.combined ~alpha:1.0 ~connectivity:s ~disclosed_modules:0
+       ~total_modules:7);
+  Alcotest.check_raises "alpha out of range"
+    (Invalid_argument "Utility.combined: alpha") (fun () ->
+      ignore
+        (Utility.combined ~alpha:1.5 ~connectivity:s ~disclosed_modules:0
+           ~total_modules:7))
+
+let qtests = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "structural"
+    [
+      ( "deletion",
+        [
+          Alcotest.test_case "paper example M13 -> M11" `Quick
+            test_deletion_paper_example;
+          Alcotest.test_case "weighted cut" `Quick test_deletion_weighted;
+          Alcotest.test_case "rejects non-facts" `Quick
+            test_deletion_rejects_non_fact;
+          Alcotest.test_case "vertex deletion" `Quick test_vertex_deletion;
+        ]
+        @ qtests [ prop_deletion_hides; prop_vertex_deletion_hides ] );
+      ( "clustering",
+        [
+          Alcotest.test_case "paper example {M11,M13}" `Quick
+            test_clustering_paper_example;
+          Alcotest.test_case "hide_by_clustering convex" `Quick
+            test_hide_by_clustering_convex;
+          Alcotest.test_case "convex closure" `Quick
+            test_convex_closure_pulls_in_between;
+          Alcotest.test_case "quotient validation" `Quick test_quotient_validation;
+          Alcotest.test_case "non-convex cluster cycles" `Quick
+            test_nonconvex_cluster_cycles;
+        ]
+        @ qtests [ prop_convex_clusters_acyclic ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "detection" `Quick test_soundness_check;
+          Alcotest.test_case "repair of the paper example" `Quick
+            test_repair_paper_example;
+          Alcotest.test_case "repair keeps innocent clusters" `Quick
+            test_repair_keeps_innocent_clusters;
+        ]
+        @ qtests [ prop_repair_always_sound ] );
+      ( "utility",
+        [
+          Alcotest.test_case "identity view" `Quick
+            test_reachability_score_identity;
+          Alcotest.test_case "deletion view" `Quick
+            test_reachability_score_deletion;
+          Alcotest.test_case "clustering view" `Quick
+            test_reachability_score_clustering;
+          Alcotest.test_case "data utility" `Quick test_data_utility;
+          Alcotest.test_case "combined" `Quick test_combined_utility;
+        ] );
+    ]

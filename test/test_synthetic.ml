@@ -1,0 +1,174 @@
+(* Tests for the workload substrate: Rng determinism and the synthetic
+   generators' validity across seeds and scales. *)
+
+open Wfpriv_workflow
+module Rng = Wfpriv_workloads.Rng
+module Synthetic = Wfpriv_workloads.Synthetic
+module Digraph = Wfpriv_graph.Digraph
+module Topo = Wfpriv_graph.Topo
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  check Alcotest.(list int) "same seed, same stream" xs ys;
+  let c = Rng.create 43 in
+  let zs = List.init 20 (fun _ -> Rng.int c 1000) in
+  check Alcotest.bool "different seed differs" true (xs <> zs)
+
+let test_rng_bounds () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 7 in
+    if x < 0 || x >= 7 then Alcotest.fail "int out of bounds";
+    let y = Rng.int_in r 3 9 in
+    if y < 3 || y > 9 then Alcotest.fail "int_in out of bounds";
+    let f = Rng.float r 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.fail "float out of bounds"
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_shuffle_sample () =
+  let r = Rng.create 5 in
+  let xs = [ 1; 2; 3; 4; 5; 6 ] in
+  check Alcotest.(list int) "shuffle is a permutation" xs
+    (List.sort compare (Rng.shuffle r xs));
+  let s = Rng.sample r 3 xs in
+  check Alcotest.int "sample size" 3 (List.length s);
+  check Alcotest.int "sample distinct" 3 (List.length (List.sort_uniq compare s));
+  check Alcotest.int "oversample returns all" 6 (List.length (Rng.sample r 99 xs))
+
+let test_rng_split_independent () =
+  let r = Rng.create 9 in
+  let r1 = Rng.split r in
+  let r2 = Rng.split r in
+  let xs = List.init 10 (fun _ -> Rng.int r1 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int r2 1000) in
+  check Alcotest.bool "split streams differ" true (xs <> ys)
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic specifications *)
+
+let test_spec_valid_many_seeds () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let spec = Synthetic.spec rng Synthetic.default_params in
+      (* Spec.create already validates; sanity-check scale and hierarchy. *)
+      check Alcotest.bool
+        (Printf.sprintf "seed %d: multiple workflows" seed)
+        true
+        (Spec.nb_workflows spec >= 3);
+      let h = Hierarchy.of_spec spec in
+      check Alcotest.bool "hierarchy rooted" true
+        (Hierarchy.root h = Spec.root spec))
+    [ 1; 2; 3; 17; 99; 12345 ]
+
+let test_spec_deterministic () =
+  let s1 = Synthetic.spec (Rng.create 11) Synthetic.default_params in
+  let s2 = Synthetic.spec (Rng.create 11) Synthetic.default_params in
+  check Alcotest.int "same module count" (Spec.nb_modules s1) (Spec.nb_modules s2);
+  check Alcotest.(list string) "same workflows" (Spec.workflow_ids s1)
+    (Spec.workflow_ids s2)
+
+let test_spec_scales () =
+  let params =
+    {
+      Synthetic.default_params with
+      Synthetic.levels = 3;
+      composites_per_workflow = 2;
+      atomics_per_workflow = 6;
+    }
+  in
+  let rng = Rng.create 21 in
+  let spec = Synthetic.spec rng params in
+  check Alcotest.bool "at least 100 modules" true (Spec.nb_modules spec >= 100);
+  (* Full expansion of a large spec stays a DAG. *)
+  check Alcotest.bool "full view DAG" true
+    (Topo.is_dag (View.graph (View.full spec)))
+
+let test_synthetic_runs () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let _, exec = Synthetic.run rng Synthetic.default_params in
+      check Alcotest.bool
+        (Printf.sprintf "seed %d: execution is a DAG" seed)
+        true
+        (Topo.is_dag (Execution.graph exec));
+      check Alcotest.bool "produced data" true (Execution.nb_items exec > 0))
+    [ 4; 8; 15; 16 ]
+
+let prop_synthetic_exec_views_consistent =
+  QCheck.Test.make ~name:"every prefix view of a synthetic run is a DAG"
+    ~count:15 (QCheck.int_bound 10_000) (fun seed ->
+      let rng = Rng.create seed in
+      let spec, exec = Synthetic.run rng Synthetic.default_params in
+      let h = Hierarchy.of_spec spec in
+      let prefixes = Hierarchy.all_prefixes h in
+      (* Sample a handful of prefixes (count grows fast). *)
+      let some = List.filteri (fun i _ -> i mod 3 = 0) prefixes in
+      List.for_all
+        (fun p -> Topo.is_dag (Exec_view.graph (Exec_view.of_prefix exec p)))
+        some)
+
+let prop_items_unique_producers =
+  QCheck.Test.make ~name:"each item has one producer and acyclic lineage"
+    ~count:15 (QCheck.int_bound 10_000) (fun seed ->
+      let rng = Rng.create seed in
+      let _, exec = Synthetic.run rng Synthetic.default_params in
+      List.for_all
+        (fun (it : Execution.item) ->
+          (* lineage terminates and never contains the item itself *)
+          not (List.mem it.Execution.data_id (Provenance.lineage exec it.Execution.data_id)))
+        (Execution.items exec))
+
+let test_random_table_shape () =
+  let rng = Rng.create 3 in
+  let t = Synthetic.random_table rng ~n_inputs:2 ~n_outputs:2 ~domain_size:3 in
+  check Alcotest.int "rows = 3^2" 9 (Wfpriv_privacy.Module_privacy.nb_rows t);
+  check Alcotest.(list string) "attr names"
+    [ "x0"; "x1"; "y0"; "y1" ]
+    (Wfpriv_privacy.Module_privacy.attr_names t)
+
+let test_random_dag_clustering () =
+  let rng = Rng.create 13 in
+  let g = Synthetic.random_dag rng ~nodes:20 ~edge_probability:0.3 in
+  check Alcotest.bool "random dag is a DAG" true (Topo.is_dag g);
+  check Alcotest.int "node count" 20 (Digraph.nb_nodes g);
+  let clusters = Synthetic.random_clustering rng g ~nb_clusters:4 ~cluster_size:4 in
+  check Alcotest.int "cluster count" 4 (List.length clusters);
+  let all = List.concat clusters in
+  check Alcotest.int "disjoint" (List.length all)
+    (List.length (List.sort_uniq compare all))
+
+let () =
+  Alcotest.run "synthetic"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "shuffle/sample" `Quick test_rng_shuffle_sample;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "valid across seeds" `Quick test_spec_valid_many_seeds;
+          Alcotest.test_case "deterministic" `Quick test_spec_deterministic;
+          Alcotest.test_case "scales to 100+ modules" `Quick test_spec_scales;
+          Alcotest.test_case "executes" `Quick test_synthetic_runs;
+          Alcotest.test_case "random table" `Quick test_random_table_shape;
+          Alcotest.test_case "random dag/clustering" `Quick
+            test_random_dag_clustering;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_synthetic_exec_views_consistent; prop_items_unique_producers ]
+      );
+    ]

@@ -1,0 +1,261 @@
+(* Tests for Workflow_privacy: possible-worlds Γ with public modules —
+   the companion paper's "hiding can be undone by known modules"
+   phenomenon. *)
+
+open Wfpriv_workflow
+open Wfpriv_privacy
+
+let check = Alcotest.check
+
+let int_fun ~name_in ~name_out ~dom f =
+  Module_privacy.of_function
+    ~inputs:[ Module_privacy.int_attr name_in dom ]
+    ~outputs:[ Module_privacy.int_attr name_out dom ]
+    (fun x ->
+      match x.(0) with
+      | Data_value.Int n -> [| Data_value.Int (f n) |]
+      | _ -> assert false)
+
+let wiring id table vis =
+  { Workflow_privacy.w_id = id; w_table = table; w_visibility = vis }
+
+(* s --m1(identity)--> t --m2(identity)--> z over a binary domain. *)
+let chain m2_vis =
+  Workflow_privacy.make ~t_sources:[ "s" ]
+    [
+      wiring (Ids.m 1)
+        (int_fun ~name_in:"s" ~name_out:"t" ~dom:2 Fun.id)
+        Workflow_privacy.Private;
+      wiring (Ids.m 2) (int_fun ~name_in:"t" ~name_out:"z" ~dom:2 Fun.id) m2_vis;
+    ]
+
+let gamma_of pipeline hidden m =
+  List.assoc m (Workflow_privacy.gamma pipeline ~hidden)
+
+let test_public_module_undoes_hiding () =
+  (* Standalone analysis says hiding t gives m1 Γ=2 ... *)
+  let p = chain Workflow_privacy.Public in
+  check Alcotest.int "standalone Γ" 2
+    (List.assoc (Ids.m 1) (Workflow_privacy.standalone_gamma p ~hidden:[ "t" ]));
+  (* ... but the public identity m2 reveals t through z: Γ collapses. *)
+  check Alcotest.int "workflow Γ with public downstream" 1
+    (gamma_of p [ "t" ] (Ids.m 1));
+  check Alcotest.bool "unsafe at Γ=2" false
+    (Workflow_privacy.is_safe p ~hidden:[ "t" ] ~gamma:2)
+
+let test_private_downstream_preserves_hiding () =
+  let p = chain Workflow_privacy.Private in
+  check Alcotest.int "workflow Γ with private downstream" 2
+    (gamma_of p [ "t" ] (Ids.m 1));
+  (* The downstream module's own privacy: its input and output are what
+     they are; with t hidden, its Γ is 2 as well (bijection worlds). *)
+  check Alcotest.int "m2's Γ" 2 (gamma_of p [ "t" ] (Ids.m 2))
+
+let test_hiding_the_revealing_output_restores_gamma () =
+  let p = chain Workflow_privacy.Public in
+  (* Hiding z as well removes the leak even though m2 stays public. *)
+  check Alcotest.int "hide t and z" 2 (gamma_of p [ "t"; "z" ] (Ids.m 1))
+
+let test_lossy_public_module_leaks_partially () =
+  (* s in 0..3; m1 = +1 mod 4 (private); m2 public parity: z = t mod 2.
+     z reveals t's parity: 2 candidates remain instead of 4. *)
+  let m1 =
+    int_fun ~name_in:"s" ~name_out:"t" ~dom:4 (fun n -> (n + 1) mod 4)
+  in
+  let m2 =
+    Module_privacy.of_function
+      ~inputs:[ Module_privacy.int_attr "t" 4 ]
+      ~outputs:[ Module_privacy.int_attr "z" 2 ]
+      (fun x ->
+        match x.(0) with
+        | Data_value.Int n -> [| Data_value.Int (n mod 2) |]
+        | _ -> assert false)
+  in
+  let p =
+    Workflow_privacy.make ~t_sources:[ "s" ]
+      [
+        wiring (Ids.m 1) m1 Workflow_privacy.Private;
+        wiring (Ids.m 2) m2 Workflow_privacy.Public;
+      ]
+  in
+  check Alcotest.int "standalone claims 4" 4
+    (List.assoc (Ids.m 1) (Workflow_privacy.standalone_gamma p ~hidden:[ "t" ]));
+  check Alcotest.int "parity leak leaves 2" 2 (gamma_of p [ "t" ] (Ids.m 1))
+
+let test_runs_and_accessors () =
+  let p = chain Workflow_privacy.Public in
+  check
+    Alcotest.(list string)
+    "data names" [ "s"; "t"; "z" ]
+    (Workflow_privacy.data_names p);
+  check Alcotest.int "two runs" 2 (List.length (Workflow_privacy.runs p));
+  check Alcotest.int "one private module of 4 candidates" 4
+    (Workflow_privacy.nb_candidate_worlds p);
+  check Alcotest.int "source domain size" 2
+    (List.length (List.assoc "s" (Workflow_privacy.sources p)))
+
+let test_optimal_workflow_hiding () =
+  (* With a public invertible downstream, hiding {t} alone is NOT safe:
+     the optimum must also conceal z (or s). Standalone analysis would
+     have accepted {t}. *)
+  let p = chain Workflow_privacy.Public in
+  (match Workflow_privacy.optimal_hiding p ~gamma:2 with
+  | Some hidden ->
+      check Alcotest.bool "hiding set is workflow-safe" true
+        (Workflow_privacy.is_safe p ~hidden ~gamma:2);
+      check Alcotest.bool "singleton {t} insufficient" true
+        (hidden <> [ "t" ]);
+      check Alcotest.int "needs two names" 2 (List.length hidden)
+  | None -> Alcotest.fail "achievable: hide t and z");
+  (* With a private downstream a single name suffices. *)
+  let q = chain Workflow_privacy.Private in
+  match Workflow_privacy.optimal_hiding q ~gamma:2 with
+  | Some hidden -> check Alcotest.int "one name suffices" 1 (List.length hidden)
+  | None -> Alcotest.fail "achievable"
+
+let expect_ill_formed name f =
+  match f () with
+  | exception Workflow_privacy.Ill_formed _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Ill_formed")
+
+let test_validation () =
+  let id2 = int_fun ~name_in:"s" ~name_out:"t" ~dom:2 Fun.id in
+  expect_ill_formed "duplicate producer" (fun () ->
+      Workflow_privacy.make ~t_sources:[ "s" ]
+        [
+          wiring (Ids.m 1) id2 Workflow_privacy.Private;
+          wiring (Ids.m 2) id2 Workflow_privacy.Private;
+        ]);
+  expect_ill_formed "missing producer" (fun () ->
+      Workflow_privacy.make ~t_sources:[]
+        [ wiring (Ids.m 1) id2 Workflow_privacy.Private ]);
+  expect_ill_formed "cycle" (fun () ->
+      Workflow_privacy.make ~t_sources:[]
+        [
+          wiring (Ids.m 1)
+            (int_fun ~name_in:"a" ~name_out:"b" ~dom:2 Fun.id)
+            Workflow_privacy.Private;
+          wiring (Ids.m 2)
+            (int_fun ~name_in:"b" ~name_out:"a" ~dom:2 Fun.id)
+            Workflow_privacy.Private;
+        ]);
+  expect_ill_formed "conflicting domains" (fun () ->
+      Workflow_privacy.make ~t_sources:[ "s" ]
+        [
+          wiring (Ids.m 1) id2 Workflow_privacy.Private;
+          wiring (Ids.m 2)
+            (int_fun ~name_in:"t" ~name_out:"u" ~dom:3 (fun n -> n mod 3))
+            Workflow_privacy.Private;
+        ]);
+  expect_ill_formed "unconsumed source" (fun () ->
+      Workflow_privacy.make ~t_sources:[ "s"; "ghost" ]
+        [ wiring (Ids.m 1) id2 Workflow_privacy.Private ])
+
+let test_of_spec_integration () =
+  (* A tiny real specification: I -> M1 (private) -> M2 (public) -> O,
+     with integer semantics over domain {0,1}. *)
+  let m1 = Ids.m 1 and m2 = Ids.m 2 in
+  let modules =
+    [
+      Module_def.input;
+      Module_def.output;
+      Module_def.make ~id:m1 ~name:"Proprietary scorer" Module_def.Atomic;
+      Module_def.make ~id:m2 ~name:"Public normaliser" Module_def.Atomic;
+    ]
+  in
+  let edge src dst data = { Spec.src; dst; data } in
+  let spec =
+    Spec.create ~root:"P" modules
+      [
+        {
+          Spec.wf_id = "P";
+          title = "pipeline";
+          members = [ Ids.input_module; Ids.output_module; m1; m2 ];
+          edges =
+            [
+              edge Ids.input_module m1 [ "s" ];
+              edge m1 m2 [ "t" ];
+              edge m2 Ids.output_module [ "z" ];
+            ];
+        };
+      ]
+  in
+  let semantics mid inputs =
+    let v = match List.assoc_opt "s" inputs with
+      | Some (Data_value.Int n) -> n
+      | _ -> (
+          match List.assoc_opt "t" inputs with
+          | Some (Data_value.Int n) -> n
+          | _ -> 0)
+    in
+    if mid = m1 then [ ("t", Data_value.Int (1 - v)) ]
+    else [ ("z", Data_value.Int v) ]
+  in
+  let dom = [ Data_value.Int 0; Data_value.Int 1 ] in
+  let domains = [ ("s", dom); ("t", dom); ("z", dom) ] in
+  let p =
+    Workflow_privacy.of_spec spec semantics ~domains ~private_modules:[ m1 ]
+  in
+  check
+    Alcotest.(list string)
+    "sources detected" [ "s" ]
+    (List.map fst (Workflow_privacy.sources p));
+  (* The public normaliser is the identity: hiding t alone is useless. *)
+  check Alcotest.int "public downstream leaks" 1 (gamma_of p [ "t" ] m1);
+  check Alcotest.int "hide t and z" 2 (gamma_of p [ "t"; "z" ] m1)
+
+let prop_workflow_gamma_never_exceeds_standalone =
+  (* The workflow adversary knows strictly more (public functions and
+     cross-module consistency), so workflow Γ ≤ standalone Γ. *)
+  QCheck.Test.make
+    ~name:"workflow Γ ≤ standalone Γ" ~count:25
+    (QCheck.pair (QCheck.int_bound 10_000) QCheck.bool)
+    (fun (seed, downstream_public) ->
+      let rng = Wfpriv_workloads.Rng.create seed in
+      let f1 =
+        let shift = Wfpriv_workloads.Rng.int rng 2 in
+        int_fun ~name_in:"s" ~name_out:"t" ~dom:2 (fun n -> (n + shift) mod 2)
+      in
+      let f2 =
+        let mask = Wfpriv_workloads.Rng.int rng 2 in
+        int_fun ~name_in:"t" ~name_out:"z" ~dom:2 (fun n -> n lxor mask)
+      in
+      let p =
+        Workflow_privacy.make ~t_sources:[ "s" ]
+          [
+            wiring (Ids.m 1) f1 Workflow_privacy.Private;
+            wiring (Ids.m 2) f2
+              (if downstream_public then Workflow_privacy.Public
+               else Workflow_privacy.Private);
+          ]
+      in
+      let hidden = [ "t" ] in
+      let wf = Workflow_privacy.gamma p ~hidden in
+      let standalone = Workflow_privacy.standalone_gamma p ~hidden in
+      List.for_all
+        (fun (m, g) -> g <= List.assoc m standalone)
+        wf)
+
+let () =
+  Alcotest.run "wfprivacy"
+    [
+      ( "possible_worlds",
+        [
+          Alcotest.test_case "public module undoes hiding" `Quick
+            test_public_module_undoes_hiding;
+          Alcotest.test_case "private downstream preserves hiding" `Quick
+            test_private_downstream_preserves_hiding;
+          Alcotest.test_case "hiding the leak restores Γ" `Quick
+            test_hiding_the_revealing_output_restores_gamma;
+          Alcotest.test_case "lossy public module leaks partially" `Quick
+            test_lossy_public_module_leaks_partially;
+          Alcotest.test_case "runs and accessors" `Quick test_runs_and_accessors;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "optimal workflow hiding" `Quick
+            test_optimal_workflow_hiding;
+          Alcotest.test_case "of_spec integration" `Quick
+            test_of_spec_integration;
+        ]
+        @ [ QCheck_alcotest.to_alcotest prop_workflow_gamma_never_exceeds_standalone ]
+      );
+    ]

@@ -1,0 +1,394 @@
+(* Tests for the workflow model: Module_def, Spec validation, Hierarchy,
+   View. The disease-susceptibility spec (paper Fig. 1/3) is the main
+   fixture. *)
+
+open Wfpriv_workflow
+module Disease = Wfpriv_workloads.Disease
+
+let check = Alcotest.check
+let strl = Alcotest.(list string)
+let intl = Alcotest.(list int)
+let spec = Disease.spec
+
+(* ------------------------------------------------------------------ *)
+(* Module_def *)
+
+let test_module_matching () =
+  let md =
+    Module_def.make ~keywords:[ "OMIM" ] ~id:(Ids.m 6) ~name:"Query OMIM"
+      Module_def.Atomic
+  in
+  check Alcotest.bool "substring of name" true (Module_def.matches md "query");
+  check Alcotest.bool "case-insensitive" true (Module_def.matches md "omim");
+  check Alcotest.bool "keyword hit" true (Module_def.matches md "OMI");
+  check Alcotest.bool "miss" false (Module_def.matches md "pubmed");
+  check strl "terms" [ "omim"; "query" ] (Module_def.terms md)
+
+let test_ids () =
+  check Alcotest.string "M numbering" "M1" (Ids.module_name (Ids.m 1));
+  check Alcotest.string "I" "I" (Ids.module_name Ids.input_module);
+  check Alcotest.string "O" "O" (Ids.module_name Ids.output_module);
+  check Alcotest.string "data" "d10" (Ids.data_name 10);
+  check Alcotest.string "process" "S3" (Ids.process_name 3);
+  Alcotest.check_raises "m 0 invalid"
+    (Invalid_argument "Ids.m: module index must be >= 1") (fun () ->
+      ignore (Ids.m 0))
+
+(* ------------------------------------------------------------------ *)
+(* Spec validation *)
+
+let simple_modules () =
+  [
+    Module_def.input;
+    Module_def.output;
+    Module_def.make ~id:(Ids.m 1) ~name:"A" Module_def.Atomic;
+    Module_def.make ~id:(Ids.m 2) ~name:"B" Module_def.Atomic;
+  ]
+
+let edge src dst data = { Spec.src; dst; data }
+
+let simple_workflow ?(edges = []) () =
+  {
+    Spec.wf_id = "W";
+    title = "simple";
+    members = [ Ids.input_module; Ids.output_module; Ids.m 1; Ids.m 2 ];
+    edges;
+  }
+
+let expect_invalid name f =
+  match f () with
+  | exception Spec.Invalid _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Spec.Invalid")
+
+let test_spec_valid () =
+  let s =
+    Spec.create ~root:"W" (simple_modules ())
+      [
+        simple_workflow
+          ~edges:
+            [
+              edge Ids.input_module (Ids.m 1) [ "x" ];
+              edge (Ids.m 1) (Ids.m 2) [ "y" ];
+              edge (Ids.m 2) Ids.output_module [ "z" ];
+            ]
+          ();
+      ]
+  in
+  check Alcotest.int "modules" 4 (Spec.nb_modules s);
+  check Alcotest.int "workflows" 1 (Spec.nb_workflows s);
+  check intl "entries" [ Ids.input_module ] (Spec.entries s "W");
+  check intl "exits" [ Ids.output_module ] (Spec.exits s "W");
+  check Alcotest.string "owner" "W" (Spec.owner s (Ids.m 1))
+
+let test_spec_rejects_cycle () =
+  expect_invalid "dataflow cycle" (fun () ->
+      Spec.create ~root:"W" (simple_modules ())
+        [
+          simple_workflow
+            ~edges:
+              [ edge (Ids.m 1) (Ids.m 2) [ "x" ]; edge (Ids.m 2) (Ids.m 1) [ "y" ] ]
+            ();
+        ])
+
+let test_spec_rejects_self_loop () =
+  expect_invalid "self loop" (fun () ->
+      Spec.create ~root:"W" (simple_modules ())
+        [ simple_workflow ~edges:[ edge (Ids.m 1) (Ids.m 1) [ "x" ] ] () ])
+
+let test_spec_rejects_empty_data () =
+  expect_invalid "empty data" (fun () ->
+      Spec.create ~root:"W" (simple_modules ())
+        [ simple_workflow ~edges:[ edge (Ids.m 1) (Ids.m 2) [] ] () ])
+
+let test_spec_rejects_double_membership () =
+  expect_invalid "module in two workflows" (fun () ->
+      Spec.create ~root:"W"
+        (simple_modules ()
+        @ [ Module_def.make ~id:(Ids.m 3) ~name:"C" (Module_def.Composite "W2") ])
+        [
+          {
+            (simple_workflow ()) with
+            members =
+              [ Ids.input_module; Ids.output_module; Ids.m 1; Ids.m 2; Ids.m 3 ];
+          };
+          { Spec.wf_id = "W2"; title = ""; members = [ Ids.m 1 ]; edges = [] };
+        ])
+
+let test_spec_rejects_orphan_workflow () =
+  expect_invalid "workflow not defined by any composite" (fun () ->
+      Spec.create ~root:"W"
+        (simple_modules ()
+        @ [ Module_def.make ~id:(Ids.m 3) ~name:"C" Module_def.Atomic ])
+        [
+          simple_workflow ();
+          { Spec.wf_id = "W2"; title = ""; members = [ Ids.m 3 ]; edges = [] };
+        ])
+
+let test_spec_rejects_io_in_subworkflow () =
+  expect_invalid "I/O outside root" (fun () ->
+      Spec.create ~root:"W"
+        [
+          Module_def.input;
+          Module_def.output;
+          Module_def.make ~id:(Ids.m 1) ~name:"C" (Module_def.Composite "W2");
+        ]
+        [
+          {
+            Spec.wf_id = "W";
+            title = "";
+            members = [ Ids.output_module; Ids.m 1 ];
+            edges = [];
+          };
+          {
+            Spec.wf_id = "W2";
+            title = "";
+            members = [ Ids.input_module ];
+            edges = [];
+          };
+        ])
+
+let test_spec_rejects_unknown_expansion () =
+  expect_invalid "expansion to unknown workflow" (fun () ->
+      Spec.create ~root:"W"
+        (simple_modules ()
+        @ [ Module_def.make ~id:(Ids.m 3) ~name:"C" (Module_def.Composite "W9") ])
+        [
+          {
+            (simple_workflow ()) with
+            members =
+              [ Ids.input_module; Ids.output_module; Ids.m 1; Ids.m 2; Ids.m 3 ];
+          };
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* Disease spec shape (paper Fig. 1) *)
+
+let test_disease_shape () =
+  check Alcotest.int "17 modules (I, O, M1..M15)" 17 (Spec.nb_modules spec);
+  check Alcotest.int "4 workflows" 4 (Spec.nb_workflows spec);
+  check strl "workflow ids" [ "W1"; "W2"; "W3"; "W4" ] (Spec.workflow_ids spec);
+  check Alcotest.string "root" "W1" (Spec.root spec);
+  check intl "composites" [ Disease.m1; Disease.m2; Disease.m4 ]
+    (Spec.composite_modules spec);
+  check (Alcotest.option intl) "W2 defined by M1"
+    (Some [ Disease.m1 ])
+    (Option.map (fun m -> [ m ]) (Spec.defined_by spec "W2"));
+  check intl "W2 entries" [ Disease.m3 ] (Spec.entries spec "W2");
+  check intl "W2 exits" [ Disease.m4 ] (Spec.exits spec "W2");
+  check intl "W4 entries" [ Disease.m5 ] (Spec.entries spec "W4");
+  check intl "W4 exits" [ Disease.m8 ] (Spec.exits spec "W4");
+  check intl "W3 entries" [ Disease.m9 ] (Spec.entries spec "W3");
+  check intl "W3 exits" [ Disease.m15 ] (Spec.exits spec "W3")
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy (paper Fig. 3) *)
+
+let hierarchy = Hierarchy.of_spec spec
+
+let test_hierarchy_tree () =
+  check Alcotest.string "root" "W1" (Hierarchy.root hierarchy);
+  check strl "children of W1" [ "W2"; "W3" ] (Hierarchy.children hierarchy "W1");
+  check strl "children of W2" [ "W4" ] (Hierarchy.children hierarchy "W2");
+  check (Alcotest.option Alcotest.string) "parent of W4" (Some "W2")
+    (Hierarchy.parent hierarchy "W4");
+  check strl "ancestors of W4" [ "W1"; "W2"; "W4" ]
+    (Hierarchy.ancestors hierarchy "W4");
+  check Alcotest.int "depth W4" 2 (Hierarchy.depth hierarchy "W4");
+  check Alcotest.int "height" 2 (Hierarchy.height hierarchy);
+  check strl "descendants of W2" [ "W2"; "W4" ]
+    (Hierarchy.descendants hierarchy "W2")
+
+let test_hierarchy_note () =
+  (* The paper's prose says "W3 is a subworkflow of W2", but its own
+     Fig. 1 places M2 (defined by W3) in W1, so the τ-tree is
+     W1 → {W2, W3}, W2 → W4 — which Fig. 3 depicts. We follow the figure;
+     here we pin the invariant that τ-edges form a tree. *)
+  List.iter
+    (fun w ->
+      if w <> "W1" then
+        check Alcotest.bool
+          (w ^ " has a parent")
+          true
+          (Hierarchy.parent hierarchy w <> None))
+    (Hierarchy.workflows hierarchy)
+
+let test_hierarchy_prefixes () =
+  check Alcotest.bool "W1 is a prefix" true (Hierarchy.is_prefix hierarchy [ "W1" ]);
+  check Alcotest.bool "W1,W2 is a prefix" true
+    (Hierarchy.is_prefix hierarchy [ "W1"; "W2" ]);
+  check Alcotest.bool "W1,W4 is not (skips W2)" false
+    (Hierarchy.is_prefix hierarchy [ "W1"; "W4" ]);
+  check Alcotest.bool "missing root" false (Hierarchy.is_prefix hierarchy [ "W2" ]);
+  let all = Hierarchy.all_prefixes hierarchy in
+  check Alcotest.int "prefix count" (Hierarchy.nb_prefixes hierarchy)
+    (List.length all);
+  check Alcotest.int "6 prefixes for Fig. 3's tree" 6 (List.length all);
+  check
+    Alcotest.(list strl)
+    "enumeration"
+    [
+      [ "W1" ];
+      [ "W1"; "W2" ];
+      [ "W1"; "W3" ];
+      [ "W1"; "W2"; "W3" ];
+      [ "W1"; "W2"; "W4" ];
+      [ "W1"; "W2"; "W3"; "W4" ];
+    ]
+    all
+
+let test_module_path () =
+  check strl "path of M5" [ "W1"; "W2"; "W4" ]
+    (Hierarchy.module_path spec hierarchy Disease.m5);
+  check strl "path of M1" [ "W1" ] (Hierarchy.module_path spec hierarchy Disease.m1)
+
+(* ------------------------------------------------------------------ *)
+(* Views (paper Sec. 2) *)
+
+let test_view_coarsest () =
+  let v = View.coarsest spec in
+  check strl "prefix" [ "W1" ] (View.prefix v);
+  check intl "visible"
+    [ Ids.input_module; Ids.output_module; Disease.m1; Disease.m2 ]
+    (View.visible_modules v);
+  check strl "I->M1 data" [ "ethnicity"; "snps" ]
+    (List.sort compare (View.edge_data v Ids.input_module Disease.m1))
+
+let test_view_w1_w2 () =
+  (* The paper's example: prefix {W1, W2} replaces M1 by W2's contents. *)
+  let v = View.of_prefix spec [ "W1"; "W2" ] in
+  check intl "visible"
+    [ Ids.input_module; Ids.output_module; Disease.m2; Disease.m3; Disease.m4 ]
+    (View.visible_modules v);
+  let g = View.graph v in
+  check Alcotest.bool "I -> M3" true (Wfpriv_graph.Digraph.mem_edge g Ids.input_module Disease.m3);
+  check Alcotest.bool "M4 -> M2" true (Wfpriv_graph.Digraph.mem_edge g Disease.m4 Disease.m2);
+  check strl "M4 -> M2 carries disorders" [ "disorders" ]
+    (View.edge_data v Disease.m4 Disease.m2)
+
+let test_view_full_expansion () =
+  (* "the full expansion ... yields a workflow with module names I, O, M3,
+     and M5−M15 and whose edges include one from M3 to M5 and another from
+     M8 to M9" (paper Sec. 2). *)
+  let v = View.full spec in
+  let visible = View.visible_modules v in
+  let expected =
+    [ Ids.input_module; Ids.output_module; Disease.m3 ]
+    @ [
+        Disease.m5; Disease.m6; Disease.m7; Disease.m8; Disease.m9; Disease.m10;
+        Disease.m11; Disease.m12; Disease.m13; Disease.m14; Disease.m15;
+      ]
+  in
+  check intl "visible modules" (List.sort compare expected) visible;
+  let g = View.graph v in
+  check Alcotest.bool "edge M3 -> M5" true
+    (Wfpriv_graph.Digraph.mem_edge g Disease.m3 Disease.m5);
+  check Alcotest.bool "edge M8 -> M9" true
+    (Wfpriv_graph.Digraph.mem_edge g Disease.m8 Disease.m9)
+
+let test_view_representative () =
+  let v = View.coarsest spec in
+  check Alcotest.int "M5 represented by M1" Disease.m1
+    (View.representative v Disease.m5);
+  check Alcotest.int "M9 represented by M2" Disease.m2
+    (View.representative v Disease.m9);
+  check Alcotest.int "visible is itself" Disease.m1
+    (View.representative v Disease.m1);
+  let v2 = View.of_prefix spec [ "W1"; "W2" ] in
+  check Alcotest.int "M5 represented by M4 under {W1,W2}" Disease.m4
+    (View.representative v2 Disease.m5)
+
+let test_view_zoom () =
+  let v = View.coarsest spec in
+  (match View.zoom_in v Disease.m1 with
+  | Some v' -> check strl "zoomed prefix" [ "W1"; "W2" ] (View.prefix v')
+  | None -> Alcotest.fail "zoom_in on visible composite failed");
+  check Alcotest.bool "zoom_in atomic is None" true
+    (View.zoom_in v Ids.input_module = None);
+  let full = View.full spec in
+  (match View.zoom_out full "W2" with
+  | Some v' ->
+      check strl "W2 and W4 dropped" [ "W1"; "W3" ] (View.prefix v')
+  | None -> Alcotest.fail "zoom_out failed");
+  check Alcotest.bool "cannot zoom out root" true (View.zoom_out full "W1" = None)
+
+let test_view_refines_meet () =
+  let a = View.full spec in
+  let b = View.of_prefix spec [ "W1"; "W2" ] in
+  check Alcotest.bool "full refines partial" true (View.refines a b);
+  check Alcotest.bool "partial does not refine full" false (View.refines b a);
+  let m = View.meet a b in
+  check Alcotest.bool "meet equals coarser side" true (View.equal m b)
+
+let view_prop_visible_edges_are_dag =
+  QCheck.Test.make ~name:"every prefix view of disease is a DAG" ~count:50
+    (QCheck.int_bound 5) (fun i ->
+      let prefixes = Hierarchy.all_prefixes hierarchy in
+      let p = List.nth prefixes (i mod List.length prefixes) in
+      Wfpriv_graph.Topo.is_dag (View.graph (View.of_prefix spec p)))
+
+let view_prop_representative_consistent =
+  QCheck.Test.make ~name:"representative is visible and stable" ~count:100
+    (QCheck.pair (QCheck.int_bound 5) (QCheck.int_bound 14))
+    (fun (pi, mi) ->
+      let prefixes = Hierarchy.all_prefixes hierarchy in
+      let v = View.of_prefix spec (List.nth prefixes (pi mod 6)) in
+      let m = Ids.m (1 + mi) in
+      match Module_def.expansion (Spec.find_module spec m) with
+      | Some w when List.mem w (View.prefix v) ->
+          (* Expanded composites are spliced away: no representative. *)
+          (match View.representative v m with
+          | exception Not_found -> true
+          | _ -> false)
+      | _ ->
+          let r = View.representative v m in
+          View.is_visible v r && View.representative v r = r)
+
+let () =
+  Alcotest.run "workflow"
+    [
+      ( "module_def",
+        [
+          Alcotest.test_case "matching" `Quick test_module_matching;
+          Alcotest.test_case "ids" `Quick test_ids;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "valid construction" `Quick test_spec_valid;
+          Alcotest.test_case "rejects cycle" `Quick test_spec_rejects_cycle;
+          Alcotest.test_case "rejects self-loop" `Quick
+            test_spec_rejects_self_loop;
+          Alcotest.test_case "rejects empty data" `Quick
+            test_spec_rejects_empty_data;
+          Alcotest.test_case "rejects double membership" `Quick
+            test_spec_rejects_double_membership;
+          Alcotest.test_case "rejects orphan workflow" `Quick
+            test_spec_rejects_orphan_workflow;
+          Alcotest.test_case "rejects I/O in subworkflow" `Quick
+            test_spec_rejects_io_in_subworkflow;
+          Alcotest.test_case "rejects unknown expansion" `Quick
+            test_spec_rejects_unknown_expansion;
+          Alcotest.test_case "disease shape (Fig. 1)" `Quick test_disease_shape;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "tree (Fig. 3)" `Quick test_hierarchy_tree;
+          Alcotest.test_case "every non-root has a parent" `Quick
+            test_hierarchy_note;
+          Alcotest.test_case "prefixes" `Quick test_hierarchy_prefixes;
+          Alcotest.test_case "module paths" `Quick test_module_path;
+        ] );
+      ( "view",
+        [
+          Alcotest.test_case "coarsest" `Quick test_view_coarsest;
+          Alcotest.test_case "prefix {W1,W2} (paper example)" `Quick
+            test_view_w1_w2;
+          Alcotest.test_case "full expansion (paper example)" `Quick
+            test_view_full_expansion;
+          Alcotest.test_case "representatives" `Quick test_view_representative;
+          Alcotest.test_case "zoom in/out" `Quick test_view_zoom;
+          Alcotest.test_case "refines/meet" `Quick test_view_refines_meet;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ view_prop_visible_edges_are_dag; view_prop_representative_consistent ]
+      );
+    ]
