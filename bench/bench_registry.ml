@@ -153,6 +153,13 @@ let tests () =
             Path_query.matches_spec view pattern
               ~src:Wfpriv_workflow.Ids.input_module
               ~dst:Wfpriv_workflow.Ids.output_module));
+    Test.make ~name:"S.wal-frame-roundtrip"
+      (Staged.stage
+         (let module Wal = Wfpriv_durable.Wal in
+          let record =
+            { Wal.lsn = 42; tag = 1; payload = String.make 256 'x' }
+          in
+          fun () -> Wal.records_of_string (Wal.encode record)));
     Test.make ~name:"S.repo-store-roundtrip"
       (Staged.stage
          (let repo = Repository.create () in

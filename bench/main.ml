@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- bechamel     -- micro-benchmarks only
 
    Experiment ids map to DESIGN.md's index: F1-F5 regenerate the paper's
-   figures, E1-E10 quantify the challenges its sections pose, and A1-A2
+   figures, E1-E13 quantify the challenges its sections pose, and A1-A3
    are design ablations. *)
 
 let experiments =
@@ -28,10 +28,11 @@ let experiments =
     ("e10", Exp_extensions.e10);
     ("e11", Exp_extensions.e11);
     ("e12", Exp_extensions.e12);
+    ("e13", Exp_durable.e13);
     ("a1", Exp_extensions.a1);
     ("a2", Exp_extensions.a2);
     ("a3", Exp_extensions.a3);
-    ("bechamel", Bech.run);
+    ("bechamel", Bench_registry.run);
   ]
 
 let () =

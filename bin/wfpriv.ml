@@ -223,24 +223,110 @@ let export file workload seed format =
 (* ------------------------------------------------------------------ *)
 (* Repository commands *)
 
-let repo_init path =
-  let repo = Repository.create () in
+module Durable_repo = Wfpriv_durable.Durable_repo
+module Recovery = Wfpriv_durable.Recovery
+
+(* `repo` commands accept either a legacy whole-file JSON store or a
+   durable directory store (WAL + snapshots, lib/durable). *)
+let repo_load path =
+  if Sys.file_exists path && Sys.is_directory path then
+    fst (Recovery.open_dir path)
+  else Wfpriv_store.Repo_store.load path
+
+let demo_entries () =
   let disease_policy =
     Policy.make
       ~expand_levels:[ ("W2", 1); ("W3", 2); ("W4", 3) ]
       ~data_levels:[ ("disorders", 2); ("prognosis", 1) ]
       Disease.spec
   in
-  Repository.add repo ~name:"disease-susceptibility" ~policy:disease_policy
-    ~executions:[ Disease.run () ] ();
-  Repository.add repo ~name:"clinical-trial"
-    ~policy:Wfpriv_workloads.Clinical.policy
-    ~executions:[ Wfpriv_workloads.Clinical.run () ] ();
-  Wfpriv_store.Repo_store.save path repo;
-  Printf.printf "wrote %s (%d entries)\n" path (Repository.nb_entries repo)
+  [
+    ("disease-susceptibility", disease_policy, [ Disease.run () ]);
+    ( "clinical-trial",
+      Wfpriv_workloads.Clinical.policy,
+      [ Wfpriv_workloads.Clinical.run () ] );
+  ]
+
+let repo_init path =
+  if Filename.check_suffix path ".json" then begin
+    (* Legacy single-file store. *)
+    let repo = Repository.create () in
+    List.iter
+      (fun (name, policy, executions) ->
+        Repository.add repo ~name ~policy ~executions ())
+      (demo_entries ());
+    Wfpriv_store.Repo_store.save path repo;
+    Printf.printf "wrote %s (%d entries)\n" path (Repository.nb_entries repo)
+  end
+  else begin
+    (* Durable directory store: each entry is a journaled mutation. *)
+    let t = Durable_repo.init path in
+    List.iter
+      (fun (entry_name, policy, executions) ->
+        ignore
+          (Durable_repo.append t
+             (Repository.Add_entry { entry_name; policy; executions })))
+      (demo_entries ());
+    Durable_repo.close t;
+    Printf.printf "initialised %s: %d entries, %d records, snapshot %d\n" path
+      (Repository.nb_entries (Durable_repo.repo t))
+      (Durable_repo.last_lsn t)
+      (Durable_repo.snapshot_lsn t)
+  end
+
+let repo_append path entry seed =
+  let t = Durable_repo.open_dir path in
+  Fun.protect
+    ~finally:(fun () -> Durable_repo.close t)
+    (fun () ->
+      let e = Repository.find (Durable_repo.repo t) entry in
+      (* Re-execute the stored spec under synthetic hash-based semantics:
+         deterministic in the seed, valid for any spec. *)
+      let spec = e.Repository.spec in
+      let exec =
+        Executor.run spec (Synthetic.semantics spec)
+          ~inputs:(Synthetic.inputs_for spec ~seed)
+      in
+      let lsn =
+        Durable_repo.append t
+          (Repository.Add_execution { entry_name = entry; exec })
+      in
+      Printf.printf "appended to %s (lsn %d)\n" entry lsn)
+
+let repo_recover path =
+  let t = Durable_repo.open_dir path in
+  Durable_repo.close t;
+  let r = Durable_repo.recovery_report t in
+  Printf.printf
+    "recovered %s: snapshot %d, replayed %d records, last lsn %d, %d entries\n"
+    path r.Recovery.snapshot_lsn r.Recovery.replayed r.Recovery.last_lsn
+    (Repository.nb_entries (Durable_repo.repo t));
+  if r.Recovery.torn_bytes > 0 then
+    Printf.printf "truncated torn tail: %d bytes\n" r.Recovery.torn_bytes
+
+let repo_compact path =
+  let t = Durable_repo.open_dir path in
+  Fun.protect
+    ~finally:(fun () -> Durable_repo.close t)
+    (fun () ->
+      let lsn = Durable_repo.checkpoint t in
+      let dropped = Durable_repo.compact t in
+      let pruned = Durable_repo.prune_snapshots t in
+      Printf.printf "checkpoint at lsn %d, dropped %d segment(s), pruned %d snapshot(s)\n"
+        lsn dropped pruned)
+
+let repo_status path =
+  let s = Durable_repo.status path in
+  Printf.printf "segments: %d\n" s.Durable_repo.st_segments;
+  Printf.printf "snapshot: %d\n" s.Durable_repo.st_snapshot_lsn;
+  Printf.printf "replayed records: %d\n" s.Durable_repo.st_replayed;
+  Printf.printf "last lsn: %d\n" s.Durable_repo.st_last_lsn;
+  Printf.printf "entries: %d\n" s.Durable_repo.st_entries;
+  if s.Durable_repo.st_torn_bytes > 0 then
+    Printf.printf "torn tail: %d bytes\n" s.Durable_repo.st_torn_bytes
 
 let repo_info path =
-  let repo = Wfpriv_store.Repo_store.load path in
+  let repo = repo_load path in
   List.iter
     (fun name ->
       let e = Repository.find repo name in
@@ -253,7 +339,7 @@ let repo_info path =
     (Repository.names repo)
 
 let repo_search path level keywords =
-  let repo = Wfpriv_store.Repo_store.load path in
+  let repo = repo_load path in
   let hits = Repository.keyword_search repo ~level keywords in
   if hits = [] then Printf.printf "no hits at level %d\n" level
   else
@@ -265,7 +351,7 @@ let repo_search path level keywords =
       hits
 
 let repo_prov_search path level keywords =
-  let repo = Wfpriv_store.Repo_store.load path in
+  let repo = repo_load path in
   let hits = Repository.provenance_search repo ~level keywords in
   if hits = [] then Printf.printf "no hits at level %d\n" level
   else
@@ -279,7 +365,7 @@ let repo_prov_search path level keywords =
       hits
 
 let repo_query path level entry query_src =
-  let repo = Wfpriv_store.Repo_store.load path in
+  let repo = repo_load path in
   let q = Query_parser.parse query_src in
   List.iteri
     (fun run w ->
@@ -383,8 +469,47 @@ let repo_group =
   let kws p = Arg.(non_empty & pos_right p string [] & info [] ~docv:"KEYWORD") in
   let init =
     Cmd.v
-      (Cmd.info "init" ~doc:"Write a demo repository (disease + clinical)")
+      (Cmd.info "init"
+         ~doc:
+           "Write a demo repository (disease + clinical). A *.json path \
+            gets the legacy whole-file store; any other path becomes a \
+            durable directory store (write-ahead log + snapshots).")
       Term.(const repo_init $ path 0)
+  in
+  let append =
+    let entry =
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"ENTRY")
+    in
+    Cmd.v
+      (Cmd.info "append"
+         ~doc:
+           "Journal a fresh execution of ENTRY's spec to a durable \
+            directory store (deterministic in --seed).")
+      Term.(const repo_append $ path 0 $ entry $ seed_arg)
+  in
+  let recover =
+    Cmd.v
+      (Cmd.info "recover"
+         ~doc:
+           "Recover a durable directory store: load the newest snapshot, \
+            replay the log, truncate any torn tail.")
+      Term.(const repo_recover $ path 0)
+  in
+  let compact =
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:
+           "Checkpoint a durable directory store and drop segments and \
+            snapshots the checkpoint covers.")
+      Term.(const repo_compact $ path 0)
+  in
+  let status =
+    Cmd.v
+      (Cmd.info "status"
+         ~doc:
+           "Report segment count, snapshot id and replayed-record count \
+            of a durable directory store.")
+      Term.(const repo_status $ path 0)
   in
   let info_ =
     Cmd.v (Cmd.info "info" ~doc:"Summarise a repository file")
@@ -409,7 +534,7 @@ let repo_group =
   in
   Cmd.group
     (Cmd.info "repo" ~doc:"Operate on persisted repositories")
-    [ init; info_; search; prov; query ]
+    [ init; append; recover; compact; status; info_; search; prov; query ]
 
 let () =
   let info =

@@ -1,0 +1,165 @@
+(* Facade over a directory store: a live Repository.t whose every
+   mutation is journaled to the WAL before being applied in memory.
+
+   Lifecycle: [init] creates a fresh store (empty snapshot at lsn 0 plus
+   an empty first segment); [open_dir] recovers an existing one —
+   repairing a torn tail by rewriting the newest segment's valid prefix
+   in place (temp file + rename) — and opens it for appending;
+   [checkpoint] writes a snapshot at the current lsn and rotates to a
+   fresh segment; [compact] deletes segments every record of which is
+   covered by the newest checkpoint. *)
+
+open Wfpriv_query
+
+type t = {
+  dir : string;
+  segment_bytes : int;  (** rotate the active segment beyond this size *)
+  repo : Repository.t;
+  mutable last_lsn : int;
+  mutable snapshot_lsn : int;
+  mutable writer : Wal.writer;
+  report : Recovery.report;  (** what recovery saw when opening *)
+}
+
+let default_segment_bytes = 4 * 1024 * 1024
+
+let repo t = t.repo
+let last_lsn t = t.last_lsn
+let snapshot_lsn t = t.snapshot_lsn
+let recovery_report t = t.report
+let dir t = t.dir
+
+let store_files dir =
+  Wal.segments dir <> [] || Snapshot.list dir <> []
+
+let init ?(segment_bytes = default_segment_bytes) dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      invalid_arg (Printf.sprintf "Durable_repo.init: %s is not a directory" dir);
+    if store_files dir then
+      invalid_arg
+        (Printf.sprintf "Durable_repo.init: %s already holds a store" dir)
+  end
+  else Sys.mkdir dir 0o755;
+  let repo = Repository.create () in
+  ignore (Snapshot.write dir ~lsn:0 repo);
+  let writer = Wal.create_segment ~dir ~first_lsn:1 in
+  {
+    dir;
+    segment_bytes;
+    repo;
+    last_lsn = 0;
+    snapshot_lsn = 0;
+    writer;
+    report =
+      {
+        Recovery.snapshot_lsn = 0;
+        last_lsn = 0;
+        replayed = 0;
+        segments = 1;
+        torn_bytes = 0;
+      };
+  }
+
+(* Drop the last [torn_bytes] bytes of [path], atomically. *)
+let truncate_file path ~torn_bytes =
+  let data = Wal.read_all path in
+  let keep = String.length data - torn_bytes in
+  let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) "wal" ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (String.sub data 0 keep));
+  Sys.rename tmp path
+
+let open_dir ?(segment_bytes = default_segment_bytes) dir =
+  let repo, report = Recovery.open_dir dir in
+  let segs = Wal.segments dir in
+  let writer =
+    match List.rev segs with
+    | [] -> Wal.create_segment ~dir ~first_lsn:(report.Recovery.last_lsn + 1)
+    | last :: _ ->
+        if report.Recovery.torn_bytes > 0 then
+          truncate_file last.Wal.path ~torn_bytes:report.Recovery.torn_bytes;
+        Wal.open_append last.Wal.path
+  in
+  {
+    dir;
+    segment_bytes;
+    repo;
+    last_lsn = report.Recovery.last_lsn;
+    snapshot_lsn = report.Recovery.snapshot_lsn;
+    writer;
+    report;
+  }
+
+let rotate t =
+  (* An empty active segment already starts at the next lsn. *)
+  if Wal.bytes t.writer > 0 then begin
+    Wal.close t.writer;
+    t.writer <- Wal.create_segment ~dir:t.dir ~first_lsn:(t.last_lsn + 1)
+  end
+
+let append t mutation =
+  (* Refuse doomed mutations *before* journaling: a record that reached
+     the log must always replay. *)
+  Repository.validate t.repo mutation;
+  let tag, payload = Mutation_codec.encode mutation in
+  let lsn = t.last_lsn + 1 in
+  Wal.append t.writer { Wal.lsn; tag; payload };
+  Repository.apply t.repo mutation;
+  t.last_lsn <- lsn;
+  if Wal.bytes t.writer >= t.segment_bytes then rotate t;
+  lsn
+
+let checkpoint t =
+  ignore (Snapshot.write t.dir ~lsn:t.last_lsn t.repo);
+  t.snapshot_lsn <- t.last_lsn;
+  rotate t;
+  t.last_lsn
+
+(* Drop every segment whose records all have lsn <= the newest
+   checkpoint. A segment's last lsn is the next segment's first minus
+   one; the active (newest) segment is always kept. *)
+let compact t =
+  let rec drop = function
+    | seg :: (next :: _ as rest) when next.Wal.first_lsn <= t.snapshot_lsn + 1 ->
+        Sys.remove seg.Wal.path;
+        1 + drop rest
+    | _ -> 0
+  in
+  drop (Wal.segments t.dir)
+
+(* Also prune snapshots older than the newest valid one. *)
+let prune_snapshots t =
+  match List.rev (Snapshot.list t.dir) with
+  | [] | [ _ ] -> 0
+  | _newest :: older ->
+      List.iter (fun lsn -> Sys.remove (Snapshot.path t.dir lsn)) older;
+      List.length older
+
+let close t = Wal.close t.writer
+
+(* ------------------------------------------------------------------ *)
+(* Read-only status, via a full recovery pass (so the replayed-record
+   count reported is the real one). *)
+
+type status = {
+  st_segments : int;
+  st_snapshot_lsn : int;
+  st_replayed : int;
+  st_last_lsn : int;
+  st_entries : int;
+  st_torn_bytes : int;
+}
+
+let status dir =
+  let repo, (report : Recovery.report) = Recovery.open_dir dir in
+  {
+    st_segments = report.Recovery.segments;
+    st_snapshot_lsn = report.Recovery.snapshot_lsn;
+    st_replayed = report.Recovery.replayed;
+    st_last_lsn = report.Recovery.last_lsn;
+    st_entries = Repository.nb_entries repo;
+    st_torn_bytes = report.Recovery.torn_bytes;
+  }

@@ -1,0 +1,61 @@
+(** Facade over a durable directory store: a live
+    {!Wfpriv_query.Repository.t} whose every mutation is journaled to
+    the write-ahead log before being applied in memory. Contrast with
+    {!Wfpriv_store.Repo_store}, which rewrites the whole repository file
+    per change: appends here cost O(mutation), not O(store). *)
+
+type t
+
+val default_segment_bytes : int
+
+val init : ?segment_bytes:int -> string -> t
+(** Create a fresh store: the directory (made if missing, which must not
+    already hold one), an empty snapshot at lsn 0, an empty first
+    segment. Raises [Invalid_argument] if a store is already present. *)
+
+val open_dir : ?segment_bytes:int -> string -> t
+(** Recover an existing store and open it for appending. A torn tail in
+    the newest segment is truncated (atomic rewrite) before the segment
+    is reopened. Raises as {!Recovery.open_dir}. *)
+
+val repo : t -> Wfpriv_query.Repository.t
+(** The live repository. Mutate it only through {!append}, or the next
+    recovery will not see the change. *)
+
+val append : t -> Wfpriv_query.Repository.mutation -> int
+(** Validate, journal (flushed), then apply; returns the record's lsn.
+    Rotates to a fresh segment when the active one exceeds the
+    threshold. Raises as {!Wfpriv_query.Repository.apply}, in which case
+    nothing was journaled. *)
+
+val checkpoint : t -> int
+(** Write a snapshot at the current lsn and rotate the active segment,
+    so {!compact} can drop everything older; returns the snapshot lsn. *)
+
+val compact : t -> int
+(** Delete segments whose records are all covered by the newest
+    checkpoint; returns how many were deleted. *)
+
+val prune_snapshots : t -> int
+(** Delete all but the newest snapshot; returns how many were deleted. *)
+
+val last_lsn : t -> int
+val snapshot_lsn : t -> int
+val recovery_report : t -> Recovery.report
+val dir : t -> string
+val close : t -> unit
+
+(** {2 Read-only status} *)
+
+type status = {
+  st_segments : int;
+  st_snapshot_lsn : int;
+  st_replayed : int;
+  st_last_lsn : int;
+  st_entries : int;
+  st_torn_bytes : int;
+}
+
+val status : string -> status
+(** Via a full recovery pass, so [st_replayed] is the real replay count
+    a reader would perform. *)

@@ -1,0 +1,71 @@
+(* Binary payloads for journaled repository mutations.
+
+   Each WAL record carries a tag identifying the mutation kind and a
+   compact payload built from length-prefixed fields (Binary). Specs are
+   *not* stored per execution: as in Repo_store, an execution is encoded
+   with its "spec" field stripped and is re-bound on decode to the spec
+   of its entry's policy — the policy is the single source of truth for
+   the spec, and payloads stay an order of magnitude smaller.
+
+   Decoding is therefore contextual: [decode repo tag payload] needs the
+   repository state *as of that log position* to resolve the entry a new
+   execution attaches to. Recovery replays records in order, so the
+   context is always available. *)
+
+open Wfpriv_query
+open Wfpriv_serial
+module Repo_store = Wfpriv_store.Repo_store
+
+let tag_add_entry = 1
+let tag_add_execution = 2
+
+let exec_to_json exec =
+  Json.to_string (Repo_store.strip_spec (Exec_codec.encode exec))
+
+let exec_of_json spec s = Exec_codec.decode_with_spec spec (Json.parse s)
+
+let encode mutation =
+  let w = Binary.Writer.create () in
+  match mutation with
+  | Repository.Add_entry { entry_name; policy; executions } ->
+      Binary.Writer.str w entry_name;
+      Binary.Writer.str w (Policy_codec.to_string policy);
+      Binary.Writer.varint w (List.length executions);
+      List.iter (fun exec -> Binary.Writer.str w (exec_to_json exec)) executions;
+      (tag_add_entry, Binary.Writer.contents w)
+  | Repository.Add_execution { entry_name; exec } ->
+      Binary.Writer.str w entry_name;
+      Binary.Writer.str w (exec_to_json exec);
+      (tag_add_execution, Binary.Writer.contents w)
+
+let decode repo tag payload =
+  let r = Binary.Reader.of_string payload in
+  let mutation =
+    if tag = tag_add_entry then begin
+      let entry_name = Binary.Reader.str r in
+      let policy = Policy_codec.of_string (Binary.Reader.str r) in
+      let spec = Wfpriv_privacy.Policy.spec policy in
+      let n = Binary.Reader.varint r in
+      let executions =
+        List.init n (fun _ -> exec_of_json spec (Binary.Reader.str r))
+      in
+      Repository.Add_entry { entry_name; policy; executions }
+    end
+    else if tag = tag_add_execution then begin
+      let entry_name = Binary.Reader.str r in
+      let spec =
+        match Repository.find repo entry_name with
+        | e -> e.Repository.spec
+        | exception Not_found ->
+            invalid_arg
+              (Printf.sprintf
+                 "Mutation_codec: Add_execution for unknown entry %S" entry_name)
+      in
+      let exec = exec_of_json spec (Binary.Reader.str r) in
+      Repository.Add_execution { entry_name; exec }
+    end
+    else invalid_arg (Printf.sprintf "Mutation_codec: unknown record tag %d" tag)
+  in
+  if not (Binary.Reader.at_end r) then
+    invalid_arg "Mutation_codec: trailing bytes in payload";
+  mutation

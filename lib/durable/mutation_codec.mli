@@ -1,0 +1,21 @@
+(** Binary payloads for journaled {!Wfpriv_query.Repository.mutation}
+    values. Executions are stored without their spec (exactly as in
+    {!Wfpriv_store.Repo_store}) and re-bound on decode to the spec of
+    their entry's policy, which keeps records compact and the policy the
+    single source of truth.
+
+    Decoding is contextual: resolving the entry an [Add_execution]
+    attaches to needs the repository state {e as of that log position},
+    which replay naturally provides. *)
+
+val tag_add_entry : int
+val tag_add_execution : int
+
+val encode : Wfpriv_query.Repository.mutation -> int * string
+(** [(tag, payload)] for a WAL record. *)
+
+val decode :
+  Wfpriv_query.Repository.t -> int -> string -> Wfpriv_query.Repository.mutation
+(** [decode repo tag payload]. Raises [Invalid_argument] on unknown
+    tags, trailing bytes, or an [Add_execution] naming an entry absent
+    from [repo]; underlying codec exceptions pass through. *)

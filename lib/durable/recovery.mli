@@ -1,0 +1,26 @@
+(** Crash recovery: rebuild a repository from a store directory by
+    loading the newest valid snapshot and replaying every subsequent WAL
+    record in sequence order.
+
+    Guarantees (tested by the torn-write fuzz in [test/test_durable.ml]):
+    for any prefix-truncation of the log — what a crash mid-append leaves
+    behind — [open_dir] succeeds and yields exactly the replay of some
+    prefix of the committed mutation sequence (every record that was
+    fully on disk). Anything that is {e not} a torn tail of the newest
+    segment — a checksum mismatch, a sequence gap, a missing segment, an
+    undecodable or inapplicable record — raises {!Wal.Corrupt} rather
+    than silently dropping committed history. *)
+
+type report = {
+  snapshot_lsn : int;  (** lsn of the checkpoint recovery started from *)
+  last_lsn : int;  (** lsn of the last mutation in the store *)
+  replayed : int;  (** records replayed on top of the snapshot *)
+  segments : int;  (** WAL segment files present *)
+  torn_bytes : int;  (** trailing bytes of the newest segment to discard *)
+}
+
+val open_dir : string -> Wfpriv_query.Repository.t * report
+(** Read-only: tolerated torn tails are reported, not repaired (the
+    {!Durable_repo} facade truncates them when opening for writing).
+    Raises [Invalid_argument] if [dir] is not a directory, {!Wal.Corrupt}
+    on mid-log corruption. *)

@@ -1,0 +1,58 @@
+(* Periodic full-repository checkpoints.
+
+   A snapshot is the Repo_store JSON document of the whole repository,
+   named [snap-<lsn>.json] where <lsn> is the sequence number of the
+   last mutation it includes (0 = the empty repository). Snapshots are
+   written to a unique temp file in the same directory and renamed into
+   place, so a crash mid-checkpoint leaves at worst a stray *.tmp file
+   and never a half-written snapshot under the real name. *)
+
+open Wfpriv_query
+module Repo_store = Wfpriv_store.Repo_store
+
+let name lsn = Printf.sprintf "snap-%016d.json" lsn
+
+let lsn_of_filename f =
+  if
+    String.length f = 26
+    && String.sub f 0 5 = "snap-"
+    && Filename.check_suffix f ".json"
+  then
+    match int_of_string_opt (String.sub f 5 16) with
+    | Some lsn when lsn >= 0 -> Some lsn
+    | _ -> None
+  else None
+
+let list dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map lsn_of_filename
+  |> List.sort compare
+
+let path dir lsn = Filename.concat dir (name lsn)
+
+let write dir ~lsn repo =
+  let final = path dir lsn in
+  let tmp = Filename.temp_file ~temp_dir:dir "snap" ".tmp" in
+  (try Repo_store.save tmp repo
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp final;
+  final
+
+let load dir ~lsn = Repo_store.load (path dir lsn)
+
+(* Newest snapshot that parses; unreadable ones are skipped so recovery
+   can fall back to an older checkpoint plus a longer replay. With no
+   usable snapshot, recovery starts from the empty repository at lsn 0
+   (and the sequence checks in Recovery refuse loudly if the log no
+   longer reaches back that far). *)
+let latest_valid dir =
+  let rec try_load = function
+    | [] -> (0, Repository.create ())
+    | lsn :: older -> (
+        match load dir ~lsn with
+        | repo -> (lsn, repo)
+        | exception _ -> try_load older)
+  in
+  try_load (List.rev (list dir))

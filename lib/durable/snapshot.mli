@@ -1,0 +1,19 @@
+(** Periodic full-repository checkpoints: the {!Wfpriv_store.Repo_store}
+    JSON document of the whole repository, named [snap-<lsn>.json] where
+    <lsn> is the last mutation included (0 = empty). Written via temp
+    file + atomic rename, so a half-written snapshot never appears under
+    the real name. *)
+
+val name : int -> string
+val path : string -> int -> string
+val list : string -> int list
+(** Snapshot lsns present in a store directory, ascending. *)
+
+val write : string -> lsn:int -> Wfpriv_query.Repository.t -> string
+(** Atomically write a checkpoint; returns its path. *)
+
+val load : string -> lsn:int -> Wfpriv_query.Repository.t
+
+val latest_valid : string -> int * Wfpriv_query.Repository.t
+(** Newest snapshot that parses, skipping unreadable ones; [(0, empty)]
+    when none is usable. *)

@@ -1,0 +1,159 @@
+(* Append-only write-ahead log of repository mutations.
+
+   A log is a directory of segment files named [wal-<first_lsn>.log],
+   where <first_lsn> is the 16-digit zero-padded log sequence number of
+   the segment's first record. Within a segment, records are laid out
+   back to back:
+
+     u32 LE   length   -- byte length of the body (9 + |payload|)
+     u32 LE   crc32    -- CRC-32 (IEEE) of the body bytes
+     body:
+       u8     tag      -- record kind (see Mutation_codec); unknown tags
+                          are a decode error, so the header is
+                          future-proof against new mutation kinds
+       u64 LE lsn      -- sequence number, strictly contiguous
+       bytes  payload  -- tag-specific encoding
+
+   Crash semantics: appends write the full frame and flush, so a crash
+   can only leave a *prefix* of a record at the tail of the newest
+   segment (a torn tail). Readers therefore treat an incomplete frame at
+   end-of-input as torn when [allow_torn] is set, and report how many
+   bytes were valid so the caller can truncate. A frame that is fully
+   present but fails its checksum cannot result from a torn append-only
+   write — it is bit rot or tampering — and always raises [Corrupt]. *)
+
+open Wfpriv_serial
+
+exception Corrupt of { file : string; offset : int; reason : string }
+(** Mid-log corruption: a complete record whose checksum fails, an
+    implausible frame, or (via Recovery) a sequence gap. Distinct from a
+    torn tail, which is tolerated. *)
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt { file; offset; reason } ->
+        Some
+          (Printf.sprintf "Wal.Corrupt(%s at byte %d: %s)" file offset reason)
+    | _ -> None)
+
+type record = { lsn : int; tag : int; payload : string }
+
+let header_bytes = 8
+let body_overhead = 9 (* tag + lsn *)
+
+(* Upper bound on a single frame; anything larger is treated as a
+   corrupt length field rather than an allocation request. *)
+let max_record_bytes = 1 lsl 30
+
+let encode { lsn; tag; payload } =
+  let body = Binary.Writer.create ~capacity:(body_overhead + String.length payload) () in
+  Binary.Writer.u8 body tag;
+  Binary.Writer.u64 body lsn;
+  Binary.Writer.raw body payload;
+  let body = Binary.Writer.contents body in
+  let w = Binary.Writer.create ~capacity:(header_bytes + String.length body) () in
+  Binary.Writer.u32 w (String.length body);
+  Binary.Writer.u32 w (Crc32.digest body);
+  Binary.Writer.raw w body;
+  Binary.Writer.contents w
+
+let encoded_size r = header_bytes + body_overhead + String.length r.payload
+
+(* Decode a whole segment image. Returns the records and the number of
+   leading bytes that held complete, valid frames. With [allow_torn], an
+   incomplete frame at end-of-input terminates the scan cleanly;
+   otherwise it raises [Corrupt]. *)
+let records_of_string ?(allow_torn = false) ?(file = "<string>") data =
+  let n = String.length data in
+  let corrupt offset reason = raise (Corrupt { file; offset; reason }) in
+  let torn offset reason acc =
+    if allow_torn then (List.rev acc, offset) else corrupt offset reason
+  in
+  let rec go pos acc =
+    if pos = n then (List.rev acc, pos)
+    else if n - pos < header_bytes then torn pos "truncated record header" acc
+    else begin
+      let r = Binary.Reader.of_string ~pos data in
+      let len = Binary.Reader.u32 r in
+      let crc = Binary.Reader.u32 r in
+      if len < body_overhead || len > max_record_bytes then
+        corrupt pos (Printf.sprintf "implausible record length %d" len)
+      else if n - pos - header_bytes < len then
+        torn pos "truncated record body" acc
+      else begin
+        let actual = Crc32.digest ~pos:(pos + header_bytes) ~len data in
+        if actual <> crc then
+          corrupt pos
+            (Printf.sprintf "checksum mismatch (stored %08x, computed %08x)"
+               crc actual);
+        let tag = Binary.Reader.u8 r in
+        let lsn = Binary.Reader.u64 r in
+        let payload = Binary.Reader.raw r (len - body_overhead) in
+        go (pos + header_bytes + len) ({ lsn; tag; payload } :: acc)
+      end
+    end
+  in
+  go 0 []
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_file ?allow_torn path =
+  records_of_string ?allow_torn ~file:path (read_all path)
+
+(* ------------------------------------------------------------------ *)
+(* Segment files *)
+
+type segment = { first_lsn : int; path : string }
+
+let segment_name first_lsn = Printf.sprintf "wal-%016d.log" first_lsn
+
+let segment_of_filename dir f =
+  if
+    String.length f = 24
+    && String.sub f 0 4 = "wal-"
+    && Filename.check_suffix f ".log"
+  then
+    match int_of_string_opt (String.sub f 4 16) with
+    | Some first_lsn when first_lsn >= 0 ->
+        Some { first_lsn; path = Filename.concat dir f }
+    | _ -> None
+  else None
+
+let segments dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (segment_of_filename dir)
+  |> List.sort (fun a b -> compare a.first_lsn b.first_lsn)
+
+(* ------------------------------------------------------------------ *)
+(* Writer *)
+
+type writer = { w_path : string; oc : out_channel; mutable w_bytes : int }
+
+let create_segment ~dir ~first_lsn =
+  let w_path = Filename.concat dir (segment_name first_lsn) in
+  if Sys.file_exists w_path then
+    invalid_arg (Printf.sprintf "Wal.create_segment: %s exists" w_path);
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 w_path
+  in
+  { w_path; oc; w_bytes = 0 }
+
+let open_append path =
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  { w_path = path; oc; w_bytes = out_channel_length oc }
+
+let append w record =
+  let frame = encode record in
+  output_string w.oc frame;
+  flush w.oc;
+  w.w_bytes <- w.w_bytes + String.length frame
+
+let bytes w = w.w_bytes
+let writer_path w = w.w_path
+let close w = close_out w.oc

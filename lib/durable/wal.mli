@@ -1,0 +1,69 @@
+(** Append-only write-ahead log of repository mutations.
+
+    A log is a directory of segment files named [wal-<first_lsn>.log]
+    (<first_lsn> = 16-digit zero-padded sequence number of the segment's
+    first record). Record frame, little-endian:
+
+    {v
+    u32 length   byte length of the body (9 + |payload|)
+    u32 crc32    CRC-32 (IEEE) of the body bytes
+    body:
+      u8  tag      record kind (Mutation_codec; unknown tags refuse to
+                   decode, so the header is future-proof)
+      u64 lsn      sequence number, strictly contiguous across the log
+      ..  payload  tag-specific encoding
+    v}
+
+    Crash semantics: appends write whole frames, so a crash leaves at
+    worst a {e prefix} of a frame at the tail of the newest segment (a
+    "torn tail"), which readers tolerate when [allow_torn] is set. A
+    complete frame with a bad checksum cannot come from a torn append —
+    it is mid-log corruption and always raises {!Corrupt}. *)
+
+exception Corrupt of { file : string; offset : int; reason : string }
+(** Mid-log corruption: checksum mismatch, implausible frame, sequence
+    gap (raised by {!Recovery}), or an undecodable record. Never raised
+    for a torn tail when [allow_torn] is set. *)
+
+type record = { lsn : int; tag : int; payload : string }
+
+val encode : record -> string
+(** The full frame (header + body) for one record. *)
+
+val encoded_size : record -> int
+
+val records_of_string :
+  ?allow_torn:bool -> ?file:string -> string -> record list * int
+(** Decode a segment image; returns the records and the count of leading
+    bytes holding complete valid frames. [file] labels {!Corrupt}. *)
+
+val read_file : ?allow_torn:bool -> string -> record list * int
+val read_all : string -> string
+
+(** {2 Segment files} *)
+
+type segment = { first_lsn : int; path : string }
+
+val segment_name : int -> string
+val segments : string -> segment list
+(** Segments of a store directory, sorted by [first_lsn]. *)
+
+(** {2 Appending} *)
+
+type writer
+
+val create_segment : dir:string -> first_lsn:int -> writer
+(** Create a fresh (empty) segment; raises [Invalid_argument] if the
+    file already exists. *)
+
+val open_append : string -> writer
+(** Open an existing segment positioned at its end. *)
+
+val append : writer -> record -> unit
+(** Write one frame and flush it to the OS. *)
+
+val bytes : writer -> int
+(** Current size of the segment, for rotation decisions. *)
+
+val writer_path : writer -> string
+val close : writer -> unit

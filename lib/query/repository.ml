@@ -40,6 +40,41 @@ let add_execution t ~name exec =
         else e')
       t.entries
 
+(* Reified repository writes. The durable storage engine journals values
+   of this type before applying them; new kinds extend the log format
+   without touching existing records. *)
+type mutation =
+  | Add_entry of {
+      entry_name : string;
+      policy : Policy.t;
+      executions : Execution.t list;
+    }
+  | Add_execution of { entry_name : string; exec : Execution.t }
+
+(* Check a mutation without applying it, raising as [apply] would. Lets a
+   write-ahead log refuse a doomed mutation before journaling it, so a
+   record that reached the log always replays cleanly. *)
+let validate t = function
+  | Add_entry { entry_name; policy; executions } ->
+      if List.exists (fun e -> String.equal e.name entry_name) t.entries then
+        invalid_arg
+          (Printf.sprintf "Repository.add: duplicate entry %S" entry_name);
+      let spec = Policy.spec policy in
+      List.iter
+        (fun exec ->
+          if Execution.spec exec != spec then
+            invalid_arg "Repository.add: execution of a different spec")
+        executions
+  | Add_execution { entry_name; exec } ->
+      let e = find t entry_name in
+      if Execution.spec exec != e.spec then
+        invalid_arg "Repository.add_execution: execution of a different spec"
+
+let apply t = function
+  | Add_entry { entry_name; policy; executions } ->
+      add t ~name:entry_name ~policy ~executions ()
+  | Add_execution { entry_name; exec } -> add_execution t ~name:entry_name exec
+
 let names t = List.map (fun e -> e.name) t.entries |> List.sort compare
 let nb_entries t = List.length t.entries
 

@@ -32,6 +32,27 @@ val add :
 
 val add_execution : t -> name:string -> Wfpriv_workflow.Execution.t -> unit
 
+(** Reified repository writes, the unit of journaling for the durable
+    storage engine ([lib/durable]): every way the repository can change
+    is a value of this type, so a write-ahead log that records mutations
+    captures the full state evolution. *)
+type mutation =
+  | Add_entry of {
+      entry_name : string;
+      policy : Wfpriv_privacy.Policy.t;
+      executions : Wfpriv_workflow.Execution.t list;
+    }
+  | Add_execution of { entry_name : string; exec : Wfpriv_workflow.Execution.t }
+
+val validate : t -> mutation -> unit
+(** Raise exactly as {!apply} would, without changing the repository.
+    Lets a journal refuse a doomed mutation before persisting it. *)
+
+val apply : t -> mutation -> unit
+(** Apply a mutation ({!add} / {!add_execution} respectively). Raises
+    [Invalid_argument] / [Not_found] as they do; the repository is
+    unchanged on failure. *)
+
 val find : t -> string -> entry
 (** Raises [Not_found]. *)
 

@@ -1,0 +1,103 @@
+(* Compact binary codec primitives: little-endian fixed-width integers,
+   LEB128 varints and length-prefixed strings over a Buffer-backed writer
+   and a position-tracking reader. Used by the durable storage engine's
+   record format (`lib/durable/wal.ml`); deliberately free of any
+   workflow-specific knowledge so other codecs can reuse it. *)
+
+exception Truncated
+(** Raised by the reader when the input ends mid-value. *)
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 256) () = Buffer.create capacity
+  let length = Buffer.length
+  let contents = Buffer.contents
+
+  let u8 t v =
+    if v < 0 || v > 0xFF then invalid_arg "Binary.Writer.u8: out of range";
+    Buffer.add_char t (Char.chr v)
+
+  let u32 t v =
+    if v < 0 || v > 0xFFFF_FFFF then invalid_arg "Binary.Writer.u32: out of range";
+    Buffer.add_char t (Char.chr (v land 0xFF));
+    Buffer.add_char t (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char t (Char.chr ((v lsr 16) land 0xFF));
+    Buffer.add_char t (Char.chr ((v lsr 24) land 0xFF))
+
+  (* OCaml ints are 63-bit; the top byte therefore never exceeds 0x7F. *)
+  let u64 t v =
+    if v < 0 then invalid_arg "Binary.Writer.u64: negative";
+    for i = 0 to 7 do
+      Buffer.add_char t (Char.chr ((v lsr (8 * i)) land 0xFF))
+    done
+
+  let rec varint t v =
+    if v < 0 then invalid_arg "Binary.Writer.varint: negative"
+    else if v < 0x80 then Buffer.add_char t (Char.chr v)
+    else begin
+      Buffer.add_char t (Char.chr (0x80 lor (v land 0x7F)));
+      varint t (v lsr 7)
+    end
+
+  let raw t s = Buffer.add_string t s
+
+  let str t s =
+    varint t (String.length s);
+    raw t s
+end
+
+module Reader = struct
+  type t = { src : string; mutable pos : int }
+
+  let of_string ?(pos = 0) src = { src; pos }
+  let pos t = t.pos
+  let remaining t = String.length t.src - t.pos
+  let at_end t = remaining t = 0
+
+  let need t n = if remaining t < n then raise Truncated
+
+  let u8 t =
+    need t 1;
+    let v = Char.code t.src.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u32 t =
+    need t 4;
+    let b i = Char.code t.src.[t.pos + i] in
+    let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+    t.pos <- t.pos + 4;
+    v
+
+  let u64 t =
+    need t 8;
+    let b i = Char.code t.src.[t.pos + i] in
+    if b 7 > 0x7F then invalid_arg "Binary.Reader.u64: exceeds OCaml int range";
+    let v = ref 0 in
+    for i = 7 downto 0 do
+      v := (!v lsl 8) lor b i
+    done;
+    t.pos <- t.pos + 8;
+    !v
+
+  let varint t =
+    let rec go shift acc =
+      if shift > 62 then invalid_arg "Binary.Reader.varint: overflow";
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let raw t n =
+    if n < 0 then invalid_arg "Binary.Reader.raw: negative length";
+    need t n;
+    let s = String.sub t.src t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let str t =
+    let n = varint t in
+    raw t n
+end

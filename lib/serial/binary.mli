@@ -1,0 +1,45 @@
+(** Compact binary codec primitives: little-endian fixed-width integers,
+    LEB128 varints and length-prefixed strings, over a Buffer-backed
+    writer and a position-tracking reader. The durable storage engine's
+    WAL record format ([lib/durable/wal.ml]) is built on these. *)
+
+exception Truncated
+(** Raised by {!Reader} operations when the input ends mid-value. *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val contents : t -> string
+
+  val u8 : t -> int -> unit
+  (** Raises [Invalid_argument] outside [0, 0xFF]; same pattern for the
+      other fixed-width writers. *)
+
+  val u32 : t -> int -> unit
+  val u64 : t -> int -> unit
+  val varint : t -> int -> unit
+  (** LEB128; non-negative ints only. *)
+
+  val raw : t -> string -> unit
+  val str : t -> string -> unit
+  (** Varint byte length, then the bytes. *)
+end
+
+module Reader : sig
+  type t
+
+  val of_string : ?pos:int -> string -> t
+  (** Reads share the underlying string (no copy). *)
+
+  val pos : t -> int
+  val remaining : t -> int
+  val at_end : t -> bool
+  val u8 : t -> int
+  val u32 : t -> int
+  val u64 : t -> int
+  val varint : t -> int
+  val raw : t -> int -> string
+  val str : t -> string
+end

@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven,
+    as used to checksum WAL records. Checksums are plain OCaml ints in
+    [0, 0xFFFFFFFF]. Known vector: [digest "123456789" = 0xCBF43926]. *)
+
+val digest : ?pos:int -> ?len:int -> string -> int
+(** Checksum of a string slice (default: the whole string). *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends a running checksum, so
+    [update (digest a) b 0 (String.length b) = digest (a ^ b)] and the
+    initial value is [0]. Raises [Invalid_argument] on an out-of-bounds
+    slice. *)

@@ -53,13 +53,23 @@ let to_string ?(pretty = false) repo =
 
 let of_string s = decode (Json.parse s)
 
+(* Write via a unique temp file in the target directory, then rename
+   into place: rename within a directory is atomic on POSIX, so a crash
+   mid-save can no longer destroy the previous good copy. *)
 let save path repo =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_string ~pretty:true repo);
-      output_char oc '\n')
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  (try
+     let oc = open_out_bin tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc (to_string ~pretty:true repo);
+         output_char oc '\n')
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 let load path =
   let ic = open_in_bin path in

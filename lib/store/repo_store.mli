@@ -22,11 +22,18 @@
 val encode : Wfpriv_query.Repository.t -> Wfpriv_serial.Json.t
 val decode : Wfpriv_serial.Json.t -> Wfpriv_query.Repository.t
 
-val to_string : ?pretty:bool -> Wfpriv_query.Repository.t -> string
-val of_string : string -> Wfpriv_query.Repository.t
+val strip_spec : Wfpriv_serial.Json.t -> Wfpriv_serial.Json.t
+(** Drop the ["spec"] field from an encoded execution, for stores (this
+    one, and the durable engine's WAL records) that re-bind executions to
+    their entry's policy spec on load. *)
 
 val save : string -> Wfpriv_query.Repository.t -> unit
-(** Write to a file (pretty-printed). *)
+(** Write to a file (pretty-printed), via a unique temp file in the same
+    directory followed by an atomic rename — a crash mid-save never
+    destroys the previous good copy. *)
+
+val to_string : ?pretty:bool -> Wfpriv_query.Repository.t -> string
+val of_string : string -> Wfpriv_query.Repository.t
 
 val load : string -> Wfpriv_query.Repository.t
 (** Read from a file. Raises [Sys_error], {!Wfpriv_serial.Json.Parse_error},

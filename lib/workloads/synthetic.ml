@@ -167,22 +167,57 @@ let spec rng params =
   Spec.create ~root (Module_def.input :: Module_def.output :: module_defs) workflows
 
 let semantics spec : Executor.semantics =
- fun m inputs ->
-  let wf = Spec.find_workflow spec (Spec.owner spec m) in
-  let outgoing =
+  let outgoing m =
+    let wf = Spec.find_workflow spec (Spec.owner spec m) in
     List.concat_map
       (fun (e : Spec.edge) -> if e.src = m then e.data else [])
       wf.Spec.edges
     |> List.sort_uniq compare
   in
-  let names = if outgoing = [] then [ out_name m ] else outgoing in
-  List.map
-    (fun n -> (n, Data_value.Int (abs (Hashtbl.hash (m, n, inputs)) mod 1000)))
-    names
+  (* Names module [m] contributes under the generator's own convention:
+     [o<m>] for an atomic, the union of its inner exits' natural names
+     for a composite (mirrors [out_names] in {!spec}). *)
+  let rec natural_out m =
+    match Module_def.expansion (Spec.find_module spec m) with
+    | None -> [ out_name m ]
+    | Some w ->
+        List.concat_map natural_out (Spec.exits spec w) |> List.sort_uniq compare
+  in
+  (* The names module [m] must produce. A module with outgoing edges must
+     cover their data. An exit of a sub-workflow feeds the enclosing
+     composite's boundary: when it is the only exit it must carry
+     everything the composite itself is expected to emit (this is what
+     makes hand-written hierarchical specs like the disease workflow
+     executable under synthetic semantics); with several exits each keeps
+     its natural names, the convention the generator builds composite
+     edge data from. *)
+  let rec expected m =
+    match outgoing m with
+    | [] -> (
+        match Spec.defined_by spec (Spec.owner spec m) with
+        | Some c when Spec.exits spec (Spec.owner spec m) = [ m ] -> expected c
+        | _ -> natural_out m)
+    | names -> names
+  in
+  fun m inputs ->
+    List.map
+      (fun n -> (n, Data_value.Int (abs (Hashtbl.hash (m, n, inputs)) mod 1000)))
+      (expected m)
 
-let inputs_for _spec ~seed =
-  List.init 3 (fun i ->
-      (Printf.sprintf "in%d" i, Data_value.Int (abs (Hashtbl.hash (seed, i)) mod 1000)))
+(* Input names come from the spec's root input edges, so this produces a
+   valid assignment for *any* spec (e.g. a stored policy's spec being
+   re-executed via `wfpriv repo append`), not only synthetic ones. *)
+let inputs_for spec ~seed =
+  let wf = Spec.find_workflow spec (Spec.root spec) in
+  let names =
+    List.concat_map
+      (fun (e : Spec.edge) -> if e.src = Ids.input_module then e.data else [])
+      wf.Spec.edges
+    |> List.sort_uniq compare
+  in
+  List.mapi
+    (fun i n -> (n, Data_value.Int (abs (Hashtbl.hash (seed, i)) mod 1000)))
+    names
 
 let run rng params =
   let s = spec rng params in

@@ -35,8 +35,9 @@ val semantics : Wfpriv_workflow.Spec.t -> Wfpriv_workflow.Executor.semantics
     derived from its inputs. *)
 
 val inputs_for : Wfpriv_workflow.Spec.t -> seed:int -> (string * Wfpriv_workflow.Data_value.t) list
-(** A valid input assignment for {!spec}'s root (names [in0..]), values
-    derived from [seed]. *)
+(** A valid input assignment for the spec's root — the data names its
+    input pseudo-module feeds, values derived from [seed]. Works for any
+    spec, not only synthetic ones. *)
 
 val run : Rng.t -> params -> Wfpriv_workflow.Spec.t * Wfpriv_workflow.Execution.t
 (** Generate and execute once. *)

@@ -67,3 +67,36 @@ Provenance search on the built-in workload:
   $ wfpriv search --provenance --level 0 risk | head -2
   keyword "risk": needs {W1}
   execution view prefix {W1}
+
+Durable directory stores: a write-ahead log plus snapshots instead of a
+single JSON file. Appends journal one mutation; recovery replays the log:
+
+  $ wfpriv repo init demo.d
+  initialised demo.d: 2 entries, 2 records, snapshot 0
+  $ wfpriv repo append demo.d disease-susceptibility --seed 7
+  appended to disease-susceptibility (lsn 3)
+  $ wfpriv repo status demo.d
+  segments: 1
+  snapshot: 0
+  replayed records: 3
+  last lsn: 3
+  entries: 2
+  $ wfpriv repo recover demo.d
+  recovered demo.d: snapshot 0, replayed 3 records, last lsn 3, 2 entries
+
+Checkpointing moves the snapshot to the log head so compaction can drop
+every fully-covered segment:
+
+  $ wfpriv repo compact demo.d
+  checkpoint at lsn 3, dropped 1 segment(s), pruned 1 snapshot(s)
+  $ wfpriv repo status demo.d
+  segments: 1
+  snapshot: 3
+  replayed records: 0
+  last lsn: 3
+  entries: 2
+
+Queries work identically on both store flavours:
+
+  $ wfpriv repo search demo.d -l 3 database
+  disease-susceptibility (score 4.22), view {W1, W2}

@@ -1,0 +1,420 @@
+(* Tests for the durable storage engine (lib/durable): WAL framing,
+   mutation codec, snapshots, recovery — including the crash-safety
+   contract: truncating the log at EVERY byte offset must recover a
+   prefix of the committed mutation sequence, while mid-log corruption
+   must raise Wal.Corrupt rather than silently dropping history. *)
+
+open Wfpriv_query
+module Crc32 = Wfpriv_serial.Crc32
+module Wal = Wfpriv_durable.Wal
+module Snapshot = Wfpriv_durable.Snapshot
+module Recovery = Wfpriv_durable.Recovery
+module Mutation_codec = Wfpriv_durable.Mutation_codec
+module Durable_repo = Wfpriv_durable.Durable_repo
+module Repo_store = Wfpriv_store.Repo_store
+module Rng = Wfpriv_workloads.Rng
+module Synthetic = Wfpriv_workloads.Synthetic
+module Disease = Wfpriv_workloads.Disease
+open Wfpriv_workflow
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem helpers (stdlib only) *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir () =
+  let path = Filename.temp_file "wfpriv-durable-test" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let copy_dir src dst =
+  Sys.mkdir dst 0o755;
+  Array.iter
+    (fun e ->
+      write_file (Filename.concat dst e)
+        (Wal.read_all (Filename.concat src e)))
+    (Sys.readdir src)
+
+let in_tmp_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* A tiny executable spec keeps logs small enough to fuzz byte by byte. *)
+let tiny_spec =
+  Synthetic.spec (Rng.create 5)
+    {
+      Synthetic.default_params with
+      levels = 0;
+      composites_per_workflow = 0;
+      atomics_per_workflow = 2;
+    }
+
+let tiny_exec seed =
+  Executor.run tiny_spec
+    (Synthetic.semantics tiny_spec)
+    ~inputs:(Synthetic.inputs_for tiny_spec ~seed)
+
+let tiny_policy = Wfpriv_privacy.Policy.make tiny_spec
+
+let snap repo = Repo_store.to_string repo
+
+(* Append an execution of the *stored* entry's spec (the repository
+   requires executions to share their entry's physical spec, so after
+   recovery the spec must come from the recovered policy — same move as
+   `wfpriv repo append`). *)
+let append_fresh t seed =
+  let e = Repository.find (Durable_repo.repo t) "tiny" in
+  let spec = e.Repository.spec in
+  let exec =
+    Executor.run spec
+      (Synthetic.semantics spec)
+      ~inputs:(Synthetic.inputs_for spec ~seed)
+  in
+  Durable_repo.append t
+    (Repository.Add_execution { entry_name = "tiny"; exec })
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 *)
+
+let test_crc32_vector () =
+  check Alcotest.int "IEEE check value" 0xCBF43926 (Crc32.digest "123456789");
+  check Alcotest.int "empty" 0 (Crc32.digest "")
+
+let test_crc32_compose () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let k = 17 in
+  let piecewise =
+    Crc32.update (Crc32.update 0 s 0 k) s k (String.length s - k)
+  in
+  check Alcotest.int "update composes" (Crc32.digest s) piecewise
+
+(* ------------------------------------------------------------------ *)
+(* WAL framing *)
+
+let arb_record =
+  QCheck.(
+    map
+      (fun (lsn, tag, payload) -> { Wal.lsn; tag; payload })
+      (triple (int_bound 1_000_000) (int_bound 255)
+         (string_gen_of_size Gen.(int_bound 200) Gen.(char_range '\000' '\255'))))
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~name:"WAL frame roundtrip" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_bound 8) arb_record)
+    (fun records ->
+      let image = String.concat "" (List.map Wal.encode records) in
+      let decoded, valid = Wal.records_of_string image in
+      decoded = records && valid = String.length image)
+
+let prop_frame_torn_prefix =
+  QCheck.Test.make ~name:"every truncation decodes to a record prefix"
+    ~count:60
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 5) arb_record)
+    (fun records ->
+      let image = String.concat "" (List.map Wal.encode records) in
+      let ok = ref true in
+      for b = 0 to String.length image - 1 do
+        let decoded, valid =
+          Wal.records_of_string ~allow_torn:true (String.sub image 0 b)
+        in
+        let n = List.length decoded in
+        ok :=
+          !ok
+          && n <= List.length records
+          && decoded = List.filteri (fun i _ -> i < n) records
+          && valid <= b
+      done;
+      !ok)
+
+let test_corrupt_frame () =
+  let r1 = { Wal.lsn = 1; tag = 1; payload = "hello" } in
+  let r2 = { Wal.lsn = 2; tag = 2; payload = "world" } in
+  let image = Wal.encode r1 ^ Wal.encode r2 in
+  (* Flip a body byte of the first (non-tail) frame: checksum mismatch,
+     never tolerated even in torn mode. *)
+  let b = Bytes.of_string image in
+  Bytes.set b 9 (Char.chr (Char.code (Bytes.get b 9) lxor 0xFF));
+  let corrupted = Bytes.to_string b in
+  match Wal.records_of_string ~allow_torn:true corrupted with
+  | exception Wal.Corrupt { offset = 0; reason; _ } ->
+      check Alcotest.bool "reason is checksum mismatch" true
+        (String.length reason >= 8 && String.sub reason 0 8 = "checksum")
+  | _ -> Alcotest.fail "mid-log corruption must raise Wal.Corrupt"
+
+let test_torn_tail_needs_flag () =
+  let image = Wal.encode { Wal.lsn = 1; tag = 1; payload = "hello" } in
+  let torn = String.sub image 0 (String.length image - 2) in
+  check Alcotest.bool "tolerated with flag" true
+    (Wal.records_of_string ~allow_torn:true torn = ([], 0));
+  match Wal.records_of_string torn with
+  | exception Wal.Corrupt _ -> ()
+  | _ -> Alcotest.fail "torn tail must raise without allow_torn"
+
+(* ------------------------------------------------------------------ *)
+(* Mutation codec *)
+
+let test_mutation_roundtrip () =
+  let repo = Repository.create () in
+  let m1 =
+    Repository.Add_entry
+      {
+        entry_name = "tiny";
+        policy = tiny_policy;
+        executions = [ tiny_exec 1 ];
+      }
+  in
+  let tag, payload = Mutation_codec.encode m1 in
+  Repository.apply repo (Mutation_codec.decode repo tag payload);
+  let m2 =
+    Repository.Add_execution { entry_name = "tiny"; exec = tiny_exec 2 }
+  in
+  let tag, payload = Mutation_codec.encode m2 in
+  Repository.apply repo (Mutation_codec.decode repo tag payload);
+  let direct = Repository.create () in
+  Repository.apply direct m1;
+  Repository.apply direct m2;
+  check Alcotest.string "decoded replay = direct apply" (snap direct)
+    (snap repo)
+
+let test_mutation_unknown_entry () =
+  let tag, payload =
+    Mutation_codec.encode
+      (Repository.Add_execution { entry_name = "ghost"; exec = tiny_exec 1 })
+  in
+  match Mutation_codec.decode (Repository.create ()) tag payload with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown entry must not decode"
+
+(* ------------------------------------------------------------------ *)
+(* Durable repo end to end *)
+
+(* A store with an Add_entry and a few Add_executions; returns the store
+   dir and the serialized repository after each prefix of the mutation
+   sequence (states.(i) = after i mutations). *)
+let build_store ?segment_bytes dir n_execs =
+  let t = Durable_repo.init ?segment_bytes dir in
+  let shadow = Repository.create () in
+  let states = ref [ snap shadow ] in
+  let record m =
+    ignore (Durable_repo.append t m);
+    Repository.apply shadow m;
+    states := snap shadow :: !states
+  in
+  record
+    (Repository.Add_entry
+       { entry_name = "tiny"; policy = tiny_policy; executions = [] });
+  for seed = 1 to n_execs do
+    record
+      (Repository.Add_execution { entry_name = "tiny"; exec = tiny_exec seed })
+  done;
+  Durable_repo.close t;
+  Array.of_list (List.rev !states)
+
+let test_reopen_equality () =
+  in_tmp_dir (fun dir ->
+      let states = build_store dir 3 in
+      let repo, report = Recovery.open_dir dir in
+      check Alcotest.string "recovered = committed"
+        states.(Array.length states - 1)
+        (snap repo);
+      check Alcotest.int "all records replayed" 4 report.Recovery.replayed;
+      check Alcotest.int "no torn bytes" 0 report.Recovery.torn_bytes)
+
+let test_torn_write_fuzz () =
+  (* The crash-safety contract, exhaustively: truncate the (single)
+     segment at every byte offset; recovery must succeed and yield
+     exactly the replay of some prefix of the committed mutations. *)
+  in_tmp_dir (fun dir ->
+      let states = build_store dir 3 in
+      let seg =
+        match Wal.segments dir with
+        | [ s ] -> s
+        | l -> Alcotest.failf "expected one segment, got %d" (List.length l)
+      in
+      let image = Wal.read_all seg.Wal.path in
+      for b = 0 to String.length image do
+        in_tmp_dir (fun dir2 ->
+            let store2 = Filename.concat dir2 "store" in
+            copy_dir dir store2;
+            write_file
+              (Filename.concat store2 (Filename.basename seg.Wal.path))
+              (String.sub image 0 b);
+            let repo, report = Recovery.open_dir store2 in
+            let i = report.Recovery.replayed in
+            if i >= Array.length states then
+              Alcotest.failf "offset %d: replayed %d > committed" b i;
+            check Alcotest.string
+              (Printf.sprintf "offset %d recovers prefix" b)
+              states.(i) (snap repo);
+            (* Reopening for writing repairs the tail and accepts new
+               appends. *)
+            let t = Durable_repo.open_dir store2 in
+            if i >= 1 then ignore (append_fresh t 99);
+            Durable_repo.close t)
+      done)
+
+let test_midlog_corruption_refuses () =
+  in_tmp_dir (fun dir ->
+      let _ = build_store dir 3 in
+      let seg = List.hd (Wal.segments dir) in
+      let image = Wal.read_all seg.Wal.path in
+      (* Corrupt a byte inside the first frame's body. *)
+      let b = Bytes.of_string image in
+      Bytes.set b 10 (Char.chr (Char.code (Bytes.get b 10) lxor 0x01));
+      write_file seg.Wal.path (Bytes.to_string b);
+      match Recovery.open_dir dir with
+      | exception Wal.Corrupt _ -> ()
+      | _ -> Alcotest.fail "mid-log corruption must raise Wal.Corrupt")
+
+let test_missing_segment_refuses () =
+  in_tmp_dir (fun dir ->
+      let _ = build_store ~segment_bytes:64 dir 4 in
+      match Wal.segments dir with
+      | _ :: middle :: _ :: _ -> (
+          Sys.remove middle.Wal.path;
+          match Recovery.open_dir dir with
+          | exception Wal.Corrupt _ -> ()
+          | _ -> Alcotest.fail "sequence gap must raise Wal.Corrupt")
+      | l -> Alcotest.failf "expected >= 3 segments, got %d" (List.length l))
+
+let test_rotation_checkpoint_compact () =
+  in_tmp_dir (fun dir ->
+      (* Tiny threshold: every append rotates. *)
+      let states = build_store ~segment_bytes:64 dir 4 in
+      let final = states.(Array.length states - 1) in
+      check Alcotest.bool "rotated into several segments" true
+        (List.length (Wal.segments dir) > 1);
+      let t = Durable_repo.open_dir dir in
+      check Alcotest.string "recovered across segments" final
+        (snap (Durable_repo.repo t));
+      let lsn = Durable_repo.checkpoint t in
+      check Alcotest.int "checkpoint at last lsn" 5 lsn;
+      let dropped = Durable_repo.compact t in
+      check Alcotest.bool "compaction dropped segments" true (dropped > 0);
+      let pruned = Durable_repo.prune_snapshots t in
+      check Alcotest.bool "old snapshots pruned" true (pruned > 0);
+      Durable_repo.close t;
+      let repo, report = Recovery.open_dir dir in
+      check Alcotest.string "equal after compaction" final (snap repo);
+      check Alcotest.int "snapshot covers the log" 5
+        report.Recovery.snapshot_lsn;
+      check Alcotest.int "nothing to replay" 0 report.Recovery.replayed;
+      (* The compacted store still accepts appends. *)
+      let t = Durable_repo.open_dir dir in
+      check Alcotest.int "lsns continue" 6 (append_fresh t 9);
+      Durable_repo.close t)
+
+let test_snapshot_fallback () =
+  in_tmp_dir (fun dir ->
+      let states = build_store dir 2 in
+      let t = Durable_repo.open_dir dir in
+      let lsn = Durable_repo.checkpoint t in
+      Durable_repo.close t;
+      (* A half-written newest snapshot must fall back to replay. *)
+      write_file (Snapshot.path dir lsn) "{ truncated";
+      let repo, report = Recovery.open_dir dir in
+      check Alcotest.string "fell back to older snapshot + log"
+        states.(Array.length states - 1)
+        (snap repo);
+      check Alcotest.int "replayed from lsn 0" 3 report.Recovery.replayed)
+
+let test_init_refuses_existing () =
+  in_tmp_dir (fun dir ->
+      let _ = build_store dir 1 in
+      match Durable_repo.init dir with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "init must refuse an existing store")
+
+let test_status () =
+  in_tmp_dir (fun dir ->
+      let _ = build_store dir 2 in
+      let s = Durable_repo.status dir in
+      check Alcotest.int "segments" 1 s.Durable_repo.st_segments;
+      check Alcotest.int "snapshot" 0 s.Durable_repo.st_snapshot_lsn;
+      check Alcotest.int "replayed" 3 s.Durable_repo.st_replayed;
+      check Alcotest.int "last lsn" 3 s.Durable_repo.st_last_lsn;
+      check Alcotest.int "entries" 1 s.Durable_repo.st_entries)
+
+(* The facade also round-trips the full disease repository (bigger
+   payloads, expand-level policies). *)
+let test_disease_roundtrip () =
+  in_tmp_dir (fun dir ->
+      let t = Durable_repo.init dir in
+      let policy =
+        Wfpriv_privacy.Policy.make ~expand_levels:[ ("W2", 1) ] Disease.spec
+      in
+      ignore
+        (Durable_repo.append t
+           (Repository.Add_entry
+              {
+                entry_name = "disease";
+                policy;
+                executions = [ Disease.run () ];
+              }));
+      ignore
+        (Durable_repo.append t
+           (Repository.Add_execution
+              { entry_name = "disease"; exec = Disease.run () }));
+      let committed = snap (Durable_repo.repo t) in
+      Durable_repo.close t;
+      let repo, _ = Recovery.open_dir dir in
+      check Alcotest.string "disease store survives recovery" committed
+        (snap repo))
+
+let () =
+  Alcotest.run "durable"
+    [
+      ( "crc32",
+        [
+          Alcotest.test_case "known vector" `Quick test_crc32_vector;
+          Alcotest.test_case "update composes" `Quick test_crc32_compose;
+        ] );
+      ( "wal",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_frame_roundtrip; prop_frame_torn_prefix ]
+        @ [
+            Alcotest.test_case "corrupt frame" `Quick test_corrupt_frame;
+            Alcotest.test_case "torn tail flag" `Quick
+              test_torn_tail_needs_flag;
+          ] );
+      ( "codec",
+        [
+          Alcotest.test_case "mutation roundtrip" `Quick
+            test_mutation_roundtrip;
+          Alcotest.test_case "unknown entry" `Quick test_mutation_unknown_entry;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "reopen equality" `Quick test_reopen_equality;
+          Alcotest.test_case "torn-write fuzz (every offset)" `Quick
+            test_torn_write_fuzz;
+          Alcotest.test_case "mid-log corruption" `Quick
+            test_midlog_corruption_refuses;
+          Alcotest.test_case "missing segment" `Quick
+            test_missing_segment_refuses;
+          Alcotest.test_case "snapshot fallback" `Quick test_snapshot_fallback;
+        ] );
+      ( "facade",
+        [
+          Alcotest.test_case "rotation + checkpoint + compact" `Quick
+            test_rotation_checkpoint_compact;
+          Alcotest.test_case "init refuses existing" `Quick
+            test_init_refuses_existing;
+          Alcotest.test_case "status" `Quick test_status;
+          Alcotest.test_case "disease roundtrip" `Quick test_disease_roundtrip;
+        ] );
+    ]
