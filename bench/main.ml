@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- bechamel     -- micro-benchmarks only
 
    Experiment ids map to DESIGN.md's index: F1-F5 regenerate the paper's
-   figures, E1-E13 quantify the challenges its sections pose, and A1-A3
+   figures, E1-E14 quantify the challenges its sections pose, and A1-A3
    are design ablations. *)
 
 let experiments =
@@ -29,6 +29,7 @@ let experiments =
     ("e11", Exp_extensions.e11);
     ("e12", Exp_extensions.e12);
     ("e13", Exp_durable.e13);
+    ("e14", Exp_engine.e14);
     ("a1", Exp_extensions.a1);
     ("a2", Exp_extensions.a2);
     ("a3", Exp_extensions.a3);
@@ -43,7 +44,7 @@ let () =
   match args with
   | [] ->
       print_endline
-        "wfpriv experiment harness: F1-F5 (paper figures), E1-E10 (challenge\n\
+        "wfpriv experiment harness: F1-F5 (paper figures), E1-E14 (challenge\n\
          experiments), A1-A2 (ablations), bechamel (micro-benchmarks).\n\
          Running everything.";
       List.iter (fun (_, f) -> f ()) experiments

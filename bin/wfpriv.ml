@@ -136,13 +136,14 @@ let search file workload seed level keywords specific provenance =
   let spec = wl.spec in
   let privilege = demo_privilege spec in
   let level = if level = max_int then 99 else level in
+  let gate = Access_gate.make privilege ~level in
   if provenance then begin
     (* Search an execution of the workload instead of its specification. *)
     let exec = wl.run () in
     let admissible = function
       | Exec_search.Module_witness n -> (
           match Execution.module_of_node exec n with
-          | Some m -> Privilege.min_level_to_see privilege m <= level
+          | Some m -> Access_gate.sees_module gate m
           | None -> true)
       | Exec_search.Data_witness _ -> true
     in
@@ -157,7 +158,7 @@ let search file workload seed level keywords specific provenance =
         Format.printf "%a@." Exec_view.pp a.Exec_search.view
   end
   else begin
-    let visible m = Privilege.min_level_to_see privilege m <= level in
+    let visible m = Access_gate.sees_module gate m in
     let strategy = if specific then `Specific else `Minimal in
     match Keyword.search ~strategy ~restrict_to:visible spec keywords with
     | None -> Printf.printf "no match at level %d\n" level
@@ -167,9 +168,7 @@ let search file workload seed level keywords specific provenance =
             Printf.printf "keyword %S: witnesses %s\n" m.Keyword.keyword
               (String.concat ", " (List.map Ids.module_name m.Keyword.witnesses)))
           a.Keyword.matches;
-        let capped =
-          View.meet a.Keyword.view (Privilege.access_view privilege level)
-        in
+        let capped = Access_gate.cap_view gate a.Keyword.view in
         Format.printf "%a@." View.pp capped
   end
 

@@ -1,0 +1,112 @@
+open Wfpriv_workflow
+open Wfpriv_privacy
+
+type t = {
+  g_spec : Spec.t;
+  g_level : Privilege.level;
+  privilege : Privilege.t;
+  classification : Data_privacy.t option;
+  g_allowed : Ids.workflow_id list;
+  allowed_set : (Ids.workflow_id, unit) Hashtbl.t;
+  hierarchy : Hierarchy.t Lazy.t;
+  floors : (Ids.module_id, Privilege.level) Hashtbl.t;
+  mutable g_view : View.t option;
+}
+
+let make_gen ?classification privilege ~level =
+  let g_allowed = Privilege.access_prefix privilege level in
+  let allowed_set = Hashtbl.create (List.length g_allowed) in
+  List.iter (fun w -> Hashtbl.replace allowed_set w ()) g_allowed;
+  let g_spec = Privilege.spec privilege in
+  {
+    g_spec;
+    g_level = level;
+    privilege;
+    classification;
+    g_allowed;
+    allowed_set;
+    hierarchy = lazy (Hierarchy.of_spec g_spec);
+    floors = Hashtbl.create 32;
+    g_view = None;
+  }
+
+let make privilege ~level = make_gen privilege ~level
+
+let of_policy policy ~level =
+  make_gen
+    ~classification:(Policy.data_classification policy)
+    (Policy.privilege policy) ~level
+
+let unrestricted spec = make_gen (Privilege.public spec) ~level:0
+
+let spec t = t.g_spec
+let level t = t.g_level
+let allowed t = t.g_allowed
+let allows_workflow t w = Hashtbl.mem t.allowed_set w
+let workflow_floor t w = Privilege.required_level t.privilege w
+
+let module_floor t m =
+  match Hashtbl.find_opt t.floors m with
+  | Some l -> l
+  | None ->
+      let chain = Hierarchy.module_path t.g_spec (Lazy.force t.hierarchy) m in
+      let l =
+        List.fold_left
+          (fun acc w -> max acc (Privilege.required_level t.privilege w))
+          0 chain
+      in
+      Hashtbl.replace t.floors m l;
+      l
+
+let sees_module t m = module_floor t m <= t.g_level
+
+let data_readable t name =
+  match t.classification with
+  | None -> true
+  | Some c -> Data_privacy.readable c t.g_level name
+
+let spec_view t =
+  match t.g_view with
+  | Some v -> v
+  | None ->
+      let v = View.of_prefix t.g_spec t.g_allowed in
+      t.g_view <- Some v;
+      v
+
+let exec_view t exec = Exec_view.of_prefix exec t.g_allowed
+let cap_view t v = View.meet v (spec_view t)
+let cap_prefix t prefix = List.filter (allows_workflow t) prefix
+let offending t prefix = List.filter (fun w -> not (allows_workflow t w)) prefix
+
+let deepest_offender t prefix =
+  match offending t prefix with
+  | [] -> None
+  | first :: rest ->
+      let h = Lazy.force t.hierarchy in
+      Some
+        (List.fold_left
+           (fun best w ->
+             let dw = Hierarchy.depth h w and db = Hierarchy.depth h best in
+             if dw > db || (dw = db && w < best) then w else best)
+           first rest)
+
+let collapse t prefix w =
+  let drop = Hierarchy.descendants (Lazy.force t.hierarchy) w in
+  List.filter (fun x -> not (List.mem x drop)) prefix
+
+let module_floors privilege =
+  let spec = Privilege.spec privilege in
+  let hierarchy = lazy (Hierarchy.of_spec spec) in
+  let memo = Hashtbl.create 64 in
+  fun m ->
+    match Hashtbl.find_opt memo m with
+    | Some l -> l
+    | None ->
+        let chain = Hierarchy.module_path spec (Lazy.force hierarchy) m in
+        let l =
+          List.fold_left
+            (fun acc w -> max acc (Privilege.required_level privilege w))
+            0 chain
+        in
+        Hashtbl.replace memo m l;
+        l

@@ -1,0 +1,89 @@
+(** The single privilege gate of the query stack.
+
+    Every evaluator used to re-derive visibility from {!Wfpriv_privacy}
+    ad hoc — rebuilding hierarchies, recomputing access prefixes and
+    re-asking [min_level_to_see] per module per query. A gate
+    materializes one user's visibility once (allowed prefix, hierarchy,
+    memoized module floors, data classification) and answers every
+    visibility question the engine and its callers have during
+    evaluation. By construction it is the {e only} module of the query
+    layer consulting [Privilege]/[Policy]/[Data_privacy] — the audit
+    surface for "does evaluation leak?" is exactly this file. *)
+
+open Wfpriv_workflow
+open Wfpriv_privacy
+
+type t
+
+val make : Privilege.t -> level:Privilege.level -> t
+(** Gate for one user level over one specification's expansion-level
+    assignment. The allowed prefix is materialized immediately; views,
+    the hierarchy and module floors are built lazily and memoized. *)
+
+val of_policy : Policy.t -> level:Privilege.level -> t
+(** Same, additionally carrying the policy's data classification so
+    {!data_readable} reflects data privacy. *)
+
+val unrestricted : Spec.t -> t
+(** A gate that allows everything (public privilege at level 0) — for
+    callers that need engine preparation without privacy. *)
+
+val spec : t -> Spec.t
+val level : t -> Privilege.level
+
+val allowed : t -> Ids.workflow_id list
+(** The user's access prefix, sorted — materialized once at gate
+    construction. *)
+
+val allows_workflow : t -> Ids.workflow_id -> bool
+(** Constant-time membership in the allowed prefix. *)
+
+val workflow_floor : t -> Ids.workflow_id -> Privilege.level
+(** Effective level required to expand the workflow. *)
+
+val sees_module : t -> Ids.module_id -> bool
+(** Whether the module is visible at the gate's level (its whole ancestor
+    chain expandable). Memoized. *)
+
+val module_floor : t -> Ids.module_id -> Privilege.level
+(** Smallest level at which the module is visible. Memoized; shares the
+    gate's hierarchy instead of rebuilding one per call. *)
+
+val data_readable : t -> string -> bool
+(** Whether a data name is readable at the gate's level; always [true]
+    for gates without a classification ({!make}, {!unrestricted}). *)
+
+val spec_view : t -> View.t
+(** The access view of the specification (memoized). *)
+
+val exec_view : t -> Execution.t -> Exec_view.t
+(** The access view of an execution. *)
+
+val cap_view : t -> View.t -> View.t
+(** Meet a candidate answer view with the access view — the "never show
+    more than allowed" cap applied to every published answer. *)
+
+val cap_prefix : t -> Ids.workflow_id list -> Ids.workflow_id list
+(** Restrict a prefix to allowed workflows. *)
+
+(** {2 Incremental refinement (zoom-out)} *)
+
+val offending : t -> Ids.workflow_id list -> Ids.workflow_id list
+(** Workflows of a prefix outside the allowed prefix. *)
+
+val deepest_offender : t -> Ids.workflow_id list -> Ids.workflow_id option
+(** The offending workflow of maximal hierarchy depth; depth ties are
+    broken by lexicographically smallest workflow id so zoom-out collapse
+    sequences are reproducible across runs. *)
+
+val collapse : t -> Ids.workflow_id list -> Ids.workflow_id -> Ids.workflow_id list
+(** Drop a workflow and its descendants from a prefix — one zoom-out
+    step. *)
+
+(** {2 Gate-free floors (index construction)} *)
+
+val module_floors : Privilege.t -> Ids.module_id -> Privilege.level
+(** Level-independent module floors for index construction: one shared
+    hierarchy and memo table across all modules of the privilege's spec,
+    replacing a [min_level_to_see] call (which rebuilds the hierarchy)
+    per posting. *)

@@ -1,0 +1,412 @@
+open Wfpriv_workflow
+module Digraph = Wfpriv_graph.Digraph
+module Bitset = Wfpriv_graph.Bitset
+
+type io = Io_input | Io_output | Io_none
+
+type t = {
+  e_spec : Spec.t;
+  hierarchy : Hierarchy.t Lazy.t;
+  n : int;
+  node_of : int array; (* dense index -> external node id, ascending *)
+  index_of : (int, int) Hashtbl.t; (* external node id -> dense index *)
+  succs : int array array; (* dense -> dense, ascending *)
+  modules : Ids.module_id option array;
+  io_kind : io array;
+  carries : (int * int, string list) Hashtbl.t; (* dense edge -> data names *)
+  reaches_override : (int -> int -> bool) option; (* over external ids *)
+  mutable closure : Bitset.t array option;
+}
+
+type witness = { holds : bool; nodes : int list }
+
+(* ------------------------------------------------------------------ *)
+(* Preparation *)
+
+let prepare ~spec ~nodes ~succ_of ~module_of ~io_of ~carry_names ?reaches () =
+  let node_of = Array.of_list nodes in
+  let n = Array.length node_of in
+  let index_of = Hashtbl.create (max n 1) in
+  Array.iteri (fun i u -> Hashtbl.replace index_of u i) node_of;
+  let succs =
+    Array.map
+      (fun u ->
+        succ_of u |> List.map (Hashtbl.find index_of) |> Array.of_list)
+      node_of
+  in
+  let carries = Hashtbl.create 32 in
+  Array.iteri
+    (fun i js ->
+      Array.iter
+        (fun j ->
+          match carry_names node_of.(i) node_of.(j) with
+          | [] -> ()
+          | names -> Hashtbl.replace carries (i, j) names)
+        js)
+    succs;
+  {
+    e_spec = spec;
+    hierarchy = lazy (Hierarchy.of_spec spec);
+    n;
+    node_of;
+    index_of;
+    succs;
+    modules = Array.map module_of node_of;
+    io_kind = Array.map io_of node_of;
+    carries;
+    reaches_override = reaches;
+    closure = None;
+  }
+
+let of_spec_view view =
+  let g = View.graph view in
+  prepare ~spec:(View.spec view) ~nodes:(Digraph.nodes g)
+    ~succ_of:(Digraph.succ g)
+    ~module_of:(fun m -> Some m)
+    ~io_of:(fun _ -> Io_none)
+    ~carry_names:(fun a b -> View.edge_data view a b)
+    ()
+
+let exec_io exec n =
+  match Execution.node_kind exec n with
+  | Execution.Input -> Io_input
+  | Execution.Output -> Io_output
+  | _ -> Io_none
+
+let of_exec_view ?reaches ev =
+  let g = Exec_view.graph ev in
+  let e = Exec_view.exec ev in
+  prepare ~spec:(Execution.spec e) ~nodes:(Digraph.nodes g)
+    ~succ_of:(Digraph.succ g)
+    ~module_of:(Exec_view.module_of_node ev)
+    ~io_of:(exec_io e)
+    ~carry_names:(fun u v ->
+      Exec_view.edge_items ev u v
+      |> List.map (fun d -> (Execution.find_item e d).Execution.name))
+    ?reaches ()
+
+let of_execution exec =
+  let g = Execution.graph exec in
+  prepare ~spec:(Execution.spec exec) ~nodes:(Digraph.nodes g)
+    ~succ_of:(Digraph.succ g)
+    ~module_of:(Execution.module_of_node exec)
+    ~io_of:(exec_io exec)
+    ~carry_names:(fun u v ->
+      Execution.edge_items exec u v
+      |> List.map (fun d -> (Execution.find_item exec d).Execution.name))
+    ()
+
+let of_spec spec =
+  (* Module universe: every module (composites included), edges from the
+     union of the per-workflow dataflow graphs. *)
+  let edge_data = Hashtbl.create 64 in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun (e : Spec.edge) ->
+          Hashtbl.replace edge_data (e.Spec.src, e.Spec.dst) e.Spec.data)
+        (Spec.find_workflow spec w).Spec.edges)
+    (Spec.workflow_ids spec);
+  let g = Digraph.create () in
+  List.iter (Digraph.add_node g) (Spec.module_ids spec);
+  Hashtbl.iter (fun (u, v) _ -> Digraph.add_edge g u v) edge_data;
+  prepare ~spec ~nodes:(Digraph.nodes g) ~succ_of:(Digraph.succ g)
+    ~module_of:(fun m -> Some m)
+    ~io_of:(fun _ -> Io_none)
+    ~carry_names:(fun u v ->
+      Option.value ~default:[] (Hashtbl.find_opt edge_data (u, v)))
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Accessors and predicate matching *)
+
+let spec t = t.e_spec
+let nb_nodes t = t.n
+let nodes t = Array.to_list t.node_of
+let mem t u = Hashtbl.mem t.index_of u
+
+let succ t u =
+  match Hashtbl.find_opt t.index_of u with
+  | None -> []
+  | Some i -> Array.to_list (Array.map (fun j -> t.node_of.(j)) t.succs.(i))
+
+let module_of t u =
+  match Hashtbl.find_opt t.index_of u with
+  | None -> None
+  | Some i -> t.modules.(i)
+
+let module_pred spec pred m =
+  let md = Spec.find_module spec m in
+  match pred with
+  | Query_ast.Any -> true
+  | Query_ast.Name_matches s -> Module_def.matches md s
+  | Query_ast.Module_is m' -> m = m'
+  | Query_ast.Atomic_only -> md.Module_def.kind = Module_def.Atomic
+  | Query_ast.Composite_only -> Module_def.is_composite md
+
+let dense_matches t i pred =
+  match t.modules.(i) with
+  | Some m -> module_pred t.e_spec pred m
+  | None -> pred = Query_ast.Any
+
+let dense_matches_io t i pred =
+  match (t.modules.(i), pred) with
+  | None, Query_ast.Module_is m -> (
+      match t.io_kind.(i) with
+      | Io_input -> m = Ids.input_module
+      | Io_output -> m = Ids.output_module
+      | Io_none -> false)
+  | _ -> dense_matches t i pred
+
+let matching_dense t pred =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if dense_matches t i pred then acc := i :: !acc
+  done;
+  !acc
+
+let externalize t dense = List.map (fun i -> t.node_of.(i)) dense
+let matching t pred = externalize t (matching_dense t pred)
+
+let node_matches t u pred =
+  match Hashtbl.find_opt t.index_of u with
+  | None -> false
+  | Some i -> dense_matches t i pred
+
+let node_matches_io t u pred =
+  match Hashtbl.find_opt t.index_of u with
+  | None -> false
+  | Some i -> dense_matches_io t i pred
+
+(* ------------------------------------------------------------------ *)
+(* Memoized bitset closure *)
+
+let closure_rows t =
+  match t.closure with
+  | Some rows -> rows
+  | None ->
+      let rows = Array.init t.n (fun _ -> Bitset.create t.n) in
+      let indeg = Array.make t.n 0 in
+      Array.iter
+        (Array.iter (fun j -> indeg.(j) <- indeg.(j) + 1))
+        t.succs;
+      let queue = Queue.create () in
+      Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+      let rev_topo = ref [] and seen = ref 0 in
+      while not (Queue.is_empty queue) do
+        let i = Queue.pop queue in
+        incr seen;
+        rev_topo := i :: !rev_topo;
+        Array.iter
+          (fun j ->
+            indeg.(j) <- indeg.(j) - 1;
+            if indeg.(j) = 0 then Queue.add j queue)
+          t.succs.(i)
+      done;
+      if !seen = t.n then
+        (* Reverse topological order: every successor's row is complete
+           before it is merged into its predecessors'. *)
+        List.iter
+          (fun i ->
+            Bitset.add rows.(i) i;
+            Array.iter
+              (fun j -> Bitset.union_into ~dst:rows.(i) rows.(j))
+              t.succs.(i))
+          !rev_topo
+      else
+        (* Cyclic graph (never a view, but stay total): per-node DFS with
+           the row itself as the visited set. *)
+        for i = 0 to t.n - 1 do
+          let stack = ref [ i ] in
+          while !stack <> [] do
+            match !stack with
+            | [] -> ()
+            | u :: rest ->
+                stack := rest;
+                if not (Bitset.mem rows.(i) u) then begin
+                  Bitset.add rows.(i) u;
+                  Array.iter (fun v -> stack := v :: !stack) t.succs.(u)
+                end
+          done
+        done;
+      t.closure <- Some rows;
+      rows
+
+let reaches t u v =
+  match t.reaches_override with
+  | Some f -> f u v
+  | None -> (
+      match (Hashtbl.find_opt t.index_of u, Hashtbl.find_opt t.index_of v) with
+      | Some i, Some j -> Bitset.mem (closure_rows t).(i) j
+      | _ -> false)
+
+let co_reachable_of_matches t pred =
+  let dsts = matching_dense t pred in
+  if dsts = [] then []
+  else begin
+    let rows = closure_rows t in
+    let mask = Bitset.create t.n in
+    List.iter (Bitset.add mask) dsts;
+    let acc = ref [] in
+    for i = t.n - 1 downto 0 do
+      let row = Bitset.copy rows.(i) in
+      Bitset.inter_into ~dst:row mask;
+      if not (Bitset.is_empty row) then acc := t.node_of.(i) :: !acc
+    done;
+    !acc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Plan execution *)
+
+let pair_nodes pairs =
+  List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) pairs)
+
+let rec eval t trace plan =
+  let record w =
+    (match trace with Some acc -> acc := (plan, w.nodes) :: !acc | None -> ());
+    w
+  in
+  match plan with
+  | Plan.Node_scan p ->
+      let ns = matching t p in
+      record { holds = ns <> []; nodes = ns }
+  | Plan.Edge_join (pa, pb, carry) ->
+      let pairs = ref [] in
+      List.iter
+        (fun i ->
+          Array.iter
+            (fun j ->
+              let ok_carry =
+                match carry with
+                | None -> true
+                | Some d -> (
+                    match Hashtbl.find_opt t.carries (i, j) with
+                    | Some names -> List.mem d names
+                    | None -> false)
+              in
+              if ok_carry && dense_matches t j pb then
+                pairs := (t.node_of.(i), t.node_of.(j)) :: !pairs)
+            t.succs.(i))
+        (matching_dense t pa);
+      record { holds = !pairs <> []; nodes = pair_nodes !pairs }
+  | Plan.Reach_join (pa, pb) ->
+      let srcs = matching_dense t pa and dsts = matching_dense t pb in
+      if srcs = [] || dsts = [] then record { holds = false; nodes = [] }
+      else begin
+        match t.reaches_override with
+        | Some f ->
+            let pairs =
+              List.concat_map
+                (fun i ->
+                  List.filter_map
+                    (fun j ->
+                      if i <> j && f t.node_of.(i) t.node_of.(j) then
+                        Some (t.node_of.(i), t.node_of.(j))
+                      else None)
+                    dsts)
+                srcs
+            in
+            record { holds = pairs <> []; nodes = pair_nodes pairs }
+        | None ->
+            let rows = closure_rows t in
+            let dst_mask = Bitset.create t.n in
+            List.iter (Bitset.add dst_mask) dsts;
+            let hit_dsts = Bitset.create t.n in
+            let hit_srcs = ref [] in
+            List.iter
+              (fun i ->
+                let row = Bitset.copy rows.(i) in
+                Bitset.inter_into ~dst:row dst_mask;
+                Bitset.remove row i;
+                (* strict: a node does not precede itself *)
+                if not (Bitset.is_empty row) then begin
+                  hit_srcs := t.node_of.(i) :: !hit_srcs;
+                  Bitset.union_into ~dst:hit_dsts row
+                end)
+              srcs;
+            let ns =
+              Bitset.fold
+                (fun j acc -> t.node_of.(j) :: acc)
+                hit_dsts !hit_srcs
+              |> List.sort_uniq compare
+            in
+            record { holds = !hit_srcs <> []; nodes = ns }
+      end
+  | Plan.Inside_scan (p, w) -> (
+      match Hierarchy.descendants (Lazy.force t.hierarchy) w with
+      | exception Not_found -> record { holds = false; nodes = [] }
+      | desc ->
+          let inside =
+            List.filter_map
+              (fun i ->
+                match t.modules.(i) with
+                | Some m when List.mem (Spec.owner t.e_spec m) desc ->
+                    Some t.node_of.(i)
+                | _ -> None)
+              (matching_dense t p)
+          in
+          record { holds = inside <> []; nodes = inside })
+  | Plan.Refine_join (pa, pb) ->
+      let hierarchy = Lazy.force t.hierarchy in
+      let asrc =
+        List.filter
+          (fun i ->
+            match t.modules.(i) with
+            | Some m -> Module_def.is_composite (Spec.find_module t.e_spec m)
+            | None -> false)
+          (matching_dense t pa)
+      in
+      let pairs = ref [] in
+      List.iter
+        (fun i ->
+          match t.modules.(i) with
+          | None -> ()
+          | Some m -> (
+              match Module_def.expansion (Spec.find_module t.e_spec m) with
+              | None -> ()
+              | Some w ->
+                  let desc = Hierarchy.descendants hierarchy w in
+                  for j = t.n - 1 downto 0 do
+                    match t.modules.(j) with
+                    | Some mb
+                      when module_pred t.e_spec pb mb
+                           && List.mem (Spec.owner t.e_spec mb) desc ->
+                        pairs := (t.node_of.(i), t.node_of.(j)) :: !pairs
+                    | _ -> ()
+                  done))
+        asrc;
+      record { holds = !pairs <> []; nodes = pair_nodes !pairs }
+  | Plan.Guarded_and (a, b) ->
+      let wa = eval t trace a in
+      if not wa.holds then record { holds = false; nodes = [] }
+      else begin
+        let wb = eval t trace b in
+        if wb.holds then
+          record
+            {
+              holds = true;
+              nodes = List.sort_uniq compare (wa.nodes @ wb.nodes);
+            }
+        else record { holds = false; nodes = [] }
+      end
+  | Plan.Union (a, b) ->
+      let wa = eval t trace a in
+      if wa.holds then record wa else record (eval t trace b)
+  | Plan.Complement a ->
+      let wa = eval t trace a in
+      record { holds = not wa.holds; nodes = [] }
+
+let run t plan = eval t None plan
+let run_query t q = run t (Plan.compile q)
+
+let run_trace t plan =
+  let acc = ref [] in
+  let w = eval t (Some acc) plan in
+  (w, List.rev !acc)
+
+let rec run_search ~lookup = function
+  | Plan.Keyword_lookup kws -> lookup kws
+  | Plan.Rank s -> Ranking.rank (run_search ~lookup s)
+  | Plan.Quantize (w, s) -> Ranking.quantize ~width:w (run_search ~lookup s)
+  | Plan.Project_top (k, s) -> Ranking.top_k k (run_search ~lookup s)

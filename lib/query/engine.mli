@@ -1,0 +1,92 @@
+(** The compiled query engine: one prepared, dense representation of a
+    view that every evaluator executes plans against (paper Sec. 4 —
+    efficient search under access views).
+
+    Preparing a view renumbers its nodes into a dense [0..n-1] range and
+    builds successor arrays, a module table and an edge-payload table
+    once; the transitive closure is computed on first demand as
+    {!Wfpriv_graph.Bitset} rows (reverse topological propagation, DFS
+    fallback on cycles) and memoized in the prepared value, so repeated
+    structural queries against the same view — a session, a cached user
+    group — pay for reachability once. Privacy never appears here:
+    engines are built from {e views}, which already are the privacy
+    boundary ({!Access_gate}). *)
+
+open Wfpriv_workflow
+
+type t
+(** A prepared view. Cheap to build (linear in nodes + edges); holds the
+    memoized closure. *)
+
+type witness = { holds : bool; nodes : int list }
+(** Same contract as {!Query_eval.witness}: nodes involved in making the
+    plan true, sorted; empty when [holds = false]. *)
+
+(** {2 Preparation} *)
+
+val of_spec_view : View.t -> t
+(** Nodes are visible module ids. *)
+
+val of_exec_view : ?reaches:(int -> int -> bool) -> Exec_view.t -> t
+(** Nodes are representative execution node ids. [reaches] overrides the
+    reachability oracle (e.g. {!Reach_cache.reaches} partially applied)
+    instead of the engine's own closure. *)
+
+val of_execution : Execution.t -> t
+(** The raw provenance graph (no collapsing) — candidate enumeration for
+    {!Exec_search}. *)
+
+val of_spec : Spec.t -> t
+(** The module universe itself: every module of every workflow (composites
+    included, unlike any flat view), with each workflow's internal
+    dataflow edges. Candidate enumeration for {!Keyword}. *)
+
+(** {2 Prepared-view accessors} *)
+
+val spec : t -> Spec.t
+val nb_nodes : t -> int
+
+val nodes : t -> int list
+(** External node ids, sorted. *)
+
+val mem : t -> int -> bool
+val succ : t -> int -> int list
+(** Successors of an external node id, sorted; [[]] for unknown nodes. *)
+
+val module_of : t -> int -> Ids.module_id option
+
+val matching : t -> Query_ast.node_pred -> int list
+(** Nodes whose module satisfies the predicate, sorted (nodes with no
+    module — execution I/O — match only [Any]). *)
+
+val node_matches : t -> int -> Query_ast.node_pred -> bool
+
+val node_matches_io : t -> int -> Query_ast.node_pred -> bool
+(** Like {!node_matches} but I/O nodes additionally answer
+    [Module_is Ids.input_module] / [Module_is Ids.output_module] — the
+    path-query addressing rule. *)
+
+val reaches : t -> int -> int -> bool
+(** Reflexive-transitive reachability from the memoized closure (or the
+    override). First call on a prepared view builds the closure. *)
+
+val co_reachable_of_matches : t -> Query_ast.node_pred -> int list
+(** Nodes that can reach some match of the predicate (matches included),
+    sorted — provenance of a match set, answered from closure rows. *)
+
+(** {2 Plan execution} *)
+
+val run : t -> Plan.t -> witness
+
+val run_query : t -> Query_ast.t -> witness
+(** [run t (Plan.compile q)]. *)
+
+val run_trace : t -> Plan.t -> witness * (Plan.t * int list) list
+(** Like {!run} but also returns every operator's output node set, inner
+    operators first — the hook for the leakage test: every intermediate
+    node is a node of the prepared view, hence visible. *)
+
+val run_search :
+  lookup:(string list -> Ranking.entry list) -> Plan.search -> Ranking.entry list
+(** Execute a search pipeline; [lookup] scores documents for the keyword
+    set (the engine owns ranking, quantization and projection). *)

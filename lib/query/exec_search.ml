@@ -85,17 +85,17 @@ let keyword_matches_name keyword name =
   at 0
 
 let witness_candidates exec keyword =
-  let spec = Execution.spec exec in
+  (* Module hits through the raw-execution engine (I/O nodes have no
+     module and never match); end nodes are dropped so a composite is
+     witnessed by its begin node only. *)
+  let engine = Engine.of_execution exec in
   let module_hits =
     List.filter
       (fun n ->
         match Execution.node_kind exec n with
-        | Execution.End_composite _ | Execution.Input | Execution.Output ->
-            false
-        | Execution.Atomic_exec { module_id; _ }
-        | Execution.Begin_composite { module_id; _ } ->
-            Module_def.matches (Spec.find_module spec module_id) keyword)
-      (Execution.nodes exec)
+        | Execution.End_composite _ -> false
+        | _ -> true)
+      (Engine.matching engine (Query_ast.Name_matches keyword))
   in
   let data_hits =
     List.filter_map

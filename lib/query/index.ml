@@ -8,41 +8,106 @@ type posting = {
   min_level : Privilege.level;
 }
 
-type t = { postings : posting list Smap.t; terms : int; total : int }
+(* Level-partitioned postings (the paper's privacy-partitioned index):
+   per term, one sorted array of postings per distinct min_level, the
+   partitions in ascending level order. A lookup at level [l] merges
+   exactly the partitions with level <= l and never touches a posting
+   above the caller's privilege. *)
+type t = {
+  partitions : (Privilege.level * posting array) list Smap.t;
+  terms : int;
+  total : int;
+}
 
 let posting_compare a b =
   compare (a.doc, a.module_id, a.min_level) (b.doc, b.module_id, b.min_level)
 
 let entry_postings (name, spec, privilege) =
+  let floor = Access_gate.module_floors privilege in
   List.concat_map
     (fun m ->
       let md = Spec.find_module spec m in
-      let min_level = Privilege.min_level_to_see privilege m in
+      let min_level = floor m in
       List.map
         (fun term -> (term, { doc = name; module_id = m; min_level }))
         (Module_def.terms md))
     (Spec.module_ids spec)
 
+(* Group a (min_level, doc, module)-sorted posting list into per-level
+   partitions; within a partition the (doc, module) order is inherited
+   from the sort. *)
+let partition_sorted postings =
+  let rec go = function
+    | [] -> []
+    | p :: _ as ps ->
+        let level = p.min_level in
+        let mine, rest = List.partition (fun q -> q.min_level = level) ps in
+        (level, Array.of_list mine) :: go rest
+  in
+  go postings
+
+(* Merge already-sorted posting lists, dropping duplicates — O(total)
+   per pair instead of the old sort-the-concatenation rescan. *)
+let merge_sorted a b =
+  let rec go a b acc =
+    match (a, b) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: a', y :: b' ->
+        let c = posting_compare x y in
+        if c < 0 then go a' b (x :: acc)
+        else if c > 0 then go a b' (y :: acc)
+        else go a' b' (x :: acc)
+  in
+  go a b []
+
+let merge_partitions parts =
+  List.fold_left
+    (fun acc (_, arr) -> merge_sorted acc (Array.to_list arr))
+    [] parts
+
+let partition_count parts =
+  List.fold_left (fun acc (_, arr) -> acc + Array.length arr) 0 parts
+
 let build entries =
-  let names = List.map (fun (n, _, _) -> n) entries in
-  if List.length (List.sort_uniq compare names) <> List.length names then
-    invalid_arg "Index.build: duplicate entry names";
-  let postings =
+  (* Duplicate-name detection in one Map pass (was an O(n^2)-ish
+     sort-and-compare over the whole name list). *)
+  ignore
+    (List.fold_left
+       (fun seen (n, _, _) ->
+         if Smap.mem n seen then
+           invalid_arg "Index.build: duplicate entry names"
+         else Smap.add n () seen)
+       Smap.empty entries);
+  let by_term =
     List.fold_left
       (fun acc (term, p) ->
-        let cur = Option.value ~default:[] (Smap.find_opt term acc) in
-        Smap.add term (p :: cur) acc)
+        Smap.update term
+          (function None -> Some [ p ] | Some ps -> Some (p :: ps))
+          acc)
       Smap.empty
       (List.concat_map entry_postings entries)
   in
-  let postings = Smap.map (List.sort posting_compare) postings in
-  let total = Smap.fold (fun _ l acc -> acc + List.length l) postings 0 in
-  { postings; terms = Smap.cardinal postings; total }
+  let partitions =
+    Smap.map
+      (fun ps ->
+        List.sort
+          (fun a b ->
+            compare (a.min_level, a.doc, a.module_id)
+              (b.min_level, b.doc, b.module_id))
+          ps
+        |> partition_sorted)
+      by_term
+  in
+  let total =
+    Smap.fold (fun _ parts acc -> acc + partition_count parts) partitions 0
+  in
+  { partitions; terms = Smap.cardinal partitions; total }
 
 let lookup t ~level term =
-  Option.value ~default:[]
-    (Smap.find_opt (String.lowercase_ascii term) t.postings)
-  |> List.filter (fun p -> p.min_level <= level)
+  match Smap.find_opt (String.lowercase_ascii term) t.partitions with
+  | None -> []
+  | Some parts ->
+      merge_partitions (List.filter (fun (l, _) -> l <= level) parts)
 
 let nb_terms t = t.terms
 let nb_postings t = t.total
@@ -52,27 +117,33 @@ type per_level = (Privilege.level * t) list
 let build_per_level ~levels entries =
   let levels = List.sort_uniq compare levels in
   if levels = [] then invalid_arg "Index.build_per_level: no levels";
+  (* One shared build; each materialised level keeps the partitions it
+     may see (the strawman used to rebuild the whole index per level). *)
+  let shared = build entries in
   List.map
     (fun level ->
-      (* Materialise only what this level may see. *)
-      let idx = build entries in
-      let filtered =
-        Smap.map
-          (List.filter (fun p -> p.min_level <= level))
-          idx.postings
-        |> Smap.filter (fun _ l -> l <> [])
+      let partitions =
+        Smap.filter_map
+          (fun _ parts ->
+            match List.filter (fun (l, _) -> l <= level) parts with
+            | [] -> None
+            | kept -> Some kept)
+          shared.partitions
       in
-      let total = Smap.fold (fun _ l acc -> acc + List.length l) filtered 0 in
-      (level, { postings = filtered; terms = Smap.cardinal filtered; total }))
+      let total =
+        Smap.fold (fun _ parts acc -> acc + partition_count parts) partitions 0
+      in
+      (level, { partitions; terms = Smap.cardinal partitions; total }))
     levels
 
 let lookup_per_level pl ~level term =
   let candidates = List.filter (fun (l, _) -> l <= level) pl in
   match List.rev candidates with
   | [] -> invalid_arg "Index.lookup_per_level: no index at or below the level"
-  | (_, idx) :: _ ->
-      Option.value ~default:[]
-        (Smap.find_opt (String.lowercase_ascii term) idx.postings)
+  | (_, idx) :: _ -> (
+      match Smap.find_opt (String.lowercase_ascii term) idx.partitions with
+      | None -> []
+      | Some parts -> merge_partitions parts)
 
 let per_level_postings pl =
   List.fold_left (fun acc (_, idx) -> acc + idx.total) 0 pl

@@ -3,9 +3,12 @@
     group their elements based on privacy settings").
 
     Instead of materialising one index per privilege level (high space
-    overhead, the paper's strawman), a single inverted index stores with
-    every posting the minimum privilege level at which its module is
-    visible; a lookup at level [l] filters postings to [min_level <= l].
+    overhead, the paper's strawman), a single inverted index partitions
+    each term's postings by the minimum privilege level at which the
+    posting's module is visible: per term, one sorted posting array per
+    level, partitions in ascending level order. A lookup at level [l]
+    merges exactly the partitions with level [<= l] — sorted-array
+    merges, and postings above the caller's level are never touched.
     {!build_per_level} materialises the strawman for comparison (E6). *)
 
 type posting = {

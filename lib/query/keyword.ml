@@ -81,12 +81,13 @@ let minimal_choice spec hierarchy candidates_per_kw =
 let search ?(strategy = `Minimal) ?(restrict_to = fun _ -> true) spec keywords =
   if keywords = [] then invalid_arg "Keyword.search: empty keyword list";
   let hierarchy = Hierarchy.of_spec spec in
+  (* Candidate enumeration runs on the module-universe engine: every
+     module (composites included — a collapsed composite can witness a
+     keyword, Fig. 5) matched through one prepared scan. *)
+  let engine = Engine.of_spec spec in
   let all_matches kw =
-    List.filter
-      (fun m ->
-        restrict_to m
-        && Module_def.matches (Spec.find_module spec m) kw)
-      (Spec.module_ids spec)
+    List.filter restrict_to
+      (Engine.matching engine (Query_ast.Name_matches kw))
   in
   let per_kw = List.map (fun kw -> (kw, all_matches kw)) keywords in
   if List.exists (fun (_, ms) -> ms = []) per_kw then None

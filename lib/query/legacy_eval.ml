@@ -1,0 +1,202 @@
+(* The query evaluator as it existed before the compiled engine: a
+   closure-record interface over the view, list scans, DFS reachability
+   per pair. Kept as the differential-testing and benchmarking baseline;
+   do not "optimize" — its value is being the old semantics. *)
+
+open Wfpriv_workflow
+module Reachability = Wfpriv_graph.Reachability
+module Digraph = Wfpriv_graph.Digraph
+
+type witness = { holds : bool; nodes : int list }
+
+let module_pred spec pred m =
+  let md = Spec.find_module spec m in
+  match pred with
+  | Query_ast.Any -> true
+  | Query_ast.Name_matches s -> Module_def.matches md s
+  | Query_ast.Module_is m' -> m = m'
+  | Query_ast.Atomic_only -> md.Module_def.kind = Module_def.Atomic
+  | Query_ast.Composite_only -> Module_def.is_composite md
+
+type 'node graph_api = {
+  all_nodes : unit -> 'node list;
+  module_of : 'node -> Ids.module_id option;
+  succ : 'node -> 'node list;
+  reaches : 'node -> 'node -> bool;
+  edge_carries : 'node -> 'node -> string -> bool;
+  the_spec : Spec.t;
+}
+
+let api_matching api pred =
+  List.filter
+    (fun n ->
+      match api.module_of n with
+      | Some m -> module_pred api.the_spec pred m
+      | None -> pred = Query_ast.Any)
+    (api.all_nodes ())
+
+let rec eval api q =
+  match q with
+  | Query_ast.Node p ->
+      let ns = api_matching api p in
+      { holds = ns <> []; nodes = ns }
+  | Query_ast.Edge (pa, pb) ->
+      let asrc = api_matching api pa in
+      let pairs =
+        List.concat_map
+          (fun a ->
+            List.filter_map
+              (fun b ->
+                match api.module_of b with
+                | Some m when module_pred api.the_spec pb m -> Some (a, b)
+                | Some _ -> None
+                | None -> if pb = Query_ast.Any then Some (a, b) else None)
+              (api.succ a))
+          asrc
+      in
+      {
+        holds = pairs <> [];
+        nodes =
+          List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) pairs);
+      }
+  | Query_ast.Before (pa, pb) ->
+      let asrc = api_matching api pa and bdst = api_matching api pb in
+      let pairs =
+        List.concat_map
+          (fun a ->
+            List.filter_map
+              (fun b -> if a <> b && api.reaches a b then Some (a, b) else None)
+              bdst)
+          asrc
+      in
+      {
+        holds = pairs <> [];
+        nodes =
+          List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) pairs);
+      }
+  | Query_ast.Carries (pa, pb, data) ->
+      let asrc = api_matching api pa in
+      let pairs =
+        List.concat_map
+          (fun a ->
+            List.filter_map
+              (fun b ->
+                let ok_b =
+                  match api.module_of b with
+                  | Some m -> module_pred api.the_spec pb m
+                  | None -> pb = Query_ast.Any
+                in
+                if ok_b && api.edge_carries a b data then Some (a, b) else None)
+              (api.succ a))
+          asrc
+      in
+      {
+        holds = pairs <> [];
+        nodes =
+          List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) pairs);
+      }
+  | Query_ast.Inside (p, w) ->
+      let inside =
+        match Hierarchy.descendants (Hierarchy.of_spec api.the_spec) w with
+        | desc ->
+            List.filter
+              (fun n ->
+                match api.module_of n with
+                | Some m -> List.mem (Spec.owner api.the_spec m) desc
+                | None -> false)
+              (api_matching api p)
+        | exception Not_found -> []
+      in
+      { holds = inside <> []; nodes = inside }
+  | Query_ast.Refines (pa, pb) ->
+      let hierarchy = Hierarchy.of_spec api.the_spec in
+      let asrc =
+        List.filter
+          (fun n ->
+            match api.module_of n with
+            | Some m -> Module_def.is_composite (Spec.find_module api.the_spec m)
+            | None -> false)
+          (api_matching api pa)
+      in
+      let pairs =
+        List.concat_map
+          (fun a ->
+            let w =
+              match api.module_of a with
+              | Some m -> Module_def.expansion (Spec.find_module api.the_spec m)
+              | None -> None
+            in
+            match w with
+            | None -> []
+            | Some w ->
+                let desc = Hierarchy.descendants hierarchy w in
+                List.filter_map
+                  (fun b ->
+                    match api.module_of b with
+                    | Some m
+                      when module_pred api.the_spec pb m
+                           && List.mem (Spec.owner api.the_spec m) desc ->
+                        Some (a, b)
+                    | _ -> None)
+                  (api.all_nodes ()))
+          asrc
+      in
+      {
+        holds = pairs <> [];
+        nodes =
+          List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) pairs);
+      }
+  | Query_ast.And (a, b) ->
+      let wa = eval api a in
+      if not wa.holds then { holds = false; nodes = [] }
+      else begin
+        let wb = eval api b in
+        if wb.holds then
+          { holds = true; nodes = List.sort_uniq compare (wa.nodes @ wb.nodes) }
+        else { holds = false; nodes = [] }
+      end
+  | Query_ast.Or (a, b) ->
+      let wa = eval api a in
+      if wa.holds then wa else eval api b
+  | Query_ast.Not a ->
+      let wa = eval api a in
+      { holds = not wa.holds; nodes = [] }
+
+let spec_api view =
+  let g = View.graph view in
+  {
+    all_nodes = (fun () -> Digraph.nodes g);
+    module_of = (fun m -> Some m);
+    succ = (fun m -> Digraph.succ g m);
+    reaches = (fun a b -> Reachability.reaches g a b);
+    edge_carries = (fun a b d -> List.mem d (View.edge_data view a b));
+    the_spec = View.spec view;
+  }
+
+let spec_nodes_matching view pred = api_matching (spec_api view) pred
+let eval_spec view q = eval (spec_api view) q
+
+let exec_api ev =
+  let g = Exec_view.graph ev in
+  let e = Exec_view.exec ev in
+  let item_names u v =
+    Exec_view.edge_items ev u v
+    |> List.map (fun d -> (Execution.find_item e d).Execution.name)
+  in
+  {
+    all_nodes = (fun () -> Digraph.nodes g);
+    module_of = (fun n -> Exec_view.module_of_node ev n);
+    succ = (fun n -> Digraph.succ g n);
+    reaches = (fun a b -> Reachability.reaches g a b);
+    edge_carries = (fun a b d -> List.mem d (item_names a b));
+    the_spec = Execution.spec e;
+  }
+
+let exec_nodes_matching ev pred = api_matching (exec_api ev) pred
+let eval_exec ev q = eval (exec_api ev) q
+
+let provenance_of_matches ev pred =
+  let g = Exec_view.graph ev in
+  let matches = exec_nodes_matching ev pred in
+  List.concat_map (fun n -> Reachability.co_reachable g n) matches
+  |> List.sort_uniq compare

@@ -1,0 +1,25 @@
+(** The pre-engine reference evaluator, kept verbatim as a differential
+    baseline.
+
+    This is the list-and-DFS interpreter the query stack used before
+    plans: no preparation, no closure memoization, reachability by DFS
+    per node pair. It exists so tests can assert the compiled pipeline
+    ({!Engine}) returns identical witnesses, and so bench E14 can
+    measure what compilation buys. Production callers use
+    {!Query_eval}. *)
+
+type witness = { holds : bool; nodes : int list }
+
+val eval_spec : Wfpriv_workflow.View.t -> Query_ast.t -> witness
+val eval_exec : Wfpriv_workflow.Exec_view.t -> Query_ast.t -> witness
+
+val spec_nodes_matching :
+  Wfpriv_workflow.View.t ->
+  Query_ast.node_pred ->
+  Wfpriv_workflow.Ids.module_id list
+
+val exec_nodes_matching :
+  Wfpriv_workflow.Exec_view.t -> Query_ast.node_pred -> int list
+
+val provenance_of_matches :
+  Wfpriv_workflow.Exec_view.t -> Query_ast.node_pred -> int list

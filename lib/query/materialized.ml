@@ -5,6 +5,7 @@ module Digraph = Wfpriv_graph.Digraph
 type entry_copy = {
   ec_name : string;
   spec_view : View.t;
+  spec_engine : Engine.t; (* prepared once per copy; serves search_copy *)
   exec_views : Exec_view.t list;
   visible_item_counts : int list; (* per execution *)
 }
@@ -13,14 +14,15 @@ type level_copy = { lc_level : Privilege.level; copies : entry_copy list }
 type t = { level_copies : level_copy list }
 
 let copy_entry level (e : Repository.entry) =
-  let privilege = Policy.privilege e.Repository.policy in
-  let spec_view = Privilege.access_view privilege level in
+  let gate = Access_gate.of_policy e.Repository.policy ~level in
+  let spec_view = Access_gate.spec_view gate in
   let exec_views =
-    List.map (Privilege.access_exec_view privilege level) e.Repository.executions
+    List.map (Access_gate.exec_view gate) e.Repository.executions
   in
   {
     ec_name = e.Repository.name;
     spec_view;
+    spec_engine = Engine.of_spec_view spec_view;
     exec_views;
     visible_item_counts =
       List.map (fun v -> List.length (Exec_view.visible_items v)) exec_views;
@@ -125,12 +127,8 @@ let search_copy t ~level term =
   | Some lc ->
       List.concat_map
         (fun ec ->
-          let spec = View.spec ec.spec_view in
-          List.filter_map
-            (fun m ->
-              if Module_def.matches (Spec.find_module spec m) term then
-                Some (ec.ec_name, m)
-              else None)
-            (View.visible_modules ec.spec_view))
+          List.map
+            (fun m -> (ec.ec_name, m))
+            (Engine.matching ec.spec_engine (Query_ast.Name_matches term)))
         lc.copies
       |> List.sort compare

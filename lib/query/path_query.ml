@@ -1,6 +1,3 @@
-open Wfpriv_workflow
-module Digraph = Wfpriv_graph.Digraph
-
 type t =
   | Atom of Query_ast.node_pred
   | Seq of t * t
@@ -153,66 +150,32 @@ let witness_walk nfa walker ~src ~dst ~bound =
   go src init [] 0
 
 (* ------------------------------------------------------------------ *)
-(* Spec and execution instantiations *)
+(* Spec and execution instantiations — both walkers run over a prepared
+   engine; [node_matches_io] gives I/O nodes the reserved-id addressing
+   ([Module_is Ids.input_module] / [output_module]) on execution views
+   and is the plain module predicate elsewhere. *)
 
-let spec_walker view =
-  let g = View.graph view in
-  let spec = View.spec view in
+let engine_walker eng =
   {
-    succ = (fun m -> Digraph.succ g m);
-    satisfies =
-      (fun m p ->
-        match p with
-        | Query_ast.Any -> true
-        | Query_ast.Name_matches s -> Module_def.matches (Spec.find_module spec m) s
-        | Query_ast.Module_is m' -> m = m'
-        | Query_ast.Atomic_only ->
-            (Spec.find_module spec m).Module_def.kind = Module_def.Atomic
-        | Query_ast.Composite_only ->
-            Module_def.is_composite (Spec.find_module spec m));
-  }
-
-let exec_walker ev =
-  let g = Exec_view.graph ev in
-  let e = Exec_view.exec ev in
-  let spec = Execution.spec e in
-  {
-    succ = (fun n -> Digraph.succ g n);
-    satisfies =
-      (fun n p ->
-        match (Exec_view.module_of_node ev n, p) with
-        | None, Query_ast.Any -> true
-        | None, Query_ast.Module_is m ->
-            (* The I/O pseudo-modules have no execution module id but are
-               addressable by their reserved ids. *)
-            (match Execution.node_kind e n with
-            | Execution.Input -> m = Ids.input_module
-            | Execution.Output -> m = Ids.output_module
-            | _ -> false)
-        | None, _ -> false
-        | Some m, p -> (
-            let md = Spec.find_module spec m in
-            match p with
-            | Query_ast.Any -> true
-            | Query_ast.Name_matches s -> Module_def.matches md s
-            | Query_ast.Module_is m' -> m = m'
-            | Query_ast.Atomic_only -> md.Module_def.kind = Module_def.Atomic
-            | Query_ast.Composite_only -> Module_def.is_composite md));
+    succ = (fun n -> Engine.succ eng n);
+    satisfies = (fun n p -> Engine.node_matches_io eng n p);
   }
 
 let matches_spec view pattern ~src ~dst =
-  View.is_visible view src && View.is_visible view dst
-  && matches_walk (compile pattern) (spec_walker view) ~src ~dst
+  let eng = Engine.of_spec_view view in
+  Engine.mem eng src && Engine.mem eng dst
+  && matches_walk (compile pattern) (engine_walker eng) ~src ~dst
 
 let matches_exec ev pattern ~src ~dst =
-  let nodes = Exec_view.nodes ev in
-  List.mem src nodes && List.mem dst nodes
-  && matches_walk (compile pattern) (exec_walker ev) ~src ~dst
+  let eng = Engine.of_exec_view ev in
+  Engine.mem eng src && Engine.mem eng dst
+  && matches_walk (compile pattern) (engine_walker eng) ~src ~dst
 
 let find_spec view pattern =
   let nfa = compile pattern in
-  let walker = spec_walker view in
-  let nodes = View.visible_modules view in
+  let eng = Engine.of_spec_view view in
+  let walker = engine_walker eng in
+  let nodes = Engine.nodes eng in
   List.concat_map
     (fun src ->
       List.filter_map
@@ -222,11 +185,10 @@ let find_spec view pattern =
   |> List.sort compare
 
 let witness_spec view pattern ~src ~dst =
-  if not (View.is_visible view src && View.is_visible view dst) then None
+  let eng = Engine.of_spec_view view in
+  if not (Engine.mem eng src && Engine.mem eng dst) then None
   else begin
     let nfa = compile pattern in
-    let bound =
-      List.length (View.visible_modules view) * (nfa.nb_states + 1)
-    in
-    witness_walk nfa (spec_walker view) ~src ~dst ~bound
+    let bound = Engine.nb_nodes eng * (nfa.nb_states + 1) in
+    witness_walk nfa (engine_walker eng) ~src ~dst ~bound
   end

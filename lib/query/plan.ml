@@ -1,0 +1,63 @@
+type t =
+  | Node_scan of Query_ast.node_pred
+  | Edge_join of Query_ast.node_pred * Query_ast.node_pred * string option
+  | Reach_join of Query_ast.node_pred * Query_ast.node_pred
+  | Inside_scan of Query_ast.node_pred * Wfpriv_workflow.Ids.workflow_id
+  | Refine_join of Query_ast.node_pred * Query_ast.node_pred
+  | Guarded_and of t * t
+  | Union of t * t
+  | Complement of t
+
+let rec compile = function
+  | Query_ast.Node p -> Node_scan p
+  | Query_ast.Edge (a, b) -> Edge_join (a, b, None)
+  | Query_ast.Carries (a, b, data) -> Edge_join (a, b, Some data)
+  | Query_ast.Before (a, b) -> Reach_join (a, b)
+  | Query_ast.Inside (p, w) -> Inside_scan (p, w)
+  | Query_ast.Refines (a, b) -> Refine_join (a, b)
+  | Query_ast.And (a, b) -> Guarded_and (compile a, compile b)
+  | Query_ast.Or (a, b) -> Union (compile a, compile b)
+  | Query_ast.Not a -> Complement (compile a)
+
+let p = Query_ast.node_pred_to_string
+
+let rec to_string = function
+  | Node_scan a -> Printf.sprintf "scan(%s)" (p a)
+  | Edge_join (a, b, None) -> Printf.sprintf "edge-join(%s, %s)" (p a) (p b)
+  | Edge_join (a, b, Some d) ->
+      Printf.sprintf "edge-join(%s, %s, carries %S)" (p a) (p b) d
+  | Reach_join (a, b) -> Printf.sprintf "reach-join(%s, %s)" (p a) (p b)
+  | Inside_scan (a, w) -> Printf.sprintf "inside-scan(%s, %s)" (p a) w
+  | Refine_join (a, b) -> Printf.sprintf "refine-join(%s, %s)" (p a) (p b)
+  | Guarded_and (a, b) ->
+      Printf.sprintf "and(%s, %s)" (to_string a) (to_string b)
+  | Union (a, b) -> Printf.sprintf "union(%s, %s)" (to_string a) (to_string b)
+  | Complement a -> Printf.sprintf "complement(%s)" (to_string a)
+
+let rec operator_count = function
+  | Node_scan _ | Edge_join _ | Reach_join _ | Inside_scan _ | Refine_join _ ->
+      1
+  | Guarded_and (a, b) | Union (a, b) ->
+      1 + operator_count a + operator_count b
+  | Complement a -> 1 + operator_count a
+
+type search =
+  | Keyword_lookup of string list
+  | Rank of search
+  | Quantize of float * search
+  | Project_top of int * search
+
+let compile_search ?quantize ?top keywords =
+  let s = Keyword_lookup keywords in
+  let s = match quantize with Some w -> Quantize (w, s) | None -> s in
+  let s = Rank s in
+  match top with Some k -> Project_top (k, s) | None -> s
+
+let rec search_to_string = function
+  | Keyword_lookup kws ->
+      Printf.sprintf "lookup(%s)" (String.concat ", " kws)
+  | Rank s -> Printf.sprintf "rank(%s)" (search_to_string s)
+  | Quantize (w, s) ->
+      Printf.sprintf "quantize(%g, %s)" w (search_to_string s)
+  | Project_top (k, s) ->
+      Printf.sprintf "top(%d, %s)" k (search_to_string s)

@@ -1,0 +1,58 @@
+(** Typed query plans: the compilation target of {!Query_ast} and the
+    single operator vocabulary every evaluator executes (paper Sec. 4 —
+    structural and keyword search share one engine so privacy is enforced
+    in one place, not five).
+
+    A structural query compiles to a tree of relational operators over
+    view nodes; {!Engine.run} interprets the tree against a prepared
+    view. Keyword search compiles to a small linear {!search} pipeline
+    (lookup, then ranking transforms) executed by {!Engine.run_search}.
+    Plans contain no privilege information: visibility is decided before
+    planning by choosing the view ({!Access_gate}). *)
+
+(** {2 Structural plans} *)
+
+type t =
+  | Node_scan of Query_ast.node_pred
+      (** all view nodes whose module satisfies the predicate *)
+  | Edge_join of Query_ast.node_pred * Query_ast.node_pred * string option
+      (** direct dataflow edges between matches; [Some data] additionally
+          requires the edge to carry the named data ([Carries]) *)
+  | Reach_join of Query_ast.node_pred * Query_ast.node_pred
+      (** strict reachability pairs ([Before]); answered from the
+          prepared view's bitset closure *)
+  | Inside_scan of Query_ast.node_pred * Wfpriv_workflow.Ids.workflow_id
+      (** matches defined inside (a descendant of) the workflow *)
+  | Refine_join of Query_ast.node_pred * Query_ast.node_pred
+      (** τ-descendancy pairs: composite matches against matches defined
+          inside their expansion subtree *)
+  | Guarded_and of t * t
+      (** short-circuit conjunction: the right branch only runs when the
+          left holds *)
+  | Union of t * t  (** first-match disjunction *)
+  | Complement of t  (** negation; produces no witness nodes *)
+
+val compile : Query_ast.t -> t
+(** Structure-directed translation; total and deterministic. *)
+
+val to_string : t -> string
+(** Stable rendering for debugging and plan-shape tests. *)
+
+val operator_count : t -> int
+(** Number of operators in the plan tree. *)
+
+(** {2 Search plans} *)
+
+type search =
+  | Keyword_lookup of string list
+      (** score every repository document against the keywords *)
+  | Rank of search  (** descending score, deterministic tie-break *)
+  | Quantize of float * search
+      (** privacy-aware score bucketing ({!Ranking.quantize}) *)
+  | Project_top of int * search  (** keep the best [k] entries *)
+
+val compile_search : ?quantize:float -> ?top:int -> string list -> search
+(** The canonical pipeline: lookup, optional quantization, rank, optional
+    top-[k] projection (outermost). *)
+
+val search_to_string : search -> string

@@ -1,207 +1,25 @@
-open Wfpriv_workflow
-module Reachability = Wfpriv_graph.Reachability
-module Digraph = Wfpriv_graph.Digraph
+(* Thin shim over the compiled engine: the public evaluator API predates
+   plans, so these entry points prepare the view, compile the query and
+   run it. Callers that evaluate repeatedly against one view should hold
+   an {!Engine.t} themselves (as {!Session} and {!Repository} do) to
+   reuse the preparation and the memoized closure. *)
 
 type witness = { holds : bool; nodes : int list }
 
-let module_pred spec pred m =
-  let md = Spec.find_module spec m in
-  match pred with
-  | Query_ast.Any -> true
-  | Query_ast.Name_matches s -> Module_def.matches md s
-  | Query_ast.Module_is m' -> m = m'
-  | Query_ast.Atomic_only -> md.Module_def.kind = Module_def.Atomic
-  | Query_ast.Composite_only -> Module_def.is_composite md
+let of_engine (w : Engine.witness) =
+  { holds = w.Engine.holds; nodes = w.Engine.nodes }
 
-(* Generic evaluator over an abstract graph-with-modules interface. *)
-type 'node graph_api = {
-  all_nodes : unit -> 'node list;
-  module_of : 'node -> Ids.module_id option;
-  succ : 'node -> 'node list;
-  reaches : 'node -> 'node -> bool;
-  edge_carries : 'node -> 'node -> string -> bool;
-  the_spec : Spec.t;
-}
+let spec_nodes_matching view pred =
+  Engine.matching (Engine.of_spec_view view) pred
 
-let api_matching api pred =
-  List.filter
-    (fun n ->
-      match api.module_of n with
-      | Some m -> module_pred api.the_spec pred m
-      | None -> pred = Query_ast.Any)
-    (api.all_nodes ())
-
-let rec eval api q =
-  match q with
-  | Query_ast.Node p ->
-      let ns = api_matching api p in
-      { holds = ns <> []; nodes = ns }
-  | Query_ast.Edge (pa, pb) ->
-      let asrc = api_matching api pa in
-      let pairs =
-        List.concat_map
-          (fun a ->
-            List.filter_map
-              (fun b ->
-                match api.module_of b with
-                | Some m when module_pred api.the_spec pb m -> Some (a, b)
-                | Some _ -> None
-                | None -> if pb = Query_ast.Any then Some (a, b) else None)
-              (api.succ a))
-          asrc
-      in
-      {
-        holds = pairs <> [];
-        nodes = List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) pairs);
-      }
-  | Query_ast.Before (pa, pb) ->
-      let asrc = api_matching api pa and bdst = api_matching api pb in
-      let pairs =
-        List.concat_map
-          (fun a ->
-            List.filter_map
-              (fun b -> if a <> b && api.reaches a b then Some (a, b) else None)
-              bdst)
-          asrc
-      in
-      {
-        holds = pairs <> [];
-        nodes = List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) pairs);
-      }
-  | Query_ast.Carries (pa, pb, data) ->
-      let asrc = api_matching api pa in
-      let pairs =
-        List.concat_map
-          (fun a ->
-            List.filter_map
-              (fun b ->
-                let ok_b =
-                  match api.module_of b with
-                  | Some m -> module_pred api.the_spec pb m
-                  | None -> pb = Query_ast.Any
-                in
-                if ok_b && api.edge_carries a b data then Some (a, b) else None)
-              (api.succ a))
-          asrc
-      in
-      {
-        holds = pairs <> [];
-        nodes = List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) pairs);
-      }
-  | Query_ast.Inside (p, w) ->
-      let inside =
-        match Hierarchy.descendants (Hierarchy.of_spec api.the_spec) w with
-        | desc ->
-            List.filter
-              (fun n ->
-                match api.module_of n with
-                | Some m -> List.mem (Spec.owner api.the_spec m) desc
-                | None -> false)
-              (api_matching api p)
-        | exception Not_found -> []
-      in
-      { holds = inside <> []; nodes = inside }
-  | Query_ast.Refines (pa, pb) ->
-      let hierarchy = Hierarchy.of_spec api.the_spec in
-      let asrc =
-        List.filter
-          (fun n ->
-            match api.module_of n with
-            | Some m -> Module_def.is_composite (Spec.find_module api.the_spec m)
-            | None -> false)
-          (api_matching api pa)
-      in
-      let pairs =
-        List.concat_map
-          (fun a ->
-            let w =
-              match api.module_of a with
-              | Some m ->
-                  Module_def.expansion (Spec.find_module api.the_spec m)
-              | None -> None
-            in
-            match w with
-            | None -> []
-            | Some w ->
-                let desc = Hierarchy.descendants hierarchy w in
-                List.filter_map
-                  (fun b ->
-                    match api.module_of b with
-                    | Some m
-                      when module_pred api.the_spec pb m
-                           && List.mem (Spec.owner api.the_spec m) desc ->
-                        Some (a, b)
-                    | _ -> None)
-                  (api.all_nodes ()))
-          asrc
-      in
-      {
-        holds = pairs <> [];
-        nodes =
-          List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) pairs);
-      }
-  | Query_ast.And (a, b) ->
-      let wa = eval api a in
-      if not wa.holds then { holds = false; nodes = [] }
-      else begin
-        let wb = eval api b in
-        if wb.holds then
-          { holds = true; nodes = List.sort_uniq compare (wa.nodes @ wb.nodes) }
-        else { holds = false; nodes = [] }
-      end
-  | Query_ast.Or (a, b) ->
-      let wa = eval api a in
-      if wa.holds then wa else eval api b
-  | Query_ast.Not a ->
-      let wa = eval api a in
-      { holds = not wa.holds; nodes = [] }
-
-(* Specification views: nodes are module ids; I/O modules participate via
-   their module records. *)
-let spec_api view =
-  let g = View.graph view in
-  {
-    all_nodes = (fun () -> Digraph.nodes g);
-    module_of = (fun m -> Some m);
-    succ = (fun m -> Digraph.succ g m);
-    reaches = (fun a b -> Reachability.reaches g a b);
-    edge_carries = (fun a b d -> List.mem d (View.edge_data view a b));
-    the_spec = View.spec view;
-  }
-
-let spec_nodes_matching view pred = api_matching (spec_api view) pred
-let eval_spec view q = eval (spec_api view) q
+let eval_spec view q = of_engine (Engine.run_query (Engine.of_spec_view view) q)
 let holds_spec view q = (eval_spec view q).holds
+let exec_nodes_matching ev pred = Engine.matching (Engine.of_exec_view ev) pred
 
-(* Execution views: nodes are representative node ids; a composite's begin
-   and end nodes both stand for the composite module. *)
-let exec_api ?reaches ev =
-  let g = Exec_view.graph ev in
-  let e = Exec_view.exec ev in
-  let item_names u v =
-    Exec_view.edge_items ev u v
-    |> List.map (fun d -> (Execution.find_item e d).Execution.name)
-  in
-  let reaches =
-    match reaches with
-    | Some f -> f
-    | None -> fun a b -> Reachability.reaches g a b
-  in
-  {
-    all_nodes = (fun () -> Digraph.nodes g);
-    module_of = (fun n -> Exec_view.module_of_node ev n);
-    succ = (fun n -> Digraph.succ g n);
-    reaches;
-    edge_carries = (fun a b d -> List.mem d (item_names a b));
-    the_spec = Execution.spec e;
-  }
+let eval_exec ?reaches ev q =
+  of_engine (Engine.run_query (Engine.of_exec_view ?reaches ev) q)
 
-let exec_nodes_matching ev pred = api_matching (exec_api ev) pred
-let eval_exec ?reaches ev q = eval (exec_api ?reaches ev) q
 let holds_exec ?reaches ev q = (eval_exec ?reaches ev q).holds
 
 let provenance_of_matches ev pred =
-  let g = Exec_view.graph ev in
-  let matches = exec_nodes_matching ev pred in
-  List.concat_map (fun n -> Reachability.co_reachable g n) matches
-  |> List.sort_uniq compare
+  Engine.co_reachable_of_matches (Engine.of_exec_view ev) pred

@@ -17,6 +17,10 @@ type witness = {
           when [holds = false]. Sorted. *)
 }
 
+val of_engine : Engine.witness -> witness
+(** Coerce an engine witness (same contract). Callers holding a prepared
+    {!Engine.t} evaluate through it and convert here. *)
+
 (** {2 Specification views} *)
 
 val spec_nodes_matching :

@@ -1,9 +1,17 @@
 module Reachability = Wfpriv_graph.Reachability
 open Wfpriv_workflow
 
+(* Two FIFO-evicting tables share the counters: closures (the original
+   per-user-group reachability cache) and prepared engines (whole
+   prepared views, whose bitset closures are memoized inside the
+   Engine.t, so a cached engine answers repeated structural queries with
+   zero re-preparation). Executions are immutable, so entries never
+   invalidate; eviction only bounds memory. *)
 type t = {
   table : (string, Reachability.closure) Hashtbl.t;
   mutable order : string list; (* insertion order, oldest last *)
+  engines : (string, Engine.t) Hashtbl.t;
+  mutable engine_order : string list;
   capacity : int;
   mutable hits : int;
   mutable misses : int;
@@ -11,7 +19,15 @@ type t = {
 
 let create ?(capacity = 256) () =
   if capacity < 1 then invalid_arg "Reach_cache.create: capacity < 1";
-  { table = Hashtbl.create 64; order = []; capacity; hits = 0; misses = 0 }
+  {
+    table = Hashtbl.create 64;
+    order = [];
+    engines = Hashtbl.create 64;
+    engine_order = [];
+    capacity;
+    hits = 0;
+    misses = 0;
+  }
 
 let group_key ~entry ~run ~prefix =
   Printf.sprintf "%s/%d/{%s}" entry run (String.concat "," prefix)
@@ -38,12 +54,33 @@ let closure t ~key view =
 let reaches t ~key view u v =
   Reachability.closure_reaches (closure t ~key view) u v
 
+let engine t ~key view =
+  match Hashtbl.find_opt t.engines key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      e
+  | None ->
+      t.misses <- t.misses + 1;
+      let e = Engine.of_exec_view view in
+      if Hashtbl.length t.engines >= t.capacity then begin
+        match List.rev t.engine_order with
+        | oldest :: _ ->
+            Hashtbl.remove t.engines oldest;
+            t.engine_order <- List.filter (fun k -> k <> oldest) t.engine_order
+        | [] -> ()
+      end;
+      Hashtbl.replace t.engines key e;
+      t.engine_order <- key :: t.engine_order;
+      e
+
 let hits t = t.hits
 let misses t = t.misses
-let entries t = Hashtbl.length t.table
+let entries t = Hashtbl.length t.table + Hashtbl.length t.engines
 
 let clear t =
   Hashtbl.reset t.table;
   t.order <- [];
+  Hashtbl.reset t.engines;
+  t.engine_order <- [];
   t.hits <- 0;
   t.misses <- 0

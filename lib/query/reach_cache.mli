@@ -28,7 +28,17 @@ val closure :
 val reaches : t -> key:string -> Wfpriv_workflow.Exec_view.t -> int -> int -> bool
 (** O(1) after the first call per key. *)
 
+val engine : t -> key:string -> Wfpriv_workflow.Exec_view.t -> Engine.t
+(** Cached {e prepared engine} for the group's view: dense arrays plus
+    the memoized bitset closure, built on miss. Repeated structural
+    queries for one user group then skip preparation entirely — the
+    engine-level refinement of {!closure}. Evicted FIFO under the same
+    capacity bound (counted separately from closures). *)
+
 val hits : t -> int
 val misses : t -> int
+
 val entries : t -> int
+(** Cached closures plus cached engines. *)
+
 val clear : t -> unit

@@ -79,10 +79,10 @@ let names t = List.map (fun e -> e.name) t.entries |> List.sort compare
 let nb_entries t = List.length t.entries
 
 let visible_terms entry level =
-  let view = Privilege.access_view (Policy.privilege entry.policy) level in
+  let gate = Access_gate.of_policy entry.policy ~level in
   List.concat_map
     (fun m -> Module_def.terms (Spec.find_module entry.spec m))
-    (View.visible_modules view)
+    (View.visible_modules (Access_gate.spec_view gate))
 
 let visible_corpus t ~level =
   Tfidf.build (List.map (fun e -> (e.name, visible_terms e level)) t.entries)
@@ -98,14 +98,13 @@ let keyword_search t ~level ?strategy ?quantize_scores keywords =
   let hits =
     List.filter_map
       (fun e ->
-        let privilege = Policy.privilege e.policy in
-        let visible m = Privilege.min_level_to_see privilege m <= level in
+        let gate = Access_gate.of_policy e.policy ~level in
+        let visible m = Access_gate.sees_module gate m in
         match Keyword.search ?strategy ~restrict_to:visible e.spec keywords with
         | None -> None
         | Some answer ->
             (* Never show more than the access view allows. *)
-            let access = Privilege.access_view privilege level in
-            let capped = View.meet answer.Keyword.view access in
+            let capped = Access_gate.cap_view gate answer.Keyword.view in
             let answer = { answer with Keyword.view = capped } in
             Some
               {
@@ -115,13 +114,15 @@ let keyword_search t ~level ?strategy ?quantize_scores keywords =
               })
       t.entries
   in
-  let entries = List.map (fun h -> { Ranking.doc = h.entry_name; score = h.score }) hits in
-  let entries =
-    match quantize_scores with
-    | Some width -> Ranking.quantize ~width entries
-    | None -> entries
+  (* Ranking runs as a compiled search pipeline: lookup (the hit scores),
+     optional quantization, rank. *)
+  let plan = Plan.compile_search ?quantize:quantize_scores keywords in
+  let ranked =
+    Engine.run_search
+      ~lookup:(fun _ ->
+        List.map (fun h -> { Ranking.doc = h.entry_name; score = h.score }) hits)
+      plan
   in
-  let ranked = Ranking.rank entries in
   List.filter_map
     (fun (r : Ranking.entry) ->
       Option.map
@@ -138,9 +139,7 @@ type prov_hit = {
 let provenance_search t ~level keywords =
   List.concat_map
     (fun e ->
-      let privilege = Policy.privilege e.policy in
-      let classification = Policy.data_classification e.policy in
-      let allowed = Privilege.access_prefix privilege level in
+      let gate = Access_gate.of_policy e.policy ~level in
       List.concat
         (List.mapi
            (fun run exec ->
@@ -148,7 +147,7 @@ let provenance_search t ~level keywords =
                (* The witness must be exposable within the access view,
                   or the capped answer could not show it. *)
                List.for_all
-                 (fun wf -> List.mem wf allowed)
+                 (Access_gate.allows_workflow gate)
                  (Exec_search.required_prefix exec w)
              in
              let admissible w =
@@ -157,20 +156,18 @@ let provenance_search t ~level keywords =
                match w with
                | Exec_search.Module_witness n -> (
                    match Execution.module_of_node exec n with
-                   | Some m -> Privilege.min_level_to_see privilege m <= level
+                   | Some m -> Access_gate.sees_module gate m
                    | None -> true)
                | Exec_search.Data_witness d ->
                    let item = Execution.find_item exec d in
-                   Data_privacy.readable classification level
-                     item.Execution.name
+                   Access_gate.data_readable gate item.Execution.name
              in
              match Exec_search.search ~restrict_to:admissible exec keywords with
              | None -> []
              | Some answer ->
                  (* Cap the answer at the caller's access view. *)
                  let capped_prefix =
-                   List.filter
-                     (fun w -> List.mem w allowed)
+                   Access_gate.cap_prefix gate
                      (Exec_view.prefix answer.Exec_search.view)
                  in
                  let answer =
@@ -186,19 +183,22 @@ let provenance_search t ~level keywords =
 
 let structural_query ?cache t ~level name q =
   let e = find t name in
+  let gate = Access_gate.of_policy e.policy ~level in
+  let plan = Plan.compile q in
   List.mapi
     (fun run exec ->
-      let privilege = Policy.privilege e.policy in
-      let ev = Privilege.access_exec_view privilege level exec in
-      let reaches =
-        Option.map
-          (fun c ->
+      let ev = Access_gate.exec_view gate exec in
+      let engine =
+        match cache with
+        | None -> Engine.of_exec_view ev
+        | Some c ->
+            (* One prepared engine (and one memoized closure) per user
+               group and run — Sec. 4's cached-information reuse. *)
             let key =
               Reach_cache.group_key ~entry:name ~run
-                ~prefix:(Privilege.access_prefix privilege level)
+                ~prefix:(Access_gate.allowed gate)
             in
-            Reach_cache.reaches c ~key ev)
-          cache
+            Reach_cache.engine c ~key ev
       in
-      Query_eval.eval_exec ?reaches ev q)
+      Query_eval.of_engine (Engine.run engine plan))
     e.executions

@@ -42,3 +42,18 @@ val zoom_out :
 
 val agree : result -> result -> bool
 (** Same holds-bit and same final prefix (the invariant E5 checks). *)
+
+(** {2 Gate-based entry points}
+
+    Callers that already hold an {!Access_gate.t} (one user, many
+    queries) evaluate through it directly; the level-taking functions
+    above are shims building a fresh gate per call. *)
+
+val gated_on_the_fly :
+  Access_gate.t -> Wfpriv_workflow.Execution.t -> Query_ast.t -> result
+
+val gated_zoom_out :
+  Access_gate.t -> Wfpriv_workflow.Execution.t -> Query_ast.t -> result
+(** The deepest offending workflow is collapsed each round; depth ties
+    break to the lexicographically smallest workflow id, so collapse
+    sequences (and [collapse_count]) are reproducible across runs. *)

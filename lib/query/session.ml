@@ -1,31 +1,41 @@
 open Wfpriv_workflow
-open Wfpriv_privacy
 
 type t = {
-  privilege : Privilege.t;
-  s_level : Privilege.level;
+  gate : Access_gate.t;
   exec : Execution.t;
   mutable view : Exec_view.t;
-  mutable denied : (int * Privilege.level) list; (* reversed *)
+  mutable denied : (int * Wfpriv_privacy.Privilege.level) list; (* reversed *)
+  mutable engine : (Ids.workflow_id list * Engine.t) option;
+      (* prepared engine for the current prefix; closure memoized inside,
+         so repeated structural queries at one zoom level are O(plan) *)
 }
 
 type zoom_result =
   | Ok of Exec_view.t
-  | Denied of Privilege.level
+  | Denied of Wfpriv_privacy.Privilege.level
   | Not_expandable
 
+let start_gated gate exec =
+  { gate; exec; view = Exec_view.coarsest exec; denied = []; engine = None }
+
 let start privilege ~level exec =
-  {
-    privilege;
-    s_level = level;
-    exec;
-    view = Exec_view.coarsest exec;
-    denied = [];
-  }
+  start_gated (Access_gate.make privilege ~level) exec
 
 let current t = t.view
-let level t = t.s_level
+let gate t = t.gate
+let level t = Access_gate.level t.gate
 let prefix t = Exec_view.prefix t.view
+
+let engine t =
+  let p = prefix t in
+  match t.engine with
+  | Some (p', e) when p' = p -> e
+  | _ ->
+      let e = Engine.of_exec_view t.view in
+      t.engine <- Some (p, e);
+      e
+
+let query t q = Query_eval.of_engine (Engine.run_query (engine t) q)
 
 (* The workflow a collapsed view node would expand into. *)
 let expansion_of_node t n =
@@ -36,20 +46,24 @@ let expansion_of_node t n =
         Module_def.expansion (Spec.find_module (Execution.spec t.exec) m)
     | None -> None
 
+let set_view t view =
+  t.view <- view;
+  t.engine <- None
+
 let zoom_in t n =
   if not (List.mem n (Exec_view.nodes t.view)) then Not_expandable
   else
     match expansion_of_node t n with
     | None -> Not_expandable
     | Some w ->
-        let required = Privilege.required_level t.privilege w in
-        if required > t.s_level then begin
+        let required = Access_gate.workflow_floor t.gate w in
+        if required > level t then begin
           t.denied <- (n, required) :: t.denied;
           Denied required
         end
         else begin
           let view = Exec_view.of_prefix t.exec (w :: prefix t) in
-          t.view <- view;
+          set_view t view;
           Ok view
         end
 
@@ -57,23 +71,17 @@ let zoom_out t w =
   let spec = Execution.spec t.exec in
   if w = Spec.root spec || not (List.mem w (prefix t)) then Not_expandable
   else begin
-    let hierarchy = Hierarchy.of_spec spec in
-    let drop = Hierarchy.descendants hierarchy w in
-    let p = List.filter (fun x -> not (List.mem x drop)) (prefix t) in
-    let view = Exec_view.of_prefix t.exec p in
-    t.view <- view;
+    let view = Exec_view.of_prefix t.exec (Access_gate.collapse t.gate (prefix t) w) in
+    set_view t view;
     Ok view
   end
 
 let zoom_to_access_view t =
-  let view =
-    Privilege.access_exec_view t.privilege t.s_level t.exec
-  in
-  t.view <- view;
+  let view = Access_gate.exec_view t.gate t.exec in
+  set_view t view;
   view
 
 let denied_attempts t = List.rev t.denied
 
 let within_access_view t =
-  let allowed = Privilege.access_prefix t.privilege t.s_level in
-  List.for_all (fun w -> List.mem w allowed) (prefix t)
+  List.for_all (Access_gate.allows_workflow t.gate) (prefix t)

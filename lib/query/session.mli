@@ -24,9 +24,22 @@ val start :
   t
 (** Begins at the coarsest view (prefix = root only). *)
 
+val start_gated : Access_gate.t -> Wfpriv_workflow.Execution.t -> t
+(** Same, reusing a caller-held gate. *)
+
 val current : t -> Wfpriv_workflow.Exec_view.t
+val gate : t -> Access_gate.t
 val level : t -> Wfpriv_privacy.Privilege.level
 val prefix : t -> Wfpriv_workflow.Ids.workflow_id list
+
+val engine : t -> Engine.t
+(** The prepared engine for the current view, built on first use and
+    kept until the next zoom — the "closure built once per session"
+    contract: repeated structural queries at one zoom level share one
+    preparation and one memoized bitset closure. *)
+
+val query : t -> Query_ast.t -> Query_eval.witness
+(** Evaluate against the current view through {!engine}. *)
 
 val zoom_in : t -> int -> zoom_result
 (** Expand the collapsed composite shown as the given view node; on [Ok]

@@ -373,6 +373,56 @@ let test_index_matches_scan () =
         [ "omim"; "risk"; "pubmed"; "private"; "query"; "nonexistent" ])
     [ 0; 1; 2; 3 ]
 
+(* Satellite property (PR 2): whatever partitions a lookup merges, the
+   result is strictly sorted by (doc, module) — i.e. sorted and
+   deduplicated — and identical to the index-free scan. *)
+let prop_index_merge_sorted_dedup =
+  let clinical_spec = Wfpriv_workloads.Clinical.spec in
+  let random_privilege spec levels =
+    let ws =
+      List.filter (fun w -> w <> Spec.root spec) (Spec.workflow_ids spec)
+    in
+    Privilege.make spec
+      (List.mapi (fun i w -> (w, levels.(i mod Array.length levels))) ws)
+  in
+  let all_terms =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun s ->
+           List.concat_map
+             (fun m -> Module_def.terms (Spec.find_module s m))
+             (Spec.module_ids s))
+         [ spec; clinical_spec ])
+  in
+  let rec strictly_sorted = function
+    | a :: (b :: _ as tl) ->
+        compare
+          (a.Index.doc, a.Index.module_id)
+          (b.Index.doc, b.Index.module_id)
+        < 0
+        && strictly_sorted tl
+    | _ -> true
+  in
+  QCheck.Test.make
+    ~name:"index merges stay sorted, deduplicated and scan-equal" ~count:100
+    QCheck.(
+      triple
+        (array_of_size (Gen.return 6) (int_bound 3))
+        (int_bound 4) small_nat)
+    (fun (levels, level, ti) ->
+      QCheck.assume (Array.length levels > 0);
+      let entries =
+        [
+          ("disease", spec, random_privilege spec levels);
+          ("clinical", clinical_spec, random_privilege clinical_spec levels);
+        ]
+      in
+      let index = Index.build entries in
+      let term = List.nth all_terms (ti mod List.length all_terms) in
+      let merged = Index.lookup index ~level term in
+      strictly_sorted merged
+      && merged = Index.lookup_scan entries ~level term)
+
 let test_per_level_index () =
   let pl = Index.build_per_level ~levels:[ 0; 1; 2; 3 ] entries in
   check Alcotest.int "same answers as shared index" 1
@@ -430,5 +480,7 @@ let () =
           Alcotest.test_case "level filtering" `Quick test_index_lookup_levels;
           Alcotest.test_case "matches linear scan" `Quick test_index_matches_scan;
           Alcotest.test_case "per-level strawman" `Quick test_per_level_index;
-        ] );
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_index_merge_sorted_dedup ]
+      );
     ]
