@@ -7,6 +7,8 @@ open Toolkit
 open Wfpriv_workflow
 open Wfpriv_privacy
 open Wfpriv_query
+module Pool = Wfpriv_parallel.Pool
+module Bitset = Wfpriv_graph.Bitset
 module Rng = Wfpriv_workloads.Rng
 module Synthetic = Wfpriv_workloads.Synthetic
 module Disease = Wfpriv_workloads.Disease
@@ -170,6 +172,31 @@ let tests () =
           in
           let doc = Wfpriv_store.Repo_store.to_string repo in
           fun () -> Wfpriv_store.Repo_store.of_string doc));
+    Test.make ~name:"E15.pool-roundtrip"
+      (Staged.stage
+         (* Full pool lifetime: spawn 4 domains, map, park, join — the
+            fixed cost a short-lived parallel section must amortize. *)
+         (let xs = Array.init 1000 (fun i -> i) in
+          fun () ->
+            let p = Pool.create ~jobs:4 in
+            Fun.protect
+              ~finally:(fun () -> Pool.shutdown p)
+              (fun () -> Pool.parallel_map p (fun x -> x * x) xs)));
+    Test.make ~name:"E15.bitset-iter-sparse"
+      (Staged.stage
+         (* Word-skipping iteration over a 1-in-500 populated bitset. *)
+         (let b = Bitset.create 50_000 in
+          let () =
+            let i = ref 0 in
+            while !i < 50_000 do
+              Bitset.add b !i;
+              i := !i + 500
+            done
+          in
+          fun () ->
+            let acc = ref 0 in
+            Bitset.iter (fun i -> acc := !acc + i) b;
+            !acc));
   ]
 
 let run () =
@@ -203,3 +230,39 @@ let run () =
       Printf.printf "measure: %s (ns/run)\n" measure;
       Util.print_table [ "benchmark"; "ns/run" ] rows)
     merged
+
+(* ------------------------------------------------------------------ *)
+(* The experiment table: every macro experiment the harness can run,
+   keyed by its DESIGN.md id. Lives here (not in [Main]) so both the
+   dispatcher and error messages share one source of truth. *)
+
+let experiments =
+  [
+    ("f1", Exp_figures.f1);
+    ("f2", Exp_figures.f2);
+    ("f3", Exp_figures.f3);
+    ("f4", Exp_figures.f4);
+    ("f5", Exp_figures.f5);
+    ("e1", Exp_privacy.e1);
+    ("e2", Exp_privacy.e2);
+    ("e3", Exp_privacy.e3);
+    ("e4", Exp_privacy.e4);
+    ("e5", Exp_query.e5);
+    ("e6", Exp_query.e6);
+    ("e7", Exp_query.e7);
+    ("e8", Exp_privacy.e8);
+    ("e9", Exp_extensions.e9);
+    ("e10", Exp_extensions.e10);
+    ("e11", Exp_extensions.e11);
+    ("e12", Exp_extensions.e12);
+    ("e13", Exp_durable.e13);
+    ("e14", Exp_engine.e14);
+    ("e15", Exp_parallel.e15);
+    ("a1", Exp_extensions.a1);
+    ("a2", Exp_extensions.a2);
+    ("a3", Exp_extensions.a3);
+    ("bechamel", run);
+  ]
+
+let ids () = List.map fst experiments
+let find id = List.assoc_opt id experiments

@@ -1,0 +1,256 @@
+(* E15: multicore runtime scaling (domain pool).
+
+   Three hot paths gained a parallel mode in the runtime PR — closure
+   materialization (stratum-parallel bitset rows), index construction
+   (token-hash-sharded sort-and-group), and batched query evaluation
+   (plans fanned across domains against one frozen view). This
+   experiment measures wall-clock scaling curves over 1/2/4/8 domains on
+   synthetic executions and, for every jobs setting, asserts the results
+   are identical to the sequential path (closure rows, built index,
+   witness lists) — the determinism contract, re-checked under timing
+   pressure rather than test-sized fixtures.
+
+   Honest-numbers note: speedup is bounded by the physical core count.
+   On a single-core box every jobs > 1 column measures oversubscription
+   overhead, not speedup; the identical-results assertions are the part
+   that must hold everywhere. *)
+
+open Wfpriv_workflow
+open Wfpriv_privacy
+open Wfpriv_query
+module Pool = Wfpriv_parallel.Pool
+module Rng = Wfpriv_workloads.Rng
+module Synthetic = Wfpriv_workloads.Synthetic
+
+(* Edge probability shrinks with size so average degree stays bounded
+   (same rationale as E14); closure rows are O(n^2 / 63) words, so the
+   node axis stops at ~10^4 while the index axis stretches further by
+   registering the largest spec under several repository names. *)
+let sizes () =
+  let base =
+    [
+      ( "10^3",
+        {
+          Synthetic.default_params with
+          levels = 2;
+          atomics_per_workflow = 140;
+          edge_probability = 0.05;
+        } );
+      ( "10^4",
+        {
+          Synthetic.default_params with
+          levels = 2;
+          composites_per_workflow = 3;
+          atomics_per_workflow = 764;
+          edge_probability = 0.01;
+        } );
+    ]
+  in
+  if !Util.quick then [ List.hd base ] else base
+
+let jobs_axis () = if !Util.quick then [ 1; 4 ] else [ 1; 2; 4; 8 ]
+
+let depth_privilege spec =
+  let h = Hierarchy.of_spec spec in
+  Privilege.make spec
+    (Spec.workflow_ids spec
+    |> List.filter (fun w -> w <> Spec.root spec)
+    |> List.map (fun w -> (w, Hierarchy.depth h w)))
+
+(* A 64-query batch in the session style: selective structural pairs
+   plus a few non-reachability operators, all against one view. *)
+let query_batch spec =
+  let ms = Spec.module_ids spec in
+  let nth k =
+    let l = List.length ms in
+    List.nth ms (((k mod l) + l) mod l)
+  in
+  let pair i =
+    Query_ast.Before
+      ( Query_ast.Module_is (nth (3 + (i * 7))),
+        Query_ast.Module_is (nth (List.length ms - 3 - (i * 11))) )
+  in
+  List.init 60 pair
+  @ Query_ast.
+      [
+        And (Node Atomic_only, Before (Module_is (nth 5), Module_is (nth 29)));
+        Carries (Module_is (nth 13), Any, "o3");
+        Edge (Module_is (nth 17), Any);
+        Inside (Module_is (nth 23), Spec.root spec);
+      ]
+
+(* Order-sensitive fold over every closure row — [Hashtbl.hash] stops
+   after a few nodes, so roll a full fingerprint by hand. *)
+let closure_fingerprint e =
+  List.fold_left
+    (fun acc u ->
+      List.fold_left
+        (fun h v -> ((h * 131) + v + 1) land max_int)
+        (acc lxor 0x9e3779b9)
+        (Engine.reachable_set e u))
+    0 (Engine.nodes e)
+
+let witness_fingerprint (ws : Engine.witness list) =
+  List.map (fun w -> (w.Engine.holds, w.Engine.nodes)) ws
+
+let speedup_cell ~base ms = Util.fmt_f ~digits:2 (base /. ms)
+
+let e15 () =
+  Util.heading "E15 Multicore runtime scaling (domain pool)";
+  Printf.printf
+    "recommended domains on this machine: %d%s\n"
+    (Domain.recommended_domain_count ())
+    (if !Util.quick then "  [--quick: smoke-size fixtures]" else "");
+  let fixtures =
+    List.map
+      (fun (label, params) ->
+        let rng = Rng.create 14 in
+        let spec, exec = Synthetic.run rng params in
+        (label, spec, exec))
+      (sizes ())
+  in
+  let jobs = jobs_axis () in
+  let pools = List.map (fun j -> (j, Pool.create ~jobs:j)) jobs in
+  let pool_of j = List.assoc j pools in
+  Fun.protect ~finally:(fun () ->
+      List.iter (fun (_, p) -> Pool.shutdown p) pools)
+  @@ fun () ->
+  (* -- Closure materialization ------------------------------------- *)
+  Util.subheading "Closure materialization (stratum-parallel bitset rows)";
+  let closure_rows =
+    List.concat_map
+      (fun (label, _spec, exec) ->
+        let ev = Exec_view.full exec in
+        let results =
+          List.map
+            (fun j ->
+              let e = Engine.of_exec_view ev in
+              let (), ms =
+                Util.wall_ms (fun () ->
+                    Engine.materialize_closure ~pool:(pool_of j) e)
+              in
+              (j, ms, closure_fingerprint e, Engine.nb_nodes e))
+            jobs
+        in
+        let _, base_ms, base_fp, nodes = List.hd results in
+        List.map
+          (fun (j, ms, fp, _) ->
+            if fp <> base_fp then
+              failwith
+                (Printf.sprintf
+                   "E15: closure rows differ between jobs=1 and jobs=%d (%s)"
+                   j label);
+            [
+              label;
+              string_of_int nodes;
+              string_of_int j;
+              Util.fmt_f ms;
+              speedup_cell ~base:base_ms ms;
+              "yes";
+            ])
+          results)
+      fixtures
+  in
+  Util.print_table
+    [ "size"; "nodes"; "jobs"; "wall ms"; "speedup"; "rows identical" ]
+    closure_rows;
+  (* -- Index build -------------------------------------------------- *)
+  Util.subheading "Index build (token-hash-sharded sort-and-group)";
+  let index_rows =
+    List.concat_map
+      (fun (label, spec, _exec) ->
+        let privilege = depth_privilege spec in
+        (* Several repository entries over the same spec: postings scale
+           with entries at zero extra generation cost. *)
+        let copies = if !Util.quick then 2 else 8 in
+        let entries =
+          List.init copies (fun i ->
+              (Printf.sprintf "wf%d" i, spec, privilege))
+        in
+        let results =
+          List.map
+            (fun j ->
+              let ix, ms =
+                Util.wall_ms (fun () -> Index.build ~pool:(pool_of j) entries)
+              in
+              (j, ms, ix))
+            jobs
+        in
+        let _, base_ms, base_ix = List.hd results in
+        List.map
+          (fun (j, ms, ix) ->
+            if
+              Index.nb_terms ix <> Index.nb_terms base_ix
+              || Index.nb_postings ix <> Index.nb_postings base_ix
+            then
+              failwith
+                (Printf.sprintf
+                   "E15: index differs between jobs=1 and jobs=%d (%s)" j label);
+            [
+              label ^ Printf.sprintf " x%d" copies;
+              string_of_int (Index.nb_postings ix);
+              string_of_int j;
+              Util.fmt_f ms;
+              speedup_cell ~base:base_ms ms;
+              "yes";
+            ])
+          results)
+      fixtures
+  in
+  Util.print_table
+    [ "size"; "postings"; "jobs"; "wall ms"; "speedup"; "index identical" ]
+    index_rows;
+  (* -- Batched evaluation ------------------------------------------- *)
+  Util.subheading "64-query batch against one prepared view";
+  let batch_rows =
+    List.concat_map
+      (fun (label, spec, exec) ->
+        let ev = Exec_view.full exec in
+        let plans = List.map Plan.compile (query_batch spec) in
+        let engine = Engine.of_exec_view ev in
+        Engine.materialize_closure engine;
+        let reference =
+          witness_fingerprint (List.map (Engine.run engine) plans)
+        in
+        let results =
+          List.map
+            (fun j ->
+              let answers = ref [] in
+              let ms =
+                Util.bench_wall_ms
+                  ~budget_ms:(if !Util.quick then 10.0 else 120.0)
+                  (fun () ->
+                    answers := Engine.run_batch ~pool:(pool_of j) engine plans)
+              in
+              if witness_fingerprint !answers <> reference then
+                failwith
+                  (Printf.sprintf
+                     "E15: batch answers differ between sequential and \
+                      jobs=%d (%s)"
+                     j label);
+              (j, ms))
+            jobs
+        in
+        let _, base_ms = List.hd results in
+        List.map
+          (fun (j, ms) ->
+            [
+              label;
+              string_of_int j;
+              Util.fmt_f ms;
+              speedup_cell ~base:base_ms ms;
+              "yes";
+            ])
+          results)
+      fixtures
+  in
+  Util.print_table
+    [ "size"; "jobs"; "wall ms/batch"; "speedup"; "answers identical" ]
+    batch_rows;
+  Printf.printf
+    "expected shape: on an N-core machine closure and batch wall time\n\
+     shrink towards 1/min(jobs, N) of the jobs=1 column (the acceptance\n\
+     bar: >= 2.5x at 4 domains on 4+ physical cores); on fewer cores the\n\
+     jobs > cores columns show scheduler overhead instead. The identical\n\
+     columns are asserted, not eyeballed: any divergence between the\n\
+     parallel and sequential paths aborts the experiment.\n"

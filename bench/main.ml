@@ -1,60 +1,45 @@
 (* Experiment harness entry point.
 
    Usage:
-     dune exec bench/main.exe                 -- run everything
-     dune exec bench/main.exe -- f1 e3 e7     -- run selected experiments
-     dune exec bench/main.exe -- bechamel     -- micro-benchmarks only
+     dune exec bench/main.exe                    -- run everything
+     dune exec bench/main.exe -- f1 e3 e7        -- run selected experiments
+     dune exec bench/main.exe -- e15 --quick     -- smoke-size fixtures (CI)
+     dune exec bench/main.exe -- bechamel        -- micro-benchmarks only
 
    Experiment ids map to DESIGN.md's index: F1-F5 regenerate the paper's
-   figures, E1-E14 quantify the challenges its sections pose, and A1-A3
-   are design ablations. *)
-
-let experiments =
-  [
-    ("f1", Exp_figures.f1);
-    ("f2", Exp_figures.f2);
-    ("f3", Exp_figures.f3);
-    ("f4", Exp_figures.f4);
-    ("f5", Exp_figures.f5);
-    ("e1", Exp_privacy.e1);
-    ("e2", Exp_privacy.e2);
-    ("e3", Exp_privacy.e3);
-    ("e4", Exp_privacy.e4);
-    ("e5", Exp_query.e5);
-    ("e6", Exp_query.e6);
-    ("e7", Exp_query.e7);
-    ("e8", Exp_privacy.e8);
-    ("e9", Exp_extensions.e9);
-    ("e10", Exp_extensions.e10);
-    ("e11", Exp_extensions.e11);
-    ("e12", Exp_extensions.e12);
-    ("e13", Exp_durable.e13);
-    ("e14", Exp_engine.e14);
-    ("a1", Exp_extensions.a1);
-    ("a2", Exp_extensions.a2);
-    ("a3", Exp_extensions.a3);
-    ("bechamel", Bench_registry.run);
-  ]
+   figures, E1-E15 quantify the challenges its sections pose, and A1-A3
+   are design ablations. The table itself lives in {!Bench_registry}. *)
 
 let () =
   let args =
-    Array.to_list Sys.argv |> List.tl
-    |> List.map String.lowercase_ascii
+    Array.to_list Sys.argv |> List.tl |> List.map String.lowercase_ascii
   in
-  match args with
+  let flags, ids =
+    List.partition
+      (fun a -> String.length a >= 2 && String.sub a 0 2 = "--")
+      args
+  in
+  List.iter
+    (function
+      | "--quick" -> Util.quick := true
+      | f ->
+          Printf.eprintf "unknown flag %S (known flags: --quick)\n" f;
+          exit 1)
+    flags;
+  match ids with
   | [] ->
       print_endline
-        "wfpriv experiment harness: F1-F5 (paper figures), E1-E14 (challenge\n\
-         experiments), A1-A2 (ablations), bechamel (micro-benchmarks).\n\
+        "wfpriv experiment harness: F1-F5 (paper figures), E1-E15 (challenge\n\
+         experiments), A1-A3 (ablations), bechamel (micro-benchmarks).\n\
          Running everything.";
-      List.iter (fun (_, f) -> f ()) experiments
+      List.iter (fun (_, f) -> f ()) Bench_registry.experiments
   | ids ->
       List.iter
         (fun id ->
-          match List.assoc_opt id experiments with
+          match Bench_registry.find id with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown experiment %S; known: %s\n" id
-                (String.concat ", " (List.map fst experiments));
+              Printf.eprintf "unknown experiment %S; available: %s\n" id
+                (String.concat ", " (Bench_registry.ids ()));
               exit 1)
         ids

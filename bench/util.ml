@@ -1,10 +1,33 @@
 (* Shared helpers for the experiment harness: timing, table rendering. *)
 
+let quick = ref false
+(* Set by `bench/main.exe -- ... --quick`: experiments that honour it
+   shrink their fixtures to smoke-test size (CI crash detection, no
+   timing claims). *)
+
 let time_ms f =
   let t0 = Sys.time () in
   let r = f () in
   let t1 = Sys.time () in
   (r, (t1 -. t0) *. 1000.0)
+
+(* Wall-clock timing for parallel sections: [Sys.time] sums CPU over all
+   domains, which would hide any speedup. *)
+let wall_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  (r, (t1 -. t0) *. 1000.0)
+
+let bench_wall_ms ?(budget_ms = 50.0) f =
+  let t0 = Unix.gettimeofday () in
+  let rec go n =
+    ignore (f ());
+    let elapsed = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    if elapsed < budget_ms then go (n + 1) else (n, elapsed)
+  in
+  let n, elapsed = go 1 in
+  elapsed /. float_of_int n
 
 (* Repeat a thunk until ~[budget_ms] of CPU time is spent (at least once)
    and report the mean per-run milliseconds. *)

@@ -9,6 +9,7 @@ open Cmdliner
 open Wfpriv_workflow
 open Wfpriv_privacy
 open Wfpriv_query
+module Pool = Wfpriv_parallel.Pool
 module Disease = Wfpriv_workloads.Disease
 module Synthetic = Wfpriv_workloads.Synthetic
 module Rng = Wfpriv_workloads.Rng
@@ -76,6 +77,21 @@ let level_arg =
     & opt int max_int
     & info [ "l"; "level" ] ~docv:"LEVEL"
         ~doc:"Privilege level of the caller (default: unlimited).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Size of the domain pool used by parallel sections (batched \
+           query evaluation, closure materialization, index build). \
+           Default: the $(b,WFPRIV_JOBS) environment variable, else 1 \
+           (sequential). Answers are identical at every setting.")
+
+(* [--jobs N] resizes the process-wide default pool; 0 (the cmdliner
+   default) leaves WFPRIV_JOBS / the sequential default in charge. *)
+let apply_jobs n = if n > 0 then Pool.set_default_jobs n
 
 let dot_arg =
   Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of text.")
@@ -172,15 +188,25 @@ let search file workload seed level keywords specific provenance =
         Format.printf "%a@." View.pp capped
   end
 
-let query file workload seed level query_src =
+let query file workload seed level jobs query_srcs =
+  apply_jobs jobs;
   let wl = load_workload ?file workload seed in
   let exec = wl.run () in
   let privilege = demo_privilege wl.spec in
   let level = if level = max_int then 99 else level in
-  let q = Query_parser.parse query_src in
-  let r = Secure_eval.on_the_fly privilege ~level exec q in
-  Printf.printf "%s at level %d: %b\n" (Query_ast.to_string q) level
-    r.Secure_eval.witness.Query_eval.holds
+  let qs = List.map Query_parser.parse query_srcs in
+  (* One prepared access view serves the whole batch: the gate is frozen
+     (prepare) before evaluation, queries are compiled once and fanned
+     across the default pool — sequential unless --jobs/WFPRIV_JOBS. *)
+  let gate = Access_gate.make privilege ~level in
+  Access_gate.prepare gate;
+  let engine = Engine.of_exec_view (Access_gate.exec_view gate exec) in
+  let witnesses = Engine.run_batch engine (List.map Plan.compile qs) in
+  List.iter2
+    (fun q (w : Engine.witness) ->
+      Printf.printf "%s at level %d: %b\n" (Query_ast.to_string q) level
+        w.Engine.holds)
+    qs witnesses
 
 let structural file workload seed src dst method_ =
   let { spec; _ } = load_workload ?file workload seed in
@@ -423,16 +449,21 @@ let search_cmd =
       $ keywords_arg $ specific_arg $ provenance_flag)
 
 let query_cmd =
-  let q =
+  let qs =
     Arg.(
-      required
-      & pos 0 (some string) None
+      non_empty
+      & pos_all string []
       & info [] ~docv:"QUERY"
-          ~doc:"Structural query, e.g. 'before(~\"Expand SNP\", ~\"OMIM\")'.")
+          ~doc:
+            "Structural queries, e.g. 'before(~\"Expand SNP\", ~\"OMIM\")'. \
+             Several queries form one batch against one prepared view \
+             (see $(b,--jobs)).")
   in
   Cmd.v
-    (Cmd.info "query" ~doc:"Evaluate a structural query at a level")
-    Term.(const query $ file_arg $ workload_arg $ seed_arg $ level_arg $ q)
+    (Cmd.info "query" ~doc:"Evaluate structural queries at a level")
+    Term.(
+      const query $ file_arg $ workload_arg $ seed_arg $ level_arg $ jobs_arg
+      $ qs)
 
 let structural_cmd =
   let src = Arg.(required & pos 0 (some int) None & info [] ~docv:"SRC_ID") in

@@ -28,11 +28,32 @@ let mem s i =
   let w = i / bits_per_word and b = i mod bits_per_word in
   s.words.(w) land (1 lsl b) <> 0
 
-let popcount x =
-  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
-  go 0 x
+(* SWAR popcount over the 63-bit word. The classic 64-bit masks do not
+   fit an OCaml int literal, so each is assembled from its 32-bit half;
+   [lsl] wraps modulo 2^63, which only drops bit 63 — a bit the word
+   never has. The final byte-sum multiply also wraps mod 2^63, but the
+   count is read from bits 56..62 and never exceeds 63, so the truncated
+   top byte still holds it. *)
+let mask_5555 = (0x55555555 lsl 32) lor 0x55555555
+let mask_3333 = (0x33333333 lsl 32) lor 0x33333333
+let mask_0f0f = (0x0f0f0f0f lsl 32) lor 0x0f0f0f0f
+let mask_0101 = (0x01010101 lsl 32) lor 0x01010101
 
-let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+let popcount x =
+  let x = x - ((x lsr 1) land mask_5555) in
+  let x = (x land mask_3333) + ((x lsr 2) land mask_3333) in
+  let x = (x + (x lsr 4)) land mask_0f0f in
+  (x * mask_0101) lsr 56
+
+let cardinal s =
+  let acc = ref 0 in
+  for w = 0 to Array.length s.words - 1 do
+    let word = s.words.(w) in
+    if word <> 0 then acc := !acc + popcount word
+  done;
+  !acc
+
+let pop_count = cardinal
 let is_empty s = Array.for_all (fun w -> w = 0) s.words
 let copy s = { words = Array.copy s.words; cap = s.cap }
 let clear s = Array.fill s.words 0 (Array.length s.words) 0
@@ -69,18 +90,36 @@ let subset a b =
   done;
   !ok
 
+(* Number of trailing zeros of a one-bit word [b = 1 lsl k]: the bits
+   below the set bit, counted. *)
+let ntz_pow2 b = popcount (b - 1)
+
 let iter f s =
   for w = 0 to Array.length s.words - 1 do
-    let word = s.words.(w) in
-    if word <> 0 then
-      for b = 0 to bits_per_word - 1 do
-        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+    let word = ref s.words.(w) in
+    if !word <> 0 then begin
+      let base = w * bits_per_word in
+      while !word <> 0 do
+        let b = !word land (- !word) in
+        f (base + ntz_pow2 b);
+        word := !word land (!word - 1)
       done
+    end
   done
 
 let fold f s init =
   let acc = ref init in
-  iter (fun i -> acc := f i !acc) s;
+  for w = 0 to Array.length s.words - 1 do
+    let word = ref s.words.(w) in
+    if !word <> 0 then begin
+      let base = w * bits_per_word in
+      while !word <> 0 do
+        let b = !word land (- !word) in
+        acc := f (base + ntz_pow2 b) !acc;
+        word := !word land (!word - 1)
+      done
+    end
+  done;
   !acc
 
 let elements s = List.rev (fold (fun i acc -> i :: acc) s [])

@@ -25,7 +25,12 @@ val mem : t -> int -> bool
 (** Membership test. Raises [Invalid_argument] if out of range. *)
 
 val cardinal : t -> int
-(** Number of elements currently in the set. *)
+(** Number of elements currently in the set. Skips zero words and counts
+    set words with a SWAR popcount (no per-bit probing). *)
+
+val pop_count : t -> int
+(** Alias of {!cardinal} (the population count of the underlying bit
+    vector). *)
 
 val is_empty : t -> bool
 
@@ -50,10 +55,13 @@ val subset : t -> t -> bool
 (** [subset a b] is [true] iff every element of [a] is in [b]. *)
 
 val iter : (int -> unit) -> t -> unit
-(** Iterate elements in increasing order. *)
+(** Iterate elements in increasing order. Zero words are skipped and set
+    bits are extracted with lowest-set-bit arithmetic, so cost is
+    O(words + elements), not O(capacity). *)
 
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
-(** Fold over elements in increasing order. *)
+(** Fold over elements in increasing order; same word-skipping fast path
+    as {!iter}. *)
 
 val elements : t -> int list
 (** Elements in increasing order. *)

@@ -1,0 +1,217 @@
+(* Spawn-once domain pool. One job runs at a time per pool (the submit
+   mutex); workers park on [work] between jobs and are woken by a
+   generation bump. Chunks are claimed from an atomic counter, so load
+   balances across domains of unequal speed; completion is tracked by a
+   per-job pending count. Exceptions are recorded per chunk and the
+   lowest-indexed one re-raised after the join, which makes failure
+   deterministic for deterministic [f]. *)
+
+type job = {
+  run : int -> unit; (* chunk index -> work *)
+  nchunks : int;
+  next : int Atomic.t;
+  jlock : Mutex.t; (* protects pending and first_exn *)
+  jdone : Condition.t;
+  mutable pending : int;
+  mutable first_exn : (int * exn * Printexc.raw_backtrace) option;
+}
+
+type t = {
+  n_jobs : int;
+  lock : Mutex.t; (* protects current, generation, stopped *)
+  work : Condition.t;
+  submit : Mutex.t; (* held for the duration of one parallel loop *)
+  mutable current : job option;
+  mutable generation : int;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let run_chunks j =
+  let continue = ref true in
+  while !continue do
+    let c = Atomic.fetch_and_add j.next 1 in
+    if c >= j.nchunks then continue := false
+    else begin
+      (try j.run c
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock j.jlock;
+         (match j.first_exn with
+         | Some (c0, _, _) when c0 <= c -> ()
+         | _ -> j.first_exn <- Some (c, e, bt));
+         Mutex.unlock j.jlock);
+      Mutex.lock j.jlock;
+      j.pending <- j.pending - 1;
+      if j.pending = 0 then Condition.broadcast j.jdone;
+      Mutex.unlock j.jlock
+    end
+  done
+
+let worker t =
+  let last_gen = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.lock;
+    while (not t.stopped) && t.generation = !last_gen do
+      Condition.wait t.work t.lock
+    done;
+    if t.stopped then begin
+      Mutex.unlock t.lock;
+      continue := false
+    end
+    else begin
+      last_gen := t.generation;
+      let job = t.current in
+      Mutex.unlock t.lock;
+      match job with Some j -> run_chunks j | None -> ()
+    end
+  done
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
+  let t =
+    {
+      n_jobs = jobs;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      submit = Mutex.create ();
+      current = None;
+      generation = 0;
+      stopped = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.n_jobs
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopped <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let sequential_for n f =
+  for i = 0 to n - 1 do
+    f i
+  done
+
+let parallel_for ?chunk t n f =
+  if n <= 0 then ()
+  else begin
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 ((n + (4 * t.n_jobs) - 1) / (4 * t.n_jobs))
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    (* Sequential fallback: degenerate pool, unchunkable input, stopped
+       pool, or a loop issued while this pool is busy (nested
+       parallelism deadlocks a shared pool; running inline does not). *)
+    if t.n_jobs <= 1 || nchunks <= 1 || t.stopped || not (Mutex.try_lock t.submit)
+    then sequential_for n f
+    else
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.submit)
+        (fun () ->
+          let j =
+            {
+              run =
+                (fun c ->
+                  let lo = c * chunk in
+                  let hi = min n (lo + chunk) in
+                  for i = lo to hi - 1 do
+                    f i
+                  done);
+              nchunks;
+              next = Atomic.make 0;
+              jlock = Mutex.create ();
+              jdone = Condition.create ();
+              pending = nchunks;
+              first_exn = None;
+            }
+          in
+          Mutex.lock t.lock;
+          t.current <- Some j;
+          t.generation <- t.generation + 1;
+          Condition.broadcast t.work;
+          Mutex.unlock t.lock;
+          run_chunks j;
+          Mutex.lock j.jlock;
+          while j.pending > 0 do
+            Condition.wait j.jdone j.jlock
+          done;
+          Mutex.unlock j.jlock;
+          Mutex.lock t.lock;
+          t.current <- None;
+          Mutex.unlock t.lock;
+          match j.first_exn with
+          | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ())
+  end
+
+let parallel_map ?chunk t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for ?chunk t n (fun i -> out.(i) <- Some (f xs.(i)));
+    Array.map (function Some y -> y | None -> assert false) out
+  end
+
+let parallel_map_list ?chunk t f xs =
+  Array.to_list (parallel_map ?chunk t f (Array.of_list xs))
+
+(* ------------------------------------------------------------------ *)
+(* Shared default pool *)
+
+let global_lock = Mutex.create ()
+let default_override = ref None
+let global_pool = ref None
+let at_exit_registered = ref false
+
+let env_jobs () =
+  match Sys.getenv_opt "WFPRIV_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some (min n 64)
+      | _ -> None)
+
+let default_jobs () =
+  match !default_override with
+  | Some n -> n
+  | None -> ( match env_jobs () with Some n -> n | None -> 1)
+
+let global () =
+  Mutex.lock global_lock;
+  let p =
+    match !global_pool with
+    | Some p -> p
+    | None ->
+        let p = create ~jobs:(default_jobs ()) in
+        global_pool := Some p;
+        if not !at_exit_registered then begin
+          at_exit_registered := true;
+          at_exit (fun () ->
+              match !global_pool with Some p -> shutdown p | None -> ())
+        end;
+        p
+  in
+  Mutex.unlock global_lock;
+  p
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Pool.set_default_jobs: jobs < 1";
+  Mutex.lock global_lock;
+  default_override := Some n;
+  (match !global_pool with
+  | Some p when p.n_jobs <> n ->
+      shutdown p;
+      global_pool := None
+  | _ -> ());
+  Mutex.unlock global_lock

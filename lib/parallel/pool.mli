@@ -1,0 +1,65 @@
+(** Spawn-once domain pool with chunked data-parallel loops.
+
+    A pool owns [jobs - 1] worker domains (the caller participates as the
+    [jobs]-th worker), spawned once at {!create} and parked on a condition
+    variable between jobs — no per-loop spawn cost. {!parallel_for} and
+    {!parallel_map} split an index range into chunks claimed from an
+    atomic counter; results are merged in index order, so the output is
+    identical to the sequential loop regardless of scheduling.
+
+    Determinism contract: for a pure [f], every entry point returns
+    exactly what its sequential fallback returns — same values, same
+    order, and on failure the exception raised by the {e lowest-indexed}
+    failing chunk (chunks are never cancelled, so the raised exception
+    does not depend on scheduling).
+
+    Graceful degradation: a pool of [jobs <= 1], an input too small to
+    chunk, or a loop issued while the pool is already busy (nested
+    parallelism) all run sequentially in the caller — never an error. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [max 0 (jobs - 1)] worker domains. Raises
+    [Invalid_argument] if [jobs < 1]. *)
+
+val jobs : t -> int
+(** Parallelism degree (caller included); [1] means always sequential. *)
+
+val shutdown : t -> unit
+(** Park, signal and join every worker. Idempotent. Loops issued after
+    shutdown run sequentially. *)
+
+(** {2 Loops} *)
+
+val parallel_for : ?chunk:int -> t -> int -> (int -> unit) -> unit
+(** [parallel_for t n f] runs [f i] for every [i] in [0 .. n-1], split
+    into chunks of [chunk] indices (default: [n] split into about four
+    chunks per worker). [f] must only write to caller-partitioned state:
+    distinct indices must touch disjoint mutable locations. *)
+
+val parallel_map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Index-ordered parallel map: [(parallel_map t f xs).(i) = f xs.(i)]. *)
+
+val parallel_map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** Same, preserving list order. *)
+
+(** {2 Shared default pool}
+
+    Library entry points that take [?pool] default to this process-wide
+    pool, sized by [set_default_jobs] if called, else the [WFPRIV_JOBS]
+    environment variable, else 1 — so unconfigured programs stay purely
+    sequential. *)
+
+val default_jobs : unit -> int
+(** Effective default parallelism ([set_default_jobs] override, else
+    [WFPRIV_JOBS], else 1). *)
+
+val set_default_jobs : int -> unit
+(** Override the default degree; tears down an already-built global pool
+    of a different size (rebuilt lazily). Raises [Invalid_argument] if
+    [jobs < 1]. *)
+
+val global : unit -> t
+(** The shared pool, built on first use with {!default_jobs} workers and
+    joined at exit. *)

@@ -1,0 +1,14 @@
+let partition ~shards ~hash xs =
+  if shards < 1 then invalid_arg "Shard.partition: shards < 1";
+  let buckets = Array.make shards [] in
+  List.iter
+    (fun x ->
+      let b = hash x land max_int mod shards in
+      buckets.(b) <- x :: buckets.(b))
+    xs;
+  Array.map List.rev buckets
+
+let map_merge pool ~shards ~hash ~map ~merge ~init xs =
+  let buckets = partition ~shards ~hash xs in
+  let mapped = Pool.parallel_map ~chunk:1 pool map buckets in
+  Array.fold_left merge init mapped

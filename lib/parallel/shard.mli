@@ -1,0 +1,23 @@
+(** Partition/merge skeleton over a {!Pool}: split the input by a hash
+    into disjoint shards, map every shard on its own domain, merge in
+    shard-index order. Because shards are disjoint and the merge order
+    fixed, the result is independent of scheduling whenever [map] and
+    [merge] are pure. *)
+
+val partition : shards:int -> hash:('a -> int) -> 'a list -> 'a list array
+(** [partition ~shards ~hash xs] routes each element to bucket
+    [(hash x land max_int) mod shards], preserving the relative order of
+    elements within a bucket. Raises [Invalid_argument] if [shards < 1]. *)
+
+val map_merge :
+  Pool.t ->
+  shards:int ->
+  hash:('a -> int) ->
+  map:('a list -> 'b) ->
+  merge:('b -> 'b -> 'b) ->
+  init:'b ->
+  'a list ->
+  'b
+(** [map_merge pool ~shards ~hash ~map ~merge ~init xs] partitions [xs],
+    applies [map] to every bucket in parallel, and folds the mapped
+    buckets left-to-right with [merge] starting from [init]. *)

@@ -73,6 +73,14 @@ let spec_view t =
       t.g_view <- Some v;
       v
 
+(* Force every lazily-materialized piece of the gate — hierarchy, spec
+   view, the floor of every module — so all later calls are pure reads.
+   Required before a gate may be consulted from several domains. *)
+let prepare t =
+  ignore (Lazy.force t.hierarchy);
+  ignore (spec_view t);
+  List.iter (fun m -> ignore (module_floor t m)) (Spec.module_ids t.g_spec)
+
 let exec_view t exec = Exec_view.of_prefix exec t.g_allowed
 let cap_view t v = View.meet v (spec_view t)
 let cap_prefix t prefix = List.filter (allows_workflow t) prefix

@@ -56,6 +56,13 @@ val data_readable : t -> string -> bool
 val spec_view : t -> View.t
 (** The access view of the specification (memoized). *)
 
+val prepare : t -> unit
+(** Materialize every lazily-built piece of the gate now — hierarchy,
+    spec view and the floor of every module of the spec. After [prepare]
+    the gate is immutable: all accessors are pure reads of memo tables,
+    so one prepared gate may be consulted concurrently from many domains
+    (the contract batched evaluation relies on). Idempotent. *)
+
 val exec_view : t -> Execution.t -> Exec_view.t
 (** The access view of an execution. *)
 

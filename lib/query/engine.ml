@@ -1,6 +1,7 @@
 open Wfpriv_workflow
 module Digraph = Wfpriv_graph.Digraph
 module Bitset = Wfpriv_graph.Bitset
+module Pool = Wfpriv_parallel.Pool
 
 type io = Io_input | Io_output | Io_none
 
@@ -15,7 +16,11 @@ type t = {
   io_kind : io array;
   carries : (int * int, string list) Hashtbl.t; (* dense edge -> data names *)
   reaches_override : (int -> int -> bool) option; (* over external ids *)
-  mutable closure : Bitset.t array option;
+  closure : Bitset.t array option Atomic.t;
+      (* the one mutable cell of a prepared view: written exactly once,
+         under [closure_lock], through the Atomic so concurrent readers
+         in a batch see fully-built rows or nothing *)
+  closure_lock : Mutex.t;
 }
 
 type witness = { holds : bool; nodes : int list }
@@ -55,7 +60,8 @@ let prepare ~spec ~nodes ~succ_of ~module_of ~io_of ~carry_names ?reaches () =
     io_kind = Array.map io_of node_of;
     carries;
     reaches_override = reaches;
-    closure = None;
+    closure = Atomic.make None;
+    closure_lock = Mutex.create ();
   }
 
 let of_spec_view view =
@@ -181,56 +187,128 @@ let node_matches_io t u pred =
 (* ------------------------------------------------------------------ *)
 (* Memoized bitset closure *)
 
-let closure_rows t =
-  match t.closure with
+(* Reverse topological order of the dense graph via Kahn's algorithm;
+   [None] when the graph has a cycle (never a view, but stay total). *)
+let rev_topo_order t =
+  let indeg = Array.make t.n 0 in
+  Array.iter (Array.iter (fun j -> indeg.(j) <- indeg.(j) + 1)) t.succs;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let rev_topo = ref [] and seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    incr seen;
+    rev_topo := i :: !rev_topo;
+    Array.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j queue)
+      t.succs.(i)
+  done;
+  if !seen = t.n then Some !rev_topo else None
+
+(* Group rows into strata by height above the sinks: stratum [k] holds
+   the nodes all of whose successors live in strata [< k]. Within one
+   stratum the closure rows are mutually independent — each unions only
+   rows of strictly lower strata — so a stratum can be filled by several
+   domains, each owning disjoint row indices, with no locking. *)
+let strata_of t rev_topo =
+  let height = Array.make t.n 0 in
+  let max_h = ref 0 in
+  List.iter
+    (fun i ->
+      let h =
+        Array.fold_left (fun acc j -> max acc (height.(j) + 1)) 0 t.succs.(i)
+      in
+      height.(i) <- h;
+      if h > !max_h then max_h := h)
+    rev_topo;
+  let counts = Array.make (!max_h + 1) 0 in
+  Array.iter (fun h -> counts.(h) <- counts.(h) + 1) height;
+  let strata = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make (!max_h + 1) 0 in
+  (* Ascending dense index within each stratum: deterministic layout. *)
+  for i = 0 to t.n - 1 do
+    let h = height.(i) in
+    strata.(h).(fill.(h)) <- i;
+    fill.(h) <- fill.(h) + 1
+  done;
+  strata
+
+let fill_row_from_succs t rows i =
+  Bitset.add rows.(i) i;
+  Array.iter (fun j -> Bitset.union_into ~dst:rows.(i) rows.(j)) t.succs.(i)
+
+(* Per-node DFS with the row itself as the visited set (cyclic fallback);
+   rows are mutually independent, so this parallelizes per row. *)
+let fill_row_dfs t rows i =
+  let stack = ref [ i ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | u :: rest ->
+        stack := rest;
+        if not (Bitset.mem rows.(i) u) then begin
+          Bitset.add rows.(i) u;
+          Array.iter (fun v -> stack := v :: !stack) t.succs.(u)
+        end
+  done
+
+(* Small graphs chunk poorly and the rows fill in microseconds; below
+   this node count the parallel path is pure overhead. *)
+let min_parallel_nodes = 512
+
+let compute_rows pool t =
+  let rows = Array.init t.n (fun _ -> Bitset.create t.n) in
+  let parallel = Pool.jobs pool > 1 && t.n >= min_parallel_nodes in
+  (match rev_topo_order t with
+  | Some rev_topo when not parallel ->
+      (* Reverse topological order: every successor's row is complete
+         before it is merged into its predecessors'. *)
+      List.iter (fill_row_from_succs t rows) rev_topo
+  | Some rev_topo ->
+      (* Stratum-parallel sweep. The barrier at the end of each
+         [parallel_for] publishes the stratum's rows to every domain
+         before any higher stratum reads them. *)
+      Array.iter
+        (fun stratum ->
+          Pool.parallel_for pool (Array.length stratum) (fun k ->
+              fill_row_from_succs t rows stratum.(k)))
+        (strata_of t rev_topo)
+  | None when not parallel ->
+      for i = 0 to t.n - 1 do
+        fill_row_dfs t rows i
+      done
+  | None -> Pool.parallel_for pool t.n (fun i -> fill_row_dfs t rows i));
+  rows
+
+let closure_rows_with pool t =
+  match Atomic.get t.closure with
   | Some rows -> rows
   | None ->
-      let rows = Array.init t.n (fun _ -> Bitset.create t.n) in
-      let indeg = Array.make t.n 0 in
-      Array.iter
-        (Array.iter (fun j -> indeg.(j) <- indeg.(j) + 1))
-        t.succs;
-      let queue = Queue.create () in
-      Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
-      let rev_topo = ref [] and seen = ref 0 in
-      while not (Queue.is_empty queue) do
-        let i = Queue.pop queue in
-        incr seen;
-        rev_topo := i :: !rev_topo;
-        Array.iter
-          (fun j ->
-            indeg.(j) <- indeg.(j) - 1;
-            if indeg.(j) = 0 then Queue.add j queue)
-          t.succs.(i)
-      done;
-      if !seen = t.n then
-        (* Reverse topological order: every successor's row is complete
-           before it is merged into its predecessors'. *)
-        List.iter
-          (fun i ->
-            Bitset.add rows.(i) i;
-            Array.iter
-              (fun j -> Bitset.union_into ~dst:rows.(i) rows.(j))
-              t.succs.(i))
-          !rev_topo
-      else
-        (* Cyclic graph (never a view, but stay total): per-node DFS with
-           the row itself as the visited set. *)
-        for i = 0 to t.n - 1 do
-          let stack = ref [ i ] in
-          while !stack <> [] do
-            match !stack with
-            | [] -> ()
-            | u :: rest ->
-                stack := rest;
-                if not (Bitset.mem rows.(i) u) then begin
-                  Bitset.add rows.(i) u;
-                  Array.iter (fun v -> stack := v :: !stack) t.succs.(u)
-                end
-          done
-        done;
-      t.closure <- Some rows;
-      rows
+      Mutex.lock t.closure_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.closure_lock)
+        (fun () ->
+          match Atomic.get t.closure with
+          | Some rows -> rows
+          | None ->
+              let rows = compute_rows pool t in
+              Atomic.set t.closure (Some rows);
+              rows)
+
+let closure_rows t = closure_rows_with (Pool.global ()) t
+
+let materialize_closure ?pool t =
+  let pool = match pool with Some p -> p | None -> Pool.global () in
+  ignore (closure_rows_with pool t)
+
+let reachable_set t u =
+  match Hashtbl.find_opt t.index_of u with
+  | None -> []
+  | Some i ->
+      Bitset.fold (fun j acc -> t.node_of.(j) :: acc) (closure_rows t).(i) []
+      |> List.rev
 
 let reaches t u v =
   match t.reaches_override with
@@ -404,6 +482,37 @@ let run_trace t plan =
   let acc = ref [] in
   let w = eval t (Some acc) plan in
   (w, List.rev !acc)
+
+(* ------------------------------------------------------------------ *)
+(* Batched evaluation *)
+
+let rec plan_needs_closure = function
+  | Plan.Reach_join _ -> true
+  | Plan.Guarded_and (a, b) | Plan.Union (a, b) ->
+      plan_needs_closure a || plan_needs_closure b
+  | Plan.Complement a -> plan_needs_closure a
+  | Plan.Node_scan _ | Plan.Edge_join _ | Plan.Inside_scan _
+  | Plan.Refine_join _ ->
+      false
+
+let run_batch ?pool t plans =
+  let pool = match pool with Some p -> p | None -> Pool.global () in
+  (* Freeze the two lazily-materialized pieces of the prepared view
+     before fanning out, so every domain only ever reads them: the
+     hierarchy (Lazy is not safe to force concurrently) and the closure
+     (published once, under the lock). *)
+  ignore (Lazy.force t.hierarchy);
+  if
+    t.reaches_override = None
+    && List.exists plan_needs_closure plans
+  then ignore (closure_rows_with pool t);
+  match t.reaches_override with
+  | Some _ ->
+      (* An external reachability oracle may memoize internally (e.g. a
+         Reach_cache); without a thread-safety contract on it, evaluate
+         in the caller's domain. Answers are identical either way. *)
+      List.map (fun p -> eval t None p) plans
+  | None -> Pool.parallel_map_list ~chunk:1 pool (fun p -> eval t None p) plans
 
 let rec run_search ~lookup = function
   | Plan.Keyword_lookup kws -> lookup kws

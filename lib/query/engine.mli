@@ -70,6 +70,24 @@ val reaches : t -> int -> int -> bool
 (** Reflexive-transitive reachability from the memoized closure (or the
     override). First call on a prepared view builds the closure. *)
 
+val materialize_closure : ?pool:Wfpriv_parallel.Pool.t -> t -> unit
+(** Build and memoize the bitset closure now (no-op when already built).
+    With a pool of more than one domain and enough nodes, rows are
+    filled stratum-parallel: nodes are grouped by height above the
+    sinks, each stratum's rows only union rows of strictly lower strata,
+    and each domain owns disjoint row indices — so no locking, and the
+    resulting rows are identical to the sequential sweep's. Defaults to
+    {!Wfpriv_parallel.Pool.global}, which is sequential unless
+    [WFPRIV_JOBS] (or [set_default_jobs]) says otherwise. The memo is
+    published once through an [Atomic] under a mutex: concurrent callers
+    see either nothing or fully-built rows. *)
+
+val reachable_set : t -> int -> int list
+(** External node ids reachable from the given node (itself included),
+    ascending; [[]] for unknown nodes. Exposes one closure row — the
+    determinism suite compares parallel and sequential rows through
+    this. *)
+
 val co_reachable_of_matches : t -> Query_ast.node_pred -> int list
 (** Nodes that can reach some match of the predicate (matches included),
     sorted — provenance of a match set, answered from closure rows. *)
@@ -85,6 +103,16 @@ val run_trace : t -> Plan.t -> witness * (Plan.t * int list) list
 (** Like {!run} but also returns every operator's output node set, inner
     operators first — the hook for the leakage test: every intermediate
     node is a node of the prepared view, hence visible. *)
+
+val run_batch : ?pool:Wfpriv_parallel.Pool.t -> t -> Plan.t list -> witness list
+(** Evaluate a batch of compiled plans against one prepared view, plans
+    distributed across the pool's domains; results in input order,
+    identical to [List.map (run t) plans]. Before fanning out, the
+    hierarchy and (when some plan contains a [Reach_join]) the closure
+    are materialized, after which evaluation only reads the prepared
+    view. Engines carrying a [reaches] override evaluate sequentially —
+    the override has no thread-safety contract. Defaults to the global
+    pool. *)
 
 val run_search :
   lookup:(string list -> Ranking.entry list) -> Plan.search -> Ranking.entry list

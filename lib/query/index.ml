@@ -1,6 +1,8 @@
 open Wfpriv_workflow
 open Wfpriv_privacy
 module Smap = Map.Make (String)
+module Pool = Wfpriv_parallel.Pool
+module Shard = Wfpriv_parallel.Shard
 
 type posting = {
   doc : string;
@@ -68,7 +70,31 @@ let merge_partitions parts =
 let partition_count parts =
   List.fold_left (fun acc (_, arr) -> acc + Array.length arr) 0 parts
 
-let build entries =
+(* Sort-and-partition the postings of a token subset into the per-level
+   index shape. All postings of one term share a hash, hence a shard, so
+   sharded builds see exactly the posting sub-lists the sequential build
+   sees — partitions are identical either way. *)
+let shard_partitions postings =
+  let by_term =
+    List.fold_left
+      (fun acc (term, p) ->
+        Smap.update term
+          (function None -> Some [ p ] | Some ps -> Some (p :: ps))
+          acc)
+      Smap.empty postings
+  in
+  Smap.map
+    (fun ps ->
+      List.sort
+        (fun a b ->
+          compare (a.min_level, a.doc, a.module_id)
+            (b.min_level, b.doc, b.module_id))
+        ps
+      |> partition_sorted)
+    by_term
+
+let build ?pool entries =
+  let pool = match pool with Some p -> p | None -> Pool.global () in
   (* Duplicate-name detection in one Map pass (was an O(n^2)-ish
      sort-and-compare over the whole name list). *)
   ignore
@@ -78,25 +104,24 @@ let build entries =
            invalid_arg "Index.build: duplicate entry names"
          else Smap.add n () seen)
        Smap.empty entries);
-  let by_term =
-    List.fold_left
-      (fun acc (term, p) ->
-        Smap.update term
-          (function None -> Some [ p ] | Some ps -> Some (p :: ps))
-          acc)
-      Smap.empty
-      (List.concat_map entry_postings entries)
+  (* Posting extraction is independent per entry (each call builds its
+     own floor memo); token partitioning then shards the heavy
+     sort-and-group across domains, merged by disjoint-key map union in
+     shard order. *)
+  let jobs = Pool.jobs pool in
+  let postings =
+    if jobs <= 1 || List.length entries <= 1 then
+      List.concat_map entry_postings entries
+    else Pool.parallel_map_list ~chunk:1 pool entry_postings entries |> List.concat
   in
   let partitions =
-    Smap.map
-      (fun ps ->
-        List.sort
-          (fun a b ->
-            compare (a.min_level, a.doc, a.module_id)
-              (b.min_level, b.doc, b.module_id))
-          ps
-        |> partition_sorted)
-      by_term
+    if jobs <= 1 then shard_partitions postings
+    else
+      Shard.map_merge pool ~shards:(jobs * 2)
+        ~hash:(fun (term, _) -> Hashtbl.hash term)
+        ~map:shard_partitions
+        ~merge:(Smap.union (fun _ a _ -> Some a))
+        ~init:Smap.empty postings
   in
   let total =
     Smap.fold (fun _ parts acc -> acc + partition_count parts) partitions 0

@@ -20,10 +20,20 @@ type posting = {
 type t
 
 val build :
-  (string * Wfpriv_workflow.Spec.t * Wfpriv_privacy.Privilege.t) list -> t
+  ?pool:Wfpriv_parallel.Pool.t ->
+  (string * Wfpriv_workflow.Spec.t * Wfpriv_privacy.Privilege.t) list ->
+  t
 (** One entry per repository workflow: name, spec, and its expansion-level
     assignment. Every term of every module (including I/O pseudo-modules)
-    is indexed. Raises [Invalid_argument] on duplicate names. *)
+    is indexed. Raises [Invalid_argument] on duplicate names.
+
+    With a pool of more than one domain, posting extraction runs
+    per-entry in parallel and the sort-and-group step is sharded by
+    token hash across domains, merged with a disjoint-key map union in
+    shard order — the built index is identical to the sequential one
+    (all postings of a term land in one shard, so every term's posting
+    list is sorted from exactly the same inputs). Defaults to the global
+    pool (sequential unless [WFPRIV_JOBS] is set). *)
 
 val lookup : t -> level:Wfpriv_privacy.Privilege.level -> string -> posting list
 (** Postings for a term visible at the level, sorted by (doc, module). *)

@@ -1,86 +1,107 @@
 module Reachability = Wfpriv_graph.Reachability
 open Wfpriv_workflow
 
-(* Two FIFO-evicting tables share the counters: closures (the original
+(* Two LRU-evicting tables share the counters: closures (the original
    per-user-group reachability cache) and prepared engines (whole
    prepared views, whose bitset closures are memoized inside the
    Engine.t, so a cached engine answers repeated structural queries with
    zero re-preparation). Executions are immutable, so entries never
-   invalidate; eviction only bounds memory. *)
+   invalidate; eviction only bounds memory. Recency is a monotone tick
+   stamped on every hit and insert; eviction scans for the stalest slot
+   — O(capacity), fine at the few-hundred capacities this cache runs
+   at, and it buys exact LRU without an intrusive list. *)
+
+type 'v slot = { value : 'v; mutable last_used : int }
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
 type t = {
-  table : (string, Reachability.closure) Hashtbl.t;
-  mutable order : string list; (* insertion order, oldest last *)
-  engines : (string, Engine.t) Hashtbl.t;
-  mutable engine_order : string list;
+  table : (string, Reachability.closure slot) Hashtbl.t;
+  engines : (string, Engine.t slot) Hashtbl.t;
   capacity : int;
+  mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let create ?(capacity = 256) () =
   if capacity < 1 then invalid_arg "Reach_cache.create: capacity < 1";
   {
     table = Hashtbl.create 64;
-    order = [];
     engines = Hashtbl.create 64;
-    engine_order = [];
     capacity;
+    tick = 0;
     hits = 0;
     misses = 0;
+    evictions = 0;
   }
 
 let group_key ~entry ~run ~prefix =
   Printf.sprintf "%s/%d/{%s}" entry run (String.concat "," prefix)
 
-let closure t ~key view =
-  match Hashtbl.find_opt t.table key with
-  | Some c ->
+let touch t slot =
+  t.tick <- t.tick + 1;
+  slot.last_used <- t.tick
+
+(* Evict the least-recently-used slot of one table (ties broken towards
+   the smaller key, so eviction order is deterministic). *)
+let evict_lru t tbl =
+  let victim =
+    Hashtbl.fold
+      (fun k slot best ->
+        match best with
+        | Some (_, bu) when bu < slot.last_used -> best
+        | Some (bk, bu) when bu = slot.last_used && bk < k -> best
+        | _ -> Some (k, slot.last_used))
+      tbl None
+  in
+  match victim with
+  | Some (k, _) ->
+      Hashtbl.remove tbl k;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let find_or_build t tbl ~key build =
+  match Hashtbl.find_opt tbl key with
+  | Some slot ->
       t.hits <- t.hits + 1;
-      c
+      touch t slot;
+      slot.value
   | None ->
       t.misses <- t.misses + 1;
-      let c = Reachability.closure (Exec_view.graph view) in
-      if Hashtbl.length t.table >= t.capacity then begin
-        match List.rev t.order with
-        | oldest :: _ ->
-            Hashtbl.remove t.table oldest;
-            t.order <- List.filter (fun k -> k <> oldest) t.order
-        | [] -> ()
-      end;
-      Hashtbl.replace t.table key c;
-      t.order <- key :: t.order;
-      c
+      let v = build () in
+      if Hashtbl.length tbl >= t.capacity then evict_lru t tbl;
+      t.tick <- t.tick + 1;
+      Hashtbl.replace tbl key { value = v; last_used = t.tick };
+      v
+
+let closure t ~key view =
+  find_or_build t t.table ~key (fun () ->
+      Reachability.closure (Exec_view.graph view))
 
 let reaches t ~key view u v =
   Reachability.closure_reaches (closure t ~key view) u v
 
 let engine t ~key view =
-  match Hashtbl.find_opt t.engines key with
-  | Some e ->
-      t.hits <- t.hits + 1;
-      e
-  | None ->
-      t.misses <- t.misses + 1;
-      let e = Engine.of_exec_view view in
-      if Hashtbl.length t.engines >= t.capacity then begin
-        match List.rev t.engine_order with
-        | oldest :: _ ->
-            Hashtbl.remove t.engines oldest;
-            t.engine_order <- List.filter (fun k -> k <> oldest) t.engine_order
-        | [] -> ()
-      end;
-      Hashtbl.replace t.engines key e;
-      t.engine_order <- key :: t.engine_order;
-      e
+  find_or_build t t.engines ~key (fun () -> Engine.of_exec_view view)
 
 let hits t = t.hits
 let misses t = t.misses
+let evictions t = t.evictions
 let entries t = Hashtbl.length t.table + Hashtbl.length t.engines
+
+let stats t : stats =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = entries t;
+  }
 
 let clear t =
   Hashtbl.reset t.table;
-  t.order <- [];
   Hashtbl.reset t.engines;
-  t.engine_order <- [];
+  t.tick <- 0;
   t.hits <- 0;
-  t.misses <- 0
+  t.misses <- 0;
+  t.evictions <- 0

@@ -9,13 +9,17 @@
     node pair instead of a DFS per pair.
 
     The cache never invalidates on its own: executions are immutable, so
-    a key's closure is valid forever; evict only to bound memory. *)
+    a key's closure is valid forever; evict only to bound memory. Both
+    tables are bounded by [capacity] with exact LRU eviction (recency
+    bumped on every hit), so long-lived processes serving many sessions
+    keep the hot user groups and shed the stale ones. *)
 
 type t
 
 val create : ?capacity:int -> unit -> t
-(** [capacity] bounds the number of cached closures (default 256);
-    eviction is FIFO. *)
+(** [capacity] bounds the number of cached closures and the number of
+    cached engines (each table separately, default 256); eviction is
+    least-recently-used, ties broken deterministically. *)
 
 val group_key :
   entry:string -> run:int -> prefix:Wfpriv_workflow.Ids.workflow_id list -> string
@@ -32,13 +36,21 @@ val engine : t -> key:string -> Wfpriv_workflow.Exec_view.t -> Engine.t
 (** Cached {e prepared engine} for the group's view: dense arrays plus
     the memoized bitset closure, built on miss. Repeated structural
     queries for one user group then skip preparation entirely — the
-    engine-level refinement of {!closure}. Evicted FIFO under the same
+    engine-level refinement of {!closure}. Evicted LRU under the same
     capacity bound (counted separately from closures). *)
 
 val hits : t -> int
 val misses : t -> int
 
+val evictions : t -> int
+(** Slots dropped to stay within capacity, both tables combined. *)
+
 val entries : t -> int
 (** Cached closures plus cached engines. *)
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val stats : t -> stats
+(** One snapshot of all counters — what the bench tables report. *)
 
 val clear : t -> unit

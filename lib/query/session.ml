@@ -37,6 +37,14 @@ let engine t =
 
 let query t q = Query_eval.of_engine (Engine.run_query (engine t) q)
 
+let query_batch ?pool t qs =
+  let e = engine t in
+  (* The gate must be read-only before plans fan out across domains:
+     freeze its memo tables now (idempotent). *)
+  Access_gate.prepare t.gate;
+  Engine.run_batch ?pool e (List.map Plan.compile qs)
+  |> List.map Query_eval.of_engine
+
 (* The workflow a collapsed view node would expand into. *)
 let expansion_of_node t n =
   if not (Exec_view.is_collapsed t.view n) then None

@@ -41,6 +41,18 @@ val engine : t -> Engine.t
 val query : t -> Query_ast.t -> Query_eval.witness
 (** Evaluate against the current view through {!engine}. *)
 
+val query_batch :
+  ?pool:Wfpriv_parallel.Pool.t ->
+  t ->
+  Query_ast.t list ->
+  Query_eval.witness list
+(** Evaluate a batch of queries against the current view, compiled once
+    and distributed across the pool's domains ({!Engine.run_batch});
+    answers in input order, identical to mapping {!query}. The session's
+    gate and the view's closure are frozen before the fan-out, so the
+    batch shares one prepared, read-only view. Defaults to the global
+    pool — sequential unless [WFPRIV_JOBS] / [--jobs] raised it. *)
+
 val zoom_in : t -> int -> zoom_result
 (** Expand the collapsed composite shown as the given view node; on [Ok]
     the session has moved to the finer view. *)

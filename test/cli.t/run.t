@@ -17,6 +17,13 @@ level 2 for W4's internals):
   $ wfpriv query 'before(~"Expand SNP", ~"OMIM")' --level 2
   before(~"Expand SNP", ~"OMIM") at level 2: true
 
+Several queries form one batch against one prepared view; --jobs sizes
+the domain pool and never changes answers:
+
+  $ wfpriv query --jobs 4 --level 2 'before(~"Expand SNP", ~"OMIM")' 'before(atomic, atomic)'
+  before(~"Expand SNP", ~"OMIM") at level 2: true
+  before(atomic, atomic) at level 2: true
+
 Keyword search caps answers at the caller's access view:
 
   $ wfpriv search --level 0 risk
