@@ -258,6 +258,7 @@ let experiments =
     ("e13", Exp_durable.e13);
     ("e14", Exp_engine.e14);
     ("e15", Exp_parallel.e15);
+    ("e16", Exp_obs.e16);
     ("a1", Exp_extensions.a1);
     ("a2", Exp_extensions.a2);
     ("a3", Exp_extensions.a3);

@@ -1,0 +1,78 @@
+(* Bench regression comparator: `compare.exe BASELINE CURRENT`.
+
+   BASELINE is the committed bench/baseline.json:
+
+     { "tolerance": 0.25,
+       "metrics": { "e14.engine_speedup": 3.0, "e15.identical": 1.0 } }
+
+   CURRENT is a `bench/main.exe -- ... --json` document. Every baseline
+   metric is higher-is-better (speedup ratios, invariant indicators);
+   the gate fails when a current value drops below
+   baseline * (1 - tolerance), or is missing entirely. Metrics the
+   current run emits beyond the baseline are informational and ignored —
+   the baseline names exactly what is load-bearing. Exit code 0 = pass,
+   1 = regression, 2 = usage/parse error.
+
+   This exists so CI needs no shell JSON parsing: the workflow runs the
+   bench, saves the artifact, and calls this with two file names. *)
+
+module J = Wfpriv_serial.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file path =
+  match J.parse_result (read_file path) with
+  | Ok doc -> doc
+  | Error e ->
+      Printf.eprintf "compare: %s: %s\n" path e;
+      exit 2
+
+let obj_pairs what = function
+  | J.Obj kvs -> kvs
+  | _ ->
+      Printf.eprintf "compare: %s is not a JSON object\n" what;
+      exit 2
+
+let () =
+  if Array.length Sys.argv <> 3 then begin
+    prerr_endline "usage: compare.exe BASELINE.json CURRENT.json";
+    exit 2
+  end;
+  let baseline = parse_file Sys.argv.(1) in
+  let current = parse_file Sys.argv.(2) in
+  let tolerance =
+    match J.member_opt "tolerance" baseline with
+    | Some t -> J.get_float t
+    | None -> 0.25
+  in
+  let gated = obj_pairs "baseline metrics" (J.member "metrics" baseline) in
+  let cur = J.member "metrics" current in
+  let failures =
+    List.filter_map
+      (fun (name, v) ->
+        let base = J.get_float v in
+        let floor = base *. (1.0 -. tolerance) in
+        match J.member_opt name cur with
+        | None -> Some (Printf.sprintf "%s: missing from current run" name)
+        | Some c ->
+            let c = J.get_float c in
+            if c < floor then
+              Some
+                (Printf.sprintf
+                   "%s: %.3f < %.3f (baseline %.3f, tolerance %.0f%%)" name c
+                   floor base (100.0 *. tolerance))
+            else begin
+              Printf.printf "ok %s: %.3f (>= %.3f)\n" name c floor;
+              None
+            end)
+      gated
+  in
+  if failures = [] then print_endline "bench regression gate: pass"
+  else begin
+    List.iter (Printf.eprintf "REGRESSION %s\n") failures;
+    exit 1
+  end

@@ -63,6 +63,10 @@ let e13 () =
         done)
   in
   let _, load_ms = Util.time_ms (fun () -> Repo_store.load file) in
+  Util.emit "e13.wal_ms_per_op" (wal_ms /. float_of_int n);
+  Util.emit "e13.file_ms_per_op" (file_ms /. float_of_int n);
+  Util.emit "e13.replay_ms" replay_ms;
+  Util.emit "e13.snapshot_recover_ms" snap_ms;
   Util.print_table
     [ "store"; "op"; "total ms"; "ms/op" ]
     [

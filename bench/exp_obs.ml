@@ -1,0 +1,109 @@
+(* E16: observability overhead on the hot query path.
+
+   The observability PR's contract is that instrumentation is safe to
+   leave compiled into the hot paths: with the null trace sink, an
+   instrumented site costs one atomic load when recording is off and a
+   few [Atomic.fetch_and_add]s when it is on — [Engine.run] deliberately
+   never reads the clock. This experiment measures the E14 workload (the
+   repeated structural-query batch on one prepared view) three ways:
+
+   - [off]: observability disabled (the default for library users);
+   - [null]: metrics recording on, trace sink null — the `WFPRIV_OBS=1`
+     production setting;
+   - [ring]: metrics on and every span recorded to the in-memory ring —
+     the ceiling, paid only while actively tracing.
+
+   Acceptance bar (EXPERIMENTS.md): the null-sink column stays within 5%
+   of the disabled column. *)
+
+open Wfpriv_workflow
+open Wfpriv_query
+module Obs = Wfpriv_obs
+module Rng = Wfpriv_workloads.Rng
+module Synthetic = Wfpriv_workloads.Synthetic
+
+(* Minimum single-iteration time within a CPU-time budget. E16 asks a
+   ±5% question of a deterministic loop, so [Util.bench_ms]'s mean —
+   which keeps every GC pause and scheduler preemption in the average —
+   is the wrong estimator; the fastest observed iteration is the one
+   with the least interference in all three modes. *)
+let min_iter_ms ~budget_ms f =
+  let t0 = Sys.time () in
+  let rec go best =
+    let s = Sys.time () in
+    ignore (f ());
+    let e = Sys.time () in
+    let best = Float.min best ((e -. s) *. 1000.0) in
+    if (e -. t0) *. 1000.0 < budget_ms then go best else best
+  in
+  go infinity
+
+let e16 () =
+  Util.heading "E16 Instrumentation overhead (metrics + null sink)";
+  let saved_enabled = Obs.Config.enabled () in
+  let picked =
+    (* The 10^3 E14 fixture: big enough that a batch is real work, small
+       enough that --quick CI runs afford several timed repetitions. *)
+    List.filter (fun (l, _) -> l = "10^3") Exp_engine.sizes
+  in
+  let rows =
+    List.concat_map
+      (fun (label, params) ->
+        let rng = Rng.create 14 in
+        let spec, exec = Synthetic.run rng params in
+        let ev = Exec_view.full exec in
+        let qs = Exp_engine.query_batch spec in
+        let engine = Engine.of_exec_view ev in
+        Engine.materialize_closure engine;
+        let plans = List.map Plan.compile qs in
+        let batch () = List.iter (fun p -> ignore (Engine.run engine p)) plans in
+        let budget_ms = if !Util.quick then 40.0 else 200.0 in
+        (* The per-query instrumentation cost (a handful of atomic adds)
+           sits far below this box's run-to-run noise, so measuring each
+           mode once in sequence would mostly compare scheduler drift.
+           Interleave the modes across several rounds — drift then hits
+           all three alike — and keep each mode's minimum, the standard
+           way to strip one-sided noise from a deterministic loop. *)
+        let modes =
+          [|
+            (fun () -> Obs.Config.set_enabled false);
+            (fun () ->
+              Obs.Config.set_enabled true;
+              Obs.Trace.set_null ());
+            (fun () ->
+              Obs.Config.set_enabled true;
+              Obs.Trace.set_ring ());
+          |]
+        in
+        let best = Array.make (Array.length modes) infinity in
+        for _ = 1 to 5 do
+          Array.iteri
+            (fun i set ->
+              set ();
+              batch ();
+              best.(i) <- Float.min best.(i) (min_iter_ms ~budget_ms batch))
+            modes
+        done;
+        let off_ms = best.(0) and null_ms = best.(1) and ring_ms = best.(2) in
+        Obs.Trace.set_null ();
+        Obs.Config.set_enabled false;
+        let pct over base = 100.0 *. ((over -. base) /. base) in
+        Util.emit "e16.null_overhead_pct" (pct null_ms off_ms);
+        Util.emit "e16.ring_overhead_pct" (pct ring_ms off_ms);
+        [
+          [ label; "off"; Util.fmt_f off_ms; "-" ];
+          [ label; "null"; Util.fmt_f null_ms;
+            Util.fmt_f ~digits:1 (pct null_ms off_ms) ];
+          [ label; "ring"; Util.fmt_f ring_ms;
+            Util.fmt_f ~digits:1 (pct ring_ms off_ms) ];
+        ])
+      picked
+  in
+  Obs.Config.set_enabled saved_enabled;
+  Util.print_table [ "size"; "mode"; "batch ms"; "overhead %" ] rows;
+  Printf.printf
+    "expected shape: the null column stays within 5%% of off — counter\n\
+     bumps are the only cost, Engine.run never reads the clock; ring\n\
+     adds span recording (one mutex + clock pair per batch) and is the\n\
+     bound paid while actively tracing. Negative percentages are timing\n\
+     noise: treat anything under a few percent as parity.\n"

@@ -232,6 +232,9 @@ let e15 () =
             jobs
         in
         let _, base_ms = List.hd results in
+        (match List.find_opt (fun (j, _) -> j = 4) results with
+        | Some (_, ms4) -> Util.emit "e15.batch_speedup_j4" (base_ms /. ms4)
+        | None -> ());
         List.map
           (fun (j, ms) ->
             [
@@ -247,6 +250,10 @@ let e15 () =
   Util.print_table
     [ "size"; "jobs"; "wall ms/batch"; "speedup"; "answers identical" ]
     batch_rows;
+  (* Reached only if every identical-results assertion above held; the
+     regression gate pins this at 1.0 (a determinism break, not a timing
+     change, is what fails the build). *)
+  Util.emit "e15.identical" 1.0;
   Printf.printf
     "expected shape: on an N-core machine closure and batch wall time\n\
      shrink towards 1/min(jobs, N) of the jobs=1 column (the acceptance\n\

@@ -4,11 +4,37 @@
      dune exec bench/main.exe                    -- run everything
      dune exec bench/main.exe -- f1 e3 e7        -- run selected experiments
      dune exec bench/main.exe -- e15 --quick     -- smoke-size fixtures (CI)
+     dune exec bench/main.exe -- e14 --json      -- headline metrics as JSON
      dune exec bench/main.exe -- bechamel        -- micro-benchmarks only
 
    Experiment ids map to DESIGN.md's index: F1-F5 regenerate the paper's
-   figures, E1-E15 quantify the challenges its sections pose, and A1-A3
-   are design ablations. The table itself lives in {!Bench_registry}. *)
+   figures, E1-E16 quantify the challenges its sections pose, and A1-A3
+   are design ablations. The table itself lives in {!Bench_registry}.
+
+   With [--json], every table and progress line is routed to stderr and
+   stdout carries exactly one JSON document of the headline metrics the
+   experiments {!Util.emit} — so `main.exe -- e13 e14 e15 --quick --json
+   > out.json` always parses, no matter what the experiments print. The
+   redirect happens at the file-descriptor level (stdout's fd is
+   re-pointed at stderr) because experiments print through buffered
+   channels and C-level writers alike. *)
+
+let emit_json fd =
+  let metrics =
+    Util.metrics_sorted ()
+    |> List.map (fun (name, v) -> (name, Wfpriv_serial.Json.Num v))
+  in
+  let doc =
+    Wfpriv_serial.Json.Obj
+      [
+        ("quick", Wfpriv_serial.Json.Bool !Util.quick);
+        ("metrics", Wfpriv_serial.Json.Obj metrics);
+      ]
+  in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc (Wfpriv_serial.Json.to_string_pretty doc);
+  output_char oc '\n';
+  flush oc
 
 let () =
   let args =
@@ -19,17 +45,29 @@ let () =
       (fun a -> String.length a >= 2 && String.sub a 0 2 = "--")
       args
   in
+  let json = ref false in
   List.iter
     (function
       | "--quick" -> Util.quick := true
+      | "--json" -> json := true
       | f ->
-          Printf.eprintf "unknown flag %S (known flags: --quick)\n" f;
+          Printf.eprintf "unknown flag %S (known flags: --quick, --json)\n" f;
           exit 1)
     flags;
-  match ids with
+  let json_fd =
+    if not !json then None
+    else begin
+      (* Save the real stdout, then point fd 1 at stderr for the run. *)
+      let saved = Unix.dup Unix.stdout in
+      flush stdout;
+      Unix.dup2 Unix.stderr Unix.stdout;
+      Some saved
+    end
+  in
+  (match ids with
   | [] ->
       print_endline
-        "wfpriv experiment harness: F1-F5 (paper figures), E1-E15 (challenge\n\
+        "wfpriv experiment harness: F1-F5 (paper figures), E1-E16 (challenge\n\
          experiments), A1-A3 (ablations), bechamel (micro-benchmarks).\n\
          Running everything.";
       List.iter (fun (_, f) -> f ()) Bench_registry.experiments
@@ -42,4 +80,9 @@ let () =
               Printf.eprintf "unknown experiment %S; available: %s\n" id
                 (String.concat ", " (Bench_registry.ids ()));
               exit 1)
-        ids
+        ids);
+  match json_fd with
+  | None -> ()
+  | Some fd ->
+      flush stdout;
+      emit_json fd

@@ -5,6 +5,18 @@ let quick = ref false
    shrink their fixtures to smoke-test size (CI crash detection, no
    timing claims). *)
 
+(* Headline metrics, collected as experiments run and rendered as one
+   JSON document by `--json` (see [Main]): the machine-readable channel
+   the CI regression gate consumes, while tables keep going to the
+   progress stream. Later emissions of one name win, so an experiment
+   re-run in the same process overwrites itself. *)
+let metrics : (string * float) list ref = ref []
+
+let emit name value =
+  metrics := (name, value) :: List.remove_assoc name !metrics
+
+let metrics_sorted () = List.sort compare !metrics
+
 let time_ms f =
   let t0 = Sys.time () in
   let r = f () in

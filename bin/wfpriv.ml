@@ -246,6 +246,151 @@ let export file workload seed format =
   | other -> failwith (Printf.sprintf "unknown format %S (json|dsl|dot|exec-json)" other)
 
 (* ------------------------------------------------------------------ *)
+(* Observability: `wfpriv stats` *)
+
+module Obs = Wfpriv_obs
+module Json = Wfpriv_serial.Json
+
+(* A short, deterministic exercise: evaluate a query batch through a
+   session (gate audits, engine counters, closure build) after zooming
+   to the caller's access view. The default batch includes one query
+   naming structure above low levels, so denials show up in the audit
+   log out of the box. *)
+let default_stats_queries =
+  [
+    "before(~\"Expand SNP\", ~\"OMIM\")";
+    "node(~\"risk\")";
+    "inside(*, W4)";
+  ]
+
+(* Text output promises cram-stable lines: volatile counters (pool
+   scheduling, timings) and histogram sums are run- and jobs-dependent,
+   so only stable counters, observation counts, the observer view and
+   the audit log are printed. *)
+let stats_text level =
+  let items = Obs.Registry.snapshot () in
+  print_string "counters:\n";
+  List.iter
+    (function
+      | Obs.Registry.Counter_item { name; volatile = false; op; levels } ->
+          let total =
+            op + List.fold_left (fun acc (_, v) -> acc + v) 0 levels
+          in
+          Printf.printf "  %-24s %d\n" name total
+      | _ -> ())
+    items;
+  print_string "histograms:\n";
+  List.iter
+    (function
+      | Obs.Registry.Histogram_item { name; count; _ } ->
+          Printf.printf "  %-24s count=%d\n" name count
+      | _ -> ())
+    items;
+  Printf.printf "observer view at level %d:\n" level;
+  List.iter
+    (fun (name, v) -> Printf.printf "  %-24s %d\n" name v)
+    (Obs.Registry.observer_counters ~level);
+  print_string "audit:\n";
+  List.iter
+    (fun r -> Printf.printf "  %s\n" (Obs.Audit_log.render r))
+    (Obs.Audit_log.records ())
+
+let stats_json level =
+  let pairs xs = Json.Arr (List.map (fun (k, v) -> Json.Arr [ Json.int k; Json.int v ]) xs) in
+  let items = Obs.Registry.snapshot () in
+  let counters =
+    List.filter_map
+      (function
+        | Obs.Registry.Counter_item { name; volatile; op; levels } ->
+            Some
+              (Json.Obj
+                 [
+                   ("name", Json.str name);
+                   ("volatile", Json.Bool volatile);
+                   ("op", Json.int op);
+                   ("levels", pairs levels);
+                 ])
+        | Obs.Registry.Histogram_item _ -> None)
+      items
+  in
+  let histograms =
+    List.filter_map
+      (function
+        | Obs.Registry.Histogram_item { name; count; sum; buckets } ->
+            Some
+              (Json.Obj
+                 [
+                   ("name", Json.str name);
+                   ("count", Json.int count);
+                   ("sum", Json.int sum);
+                   ("buckets", pairs buckets);
+                 ])
+        | Obs.Registry.Counter_item _ -> None)
+      items
+  in
+  let observer =
+    Json.Obj
+      [
+        ("level", Json.int level);
+        ( "counters",
+          Json.Obj
+            (List.map
+               (fun (n, v) -> (n, Json.int v))
+               (Obs.Registry.observer_counters ~level)) );
+      ]
+  in
+  let audit =
+    Json.Arr
+      (List.map
+         (fun (r : Obs.Audit_log.record) ->
+           let outcome =
+             match r.Obs.Audit_log.outcome with
+             | Obs.Audit_log.Allowed -> [ ("outcome", Json.str "allowed") ]
+             | Obs.Audit_log.Denied { floor } ->
+                 [ ("outcome", Json.str "denied"); ("floor", Json.int floor) ]
+           in
+           Json.Obj
+             ([
+                ("seq", Json.int r.Obs.Audit_log.seq);
+                ("op", Json.str r.Obs.Audit_log.op);
+                ("level", Json.int r.Obs.Audit_log.level);
+              ]
+             @ outcome
+             @ [
+                 ("nodes", Json.int r.Obs.Audit_log.nodes);
+                 ("query", Json.str r.Obs.Audit_log.query);
+               ]))
+         (Obs.Audit_log.records ()))
+  in
+  print_string
+    (Json.to_string_pretty
+       (Json.Obj
+          [
+            ("counters", Json.Arr counters);
+            ("histograms", Json.Arr histograms);
+            ("observer", observer);
+            ("audit", audit);
+            ("audit_dropped", Json.int (Obs.Audit_log.dropped ()));
+          ]));
+  print_newline ()
+
+let stats file workload seed level jobs json_out query_srcs =
+  apply_jobs jobs;
+  Obs.Config.set_enabled true;
+  let wl = load_workload ?file workload seed in
+  let exec = wl.run () in
+  let privilege = demo_privilege wl.spec in
+  let level = if level = max_int then 1 else level in
+  let srcs =
+    if query_srcs = [] then default_stats_queries else query_srcs
+  in
+  let qs = List.map Query_parser.parse srcs in
+  let session = Session.start privilege ~level exec in
+  ignore (Session.zoom_to_access_view session);
+  ignore (Session.query_batch session qs);
+  if json_out then stats_json level else stats_text level
+
+(* ------------------------------------------------------------------ *)
 (* Repository commands *)
 
 module Durable_repo = Wfpriv_durable.Durable_repo
@@ -489,6 +634,36 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Serialise the specification (or an execution)")
     Term.(const export $ file_arg $ workload_arg $ seed_arg $ fmt)
 
+let stats_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the full operator snapshot as JSON (volatile counters \
+             and histogram sums included) instead of the deterministic \
+             text report.")
+  in
+  let qs =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "Structural queries for the instrumented exercise; default: \
+             a small batch that includes one query naming structure \
+             above low privilege levels.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a short instrumented exercise (a session evaluating a \
+          query batch at $(b,--level)) and print the metrics registry, \
+          the privilege-partitioned observer view and the audit log.")
+    Term.(
+      const stats $ file_arg $ workload_arg $ seed_arg $ level_arg $ jobs_arg
+      $ json_flag $ qs)
+
 let repo_group =
   let path p = Arg.(required & pos p (some string) None & info [] ~docv:"REPO_FILE") in
   let lvl =
@@ -567,14 +742,21 @@ let repo_group =
     [ init; append; recover; compact; status; info_; search; prov; query ]
 
 let () =
+  (* WFPRIV_OBS=1 turns metric recording on for any command;
+     WFPRIV_TRACE=path additionally streams spans as JSON lines. *)
+  Obs.Config.install_from_env ();
+  Obs.Trace.install_from_env ();
   let info =
     Cmd.info "wfpriv" ~version:"1.0.0"
       ~doc:"Privacy-aware provenance workflow toolkit (CIDR 2011 reproduction)"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            show_cmd; hierarchy_cmd; run_cmd_; prov_cmd; search_cmd; query_cmd;
-            structural_cmd; export_cmd; repo_group;
-          ]))
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [
+           show_cmd; hierarchy_cmd; run_cmd_; prov_cmd; search_cmd; query_cmd;
+           structural_cmd; export_cmd; stats_cmd; repo_group;
+         ])
+  in
+  Obs.Trace.close ();
+  exit code

@@ -14,6 +14,11 @@
       inapplicable record, torn frame mid-log) raises [Wal.Corrupt]. *)
 
 open Wfpriv_query
+module Obs = Wfpriv_obs
+
+let m_runs = Obs.Registry.counter "recovery.runs"
+let m_bytes_scanned = Obs.Registry.counter "recovery.bytes_scanned"
+let m_replayed = Obs.Registry.counter "recovery.replayed"
 
 type report = {
   snapshot_lsn : int;  (** lsn of the checkpoint recovery started from *)
@@ -25,7 +30,7 @@ type report = {
 
 let corrupt file offset reason = raise (Wal.Corrupt { file; offset; reason })
 
-let open_dir dir =
+let scan dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then
     invalid_arg (Printf.sprintf "Recovery.open_dir: %s is not a directory" dir);
   let snapshot_lsn, repo = Snapshot.latest_valid dir in
@@ -54,6 +59,7 @@ let open_dir dir =
                seg.Wal.first_lsn e)
       | _ -> ());
       let data = Wal.read_all seg.Wal.path in
+      Obs.Counter.add_op m_bytes_scanned (String.length data);
       let records, valid_bytes =
         Wal.records_of_string ~allow_torn:is_last ~file:seg.Wal.path data
       in
@@ -95,3 +101,10 @@ let open_dir dir =
       segments = nb_segs;
       torn_bytes = !torn_bytes;
     } )
+
+let open_dir dir =
+  Obs.Trace.with_span "recovery.open_dir" (fun () ->
+      let ((_, report) as result) = scan dir in
+      Obs.Counter.incr_op m_runs;
+      Obs.Counter.add_op m_replayed report.replayed;
+      result)

@@ -23,6 +23,16 @@
    write — it is bit rot or tampering — and always raises [Corrupt]. *)
 
 open Wfpriv_serial
+module Obs = Wfpriv_obs
+
+(* Durability metrics are operator-scope: the log serves the whole
+   repository, below any privilege boundary. One flush per append is the
+   write-path durability barrier, so [wal.fsyncs] counts exactly the
+   flushes issued. *)
+let m_appends = Obs.Registry.counter "wal.appends"
+let m_fsyncs = Obs.Registry.counter "wal.fsyncs"
+let m_bytes = Obs.Registry.counter "wal.bytes"
+let h_append_ns = Obs.Registry.histogram "wal.append_ns"
 
 exception Corrupt of { file : string; offset : int; reason : string }
 (** Mid-log corruption: a complete record whose checksum fails, an
@@ -150,8 +160,12 @@ let open_append path =
 
 let append w record =
   let frame = encode record in
-  output_string w.oc frame;
-  flush w.oc;
+  Obs.Histogram.time h_append_ns (fun () ->
+      output_string w.oc frame;
+      flush w.oc);
+  Obs.Counter.incr_op m_appends;
+  Obs.Counter.incr_op m_fsyncs;
+  Obs.Counter.add_op m_bytes (String.length frame);
   w.w_bytes <- w.w_bytes + String.length frame
 
 let bytes w = w.w_bytes

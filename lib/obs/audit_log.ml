@@ -1,0 +1,70 @@
+type outcome = Allowed | Denied of { floor : int }
+
+type record = {
+  seq : int;
+  op : string;
+  level : int;
+  outcome : outcome;
+  nodes : int;
+  query : string;
+}
+
+type state = {
+  mutable ring : record option array;
+  mutable head : int; (* total records ever appended *)
+  mutable seq : int;
+  mutable n_dropped : int;
+}
+
+let lock = Mutex.create ()
+let state = { ring = Array.make 4096 None; head = 0; seq = 0; n_dropped = 0 }
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let record ~op ~level ?(query = "") ?(nodes = 0) outcome =
+  if Config.enabled () then
+    with_lock (fun () ->
+        let n = Array.length state.ring in
+        if state.head >= n && state.ring.(state.head mod n) <> None then
+          state.n_dropped <- state.n_dropped + 1;
+        state.seq <- state.seq + 1;
+        state.ring.(state.head mod n) <-
+          Some { seq = state.seq; op; level; outcome; nodes; query };
+        state.head <- state.head + 1)
+
+let records () =
+  with_lock (fun () ->
+      let n = Array.length state.ring in
+      let first = max 0 (state.head - n) in
+      List.init (state.head - first) (fun i ->
+          Option.get state.ring.((first + i) mod n)))
+
+let visible_at level =
+  List.filter (fun r -> r.level <= level) (records ())
+
+let dropped () = with_lock (fun () -> state.n_dropped)
+
+let render r =
+  let outcome =
+    match r.outcome with
+    | Allowed -> "allowed"
+    | Denied { floor } -> Printf.sprintf "denied floor=%d" floor
+  in
+  let q = if r.query = "" then "" else Printf.sprintf " q='%s'" r.query in
+  Printf.sprintf "#%d %s level=%d %s nodes=%d%s" r.seq r.op r.level outcome
+    r.nodes q
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Audit_log.set_capacity: capacity < 1";
+  with_lock (fun () ->
+      state.ring <- Array.make n None;
+      state.head <- 0)
+
+let reset () =
+  with_lock (fun () ->
+      Array.fill state.ring 0 (Array.length state.ring) None;
+      state.head <- 0;
+      state.seq <- 0;
+      state.n_dropped <- 0)

@@ -1,0 +1,54 @@
+(** Privilege-tagged audit trail of access decisions.
+
+    Every gate-level decision — a structural query evaluated, a zoom
+    allowed or refused, an access view materialized — appends one
+    record: the operation, the requester's privilege level, the outcome,
+    and a {e count} of the nodes involved. A denial records only the
+    privilege {e floor} that would have been required, never the
+    identity of what stayed hidden (the sanitization rule of Cheney &
+    Perera, arXiv:1405.5777: metadata about sanitized provenance is
+    itself provenance). The query text, when present, is the requester's
+    own input echoed back.
+
+    Records are privilege-tagged so the trail partitions like every
+    other metric: {!visible_at} [p] returns only records of requests
+    made at levels [<= p], whose contents depend only on views an
+    observer at [p] may see.
+
+    Storage is a bounded in-memory ring (capacity {!set_capacity},
+    default 4096); overflow drops the oldest records and counts them in
+    {!dropped}. Recording is mutex-serialized and dropped entirely while
+    {!Config.enabled} is off. *)
+
+type outcome = Allowed | Denied of { floor : int }
+
+type record = {
+  seq : int;  (** global sequence number, from 1 *)
+  op : string;  (** e.g. ["gate.query"], ["gate.zoom_in"] *)
+  level : int;  (** requester's privilege level *)
+  outcome : outcome;
+  nodes : int;  (** visible nodes involved in the answer *)
+  query : string;  (** requester's query text; [""] when not a query *)
+}
+
+val record :
+  op:string -> level:int -> ?query:string -> ?nodes:int -> outcome -> unit
+
+val records : unit -> record list
+(** Oldest first. *)
+
+val visible_at : int -> record list
+(** Records whose [level] is [<=] the argument, oldest first. *)
+
+val dropped : unit -> int
+
+val render : record -> string
+(** One deterministic line, no timestamps:
+    [#3 gate.query level=1 allowed nodes=5 q='before(atomic, atomic)'].
+    Denials render as [denied floor=N]. *)
+
+val set_capacity : int -> unit
+(** Resets the ring. *)
+
+val reset : unit -> unit
+(** Clear records, the sequence counter and the drop count. *)

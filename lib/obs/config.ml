@@ -1,0 +1,10 @@
+let flag = Atomic.make false
+let enabled () = Atomic.get flag
+let set_enabled b = Atomic.set flag b
+
+let install_from_env () =
+  match Sys.getenv_opt "WFPRIV_OBS" with
+  | Some ("1" | "true" | "TRUE" | "yes") -> set_enabled true
+  | _ -> ()
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)

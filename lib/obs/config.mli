@@ -1,0 +1,22 @@
+(** Global observability switch and clock.
+
+    Instrumentation sites all over the engine check {!enabled} before
+    touching a counter or reading the clock, so a disabled process pays
+    one atomic load per site and nothing else — the E16 contract. The
+    switch is process-wide and domain-safe (an [Atomic.t]); flipping it
+    mid-run only affects subsequent recordings. *)
+
+val enabled : unit -> bool
+(** Default: [false] until {!set_enabled} or {!install_from_env}. *)
+
+val set_enabled : bool -> unit
+
+val install_from_env : unit -> unit
+(** Enable metrics when the [WFPRIV_OBS] environment variable is set to
+    [1] (or [true]); leave the switch alone otherwise. Binaries call
+    this once at startup. *)
+
+val now_ns : unit -> int
+(** Wall-clock nanoseconds ([Unix.gettimeofday] based) — span and
+    latency timestamps. Monotonicity is not guaranteed; durations of
+    negative length are clamped to 0 by the recorders. *)

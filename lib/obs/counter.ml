@@ -1,0 +1,74 @@
+type t = {
+  c_name : string;
+  volatile : bool;
+  op_cell : int Atomic.t;
+  lock : Mutex.t; (* guards extension of [cells] *)
+  mutable cells : (int * int Atomic.t) array; (* level -> cell, ascending *)
+}
+
+let make ?(volatile = false) name =
+  {
+    c_name = name;
+    volatile;
+    op_cell = Atomic.make 0;
+    lock = Mutex.create ();
+    cells = [||];
+  }
+
+let name t = t.c_name
+let is_volatile t = t.volatile
+
+let add_op t n = if Config.enabled () then ignore (Atomic.fetch_and_add t.op_cell n)
+let incr_op t = add_op t 1
+
+let find_cell arr level =
+  let rec go i =
+    if i >= Array.length arr then None
+    else
+      let l, c = arr.(i) in
+      if l = level then Some c else if l > level then None else go (i + 1)
+  in
+  go 0
+
+(* The unlocked scan can miss a cell another domain just added; the
+   locked rescan is authoritative (and creates the cell if needed), so a
+   miss costs one mutex round-trip, never a lost recording. *)
+let cell t level =
+  match find_cell t.cells level with
+  | Some c -> c
+  | None ->
+      Mutex.lock t.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.lock)
+        (fun () ->
+          match find_cell t.cells level with
+          | Some c -> c
+          | None ->
+              let c = Atomic.make 0 in
+              let cells =
+                Array.append t.cells [| (level, c) |]
+                |> Array.to_list
+                |> List.sort (fun (a, _) (b, _) -> compare a b)
+                |> Array.of_list
+              in
+              t.cells <- cells;
+              c)
+
+let add t ~at n = if Config.enabled () then ignore (Atomic.fetch_and_add (cell t at) n)
+let incr t ~at = add t ~at 1
+
+let op_value t = Atomic.get t.op_cell
+
+let value_up_to t level =
+  Array.fold_left
+    (fun acc (l, c) -> if l <= level then acc + Atomic.get c else acc)
+    0 t.cells
+
+let levels t =
+  Array.to_list (Array.map (fun (l, c) -> (l, Atomic.get c)) t.cells)
+
+let total t = op_value t + value_up_to t max_int
+
+let reset t =
+  Atomic.set t.op_cell 0;
+  Array.iter (fun (_, c) -> Atomic.set c 0) t.cells

@@ -1,0 +1,48 @@
+(** Lock-free, privilege-partitioned counters.
+
+    A counter is a set of atomic cells: one {e operator} cell for
+    infrastructure recordings (timings, scheduling, anything that spans
+    privilege levels) and one cell per privilege level for recordings
+    attributable to work done {e at} that level. The partitioning is the
+    privacy boundary of the observability layer: an observer at level
+    [p] may read only the level cells [<= p] (see
+    {!Registry.observer_counters}), so the value it sees depends only on
+    views it is allowed to see — hidden nodes cannot be counted through
+    a metric (cf. the level-partitioned postings of {!Wfpriv_query.Index}).
+
+    Increments are a single [Atomic.fetch_and_add] in steady state; the
+    per-level cell table only takes a mutex the first time a level is
+    seen. All recordings are dropped while {!Config.enabled} is off. *)
+
+type t
+
+val make : ?volatile:bool -> string -> t
+(** [volatile] marks values that legitimately differ between runs of the
+    same workload (timings, pool scheduling); renderers that promise
+    deterministic output skip them. Default [false]. Use
+    {!Registry.counter} rather than calling this directly. *)
+
+val name : t -> string
+val is_volatile : t -> bool
+
+val incr_op : t -> unit
+val add_op : t -> int -> unit
+(** Record into the operator cell. *)
+
+val incr : t -> at:int -> unit
+val add : t -> at:int -> int -> unit
+(** Record into the cell of privilege level [at]. *)
+
+val op_value : t -> int
+
+val value_up_to : t -> int -> int
+(** Sum of the level cells [<=] the given level; operator recordings
+    excluded. This is the only read an observer view performs. *)
+
+val levels : t -> (int * int) list
+(** Per-level cells, ascending level, zero cells included. *)
+
+val total : t -> int
+(** Operator cell plus every level cell. *)
+
+val reset : t -> unit

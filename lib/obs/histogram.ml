@@ -1,0 +1,56 @@
+let nb_buckets = 63
+
+type t = {
+  h_name : string;
+  counts : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+}
+
+let make name =
+  {
+    h_name = name;
+    counts = Array.init nb_buckets (fun _ -> Atomic.make 0);
+    h_count = Atomic.make 0;
+    h_sum = Atomic.make 0;
+  }
+
+let name t = t.h_name
+
+(* Index of the highest set bit, i.e. floor(log2 v); 0 and 1 land in
+   bucket 0. *)
+let bucket_of v =
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let observe t v =
+  if Config.enabled () then begin
+    let v = max 0 v in
+    ignore (Atomic.fetch_and_add t.counts.(min (bucket_of v) (nb_buckets - 1)) 1);
+    ignore (Atomic.fetch_and_add t.h_count 1);
+    ignore (Atomic.fetch_and_add t.h_sum v)
+  end
+
+let time t f =
+  if not (Config.enabled ()) then f ()
+  else begin
+    let t0 = Config.now_ns () in
+    let finally () = observe t (Config.now_ns () - t0) in
+    Fun.protect ~finally f
+  end
+
+let count t = Atomic.get t.h_count
+let sum t = Atomic.get t.h_sum
+
+let buckets t =
+  let acc = ref [] in
+  for i = nb_buckets - 1 downto 0 do
+    let c = Atomic.get t.counts.(i) in
+    if c > 0 then acc := ((if i = 0 then 0 else 1 lsl i), c) :: !acc
+  done;
+  !acc
+
+let reset t =
+  Array.iter (fun c -> Atomic.set c 0) t.counts;
+  Atomic.set t.h_count 0;
+  Atomic.set t.h_sum 0

@@ -1,0 +1,33 @@
+(** Lock-free histograms over fixed log-scaled buckets.
+
+    Bucket [i] covers values in [[2^i, 2^(i+1))] (bucket 0 additionally
+    holds 0 and 1), for 63 buckets — enough for nanosecond latencies up
+    to centuries with a constant, allocation-free [observe]: one bit
+    scan plus three [Atomic.fetch_and_add]s. Histograms record latencies
+    and sizes, which are operator-facing and inherently run-dependent:
+    they never enter the privilege-partitioned observer view, only the
+    observation {e count} is deterministic for a deterministic
+    workload. *)
+
+type t
+
+val make : string -> t
+(** Use {!Registry.histogram} rather than calling this directly. *)
+
+val name : t -> string
+
+val observe : t -> int -> unit
+(** Record one value (negative values clamp to 0). Dropped while
+    {!Config.enabled} is off. *)
+
+val time : t -> (unit -> 'a) -> 'a
+(** Run the thunk, recording its wall-clock nanoseconds. When disabled,
+    runs the thunk without reading the clock. *)
+
+val count : t -> int
+val sum : t -> int
+
+val buckets : t -> (int * int) list
+(** Non-empty buckets as [(lower_bound, count)], ascending. *)
+
+val reset : t -> unit

@@ -1,0 +1,90 @@
+type metric = C of Counter.t | H of Histogram.t
+
+let lock = Mutex.create ()
+let table : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counter ?(volatile = false) name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (C c) when Counter.is_volatile c = volatile -> c
+      | Some _ ->
+          invalid_arg
+            (Printf.sprintf "Registry.counter: %S already registered" name)
+      | None ->
+          let c = Counter.make ~volatile name in
+          Hashtbl.replace table name (C c);
+          c)
+
+let histogram name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (H h) -> h
+      | Some (C _) ->
+          invalid_arg
+            (Printf.sprintf "Registry.histogram: %S already registered" name)
+      | None ->
+          let h = Histogram.make name in
+          Hashtbl.replace table name (H h);
+          h)
+
+type item =
+  | Counter_item of {
+      name : string;
+      volatile : bool;
+      op : int;
+      levels : (int * int) list;
+    }
+  | Histogram_item of {
+      name : string;
+      count : int;
+      sum : int;
+      buckets : (int * int) list;
+    }
+
+let sorted_metrics () =
+  with_lock (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot () =
+  List.map
+    (fun (name, m) ->
+      match m with
+      | C c ->
+          Counter_item
+            {
+              name;
+              volatile = Counter.is_volatile c;
+              op = Counter.op_value c;
+              levels = Counter.levels c;
+            }
+      | H h ->
+          Histogram_item
+            {
+              name;
+              count = Histogram.count h;
+              sum = Histogram.sum h;
+              buckets = Histogram.buckets h;
+            })
+    (sorted_metrics ())
+
+let observer_counters ~level =
+  List.filter_map
+    (fun (name, m) ->
+      match m with
+      | H _ -> None
+      | C c ->
+          if Counter.is_volatile c then None
+          else if List.exists (fun (l, _) -> l <= level) (Counter.levels c)
+          then Some (name, Counter.value_up_to c level)
+          else None)
+    (sorted_metrics ())
+
+let reset () =
+  List.iter
+    (fun (_, m) ->
+      match m with C c -> Counter.reset c | H h -> Histogram.reset h)
+    (sorted_metrics ())

@@ -1,0 +1,49 @@
+(** The process-wide metric registry.
+
+    Metrics are created once, memoized by name, and live for the
+    process; {!reset} zeroes values but keeps registrations, so tests
+    and the leakage suite can compare two runs of one process. Two
+    projections exist:
+
+    - the {e operator view} ({!snapshot}): every metric, every cell —
+      for the process owner, who already sees every privilege level;
+    - the {e observer view} ({!observer_counters}): only the
+      privilege-partitioned counter cells at or below a level. This is
+      the surface whose key invariant the leakage suite enforces: for
+      every level [p] it is bit-identical between a run over a graph and
+      a run over the same graph with additional hidden (higher-floor)
+      nodes — observability output is part of the access view. *)
+
+val counter : ?volatile:bool -> string -> Counter.t
+(** Find or register. Raises [Invalid_argument] if the name is already
+    registered as a histogram (or with a different volatility). *)
+
+val histogram : string -> Histogram.t
+(** Find or register. Raises [Invalid_argument] if the name is already a
+    counter. *)
+
+type item =
+  | Counter_item of {
+      name : string;
+      volatile : bool;
+      op : int;  (** operator-cell value *)
+      levels : (int * int) list;  (** per-level cells, ascending *)
+    }
+  | Histogram_item of {
+      name : string;
+      count : int;
+      sum : int;
+      buckets : (int * int) list;
+    }
+
+val snapshot : unit -> item list
+(** Every registered metric, sorted by name — the operator view. *)
+
+val observer_counters : level:int -> (string * int) list
+(** Non-volatile counters with at least one level cell [<= level], each
+    summed over those cells only; sorted by name. Operator cells and
+    histograms never appear: they may reflect work above the observer's
+    level. *)
+
+val reset : unit -> unit
+(** Zero every metric (registrations survive). *)

@@ -1,0 +1,114 @@
+type span = {
+  name : string;
+  start_ns : int;
+  dur_ns : int;
+  attrs : (string * string) list;
+}
+
+type sink_kind = Null | Ring | Jsonl
+
+type state =
+  | S_null
+  | S_ring of { spans : span option array; mutable head : int }
+  | S_jsonl of { path : string; oc : out_channel }
+
+let lock = Mutex.create ()
+let state = ref S_null
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let close_locked () =
+  (match !state with S_jsonl { oc; _ } -> close_out oc | _ -> ());
+  state := S_null
+
+let sink () =
+  with_lock (fun () ->
+      match !state with S_null -> Null | S_ring _ -> Ring | S_jsonl _ -> Jsonl)
+
+let set_null () = with_lock close_locked
+
+let set_ring ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Trace.set_ring: capacity < 1";
+  with_lock (fun () ->
+      close_locked ();
+      state := S_ring { spans = Array.make capacity None; head = 0 })
+
+let set_jsonl path =
+  with_lock (fun () ->
+      close_locked ();
+      let oc =
+        open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_text ] 0o644 path
+      in
+      state := S_jsonl { path; oc })
+
+let close () = with_lock close_locked
+
+let install_from_env () =
+  match Sys.getenv_opt "WFPRIV_TRACE" with
+  | Some path when String.trim path <> "" ->
+      Config.set_enabled true;
+      set_jsonl path
+  | _ -> ()
+
+(* Minimal JSON string escaping: names and attributes are controlled
+   identifiers, but stay safe on any input. *)
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let span_line s =
+  let attrs =
+    String.concat ""
+      (List.map
+         (fun (k, v) -> Printf.sprintf ",\"%s\":\"%s\"" (escape k) (escape v))
+         s.attrs)
+  in
+  Printf.sprintf "{\"span\":\"%s\",\"start_ns\":%d,\"dur_ns\":%d%s}"
+    (escape s.name) s.start_ns s.dur_ns attrs
+
+let record s =
+  with_lock (fun () ->
+      match !state with
+      | S_null -> ()
+      | S_ring r ->
+          r.spans.(r.head mod Array.length r.spans) <- Some s;
+          r.head <- r.head + 1
+      | S_jsonl { oc; _ } ->
+          output_string oc (span_line s);
+          output_char oc '\n';
+          flush oc)
+
+let with_span ?attrs name f =
+  if (not (Config.enabled ())) || sink () = Null then f ()
+  else begin
+    let start_ns = Config.now_ns () in
+    let finally () =
+      let dur_ns = max 0 (Config.now_ns () - start_ns) in
+      let attrs = match attrs with None -> [] | Some g -> g () in
+      record { name; start_ns; dur_ns; attrs }
+    in
+    Fun.protect ~finally f
+  end
+
+let ring_spans () =
+  with_lock (fun () ->
+      match !state with
+      | S_ring r ->
+          let n = Array.length r.spans in
+          let first = max 0 (r.head - n) in
+          List.init (r.head - first) (fun i ->
+              Option.get r.spans.((first + i) mod n))
+      | _ -> [])

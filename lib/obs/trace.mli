@@ -1,0 +1,51 @@
+(** Span-based tracing with a pluggable sink.
+
+    A span is one timed section of a coarse operation — a batch
+    evaluation, a closure build, an index build, a recovery pass. Three
+    sinks:
+
+    - {e null} (the default): spans are not recorded and the clock is
+      never read, so instrumentation sites cost one atomic load;
+    - {e ring}: the last [capacity] spans in memory, for tests and the
+      stats command;
+    - {e jsonl}: one JSON object per line to a file — the
+      [WFPRIV_TRACE=path] hook.
+
+    Sinks are process-wide; recording is mutex-serialized, which is fine
+    at span granularity (spans wrap operations, never per-node work).
+    Span attributes must follow the same discipline as every other
+    observability output: counts and levels, never the identities of
+    nodes the access view hides. *)
+
+type span = {
+  name : string;
+  start_ns : int;
+  dur_ns : int;
+  attrs : (string * string) list;
+}
+
+type sink_kind = Null | Ring | Jsonl
+
+val sink : unit -> sink_kind
+val set_null : unit -> unit
+val set_ring : ?capacity:int -> unit -> unit
+(** Default capacity 1024; resets the buffer. *)
+
+val set_jsonl : string -> unit
+(** Opens (truncates) the file; closes any previous jsonl sink. *)
+
+val close : unit -> unit
+(** Flush and close a jsonl sink and revert to null; no-op otherwise. *)
+
+val install_from_env : unit -> unit
+(** [WFPRIV_TRACE=path] installs a jsonl sink on [path] and turns
+    {!Config.set_enabled} on (a requested trace implies observability);
+    unset leaves the sink alone. *)
+
+val with_span :
+  ?attrs:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span. [attrs] is only forced when the span is
+    actually recorded. The span is recorded even when the thunk raises. *)
+
+val ring_spans : unit -> span list
+(** Recorded spans, oldest first; [[]] unless the sink is a ring. *)

@@ -6,6 +6,18 @@
    lowest-indexed one re-raised after the join, which makes failure
    deterministic for deterministic [f]. *)
 
+(* Scheduling metrics (operator-facing; volatile, since chunk counts and
+   busy time depend on the jobs setting): how often loops fan out vs.
+   fall back, how many chunks they split into, and the summed per-domain
+   wall time spent inside chunk bodies. *)
+module Obs = Wfpriv_obs
+
+let m_parallel = Obs.Registry.counter ~volatile:true "pool.parallel_jobs"
+let m_sequential = Obs.Registry.counter ~volatile:true "pool.sequential_jobs"
+let m_chunks = Obs.Registry.counter ~volatile:true "pool.chunks"
+let m_tasks = Obs.Registry.counter ~volatile:true "pool.tasks"
+let m_busy_ns = Obs.Registry.counter ~volatile:true "pool.busy_ns"
+
 type job = {
   run : int -> unit; (* chunk index -> work *)
   nchunks : int;
@@ -33,6 +45,7 @@ let run_chunks j =
     let c = Atomic.fetch_and_add j.next 1 in
     if c >= j.nchunks then continue := false
     else begin
+      let t0 = if Obs.Config.enabled () then Obs.Config.now_ns () else 0 in
       (try j.run c
        with e ->
          let bt = Printexc.get_raw_backtrace () in
@@ -41,6 +54,8 @@ let run_chunks j =
          | Some (c0, _, _) when c0 <= c -> ()
          | _ -> j.first_exn <- Some (c, e, bt));
          Mutex.unlock j.jlock);
+      if Obs.Config.enabled () then
+        Obs.Counter.add_op m_busy_ns (max 0 (Obs.Config.now_ns () - t0));
       Mutex.lock j.jlock;
       j.pending <- j.pending - 1;
       if j.pending = 0 then Condition.broadcast j.jdone;
@@ -113,11 +128,18 @@ let parallel_for ?chunk t n f =
        pool, or a loop issued while this pool is busy (nested
        parallelism deadlocks a shared pool; running inline does not). *)
     if t.n_jobs <= 1 || nchunks <= 1 || t.stopped || not (Mutex.try_lock t.submit)
-    then sequential_for n f
+    then begin
+      Obs.Counter.incr_op m_sequential;
+      Obs.Counter.add_op m_tasks n;
+      sequential_for n f
+    end
     else
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.submit)
         (fun () ->
+          Obs.Counter.incr_op m_parallel;
+          Obs.Counter.add_op m_chunks nchunks;
+          Obs.Counter.add_op m_tasks n;
           let j =
             {
               run =

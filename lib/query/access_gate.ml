@@ -102,6 +102,83 @@ let collapse t prefix w =
   let drop = Hierarchy.descendants (Lazy.force t.hierarchy) w in
   List.filter (fun x -> not (List.mem x drop)) prefix
 
+(* ------------------------------------------------------------------ *)
+(* Observability: the gate is the audit surface, so decision events are
+   recorded here — privilege-tagged counters plus one audit record per
+   decision. A denial records only the floor that would have been
+   required, never what stayed hidden. *)
+
+module Obs = Wfpriv_obs
+
+let m_queries = Obs.Registry.counter "gate.queries"
+let m_denials = Obs.Registry.counter "gate.denials"
+let m_nodes = Obs.Registry.counter "gate.nodes"
+let m_zooms = Obs.Registry.counter "gate.zooms"
+let m_views = Obs.Registry.counter "gate.views"
+
+(* Privilege floors (above the gate's level) of everything a query names
+   explicitly: [Module_is] predicates on hidden modules, [Inside]
+   targets outside the allowed prefix. Ascending, duplicates kept out.
+   The evaluator itself needs no gate — it runs on the access view — so
+   this is pure observability: it classifies a query that mentions
+   hidden structure without changing its (already privacy-safe)
+   answer. *)
+let denied_floors t q =
+  let acc = ref [] in
+  let add l = if l > t.g_level && not (List.mem l !acc) then acc := l :: !acc in
+  let pred = function
+    | Query_ast.Module_is m ->
+        if not (sees_module t m) then add (module_floor t m)
+    | _ -> ()
+  in
+  let rec go = function
+    | Query_ast.Node p -> pred p
+    | Query_ast.Edge (a, b) | Query_ast.Before (a, b)
+    | Query_ast.Carries (a, b, _)
+    | Query_ast.Refines (a, b) ->
+        pred a;
+        pred b
+    | Query_ast.Inside (p, w) ->
+        pred p;
+        if not (allows_workflow t w) then add (workflow_floor t w)
+    | Query_ast.And (a, b) | Query_ast.Or (a, b) ->
+        go a;
+        go b
+    | Query_ast.Not a -> go a
+  in
+  go q;
+  List.sort compare !acc
+
+let audit_outcome floors =
+  match List.rev floors with
+  | [] -> Obs.Audit_log.Allowed
+  | floor :: _ -> Obs.Audit_log.Denied { floor }
+
+let audit_query t q ~nodes =
+  let level = t.g_level in
+  Obs.Counter.incr m_queries ~at:level;
+  Obs.Counter.add m_nodes ~at:level nodes;
+  let floors = denied_floors t q in
+  if floors <> [] then Obs.Counter.incr m_denials ~at:level;
+  Obs.Audit_log.record ~op:"gate.query" ~level
+    ~query:(Query_ast.to_string q) ~nodes (audit_outcome floors)
+
+let audit_zoom t ~op ?floor ~nodes () =
+  let level = t.g_level in
+  Obs.Counter.incr m_zooms ~at:level;
+  let outcome =
+    match floor with
+    | None -> Obs.Audit_log.Allowed
+    | Some floor ->
+        Obs.Counter.incr m_denials ~at:level;
+        Obs.Audit_log.Denied { floor }
+  in
+  Obs.Audit_log.record ~op ~level ~nodes outcome
+
+let audit_view t ~op ~nodes =
+  Obs.Counter.incr m_views ~at:t.g_level;
+  Obs.Audit_log.record ~op ~level:t.g_level ~nodes Obs.Audit_log.Allowed
+
 let module_floors privilege =
   let spec = Privilege.spec privilege in
   let hierarchy = lazy (Hierarchy.of_spec spec) in

@@ -87,6 +87,34 @@ val collapse : t -> Ids.workflow_id list -> Ids.workflow_id -> Ids.workflow_id l
 (** Drop a workflow and its descendants from a prefix — one zoom-out
     step. *)
 
+(** {2 Observability} *)
+
+val denied_floors : t -> Query_ast.t -> Privilege.level list
+(** Privilege floors, strictly above the gate's level, of everything the
+    query names explicitly: [Module_is] predicates on modules the gate
+    cannot see and [Inside] targets outside the allowed prefix.
+    Ascending, duplicate-free. Pure observability — the evaluator runs
+    on the access view regardless, so a non-empty result classifies the
+    query as partially denied without changing its (privacy-safe)
+    answer. *)
+
+val audit_query : t -> Query_ast.t -> nodes:int -> unit
+(** Record one evaluated structural query in the metrics registry and
+    the audit log: bumps [gate.queries]/[gate.nodes] (and [gate.denials]
+    when {!denied_floors} is non-empty) at the gate's level, then
+    appends an {!Wfpriv_obs.Audit_log} record. A denial carries only the
+    highest required floor, never the identity of what stayed hidden.
+    No-op while observability is disabled. *)
+
+val audit_zoom :
+  t -> op:string -> ?floor:Privilege.level -> nodes:int -> unit -> unit
+(** Record a zoom decision ([op] e.g. ["gate.zoom_in"]). [floor] present
+    means the zoom was refused and that level would have been
+    required. *)
+
+val audit_view : t -> op:string -> nodes:int -> unit
+(** Record an access-view materialization and its visible node count. *)
+
 (** {2 Gate-free floors (index construction)} *)
 
 val module_floors : Privilege.t -> Ids.module_id -> Privilege.level

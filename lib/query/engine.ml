@@ -2,6 +2,22 @@ open Wfpriv_workflow
 module Digraph = Wfpriv_graph.Digraph
 module Bitset = Wfpriv_graph.Bitset
 module Pool = Wfpriv_parallel.Pool
+module Obs = Wfpriv_obs
+
+(* Engine metrics are operator-scope: a prepared view serves whatever
+   gate built it, so per-level attribution happens one layer up (the
+   gate's own counters). [run] itself never reads the clock — its only
+   instrumentation is counter bumps — which keeps the null-sink overhead
+   of a hot query loop to a few atomic adds. *)
+let m_prepares = Obs.Registry.counter "engine.prepares"
+let m_runs = Obs.Registry.counter "engine.runs"
+let m_rows = Obs.Registry.counter "engine.rows"
+let m_batches = Obs.Registry.counter "engine.batches"
+let m_batch_plans = Obs.Registry.counter "engine.batch_plans"
+let m_closure_builds = Obs.Registry.counter "engine.closure_builds"
+let m_closure_rows = Obs.Registry.counter "engine.closure_rows"
+let h_compile_ns = Obs.Registry.histogram "engine.compile_ns"
+let h_closure_ns = Obs.Registry.histogram "engine.closure_build_ns"
 
 type io = Io_input | Io_output | Io_none
 
@@ -49,6 +65,7 @@ let prepare ~spec ~nodes ~succ_of ~module_of ~io_of ~carry_names ?reaches () =
           | names -> Hashtbl.replace carries (i, j) names)
         js)
     succs;
+  Obs.Counter.incr_op m_prepares;
   {
     e_spec = spec;
     hierarchy = lazy (Hierarchy.of_spec spec);
@@ -293,7 +310,12 @@ let closure_rows_with pool t =
           match Atomic.get t.closure with
           | Some rows -> rows
           | None ->
-              let rows = compute_rows pool t in
+              let rows =
+                Obs.Histogram.time h_closure_ns (fun () ->
+                    compute_rows pool t)
+              in
+              Obs.Counter.incr_op m_closure_builds;
+              Obs.Counter.add_op m_closure_rows t.n;
               Atomic.set t.closure (Some rows);
               rows)
 
@@ -475,8 +497,14 @@ let rec eval t trace plan =
       let wa = eval t trace a in
       record { holds = not wa.holds; nodes = [] }
 
-let run t plan = eval t None plan
-let run_query t q = run t (Plan.compile q)
+let run t plan =
+  let w = eval t None plan in
+  Obs.Counter.incr_op m_runs;
+  Obs.Counter.add_op m_rows (List.length w.nodes);
+  w
+
+let compile q = Obs.Histogram.time h_compile_ns (fun () -> Plan.compile q)
+let run_query t q = run t (compile q)
 
 let run_trace t plan =
   let acc = ref [] in
@@ -497,22 +525,40 @@ let rec plan_needs_closure = function
 
 let run_batch ?pool t plans =
   let pool = match pool with Some p -> p | None -> Pool.global () in
-  (* Freeze the two lazily-materialized pieces of the prepared view
-     before fanning out, so every domain only ever reads them: the
-     hierarchy (Lazy is not safe to force concurrently) and the closure
-     (published once, under the lock). *)
-  ignore (Lazy.force t.hierarchy);
-  if
-    t.reaches_override = None
-    && List.exists plan_needs_closure plans
-  then ignore (closure_rows_with pool t);
-  match t.reaches_override with
-  | Some _ ->
-      (* An external reachability oracle may memoize internally (e.g. a
-         Reach_cache); without a thread-safety contract on it, evaluate
-         in the caller's domain. Answers are identical either way. *)
-      List.map (fun p -> eval t None p) plans
-  | None -> Pool.parallel_map_list ~chunk:1 pool (fun p -> eval t None p) plans
+  Obs.Trace.with_span "engine.run_batch"
+    ~attrs:(fun () ->
+      [
+        ("plans", string_of_int (List.length plans));
+        ("nodes", string_of_int t.n);
+      ])
+    (fun () ->
+      (* Freeze the two lazily-materialized pieces of the prepared view
+         before fanning out, so every domain only ever reads them: the
+         hierarchy (Lazy is not safe to force concurrently) and the
+         closure (published once, under the lock). *)
+      ignore (Lazy.force t.hierarchy);
+      if t.reaches_override = None && List.exists plan_needs_closure plans
+      then ignore (closure_rows_with pool t);
+      let ws =
+        match t.reaches_override with
+        | Some _ ->
+            (* An external reachability oracle may memoize internally
+               (e.g. a Reach_cache); without a thread-safety contract on
+               it, evaluate in the caller's domain. Answers are identical
+               either way. *)
+            List.map (fun p -> eval t None p) plans
+        | None ->
+            Pool.parallel_map_list ~chunk:1 pool (fun p -> eval t None p)
+              plans
+      in
+      (* Recorded after the join, in the caller's domain, so worker
+         domains never touch the registry. *)
+      Obs.Counter.incr_op m_batches;
+      Obs.Counter.add_op m_batch_plans (List.length plans);
+      List.iter
+        (fun w -> Obs.Counter.add_op m_rows (List.length w.nodes))
+        ws;
+      ws)
 
 let rec run_search ~lookup = function
   | Plan.Keyword_lookup kws -> lookup kws

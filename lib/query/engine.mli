@@ -96,8 +96,12 @@ val co_reachable_of_matches : t -> Query_ast.node_pred -> int list
 
 val run : t -> Plan.t -> witness
 
+val compile : Query_ast.t -> Plan.t
+(** {!Plan.compile} timed into the [engine.compile_ns] histogram (a
+    plain call when observability is off). *)
+
 val run_query : t -> Query_ast.t -> witness
-(** [run t (Plan.compile q)]. *)
+(** [run t (compile q)]. *)
 
 val run_trace : t -> Plan.t -> witness * (Plan.t * int list) list
 (** Like {!run} but also returns every operator's output node set, inner

@@ -3,6 +3,18 @@ open Wfpriv_privacy
 module Smap = Map.Make (String)
 module Pool = Wfpriv_parallel.Pool
 module Shard = Wfpriv_parallel.Shard
+module Obs = Wfpriv_obs
+
+(* Builds are operator work over every level's postings; lookups happen
+   at a caller level, so they record into that level's cell — a lookup
+   at level [l] only merges partitions [<= l], and its posting count is
+   attributable (and visible) to observers at [l]. *)
+let m_builds = Obs.Registry.counter "index.builds"
+let m_build_postings = Obs.Registry.counter "index.build_postings"
+let m_build_terms = Obs.Registry.counter "index.build_terms"
+let m_lookups = Obs.Registry.counter "index.lookups"
+let m_lookup_postings = Obs.Registry.counter "index.lookup_postings"
+let h_build_ns = Obs.Registry.histogram "index.build_ns"
 
 type posting = {
   doc : string;
@@ -104,35 +116,54 @@ let build ?pool entries =
            invalid_arg "Index.build: duplicate entry names"
          else Smap.add n () seen)
        Smap.empty entries);
-  (* Posting extraction is independent per entry (each call builds its
-     own floor memo); token partitioning then shards the heavy
-     sort-and-group across domains, merged by disjoint-key map union in
-     shard order. *)
-  let jobs = Pool.jobs pool in
-  let postings =
-    if jobs <= 1 || List.length entries <= 1 then
-      List.concat_map entry_postings entries
-    else Pool.parallel_map_list ~chunk:1 pool entry_postings entries |> List.concat
+  let idx =
+    Obs.Trace.with_span "index.build"
+      ~attrs:(fun () -> [ ("entries", string_of_int (List.length entries)) ])
+      (fun () ->
+        Obs.Histogram.time h_build_ns (fun () ->
+            (* Posting extraction is independent per entry (each call
+               builds its own floor memo); token partitioning then shards
+               the heavy sort-and-group across domains, merged by
+               disjoint-key map union in shard order. *)
+            let jobs = Pool.jobs pool in
+            let postings =
+              if jobs <= 1 || List.length entries <= 1 then
+                List.concat_map entry_postings entries
+              else
+                Pool.parallel_map_list ~chunk:1 pool entry_postings entries
+                |> List.concat
+            in
+            let partitions =
+              if jobs <= 1 then shard_partitions postings
+              else
+                Shard.map_merge pool ~shards:(jobs * 2)
+                  ~hash:(fun (term, _) -> Hashtbl.hash term)
+                  ~map:shard_partitions
+                  ~merge:(Smap.union (fun _ a _ -> Some a))
+                  ~init:Smap.empty postings
+            in
+            let total =
+              Smap.fold
+                (fun _ parts acc -> acc + partition_count parts)
+                partitions 0
+            in
+            { partitions; terms = Smap.cardinal partitions; total }))
   in
-  let partitions =
-    if jobs <= 1 then shard_partitions postings
-    else
-      Shard.map_merge pool ~shards:(jobs * 2)
-        ~hash:(fun (term, _) -> Hashtbl.hash term)
-        ~map:shard_partitions
-        ~merge:(Smap.union (fun _ a _ -> Some a))
-        ~init:Smap.empty postings
-  in
-  let total =
-    Smap.fold (fun _ parts acc -> acc + partition_count parts) partitions 0
-  in
-  { partitions; terms = Smap.cardinal partitions; total }
+  Obs.Counter.incr_op m_builds;
+  Obs.Counter.add_op m_build_postings idx.total;
+  Obs.Counter.add_op m_build_terms idx.terms;
+  idx
 
 let lookup t ~level term =
-  match Smap.find_opt (String.lowercase_ascii term) t.partitions with
-  | None -> []
-  | Some parts ->
-      merge_partitions (List.filter (fun (l, _) -> l <= level) parts)
+  Obs.Counter.incr m_lookups ~at:level;
+  let found =
+    match Smap.find_opt (String.lowercase_ascii term) t.partitions with
+    | None -> []
+    | Some parts ->
+        merge_partitions (List.filter (fun (l, _) -> l <= level) parts)
+  in
+  Obs.Counter.add m_lookup_postings ~at:level (List.length found);
+  found
 
 let nb_terms t = t.terms
 let nb_postings t = t.total
@@ -165,10 +196,15 @@ let lookup_per_level pl ~level term =
   let candidates = List.filter (fun (l, _) -> l <= level) pl in
   match List.rev candidates with
   | [] -> invalid_arg "Index.lookup_per_level: no index at or below the level"
-  | (_, idx) :: _ -> (
-      match Smap.find_opt (String.lowercase_ascii term) idx.partitions with
-      | None -> []
-      | Some parts -> merge_partitions parts)
+  | (_, idx) :: _ ->
+      Obs.Counter.incr m_lookups ~at:level;
+      let found =
+        match Smap.find_opt (String.lowercase_ascii term) idx.partitions with
+        | None -> []
+        | Some parts -> merge_partitions parts
+      in
+      Obs.Counter.add m_lookup_postings ~at:level (List.length found);
+      found
 
 let per_level_postings pl =
   List.fold_left (fun acc (_, idx) -> acc + idx.total) 0 pl

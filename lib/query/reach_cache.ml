@@ -11,6 +11,16 @@ open Wfpriv_workflow
    — O(capacity), fine at the few-hundred capacities this cache runs
    at, and it buys exact LRU without an intrusive list. *)
 
+(* Every cache instance also mirrors its per-instance stats into three
+   process-wide counters, so `wfpriv stats` sees cache behaviour without
+   threading cache handles through the CLI. Op-scope: a cache serves
+   whole user groups, not one privilege level. *)
+module Obs = Wfpriv_obs
+
+let m_hits = Obs.Registry.counter "cache.hits"
+let m_misses = Obs.Registry.counter "cache.misses"
+let m_evictions = Obs.Registry.counter "cache.evictions"
+
 type 'v slot = { value : 'v; mutable last_used : int }
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 
@@ -58,17 +68,20 @@ let evict_lru t tbl =
   match victim with
   | Some (k, _) ->
       Hashtbl.remove tbl k;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      Obs.Counter.incr_op m_evictions
   | None -> ()
 
 let find_or_build t tbl ~key build =
   match Hashtbl.find_opt tbl key with
   | Some slot ->
       t.hits <- t.hits + 1;
+      Obs.Counter.incr_op m_hits;
       touch t slot;
       slot.value
   | None ->
       t.misses <- t.misses + 1;
+      Obs.Counter.incr_op m_misses;
       let v = build () in
       if Hashtbl.length tbl >= t.capacity then evict_lru t tbl;
       t.tick <- t.tick + 1;

@@ -35,15 +35,27 @@ let engine t =
       t.engine <- Some (p, e);
       e
 
-let query t q = Query_eval.of_engine (Engine.run_query (engine t) q)
+let query t q =
+  let w = Query_eval.of_engine (Engine.run_query (engine t) q) in
+  Access_gate.audit_query t.gate q ~nodes:(List.length w.Query_eval.nodes);
+  w
 
 let query_batch ?pool t qs =
   let e = engine t in
   (* The gate must be read-only before plans fan out across domains:
      freeze its memo tables now (idempotent). *)
   Access_gate.prepare t.gate;
-  Engine.run_batch ?pool e (List.map Plan.compile qs)
-  |> List.map Query_eval.of_engine
+  let ws =
+    Engine.run_batch ?pool e (List.map Engine.compile qs)
+    |> List.map Query_eval.of_engine
+  in
+  (* Audit from the calling domain, after the join: recording sites stay
+     single-domain per batch and the log order is the query order. *)
+  List.iter2
+    (fun q w ->
+      Access_gate.audit_query t.gate q ~nodes:(List.length w.Query_eval.nodes))
+    qs ws;
+  ws
 
 (* The workflow a collapsed view node would expand into. *)
 let expansion_of_node t n =
@@ -67,11 +79,18 @@ let zoom_in t n =
         let required = Access_gate.workflow_floor t.gate w in
         if required > level t then begin
           t.denied <- (n, required) :: t.denied;
+          (* Audited with the required floor only — not the node or the
+             workflow it would have revealed. *)
+          Access_gate.audit_zoom t.gate ~op:"gate.zoom_in" ~floor:required
+            ~nodes:0 ();
           Denied required
         end
         else begin
           let view = Exec_view.of_prefix t.exec (w :: prefix t) in
           set_view t view;
+          Access_gate.audit_zoom t.gate ~op:"gate.zoom_in"
+            ~nodes:(List.length (Exec_view.nodes view))
+            ();
           Ok view
         end
 
@@ -81,12 +100,17 @@ let zoom_out t w =
   else begin
     let view = Exec_view.of_prefix t.exec (Access_gate.collapse t.gate (prefix t) w) in
     set_view t view;
+    Access_gate.audit_zoom t.gate ~op:"gate.zoom_out"
+      ~nodes:(List.length (Exec_view.nodes view))
+      ();
     Ok view
   end
 
 let zoom_to_access_view t =
   let view = Access_gate.exec_view t.gate t.exec in
   set_view t view;
+  Access_gate.audit_view t.gate ~op:"gate.access_view"
+    ~nodes:(List.length (Exec_view.nodes view));
   view
 
 let denied_attempts t = List.rev t.denied

@@ -107,3 +107,71 @@ Queries work identically on both store flavours:
 
   $ wfpriv repo search demo.d -l 3 database
   disease-susceptibility (score 4.22), view {W1, W2}
+
+Observability: `wfpriv stats` runs a canned query session and reports
+the privilege-partitioned counters, the histograms, the observer view
+at the session level, and the audit trail. Denied queries are audited
+with the required privilege floor only — never the hidden structure:
+
+  $ wfpriv stats
+  counters:
+    cache.evictions          0
+    cache.hits               0
+    cache.misses             0
+    engine.batch_plans       3
+    engine.batches           1
+    engine.closure_builds    1
+    engine.closure_rows      15
+    engine.prepares          1
+    engine.rows              2
+    engine.runs              0
+    gate.denials             1
+    gate.nodes               2
+    gate.queries             3
+    gate.views               1
+    gate.zooms               0
+    recovery.bytes_scanned   0
+    recovery.replayed        0
+    recovery.runs            0
+    wal.appends              0
+    wal.bytes                0
+    wal.fsyncs               0
+  histograms:
+    engine.closure_build_ns  count=1
+    engine.compile_ns        count=3
+    wal.append_ns            count=0
+  observer view at level 1:
+    gate.denials             1
+    gate.nodes               2
+    gate.queries             3
+    gate.views               1
+  audit:
+    #1 gate.access_view level=1 allowed nodes=15
+    #2 gate.query level=1 allowed nodes=0 q='before(~"Expand SNP", ~"OMIM")'
+    #3 gate.query level=1 allowed nodes=2 q='node(~"risk")'
+    #4 gate.query level=1 denied floor=2 nodes=0 q='inside(*, W4)'
+
+The text report is deterministic: volatile metrics (pool activity,
+timings) are excluded, so the parallel runtime reports identically:
+
+  $ wfpriv stats > seq.txt
+  $ wfpriv stats --jobs 4 > par.txt
+  $ diff seq.txt par.txt
+
+At a sufficient level the same query is allowed and audited as such:
+
+  $ wfpriv stats --level 2 'inside(*, W4)' | tail -3
+  audit:
+    #1 gate.access_view level=2 allowed nodes=20
+    #2 gate.query level=2 allowed nodes=4 q='inside(*, W4)'
+
+--json emits the full snapshot (volatile metrics and histograms
+included) as one machine-readable document:
+
+  $ wfpriv stats --json | grep -E '"(outcome|floor|audit_dropped)"'
+        "outcome": "allowed",
+        "outcome": "allowed",
+        "outcome": "allowed",
+        "outcome": "denied",
+        "floor": 2,
+    "audit_dropped": 0

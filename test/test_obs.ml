@@ -1,0 +1,364 @@
+(* Observability layer tests (PR 4).
+
+   Three layers are under test:
+   - the primitives: lock-free counters (including under a 4-domain
+     pool), log-bucketed histograms, the span sinks, the audit ring;
+   - the audit discipline: denials record the required privilege floor
+     and node *counts*, never the identity of hidden structure;
+   - the leakage invariant, the PR's acceptance bar: everything an
+     observer at level [p] can read — partitioned counter cells, audit
+     records at [<= p] — is bit-identical between a workload and the
+     same workload with a different *hidden* sub-structure, and work
+     performed at higher levels never shows up below. *)
+
+open Wfpriv_workflow
+open Wfpriv_privacy
+open Wfpriv_query
+module Obs = Wfpriv_obs
+module Pool = Wfpriv_parallel.Pool
+module Disease = Wfpriv_workloads.Disease
+module Synthetic = Wfpriv_workloads.Synthetic
+
+let check = Alcotest.check
+
+let with_obs f =
+  Obs.Config.set_enabled true;
+  Obs.Registry.reset ();
+  Obs.Audit_log.reset ();
+  Fun.protect ~finally:(fun () -> Obs.Config.set_enabled false) f
+
+(* ------------------------------------------------------------------ *)
+(* Primitives *)
+
+let test_counter_cells () =
+  with_obs @@ fun () ->
+  let c = Obs.Registry.counter "test.cells" in
+  Obs.Counter.reset c;
+  Obs.Counter.incr_op c;
+  Obs.Counter.add_op c 4;
+  Obs.Counter.add c ~at:0 10;
+  Obs.Counter.add c ~at:2 100;
+  Obs.Counter.incr c ~at:2;
+  check Alcotest.int "op cell" 5 (Obs.Counter.op_value c);
+  check Alcotest.int "up to 0" 10 (Obs.Counter.value_up_to c 0);
+  check Alcotest.int "up to 1" 10 (Obs.Counter.value_up_to c 1);
+  check Alcotest.int "up to 2" 111 (Obs.Counter.value_up_to c 2);
+  check Alcotest.int "total" 116 (Obs.Counter.total c);
+  check
+    Alcotest.(list (pair int int))
+    "levels" [ (0, 10); (2, 101) ] (Obs.Counter.levels c);
+  Obs.Config.set_enabled false;
+  Obs.Counter.add c ~at:0 999;
+  Obs.Counter.add_op c 999;
+  Obs.Config.set_enabled true;
+  check Alcotest.int "disabled recordings dropped" 116 (Obs.Counter.total c)
+
+let test_counter_parallel () =
+  with_obs @@ fun () ->
+  let c = Obs.Registry.counter "test.parallel" in
+  Obs.Counter.reset c;
+  let pool = Pool.create ~jobs:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Pool.parallel_for pool 40_000 (fun i ->
+          if i mod 2 = 0 then Obs.Counter.incr_op c
+          else Obs.Counter.incr c ~at:(i mod 3)));
+  check Alcotest.int "no lost updates (op)" 20_000 (Obs.Counter.op_value c);
+  check Alcotest.int "no lost updates (levels)" 20_000
+    (Obs.Counter.value_up_to c 2);
+  check Alcotest.int "no lost updates (total)" 40_000 (Obs.Counter.total c)
+
+let test_histogram () =
+  with_obs @@ fun () ->
+  let h = Obs.Registry.histogram "test.hist" in
+  Obs.Histogram.reset h;
+  List.iter (Obs.Histogram.observe h) [ 0; 1; 2; 3; 1024; 1500; -7 ];
+  check Alcotest.int "count" 7 (Obs.Histogram.count h);
+  (* -7 clamps to 0 *)
+  check Alcotest.int "sum" 2530 (Obs.Histogram.sum h);
+  check
+    Alcotest.(list (pair int int))
+    "buckets: 0|1 -> 0, 2|3 -> 2, 1024|1500 -> 1024"
+    [ (0, 3); (2, 2); (1024, 2) ]
+    (Obs.Histogram.buckets h);
+  let r = Obs.Histogram.time h (fun () -> 41 + 1) in
+  check Alcotest.int "time returns" 42 r;
+  check Alcotest.int "time observes" 8 (Obs.Histogram.count h)
+
+let test_registry () =
+  with_obs @@ fun () ->
+  let c = Obs.Registry.counter "test.memo" in
+  check Alcotest.bool "memoized" true (c == Obs.Registry.counter "test.memo");
+  let h = Obs.Registry.histogram "test.memo.h" in
+  check Alcotest.bool "histogram memoized" true
+    (h == Obs.Registry.histogram "test.memo.h");
+  check Alcotest.bool "kind mismatch rejected" true
+    (try
+       ignore (Obs.Registry.histogram "test.memo");
+       false
+     with Invalid_argument _ -> true);
+  check Alcotest.bool "volatility mismatch rejected" true
+    (try
+       ignore (Obs.Registry.counter ~volatile:true "test.memo");
+       false
+     with Invalid_argument _ -> true)
+
+let test_trace_sinks () =
+  with_obs @@ fun () ->
+  (* Null sink: nothing recorded. *)
+  Obs.Trace.set_null ();
+  Obs.Trace.with_span "t.null" (fun () -> ());
+  check Alcotest.int "null records nothing" 0
+    (List.length (Obs.Trace.ring_spans ()));
+  (* Ring sink: spans with names and attributes, oldest first. *)
+  Obs.Trace.set_ring ~capacity:2 ();
+  Obs.Trace.with_span "t.a" (fun () -> ());
+  Obs.Trace.with_span ~attrs:(fun () -> [ ("k", "v") ]) "t.b" (fun () -> ());
+  Obs.Trace.with_span "t.c" (fun () -> ());
+  let spans = Obs.Trace.ring_spans () in
+  check
+    Alcotest.(list string)
+    "capacity evicts oldest" [ "t.b"; "t.c" ]
+    (List.map (fun s -> s.Obs.Trace.name) spans);
+  check
+    Alcotest.(list (pair string string))
+    "attrs" [ ("k", "v") ]
+    (List.hd spans).Obs.Trace.attrs;
+  (* A span is recorded even when the thunk raises. *)
+  (try Obs.Trace.with_span "t.raise" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.bool "span recorded on raise" true
+    (List.exists
+       (fun s -> s.Obs.Trace.name = "t.raise")
+       (Obs.Trace.ring_spans ()));
+  (* Jsonl sink: one parseable object per line. *)
+  let path = Filename.temp_file "wfpriv-trace" ".jsonl" in
+  Obs.Trace.set_jsonl path;
+  Obs.Trace.with_span ~attrs:(fun () -> [ ("n", "3") ]) "t.file" (fun () -> ());
+  Obs.Trace.close ();
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  let doc = Wfpriv_serial.Json.parse line in
+  check Alcotest.string "span name round-trips" "t.file"
+    Wfpriv_serial.Json.(get_string (member "span" doc));
+  check Alcotest.string "attr round-trips" "3"
+    Wfpriv_serial.Json.(get_string (member "n" doc))
+
+(* ------------------------------------------------------------------ *)
+(* Audit discipline *)
+
+let depth_privilege spec =
+  let h = Hierarchy.of_spec spec in
+  Privilege.make spec
+    (Spec.workflow_ids spec
+    |> List.filter (fun w -> w <> Spec.root spec)
+    |> List.map (fun w -> (w, Hierarchy.depth h w)))
+
+let last_record () =
+  match List.rev (Obs.Audit_log.records ()) with
+  | r :: _ -> r
+  | [] -> Alcotest.fail "no audit record"
+
+let test_audit_zoom_denial () =
+  with_obs @@ fun () ->
+  let exec = Disease.run () in
+  let privilege = depth_privilege Disease.spec in
+  let s = Session.start privilege ~level:0 exec in
+  (* Find a collapsed composite node and try to open it: level 0 may
+     expand nothing, so some node must produce a denial. *)
+  let denied =
+    List.find_map
+      (fun n ->
+        match Session.zoom_in s n with
+        | Session.Denied floor -> Some floor
+        | _ -> None)
+      (Exec_view.nodes (Session.current s))
+  in
+  let floor = Option.get denied in
+  let r = last_record () in
+  check Alcotest.string "op" "gate.zoom_in" r.Obs.Audit_log.op;
+  check Alcotest.int "level" 0 r.Obs.Audit_log.level;
+  check Alcotest.bool "denied with the required floor" true
+    (r.Obs.Audit_log.outcome = Obs.Audit_log.Denied { floor });
+  check Alcotest.int "no node identities, not even a count" 0
+    r.Obs.Audit_log.nodes;
+  check Alcotest.string "query field empty" "" r.Obs.Audit_log.query;
+  (* The rendered line carries the floor and nothing identifying what
+     stayed hidden: no module name, no workflow id, no node id. *)
+  check Alcotest.string "render"
+    (Printf.sprintf "#%d gate.zoom_in level=0 denied floor=%d nodes=0"
+       r.Obs.Audit_log.seq floor)
+    (Obs.Audit_log.render r)
+
+let test_audit_query_denial () =
+  with_obs @@ fun () ->
+  let exec = Disease.run () in
+  let privilege = depth_privilege Disease.spec in
+  let s = Session.start privilege ~level:0 exec in
+  ignore (Session.zoom_to_access_view s);
+  (* W4 needs level 2 under the depth assignment; a level-0 structural
+     query that names it is answered (false, from the access view) and
+     audited as denied. *)
+  let q = Query_ast.Inside (Query_ast.Any, "W4") in
+  let w = Session.query s q in
+  check Alcotest.bool "answer is privacy-safe" false w.Query_eval.holds;
+  let r = last_record () in
+  check Alcotest.string "op" "gate.query" r.Obs.Audit_log.op;
+  check Alcotest.bool "denied, floor 2" true
+    (r.Obs.Audit_log.outcome = Obs.Audit_log.Denied { floor = 2 });
+  check Alcotest.int "zero visible witness nodes" 0 r.Obs.Audit_log.nodes;
+  (* The record echoes the requester's own query text but names none of
+     W4's hidden modules (M5..M8 in the paper's Fig. 1). *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let line = Obs.Audit_log.render r in
+  List.iter
+    (fun m ->
+      check Alcotest.bool
+        (Printf.sprintf "render does not leak %s" m)
+        false (contains line m))
+    [ "M5"; "M6"; "M7"; "M8" ]
+
+(* ------------------------------------------------------------------ *)
+(* The leakage invariant *)
+
+(* Two specifications with identical *visible* structure — root W1 =
+   I -> M2 -> M3(=W2) -> O — differing only inside the level-2 workflow
+   W2: one hidden atomic vs. a three-atomic chain. An observer at level
+   0 or 1 sees the same access views on both, so every observer-facing
+   observability output must be identical too. *)
+let leak_spec ~hidden_chain =
+  let atom id name = Module_def.make ~id ~name Module_def.Atomic in
+  let hidden_ids = List.init hidden_chain (fun i -> 4 + i) in
+  let hidden =
+    List.map (fun id -> atom id (Printf.sprintf "Hidden Step %d" id)) hidden_ids
+  in
+  let rec chain = function
+    | a :: (b :: _ as rest) ->
+        { Spec.src = a; dst = b; data = [ "h" ] } :: chain rest
+    | _ -> []
+  in
+  let w1 =
+    {
+      Spec.wf_id = "W1";
+      title = "root";
+      members = [ Ids.input_module; Ids.output_module; 2; 3 ];
+      edges =
+        [
+          { Spec.src = Ids.input_module; dst = 2; data = [ "a" ] };
+          { Spec.src = 2; dst = 3; data = [ "b" ] };
+          { Spec.src = 3; dst = Ids.output_module; data = [ "c" ] };
+        ];
+    }
+  in
+  let w2 =
+    { Spec.wf_id = "W2"; title = "secret"; members = hidden_ids;
+      edges = chain hidden_ids }
+  in
+  Spec.create ~root:"W1"
+    ([ Module_def.input; Module_def.output; atom 2 "Visible Step";
+       Module_def.make ~id:3 ~name:"Secret Unit" (Module_def.Composite "W2") ]
+    @ hidden)
+    [ w1; w2 ]
+
+let leak_queries =
+  Query_ast.
+    [
+      Node Atomic_only;
+      Before (Any, Any);
+      Node (Module_is 3);
+      Inside (Any, "W2");
+      Edge (Any, Module_is 3);
+    ]
+
+let run_workload spec ~level =
+  let privilege = Privilege.make spec [ ("W2", 2) ] in
+  let exec =
+    Executor.run spec (Synthetic.semantics spec)
+      ~inputs:(Synthetic.inputs_for spec ~seed:1)
+  in
+  let s = Session.start privilege ~level exec in
+  ignore (Session.zoom_to_access_view s);
+  List.iter (fun q -> ignore (Session.query s q)) leak_queries;
+  s
+
+(* Everything an observer at [level] may read. *)
+let observer_fingerprint spec ~level =
+  Obs.Registry.reset ();
+  Obs.Audit_log.reset ();
+  ignore (run_workload spec ~level);
+  ( Obs.Registry.observer_counters ~level,
+    List.map Obs.Audit_log.render (Obs.Audit_log.visible_at level) )
+
+let fingerprint =
+  Alcotest.(pair (list (pair string int)) (list string))
+
+let test_leakage_invariance () =
+  with_obs @@ fun () ->
+  let small = leak_spec ~hidden_chain:1 in
+  let big = leak_spec ~hidden_chain:3 in
+  List.iter
+    (fun level ->
+      let a = observer_fingerprint small ~level in
+      let b = observer_fingerprint big ~level in
+      check fingerprint
+        (Printf.sprintf
+           "observer view at level %d blind to hidden structure" level)
+        a b;
+      check Alcotest.bool "fingerprint is non-trivial" true (fst a <> []))
+    [ 0; 1 ]
+
+let test_leakage_partition () =
+  with_obs @@ fun () ->
+  let spec = leak_spec ~hidden_chain:3 in
+  Obs.Registry.reset ();
+  Obs.Audit_log.reset ();
+  ignore (run_workload spec ~level:1);
+  let below = Obs.Registry.observer_counters ~level:1 in
+  let audit_below = List.map Obs.Audit_log.render (Obs.Audit_log.visible_at 1) in
+  (* Privileged work at level 2 must not disturb what level 1 reads. *)
+  ignore (run_workload spec ~level:2);
+  check
+    Alcotest.(list (pair string int))
+    "level-2 work invisible at level 1" below
+    (Obs.Registry.observer_counters ~level:1);
+  check
+    Alcotest.(list string)
+    "level-2 audit records invisible at level 1" audit_below
+    (List.map Obs.Audit_log.render (Obs.Audit_log.visible_at 1));
+  (* ... while the level-2 observer does see its own activity. *)
+  check Alcotest.bool "level-2 observer sees more" true
+    (Obs.Registry.observer_counters ~level:2 <> below)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "counter cells" `Quick test_counter_cells;
+          Alcotest.test_case "counter under 4 domains" `Quick
+            test_counter_parallel;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram;
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "trace sinks" `Quick test_trace_sinks;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "zoom denial: floor only" `Quick
+            test_audit_zoom_denial;
+          Alcotest.test_case "query denial: no hidden names" `Quick
+            test_audit_query_denial;
+        ] );
+      ( "leakage",
+        [
+          Alcotest.test_case "observer view invariant" `Quick
+            test_leakage_invariance;
+          Alcotest.test_case "levels partition" `Quick test_leakage_partition;
+        ] );
+    ]
