@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- bechamel        -- micro-benchmarks only
 
    Experiment ids map to DESIGN.md's index: F1-F5 regenerate the paper's
-   figures, E1-E16 quantify the challenges its sections pose, and A1-A3
+   figures, E1-E17 quantify the challenges its sections pose, and A1-A3
    are design ablations. The table itself lives in {!Bench_registry}.
 
    With [--json], every table and progress line is routed to stderr and

@@ -508,6 +508,76 @@ let repo_info path =
         (Policy.audit_level e.Repository.policy))
     (Repository.names repo)
 
+(* The demo repository, in memory: what `repo init` persists. *)
+let demo_repository () =
+  let repo = Repository.create () in
+  List.iter
+    (fun (name, policy, executions) ->
+      Repository.add repo ~name ~policy ~executions ())
+    (demo_entries ());
+  repo
+
+(* `index-stats`: size and shape of the privacy-partitioned compressed
+   keyword index — terms, postings, per-level partitions and encoded
+   bytes. Deterministic: block layout is a function of the corpus only. *)
+let index_stats path json_out =
+  let repo =
+    match path with Some p -> repo_load p | None -> demo_repository ()
+  in
+  let index = Repository.search_index repo in
+  let docs = Index.doc_count index in
+  let terms = Index.nb_terms index in
+  let postings = Index.nb_postings index in
+  let bytes = Index.encoded_bytes index in
+  let per_posting =
+    if postings = 0 then 0.0 else float_of_int bytes /. float_of_int postings
+  in
+  let stats = Index.level_stats index in
+  if json_out then begin
+    let level s =
+      Json.Obj
+        [
+          ("level", Json.int s.Index.stat_level);
+          ("partitions", Json.int s.Index.stat_partitions);
+          ("postings", Json.int s.Index.stat_postings);
+          ("bytes", Json.int s.Index.stat_bytes);
+        ]
+    in
+    print_string
+      (Json.to_string_pretty
+         (Json.Obj
+            [
+              ("documents", Json.int docs);
+              ("terms", Json.int terms);
+              ("postings", Json.int postings);
+              ("encoded_bytes", Json.int bytes);
+              ("levels", Json.Arr (List.map level stats));
+            ]));
+    print_newline ()
+  end
+  else begin
+    Printf.printf "documents: %d\n" docs;
+    Printf.printf "terms: %d\n" terms;
+    Printf.printf "postings: %d\n" postings;
+    Printf.printf "encoded bytes: %d (%.2f per posting)\n" bytes per_posting;
+    List.iter
+      (fun s ->
+        Printf.printf "level %d: %d partitions, %d postings, %d bytes\n"
+          s.Index.stat_level s.Index.stat_partitions s.Index.stat_postings
+          s.Index.stat_bytes)
+      stats
+  end
+
+let repo_topk path level k keywords =
+  let repo = repo_load path in
+  let hits = Repository.keyword_topk repo ~level ~k keywords in
+  if hits = [] then Printf.printf "no hits at level %d\n" level
+  else
+    List.iter
+      (fun (e : Ranking.entry) ->
+        Printf.printf "%s (score %.2f)\n" e.Ranking.doc e.Ranking.score)
+      hits
+
 let repo_search path level keywords =
   let repo = repo_load path in
   let hits = Repository.keyword_search repo ~level keywords in
@@ -737,9 +807,46 @@ let repo_group =
       (Cmd.info "query" ~doc:"Structural query against stored executions")
       Term.(const repo_query $ path 0 $ lvl $ entry $ q)
   in
+  let topk =
+    let k =
+      Arg.(
+        value & opt int 10
+        & info [ "k"; "top" ] ~docv:"K" ~doc:"Number of hits to return.")
+    in
+    Cmd.v
+      (Cmd.info "topk"
+         ~doc:
+           "Top-K entries for the keywords by block-max WAND over the \
+            compressed privacy-partitioned index; same ranking as \
+            $(b,search), without materialising witness views.")
+      Term.(const repo_topk $ path 0 $ lvl $ k $ kws 0)
+  in
   Cmd.group
     (Cmd.info "repo" ~doc:"Operate on persisted repositories")
-    [ init; append; recover; compact; status; info_; search; prov; query ]
+    [ init; append; recover; compact; status; info_; search; prov; query; topk ]
+
+let index_stats_cmd =
+  let path =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"REPO_FILE"
+          ~doc:
+            "Repository to index (legacy .json or durable directory); \
+             default: the demo repository $(b,repo init) writes.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the statistics as one JSON document.")
+  in
+  Cmd.v
+    (Cmd.info "index-stats"
+       ~doc:
+         "Build the compressed privacy-partitioned keyword index and \
+          report its shape: documents, terms, postings, encoded bytes \
+          and the per-privilege-level partition table.")
+    Term.(const index_stats $ path $ json_flag)
 
 let () =
   (* WFPRIV_OBS=1 turns metric recording on for any command;
@@ -755,7 +862,7 @@ let () =
       (Cmd.group info
          [
            show_cmd; hierarchy_cmd; run_cmd_; prov_cmd; search_cmd; query_cmd;
-           structural_cmd; export_cmd; stats_cmd; repo_group;
+           structural_cmd; export_cmd; stats_cmd; index_stats_cmd; repo_group;
          ])
   in
   Obs.Trace.close ();

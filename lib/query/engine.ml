@@ -565,3 +565,20 @@ let rec run_search ~lookup = function
   | Plan.Rank s -> Ranking.rank (run_search ~lookup s)
   | Plan.Quantize (w, s) -> Ranking.quantize ~width:w (run_search ~lookup s)
   | Plan.Project_top (k, s) -> Ranking.top_k k (run_search ~lookup s)
+
+let run_search_indexed ~index ~level plan =
+  match plan with
+  | Plan.Project_top (k, Plan.Rank (Plan.Keyword_lookup kws)) ->
+      (* The canonical top-k pipeline short-circuits into block-max WAND
+         — same floats, same tie-break, early termination. Quantized
+         pipelines fall through: bucketing changes tie behaviour, so
+         they must rank the exhaustive scores. *)
+      Index.top_k index ~level ~k kws
+  | plan ->
+      run_search ~lookup:(fun kws -> Index.score_entries index ~level kws) plan
+
+let run_searches ?pool ~index ~level plans =
+  let pool = match pool with Some p -> p | None -> Pool.global () in
+  (* The index is immutable after build and cursors are per-call, so
+     search pipelines fan out like query plans; counters are atomic. *)
+  Pool.parallel_map_list ~chunk:1 pool (run_search_indexed ~index ~level) plans

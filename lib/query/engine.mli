@@ -122,3 +122,25 @@ val run_search :
   lookup:(string list -> Ranking.entry list) -> Plan.search -> Ranking.entry list
 (** Execute a search pipeline; [lookup] scores documents for the keyword
     set (the engine owns ranking, quantization and projection). *)
+
+val run_search_indexed :
+  index:Index.t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  Plan.search ->
+  Ranking.entry list
+(** {!run_search} against a compressed index: the canonical
+    [Project_top (k, Rank (Keyword_lookup _))] pipeline dispatches to
+    block-max WAND ({!Index.top_k}), everything else (in particular
+    quantized pipelines, whose bucketing changes tie behaviour) ranks
+    the exhaustive {!Index.score_entries}. Answers are identical either
+    way — the WAND differential property pins it. *)
+
+val run_searches :
+  ?pool:Wfpriv_parallel.Pool.t ->
+  index:Index.t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  Plan.search list ->
+  Ranking.entry list list
+(** A batch of search pipelines against one immutable index, distributed
+    across the pool's domains; results in input order, identical to
+    mapping {!run_search_indexed}. Defaults to the global pool. *)

@@ -1,6 +1,7 @@
 open Wfpriv_workflow
 open Wfpriv_privacy
 module Smap = Map.Make (String)
+module Iset = Set.Make (Int)
 module Pool = Wfpriv_parallel.Pool
 module Shard = Wfpriv_parallel.Shard
 module Obs = Wfpriv_obs
@@ -14,6 +15,7 @@ let m_build_postings = Obs.Registry.counter "index.build_postings"
 let m_build_terms = Obs.Registry.counter "index.build_terms"
 let m_lookups = Obs.Registry.counter "index.lookups"
 let m_lookup_postings = Obs.Registry.counter "index.lookup_postings"
+let m_topk = Obs.Registry.counter "index.topk_queries"
 let h_build_ns = Obs.Registry.histogram "index.build_ns"
 
 type posting = {
@@ -22,13 +24,19 @@ type posting = {
   min_level : Privilege.level;
 }
 
-(* Level-partitioned postings (the paper's privacy-partitioned index):
-   per term, one sorted array of postings per distinct min_level, the
-   partitions in ascending level order. A lookup at level [l] merges
-   exactly the partitions with level <= l and never touches a posting
-   above the caller's privilege. *)
+(* Level-partitioned postings (the paper's privacy-partitioned index),
+   now succinct: doc names are interned into dense ids (Symtab) and each
+   (term, level) partition is a delta-compressed block sequence
+   (Postings). A lookup at level [l] decodes exactly the partitions with
+   level <= l and never touches a posting above the caller's privilege;
+   [cum_df.(i)] is the number of distinct docs across partitions
+   [0 .. i], so IDF at level [l] is likewise a function of levels <= l
+   only (plus the public doc count). *)
+type term_entry = { parts : Postings.t array; cum_df : int array }
+
 type t = {
-  partitions : (Privilege.level * posting array) list Smap.t;
+  symtab : Symtab.t;
+  tmap : term_entry Smap.t;
   terms : int;
   total : int;
 }
@@ -47,46 +55,56 @@ let entry_postings (name, spec, privilege) =
         (Module_def.terms md))
     (Spec.module_ids spec)
 
-(* Group a (min_level, doc, module)-sorted posting list into per-level
-   partitions; within a partition the (doc, module) order is inherited
-   from the sort. *)
-let partition_sorted postings =
-  let rec go = function
+(* Encode one term's postings: sort by (level, doc, module), run-length
+   duplicate (level, doc, module) triples into frequencies, and emit one
+   compressed partition per level plus the cumulative-df table. *)
+let encode_term symtab postings =
+  let keyed =
+    List.map
+      (fun p ->
+        let doc =
+          match Symtab.find_opt symtab p.doc with
+          | Some id -> id
+          | None -> invalid_arg "Index: posting for an unknown doc"
+        in
+        (p.min_level, doc, p.module_id))
+      postings
+    |> List.sort compare
+  in
+  let rec group = function
     | [] -> []
-    | p :: _ as ps ->
-        let level = p.min_level in
-        let mine, rest = List.partition (fun q -> q.min_level = level) ps in
-        (level, Array.of_list mine) :: go rest
+    | (l, d, m) :: rest ->
+        let rec count n = function
+          | (l', d', m') :: tl when l' = l && d' = d && m' = m ->
+              count (n + 1) tl
+          | tl -> (n, tl)
+        in
+        let tf, rest = count 1 rest in
+        (l, d, m, tf) :: group rest
   in
-  go postings
-
-(* Merge already-sorted posting lists, dropping duplicates — O(total)
-   per pair instead of the old sort-the-concatenation rescan. *)
-let merge_sorted a b =
-  let rec go a b acc =
-    match (a, b) with
-    | [], rest | rest, [] -> List.rev_append acc rest
-    | x :: a', y :: b' ->
-        let c = posting_compare x y in
-        if c < 0 then go a' b (x :: acc)
-        else if c > 0 then go a b' (y :: acc)
-        else go a' b' (x :: acc)
+  let grouped = group keyed in
+  let rec partitions seen = function
+    | [] -> []
+    | (l, _, _, _) :: _ as xs ->
+        let mine, rest = List.partition (fun (l', _, _, _) -> l' = l) xs in
+        let triples = List.map (fun (_, d, m, tf) -> (d, m, tf)) mine in
+        let seen =
+          List.fold_left (fun s (d, _, _) -> Iset.add d s) seen triples
+        in
+        (Postings.encode ~level:l triples, Iset.cardinal seen)
+        :: partitions seen rest
   in
-  go a b []
+  let parts = partitions Iset.empty grouped in
+  {
+    parts = Array.of_list (List.map fst parts);
+    cum_df = Array.of_list (List.map snd parts);
+  }
 
-let merge_partitions parts =
-  List.fold_left
-    (fun acc (_, arr) -> merge_sorted acc (Array.to_list arr))
-    [] parts
-
-let partition_count parts =
-  List.fold_left (fun acc (_, arr) -> acc + Array.length arr) 0 parts
-
-(* Sort-and-partition the postings of a token subset into the per-level
-   index shape. All postings of one term share a hash, hence a shard, so
-   sharded builds see exactly the posting sub-lists the sequential build
-   sees — partitions are identical either way. *)
-let shard_partitions postings =
+(* Term-keyed encode of a token subset. All postings of one term share a
+   hash, hence a shard, so sharded builds encode every term from exactly
+   the posting sub-list the sequential build sees — identical blocks
+   either way. *)
+let shard_terms symtab postings =
   let by_term =
     List.fold_left
       (fun acc (term, p) ->
@@ -95,20 +113,36 @@ let shard_partitions postings =
           acc)
       Smap.empty postings
   in
-  Smap.map
-    (fun ps ->
-      List.sort
-        (fun a b ->
-          compare (a.min_level, a.doc, a.module_id)
-            (b.min_level, b.doc, b.module_id))
-        ps
-      |> partition_sorted)
-    by_term
+  Smap.map (encode_term symtab) by_term
+
+let sum_postings te =
+  Array.fold_left (fun acc p -> acc + Postings.postings p) 0 te.parts
+
+let of_postings ?pool ~docs postings =
+  let pool = match pool with Some p -> p | None -> Pool.global () in
+  let symtab = Symtab.of_sorted docs in
+  let jobs = Pool.jobs pool in
+  let tmap =
+    if jobs <= 1 then shard_terms symtab postings
+    else
+      Shard.map_merge pool ~shards:(jobs * 2)
+        ~hash:(fun (term, _) -> Hashtbl.hash term)
+        ~map:(shard_terms symtab)
+        ~merge:(Smap.union (fun _ a _ -> Some a))
+        ~init:Smap.empty postings
+  in
+  let total = Smap.fold (fun _ te acc -> acc + sum_postings te) tmap 0 in
+  { symtab; tmap; terms = Smap.cardinal tmap; total }
+
+let build_postings ?pool postings =
+  let docs =
+    List.sort_uniq String.compare (List.map (fun (_, p) -> p.doc) postings)
+  in
+  of_postings ?pool ~docs postings
 
 let build ?pool entries =
   let pool = match pool with Some p -> p | None -> Pool.global () in
-  (* Duplicate-name detection in one Map pass (was an O(n^2)-ish
-     sort-and-compare over the whole name list). *)
+  (* Duplicate-name detection in one Map pass. *)
   ignore
     (List.fold_left
        (fun seen (n, _, _) ->
@@ -122,9 +156,9 @@ let build ?pool entries =
       (fun () ->
         Obs.Histogram.time h_build_ns (fun () ->
             (* Posting extraction is independent per entry (each call
-               builds its own floor memo); token partitioning then shards
-               the heavy sort-and-group across domains, merged by
-               disjoint-key map union in shard order. *)
+               builds its own floor memo); block encoding then shards by
+               token hash across domains, merged by disjoint-key map
+               union in shard order. *)
             let jobs = Pool.jobs pool in
             let postings =
               if jobs <= 1 || List.length entries <= 1 then
@@ -133,40 +167,301 @@ let build ?pool entries =
                 Pool.parallel_map_list ~chunk:1 pool entry_postings entries
                 |> List.concat
             in
-            let partitions =
-              if jobs <= 1 then shard_partitions postings
-              else
-                Shard.map_merge pool ~shards:(jobs * 2)
-                  ~hash:(fun (term, _) -> Hashtbl.hash term)
-                  ~map:shard_partitions
-                  ~merge:(Smap.union (fun _ a _ -> Some a))
-                  ~init:Smap.empty postings
+            let docs =
+              List.sort String.compare (List.map (fun (n, _, _) -> n) entries)
             in
-            let total =
-              Smap.fold
-                (fun _ parts acc -> acc + partition_count parts)
-                partitions 0
-            in
-            { partitions; terms = Smap.cardinal partitions; total }))
+            of_postings ~pool ~docs postings))
   in
   Obs.Counter.incr_op m_builds;
   Obs.Counter.add_op m_build_postings idx.total;
   Obs.Counter.add_op m_build_terms idx.terms;
   idx
 
+let visible_parts te ~level =
+  let rec take i acc =
+    if i < Array.length te.parts && Postings.level te.parts.(i) <= level then
+      take (i + 1) (te.parts.(i) :: acc)
+    else List.rev acc
+  in
+  take 0 []
+
+let find_term t term = Smap.find_opt (String.lowercase_ascii term) t.tmap
+
+(* Merge already-sorted posting lists, dropping duplicates across lists
+   (none can occur: partitions have distinct levels) while keeping the
+   in-partition duplicates that encode frequencies > 1. *)
+let merge_sorted a b =
+  let rec go a b acc =
+    match (a, b) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: a', y :: b' ->
+        let c = posting_compare x y in
+        if c < 0 then go a' b (x :: acc)
+        else if c > 0 then go a b' (y :: acc)
+        else go a' b' (x :: acc)
+  in
+  go a b []
+
+let decode_part t ~at part =
+  let acc = ref [] in
+  Postings.iter ~at part (fun d m tf ->
+      let p =
+        {
+          doc = Symtab.name t.symtab d;
+          module_id = m;
+          min_level = Postings.level part;
+        }
+      in
+      for _ = 1 to tf do
+        acc := p :: !acc
+      done);
+  List.rev !acc
+
+let lookup_parts t ~at parts =
+  List.fold_left
+    (fun acc part -> merge_sorted acc (decode_part t ~at part))
+    [] parts
+
 let lookup t ~level term =
   Obs.Counter.incr m_lookups ~at:level;
   let found =
-    match Smap.find_opt (String.lowercase_ascii term) t.partitions with
+    match find_term t term with
     | None -> []
-    | Some parts ->
-        merge_partitions (List.filter (fun (l, _) -> l <= level) parts)
+    | Some te -> lookup_parts t ~at:level (visible_parts te ~level)
   in
   Obs.Counter.add m_lookup_postings ~at:level (List.length found);
   found
 
 let nb_terms t = t.terms
 let nb_postings t = t.total
+let doc_count t = Symtab.size t.symtab
+
+let encoded_bytes t =
+  Smap.fold
+    (fun _ te acc ->
+      acc + Array.fold_left (fun a p -> a + Postings.bytes p) 0 te.parts)
+    t.tmap 0
+
+type level_stat = {
+  stat_level : Privilege.level;
+  stat_partitions : int;
+  stat_postings : int;
+  stat_bytes : int;
+}
+
+let level_stats t =
+  let m =
+    Smap.fold
+      (fun _ te acc ->
+        Array.fold_left
+          (fun acc p ->
+            let l = Postings.level p in
+            let parts, posts, bytes =
+              match List.assoc_opt l acc with
+              | Some s -> s
+              | None -> (0, 0, 0)
+            in
+            (l, (parts + 1, posts + Postings.postings p, bytes + Postings.bytes p))
+            :: List.remove_assoc l acc)
+          acc te.parts)
+      t.tmap []
+  in
+  List.sort compare m
+  |> List.map (fun (l, (parts, posts, bytes)) ->
+         {
+           stat_level = l;
+           stat_partitions = parts;
+           stat_postings = posts;
+           stat_bytes = bytes;
+         })
+
+(* {2 Query terms and leakage-safe scoring}
+
+   The scoring model shared by the exhaustive ranker and the block-max
+   WAND ranker, computed bit-for-bit identically in both: the query's
+   distinct terms in first-occurrence order, each weighted by
+   multiplicity * idf, and a doc's score accumulated term-at-a-time as
+   weight * (total frequency at levels <= l). N is the public document
+   count; df at level l comes from the cumulative-df table at the
+   largest partition <= l — every input is a function of the partitions
+   the caller may see. *)
+
+let group_terms terms =
+  List.fold_left
+    (fun acc term ->
+      let term = String.lowercase_ascii term in
+      let rec bump = function
+        | [] -> [ (term, 1) ]
+        | (t, n) :: rest when String.equal t term -> (t, n + 1) :: rest
+        | x :: rest -> x :: bump rest
+      in
+      bump acc)
+    [] terms
+
+let df t ~level term =
+  match find_term t term with
+  | None -> 0
+  | Some te ->
+      let rec last i acc =
+        if i < Array.length te.parts && Postings.level te.parts.(i) <= level
+        then last (i + 1) te.cum_df.(i)
+        else acc
+      in
+      last 0 0
+
+let idf t ~level term =
+  Tfidf.idf_for ~n:(Symtab.size t.symtab) ~df:(df t ~level term)
+
+let weighted_terms t ~level terms =
+  List.map
+    (fun (term, mult) -> (term, float_of_int mult *. idf t ~level term))
+    (group_terms terms)
+
+let score_entries t ~level terms =
+  let n = Symtab.size t.symtab in
+  let scores = Array.make (max n 1) 0.0 in
+  let seen = Array.make (max n 1) false in
+  let tf_acc = Array.make (max n 1) 0 in
+  List.iter
+    (fun (term, weight) ->
+      match find_term t term with
+      | None -> ()
+      | Some te ->
+          let touched = ref [] in
+          List.iter
+            (fun part ->
+              Postings.iter ~at:level part (fun d _ tf ->
+                  if tf_acc.(d) = 0 then touched := d :: !touched;
+                  tf_acc.(d) <- tf_acc.(d) + tf))
+            (visible_parts te ~level);
+          List.iter
+            (fun d ->
+              scores.(d) <- scores.(d) +. (weight *. float_of_int tf_acc.(d));
+              tf_acc.(d) <- 0;
+              seen.(d) <- true)
+            !touched)
+    (weighted_terms t ~level terms);
+  let acc = ref [] in
+  for d = n - 1 downto 0 do
+    if seen.(d) then
+      acc := { Ranking.doc = Symtab.name t.symtab d; score = scores.(d) } :: !acc
+  done;
+  !acc
+
+(* An aggregated per-term cursor over the partitions visible at the
+   caller's level: current doc is the minimum over partition cursors,
+   frequency the sum at that doc; block bounds sum partition block maxima
+   and never decode. *)
+type cursor = { tcs : Postings.cursor array; syms : Symtab.t }
+
+let cursor t ~level term =
+  let parts =
+    match find_term t term with
+    | None -> []
+    | Some te -> visible_parts te ~level
+  in
+  {
+    tcs = Array.of_list (List.map (Postings.cursor ~at:level) parts);
+    syms = t.symtab;
+  }
+
+let tcur_doc c =
+  Array.fold_left (fun acc pc -> min acc (Postings.cur pc)) max_int c.tcs
+
+let tcur_lower_bound c =
+  Array.fold_left
+    (fun acc pc -> min acc (Postings.lower_bound pc))
+    max_int c.tcs
+
+let tcur_seek c target = Array.iter (fun pc -> Postings.seek pc target) c.tcs
+
+let tcur_tf_at c d =
+  Array.fold_left
+    (fun acc pc -> if Postings.cur pc = d then acc + Postings.tf pc else acc)
+    0 c.tcs
+
+let tcur_next_at c d =
+  Array.iter (fun pc -> if Postings.cur pc = d then Postings.next pc) c.tcs
+
+let tcur_block_last c =
+  Array.fold_left
+    (fun acc pc -> min acc (Postings.block_last pc))
+    max_int c.tcs
+
+let tcur_block_max c =
+  Array.fold_left (fun acc pc -> acc + Postings.block_max_tf pc) 0 c.tcs
+
+let tcur_global_max c =
+  Array.fold_left (fun acc pc -> acc + Postings.global_max_tf pc) 0 c.tcs
+
+let cursor_next c =
+  let d = tcur_doc c in
+  if d = max_int then None
+  else begin
+    let tf = tcur_tf_at c d in
+    tcur_next_at c d;
+    Some (Symtab.name c.syms d, tf)
+  end
+
+let wand_cursor c ~weight =
+  {
+    Ranking.wc_ub = weight *. float_of_int (tcur_global_max c);
+    wc_lb = (fun () -> tcur_lower_bound c);
+    wc_block_max = (fun () -> weight *. float_of_int (tcur_block_max c));
+    wc_block_last = (fun () -> tcur_block_last c);
+    wc_cur = (fun () -> tcur_doc c);
+    wc_score =
+      (fun d ->
+        tcur_seek c d;
+        weight *. float_of_int (tcur_tf_at c d));
+    wc_seek = (fun target -> tcur_seek c target);
+    wc_next = (fun d -> tcur_next_at c d);
+  }
+
+let top_k t ~level ~k terms =
+  Obs.Counter.incr m_topk ~at:level;
+  let cursors =
+    List.filter_map
+      (fun (term, weight) ->
+        let c = cursor t ~level term in
+        if Array.length c.tcs = 0 then None else Some (wand_cursor c ~weight))
+      (weighted_terms t ~level terms)
+  in
+  Ranking.top_k_wand ~k ~doc:(Symtab.name t.symtab) cursors
+
+let matching_docs t ~level terms =
+  let terms = List.sort_uniq compare (List.map String.lowercase_ascii terms) in
+  if terms = [] then []
+  else begin
+    let cursors = List.map (fun term -> cursor t ~level term) terms in
+    if List.exists (fun c -> Array.length c.tcs = 0) cursors then []
+    else begin
+      let cs = Array.of_list cursors in
+      let n = Array.length cs in
+      let acc = ref [] in
+      (* Galloping conjunctive intersection: chase the largest current
+         doc with block-skipping seeks until all cursors agree. *)
+      let rec align d i agreed =
+        if d = max_int then ()
+        else if agreed = n then begin
+          acc := Symtab.name t.symtab d :: !acc;
+          Array.iter (fun c -> tcur_next_at c d) cs;
+          let d' = tcur_doc cs.(0) in
+          align d' (1 mod n) 1
+        end
+        else begin
+          tcur_seek cs.(i) d;
+          let d' = tcur_doc cs.(i) in
+          if d' = d then align d ((i + 1) mod n) (agreed + 1)
+          else align d' ((i + 1) mod n) 1
+        end
+      in
+      align (tcur_doc cs.(0)) (1 mod n) 1;
+      List.rev !acc
+    end
+  end
+
+(* {2 Baselines for experiment E6} *)
 
 type per_level = (Privilege.level * t) list
 
@@ -174,22 +469,28 @@ let build_per_level ~levels entries =
   let levels = List.sort_uniq compare levels in
   if levels = [] then invalid_arg "Index.build_per_level: no levels";
   (* One shared build; each materialised level keeps the partitions it
-     may see (the strawman used to rebuild the whole index per level). *)
+     may see (the strawman used to rebuild the whole index per level).
+     Partition values are shared — the space proxy counts postings. *)
   let shared = build entries in
   List.map
     (fun level ->
-      let partitions =
+      let tmap =
         Smap.filter_map
-          (fun _ parts ->
-            match List.filter (fun (l, _) -> l <= level) parts with
+          (fun _ te ->
+            match visible_parts te ~level with
             | [] -> None
-            | kept -> Some kept)
-          shared.partitions
+            | kept ->
+                let k = List.length kept in
+                Some
+                  {
+                    parts = Array.of_list kept;
+                    cum_df = Array.sub te.cum_df 0 k;
+                  })
+          shared.tmap
       in
-      let total =
-        Smap.fold (fun _ parts acc -> acc + partition_count parts) partitions 0
-      in
-      (level, { partitions; terms = Smap.cardinal partitions; total }))
+      let total = Smap.fold (fun _ te acc -> acc + sum_postings te) tmap 0 in
+      ( level,
+        { symtab = shared.symtab; tmap; terms = Smap.cardinal tmap; total } ))
     levels
 
 let lookup_per_level pl ~level term =
@@ -199,9 +500,9 @@ let lookup_per_level pl ~level term =
   | (_, idx) :: _ ->
       Obs.Counter.incr m_lookups ~at:level;
       let found =
-        match Smap.find_opt (String.lowercase_ascii term) idx.partitions with
+        match find_term idx term with
         | None -> []
-        | Some parts -> merge_partitions parts
+        | Some te -> lookup_parts idx ~at:level (Array.to_list te.parts)
       in
       Obs.Counter.add m_lookup_postings ~at:level (List.length found);
       found

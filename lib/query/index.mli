@@ -5,11 +5,23 @@
     Instead of materialising one index per privilege level (high space
     overhead, the paper's strawman), a single inverted index partitions
     each term's postings by the minimum privilege level at which the
-    posting's module is visible: per term, one sorted posting array per
-    level, partitions in ascending level order. A lookup at level [l]
-    merges exactly the partitions with level [<= l] — sorted-array
-    merges, and postings above the caller's level are never touched.
-    {!build_per_level} materialises the strawman for comparison (E6). *)
+    posting's module is visible. The representation is succinct: doc
+    names intern into dense ids ({!Symtab}, id order = name order) and
+    each (term, level) partition is a delta-compressed block sequence
+    with skip pointers and block maxima ({!Postings}). A lookup at
+    level [l] decodes exactly the partitions with level [<= l] — and
+    postings above the caller's level are never touched, timed, or
+    counted. {!build_per_level} materialises the strawman for
+    comparison (E6).
+
+    On top of plain lookups the compressed layout carries a streaming
+    {!cursor} API, galloping conjunctive intersection
+    ({!matching_docs}) and block-max WAND ranking ({!top_k}), whose
+    early termination is leakage-safe: every bound it prunes with is
+    computed per level-partition from levels [<= l] plus the public doc
+    count, so the pruning (and the observer-visible decode/skip
+    counters) of a level-[l] caller is a pure function of what that
+    caller may see. *)
 
 type posting = {
   doc : string;  (** repository entry name *)
@@ -28,18 +40,89 @@ val build :
     is indexed. Raises [Invalid_argument] on duplicate names.
 
     With a pool of more than one domain, posting extraction runs
-    per-entry in parallel and the sort-and-group step is sharded by
-    token hash across domains, merged with a disjoint-key map union in
-    shard order — the built index is identical to the sequential one
-    (all postings of a term land in one shard, so every term's posting
-    list is sorted from exactly the same inputs). Defaults to the global
-    pool (sequential unless [WFPRIV_JOBS] is set). *)
+    per-entry in parallel and block encoding is sharded by token hash
+    across domains, merged with a disjoint-key map union in shard order
+    — the built index is identical to the sequential one (all postings
+    of a term land in one shard, so every partition is encoded from
+    exactly the same inputs). Defaults to the global pool (sequential
+    unless [WFPRIV_JOBS] is set). *)
+
+val build_postings : ?pool:Wfpriv_parallel.Pool.t -> (string * posting) list -> t
+(** Build from raw (term, posting) pairs — the constructor behind
+    {!build}, exposed for random-corpus tests and benches. Duplicate
+    pairs are frequencies; the doc universe is the set of posting doc
+    names. *)
 
 val lookup : t -> level:Wfpriv_privacy.Privilege.level -> string -> posting list
-(** Postings for a term visible at the level, sorted by (doc, module). *)
+(** Postings for a term visible at the level, sorted by (doc, module);
+    a frequency-[f] posting appears [f] times, exactly as
+    {!lookup_scan} reports it. *)
 
 val nb_terms : t -> int
 val nb_postings : t -> int
+val doc_count : t -> int
+val encoded_bytes : t -> int
+(** Total compressed payload bytes across all partitions. *)
+
+type level_stat = {
+  stat_level : Wfpriv_privacy.Privilege.level;
+  stat_partitions : int;
+  stat_postings : int;
+  stat_bytes : int;
+}
+
+val level_stats : t -> level_stat list
+(** Per privilege level, ascending: partition count, postings and
+    encoded bytes — the [wfpriv index-stats] report. *)
+
+(** {2 Scoring and ranking}
+
+    TF/IDF with the corpus convention ({!Tfidf.idf_for}): the query's
+    distinct terms in first-occurrence order, weighted by multiplicity
+    times IDF; a doc scores the sum of weight times its total frequency
+    at partitions [<= level]. [df] at a level is precomputed per
+    partition at build time (cumulative distinct docs), [n] is the
+    public doc count. *)
+
+val df : t -> level:Wfpriv_privacy.Privilege.level -> string -> int
+val idf : t -> level:Wfpriv_privacy.Privilege.level -> string -> float
+
+val score_entries :
+  t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  string list ->
+  Ranking.entry list
+(** Exhaustive: every doc with at least one query-term posting visible
+    at the level, in doc order — feed {!Ranking.rank} / {!Ranking.top_k}
+    for the reference ranking. *)
+
+val top_k :
+  t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  k:int ->
+  string list ->
+  Ranking.entry list
+(** Block-max WAND ({!Ranking.top_k_wand}): exactly
+    [Ranking.top_k k (score_entries t ~level terms)] — same floats, same
+    tie-break — skipping blocks whose bounds cannot reach the current
+    k-th entry. All bounds come from partitions [<= level]. *)
+
+(** {2 Streaming cursors} *)
+
+type cursor
+(** One term's postings at one level, streamed doc-at-a-time with
+    frequencies aggregated over the doc's modules and partitions. *)
+
+val cursor : t -> level:Wfpriv_privacy.Privilege.level -> string -> cursor
+val cursor_next : cursor -> (string * int) option
+(** Next (doc, total frequency), ascending by doc; [None] when
+    exhausted. *)
+
+val matching_docs :
+  t -> level:Wfpriv_privacy.Privilege.level -> string list -> string list
+(** Docs containing {e every} term at the level, ascending — a galloping
+    skip-based conjunctive intersection over compressed cursors. Empty
+    for an empty term list. *)
 
 (** {2 Baselines for experiment E6} *)
 

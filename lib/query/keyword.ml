@@ -53,15 +53,20 @@ let minimal_choice spec hierarchy candidates_per_kw =
   end
   else begin
     (* Greedy: per keyword, pick the candidate adding the fewest new
-       workflows to the running prefix. *)
-    let prefix = ref [ Spec.root spec ] in
+       workflows to the running prefix. The prefix lives in a Set while
+       the scan runs — [cost] is a membership test per chain element
+       instead of a List.mem over an ever-growing list, and the union
+       per step is a fold instead of a sort of the concatenation. The
+       sorted-list output (Set.elements) is what union_sorted built. *)
+    let module Sset = Set.Make (String) in
+    let prefix = ref (Sset.singleton (Spec.root spec)) in
     let chosen =
       List.map
         (fun cands ->
           let cost m =
             let added =
               List.filter
-                (fun w -> not (List.mem w !prefix))
+                (fun w -> not (Sset.mem w !prefix))
                 (chain spec hierarchy m)
             in
             (List.length added, m)
@@ -71,11 +76,15 @@ let minimal_choice spec hierarchy candidates_per_kw =
               (fun acc m -> if cost m < cost acc then m else acc)
               (List.hd cands) (List.tl cands)
           in
-          prefix := union_sorted [ !prefix; chain spec hierarchy best ];
+          prefix :=
+            List.fold_left
+              (fun s w -> Sset.add w s)
+              !prefix
+              (chain spec hierarchy best);
           best)
         candidates_per_kw
     in
-    Some (chosen, !prefix)
+    Some (chosen, Sset.elements !prefix)
   end
 
 let search ?(strategy = `Minimal) ?(restrict_to = fun _ -> true) spec keywords =

@@ -1,0 +1,280 @@
+module Binary = Wfpriv_serial.Binary
+module Obs = Wfpriv_obs
+
+(* Decodes and skips are observer-visible per-level metrics: the
+   recording site is the cursor, which knows the requesting level, and a
+   level-l cursor only ever walks partitions at levels <= l. *)
+let m_decoded = Obs.Registry.counter "index.blocks_decoded"
+let m_skipped = Obs.Registry.counter "index.blocks_skipped"
+let block_target = 128
+
+type block = {
+  b_last : int;  (* skip pointer: last doc id in the block *)
+  b_count : int;  (* entries (doc, module, tf triples) *)
+  b_max_tf : int;
+  b_off : int;
+}
+
+type t = {
+  level : Wfpriv_privacy.Privilege.level;
+  blocks : block array;
+  data : string;
+  entries : int;
+  postings : int;  (* sum of tf *)
+  docs : int;
+  max_tf : int;
+  max_count : int;  (* largest b_count: cursor buffer size *)
+}
+
+let level t = t.level
+let entries t = t.entries
+let postings t = t.postings
+let docs t = t.docs
+let max_tf t = t.max_tf
+let blocks t = Array.length t.blocks
+let bytes t = String.length t.data
+
+let encode ~level triples =
+  let rec check = function
+    | (d, m, tf) :: rest ->
+        if d < 0 || m < 0 || tf < 1 then
+          invalid_arg "Postings.encode: negative id or tf < 1";
+        (match rest with
+        | (d', m', _) :: _ when compare (d, m) (d', m') >= 0 ->
+            invalid_arg "Postings.encode: triples not strictly increasing"
+        | _ -> ());
+        check rest
+    | [] -> ()
+  in
+  check triples;
+  let w = Binary.Writer.create () in
+  let blocks = ref [] in
+  (* Open-block state. Blocks close at [block_target] entries, but only
+     on a document boundary — a doc's modules never straddle blocks, so
+     cursors aggregate a doc without peeking at the next block. *)
+  let b_start = ref 0 and b_count = ref 0 and b_max = ref 0 in
+  let prev_doc = ref 0 and prev_last = ref 0 in
+  let entries = ref 0 and postings = ref 0 and docs = ref 0 in
+  let max_tf = ref 0 and max_count = ref 0 in
+  (* Aggregated frequency of the document being encoded: score bounds
+     must cover the per-document sum across modules, not one entry. *)
+  let doc_tf = ref 0 in
+  let flush () =
+    if !b_count > 0 then begin
+      blocks :=
+        {
+          b_last = !prev_doc;
+          b_count = !b_count;
+          b_max_tf = !b_max;
+          b_off = !b_start;
+        }
+        :: !blocks;
+      if !b_count > !max_count then max_count := !b_count;
+      prev_last := !prev_doc;
+      b_start := Binary.Writer.length w;
+      b_count := 0;
+      b_max := 0
+    end
+  in
+  List.iter
+    (fun (doc, m, tf) ->
+      if !b_count >= block_target && doc <> !prev_doc then flush ();
+      let base = if !b_count = 0 then !prev_last else !prev_doc in
+      Binary.Writer.varint w (doc - base);
+      Binary.Writer.varint w m;
+      Binary.Writer.varint w (tf - 1);
+      if !entries = 0 || doc <> !prev_doc then begin
+        incr docs;
+        doc_tf := tf
+      end
+      else doc_tf := !doc_tf + tf;
+      prev_doc := doc;
+      incr b_count;
+      incr entries;
+      postings := !postings + tf;
+      if !doc_tf > !b_max then b_max := !doc_tf;
+      if !doc_tf > !max_tf then max_tf := !doc_tf)
+    triples;
+  flush ();
+  {
+    level;
+    blocks = Array.of_list (List.rev !blocks);
+    data = Binary.Writer.contents w;
+    entries = !entries;
+    postings = !postings;
+    docs = !docs;
+    max_tf = !max_tf;
+    max_count = !max_count;
+  }
+
+let decode_into t i ~docs ~mods ~tfs =
+  let b = t.blocks.(i) in
+  let base = if i = 0 then 0 else t.blocks.(i - 1).b_last in
+  let r = Binary.Reader.of_string ~pos:b.b_off t.data in
+  let prev = ref base in
+  for j = 0 to b.b_count - 1 do
+    let d = !prev + Binary.Reader.varint r in
+    docs.(j) <- d;
+    mods.(j) <- Binary.Reader.varint r;
+    tfs.(j) <- 1 + Binary.Reader.varint r;
+    prev := d
+  done;
+  b.b_count
+
+let iter ~at t f =
+  let n = t.max_count in
+  if n > 0 then begin
+    let docs = Array.make n 0 and mods = Array.make n 0 in
+    let tfs = Array.make n 0 in
+    Array.iteri
+      (fun i _ ->
+        let len = decode_into t i ~docs ~mods ~tfs in
+        Obs.Counter.incr m_decoded ~at;
+        for j = 0 to len - 1 do
+          f docs.(j) mods.(j) tfs.(j)
+        done)
+      t.blocks
+  end
+
+type cursor = {
+  part : t;
+  at : Wfpriv_privacy.Privilege.level;
+  mutable blk : int;
+  mutable decoded : bool;  (* bufs hold block [blk] *)
+  mutable pos : int;  (* next unconsumed entry in the decoded block *)
+  mutable len : int;
+  mutable floor : int;  (* pending seek target: smaller docs are dropped *)
+  c_docs : int array;
+  c_mods : int array;
+  c_tfs : int array;
+  mutable loaded : bool;  (* doc/tf lookahead valid *)
+  mutable c_doc : int;
+  mutable c_tf : int;
+}
+
+let cursor ~at part =
+  let n = max part.max_count 1 in
+  {
+    part;
+    at;
+    blk = 0;
+    decoded = false;
+    pos = 0;
+    len = 0;
+    floor = 0;
+    c_docs = Array.make n 0;
+    c_mods = Array.make n 0;
+    c_tfs = Array.make n 0;
+    loaded = false;
+    c_doc = max_int;
+    c_tf = 0;
+  }
+
+let nblocks c = Array.length c.part.blocks
+
+let ensure_decoded c =
+  if not c.decoded then begin
+    c.len <-
+      decode_into c.part c.blk ~docs:c.c_docs ~mods:c.c_mods ~tfs:c.c_tfs;
+    c.pos <- 0;
+    c.decoded <- true;
+    Obs.Counter.incr m_decoded ~at:c.at
+  end
+
+(* Aggregate the next document (at or above the floor) into the
+   lookahead. Documents never cross a block boundary, so the sum loop
+   stays inside the decoded buffer. *)
+let rec load c =
+  if not c.loaded then
+    if c.blk >= nblocks c then begin
+      c.c_doc <- max_int;
+      c.c_tf <- 0;
+      c.loaded <- true
+    end
+    else begin
+      ensure_decoded c;
+      while c.pos < c.len && c.c_docs.(c.pos) < c.floor do
+        c.pos <- c.pos + 1
+      done;
+      if c.pos >= c.len then begin
+        c.blk <- c.blk + 1;
+        c.decoded <- false;
+        load c
+      end
+      else begin
+        let d = c.c_docs.(c.pos) in
+        let s = ref 0 in
+        while c.pos < c.len && c.c_docs.(c.pos) = d do
+          s := !s + c.c_tfs.(c.pos);
+          c.pos <- c.pos + 1
+        done;
+        c.c_doc <- d;
+        c.c_tf <- !s;
+        c.loaded <- true
+      end
+    end
+
+let cur c =
+  load c;
+  c.c_doc
+
+let tf c =
+  load c;
+  c.c_tf
+
+let next c =
+  load c;
+  if c.c_doc <> max_int then c.loaded <- false
+
+let seek c target =
+  if not (c.loaded && c.c_doc >= target) then begin
+    if target > c.floor then c.floor <- target;
+    c.loaded <- false;
+    (* Finish the decoded block without touching the directory. *)
+    if c.decoded then begin
+      while c.pos < c.len && c.c_docs.(c.pos) < target do
+        c.pos <- c.pos + 1
+      done;
+      if c.pos >= c.len then begin
+        c.blk <- c.blk + 1;
+        c.decoded <- false
+      end
+    end;
+    (* Gallop over whole blocks by skip pointer, never decoding them. *)
+    if not c.decoded then
+      while c.blk < nblocks c && c.part.blocks.(c.blk).b_last < target do
+        c.blk <- c.blk + 1;
+        Obs.Counter.incr m_skipped ~at:c.at
+      done
+  end
+
+(* The block the cursor's next document lives in: the one holding the
+   lookahead, the decoded one while entries remain, else the next
+   directory slot. *)
+let current_block c =
+  if c.loaded then if c.c_doc = max_int then nblocks c else c.blk
+  else if c.decoded && c.pos >= c.len then c.blk + 1
+  else c.blk
+
+let lower_bound c =
+  if c.loaded then c.c_doc
+  else
+    let structural =
+      if c.decoded && c.pos < c.len then c.c_docs.(c.pos)
+      else
+        let b = current_block c in
+        if b >= nblocks c then max_int
+        else if b = 0 then 0
+        else c.part.blocks.(b - 1).b_last + 1
+    in
+    max c.floor structural
+
+let block_last c =
+  let b = current_block c in
+  if b >= nblocks c then max_int else c.part.blocks.(b).b_last
+
+let block_max_tf c =
+  let b = current_block c in
+  if b >= nblocks c then 0 else c.part.blocks.(b).b_max_tf
+
+let global_max_tf c = c.part.max_tf

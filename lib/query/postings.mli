@@ -1,0 +1,88 @@
+(** Delta-compressed posting blocks: the storage layer under {!Index}.
+
+    One value holds one (term, privilege-level) partition as LEB128
+    varint blocks over {!Wfpriv_serial.Binary}. Entries are (doc id,
+    module id, term frequency) triples sorted by (doc, module); each
+    entry encodes as [doc gap, module, tf - 1]. Blocks target
+    {!block_target} entries but never split a document across blocks, so
+    a cursor can aggregate a document's frequency without decoding the
+    next block. Per block the directory keeps a skip pointer (last doc
+    id) and a block-max frequency; both are readable without decoding —
+    the hooks for galloping seeks and block-max pruning.
+
+    Leakage discipline: a partition is built from the postings of its
+    own level only, so every number a cursor can surface (docs, gaps,
+    skip pointers, block maxima, decode/skip counts) is a pure function
+    of that level's postings. Cursors record the [index.blocks_decoded]
+    / [index.blocks_skipped] counters at the {e caller's} level, which
+    an observer at level [p] may see: a caller at level [l <= p] only
+    ever opens cursors on partitions at levels [<= l]. *)
+
+type t
+
+val level : t -> Wfpriv_privacy.Privilege.level
+val entries : t -> int
+(** Distinct (doc, module) pairs. *)
+
+val postings : t -> int
+(** Sum of frequencies — the boxed representation's posting count. *)
+
+val docs : t -> int
+(** Distinct documents. *)
+
+val max_tf : t -> int
+(** Largest {e aggregated per-document} frequency (a document's tf
+    summed over its modules) — a sound score bound for any document. *)
+
+val blocks : t -> int
+val bytes : t -> int
+(** Encoded payload bytes (block directory excluded). *)
+
+val block_target : int
+
+val encode :
+  level:Wfpriv_privacy.Privilege.level -> (int * int * int) list -> t
+(** [(doc, module, tf)] triples, strictly increasing by (doc, module),
+    every [tf >= 1] and ids non-negative; raises [Invalid_argument]
+    otherwise. *)
+
+val iter : at:Wfpriv_privacy.Privilege.level -> t -> (int -> int -> int -> unit) -> unit
+(** Full decode in storage order, counting every block as decoded at the
+    caller's level. *)
+
+(** {2 Streaming cursor} *)
+
+type cursor
+(** Positioned on one document at a time; frequencies are aggregated
+    over the document's modules. *)
+
+val cursor : at:Wfpriv_privacy.Privilege.level -> t -> cursor
+
+val cur : cursor -> int
+(** Current doc id, decoding its block on first touch; [max_int] when
+    exhausted. *)
+
+val tf : cursor -> int
+(** Aggregated frequency of {!cur} (0 when exhausted). *)
+
+val next : cursor -> unit
+(** Advance past the current document. *)
+
+val seek : cursor -> int -> unit
+(** Advance to the first doc [>= target]. Whole blocks whose skip
+    pointer falls short are skipped undecoded. *)
+
+val lower_bound : cursor -> int
+(** A lower bound on {!cur} that never decodes: exact once the current
+    block is decoded, otherwise the previous block's skip pointer + 1. *)
+
+val block_last : cursor -> int
+(** Skip pointer of the block {!lower_bound} points into; [max_int] when
+    exhausted. Never decodes. *)
+
+val block_max_tf : cursor -> int
+(** Block-max aggregated per-document frequency of that same block; 0
+    when exhausted. Never decodes. *)
+
+val global_max_tf : cursor -> int
+(** The underlying partition's {!max_tf} (position-independent). *)

@@ -28,8 +28,43 @@ val position : entry list -> string -> int option
 (** 0-based rank of a document in a ranked list. *)
 
 val quantize : width:float -> entry list -> entry list
-(** Scores floored to multiples of [width] (privacy-aware ranking);
+(** Scores floored to multiples of [width] (privacy-aware ranking) —
+    floored also for negative scores, not truncated toward zero;
     [width <= 0] raises [Invalid_argument]. *)
+
+(** {2 Block-max WAND early termination}
+
+    The ranker reads postings only through this cursor, one per query
+    term: {!wand_cursor.wc_ub} bounds any document's contribution,
+    [wc_block_max]/[wc_block_last] bound the current compressed block
+    without decoding it, [wc_cur]/[wc_score] give exact positions and
+    contributions. Because the index builds every field from the
+    partitions at levels [<= l] of a level-[l] caller, each pruning
+    decision of {!top_k_wand} is a pure function of postings the caller
+    may see — early termination cannot leak hidden postings through
+    work counts (the leakage suite pins this on the [Obs] counters). *)
+type wand_cursor = {
+  wc_ub : float;  (** static upper bound on any doc's contribution *)
+  wc_lb : unit -> int;
+      (** lower bound on the current doc, [max_int] when exhausted;
+          must not decode *)
+  wc_block_max : unit -> float;
+      (** contribution bound over the current block; must not decode *)
+  wc_block_last : unit -> int;  (** last doc that bound covers *)
+  wc_cur : unit -> int;  (** exact current doc (may decode) *)
+  wc_score : int -> float;
+      (** seek to the doc and return its contribution, [0.] if absent *)
+  wc_seek : int -> unit;  (** advance to the first doc [>= target] *)
+  wc_next : int -> unit;  (** advance past the doc if positioned on it *)
+}
+
+val top_k_wand : k:int -> doc:(int -> string) -> wand_cursor list -> entry list
+(** The top [k] (score desc, doc asc) entries, exactly as
+    [top_k k] over the exhaustively scored corpus — same floats (the
+    contribution sum runs over every cursor in query order for each
+    evaluated doc), same deterministic tie-break — but skipping blocks
+    whose bounds cannot beat the current k-th entry. [doc] renders doc
+    ids (id order must equal name order, {!Symtab}'s contract). *)
 
 type interval = { lo : int; hi : int }
 (** Inclusive bounds on the masked term frequency. *)

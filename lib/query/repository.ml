@@ -87,6 +87,17 @@ let visible_terms entry level =
 let visible_corpus t ~level =
   Tfidf.build (List.map (fun e -> (e.name, visible_terms e level)) t.entries)
 
+let search_index ?pool t =
+  Index.build ?pool
+    (List.map (fun e -> (e.name, e.spec, Policy.privilege e.policy)) t.entries)
+
+let keyword_topk ?index t ~level ~k keywords =
+  let index = match index with Some i -> i | None -> search_index t in
+  (* The compressed index scores every module at floor <= level — the
+     witness-admissibility predicate — where [keyword_search] scores the
+     access view's frontier; both agree on which entries match. *)
+  Engine.run_search_indexed ~index ~level (Plan.compile_search ~top:k keywords)
+
 type search_hit = {
   entry_name : string;
   answer : Keyword.answer;

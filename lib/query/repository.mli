@@ -98,6 +98,30 @@ val visible_corpus :
 (** The TF/IDF corpus a user at this level searches: per entry, the terms
     of the modules visible in their access view. *)
 
+val search_index : ?pool:Wfpriv_parallel.Pool.t -> t -> Index.t
+(** The repository's privacy-partitioned compressed index: one build
+    serves every privilege level (lookups at level [l] decode only the
+    [<= l] partitions). Entry names are the doc universe — public, as
+    {!names} is. *)
+
+val keyword_topk :
+  ?index:Index.t ->
+  t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  k:int ->
+  string list ->
+  Ranking.entry list
+(** The top-[k] entry names for the keywords at the level, by block-max
+    WAND over {!search_index} (built on the fly unless [index] is
+    passed) — the scalable front half of {!keyword_search}. Scores
+    follow the index's corpus model: every module whose privilege floor
+    is [<= level] contributes its terms — the same predicate that
+    admits witnesses ([Access_gate.sees_module]). {!keyword_search}
+    instead scores against {!visible_corpus} (the frontier of the
+    access view, where expanded composites no longer appear), so the
+    two scores can differ on entries with expandable composites, while
+    agreeing on which entries match at all. *)
+
 type prov_hit = {
   prov_entry : string;
   run : int;  (** index of the execution within the entry *)

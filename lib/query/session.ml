@@ -57,6 +57,21 @@ let query_batch ?pool t qs =
     qs ws;
   ws
 
+let search ?strategy t keywords =
+  let spec = Execution.spec t.exec in
+  let visible m = Access_gate.sees_module t.gate m in
+  match Keyword.search ?strategy ~restrict_to:visible spec keywords with
+  | None ->
+      (* Audited like any other gated read, with a node count only. *)
+      Access_gate.audit_view t.gate ~op:"gate.search" ~nodes:0;
+      None
+  | Some answer ->
+      let capped = Access_gate.cap_view t.gate answer.Keyword.view in
+      let answer = { answer with Keyword.view = capped } in
+      Access_gate.audit_view t.gate ~op:"gate.search"
+        ~nodes:(List.length (View.visible_modules capped));
+      Some answer
+
 (* The workflow a collapsed view node would expand into. *)
 let expansion_of_node t n =
   if not (Exec_view.is_collapsed t.view n) then None

@@ -53,6 +53,16 @@ val query_batch :
     batch shares one prepared, read-only view. Defaults to the global
     pool — sequential unless [WFPRIV_JOBS] / [--jobs] raised it. *)
 
+val search :
+  ?strategy:[ `Minimal | `Specific ] ->
+  t ->
+  string list ->
+  Keyword.answer option
+(** Keyword search over the session's specification: witnesses are
+    restricted to modules visible at the session's level, the answer
+    view is capped at the access view, and the read is audited
+    ([gate.search]) with a visible-node count only. *)
+
 val zoom_in : t -> int -> zoom_result
 (** Expand the collapsed composite shown as the given view node; on [Ok]
     the session has moved to the finer view. *)

@@ -1,0 +1,21 @@
+type t = { names : string array; ids : (string, int) Hashtbl.t }
+
+let of_sorted names =
+  let arr = Array.of_list names in
+  Array.iteri
+    (fun i n ->
+      if i > 0 && String.compare arr.(i - 1) n >= 0 then
+        invalid_arg "Symtab.of_sorted: input not strictly increasing")
+    arr;
+  let ids = Hashtbl.create (max 16 (Array.length arr)) in
+  Array.iteri (fun i n -> Hashtbl.replace ids n i) arr;
+  { names = arr; ids }
+
+let find_opt t name = Hashtbl.find_opt t.ids name
+
+let name t id =
+  if id < 0 || id >= Array.length t.names then
+    invalid_arg "Symtab.name: unknown id"
+  else t.names.(id)
+
+let size t = Array.length t.names

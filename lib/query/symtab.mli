@@ -1,0 +1,22 @@
+(** Interned document dictionary for the succinct index.
+
+    Doc names are interned into dense int ids; the index stores and
+    compares ids only and resolves names at the API boundary. Ids
+    assigned through {!of_sorted} follow the input (sorted) order, so
+    comparing ids is comparing names — the property the compressed
+    cursors rely on to reproduce the boxed index's (doc, module) order
+    and the ranker's deterministic name tie-break. Module ids need no
+    interning: {!Wfpriv_workflow.Ids.module_id} is already a dense int. *)
+
+type t
+
+val of_sorted : string list -> t
+(** Intern in list order; ids are [0 .. length - 1]. The caller sorts
+    (and dedups) first, making id order equal name order. Raises
+    [Invalid_argument] when the input is not strictly increasing. *)
+
+val find_opt : t -> string -> int option
+val name : t -> int -> string
+(** Raises [Invalid_argument] on an unknown id. *)
+
+val size : t -> int

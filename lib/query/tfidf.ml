@@ -43,9 +43,14 @@ let tf c ~doc term =
   | None -> 0
   | Some counts -> Option.value ~default:0 (Smap.find_opt (normalize term) counts)
 
+(* The one smoothed-IDF formula in the system: the compressed index
+   scores with exactly this function (same floats), which is what lets
+   its WAND ranking be checked bit-for-bit against corpus scoring. *)
+let idf_for ~n ~df = log (float_of_int (1 + n) /. float_of_int (1 + df)) +. 1.0
+
 let idf c term =
-  let df = Option.value ~default:0 (Smap.find_opt (normalize term) c.df) in
-  log (float_of_int (1 + c.n) /. float_of_int (1 + df)) +. 1.0
+  idf_for ~n:c.n
+    ~df:(Option.value ~default:0 (Smap.find_opt (normalize term) c.df))
 
 let score c ~doc terms =
   List.fold_left

@@ -22,9 +22,13 @@ val doc_ids : corpus -> string list
 val tf : corpus -> doc:string -> string -> int
 (** Raw occurrence count (0 for unknown docs or terms). *)
 
+val idf_for : n:int -> df:int -> float
+(** [log ((1 + n) / (1 + df)) + 1] — the smoothing shared with the
+    compressed index's level-partitioned scoring. *)
+
 val idf : corpus -> string -> float
-(** [log ((1 + N) / (1 + df)) + 1] — positive even for ubiquitous
-    terms. *)
+(** [idf_for] over the corpus size and the term's document frequency —
+    positive even for ubiquitous terms. *)
 
 val score : corpus -> doc:string -> string list -> float
 (** Sum over query terms of [tf * idf]. *)

@@ -108,6 +108,44 @@ Queries work identically on both store flavours:
   $ wfpriv repo search demo.d -l 3 database
   disease-susceptibility (score 4.22), view {W1, W2}
 
+The compressed privacy-partitioned keyword index: one build serves
+every privilege level, a lookup at level l decodes only the <= l
+partitions. `index-stats` reports its deterministic shape (here on the
+demo repository both store flavours contain):
+
+  $ wfpriv index-stats demo.json
+  documents: 2
+  terms: 78
+  postings: 107
+  encoded bytes: 321 (3.00 per posting)
+  level 0: 29 partitions, 32 postings, 96 bytes
+  level 1: 20 partitions, 24 postings, 72 bytes
+  level 2: 27 partitions, 33 postings, 99 bytes
+  level 3: 14 partitions, 18 postings, 54 bytes
+
+  $ wfpriv index-stats demo.json --json | head -5
+  {
+    "documents": 2,
+    "terms": 78,
+    "postings": 107,
+    "encoded_bytes": 321,
+
+`repo topk` ranks entries through block-max WAND over that index. Its
+corpus covers every module at privilege floor <= level (the witness
+predicate), so the hidden "database" modules surface only with
+privilege; scores cover all floor-visible modules where `repo search`
+scores the access-view frontier:
+
+  $ wfpriv repo topk demo.json -l 3 database
+  disease-susceptibility (score 5.62)
+
+  $ wfpriv repo topk demo.json -l 0 database
+  no hits at level 0
+
+  $ wfpriv repo topk demo.json -l 0 risk trial
+  clinical-trial (score 1.41)
+  disease-susceptibility (score 1.41)
+
 Observability: `wfpriv stats` runs a canned query session and reports
 the privilege-partitioned counters, the histograms, the observer view
 at the session level, and the audit trail. Denied queries are audited
@@ -130,6 +168,14 @@ with the required privilege floor only — never the hidden structure:
     gate.queries             3
     gate.views               1
     gate.zooms               0
+    index.blocks_decoded     0
+    index.blocks_skipped     0
+    index.build_postings     0
+    index.build_terms        0
+    index.builds             0
+    index.lookup_postings    0
+    index.lookups            0
+    index.topk_queries       0
     recovery.bytes_scanned   0
     recovery.replayed        0
     recovery.runs            0
@@ -139,6 +185,7 @@ with the required privilege floor only — never the hidden structure:
   histograms:
     engine.closure_build_ns  count=1
     engine.compile_ns        count=3
+    index.build_ns           count=0
     wal.append_ns            count=0
   observer view at level 1:
     gate.denials             1

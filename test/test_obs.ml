@@ -336,6 +336,78 @@ let test_leakage_partition () =
   check Alcotest.bool "level-2 observer sees more" true
     (Obs.Registry.observer_counters ~level:2 <> below)
 
+(* ------------------------------------------------------------------ *)
+(* The compressed index's decode/skip counters are recorded at the
+   requesting level, so they are observer-visible. Two corpora over the
+   same public doc universe, differing only in postings hidden at
+   level >= 2, must leave a bit-identical observer view at levels 0 and
+   1 — including for probes of a term that exists only in the hidden
+   corpus. *)
+
+let index_corpus ~hidden =
+  let p doc module_id min_level = { Index.doc; module_id; min_level } in
+  let base =
+    [
+      ("risk", p "alpha" 0 0);
+      ("risk", p "beta" 1 0);
+      ("omim", p "alpha" 1 1);
+      ("omim", p "beta" 0 0);
+      ("gene", p "beta" 2 1);
+      ("gene", p "alpha" 3 0);
+      ("gene", p "alpha" 4 0);
+    ]
+  in
+  let high =
+    [
+      ("risk", p "alpha" 5 2);
+      ("risk", p "beta" 6 3);
+      ("omim", p "alpha" 5 2);
+      ("omim", p "alpha" 6 2);
+      ("secret", p "alpha" 5 2);
+      ("secret", p "beta" 6 3);
+    ]
+  in
+  base @ if hidden then high else []
+
+let index_observer_fingerprint raw ~level =
+  Obs.Registry.reset ();
+  let index = Index.build_postings raw in
+  List.iter
+    (fun term -> ignore (Index.lookup index ~level term))
+    [ "risk"; "omim"; "gene"; "secret" ];
+  ignore (Index.matching_docs index ~level [ "risk"; "omim" ]);
+  ignore (Index.top_k index ~level ~k:2 [ "gene"; "risk"; "secret" ]);
+  Obs.Registry.observer_counters ~level
+
+let test_index_leakage () =
+  with_obs @@ fun () ->
+  List.iter
+    (fun level ->
+      let a = index_observer_fingerprint (index_corpus ~hidden:false) ~level in
+      let b = index_observer_fingerprint (index_corpus ~hidden:true) ~level in
+      check
+        Alcotest.(list (pair string int))
+        (Printf.sprintf "index observer at level %d blind to hidden postings"
+           level)
+        a b;
+      check Alcotest.bool "decode counter present and non-zero" true
+        (match List.assoc_opt "index.blocks_decoded" b with
+        | Some n -> n > 0
+        | None -> false))
+    [ 0; 1 ];
+  (* Privileged decodes land above the observer: a level-3 sweep over the
+     hidden partitions must not disturb what level 1 reads. *)
+  Obs.Registry.reset ();
+  let index = Index.build_postings (index_corpus ~hidden:true) in
+  ignore (Index.lookup index ~level:1 "omim");
+  let below = Obs.Registry.observer_counters ~level:1 in
+  ignore (Index.lookup index ~level:3 "secret");
+  ignore (Index.top_k index ~level:3 ~k:2 [ "risk"; "secret" ]);
+  check
+    Alcotest.(list (pair string int))
+    "level-3 index work invisible at level 1" below
+    (Obs.Registry.observer_counters ~level:1)
+
 let () =
   Alcotest.run "obs"
     [
@@ -360,5 +432,7 @@ let () =
           Alcotest.test_case "observer view invariant" `Quick
             test_leakage_invariance;
           Alcotest.test_case "levels partition" `Quick test_leakage_partition;
+          Alcotest.test_case "index decode counters blind to hidden postings"
+            `Quick test_index_leakage;
         ] );
     ]

@@ -247,6 +247,15 @@ let test_quantize () =
   | [ e ] -> check (Alcotest.float 0.0001) "floored to bucket" 2.0 e.Ranking.score
   | _ -> Alcotest.fail "unexpected"
 
+let test_quantize_negative () =
+  (* -3.7 belongs to bucket [-4, -2): flooring gives -4; truncation
+     toward zero would misfile it at -2. *)
+  match Ranking.quantize ~width:2.0 [ { Ranking.doc = "a"; score = -3.7 } ] with
+  | [ e ] ->
+      check (Alcotest.float 0.0001) "negative score floored" (-4.0)
+        e.Ranking.score
+  | _ -> Alcotest.fail "unexpected"
+
 let test_leakage_attack_exact () =
   (* Target doc t with base 0; competitor d has known score 5; idf 1.
      Published ranking [t; d] implies tf > 5 (and tf <= 10): interval
@@ -434,6 +443,164 @@ let test_per_level_index () =
   check Alcotest.bool "space overhead" true
     (Index.per_level_postings pl > Index.nb_postings index)
 
+(* ------------------------------------------------------------------ *)
+(* Compressed postings: cursors, conjunctions and block-max WAND over
+   random raw corpora, checked differentially against index-free
+   references at every privilege level. *)
+
+let doc_pool =
+  [| "alpha"; "beta"; "delta"; "gamma"; "kappa"; "omega"; "sigma"; "zeta" |]
+
+let term_pool = [| "t0"; "t1"; "t2"; "t3"; "t4"; "t5" |]
+
+(* A raw corpus from a list of small int quadruples; duplicates are
+   frequencies, exactly as Module_def.terms duplicates are. *)
+let raw_corpus quads =
+  List.map
+    (fun (t, d, m, l) ->
+      ( term_pool.(t mod Array.length term_pool),
+        {
+          Index.doc = doc_pool.(d mod Array.length doc_pool);
+          module_id = m mod 7;
+          min_level = l mod 4;
+        } ))
+    quads
+
+let raw_gen =
+  QCheck.(
+    list_of_size (Gen.int_range 1 60)
+      (quad (int_bound 7) (int_bound 7) (int_bound 6) (int_bound 3)))
+
+let scan_raw raw ~level term =
+  List.filter_map
+    (fun (t, p) ->
+      if String.equal t term && p.Index.min_level <= level then Some p
+      else None)
+    raw
+  |> List.sort (fun a b ->
+         compare
+           (a.Index.doc, a.Index.module_id, a.Index.min_level)
+           (b.Index.doc, b.Index.module_id, b.Index.min_level))
+
+let prop_cursor_roundtrip =
+  QCheck.Test.make
+    ~name:"compressed lookups and cursors round-trip the raw scan" ~count:200
+    raw_gen
+    (fun quads ->
+      let raw = raw_corpus quads in
+      let index = Index.build_postings raw in
+      List.for_all
+        (fun level ->
+          Array.for_all
+            (fun term ->
+              let scan = scan_raw raw ~level term in
+              (* Multiset-and-order equality, duplicates included. *)
+              Index.lookup index ~level term = scan
+              &&
+              (* The cursor streams (doc, total frequency) ascending. *)
+              let expect =
+                List.fold_left
+                  (fun acc p ->
+                    match acc with
+                    | (d, n) :: tl when String.equal d p.Index.doc ->
+                        (d, n + 1) :: tl
+                    | _ -> (p.Index.doc, 1) :: acc)
+                  [] scan
+                |> List.rev
+              in
+              let rec drain c acc =
+                match Index.cursor_next c with
+                | None -> List.rev acc
+                | Some x -> drain c (x :: acc)
+              in
+              drain (Index.cursor index ~level term) [] = expect)
+            term_pool)
+        [ 0; 1; 2; 3; 4 ])
+
+let prop_matching_docs =
+  QCheck.Test.make
+    ~name:"galloping conjunctive intersection equals the naive conjunction"
+    ~count:200
+    QCheck.(pair raw_gen (list_of_size (Gen.int_range 1 3) (int_bound 7)))
+    (fun (quads, tidx) ->
+      let raw = raw_corpus quads in
+      let index = Index.build_postings raw in
+      let terms = List.map (fun i -> term_pool.(i mod Array.length term_pool)) tidx in
+      List.for_all
+        (fun level ->
+          let naive =
+            Array.to_list doc_pool |> List.sort compare
+            |> List.filter (fun d ->
+                   List.for_all
+                     (fun t ->
+                       List.exists
+                         (fun p -> String.equal p.Index.doc d)
+                         (scan_raw raw ~level t))
+                     terms)
+          in
+          Index.matching_docs index ~level terms = naive)
+        [ 0; 1; 2; 3 ])
+
+let prop_wand_differential =
+  QCheck.Test.make
+    ~name:"top_k_wand returns exactly Ranking.top_k at all k and levels"
+    ~count:200
+    QCheck.(pair raw_gen (list_of_size (Gen.int_range 1 4) (int_bound 7)))
+    (fun (quads, tidx) ->
+      let raw = raw_corpus quads in
+      let index = Index.build_postings raw in
+      let terms = List.map (fun i -> term_pool.(i mod Array.length term_pool)) tidx in
+      List.for_all
+        (fun level ->
+          let exhaustive = Index.score_entries index ~level terms in
+          List.for_all
+            (fun k ->
+              Index.top_k index ~level ~k terms = Ranking.top_k k exhaustive)
+            [ 0; 1; 2; 3; 5; 10 ])
+        [ 0; 1; 2; 3; 4 ])
+
+(* The spec-built index agrees with the TF/IDF model it claims to
+   implement: per level, the corpus of every module whose privilege
+   floor is <= the level (the witness-admissibility predicate). *)
+let test_index_scores_match_corpus () =
+  let entries2 =
+    [
+      ("disease", spec, privilege);
+      ( "clinical",
+        Wfpriv_workloads.Clinical.spec,
+        Privilege.make Wfpriv_workloads.Clinical.spec [] );
+    ]
+  in
+  let idx = Index.build entries2 in
+  List.iter
+    (fun level ->
+      let corpus =
+        Tfidf.build
+          (List.map
+             (fun (name, spec, privilege) ->
+               let floor = Access_gate.module_floors privilege in
+               ( name,
+                 List.concat_map
+                   (fun m ->
+                     if floor m <= level then
+                       Module_def.terms (Spec.find_module spec m)
+                     else [])
+                   (Spec.module_ids spec) ))
+             entries2)
+      in
+      List.iter
+        (fun term ->
+          List.iter
+            (fun (e : Ranking.entry) ->
+              check (Alcotest.float 1e-12)
+                (Printf.sprintf "score of %s for %S at %d" e.Ranking.doc term
+                   level)
+                (Tfidf.score corpus ~doc:e.Ranking.doc [ term ])
+                e.Ranking.score)
+            (Index.score_entries idx ~level [ term ]))
+        [ "risk"; "omim"; "patient"; "database" ])
+    [ 0; 1; 2; 3 ]
+
 let () =
   Alcotest.run "query"
     [
@@ -472,6 +639,7 @@ let () =
             test_leakage_attack_exact;
           Alcotest.test_case "leakage attack (quantised)" `Quick
             test_leakage_attack_quantized;
+          Alcotest.test_case "quantize negative" `Quick test_quantize_negative;
         ]
         @ List.map QCheck_alcotest.to_alcotest
             [ prop_true_tf_always_feasible; prop_quantized_leaks_less ] );
@@ -480,7 +648,14 @@ let () =
           Alcotest.test_case "level filtering" `Quick test_index_lookup_levels;
           Alcotest.test_case "matches linear scan" `Quick test_index_matches_scan;
           Alcotest.test_case "per-level strawman" `Quick test_per_level_index;
+          Alcotest.test_case "scores match corpus" `Quick
+            test_index_scores_match_corpus;
         ]
-        @ List.map QCheck_alcotest.to_alcotest [ prop_index_merge_sorted_dedup ]
-      );
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              prop_index_merge_sorted_dedup;
+              prop_cursor_roundtrip;
+              prop_matching_docs;
+              prop_wand_differential;
+            ] );
     ]
