@@ -260,6 +260,7 @@ let experiments =
     ("e15", Exp_parallel.e15);
     ("e16", Exp_obs.e16);
     ("e17", Exp_query.e17);
+    ("e18", Exp_server.e18);
     ("a1", Exp_extensions.a1);
     ("a2", Exp_extensions.a2);
     ("a3", Exp_extensions.a3);

@@ -9,9 +9,11 @@
    metric is higher-is-better (speedup ratios, invariant indicators);
    the gate fails when a current value drops below
    baseline * (1 - tolerance), or is missing entirely. Metrics the
-   current run emits beyond the baseline are informational and ignored —
-   the baseline names exactly what is load-bearing. Exit code 0 = pass,
-   1 = regression, 2 = usage/parse error.
+   current run emits beyond the baseline are informational: reported as
+   `new` lines (so fresh experiments surface in CI logs before their
+   baseline entry lands) but never gating — the baseline names exactly
+   what is load-bearing. Exit code 0 = pass, 1 = regression,
+   2 = usage/parse error.
 
    This exists so CI needs no shell JSON parsing: the workflow runs the
    bench, saves the artifact, and calls this with two file names. *)
@@ -71,6 +73,13 @@ let () =
             end)
       gated
   in
+  (* Current-only metrics: informational, never gating. *)
+  List.iter
+    (fun (name, v) ->
+      if not (List.mem_assoc name gated) then
+        Printf.printf "new %s: %.3f (not in baseline; informational)\n" name
+          (J.get_float v))
+    (obj_pairs "current metrics" cur);
   if failures = [] then print_endline "bench regression gate: pass"
   else begin
     List.iter (Printf.eprintf "REGRESSION %s\n") failures;

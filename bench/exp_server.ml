@@ -1,0 +1,239 @@
+(* E18: the serving layer under mixed-privilege load.
+
+   Two load shapes against one shared demo repository:
+
+   - closed loop: a fixed client set issues the mixed-level request set
+     synchronously round after round ([Server.handle]), once against a
+     caching server and once against a cache-disabled one. The encoded
+     response streams must be byte-identical (the cache-transparency
+     invariant), the cache must be hit at every privilege level in the
+     mix, and every cache key must carry its level prefix (the
+     partition-by-construction invariant). Wall-clock QPS and p50/p99
+     are reported as informational metrics.
+
+   - open loop: arrivals on a virtual clock — one cheap lookup per
+     1ms tick against a flood of two tightly-deadlined zoom-outs per
+     tick. The scheduler must shed the zoom backlog (retryable errors)
+     while cheap lookups keep a bounded p99 in virtual time: the
+     admission-control acceptance bar, deterministic because the clock
+     is injected.
+
+   Gated metrics (bench/baseline.json): e18.identical,
+   e18.cache_partitioned, e18.per_level_hits, e18.cache_hit_rate,
+   e18.cheap_bounded. QPS and latencies are informational — this is a
+   correctness-under-load gate, not a hardware-speed gate. *)
+
+open Wfpriv_privacy
+module Obs = Wfpriv_obs
+module Server = Wfpriv_server.Server
+module Scheduler = Wfpriv_server.Scheduler
+module Wire = Wfpriv_server.Wire
+module Level_cache = Wfpriv_server.Level_cache
+module Repository = Wfpriv_query.Repository
+module Disease = Wfpriv_workloads.Disease
+module Clinical = Wfpriv_workloads.Clinical
+
+let demo_repo () =
+  let repo = Repository.create () in
+  let disease_policy =
+    Policy.make
+      ~expand_levels:[ ("W2", 1); ("W3", 2); ("W4", 3) ]
+      ~data_levels:[ ("disorders", 2); ("prognosis", 1) ]
+      Disease.spec
+  in
+  Repository.add repo ~name:"disease-susceptibility" ~policy:disease_policy
+    ~executions:[ Disease.run () ] ();
+  Repository.add repo ~name:"clinical-trial" ~policy:Clinical.policy
+    ~executions:[ Clinical.run () ] ();
+  repo
+
+(* The mixed-privilege request set of one closed-loop round. No [Stats]
+   here: stats reads live counters, which legitimately differ between
+   the caching and non-caching servers. *)
+let request_mix =
+  [
+    (0, Wire.Topk { k = 3; keywords = [ "snp"; "omim" ] });
+    (1, Wire.Query
+         {
+           entry = "disease-susceptibility";
+           run = 0;
+           queries = [ "node(~\"risk\")"; "before(~\"Expand SNP\", ~\"OMIM\")" ];
+         });
+    (2, Wire.Query
+         { entry = "clinical-trial"; run = 0; queries = [ "node(*)" ] });
+    (3, Wire.Query
+         {
+           entry = "disease-susceptibility";
+           run = 0;
+           queries = [ "node(~\"risk\")" ];
+         });
+    (0, Wire.Zoom_out { entry = "disease-susceptibility"; run = 0 });
+    (3, Wire.Zoom_out { entry = "disease-susceptibility"; run = 0 });
+    (1, Wire.Topk { k = 2; keywords = [ "trial" ] });
+  ]
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+      let a = Array.of_list sorted in
+      let i = int_of_float (p *. float_of_int (Array.length a)) in
+      a.(min (Array.length a - 1) i)
+
+let closed_loop ~rounds server =
+  let out = Buffer.create 4096 in
+  let lats = ref [] in
+  let t0 = Unix.gettimeofday () in
+  for round = 0 to rounds - 1 do
+    List.iteri
+      (fun i (level, req) ->
+        let f = { Wire.rid = (round * 100) + i; level; deadline_ms = 0; req } in
+        let s = Unix.gettimeofday () in
+        let r = Server.handle server ~client:i f in
+        lats := (Unix.gettimeofday () -. s) *. 1000.0 :: !lats;
+        Buffer.add_string out (Wire.encode_response Wire.Json r))
+      request_mix
+  done;
+  let secs = Unix.gettimeofday () -. t0 in
+  (Buffer.contents out, !lats, secs)
+
+let open_loop ~ticks repo =
+  let now = ref 0.0 in
+  let config =
+    {
+      Server.default_config with
+      sched = { Scheduler.default_config with queue_capacity = 64 };
+    }
+  in
+  let server = Server.create ~config ~now:(fun () -> !now) repo in
+  let pending = Hashtbl.create 64 in
+  let cheap_lats = ref [] in
+  let sheds = ref 0 in
+  let zooms = ref 0 in
+  let record (r : Wire.response) =
+    match r with
+    | Wire.Error
+        { code = Wire.Deadline_exceeded | Wire.Over_capacity; _ } ->
+        incr sheds
+    | Wire.Result { rid; result = Wire.Hits _ | Wire.Witnesses _ } -> (
+        match Hashtbl.find_opt pending rid with
+        | Some t -> cheap_lats := (!now -. t) *. 1000.0 :: !cheap_lats
+        | None -> ())
+    | _ -> ()
+  in
+  let rid = ref 0 in
+  let submit ~client ?(deadline_ms = 0) ~level req =
+    incr rid;
+    match
+      Server.submit server ~client { Wire.rid = !rid; level; deadline_ms; req }
+    with
+    | Some r -> record r
+    | None -> ()
+  in
+  for tick = 0 to ticks - 1 do
+    let level = tick mod 4 in
+    let cheap =
+      if tick mod 2 = 0 then Wire.Topk { k = 3; keywords = [ "snp" ] }
+      else
+        Wire.Query
+          {
+            entry = "disease-susceptibility";
+            run = 0;
+            queries = [ "node(~\"risk\")" ];
+          }
+    in
+    Hashtbl.replace pending (!rid + 1) !now;
+    submit ~client:(tick mod 8) ~level cheap;
+    for z = 0 to 1 do
+      incr zooms;
+      submit
+        ~client:(100 + ((tick + z) mod 16))
+        ~deadline_ms:5
+        ~level:((tick + z) mod 4)
+        (Wire.Zoom_out { entry = "disease-susceptibility"; run = 0 })
+    done;
+    List.iter (fun (_, _, r) -> record r) (Server.cycle server);
+    now := !now +. 0.001
+  done;
+  List.iter (fun (_, _, r) -> record r) (Server.drain_all server);
+  (!cheap_lats, !sheds, !zooms)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let e18 () =
+  Util.heading "E18 Serving layer: mixed-privilege load, cache, shedding";
+  let saved_enabled = Obs.Config.enabled () in
+  Obs.Config.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Config.set_enabled saved_enabled)
+  @@ fun () ->
+  let repo = demo_repo () in
+  let rounds = if !Util.quick then 20 else 200 in
+  let caching = Server.create repo in
+  let plain =
+    Server.create ~config:{ Server.default_config with cache = false } repo
+  in
+  let out_on, lats, secs = closed_loop ~rounds caching in
+  let out_off, _, _ = closed_loop ~rounds plain in
+  let n = rounds * List.length request_mix in
+  let identical = if out_on = out_off then 1.0 else 0.0 in
+  let stats = Server.cache_stats caching in
+  let hit_rate =
+    float_of_int stats.Level_cache.hits
+    /. float_of_int (max 1 (stats.Level_cache.hits + stats.Level_cache.misses))
+  in
+  let mix_levels = List.sort_uniq compare (List.map fst request_mix) in
+  let partitioned =
+    if
+      List.for_all
+        (fun key ->
+          List.exists
+            (fun l -> starts_with ~prefix:(Printf.sprintf "l%d/" l) key)
+            mix_levels)
+        (Server.cache_keys caching)
+    then 1.0
+    else 0.0
+  in
+  let hit_cells =
+    Obs.Counter.levels (Obs.Registry.counter "server.cache_hits")
+  in
+  let per_level_hits =
+    if
+      List.for_all
+        (fun l ->
+          match List.assoc_opt l hit_cells with
+          | Some h -> h > 0
+          | None -> false)
+        mix_levels
+    then 1.0
+    else 0.0
+  in
+  let ticks = if !Util.quick then 100 else 1000 in
+  let cheap_lats, sheds, zooms = open_loop ~ticks repo in
+  let cheap_p99 = percentile 0.99 cheap_lats in
+  (* Cheap work is released every cycle ahead of the zoom backlog, so
+     its virtual-time p99 stays within a few 1ms ticks. *)
+  let cheap_bounded = if cheap_p99 <= 5.0 then 1.0 else 0.0 in
+  let shed_rate = float_of_int sheds /. float_of_int (max 1 zooms) in
+  Util.print_table
+    [ "load shape"; "requests"; "metric"; "value" ]
+    [
+      [ "closed loop"; string_of_int n; "identical on/off"; Printf.sprintf "%.0f" identical ];
+      [ "closed loop"; string_of_int n; "cache hit rate"; Printf.sprintf "%.3f" hit_rate ];
+      [ "closed loop"; string_of_int n; "qps"; Printf.sprintf "%.0f" (float_of_int n /. Float.max 1e-9 secs) ];
+      [ "closed loop"; string_of_int n; "p50 ms"; Printf.sprintf "%.3f" (percentile 0.5 lats) ];
+      [ "closed loop"; string_of_int n; "p99 ms"; Printf.sprintf "%.3f" (percentile 0.99 lats) ];
+      [ "open loop"; string_of_int (3 * ticks); "shed rate (zooms)"; Printf.sprintf "%.3f" shed_rate ];
+      [ "open loop"; string_of_int (3 * ticks); "cheap p99 (virtual ms)"; Printf.sprintf "%.3f" cheap_p99 ];
+    ];
+  Util.emit "e18.identical" identical;
+  Util.emit "e18.cache_partitioned" partitioned;
+  Util.emit "e18.per_level_hits" per_level_hits;
+  Util.emit "e18.cache_hit_rate" hit_rate;
+  Util.emit "e18.cheap_bounded" cheap_bounded;
+  Util.emit "e18.qps_closed" (float_of_int n /. Float.max 1e-9 secs);
+  Util.emit "e18.p50_ms" (percentile 0.5 lats);
+  Util.emit "e18.p99_ms" (percentile 0.99 lats);
+  Util.emit "e18.cheap_p99_ms" cheap_p99;
+  Util.emit "e18.shed_rate" shed_rate

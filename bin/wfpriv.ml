@@ -614,6 +614,88 @@ let repo_query path level entry query_src =
     (Repository.structural_query repo ~level entry q)
 
 (* ------------------------------------------------------------------ *)
+(* `serve` / `call`: the multi-session serving layer (lib/server) *)
+
+module Server = Wfpriv_server.Server
+module Wire = Wfpriv_server.Wire
+module Scheduler = Wfpriv_server.Scheduler
+
+let serve path port stdio port_file max_requests timeout max_level no_cache
+    cache_capacity queue_capacity inflight_cap jobs =
+  apply_jobs jobs;
+  Obs.Config.set_enabled true;
+  let repo =
+    match path with Some p -> repo_load p | None -> demo_repository ()
+  in
+  let config =
+    {
+      Server.default_config with
+      max_level;
+      cache = not no_cache;
+      cache_capacity;
+      sched =
+        { Scheduler.default_config with queue_capacity; inflight_cap };
+    }
+  in
+  let server = Server.create ~config repo in
+  let served =
+    if stdio then Server.serve_channels server stdin stdout
+    else
+      Server.serve_tcp server ~port ?port_file
+        ?max_requests:(if max_requests > 0 then Some max_requests else None)
+        ?timeout_s:(if timeout > 0.0 then Some timeout else None)
+        ()
+  in
+  Printf.printf "served %d responses\n" served
+
+(* One-shot client: send request lines (the JSON wire shape) to a
+   running server, print each response as a JSON line. [--binary]
+   re-encodes the same requests through the binary framing — answers
+   are identical by the codec round-trip property. *)
+let call port binary reqs =
+  let frames =
+    List.map
+      (fun src ->
+        match Wire.decode_request (src ^ "\n") with
+        | Wire.Frame (f, _) -> f
+        | Wire.Need_more -> failwith "bad request: truncated"
+        | Wire.Corrupt m -> failwith ("bad request: " ^ m))
+      reqs
+  in
+  let mode = if binary then Wire.Binary else Wire.Json in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let oc = Unix.out_channel_of_descr sock in
+  let ic = Unix.in_channel_of_descr sock in
+  List.iter (fun f -> output_string oc (Wire.encode_request mode f)) frames;
+  flush oc;
+  let expected = List.length frames in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let got = ref 0 in
+  while !got < expected do
+    (match input ic chunk 0 (Bytes.length chunk) with
+    | 0 -> failwith "server closed the connection early"
+    | n -> Buffer.add_subbytes buf chunk 0 n);
+    let s = Buffer.contents buf in
+    let pos = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Wire.decode_response ~pos:!pos s with
+      | Wire.Frame (r, used) ->
+          pos := !pos + used;
+          print_string (Wire.encode_response Wire.Json r);
+          incr got
+      | Wire.Need_more -> continue := false
+      | Wire.Corrupt m -> failwith ("bad response: " ^ m)
+    done;
+    let rest = String.sub s !pos (String.length s - !pos) in
+    Buffer.clear buf;
+    Buffer.add_string buf rest
+  done;
+  Unix.close sock
+
+(* ------------------------------------------------------------------ *)
 (* Cmdliner plumbing *)
 
 let keywords_arg =
@@ -848,6 +930,132 @@ let index_stats_cmd =
           and the per-privilege-level partition table.")
     Term.(const index_stats $ path $ json_flag)
 
+let serve_cmd =
+  let path =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"REPO_FILE"
+          ~doc:
+            "Repository to serve (legacy .json or durable directory); \
+             default: the demo repository $(b,repo init) writes.")
+  in
+  let port =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port on 127.0.0.1; 0 picks an ephemeral port.")
+  in
+  let stdio =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve stdin/stdout instead of a socket: frames in, frames \
+             out, exit at EOF. Deterministic; what the cram smoke test \
+             drives.")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the bound port here (atomically) once listening — the \
+             rendezvous for scripted clients of ephemeral ports.")
+  in
+  let max_requests =
+    Arg.(
+      value & opt int 0
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:"Exit after producing N responses; 0 = no limit.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 0.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Exit after this many seconds; 0 = no limit.")
+  in
+  let max_level =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.max_level
+      & info [ "max-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Privilege ceiling: frames claiming a higher level are \
+             denied (with the required floor only).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the privilege-partitioned result cache (responses \
+             are bit-identical either way).")
+  in
+  let cache_capacity =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.cache_capacity
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Result-cache entries before LRU eviction.")
+  in
+  let queue_capacity =
+    Arg.(
+      value
+      & opt int Scheduler.default_config.Scheduler.queue_capacity
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Admission queue bound per (level, cost class).")
+  in
+  let inflight_cap =
+    Arg.(
+      value
+      & opt int Scheduler.default_config.Scheduler.inflight_cap
+      & info [ "inflight-cap" ] ~docv:"N"
+          ~doc:"In-flight requests allowed per client.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a repository to many concurrent sessions: length-prefixed \
+          binary or JSON-lines framing, per-privilege-level admission \
+          queues with batching and deadline shedding, and a result cache \
+          partitioned by access-view fingerprint so no entry ever crosses \
+          privilege levels.")
+    Term.(
+      const serve $ path $ port $ stdio $ port_file $ max_requests $ timeout
+      $ max_level $ no_cache $ cache_capacity $ queue_capacity $ inflight_cap
+      $ jobs_arg)
+
+let call_cmd =
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Port of a running wfpriv serve.")
+  in
+  let binary =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:"Send through the binary framing instead of JSON lines.")
+  in
+  let reqs =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Request lines, e.g. '{\"v\":1,\"rid\":1,\"level\":2,\
+             \"op\":\"topk\",\"k\":3,\"keywords\":[\"snp\"]}'.")
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:
+         "Send request lines to a running server and print one JSON \
+          response line each.")
+    Term.(const call $ port $ binary $ reqs)
+
 let () =
   (* WFPRIV_OBS=1 turns metric recording on for any command;
      WFPRIV_TRACE=path additionally streams spans as JSON lines. *)
@@ -863,6 +1071,7 @@ let () =
          [
            show_cmd; hierarchy_cmd; run_cmd_; prov_cmd; search_cmd; query_cmd;
            structural_cmd; export_cmd; stats_cmd; index_stats_cmd; repo_group;
+           serve_cmd; call_cmd;
          ])
   in
   Obs.Trace.close ();

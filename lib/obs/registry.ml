@@ -83,6 +83,14 @@ let observer_counters ~level =
           else None)
     (sorted_metrics ())
 
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let observer_counters_prefixed ~prefix ~level =
+  List.filter (fun (name, _) -> starts_with ~prefix name)
+    (observer_counters ~level)
+
 let reset () =
   List.iter
     (fun (_, m) ->

@@ -45,5 +45,13 @@ val observer_counters : level:int -> (string * int) list
     histograms never appear: they may reflect work above the observer's
     level. *)
 
+val observer_counters_prefixed :
+  prefix:string -> level:int -> (string * int) list
+(** {!observer_counters} restricted to names starting with [prefix] —
+    the projection the serving layer's [stats] wire endpoint returns
+    when a client asks for one subsystem (e.g. ["server."]) instead of
+    the whole observer view. Same partitioning guarantee: only level
+    cells [<= level] are ever summed. *)
+
 val reset : unit -> unit
 (** Zero every metric (registrations survive). *)

@@ -81,6 +81,29 @@ let prepare t =
   ignore (spec_view t);
   List.iter (fun m -> ignore (module_floor t m)) (Spec.module_ids t.g_spec)
 
+(* Canonical digest of the gate's visibility: level, allowed prefix,
+   visible modules and (when classified) the data names hidden at the
+   level. Two gates with equal fingerprints answer every visibility
+   question identically, so anything keyed by fingerprint — the serving
+   layer's result cache — is partitioned exactly like access views are.
+   The level is a syntactic prefix of the string: no two levels can ever
+   share a key, even on (impossible) digest collisions downstream. *)
+let fingerprint t =
+  prepare t;
+  let visible =
+    Spec.module_ids t.g_spec |> List.filter (sees_module t)
+    |> List.map string_of_int
+  in
+  let hidden_data =
+    match t.classification with
+    | None -> []
+    | Some c -> Data_privacy.sensitive_names c t.g_level
+  in
+  Printf.sprintf "l%d/w{%s}/m{%s}/d{%s}" t.g_level
+    (String.concat "," t.g_allowed)
+    (String.concat "," visible)
+    (String.concat "," hidden_data)
+
 let exec_view t exec = Exec_view.of_prefix exec t.g_allowed
 let cap_view t v = View.meet v (spec_view t)
 let cap_prefix t prefix = List.filter (allows_workflow t) prefix

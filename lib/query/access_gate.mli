@@ -63,6 +63,15 @@ val prepare : t -> unit
     so one prepared gate may be consulted concurrently from many domains
     (the contract batched evaluation relies on). Idempotent. *)
 
+val fingerprint : t -> string
+(** Canonical digest of the gate's visibility state: the level (as a
+    syntactic prefix, so keys derived from fingerprints are partitioned
+    by privilege level by construction), the allowed prefix, the visible
+    module set and the data names hidden at the level. Two gates have
+    equal fingerprints iff they answer every visibility question
+    identically — the key discipline of the serving layer's
+    privilege-partitioned result cache. Forces {!prepare}. *)
+
 val exec_view : t -> Execution.t -> Exec_view.t
 (** The access view of an execution. *)
 

@@ -148,6 +148,31 @@ let nb_nodes t = t.n
 let nodes t = Array.to_list t.node_of
 let mem t u = Hashtbl.mem t.index_of u
 
+(* Structural digest of the prepared view: nodes, modules and adjacency
+   (closure state excluded — it is derived). Equal views digest equally
+   no matter how they were prepared, so a cache layer can assert that
+   entries keyed by one access-view fingerprint were all computed
+   against one and the same prepared graph. *)
+let digest t =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i u ->
+      Buffer.add_string buf (string_of_int u);
+      (match t.modules.(i) with
+      | Some m ->
+          Buffer.add_char buf ':';
+          Buffer.add_string buf (string_of_int m)
+      | None -> ());
+      Buffer.add_char buf '[';
+      Array.iter
+        (fun j ->
+          Buffer.add_string buf (string_of_int t.node_of.(j));
+          Buffer.add_char buf ',')
+        t.succs.(i);
+      Buffer.add_char buf ']')
+    t.node_of;
+  Printf.sprintf "%d:%08x" t.n (Wfpriv_serial.Crc32.digest (Buffer.contents buf))
+
 let succ t u =
   match Hashtbl.find_opt t.index_of u with
   | None -> []

@@ -50,6 +50,14 @@ val nodes : t -> int list
 (** External node ids, sorted. *)
 
 val mem : t -> int -> bool
+
+val digest : t -> string
+(** Structural digest of the prepared view — nodes, modules, adjacency;
+    derived state (the memoized closure) excluded. Two engines prepared
+    from equal views digest equally, so a result cache can assert that
+    every entry filed under one access-view fingerprint was computed
+    against the same graph. *)
+
 val succ : t -> int -> int list
 (** Successors of an external node id, sorted; [[]] for unknown nodes. *)
 

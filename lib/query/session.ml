@@ -128,6 +128,11 @@ let zoom_to_access_view t =
     ~nodes:(List.length (Exec_view.nodes view));
   view
 
+let fingerprint t =
+  Printf.sprintf "%s/p{%s}"
+    (Access_gate.fingerprint t.gate)
+    (String.concat "," (prefix t))
+
 let denied_attempts t = List.rev t.denied
 
 let within_access_view t =

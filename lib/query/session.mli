@@ -74,6 +74,12 @@ val zoom_out : t -> Wfpriv_workflow.Ids.workflow_id -> zoom_result
 val zoom_to_access_view : t -> Wfpriv_workflow.Exec_view.t
 (** Jump straight to the finest permitted view. *)
 
+val fingerprint : t -> string
+(** {!Access_gate.fingerprint} of the session's gate extended with the
+    current prefix: two sessions with equal fingerprints are looking at
+    the same view with the same rights, so results computed for one may
+    be served to the other — the serving layer's cache-key contract. *)
+
 val denied_attempts : t -> (int * Wfpriv_privacy.Privilege.level) list
 (** Audit trail: view nodes whose expansion was refused, with the level
     each would need; chronological. *)

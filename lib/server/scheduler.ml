@@ -1,0 +1,203 @@
+module Obs = Wfpriv_obs
+
+(* Admission/queueing counters are privilege-partitioned: an observer at
+   level p sees exactly the admission behaviour of traffic at <= p,
+   never whether higher-privileged clients were queueing. Queue depth is
+   operator-facing (a histogram, sampled at admission). *)
+let m_admitted = Obs.Registry.counter "server.admitted"
+let m_rejected = Obs.Registry.counter "server.rejected"
+let m_shed = Obs.Registry.counter "server.shed"
+let h_queue_depth = Obs.Registry.histogram "server.queue_depth"
+
+type cost = Cheap | Expensive
+
+type config = {
+  queue_capacity : int;
+  inflight_cap : int;
+  batch_limit : int;
+  expensive_per_cycle : int;
+}
+
+let default_config =
+  {
+    queue_capacity = 256;
+    inflight_cap = 64;
+    batch_limit = 16;
+    expensive_per_cycle = 1;
+  }
+
+type 'a item = {
+  client : int;
+  level : int;
+  cost : cost;
+  deadline : float;
+  seq : int;
+  payload : 'a;
+}
+
+type 'a level_queues = { cheap : 'a item Queue.t; expensive : 'a item Queue.t }
+
+type 'a t = {
+  cfg : config;
+  now : unit -> float;
+  levels : (int, 'a level_queues) Hashtbl.t;
+  inflight : (int, int) Hashtbl.t; (* client -> queued + executing *)
+  mutable seq : int;
+  mutable cursor : int; (* round-robin start offset over sorted levels *)
+  mutable queued : int;
+}
+
+let create ?(config = default_config) ?(now = Unix.gettimeofday) () =
+  if
+    config.queue_capacity < 1 || config.inflight_cap < 1
+    || config.batch_limit < 1
+    || config.expensive_per_cycle < 0
+  then invalid_arg "Scheduler.create: bad config";
+  {
+    cfg = config;
+    now;
+    levels = Hashtbl.create 8;
+    inflight = Hashtbl.create 32;
+    seq = 0;
+    cursor = 0;
+    queued = 0;
+  }
+
+let config t = t.cfg
+
+type reject = Queue_full | Inflight_exceeded
+
+let queues_of t level =
+  match Hashtbl.find_opt t.levels level with
+  | Some q -> q
+  | None ->
+      let q = { cheap = Queue.create (); expensive = Queue.create () } in
+      Hashtbl.replace t.levels level q;
+      q
+
+let inflight_of t client =
+  Option.value ~default:0 (Hashtbl.find_opt t.inflight client)
+
+let admit t ~client ~level ~cost ?(deadline_ms = 0) payload =
+  let q = queues_of t level in
+  let target = match cost with Cheap -> q.cheap | Expensive -> q.expensive in
+  if Queue.length target >= t.cfg.queue_capacity then begin
+    Obs.Counter.incr m_rejected ~at:level;
+    Error Queue_full
+  end
+  else if inflight_of t client >= t.cfg.inflight_cap then begin
+    Obs.Counter.incr m_rejected ~at:level;
+    Error Inflight_exceeded
+  end
+  else begin
+    t.seq <- t.seq + 1;
+    let deadline =
+      if deadline_ms <= 0 then infinity
+      else t.now () +. (float_of_int deadline_ms /. 1000.0)
+    in
+    let item = { client; level; cost; deadline; seq = t.seq; payload } in
+    Queue.add item target;
+    t.queued <- t.queued + 1;
+    Hashtbl.replace t.inflight client (inflight_of t client + 1);
+    Obs.Counter.incr m_admitted ~at:level;
+    Obs.Histogram.observe h_queue_depth t.queued;
+    Ok item
+  end
+
+let finish t item =
+  match Hashtbl.find_opt t.inflight item.client with
+  | Some n when n > 1 -> Hashtbl.replace t.inflight item.client (n - 1)
+  | Some _ -> Hashtbl.remove t.inflight item.client
+  | None -> ()
+
+type 'a event = Batch of 'a item list | Shed of 'a item
+
+let pop t queue =
+  let item = Queue.pop queue in
+  t.queued <- t.queued - 1;
+  item
+
+(* Shed expired items from the head of the queue. Deadlines are not
+   monotone in admission order, so an expired item can hide behind a
+   live head; it is shed once it reaches the head on a later cycle —
+   still before execution, which is the guarantee that matters. *)
+let shed_expired t queue ~now acc =
+  let rec go acc =
+    match Queue.peek_opt queue with
+    | Some item when item.deadline < now ->
+        Obs.Counter.incr m_shed ~at:item.level;
+        go (Shed (pop t queue) :: acc)
+    | _ -> acc
+  in
+  go acc
+
+let drain t ~batch_key ?(max_events = max_int) () =
+  let now = t.now () in
+  let levels =
+    Hashtbl.fold (fun l _ acc -> l :: acc) t.levels [] |> List.sort compare
+  in
+  let n_levels = List.length levels in
+  let ordered =
+    if n_levels = 0 then []
+    else
+      let start = t.cursor mod n_levels in
+      let arr = Array.of_list levels in
+      List.init n_levels (fun i -> arr.((start + i) mod n_levels))
+  in
+  t.cursor <- t.cursor + 1;
+  let events = ref [] in
+  let n_events = ref 0 in
+  let expensive_left = ref t.cfg.expensive_per_cycle in
+  let push e =
+    events := e :: !events;
+    incr n_events
+  in
+  (* Cheap pass over every level first: fairness means cheap work always
+     gets a slice of the cycle before any expensive release. *)
+  List.iter
+    (fun level ->
+      if !n_events < max_events then begin
+        let q = queues_of t level in
+        events := shed_expired t q.cheap ~now !events;
+        n_events := List.length !events;
+        match Queue.peek_opt q.cheap with
+        | None -> ()
+        | Some head ->
+            let key = batch_key head.payload in
+            let batch = ref [ pop t q.cheap ] in
+            let rec fuse () =
+              if List.length !batch < t.cfg.batch_limit then
+                match Queue.peek_opt q.cheap with
+                | Some next
+                  when next.deadline >= now && batch_key next.payload = key ->
+                    batch := pop t q.cheap :: !batch;
+                    fuse ()
+                | _ -> ()
+            in
+            fuse ();
+            push (Batch (List.rev !batch))
+      end)
+    ordered;
+  (* Expensive pass: at most [expensive_per_cycle] releases per cycle,
+     round-robin over levels. *)
+  List.iter
+    (fun level ->
+      if !n_events < max_events && !expensive_left > 0 then begin
+        let q = queues_of t level in
+        events := shed_expired t q.expensive ~now !events;
+        n_events := List.length !events;
+        match Queue.peek_opt q.expensive with
+        | None -> ()
+        | Some _ ->
+            decr expensive_left;
+            push (Batch [ pop t q.expensive ])
+      end)
+    ordered;
+  List.rev !events
+
+let pending t = t.queued
+
+let queue_depth t ~level =
+  match Hashtbl.find_opt t.levels level with
+  | None -> 0
+  | Some q -> Queue.length q.cheap + Queue.length q.expensive

@@ -1,0 +1,91 @@
+(** Admission control and batching for the serving layer.
+
+    Requests are admitted into bounded per-privilege-level queues, two
+    per level: one for cheap work (lookups, top-k, structural query
+    batches) and one for expensive work (zoom-outs, which materialize
+    whole views). A drain cycle visits levels round-robin, emits cheap
+    batches first — consecutive items whose caller-supplied batch key
+    matches are fused into one batch, the hook the server uses to land
+    compatible plans on one {!Wfpriv_query.Engine.run_batch} — and caps
+    the expensive items it releases per cycle, so a flood of zoom-outs
+    can delay cheap lookups by at most [expensive_per_cycle] expensive
+    evaluations per cycle, never starve them.
+
+    Backpressure is threefold, all surfaced as {e retryable} rejections
+    so clients back off instead of piling on:
+    - a full level queue rejects at admission ([Queue_full]);
+    - a client exceeding its in-flight cap rejects at admission
+      ([Inflight_exceeded]);
+    - an admitted item whose deadline passes while queued is shed at
+      drain time ({!Shed}).
+
+    The clock is injected ([?now]) so tests and the E18 load generator
+    drive shedding deterministically with a virtual clock. The scheduler
+    itself is single-domain: parallelism happens {e inside} a batch
+    (the engine's domain pool), not across the control loop. *)
+
+type cost = Cheap | Expensive
+
+type config = {
+  queue_capacity : int;  (** per (level, cost-class) queue *)
+  inflight_cap : int;  (** per client, queued + executing *)
+  batch_limit : int;  (** max items fused into one cheap batch *)
+  expensive_per_cycle : int;  (** expensive items released per drain *)
+}
+
+val default_config : config
+(** [{ queue_capacity = 256; inflight_cap = 64; batch_limit = 16;
+      expensive_per_cycle = 1 }] *)
+
+type 'a item = {
+  client : int;
+  level : int;
+  cost : cost;
+  deadline : float;  (** absolute seconds; [infinity] = none *)
+  seq : int;  (** admission order, globally unique *)
+  payload : 'a;
+}
+
+type 'a t
+
+val create : ?config:config -> ?now:(unit -> float) -> unit -> 'a t
+(** [now] defaults to [Unix.gettimeofday]. *)
+
+val config : 'a t -> config
+
+type reject = Queue_full | Inflight_exceeded
+
+val admit :
+  'a t ->
+  client:int ->
+  level:int ->
+  cost:cost ->
+  ?deadline_ms:int ->
+  'a ->
+  ('a item, reject) result
+(** [deadline_ms] is relative to [now ()] at admission; [0] (the
+    default) means no deadline. A rejected item was never queued; the
+    caller answers with a retryable error. *)
+
+val finish : 'a t -> 'a item -> unit
+(** The item's response has been produced (result, error or shed):
+    release its in-flight slot. *)
+
+type 'a event =
+  | Batch of 'a item list
+      (** non-empty; same level, same cost, and for cheap items the same
+          batch key — execute together, answer each *)
+  | Shed of 'a item  (** deadline expired in queue; answer retryable *)
+
+val drain :
+  'a t -> batch_key:('a -> string) -> ?max_events:int -> unit -> 'a event list
+(** One scheduling cycle over all levels (round-robin, rotating the
+    starting level so no level is systematically first). Expired items
+    are shed before batching. The caller must {!finish} every item of
+    every event. An empty result means the queues are empty. *)
+
+val pending : 'a t -> int
+(** Items admitted but not yet drained. *)
+
+val queue_depth : 'a t -> level:int -> int
+(** Queued items at one level, both cost classes. *)

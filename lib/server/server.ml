@@ -1,0 +1,709 @@
+module Q = Wfpriv_query
+module W = Wfpriv_workflow
+module Obs = Wfpriv_obs
+
+(* Request volume and privilege denials are privilege-partitioned
+   counters; per-endpoint latency is operator-facing (histograms). *)
+let m_requests = Obs.Registry.counter "server.requests"
+let m_denied = Obs.Registry.counter "server.denied"
+let h_lat_query = Obs.Registry.histogram "server.latency_ns.query"
+let h_lat_topk = Obs.Registry.histogram "server.latency_ns.topk"
+let h_lat_zoom = Obs.Registry.histogram "server.latency_ns.zoom_out"
+let h_lat_stats = Obs.Registry.histogram "server.latency_ns.stats"
+
+type config = {
+  max_level : int;
+  cache : bool;
+  cache_capacity : int;
+  engine_capacity : int;
+  sched : Scheduler.config;
+}
+
+let default_config =
+  {
+    max_level = 9;
+    cache = true;
+    cache_capacity = 1024;
+    engine_capacity = 256;
+    sched = Scheduler.default_config;
+  }
+
+(* What sits in the scheduler queues: the frame plus the framing its
+   answer must use. *)
+type job = { jm : Wire.mode; jf : Wire.req_frame }
+
+type t = {
+  cfg : config;
+  repo : Q.Repository.t;
+  cache : Level_cache.t option;
+  rcache : Q.Reach_cache.t; (* prepared engines, shared across levels
+                               with equal access prefixes *)
+  sched : job Scheduler.t;
+  gates : (string * int, Q.Access_gate.t * string) Hashtbl.t;
+      (* (entry, level) -> prepared gate + fingerprint *)
+  mutable index : Q.Index.t option; (* built on first top-k *)
+  mutable served : int;
+}
+
+let create ?(config = default_config) ?(now = Unix.gettimeofday) repo =
+  if config.max_level < 0 || config.cache_capacity < 1 || config.engine_capacity < 1
+  then invalid_arg "Server.create: bad config";
+  {
+    cfg = config;
+    repo;
+    cache =
+      (if config.cache then
+         Some (Level_cache.create ~capacity:config.cache_capacity ())
+       else None);
+    rcache = Q.Reach_cache.create ~capacity:config.engine_capacity ();
+    sched = Scheduler.create ~config:config.sched ~now ();
+    gates = Hashtbl.create 32;
+    index = None;
+    served = 0;
+  }
+
+let repo t = t.repo
+
+let cache_stats t =
+  match t.cache with
+  | Some c -> Level_cache.stats c
+  | None -> { Level_cache.hits = 0; misses = 0; evictions = 0; entries = 0 }
+
+let cache_keys t =
+  match t.cache with Some c -> Level_cache.keys c | None -> []
+
+let served t = t.served
+
+let respond t r =
+  t.served <- t.served + 1;
+  r
+
+(* {2 Shared lookups} *)
+
+let gate_for t (e : Q.Repository.entry) level =
+  match Hashtbl.find_opt t.gates (e.name, level) with
+  | Some g -> g
+  | None ->
+      let gate = Q.Access_gate.of_policy e.policy ~level in
+      Q.Access_gate.prepare gate;
+      let g = (gate, Q.Access_gate.fingerprint gate) in
+      Hashtbl.replace t.gates (e.name, level) g;
+      g
+
+let engine_for t gate ~entry ~run exec =
+  (* The view is determined by the access prefix alone, so levels with
+     equal prefixes share one prepared engine — Reach_cache's user-group
+     sharing. Results stay level-partitioned in the level cache. *)
+  let view = Q.Access_gate.exec_view gate exec in
+  let key =
+    Q.Reach_cache.group_key ~entry ~run ~prefix:(W.Exec_view.prefix view)
+  in
+  Q.Reach_cache.engine t.rcache ~key view
+
+let index_for t =
+  match t.index with
+  | Some ix -> ix
+  | None ->
+      let ix = Q.Repository.search_index t.repo in
+      t.index <- Some ix;
+      ix
+
+let cache_find t ~level key =
+  match t.cache with
+  | None -> None
+  | Some c -> Level_cache.find c ~level key
+
+let cache_add t key v =
+  match t.cache with None -> () | Some c -> Level_cache.add c key v
+
+let digest_of (f : Wire.req_frame) =
+  match Wire.request_digest f.req with
+  | Some d -> d
+  | None -> invalid_arg "Server: uncacheable request digested"
+
+(* {2 Error responses} *)
+
+let bad rid message =
+  Wire.Error
+    { rid; code = Wire.Bad_request; retryable = false; floor = None; message }
+
+let unknown_entry rid entry =
+  Wire.Error
+    {
+      rid;
+      code = Wire.Unknown_entry;
+      retryable = false;
+      floor = None;
+      message = "unknown entry: " ^ entry;
+    }
+
+(* {2 Endpoint execution}
+
+   Every path audits from the {e result} (node counts, hit counts), so
+   the audit trail is identical whether the result came from the cache
+   or from evaluation — a cache hit is unobservable in every channel a
+   client or auditor can read. *)
+
+let audit_witnesses gate asts = function
+  | Wire.Witnesses ws when List.length ws = List.length asts ->
+      List.iter2
+        (fun ast (_, nodes) ->
+          Q.Access_gate.audit_query gate ast ~nodes:(List.length nodes))
+        asts ws
+  | _ -> ()
+
+type q_state =
+  | Q_err of Wire.response
+  | Q_hit of Q.Query_ast.t list * Wire.result
+  | Q_miss of Q.Query_ast.t list
+
+let exec_query_group t ~level ~entry ~run frames =
+  match Q.Repository.find t.repo entry with
+  | exception Not_found ->
+      List.map (fun (f : Wire.req_frame) -> unknown_entry f.rid entry) frames
+  | e -> (
+      match List.nth_opt e.executions run with
+      | None ->
+          List.map
+            (fun (f : Wire.req_frame) ->
+              bad f.rid (Printf.sprintf "run %d out of range for %s" run entry))
+            frames
+      | Some exec ->
+          let gate, fp = gate_for t e level in
+          let states =
+            List.map
+              (fun (f : Wire.req_frame) ->
+                match f.req with
+                | Wire.Query { queries; _ } -> (
+                    match List.map Q.Query_parser.parse queries with
+                    | asts -> (
+                        let key =
+                          Level_cache.key ~fingerprint:fp
+                            ~request:(digest_of f)
+                        in
+                        match cache_find t ~level key with
+                        | Some r -> (f, key, Q_hit (asts, r))
+                        | None -> (f, key, Q_miss asts))
+                    | exception Q.Query_parser.Syntax_error { pos; message } ->
+                        ( f,
+                          "",
+                          Q_err
+                            (bad f.rid
+                               (Printf.sprintf "syntax error at %d: %s" pos
+                                  message)) ))
+                | _ -> (f, "", Q_err (bad f.rid "mixed batch")))
+              frames
+          in
+          let miss_plans =
+            List.concat_map
+              (fun (_, _, st) ->
+                match st with
+                | Q_miss asts -> List.map Q.Engine.compile asts
+                | _ -> [])
+              states
+          in
+          let miss_witnesses =
+            if miss_plans = [] then []
+            else
+              let eng = engine_for t gate ~entry ~run exec in
+              Q.Engine.run_batch eng miss_plans
+          in
+          let rem = ref miss_witnesses in
+          let take n =
+            let rec go n acc =
+              if n = 0 then List.rev acc
+              else
+                match !rem with
+                | [] -> List.rev acc
+                | w :: tl ->
+                    rem := tl;
+                    go (n - 1) (w :: acc)
+            in
+            go n []
+          in
+          List.map
+            (fun ((f : Wire.req_frame), key, st) ->
+              match st with
+              | Q_err r -> r
+              | Q_hit (asts, result) ->
+                  audit_witnesses gate asts result;
+                  Wire.Result { rid = f.rid; result }
+              | Q_miss asts ->
+                  let ws = take (List.length asts) in
+                  let result =
+                    Wire.Witnesses
+                      (List.map
+                         (fun (w : Q.Engine.witness) -> (w.holds, w.nodes))
+                         ws)
+                  in
+                  cache_add t key result;
+                  audit_witnesses gate asts result;
+                  Wire.Result { rid = f.rid; result })
+            states)
+
+let audit_topk ~level keywords = function
+  | Wire.Hits hits ->
+      Obs.Audit_log.record ~op:"server.topk" ~level
+        ~query:(String.concat " " keywords)
+        ~nodes:(List.length hits) Obs.Audit_log.Allowed
+  | _ -> ()
+
+type t_state =
+  | T_err of Wire.response
+  | T_hit of string list * Wire.result
+  | T_miss of int * string list
+
+let exec_topk_group t ~level frames =
+  let fp = Printf.sprintf "l%d/topk" level in
+  let states =
+    List.map
+      (fun (f : Wire.req_frame) ->
+        match f.req with
+        | Wire.Topk { k; keywords } -> (
+            if k <= 0 then (f, "", T_err (bad f.rid "k must be positive"))
+            else
+              let key =
+                Level_cache.key ~fingerprint:fp ~request:(digest_of f)
+              in
+              match cache_find t ~level key with
+              | Some r -> (f, key, T_hit (keywords, r))
+              | None -> (f, key, T_miss (k, keywords)))
+        | _ -> (f, "", T_err (bad f.rid "mixed batch")))
+      frames
+  in
+  let searches =
+    List.filter_map
+      (fun (_, _, st) ->
+        match st with
+        | T_miss (k, kw) -> Some (Q.Plan.compile_search ~top:k kw)
+        | _ -> None)
+      states
+  in
+  let results =
+    if searches = [] then []
+    else Q.Engine.run_searches ~index:(index_for t) ~level searches
+  in
+  let rem = ref results in
+  List.map
+    (fun ((f : Wire.req_frame), key, st) ->
+      match st with
+      | T_err r -> r
+      | T_hit (kw, result) ->
+          audit_topk ~level kw result;
+          Wire.Result { rid = f.rid; result }
+      | T_miss (_, kw) ->
+          let entries =
+            match !rem with
+            | e :: tl ->
+                rem := tl;
+                e
+            | [] -> []
+          in
+          let result =
+            Wire.Hits
+              (List.map
+                 (fun (en : Q.Ranking.entry) -> (en.doc, en.score))
+                 entries)
+          in
+          cache_add t key result;
+          audit_topk ~level kw result;
+          Wire.Result { rid = f.rid; result })
+    states
+
+let exec_zoom t ~level (f : Wire.req_frame) =
+  match f.req with
+  | Wire.Zoom_out { entry; run } -> (
+      match Q.Repository.find t.repo entry with
+      | exception Not_found -> unknown_entry f.rid entry
+      | e -> (
+          match List.nth_opt e.executions run with
+          | None ->
+              bad f.rid (Printf.sprintf "run %d out of range for %s" run entry)
+          | Some exec ->
+              let gate, fp = gate_for t e level in
+              let key =
+                Level_cache.key ~fingerprint:fp ~request:(digest_of f)
+              in
+              let result =
+                match cache_find t ~level key with
+                | Some r -> r
+                | None ->
+                    let view = Q.Access_gate.exec_view gate exec in
+                    let r =
+                      Wire.View
+                        {
+                          view_prefix = W.Exec_view.prefix view;
+                          view_nodes = List.length (W.Exec_view.nodes view);
+                        }
+                    in
+                    cache_add t key r;
+                    r
+              in
+              (match result with
+               | Wire.View { view_nodes; _ } ->
+                   Q.Access_gate.audit_view gate ~op:"server.zoom_out"
+                     ~nodes:view_nodes
+               | _ -> ());
+              Wire.Result { rid = f.rid; result }))
+  | _ -> bad f.rid "mixed batch"
+
+let exec_stats _t ~level (f : Wire.req_frame) =
+  match f.req with
+  | Wire.Stats { prefix } ->
+      let counters =
+        match prefix with
+        | None -> Obs.Registry.observer_counters ~level
+        | Some p -> Obs.Registry.observer_counters_prefixed ~prefix:p ~level
+      in
+      Wire.Result { rid = f.rid; result = Wire.Counters counters }
+  | _ -> bad f.rid "mixed batch"
+
+(* All frames of a batch share a batch key, hence a kind (and for
+   queries an entry and run). Responses in input order. *)
+let exec_frames t ~level frames =
+  match (List.hd frames : Wire.req_frame).req with
+  | Wire.Query { entry; run; _ } ->
+      Obs.Histogram.time h_lat_query (fun () ->
+          exec_query_group t ~level ~entry ~run frames)
+  | Wire.Topk _ ->
+      Obs.Histogram.time h_lat_topk (fun () -> exec_topk_group t ~level frames)
+  | Wire.Zoom_out _ ->
+      Obs.Histogram.time h_lat_zoom (fun () ->
+          List.map (exec_zoom t ~level) frames)
+  | Wire.Stats _ ->
+      Obs.Histogram.time h_lat_stats (fun () ->
+          List.map (exec_stats t ~level) frames)
+
+(* {2 Admission} *)
+
+(* A privilege denial records only the required floor (the claimed
+   level), never what was asked — and is filed at the server's ceiling
+   so the trail itself stays below it. *)
+let validate t (f : Wire.req_frame) =
+  if f.level < 0 then Some (bad f.rid "negative privilege level")
+  else if f.level > t.cfg.max_level then begin
+    Obs.Counter.incr m_denied ~at:t.cfg.max_level;
+    Obs.Audit_log.record ~op:"server.denied" ~level:t.cfg.max_level
+      (Obs.Audit_log.Denied { floor = f.level });
+    Some
+      (Wire.Error
+         {
+           rid = f.rid;
+           code = Wire.Privilege;
+           retryable = false;
+           floor = Some f.level;
+           message = "privilege level above server ceiling";
+         })
+  end
+  else None
+
+let audit_shed ~level =
+  Obs.Audit_log.record ~op:"server.shed" ~level
+    (Obs.Audit_log.Denied { floor = level })
+
+let handle t ~client:_ (f : Wire.req_frame) =
+  match validate t f with
+  | Some r -> respond t r
+  | None ->
+      Obs.Counter.incr m_requests ~at:f.level;
+      respond t (List.hd (exec_frames t ~level:f.level [ f ]))
+
+let submit t ~client ?(mode = Wire.Json) (f : Wire.req_frame) =
+  match validate t f with
+  | Some r -> Some (respond t r)
+  | None -> (
+      Obs.Counter.incr m_requests ~at:f.level;
+      match f.req with
+      | Wire.Stats _ ->
+          (* Stats reads live counters: answered immediately, never
+             queued, never cached. *)
+          Some
+            (respond t
+               (Obs.Histogram.time h_lat_stats (fun () ->
+                    exec_stats t ~level:f.level f)))
+      | _ -> (
+          let cost =
+            match f.req with
+            | Wire.Zoom_out _ -> Scheduler.Expensive
+            | _ -> Scheduler.Cheap
+          in
+          match
+            Scheduler.admit t.sched ~client ~level:f.level ~cost
+              ~deadline_ms:f.deadline_ms { jm = mode; jf = f }
+          with
+          | Ok _ -> None
+          | Error reject ->
+              let message =
+                match reject with
+                | Scheduler.Queue_full -> "queue full; retry later"
+                | Scheduler.Inflight_exceeded ->
+                    "client in-flight cap exceeded; retry later"
+              in
+              audit_shed ~level:f.level;
+              Some
+                (respond t
+                   (Wire.Error
+                      {
+                        rid = f.rid;
+                        code = Wire.Over_capacity;
+                        retryable = true;
+                        floor = None;
+                        message;
+                      }))))
+
+let batch_key (j : job) =
+  match j.jf.req with
+  | Wire.Query { entry; run; _ } -> Printf.sprintf "q/%s/%d" entry run
+  | Wire.Topk _ -> "t"
+  | Wire.Zoom_out { entry; run } -> Printf.sprintf "z/%s/%d" entry run
+  | Wire.Stats _ -> "s"
+
+let cycle t =
+  let events = Scheduler.drain t.sched ~batch_key () in
+  List.concat_map
+    (fun ev ->
+      match ev with
+      | Scheduler.Shed (item : job Scheduler.item) ->
+          Scheduler.finish t.sched item;
+          audit_shed ~level:item.level;
+          [
+            ( item.client,
+              item.payload.jm,
+              respond t
+                (Wire.Error
+                   {
+                     rid = item.payload.jf.rid;
+                     code = Wire.Deadline_exceeded;
+                     retryable = true;
+                     floor = None;
+                     message = "deadline exceeded in queue; retry later";
+                   }) );
+          ]
+      | Scheduler.Batch items ->
+          let frames =
+            List.map (fun (it : job Scheduler.item) -> it.payload.jf) items
+          in
+          let responses =
+            exec_frames t
+              ~level:(List.hd items : job Scheduler.item).level
+              frames
+          in
+          List.iter (Scheduler.finish t.sched) items;
+          List.map2
+            (fun (it : job Scheduler.item) r ->
+              (it.client, it.payload.jm, respond t r))
+            items responses)
+    events
+
+let drain_all t =
+  let rec go acc =
+    match cycle t with [] -> List.concat (List.rev acc) | rs -> go (rs :: acc)
+  in
+  go []
+
+(* {2 Front-ends} *)
+
+(* Parse every complete frame of [buf], submit each; immediate
+   responses go through [emit]. Returns [Some message] on a corrupt
+   frame (the caller answers once and stops reading). The unconsumed
+   tail stays in [buf]. *)
+let feed t ~client buf emit =
+  let s = Buffer.contents buf in
+  let pos = ref 0 in
+  let corrupt = ref None in
+  let continue = ref true in
+  while !continue do
+    if !pos >= String.length s || !corrupt <> None then continue := false
+    else
+      match Wire.decode_request ~pos:!pos s with
+      | Wire.Need_more -> continue := false
+      | Wire.Corrupt m -> corrupt := Some m
+      | Wire.Frame (f, used) ->
+          let mode = Wire.mode_at ~pos:!pos s in
+          pos := !pos + used;
+          (match submit t ~client ~mode f with
+           | Some r -> emit mode r
+           | None -> ())
+  done;
+  let rest = String.sub s !pos (String.length s - !pos) in
+  Buffer.clear buf;
+  Buffer.add_string buf rest;
+  !corrupt
+
+let corrupt_response message =
+  Wire.Error
+    {
+      rid = 0;
+      code = Wire.Bad_request;
+      retryable = false;
+      floor = None;
+      message;
+    }
+
+let serve_channels t ic oc =
+  let written = ref 0 in
+  let emit mode r =
+    output_string oc (Wire.encode_response mode r);
+    incr written
+  in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let stop = ref false in
+  while not !stop do
+    match input ic chunk 0 (Bytes.length chunk) with
+    | 0 -> stop := true
+    | exception End_of_file -> stop := true
+    | n -> (
+        Buffer.add_subbytes buf chunk 0 n;
+        match feed t ~client:0 buf (emit) with
+        | None -> ()
+        | Some m ->
+            emit Wire.Json (respond t (corrupt_response m));
+            stop := true)
+  done;
+  List.iter (fun (_, mode, r) -> emit mode r) (drain_all t);
+  flush oc;
+  !written
+
+let write_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc contents;
+  close_out oc;
+  Sys.rename tmp path
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable out : string; (* encoded responses not yet written *)
+  mutable closing : bool; (* EOF or corrupt: flush out, then close *)
+}
+
+let serve_tcp t ~port ?port_file ?max_requests ?timeout_s () =
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen lsock 64;
+  Unix.set_nonblock lsock;
+  (match (Unix.getsockname lsock, port_file) with
+  | Unix.ADDR_INET (_, p), Some file ->
+      write_atomic file (string_of_int p ^ "\n")
+  | _ -> ());
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 16 in
+  let next_client = ref 0 in
+  let produced = ref 0 (* quota: responses routed, even to gone clients *) in
+  let written = ref 0 in
+  let deadline =
+    match timeout_s with
+    | Some s -> Unix.gettimeofday () +. s
+    | None -> infinity
+  in
+  let enqueue c mode r =
+    c.out <- c.out ^ Wire.encode_response mode r;
+    incr produced;
+    incr written
+  in
+  let quota_met () =
+    match max_requests with Some m -> !produced >= m | None -> false
+  in
+  let stop = ref false in
+  while not !stop do
+    if Unix.gettimeofday () > deadline then stop := true
+    else begin
+      let rds =
+        lsock
+        :: Hashtbl.fold
+             (fun _ c acc -> if c.closing then acc else c.fd :: acc)
+             conns []
+      in
+      let wrs =
+        Hashtbl.fold
+          (fun _ c acc -> if c.out <> "" then c.fd :: acc else acc)
+          conns []
+      in
+      let tick = if Scheduler.pending t.sched > 0 then 0.0 else 0.05 in
+      let r, w, _ =
+        try Unix.select rds wrs [] tick
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      if List.mem lsock r then begin
+        let rec accept_all () =
+          match Unix.accept lsock with
+          | fd, _ ->
+              Unix.set_nonblock fd;
+              incr next_client;
+              Hashtbl.replace conns !next_client
+                { fd; inbuf = Buffer.create 1024; out = ""; closing = false };
+              accept_all ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_all ()
+        in
+        accept_all ()
+      end;
+      let chunk = Bytes.create 4096 in
+      Hashtbl.iter
+        (fun id c ->
+          if (not c.closing) && List.mem c.fd r then
+            match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+            | 0 -> c.closing <- true
+            | n -> (
+                Buffer.add_subbytes c.inbuf chunk 0 n;
+                match feed t ~client:id c.inbuf (enqueue c) with
+                | None -> ()
+                | Some m ->
+                    enqueue c Wire.Json (respond t (corrupt_response m));
+                    c.closing <- true)
+            | exception
+                Unix.Unix_error
+                  ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+                ()
+            | exception Unix.Unix_error (_, _, _) -> c.closing <- true)
+        conns;
+      List.iter
+        (fun (client, mode, resp) ->
+          match Hashtbl.find_opt conns client with
+          | Some c -> enqueue c mode resp
+          | None -> incr produced (* client gone; drop the bytes *))
+        (cycle t);
+      Hashtbl.iter
+        (fun _ c ->
+          if c.out <> "" && List.mem c.fd w then
+            let b = Bytes.of_string c.out in
+            match Unix.write c.fd b 0 (Bytes.length b) with
+            | n -> c.out <- String.sub c.out n (String.length c.out - n)
+            | exception
+                Unix.Unix_error
+                  ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+                ()
+            | exception Unix.Unix_error (_, _, _) ->
+                c.out <- "";
+                c.closing <- true)
+        conns;
+      let dead =
+        Hashtbl.fold
+          (fun id c acc ->
+            if c.closing && c.out = "" then (id, c) :: acc else acc)
+          conns []
+      in
+      List.iter
+        (fun (id, c) ->
+          (try Unix.close c.fd with Unix.Unix_error _ -> ());
+          Hashtbl.remove conns id)
+        dead;
+      if
+        quota_met ()
+        && Scheduler.pending t.sched = 0
+        && Hashtbl.fold (fun _ c acc -> acc && c.out = "") conns true
+      then stop := true
+    end
+  done;
+  Hashtbl.iter
+    (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    conns;
+  (try Unix.close lsock with Unix.Unix_error _ -> ());
+  !written

@@ -1,0 +1,89 @@
+(** The multi-session serving layer: one shared repository, thousands of
+    sessions at different privilege levels, admission control in front,
+    a privilege-partitioned result cache behind.
+
+    A server owns a {!Wfpriv_query.Repository.t} (immutable while
+    serving), a {!Scheduler} for admission/batching/shedding, a
+    {!Level_cache} for results, one prepared gate per (entry, level)
+    and one cached engine per (entry, run, level) — the per-user-group
+    discipline of {!Wfpriv_query.Reach_cache} promoted to a serving
+    front-end. Privilege never relaxes here: every evaluation happens
+    through a gate's access view exactly as in the single-process CLI,
+    and every response is bit-identical to what that CLI would print,
+    whatever the cache or batching did (the server leakage suite pins
+    this).
+
+    Two front-ends share the in-process pipeline: {!serve_channels}
+    (stdin/stdout framing, scriptable and deterministic) and
+    {!serve_tcp} (a single-threaded [select] loop multiplexing many
+    connections). Tests and the E18 load generator drive the pipeline
+    directly through {!submit}/{!cycle} with a virtual clock. *)
+
+type config = {
+  max_level : int;
+      (** privilege ceiling of the listener: frames claiming more are
+          denied with the required floor only *)
+  cache : bool;  (** serve results from the level cache *)
+  cache_capacity : int;
+  engine_capacity : int;  (** cached prepared engines (per user group) *)
+  sched : Scheduler.config;
+}
+
+val default_config : config
+(** [max_level = 9], cache on (1024 entries), 256 engines,
+    {!Scheduler.default_config}. *)
+
+type t
+
+val create :
+  ?config:config -> ?now:(unit -> float) -> Wfpriv_query.Repository.t -> t
+
+val repo : t -> Wfpriv_query.Repository.t
+val cache_stats : t -> Level_cache.stats
+val cache_keys : t -> string list
+
+val handle : t -> client:int -> Wire.req_frame -> Wire.response
+(** Validate and execute one frame synchronously, bypassing admission —
+    the closed-loop path (one in-flight request per client needs no
+    queue). Identical responses to the scheduled path. *)
+
+val submit :
+  t -> client:int -> ?mode:Wire.mode -> Wire.req_frame -> Wire.response option
+(** Admission: [None] means queued (a later {!cycle} will answer);
+    [Some r] is an immediate response — a privilege denial, a
+    validation error, or a retryable [over-capacity] rejection. *)
+
+val cycle : t -> (int * Wire.mode * Wire.response) list
+(** One scheduler drain: shed expired items (retryable
+    [deadline-exceeded]), execute batches — compatible structural
+    queries fused onto one {!Wfpriv_query.Engine.run_batch}, top-k
+    frames onto one {!Wfpriv_query.Engine.run_searches} — and return
+    [(client, mode, response)] in completion order. *)
+
+val drain_all : t -> (int * Wire.mode * Wire.response) list
+(** Run {!cycle} until the queues are empty. *)
+
+val served : t -> int
+(** Responses produced since {!create} (errors and sheds included). *)
+
+val serve_channels : t -> in_channel -> out_channel -> int
+(** Frame-by-frame service of a channel pair: requests are admitted as
+    they parse, queued work is drained after EOF, responses are written
+    in completion order in the mode of their request. Returns the number
+    of responses written. A corrupt frame stops reading (one
+    [bad-request] error is emitted first). *)
+
+val serve_tcp :
+  t ->
+  port:int ->
+  ?port_file:string ->
+  ?max_requests:int ->
+  ?timeout_s:float ->
+  unit ->
+  int
+(** Single-threaded [select] loop on [127.0.0.1:port] ([port = 0] picks
+    an ephemeral port). [port_file] is written (atomically) with the
+    bound port once listening — the rendezvous the smoke test uses.
+    The loop exits after [max_requests] responses (once flushed) or
+    [timeout_s] seconds; with neither, it runs until interrupted.
+    Returns the number of responses written. *)

@@ -1,0 +1,533 @@
+module B = Wfpriv_serial.Binary
+module J = Wfpriv_serial.Json
+
+type request =
+  | Query of { entry : string; run : int; queries : string list }
+  | Topk of { k : int; keywords : string list }
+  | Zoom_out of { entry : string; run : int }
+  | Stats of { prefix : string option }
+
+type req_frame = { rid : int; level : int; deadline_ms : int; req : request }
+
+type result =
+  | Witnesses of (bool * int list) list
+  | Hits of (string * float) list
+  | View of { view_prefix : string list; view_nodes : int }
+  | Counters of (string * int) list
+
+type error_code =
+  | Bad_request
+  | Unknown_entry
+  | Over_capacity
+  | Deadline_exceeded
+  | Privilege
+
+type response =
+  | Result of { rid : int; result : result }
+  | Error of {
+      rid : int;
+      code : error_code;
+      retryable : bool;
+      floor : int option;
+      message : string;
+    }
+
+type mode = Binary | Json
+
+let magic = 0xF7
+let version = 1
+let max_frame = 1 lsl 20
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let error_code_string = function
+  | Bad_request -> "bad-request"
+  | Unknown_entry -> "unknown-entry"
+  | Over_capacity -> "over-capacity"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Privilege -> "privilege"
+
+let error_code_of_string = function
+  | "bad-request" -> Bad_request
+  | "unknown-entry" -> Unknown_entry
+  | "over-capacity" -> Over_capacity
+  | "deadline-exceeded" -> Deadline_exceeded
+  | "privilege" -> Privilege
+  | s -> malformed "unknown error code %S" s
+
+(* ------------------------------------------------------------------ *)
+(* Binary payloads.
+
+   Scores travel as hex float literals ("%h"), which round-trip
+   bit-exactly and keep the payload free of 64-bit integer encodings
+   (OCaml ints are 63-bit; Int64 bit patterns would not fit u64's int
+   interface). *)
+
+let w_list w f xs =
+  B.Writer.varint w (List.length xs);
+  List.iter (f w) xs
+
+let r_list r f =
+  let n = B.Reader.varint r in
+  if n > max_frame then malformed "list length %d out of bounds" n;
+  List.init n (fun _ -> f r)
+
+let w_req w { rid; level; deadline_ms; req } =
+  B.Writer.varint w rid;
+  B.Writer.varint w level;
+  B.Writer.varint w deadline_ms;
+  match req with
+  | Query { entry; run; queries } ->
+      B.Writer.u8 w 1;
+      B.Writer.str w entry;
+      B.Writer.varint w run;
+      w_list w (fun w q -> B.Writer.str w q) queries
+  | Topk { k; keywords } ->
+      B.Writer.u8 w 2;
+      B.Writer.varint w k;
+      w_list w (fun w s -> B.Writer.str w s) keywords
+  | Zoom_out { entry; run } ->
+      B.Writer.u8 w 3;
+      B.Writer.str w entry;
+      B.Writer.varint w run
+  | Stats { prefix } -> (
+      B.Writer.u8 w 4;
+      match prefix with
+      | None -> B.Writer.u8 w 0
+      | Some p ->
+          B.Writer.u8 w 1;
+          B.Writer.str w p)
+
+let r_req r =
+  let rid = B.Reader.varint r in
+  let level = B.Reader.varint r in
+  let deadline_ms = B.Reader.varint r in
+  let req =
+    match B.Reader.u8 r with
+    | 1 ->
+        let entry = B.Reader.str r in
+        let run = B.Reader.varint r in
+        let queries = r_list r B.Reader.str in
+        Query { entry; run; queries }
+    | 2 ->
+        let k = B.Reader.varint r in
+        let keywords = r_list r B.Reader.str in
+        Topk { k; keywords }
+    | 3 ->
+        let entry = B.Reader.str r in
+        let run = B.Reader.varint r in
+        Zoom_out { entry; run }
+    | 4 ->
+        let prefix =
+          match B.Reader.u8 r with
+          | 0 -> None
+          | 1 -> Some (B.Reader.str r)
+          | t -> malformed "bad stats prefix tag %d" t
+        in
+        Stats { prefix }
+    | t -> malformed "unknown request tag %d" t
+  in
+  { rid; level; deadline_ms; req }
+
+let w_score w f = B.Writer.str w (Printf.sprintf "%h" f)
+
+let r_score r =
+  let s = B.Reader.str r in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> malformed "bad score literal %S" s
+
+let w_resp w = function
+  | Result { rid; result } -> (
+      B.Writer.u8 w 1;
+      B.Writer.varint w rid;
+      match result with
+      | Witnesses ws ->
+          B.Writer.u8 w 1;
+          w_list w
+            (fun w (holds, nodes) ->
+              B.Writer.u8 w (if holds then 1 else 0);
+              w_list w (fun w n -> B.Writer.varint w n) nodes)
+            ws
+      | Hits hs ->
+          B.Writer.u8 w 2;
+          w_list w
+            (fun w (doc, score) ->
+              B.Writer.str w doc;
+              w_score w score)
+            hs
+      | View { view_prefix; view_nodes } ->
+          B.Writer.u8 w 3;
+          w_list w (fun w s -> B.Writer.str w s) view_prefix;
+          B.Writer.varint w view_nodes
+      | Counters cs ->
+          B.Writer.u8 w 4;
+          w_list w
+            (fun w (name, v) ->
+              B.Writer.str w name;
+              B.Writer.varint w v)
+            cs)
+  | Error { rid; code; retryable; floor; message } -> (
+      B.Writer.u8 w 2;
+      B.Writer.varint w rid;
+      B.Writer.str w (error_code_string code);
+      B.Writer.u8 w (if retryable then 1 else 0);
+      (match floor with
+      | None -> B.Writer.u8 w 0
+      | Some f ->
+          B.Writer.u8 w 1;
+          B.Writer.varint w f);
+      B.Writer.str w message)
+
+let r_resp r =
+  match B.Reader.u8 r with
+  | 1 ->
+      let rid = B.Reader.varint r in
+      let result =
+        match B.Reader.u8 r with
+        | 1 ->
+            Witnesses
+              (r_list r (fun r ->
+                   let holds =
+                     match B.Reader.u8 r with
+                     | 0 -> false
+                     | 1 -> true
+                     | t -> malformed "bad bool %d" t
+                   in
+                   let nodes = r_list r B.Reader.varint in
+                   (holds, nodes)))
+        | 2 ->
+            Hits
+              (r_list r (fun r ->
+                   let doc = B.Reader.str r in
+                   let score = r_score r in
+                   (doc, score)))
+        | 3 ->
+            let view_prefix = r_list r B.Reader.str in
+            let view_nodes = B.Reader.varint r in
+            View { view_prefix; view_nodes }
+        | 4 ->
+            Counters
+              (r_list r (fun r ->
+                   let name = B.Reader.str r in
+                   let v = B.Reader.varint r in
+                   (name, v)))
+        | t -> malformed "unknown result tag %d" t
+      in
+      Result { rid; result }
+  | 2 ->
+      let rid = B.Reader.varint r in
+      let code = error_code_of_string (B.Reader.str r) in
+      let retryable =
+        match B.Reader.u8 r with
+        | 0 -> false
+        | 1 -> true
+        | t -> malformed "bad bool %d" t
+      in
+      let floor =
+        match B.Reader.u8 r with
+        | 0 -> None
+        | 1 -> Some (B.Reader.varint r)
+        | t -> malformed "bad floor tag %d" t
+      in
+      let message = B.Reader.str r in
+      Error { rid; code; retryable; floor; message }
+  | t -> malformed "unknown response tag %d" t
+
+(* ------------------------------------------------------------------ *)
+(* JSON payloads *)
+
+let j_strings xs = J.Arr (List.map (fun s -> J.str s) xs)
+
+let req_to_json { rid; level; deadline_ms; req } =
+  let base =
+    [ ("v", J.int version); ("rid", J.int rid); ("level", J.int level) ]
+  in
+  let deadline =
+    if deadline_ms = 0 then [] else [ ("deadline_ms", J.int deadline_ms) ]
+  in
+  let body =
+    match req with
+    | Query { entry; run; queries } ->
+        [
+          ("op", J.str "query");
+          ("entry", J.str entry);
+          ("run", J.int run);
+          ("queries", j_strings queries);
+        ]
+    | Topk { k; keywords } ->
+        [ ("op", J.str "topk"); ("k", J.int k); ("keywords", j_strings keywords) ]
+    | Zoom_out { entry; run } ->
+        [ ("op", J.str "zoom-out"); ("entry", J.str entry); ("run", J.int run) ]
+    | Stats { prefix } -> (
+        ("op", J.str "stats")
+        ::
+        (match prefix with None -> [] | Some p -> [ ("prefix", J.str p) ]))
+  in
+  J.Obj (base @ deadline @ body)
+
+let get_nat what j =
+  let n = J.get_int j in
+  if n < 0 then malformed "%s must be non-negative" what;
+  n
+
+let member_nat name ?(default = -1) obj =
+  match J.member_opt name obj with
+  | Some v -> get_nat name v
+  | None ->
+      if default >= 0 then default else malformed "missing field %S" name
+
+let member_str name obj =
+  match J.member_opt name obj with
+  | Some v -> J.get_string v
+  | None -> malformed "missing field %S" name
+
+let member_strings name obj =
+  match J.member_opt name obj with
+  | Some v -> List.map J.get_string (J.to_list v)
+  | None -> malformed "missing field %S" name
+
+let check_version obj =
+  match J.member_opt "v" obj with
+  | Some v when J.get_int v = version -> ()
+  | Some v -> malformed "unsupported protocol version %d" (J.get_int v)
+  | None -> malformed "missing field \"v\""
+
+let req_of_json obj =
+  check_version obj;
+  let rid = member_nat "rid" obj in
+  let level = member_nat "level" obj in
+  let deadline_ms = member_nat "deadline_ms" ~default:0 obj in
+  let req =
+    match member_str "op" obj with
+    | "query" ->
+        Query
+          {
+            entry = member_str "entry" obj;
+            run = member_nat "run" ~default:0 obj;
+            queries = member_strings "queries" obj;
+          }
+    | "topk" ->
+        Topk { k = member_nat "k" obj; keywords = member_strings "keywords" obj }
+    | "zoom-out" ->
+        Zoom_out
+          { entry = member_str "entry" obj; run = member_nat "run" ~default:0 obj }
+    | "stats" ->
+        Stats
+          {
+            prefix =
+              (match J.member_opt "prefix" obj with
+              | Some p -> Some (J.get_string p)
+              | None -> None);
+          }
+    | op -> malformed "unknown op %S" op
+  in
+  { rid; level; deadline_ms; req }
+
+let resp_to_json = function
+  | Result { rid; result } ->
+      let body =
+        match result with
+        | Witnesses ws ->
+            [
+              ("kind", J.str "witnesses");
+              ( "witnesses",
+                J.Arr
+                  (List.map
+                     (fun (holds, nodes) ->
+                       J.Obj
+                         [
+                           ("holds", J.Bool holds);
+                           ("nodes", J.Arr (List.map J.int nodes));
+                         ])
+                     ws) );
+            ]
+        | Hits hs ->
+            [
+              ("kind", J.str "hits");
+              ( "hits",
+                J.Arr
+                  (List.map
+                     (fun (doc, score) ->
+                       J.Obj [ ("doc", J.str doc); ("score", J.Num score) ])
+                     hs) );
+            ]
+        | View { view_prefix; view_nodes } ->
+            [
+              ("kind", J.str "view");
+              ("prefix", j_strings view_prefix);
+              ("nodes", J.int view_nodes);
+            ]
+        | Counters cs ->
+            [
+              ("kind", J.str "counters");
+              ( "counters",
+                J.Arr
+                  (List.map
+                     (fun (name, v) -> J.Arr [ J.str name; J.int v ])
+                     cs) );
+            ]
+      in
+      J.Obj
+        ([ ("v", J.int version); ("rid", J.int rid); ("ok", J.Bool true) ]
+        @ body)
+  | Error { rid; code; retryable; floor; message } ->
+      J.Obj
+        ([
+           ("v", J.int version);
+           ("rid", J.int rid);
+           ("ok", J.Bool false);
+           ("code", J.str (error_code_string code));
+           ("retryable", J.Bool retryable);
+         ]
+        @ (match floor with None -> [] | Some f -> [ ("floor", J.int f) ])
+        @ [ ("message", J.str message) ])
+
+let resp_of_json obj =
+  check_version obj;
+  let rid = member_nat "rid" obj in
+  match J.member_opt "ok" obj with
+  | Some (J.Bool true) ->
+      let result =
+        match member_str "kind" obj with
+        | "witnesses" ->
+            Witnesses
+              (J.to_list (J.member "witnesses" obj)
+              |> List.map (fun w ->
+                     ( J.get_bool (J.member "holds" w),
+                       List.map J.get_int (J.to_list (J.member "nodes" w)) )))
+        | "hits" ->
+            Hits
+              (J.to_list (J.member "hits" obj)
+              |> List.map (fun h ->
+                     ( J.get_string (J.member "doc" h),
+                       J.get_float (J.member "score" h) )))
+        | "view" ->
+            View
+              {
+                view_prefix =
+                  List.map J.get_string (J.to_list (J.member "prefix" obj));
+                view_nodes = member_nat "nodes" obj;
+              }
+        | "counters" ->
+            Counters
+              (J.to_list (J.member "counters" obj)
+              |> List.map (fun pair ->
+                     match J.to_list pair with
+                     | [ n; v ] -> (J.get_string n, J.get_int v)
+                     | _ -> malformed "bad counter pair"))
+        | k -> malformed "unknown result kind %S" k
+      in
+      Result { rid; result }
+  | Some (J.Bool false) ->
+      Error
+        {
+          rid;
+          code = error_code_of_string (member_str "code" obj);
+          retryable = J.get_bool (J.member "retryable" obj);
+          floor =
+            (match J.member_opt "floor" obj with
+            | Some f -> Some (get_nat "floor" f)
+            | None -> None);
+          message = member_str "message" obj;
+        }
+  | _ -> malformed "missing field \"ok\""
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let frame_binary payload =
+  let len = String.length payload in
+  if len > max_frame then invalid_arg "Wire: frame exceeds max_frame";
+  let w = B.Writer.create ~capacity:(len + 8) () in
+  B.Writer.u8 w magic;
+  B.Writer.u8 w version;
+  B.Writer.u32 w len;
+  B.Writer.raw w payload;
+  B.Writer.contents w
+
+let encode mode payload_bin payload_json =
+  match mode with
+  | Binary ->
+      let w = B.Writer.create () in
+      payload_bin w;
+      frame_binary (B.Writer.contents w)
+  | Json -> J.to_string payload_json ^ "\n"
+
+let encode_request mode f = encode mode (fun w -> w_req w f) (req_to_json f)
+let encode_response mode r = encode mode (fun w -> w_resp w r) (resp_to_json r)
+
+type 'a progress = Frame of 'a * int | Need_more | Corrupt of string
+
+let mode_at ?(pos = 0) s =
+  if pos < String.length s && Char.code s.[pos] = magic then Binary else Json
+
+(* Extract one frame starting at [pos]: binary when the first byte is
+   the magic, else one JSON line. Shape errors inside a complete frame
+   are [Corrupt] — a framing-level failure the connection cannot recover
+   from, unlike an application-level [Error] response. *)
+let decode_frame ?(pos = 0) s ~of_binary ~of_json =
+  let len = String.length s - pos in
+  if len <= 0 then Need_more
+  else if Char.code s.[pos] = magic then
+    if len < 6 then Need_more
+    else
+      let v = Char.code s.[pos + 1] in
+      let r = B.Reader.of_string ~pos:(pos + 2) s in
+      let plen = B.Reader.u32 r in
+      if v <> version then Corrupt (Printf.sprintf "bad frame version %d" v)
+      else if plen > max_frame then
+        Corrupt (Printf.sprintf "frame of %d bytes exceeds max %d" plen max_frame)
+      else if len < 6 + plen then Need_more
+      else
+        let payload = String.sub s (pos + 6) plen in
+        match of_binary (B.Reader.of_string payload) with
+        | value -> Frame (value, 6 + plen)
+        | exception Malformed m -> Corrupt m
+        | exception B.Truncated -> Corrupt "truncated payload"
+  else
+    match String.index_from_opt s pos '\n' with
+    | None ->
+        if len > max_frame then Corrupt "unterminated line exceeds max frame"
+        else Need_more
+    | Some nl -> (
+        let line = String.sub s pos (nl - pos) in
+        match J.parse line with
+        | doc -> (
+            match of_json doc with
+            | value -> Frame (value, nl - pos + 1)
+            | exception Malformed m -> Corrupt m
+            | exception Invalid_argument m -> Corrupt m)
+        | exception J.Parse_error { message; _ } -> Corrupt message)
+
+let decode_request ?pos s =
+  (* A complete binary payload must also consume cleanly: trailing bytes
+     mean the sender and receiver disagree on the schema. *)
+  let of_binary r =
+    let f = r_req r in
+    if not (B.Reader.at_end r) then malformed "trailing bytes in payload";
+    f
+  in
+  decode_frame ?pos s ~of_binary ~of_json:req_of_json
+
+let decode_response ?pos s =
+  let of_binary r =
+    let f = r_resp r in
+    if not (B.Reader.at_end r) then malformed "trailing bytes in payload";
+    f
+  in
+  decode_frame ?pos s ~of_binary ~of_json:resp_of_json
+
+(* ------------------------------------------------------------------ *)
+
+let request_digest = function
+  | Query { entry; run; queries } ->
+      Some
+        (Printf.sprintf "q/%s/%d/%s" entry run
+           (String.concat "\x00" queries))
+  | Topk { k; keywords } ->
+      Some (Printf.sprintf "t/%d/%s" k (String.concat "\x00" keywords))
+  | Zoom_out { entry; run } -> Some (Printf.sprintf "z/%s/%d" entry run)
+  | Stats _ -> None

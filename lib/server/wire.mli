@@ -1,0 +1,107 @@
+(** Versioned request/response frames of the serving layer.
+
+    One wire vocabulary, two framings over the {!Wfpriv_serial} codecs:
+
+    - {e binary}: magic byte [0xF7], version byte, little-endian [u32]
+      payload length, then a {!Wfpriv_serial.Binary} payload — the
+      length prefix makes frame extraction O(1) and lets the reader
+      reject oversized frames before buffering them;
+    - {e JSON lines}: one {!Wfpriv_serial.Json} object per ['\n']-
+      terminated line, self-describing and shell-scriptable.
+
+    A connection picks its framing implicitly with its first byte
+    ([0xF7] cannot begin a JSON document), and both framings decode to
+    the same {!req_frame}/{!response} values — the codec round-trip
+    property the QCheck suite pins. Scores cross the wire as hex float
+    literals (binary) or shortest-roundtrip decimals (JSON), so decoded
+    responses are bit-identical to what the server computed. *)
+
+type request =
+  | Query of { entry : string; run : int; queries : string list }
+      (** structural queries against stored execution [run] of [entry],
+          evaluated on the caller's access view; compatible [Query]
+          frames are batched onto one {!Wfpriv_query.Engine.run_batch} *)
+  | Topk of { k : int; keywords : string list }
+      (** block-max WAND top-[k] over the repository's
+          privacy-partitioned index *)
+  | Zoom_out of { entry : string; run : int }
+      (** materialize the caller's finest permitted view of the run —
+          the expensive endpoint admission control must not let starve
+          the cheap ones *)
+  | Stats of { prefix : string option }
+      (** the caller's observer view of the metric registry, optionally
+          restricted to names starting with [prefix] *)
+
+type req_frame = {
+  rid : int;  (** request id, echoed verbatim in the response *)
+  level : int;  (** claimed privilege level *)
+  deadline_ms : int;  (** queueing deadline; [0] = none *)
+  req : request;
+}
+
+type result =
+  | Witnesses of (bool * int list) list  (** per query, in input order *)
+  | Hits of (string * float) list  (** (doc, score), rank order *)
+  | View of { view_prefix : string list; view_nodes : int }
+  | Counters of (string * int) list
+
+type error_code =
+  | Bad_request  (** malformed frame or unparsable query text *)
+  | Unknown_entry
+  | Over_capacity  (** shed at admission; retry later *)
+  | Deadline_exceeded  (** shed from the queue; retry later *)
+  | Privilege  (** claimed level above the connection's ceiling *)
+
+type response =
+  | Result of { rid : int; result : result }
+  | Error of {
+      rid : int;
+      code : error_code;
+      retryable : bool;
+      floor : int option;
+          (** on [Privilege]: the level the request would have needed —
+              and nothing else about it (the audit-denial discipline) *)
+      message : string;
+    }
+
+type mode = Binary | Json
+
+val max_frame : int
+(** Upper bound on a frame's payload bytes; longer frames are rejected
+    as {!Corrupt} without being buffered. *)
+
+exception Malformed of string
+(** Raised by the payload decoders on tag, bound or shape violations. *)
+
+val encode_request : mode -> req_frame -> string
+(** A complete frame: header + payload (binary), or one
+    newline-terminated line (JSON). *)
+
+val encode_response : mode -> response -> string
+
+type 'a progress =
+  | Frame of 'a * int  (** decoded value, bytes consumed *)
+  | Need_more  (** the buffer holds a prefix of a valid frame *)
+  | Corrupt of string  (** unrecoverable: close the connection *)
+
+val decode_request : ?pos:int -> string -> req_frame progress
+(** Incremental frame extraction with per-frame mode detection: a first
+    byte of [0xF7] is a binary frame, anything else a JSON line.
+    Truncated frames report {!Need_more}; oversized length prefixes,
+    bad magic/version, unknown tags and shape errors report
+    {!Corrupt}. *)
+
+val decode_response : ?pos:int -> string -> response progress
+
+val mode_at : ?pos:int -> string -> mode
+(** The framing the byte at [pos] begins: {!Binary} on the magic byte,
+    {!Json} otherwise (callers answer in the mode they were asked in). *)
+
+val error_code_string : error_code -> string
+(** Stable lowercase rendering, e.g. ["over-capacity"]. *)
+
+val request_digest : request -> string option
+(** Canonical digest of everything that determines a request's answer
+    (the kind and its parameters — not [rid] or the deadline): the
+    second half of the level cache's key. [None] for requests that must
+    never be cached ({!Stats} reads live counters). *)

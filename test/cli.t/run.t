@@ -179,6 +179,14 @@ with the required privilege floor only — never the hidden structure:
     recovery.bytes_scanned   0
     recovery.replayed        0
     recovery.runs            0
+    server.admitted          0
+    server.cache_evictions   0
+    server.cache_hits        0
+    server.cache_misses      0
+    server.denied            0
+    server.rejected          0
+    server.requests          0
+    server.shed              0
     wal.appends              0
     wal.bytes                0
     wal.fsyncs               0
@@ -186,6 +194,11 @@ with the required privilege floor only — never the hidden structure:
     engine.closure_build_ns  count=1
     engine.compile_ns        count=3
     index.build_ns           count=0
+    server.latency_ns.query  count=0
+    server.latency_ns.stats  count=0
+    server.latency_ns.topk   count=0
+    server.latency_ns.zoom_out count=0
+    server.queue_depth       count=0
     wal.append_ns            count=0
   observer view at level 1:
     gate.denials             1

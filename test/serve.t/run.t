@@ -1,0 +1,58 @@
+The serving layer over stdio: one JSON request per line in, one JSON
+response per line out. Stats and privilege denials are answered
+immediately; queued work is drained in privilege round-robin order
+after EOF. Level 9 exceeds the server ceiling of 3 and is denied with
+the claimed level echoed as the floor.
+
+  $ cat > reqs.txt <<'EOF'
+  > {"v":1,"rid":1,"level":2,"op":"query","entry":"disease-susceptibility","run":0,"queries":["node(~\"risk\")"]}
+  > {"v":1,"rid":2,"level":1,"op":"topk","k":3,"keywords":["snp","omim"]}
+  > {"v":1,"rid":3,"level":0,"op":"zoom-out","entry":"disease-susceptibility","run":0}
+  > {"v":1,"rid":4,"level":0,"op":"stats","prefix":"server."}
+  > {"v":1,"rid":5,"level":9,"op":"query","entry":"clinical-trial","run":0,"queries":["node(*)"]}
+  > {"v":1,"rid":6,"level":1,"op":"query","entry":"no-such-entry","run":0,"queries":["node(*)"]}
+  > EOF
+  $ wfpriv serve --stdio --max-level 3 < reqs.txt
+  {"v":1,"rid":4,"ok":true,"kind":"counters","counters":[["server.admitted",1],["server.requests",2]]}
+  {"v":1,"rid":5,"ok":false,"code":"privilege","retryable":false,"floor":9,"message":"privilege level above server ceiling"}
+  {"v":1,"rid":2,"ok":true,"kind":"hits","hits":[{"doc":"disease-susceptibility","score":2.8109302162163288}]}
+  {"v":1,"rid":1,"ok":true,"kind":"witnesses","witnesses":[{"holds":true,"nodes":[10,18]}]}
+  {"v":1,"rid":3,"ok":true,"kind":"view","prefix":["W1"],"nodes":4}
+  {"v":1,"rid":6,"ok":false,"code":"unknown-entry","retryable":false,"message":"unknown entry: no-such-entry"}
+  served 6 responses
+
+A malformed frame poisons the connection: the server answers what it
+can, reports the corrupt stream once, and stops reading.
+
+  $ printf '{"v":1,"rid":7,"level":0,"op"\n' | wfpriv serve --stdio
+  {"v":1,"rid":0,"ok":false,"code":"bad-request","retryable":false,"message":"expected ':', found end of input"}
+  served 1 responses
+
+TCP: an ephemeral port is written atomically to --port-file, a client
+drives the exchange with `wfpriv call`, and the server exits once
+--max-requests responses are served.
+
+  $ wfpriv serve --port 0 --port-file port.txt --max-requests 2 --timeout 30 > serve.log 2>&1 &
+  $ for i in $(seq 100); do [ -f port.txt ] && break; sleep 0.1; done
+  $ wfpriv call --port $(cat port.txt) \
+  >   '{"v":1,"rid":1,"level":1,"op":"topk","k":2,"keywords":["trial"]}' \
+  >   '{"v":1,"rid":2,"level":0,"op":"zoom-out","entry":"disease-susceptibility","run":0}'
+  {"v":1,"rid":1,"ok":true,"kind":"hits","hits":[{"doc":"clinical-trial","score":1.4054651081081644}]}
+  {"v":1,"rid":2,"ok":true,"kind":"view","prefix":["W1"],"nodes":4}
+  $ wait
+  $ cat serve.log
+  served 2 responses
+
+The same exchange over the length-prefixed binary framing: `call
+--binary` encodes requests as binary frames; responses decode to the
+same JSON lines, so the two framings are interchangeable on the wire.
+
+  $ rm -f port.txt
+  $ wfpriv serve --port 0 --port-file port.txt --max-requests 1 --timeout 30 > serve2.log 2>&1 &
+  $ for i in $(seq 100); do [ -f port.txt ] && break; sleep 0.1; done
+  $ wfpriv call --binary --port $(cat port.txt) \
+  >   '{"v":1,"rid":9,"level":1,"op":"topk","k":2,"keywords":["trial"]}'
+  {"v":1,"rid":9,"ok":true,"kind":"hits","hits":[{"doc":"clinical-trial","score":1.4054651081081644}]}
+  $ wait
+  $ cat serve2.log
+  served 1 responses
