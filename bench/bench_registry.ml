@@ -261,6 +261,7 @@ let experiments =
     ("e16", Exp_obs.e16);
     ("e17", Exp_query.e17);
     ("e18", Exp_server.e18);
+    ("e19", Exp_live.e19);
     ("a1", Exp_extensions.a1);
     ("a2", Exp_extensions.a2);
     ("a3", Exp_extensions.a3);

@@ -8,7 +8,10 @@
    CURRENT is a `bench/main.exe -- ... --json` document. Every baseline
    metric is higher-is-better (speedup ratios, invariant indicators);
    the gate fails when a current value drops below
-   baseline * (1 - tolerance), or is missing entirely. Metrics the
+   baseline * (1 - tolerance), or is missing entirely. An optional
+   "slo" object holds lower-is-better latency ceilings (absolute, no
+   tolerance — the ceilings already carry the headroom): the gate fails
+   when a current value exceeds its ceiling or is missing. Metrics the
    current run emits beyond the baseline are informational: reported as
    `new` lines (so fresh experiments surface in CI logs before their
    baseline entry lands) but never gating — the baseline names exactly
@@ -73,10 +76,34 @@ let () =
             end)
       gated
   in
+  (* Lower-is-better SLO ceilings: absolute, no tolerance. *)
+  let slo =
+    match J.member_opt "slo" baseline with
+    | None -> []
+    | Some s -> obj_pairs "baseline slo" s
+  in
+  let slo_failures =
+    List.filter_map
+      (fun (name, v) ->
+        let ceiling = J.get_float v in
+        match J.member_opt name cur with
+        | None -> Some (Printf.sprintf "%s: missing from current run" name)
+        | Some c ->
+            let c = J.get_float c in
+            if c > ceiling then
+              Some
+                (Printf.sprintf "%s: %.3f > ceiling %.3f" name c ceiling)
+            else begin
+              Printf.printf "ok %s: %.3f (<= %.3f)\n" name c ceiling;
+              None
+            end)
+      slo
+  in
+  let failures = failures @ slo_failures in
   (* Current-only metrics: informational, never gating. *)
   List.iter
     (fun (name, v) ->
-      if not (List.mem_assoc name gated) then
+      if not (List.mem_assoc name gated || List.mem_assoc name slo) then
         Printf.printf "new %s: %.3f (not in baseline; informational)\n" name
           (J.get_float v))
     (obj_pairs "current metrics" cur);

@@ -1,0 +1,299 @@
+(* E19: live ingestion — an open-loop writer streaming appends against
+   closed-loop readers, plus incremental closure maintenance.
+
+   Three claims:
+
+   - epoch isolation: a reader that pins a generation before the writer
+     starts gets bit-identical answers after every append has landed,
+     and the final served answers equal a frozen server over a frozen
+     rebuild of the final generation (response-for-response);
+
+   - bounded reader latency: closed-loop query/top-k latency keeps a
+     bounded p99 while the writer commits a durable generation per
+     batch — the reader path never blocks on the writer;
+
+   - incremental closures pay off: extending a memoized engine by a few
+     appended nodes is much cheaper than re-preparing the extended
+     graph from scratch.
+
+   Gated metrics (bench/baseline.json): e19.pinned_identical,
+   e19.final_matches_frozen, e19.query_p99_bounded,
+   e19.incremental_closure_speedup. Appends/sec and raw latencies are
+   informational. The run also feeds the server latency histograms
+   whose p99 upper bounds are exported as slo.server.query_p99_ms and
+   slo.server.topk_p99_ms — the lower-is-better SLO section of the
+   baseline (bench/compare.ml). *)
+
+open Wfpriv_privacy
+module Obs = Wfpriv_obs
+module Server = Wfpriv_server.Server
+module Wire = Wfpriv_server.Wire
+module Repository = Wfpriv_query.Repository
+module Live_index = Wfpriv_query.Live_index
+module Engine = Wfpriv_query.Engine
+module Durable_repo = Wfpriv_durable.Durable_repo
+module Live_repo = Wfpriv_durable.Live_repo
+module Disease = Wfpriv_workloads.Disease
+module Clinical = Wfpriv_workloads.Clinical
+module Synthetic = Wfpriv_workloads.Synthetic
+module Rng = Wfpriv_workloads.Rng
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let in_tmp_dir f =
+  let dir = Filename.temp_file "wfpriv-e19" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+      let a = Array.of_list sorted in
+      let i = int_of_float (p *. float_of_int (Array.length a)) in
+      a.(min (Array.length a - 1) i)
+
+let appender ~entry ~workload ~seed =
+  (match workload with
+  | None | Some "synthetic" -> ()
+  | Some w -> invalid_arg (Printf.sprintf "unknown workload %S" w));
+  let spec, exec = Synthetic.run (Rng.create seed) Synthetic.default_params in
+  Repository.Add_entry
+    { entry_name = entry; policy = Policy.make spec; executions = [ exec ] }
+
+(* The closed-loop reader mix, all privilege levels represented. *)
+let reader_mix =
+  let vocab = Synthetic.default_params.Synthetic.keyword_vocabulary in
+  [
+    (0, Wire.Topk { k = 5; keywords = [ List.nth vocab 0; "snp" ] });
+    (2, Wire.Topk { k = 3; keywords = [ List.nth vocab 1 ] });
+    (1, Wire.Query
+          {
+            entry = "disease-susceptibility";
+            run = 0;
+            queries = [ "node(~\"risk\")" ];
+          });
+    (3, Wire.Query
+          { entry = "clinical-trial"; run = 0; queries = [ "node(*)" ] });
+  ]
+
+let probe server =
+  List.mapi
+    (fun i (level, req) ->
+      Wire.encode_response Wire.Json
+        (Server.handle server ~client:(50 + i)
+           { Wire.rid = 7000 + i; level; deadline_ms = 0; req }))
+    reader_mix
+
+(* Streamed ingestion against a live server on a virtual clock: an
+   open-loop writer submits one append per tick; closed-loop readers
+   issue the mix through [handle] (one in-flight request each),
+   wall-clock timed. Returns (reader latencies ms, appends committed,
+   ingest wall seconds, pinned_identical, final_matches_frozen). *)
+let ingest_run ~ticks dir =
+  let store = Durable_repo.init (Filename.concat dir "store") in
+  Fun.protect ~finally:(fun () -> Durable_repo.close store) @@ fun () ->
+  let disease_policy =
+    Policy.make
+      ~expand_levels:[ ("W2", 1); ("W3", 2); ("W4", 3) ]
+      ~data_levels:[ ("disorders", 2); ("prognosis", 1) ]
+      Disease.spec
+  in
+  ignore
+    (Durable_repo.append store
+       (Repository.Add_entry
+          {
+            entry_name = "disease-susceptibility";
+            policy = disease_policy;
+            executions = [ Disease.run () ];
+          }));
+  ignore
+    (Durable_repo.append store
+       (Repository.Add_entry
+          {
+            entry_name = "clinical-trial";
+            policy = Clinical.policy;
+            executions = [ Clinical.run () ];
+          }));
+  let live = Live_repo.of_store store in
+  let now = ref 0.0 in
+  let server = Server.create_live ~now:(fun () -> !now) ~appender live in
+  (* A reader pins the pre-ingest generation and keeps its answers. *)
+  let pinned = Live_repo.pin live in
+  let pinned_before =
+    List.map
+      (fun (_, req) ->
+        match req with
+        | Wire.Topk { k; keywords } ->
+            Live_index.top_k pinned.Live_repo.gen_view ~level:9 ~k keywords
+        | _ -> [])
+      reader_mix
+  in
+  let lats = ref [] in
+  let committed = ref 0 in
+  let rid = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for tick = 0 to ticks - 1 do
+    (* Open-loop writer: one append frame per tick. *)
+    incr rid;
+    (match
+       Server.submit server ~client:99
+         {
+           Wire.rid = !rid;
+           level = 9;
+           deadline_ms = 0;
+           req =
+             Wire.Append
+               {
+                 entry = Printf.sprintf "stream-%04d" tick;
+                 workload = None;
+                 seed = tick;
+               };
+         }
+     with
+    | None -> ()
+    | Some _ -> failwith "e19: append rejected at admission");
+    (* Closed-loop readers: the whole mix, synchronously, timed. *)
+    List.iteri
+      (fun i (level, req) ->
+        incr rid;
+        let s = Unix.gettimeofday () in
+        ignore
+          (Server.handle server ~client:i
+             { Wire.rid = !rid; level; deadline_ms = 0; req });
+        lats := (Unix.gettimeofday () -. s) *. 1000.0 :: !lats)
+      reader_mix;
+    (* Drain the cycle: the queued append commits and publishes. *)
+    List.iter
+      (fun (_, _, r) ->
+        match r with
+        | Wire.Result { result = Wire.Committed _; _ } -> incr committed
+        | Wire.Result _ -> ()
+        | Wire.Error { message; _ } -> failwith ("e19: append failed: " ^ message))
+      (Server.drain_all server);
+    now := !now +. 0.001
+  done;
+  let ingest_secs = Unix.gettimeofday () -. t0 in
+  (* Epoch isolation: the pinned generation still answers bit-identically. *)
+  let pinned_after =
+    List.map
+      (fun (_, req) ->
+        match req with
+        | Wire.Topk { k; keywords } ->
+            Live_index.top_k pinned.Live_repo.gen_view ~level:9 ~k keywords
+        | _ -> [])
+      reader_mix
+  in
+  let pinned_identical = pinned_before = pinned_after in
+  (* Final generation = frozen rebuild, response-for-response. *)
+  let final = Live_repo.pin live in
+  let frozen = Server.create final.Live_repo.gen_repo in
+  let final_matches = probe server = probe frozen in
+  (!lats, !committed, ingest_secs, pinned_identical, final_matches)
+
+(* Incremental closure maintenance vs from-scratch preparation on a
+   deep synthetic module universe. *)
+let closure_speedup () =
+  let params =
+    {
+      Synthetic.default_params with
+      levels = (if !Util.quick then 3 else 4);
+      composites_per_workflow = 3;
+      atomics_per_workflow = 8;
+    }
+  in
+  let spec = Synthetic.spec (Rng.create 19) params in
+  let base = Engine.of_spec spec in
+  let ids = Engine.nodes base in
+  let top = List.fold_left max 0 ids in
+  let arr = Array.of_list ids in
+  let n_new = 24 in
+  let nodes = List.init n_new (fun i -> (top + 1 + i, None)) in
+  let edges =
+    List.concat
+      (List.init n_new (fun i ->
+           let nid = top + 1 + i in
+           let attach = (arr.(i * 131 mod Array.length arr), nid) in
+           if i = 0 then [ attach ] else [ attach; (top + i, nid) ]))
+  in
+  Engine.materialize_closure base;
+  let incr_ms =
+    Util.bench_wall_ms (fun () ->
+        let e = Engine.extend base ~nodes ~edges in
+        Engine.materialize_closure e)
+  in
+  let scratch_ms =
+    Util.bench_wall_ms (fun () ->
+        let e = Engine.extend (Engine.of_spec spec) ~nodes ~edges in
+        Engine.materialize_closure e)
+  in
+  (List.length ids, incr_ms, scratch_ms)
+
+let bucket_p99_ms name =
+  let h = Obs.Registry.histogram name in
+  let total = Obs.Histogram.count h in
+  if total = 0 then 0.0
+  else begin
+    let want = int_of_float (ceil (0.99 *. float_of_int total)) in
+    let seen = ref 0 and p99_ub = ref 0 in
+    List.iter
+      (fun (lower, count) ->
+        if !seen < want && count > 0 then begin
+          seen := !seen + count;
+          if !seen >= want then p99_ub := max 1 (2 * lower)
+        end)
+      (Obs.Histogram.buckets h);
+    float_of_int !p99_ub /. 1e6
+  end
+
+let e19 () =
+  Util.heading "E19 Live ingestion: streaming appends vs reader p99";
+  let saved_enabled = Obs.Config.enabled () in
+  Obs.Config.set_enabled true;
+  Obs.Registry.reset ();
+  Fun.protect ~finally:(fun () -> Obs.Config.set_enabled saved_enabled)
+  @@ fun () ->
+  let ticks = if !Util.quick then 30 else 200 in
+  let lats, committed, ingest_secs, pinned_identical, final_matches =
+    in_tmp_dir (fun dir -> ingest_run ~ticks dir)
+  in
+  let appends_per_sec = float_of_int committed /. Float.max 1e-9 ingest_secs in
+  let query_p99 = percentile 0.99 lats in
+  (* The bound is generous — the claim is "readers never block on the
+     writer", not a hardware speed claim. *)
+  let query_p99_bounded = if query_p99 <= 100.0 then 1.0 else 0.0 in
+  let n_nodes, incr_ms, scratch_ms = closure_speedup () in
+  let speedup = scratch_ms /. Float.max 1e-9 incr_ms in
+  let slo_query = bucket_p99_ms "server.latency_ns.query" in
+  let slo_topk = bucket_p99_ms "server.latency_ns.topk" in
+  Util.print_table
+    [ "metric"; "value" ]
+    [
+      [ "appends committed"; string_of_int committed ];
+      [ "appends/sec (durable commits)"; Printf.sprintf "%.0f" appends_per_sec ];
+      [ "reader p50 ms"; Printf.sprintf "%.3f" (percentile 0.5 lats) ];
+      [ "reader p99 ms"; Printf.sprintf "%.3f" query_p99 ];
+      [ "pinned generation identical"; Printf.sprintf "%.0f" (if pinned_identical then 1.0 else 0.0) ];
+      [ "final = frozen rebuild"; Printf.sprintf "%.0f" (if final_matches then 1.0 else 0.0) ];
+      [ "closure nodes"; string_of_int n_nodes ];
+      [ "extend+materialize ms"; Printf.sprintf "%.3f" incr_ms ];
+      [ "from-scratch ms"; Printf.sprintf "%.3f" scratch_ms ];
+      [ "incremental speedup"; Printf.sprintf "%.2fx" speedup ];
+      [ "slo server.query p99 ms"; Printf.sprintf "%.3f" slo_query ];
+      [ "slo server.topk p99 ms"; Printf.sprintf "%.3f" slo_topk ];
+    ];
+  Util.emit "e19.pinned_identical" (if pinned_identical then 1.0 else 0.0);
+  Util.emit "e19.final_matches_frozen" (if final_matches then 1.0 else 0.0);
+  Util.emit "e19.query_p99_bounded" query_p99_bounded;
+  Util.emit "e19.incremental_closure_speedup" speedup;
+  Util.emit "e19.appends_per_sec" appends_per_sec;
+  Util.emit "e19.reader_p99_ms" query_p99;
+  Util.emit "slo.server.query_p99_ms" slo_query;
+  Util.emit "slo.server.topk_p99_ms" slo_topk

@@ -394,6 +394,7 @@ let stats file workload seed level jobs json_out query_srcs =
 (* Repository commands *)
 
 module Durable_repo = Wfpriv_durable.Durable_repo
+module Live_repo = Wfpriv_durable.Live_repo
 module Recovery = Wfpriv_durable.Recovery
 
 (* `repo` commands accept either a legacy whole-file JSON store or a
@@ -457,11 +458,14 @@ let repo_append path entry seed =
         Executor.run spec (Synthetic.semantics spec)
           ~inputs:(Synthetic.inputs_for spec ~seed)
       in
-      let lsn =
-        Durable_repo.append t
-          (Repository.Add_execution { entry_name = entry; exec })
+      (* The streaming path: the execution journals as a batched record
+         closed by a commit record publishing a fresh generation. *)
+      let generation =
+        Durable_repo.append_streaming t
+          [ Repository.Add_execution { entry_name = entry; exec } ]
       in
-      Printf.printf "appended to %s (lsn %d)\n" entry lsn)
+      Printf.printf "appended to %s (generation %d, last lsn %d)\n" entry
+        generation (Durable_repo.last_lsn t))
 
 let repo_recover path =
   let t = Durable_repo.open_dir path in
@@ -491,7 +495,11 @@ let repo_status path =
   Printf.printf "snapshot: %d\n" s.Durable_repo.st_snapshot_lsn;
   Printf.printf "replayed records: %d\n" s.Durable_repo.st_replayed;
   Printf.printf "last lsn: %d\n" s.Durable_repo.st_last_lsn;
+  Printf.printf "generation: %d\n" s.Durable_repo.st_generation;
   Printf.printf "entries: %d\n" s.Durable_repo.st_entries;
+  Printf.printf "index segments: %d\n" s.Durable_repo.st_index_segments;
+  Printf.printf "memtable: %d\n" s.Durable_repo.st_memtable;
+  Printf.printf "pending merges: %d\n" s.Durable_repo.st_pending_merges;
   if s.Durable_repo.st_torn_bytes > 0 then
     Printf.printf "torn tail: %d bytes\n" s.Durable_repo.st_torn_bytes
 
@@ -620,13 +628,30 @@ module Server = Wfpriv_server.Server
 module Wire = Wfpriv_server.Wire
 module Scheduler = Wfpriv_server.Scheduler
 
+(* Materialize an [Append] frame: a fresh entry built from the named
+   workload, deterministic in the seed. This keeps lib/server free of
+   any workload dependency — the CLI injects it. *)
+let serve_appender ~entry ~workload ~seed =
+  match Option.value workload ~default:"synthetic" with
+  | "disease" ->
+      let policy =
+        Policy.make
+          ~expand_levels:[ ("W2", 1); ("W3", 2); ("W4", 3) ]
+          ~data_levels:[ ("disorders", 2); ("prognosis", 1) ]
+          Disease.spec
+      in
+      Repository.Add_entry
+        { entry_name = entry; policy; executions = [ Disease.run () ] }
+  | "synthetic" ->
+      let spec, exec = Synthetic.run (Rng.create seed) Synthetic.default_params in
+      Repository.Add_entry
+        { entry_name = entry; policy = Policy.make spec; executions = [ exec ] }
+  | other -> invalid_arg (Printf.sprintf "unknown workload %S" other)
+
 let serve path port stdio port_file max_requests timeout max_level no_cache
     cache_capacity queue_capacity inflight_cap jobs =
   apply_jobs jobs;
   Obs.Config.set_enabled true;
-  let repo =
-    match path with Some p -> repo_load p | None -> demo_repository ()
-  in
   let config =
     {
       Server.default_config with
@@ -637,14 +662,31 @@ let serve path port stdio port_file max_requests timeout max_level no_cache
         { Scheduler.default_config with queue_capacity; inflight_cap };
     }
   in
-  let server = Server.create ~config repo in
-  let served =
+  let run_front server =
     if stdio then Server.serve_channels server stdin stdout
     else
       Server.serve_tcp server ~port ?port_file
         ?max_requests:(if max_requests > 0 then Some max_requests else None)
         ?timeout_s:(if timeout > 0.0 then Some timeout else None)
         ()
+  in
+  let served =
+    match path with
+    | Some p when Sys.file_exists p && Sys.is_directory p ->
+        (* A durable directory store mounts live: queries pin the
+           current generation, appends stream through the WAL. *)
+        let store = Durable_repo.open_dir p in
+        Fun.protect
+          ~finally:(fun () -> Durable_repo.close store)
+          (fun () ->
+            let live = Live_repo.of_store store in
+            run_front
+              (Server.create_live ~config ~appender:serve_appender live))
+    | _ ->
+        let repo =
+          match path with Some p -> repo_load p | None -> demo_repository ()
+        in
+        run_front (Server.create ~config repo)
   in
   Printf.printf "served %d responses\n" served
 

@@ -17,6 +17,7 @@ type t = {
   repo : Repository.t;
   mutable last_lsn : int;
   mutable snapshot_lsn : int;
+  mutable generation : int;  (** newest committed epoch; 0 when none *)
   mutable writer : Wal.writer;
   report : Recovery.report;  (** what recovery saw when opening *)
 }
@@ -26,6 +27,7 @@ let default_segment_bytes = 4 * 1024 * 1024
 let repo t = t.repo
 let last_lsn t = t.last_lsn
 let snapshot_lsn t = t.snapshot_lsn
+let generation t = t.generation
 let recovery_report t = t.report
 let dir t = t.dir
 
@@ -50,6 +52,7 @@ let init ?(segment_bytes = default_segment_bytes) dir =
     repo;
     last_lsn = 0;
     snapshot_lsn = 0;
+    generation = 0;
     writer;
     report =
       {
@@ -58,6 +61,8 @@ let init ?(segment_bytes = default_segment_bytes) dir =
         replayed = 0;
         segments = 1;
         torn_bytes = 0;
+        uncommitted_bytes = 0;
+        generation = 0;
       };
   }
 
@@ -79,8 +84,13 @@ let open_dir ?(segment_bytes = default_segment_bytes) dir =
     match List.rev segs with
     | [] -> Wal.create_segment ~dir ~first_lsn:(report.Recovery.last_lsn + 1)
     | last :: _ ->
-        if report.Recovery.torn_bytes > 0 then
-          truncate_file last.Wal.path ~torn_bytes:report.Recovery.torn_bytes;
+        (* An uncommitted batch tail is discarded exactly like a torn
+           tail — it sits immediately before it at the end of the newest
+           segment, and its lsns are reused by the next append. *)
+        let drop =
+          report.Recovery.torn_bytes + report.Recovery.uncommitted_bytes
+        in
+        if drop > 0 then truncate_file last.Wal.path ~torn_bytes:drop;
         Wal.open_append last.Wal.path
   in
   {
@@ -89,6 +99,7 @@ let open_dir ?(segment_bytes = default_segment_bytes) dir =
     repo;
     last_lsn = report.Recovery.last_lsn;
     snapshot_lsn = report.Recovery.snapshot_lsn;
+    generation = report.Recovery.generation;
     writer;
     report;
   }
@@ -112,11 +123,56 @@ let append t mutation =
   if Wal.bytes t.writer >= t.segment_bytes then rotate t;
   lsn
 
+let append_streaming t mutations =
+  if mutations = [] then
+    invalid_arg "Durable_repo.append_streaming: empty batch";
+  (* Pre-validate the whole batch against a scratch snapshot (later
+     mutations may depend on earlier ones, e.g. an execution of an entry
+     added in the same batch), so a doomed batch leaves both the log and
+     the repository untouched. *)
+  let scratch = Repository.freeze t.repo in
+  List.iter
+    (fun m ->
+      Repository.validate scratch m;
+      Repository.apply scratch m)
+    mutations;
+  (* Journal the batch as batched records plus one commit, then apply.
+     No rotation mid-batch: recovery relies on an uncommitted tail being
+     a suffix of the newest segment. *)
+  List.iter
+    (fun m ->
+      let tag, payload = Mutation_codec.encode ~batched:true m in
+      let lsn = t.last_lsn + 1 in
+      Wal.append t.writer { Wal.lsn; tag; payload };
+      t.last_lsn <- lsn)
+    mutations;
+  let generation = t.generation + 1 in
+  let tag, payload = Mutation_codec.encode_commit ~generation in
+  let lsn = t.last_lsn + 1 in
+  Wal.append t.writer { Wal.lsn; tag; payload };
+  t.last_lsn <- lsn;
+  List.iter (Repository.apply t.repo) mutations;
+  t.generation <- generation;
+  if Wal.bytes t.writer >= t.segment_bytes then rotate t;
+  generation
+
 let checkpoint t =
   ignore (Snapshot.write t.dir ~lsn:t.last_lsn t.repo);
   t.snapshot_lsn <- t.last_lsn;
   rotate t;
-  t.last_lsn
+  let lsn = t.last_lsn in
+  (* Snapshots do not record the epoch counter; when one exists,
+     re-assert it as a fresh commit record in the post-rotate segment so
+     compaction (which may drop every older commit) cannot regress the
+     generation on the next recovery. Legacy generation-0 stores write
+     nothing, keeping their log byte-compatible. *)
+  if t.generation > 0 then begin
+    let tag, payload = Mutation_codec.encode_commit ~generation:t.generation in
+    let commit_lsn = t.last_lsn + 1 in
+    Wal.append t.writer { Wal.lsn = commit_lsn; tag; payload };
+    t.last_lsn <- commit_lsn
+  end;
+  lsn
 
 (* Drop every segment whose records all have lsn <= the newest
    checkpoint. A segment's last lsn is the next segment's first minus
@@ -151,10 +207,18 @@ type status = {
   st_last_lsn : int;
   st_entries : int;
   st_torn_bytes : int;
+  st_generation : int;
+  st_index_segments : int;
+  st_memtable : int;
+  st_pending_merges : int;
 }
 
 let status dir =
   let repo, (report : Recovery.report) = Recovery.open_dir dir in
+  (* The LSM shape a live process at this stream position would carry
+     (segments are derived, in-memory state — rebuilt from the recovered
+     entries with the default thresholds, deterministically). *)
+  let lsm = Live_index.of_entries (Repository.index_entries repo) in
   {
     st_segments = report.Recovery.segments;
     st_snapshot_lsn = report.Recovery.snapshot_lsn;
@@ -162,4 +226,8 @@ let status dir =
     st_last_lsn = report.Recovery.last_lsn;
     st_entries = Repository.nb_entries repo;
     st_torn_bytes = report.Recovery.torn_bytes;
+    st_generation = report.Recovery.generation;
+    st_index_segments = Live_index.segments lsm;
+    st_memtable = Live_index.memtable_size lsm;
+    st_pending_merges = Live_index.pending_merges lsm;
   }

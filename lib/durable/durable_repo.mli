@@ -28,9 +28,28 @@ val append : t -> Wfpriv_query.Repository.mutation -> int
     threshold. Raises as {!Wfpriv_query.Repository.apply}, in which case
     nothing was journaled. *)
 
+val append_streaming : t -> Wfpriv_query.Repository.mutation list -> int
+(** Streaming ingestion: journal the whole batch as batched records
+    closed by one generation-commit record, then apply, publishing a new
+    epoch; returns the generation id (monotonic from 1). The batch is
+    atomic — recovery applies it only once the commit record is durable,
+    so a crash mid-batch leaves the store on the previous generation
+    with no partial state visible. Validation runs against a scratch
+    snapshot first (later mutations may depend on earlier ones in the
+    same batch); a doomed batch raises as
+    {!Wfpriv_query.Repository.apply} with nothing journaled. Raises
+    [Invalid_argument] on an empty batch. *)
+
+val generation : t -> int
+(** Newest committed epoch; 0 for a store that never streamed (the
+    frozen-repo degenerate case). *)
+
 val checkpoint : t -> int
 (** Write a snapshot at the current lsn and rotate the active segment,
-    so {!compact} can drop everything older; returns the snapshot lsn. *)
+    so {!compact} can drop everything older; returns the snapshot lsn.
+    When a generation has been published, a commit record re-asserting
+    it is appended to the fresh segment (advancing [last_lsn] by one) so
+    compaction cannot regress the epoch counter. *)
 
 val compact : t -> int
 (** Delete segments whose records are all covered by the newest
@@ -54,6 +73,12 @@ type status = {
   st_last_lsn : int;
   st_entries : int;
   st_torn_bytes : int;
+  st_generation : int;  (** newest committed epoch; 0 when none *)
+  st_index_segments : int;
+      (** sealed LSM posting segments a live process at this position
+          would carry (derived deterministically, default thresholds) *)
+  st_memtable : int;  (** entries in the unsealed memtable, ditto *)
+  st_pending_merges : int;  (** merge steps the maintainer still owes *)
 }
 
 val status : string -> status

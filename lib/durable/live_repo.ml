@@ -1,0 +1,96 @@
+(* A live, queryable repository over a durable store: the streaming
+   ingestion facade the server mounts.
+
+   One writer drives [append_streaming] and [maintain]; any number of
+   readers hold a pinned {!generation} — an immutable record of the
+   epoch id, the frozen repository state, and the LSM index view as of
+   that epoch's commit. Publishing a new generation never touches an
+   already-pinned one (Repository.freeze is an O(1) capture of an
+   immutable entry list; Live_index views are immutable by
+   construction), so readers never block the writer and the writer never
+   invalidates a reader. A store that never streams stays on generation
+   0 — the frozen-repo degenerate case. *)
+
+open Wfpriv_query
+module Policy = Wfpriv_privacy.Policy
+module Pool = Wfpriv_parallel.Pool
+module Obs = Wfpriv_obs
+
+let m_publishes = Obs.Registry.counter "live_repo.publishes"
+
+type generation = {
+  gen_id : int;
+  gen_lsn : int;
+  gen_repo : Repository.t;
+  gen_view : Live_index.view;
+}
+
+type t = {
+  store : Durable_repo.t;
+  lsm : Live_index.t;
+  mutable current : generation;
+}
+
+let publish ?pool t ~gen_id =
+  let g =
+    {
+      gen_id;
+      gen_lsn = Durable_repo.last_lsn t.store;
+      gen_repo = Repository.freeze (Durable_repo.repo t.store);
+      gen_view = Live_index.snapshot ?pool t.lsm;
+    }
+  in
+  t.current <- g;
+  Obs.Counter.incr_op m_publishes;
+  g
+
+let of_store ?pool store =
+  (* Stream the recovered entries through the same add path a live
+     process used, so the segment shape equals the one at this stream
+     position (and the offline status report). *)
+  let lsm =
+    Live_index.of_entries ?pool
+      (Repository.index_entries (Durable_repo.repo store))
+  in
+  let current =
+    {
+      gen_id = Durable_repo.generation store;
+      gen_lsn = Durable_repo.last_lsn store;
+      gen_repo = Repository.freeze (Durable_repo.repo store);
+      gen_view = Live_index.snapshot ?pool lsm;
+    }
+  in
+  { store; lsm; current }
+
+let pin t = t.current
+let store t = t.store
+let generation t = t.current.gen_id
+let index_segments t = Live_index.segments t.lsm
+let memtable_size t = Live_index.memtable_size t.lsm
+let pending_merges t = Live_index.pending_merges t.lsm
+
+let append_streaming ?pool t mutations =
+  (* Journal + apply first (atomic; raises with nothing changed on a
+     doomed batch), then extend the index — only entry additions carry
+     index content, an execution never does. *)
+  let gen_id = Durable_repo.append_streaming t.store mutations in
+  List.iter
+    (fun m ->
+      match m with
+      | Repository.Add_entry { entry_name; policy; _ } ->
+          Live_index.add ?pool t.lsm
+            (entry_name, Policy.spec policy, Policy.privilege policy)
+      | Repository.Add_execution _ -> ())
+    mutations;
+  publish ?pool t ~gen_id
+
+let maintain ?pool t =
+  if Live_index.maintain ?pool t.lsm then begin
+    (* A merge reshapes segments without changing any answer: refresh
+       the published view in place, same epoch, content-identical. *)
+    t.current <- { t.current with gen_view = Live_index.snapshot ?pool t.lsm };
+    true
+  end
+  else false
+
+let close t = Durable_repo.close t.store

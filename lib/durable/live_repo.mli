@@ -1,0 +1,57 @@
+(** A live, queryable repository over a {!Durable_repo} store — the
+    streaming-ingestion facade the server mounts.
+
+    Epoch/snapshot isolation: one writer drives {!append_streaming}
+    (journal a batch, commit it, publish a new {!generation}) and
+    {!maintain} (one LSM merge step); readers {!pin} the current
+    generation and query its frozen repository and index view, both of
+    which stay valid and byte-for-byte unchanged whatever the writer
+    does next. Readers never block the writer; the writer never
+    invalidates a reader. A store that never streams stays on generation
+    0 — the frozen-repo degenerate case, byte-compatible on disk. *)
+
+type generation = {
+  gen_id : int;  (** monotonic epoch id; 0 before any streamed batch *)
+  gen_lsn : int;  (** last lsn covered by this epoch *)
+  gen_repo : Wfpriv_query.Repository.t;
+      (** immutable snapshot of the repository at this epoch *)
+  gen_view : Wfpriv_query.Live_index.view;
+      (** immutable LSM index view over exactly [gen_repo]'s entries *)
+}
+
+type t
+
+val of_store : ?pool:Wfpriv_parallel.Pool.t -> Durable_repo.t -> t
+(** Mount an open store: rebuild the LSM by streaming the recovered
+    entries through the live add path (so the segment shape matches a
+    process that reached the same stream position, and the offline
+    {!Durable_repo.status} report) and publish the recovered generation. *)
+
+val pin : t -> generation
+(** The current generation. O(1); the returned record is immutable and
+    remains queryable forever. *)
+
+val append_streaming :
+  ?pool:Wfpriv_parallel.Pool.t ->
+  t ->
+  Wfpriv_query.Repository.mutation list ->
+  generation
+(** Durably commit one batch ({!Durable_repo.append_streaming}) and
+    publish the new epoch; entry additions extend the LSM memtable,
+    executions carry no index content. Raises as the underlying append,
+    in which case nothing — store or index — changed. *)
+
+val maintain : ?pool:Wfpriv_parallel.Pool.t -> t -> bool
+(** One background merge step; [true] if a merge ran. Reshapes segments
+    only — the published view is refreshed in place, same epoch,
+    content-identical answers; nothing durable is written, so a crash
+    mid-merge loses nothing. *)
+
+val store : t -> Durable_repo.t
+val generation : t -> int
+
+val index_segments : t -> int
+val memtable_size : t -> int
+val pending_merges : t -> int
+
+val close : t -> unit

@@ -19,12 +19,24 @@ module Repo_store = Wfpriv_store.Repo_store
 let tag_add_entry = 1
 let tag_add_execution = 2
 
+(* The streaming append path journals a batch as batched-tagged mutation
+   records followed by one commit record naming the published
+   generation; recovery buffers batched records and applies them only
+   when their commit arrives, so a torn batch is invisible. The payload
+   bytes of a batched record are identical to the immediate-tag ones —
+   only the tag differs. *)
+let tag_commit = 3
+let tag_add_entry_batched = 5
+let tag_add_execution_batched = 6
+
+let is_batched tag = tag = tag_add_entry_batched || tag = tag_add_execution_batched
+
 let exec_to_json exec =
   Json.to_string (Repo_store.strip_spec (Exec_codec.encode exec))
 
 let exec_of_json spec s = Exec_codec.decode_with_spec spec (Json.parse s)
 
-let encode mutation =
+let encode ?(batched = false) mutation =
   let w = Binary.Writer.create () in
   match mutation with
   | Repository.Add_entry { entry_name; policy; executions } ->
@@ -32,14 +44,35 @@ let encode mutation =
       Binary.Writer.str w (Policy_codec.to_string policy);
       Binary.Writer.varint w (List.length executions);
       List.iter (fun exec -> Binary.Writer.str w (exec_to_json exec)) executions;
-      (tag_add_entry, Binary.Writer.contents w)
+      ( (if batched then tag_add_entry_batched else tag_add_entry),
+        Binary.Writer.contents w )
   | Repository.Add_execution { entry_name; exec } ->
       Binary.Writer.str w entry_name;
       Binary.Writer.str w (exec_to_json exec);
-      (tag_add_execution, Binary.Writer.contents w)
+      ( (if batched then tag_add_execution_batched else tag_add_execution),
+        Binary.Writer.contents w )
+
+let encode_commit ~generation =
+  if generation < 1 then invalid_arg "Mutation_codec: generation < 1";
+  let w = Binary.Writer.create () in
+  Binary.Writer.varint w generation;
+  (tag_commit, Binary.Writer.contents w)
+
+let decode_commit payload =
+  let r = Binary.Reader.of_string payload in
+  let generation = Binary.Reader.varint r in
+  if not (Binary.Reader.at_end r) then
+    invalid_arg "Mutation_codec: trailing bytes in commit payload";
+  generation
 
 let decode repo tag payload =
   let r = Binary.Reader.of_string payload in
+  (* A batched record decodes exactly like its immediate twin. *)
+  let tag =
+    if tag = tag_add_entry_batched then tag_add_entry
+    else if tag = tag_add_execution_batched then tag_add_execution
+    else tag
+  in
   let mutation =
     if tag = tag_add_entry then begin
       let entry_name = Binary.Reader.str r in

@@ -11,11 +11,37 @@
 val tag_add_entry : int
 val tag_add_execution : int
 
-val encode : Wfpriv_query.Repository.mutation -> int * string
-(** [(tag, payload)] for a WAL record. *)
+val tag_commit : int
+(** Generation-commit record: closes a batch of batched-tagged mutation
+    records and names the epoch they publish. Recovery applies a batch
+    only when its commit is durable — a torn or unfinished batch is
+    invisible after restart. *)
+
+val tag_add_entry_batched : int
+val tag_add_execution_batched : int
+(** Batched twins of the mutation tags (identical payload bytes): the
+    streaming append path journals these, followed by one
+    {!tag_commit}. *)
+
+val is_batched : int -> bool
+(** Whether the tag is one of the batched mutation tags. *)
+
+val encode : ?batched:bool -> Wfpriv_query.Repository.mutation -> int * string
+(** [(tag, payload)] for a WAL record. [batched] (default false) selects
+    the batched twin tag; the payload is unchanged. *)
+
+val encode_commit : generation:int -> int * string
+(** The commit record publishing [generation] (a positive epoch id).
+    Raises [Invalid_argument] when [generation < 1]. *)
+
+val decode_commit : string -> int
+(** The generation a commit payload names. Raises [Invalid_argument] on
+    trailing bytes. *)
 
 val decode :
   Wfpriv_query.Repository.t -> int -> string -> Wfpriv_query.Repository.mutation
-(** [decode repo tag payload]. Raises [Invalid_argument] on unknown
-    tags, trailing bytes, or an [Add_execution] naming an entry absent
-    from [repo]; underlying codec exceptions pass through. *)
+(** [decode repo tag payload]. Batched tags decode exactly like their
+    immediate twins. Raises [Invalid_argument] on unknown tags (including
+    {!tag_commit} — a commit is not a mutation), trailing bytes, or an
+    [Add_execution] naming an entry absent from [repo]; underlying codec
+    exceptions pass through. *)

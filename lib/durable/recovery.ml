@@ -7,11 +7,17 @@
       sequence numbers are strictly contiguous within and across
       segments and that the log reaches back to the snapshot;
    3. replay every record with lsn greater than the snapshot's onto the
-      repository, in order;
+      repository, in order — immediate-tagged mutations apply at once;
+      batched-tagged mutations buffer until their generation-commit
+      record arrives and apply then (a batch is all-or-nothing);
    4. tolerate a torn tail — an incomplete final record in the *newest*
-      segment only — reporting how many bytes to truncate; any other
-      malformation (checksum mismatch, sequence gap, undecodable or
-      inapplicable record, torn frame mid-log) raises [Wal.Corrupt]. *)
+      segment only — and an uncommitted batch tail (batched records with
+      no commit yet, necessarily the trailing records of the newest
+      segment), reporting how many bytes each contributes for the writer
+      to truncate; any other malformation (checksum mismatch, sequence
+      gap, undecodable or inapplicable record, torn frame mid-log, a
+      batch interrupted by an unbatched record or spanning segments)
+      raises [Wal.Corrupt]. *)
 
 open Wfpriv_query
 module Obs = Wfpriv_obs
@@ -22,13 +28,27 @@ let m_replayed = Obs.Registry.counter "recovery.replayed"
 
 type report = {
   snapshot_lsn : int;  (** lsn of the checkpoint recovery started from *)
-  last_lsn : int;  (** lsn of the last mutation in the store *)
-  replayed : int;  (** records replayed on top of the snapshot *)
+  last_lsn : int;  (** lsn of the last committed record in the store *)
+  replayed : int;  (** mutations replayed on top of the snapshot *)
   segments : int;  (** WAL segment files present *)
   torn_bytes : int;  (** trailing bytes of the newest segment to discard *)
+  uncommitted_bytes : int;
+      (** bytes of a trailing batch whose commit never landed *)
+  generation : int;  (** newest committed generation; 0 when none *)
 }
 
 let corrupt file offset reason = raise (Wal.Corrupt { file; offset; reason })
+
+(* A buffered batched record, kept raw until its commit: decoding is
+   contextual (an execution re-binds to its entry's spec), so a batch
+   containing Add_entry then Add_execution of that entry must decode in
+   order at apply time, not at read time. *)
+type pending = {
+  p_rec : Wal.record;
+  p_path : string;
+  p_offset : int;
+  p_last_seg : bool;
+}
 
 let scan dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then
@@ -49,6 +69,9 @@ let scan dir =
   let replayed = ref 0 in
   let last_lsn = ref snapshot_lsn in
   let torn_bytes = ref 0 in
+  let generation = ref 0 in
+  let pending = ref [] in
+  (* reversed *)
   List.iteri
     (fun i seg ->
       let is_last = i = nb_segs - 1 in
@@ -74,25 +97,97 @@ let scan dir =
             corrupt seg.Wal.path !offset
               (Printf.sprintf "record has lsn %d, expected %d" r.Wal.lsn
                  expected);
-          if r.Wal.lsn > snapshot_lsn then begin
-            (try
-               let m = Mutation_codec.decode repo r.Wal.tag r.Wal.payload in
-               Repository.apply repo m
-             with e ->
+          (if r.Wal.tag = Mutation_codec.tag_commit then begin
+             (* The epoch counter is tracked across the whole log —
+                commit records below the snapshot still advance it. *)
+             let g =
+               try Mutation_codec.decode_commit r.Wal.payload
+               with e ->
+                 corrupt seg.Wal.path !offset
+                   (Printf.sprintf "commit record lsn %d does not decode: %s"
+                      r.Wal.lsn (Printexc.to_string e))
+             in
+             if g > !generation then generation := g;
+             if r.Wal.lsn > snapshot_lsn then
+               List.iter
+                 (fun p ->
+                   (try
+                      let m =
+                        Mutation_codec.decode repo p.p_rec.Wal.tag
+                          p.p_rec.Wal.payload
+                      in
+                      Repository.apply repo m
+                    with e ->
+                      corrupt p.p_path p.p_offset
+                        (Printf.sprintf "record lsn %d does not replay: %s"
+                           p.p_rec.Wal.lsn (Printexc.to_string e)));
+                   incr replayed)
+                 (List.rev !pending);
+             pending := [];
+             last_lsn := r.Wal.lsn
+           end
+           else if Mutation_codec.is_batched r.Wal.tag then begin
+             (* Buffered until its commit; invisible if none arrives.
+                Records at or below the snapshot were committed (the
+                writer never checkpoints mid-batch) and are already in
+                the snapshot state. *)
+             if r.Wal.lsn > snapshot_lsn then
+               pending :=
+                 {
+                   p_rec = r;
+                   p_path = seg.Wal.path;
+                   p_offset = !offset;
+                   p_last_seg = is_last;
+                 }
+                 :: !pending
+           end
+           else begin
+             if !pending <> [] then
                corrupt seg.Wal.path !offset
-                 (Printf.sprintf "record lsn %d does not replay: %s" r.Wal.lsn
-                    (Printexc.to_string e)));
-            incr replayed
-          end;
-          last_lsn := r.Wal.lsn;
+                 (Printf.sprintf
+                    "record lsn %d is unbatched inside an open batch" r.Wal.lsn);
+             if r.Wal.lsn > snapshot_lsn then begin
+               (try
+                  let m = Mutation_codec.decode repo r.Wal.tag r.Wal.payload in
+                  Repository.apply repo m
+                with e ->
+                  corrupt seg.Wal.path !offset
+                    (Printf.sprintf "record lsn %d does not replay: %s"
+                       r.Wal.lsn (Printexc.to_string e)));
+               incr replayed
+             end;
+             last_lsn := r.Wal.lsn
+           end);
           next_expected := Some (r.Wal.lsn + 1);
           offset := !offset + Wal.encoded_size r)
         records;
       (* An empty segment still pins the sequence: the next record ever
          written to it would get its first_lsn. *)
-      if records = [] then next_expected := Some (max seg.Wal.first_lsn
-                                                    (!last_lsn + 1)))
+      if records = [] then
+        next_expected :=
+          Some
+            (max seg.Wal.first_lsn
+               (match !next_expected with
+               | Some e -> e
+               | None -> snapshot_lsn + 1)))
     segs;
+  (* A trailing open batch is the mid-generation-publish crash: its
+     records are dropped (they are the log's final records, so dropping
+     them is a clean truncation) and reported so the writer can trim the
+     file. The writer never rotates mid-batch, so they must all sit in
+     the newest segment. *)
+  let uncommitted = List.rev !pending in
+  List.iter
+    (fun p ->
+      if not p.p_last_seg then
+        corrupt p.p_path p.p_offset
+          (Printf.sprintf
+             "uncommitted batch record lsn %d outside the newest segment"
+             p.p_rec.Wal.lsn))
+    uncommitted;
+  let uncommitted_bytes =
+    List.fold_left (fun acc p -> acc + Wal.encoded_size p.p_rec) 0 uncommitted
+  in
   ( repo,
     {
       snapshot_lsn;
@@ -100,6 +195,8 @@ let scan dir =
       replayed = !replayed;
       segments = nb_segs;
       torn_bytes = !torn_bytes;
+      uncommitted_bytes;
+      generation = !generation;
     } )
 
 let open_dir dir =

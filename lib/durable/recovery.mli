@@ -2,21 +2,36 @@
     loading the newest valid snapshot and replaying every subsequent WAL
     record in sequence order.
 
-    Guarantees (tested by the torn-write fuzz in [test/test_durable.ml]):
-    for any prefix-truncation of the log — what a crash mid-append leaves
-    behind — [open_dir] succeeds and yields exactly the replay of some
-    prefix of the committed mutation sequence (every record that was
-    fully on disk). Anything that is {e not} a torn tail of the newest
-    segment — a checksum mismatch, a sequence gap, a missing segment, an
-    undecodable or inapplicable record — raises {!Wal.Corrupt} rather
-    than silently dropping committed history. *)
+    Guarantees (tested by the torn-write fuzz in [test/test_durable.ml]
+    and the live-path fuzz in [test/test_live.ml]): for any
+    prefix-truncation of the log — what a crash mid-append leaves behind
+    — [open_dir] succeeds and yields exactly the replay of some prefix
+    of the committed mutation sequence (every record that was fully on
+    disk), where a streamed batch commits atomically: its batched
+    records apply only once their generation-commit record is durable,
+    so recovery always lands on the last {e sealed} generation and a
+    partially-journaled batch is invisible. Anything that is {e not} a
+    torn tail or an uncommitted batch tail of the newest segment — a
+    checksum mismatch, a sequence gap, a missing segment, an undecodable
+    or inapplicable record, a batch interrupted by an unbatched record
+    or spanning segments — raises {!Wal.Corrupt} rather than silently
+    dropping committed history. *)
 
 type report = {
   snapshot_lsn : int;  (** lsn of the checkpoint recovery started from *)
-  last_lsn : int;  (** lsn of the last mutation in the store *)
-  replayed : int;  (** records replayed on top of the snapshot *)
+  last_lsn : int;
+      (** lsn of the last committed record in the store (trailing
+          uncommitted batch records excluded — their lsns are reused
+          after truncation) *)
+  replayed : int;  (** mutations replayed on top of the snapshot *)
   segments : int;  (** WAL segment files present *)
   torn_bytes : int;  (** trailing bytes of the newest segment to discard *)
+  uncommitted_bytes : int;
+      (** trailing bytes holding batched records whose commit never
+          landed — discarded like a torn tail, immediately before it *)
+  generation : int;
+      (** the newest committed generation named by a commit record still
+          in the log; 0 when none (a frozen or legacy store) *)
 }
 
 val open_dir : string -> Wfpriv_query.Repository.t * report

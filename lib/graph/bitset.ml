@@ -9,6 +9,15 @@ let create cap =
 
 let capacity s = s.cap
 
+let widen s cap =
+  if cap < s.cap then
+    invalid_arg
+      (Printf.sprintf "Bitset.widen: capacity shrinks (%d to %d)" s.cap cap);
+  let nwords = (cap + bits_per_word - 1) / bits_per_word in
+  let words = Array.make (max nwords 1) 0 in
+  Array.blit s.words 0 words 0 (Array.length s.words);
+  { words; cap }
+
 let check s i op =
   if i < 0 || i >= s.cap then
     invalid_arg (Printf.sprintf "Bitset.%s: index %d out of [0,%d)" op i s.cap)

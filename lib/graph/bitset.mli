@@ -14,6 +14,14 @@ val create : int -> t
 val capacity : t -> int
 (** Number of elements the set can hold. *)
 
+val widen : t -> int -> t
+(** [widen s capacity] is a fresh set over the larger universe
+    [0, capacity) holding exactly the elements of [s] — the word array is
+    copied into the wider allocation, so the cost is [s]'s word count,
+    not the new capacity's. Raises [Invalid_argument] if [capacity] is
+    smaller than [s]'s. Grows closure rows in place of a rebuild when a
+    graph is extended with appended nodes. *)
+
 val add : t -> int -> unit
 (** [add s i] inserts [i]. Raises [Invalid_argument] if [i] is out of
     range. *)

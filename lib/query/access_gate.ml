@@ -4,6 +4,7 @@ open Wfpriv_privacy
 type t = {
   g_spec : Spec.t;
   g_level : Privilege.level;
+  g_generation : int;
   privilege : Privilege.t;
   classification : Data_privacy.t option;
   g_allowed : Ids.workflow_id list;
@@ -13,7 +14,8 @@ type t = {
   mutable g_view : View.t option;
 }
 
-let make_gen ?classification privilege ~level =
+let make_gen ?classification ?(generation = 0) privilege ~level =
+  if generation < 0 then invalid_arg "Access_gate: negative generation";
   let g_allowed = Privilege.access_prefix privilege level in
   let allowed_set = Hashtbl.create (List.length g_allowed) in
   List.iter (fun w -> Hashtbl.replace allowed_set w ()) g_allowed;
@@ -21,6 +23,7 @@ let make_gen ?classification privilege ~level =
   {
     g_spec;
     g_level = level;
+    g_generation = generation;
     privilege;
     classification;
     g_allowed;
@@ -30,17 +33,19 @@ let make_gen ?classification privilege ~level =
     g_view = None;
   }
 
-let make privilege ~level = make_gen privilege ~level
+let make ?generation privilege ~level = make_gen ?generation privilege ~level
 
-let of_policy policy ~level =
+let of_policy ?generation policy ~level =
   make_gen
     ~classification:(Policy.data_classification policy)
-    (Policy.privilege policy) ~level
+    ?generation (Policy.privilege policy) ~level
 
-let unrestricted spec = make_gen (Privilege.public spec) ~level:0
+let unrestricted ?generation spec =
+  make_gen ?generation (Privilege.public spec) ~level:0
 
 let spec t = t.g_spec
 let level t = t.g_level
+let generation t = t.g_generation
 let allowed t = t.g_allowed
 let allows_workflow t w = Hashtbl.mem t.allowed_set w
 let workflow_floor t w = Privilege.required_level t.privilege w
@@ -99,7 +104,16 @@ let fingerprint t =
     | None -> []
     | Some c -> Data_privacy.sensitive_names c t.g_level
   in
-  Printf.sprintf "l%d/w{%s}/m{%s}/d{%s}" t.g_level
+  (* The generation keys the epoch the gate was built against: a live
+     repository publishes one per committed batch, and results computed
+     on one epoch must never answer a request pinned to another. The
+     frozen case (generation 0) keeps the historical string, so frozen
+     deployments and caches are byte-compatible; the level stays the
+     syntactic prefix either way. *)
+  let epoch =
+    if t.g_generation = 0 then "" else Printf.sprintf "g%d/" t.g_generation
+  in
+  Printf.sprintf "l%d/%sw{%s}/m{%s}/d{%s}" t.g_level epoch
     (String.concat "," t.g_allowed)
     (String.concat "," visible)
     (String.concat "," hidden_data)

@@ -15,21 +15,28 @@ open Wfpriv_privacy
 
 type t
 
-val make : Privilege.t -> level:Privilege.level -> t
+val make : ?generation:int -> Privilege.t -> level:Privilege.level -> t
 (** Gate for one user level over one specification's expansion-level
     assignment. The allowed prefix is materialized immediately; views,
-    the hierarchy and module floors are built lazily and memoized. *)
+    the hierarchy and module floors are built lazily and memoized.
+    [generation] (default 0) pins the gate to one epoch of a live
+    repository: it enters {!fingerprint}, so everything keyed by
+    fingerprints re-partitions per committed batch. Raises
+    [Invalid_argument] when negative. *)
 
-val of_policy : Policy.t -> level:Privilege.level -> t
+val of_policy : ?generation:int -> Policy.t -> level:Privilege.level -> t
 (** Same, additionally carrying the policy's data classification so
     {!data_readable} reflects data privacy. *)
 
-val unrestricted : Spec.t -> t
+val unrestricted : ?generation:int -> Spec.t -> t
 (** A gate that allows everything (public privilege at level 0) — for
     callers that need engine preparation without privacy. *)
 
 val spec : t -> Spec.t
 val level : t -> Privilege.level
+
+val generation : t -> int
+(** The epoch the gate was built against; 0 for frozen repositories. *)
 
 val allowed : t -> Ids.workflow_id list
 (** The user's access prefix, sorted — materialized once at gate
@@ -66,11 +73,14 @@ val prepare : t -> unit
 val fingerprint : t -> string
 (** Canonical digest of the gate's visibility state: the level (as a
     syntactic prefix, so keys derived from fingerprints are partitioned
-    by privilege level by construction), the allowed prefix, the visible
-    module set and the data names hidden at the level. Two gates have
-    equal fingerprints iff they answer every visibility question
-    identically — the key discipline of the serving layer's
-    privilege-partitioned result cache. Forces {!prepare}. *)
+    by privilege level by construction), the generation when non-zero
+    (so cache entries are additionally partitioned by epoch on a live
+    repository — the frozen, generation-0 string is unchanged), the
+    allowed prefix, the visible module set and the data names hidden at
+    the level. Two gates have equal fingerprints iff they answer every
+    visibility question identically against the same epoch — the key
+    discipline of the serving layer's privilege-partitioned result
+    cache. Forces {!prepare}. *)
 
 val exec_view : t -> Execution.t -> Exec_view.t
 (** The access view of an execution. *)

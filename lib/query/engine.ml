@@ -16,6 +16,8 @@ let m_batches = Obs.Registry.counter "engine.batches"
 let m_batch_plans = Obs.Registry.counter "engine.batch_plans"
 let m_closure_builds = Obs.Registry.counter "engine.closure_builds"
 let m_closure_rows = Obs.Registry.counter "engine.closure_rows"
+let m_extends = Obs.Registry.counter "engine.extends"
+let m_extend_rows = Obs.Registry.counter "engine.extend_rows"
 let h_compile_ns = Obs.Registry.histogram "engine.compile_ns"
 let h_closure_ns = Obs.Registry.histogram "engine.closure_build_ns"
 
@@ -382,6 +384,160 @@ let co_reachable_of_matches t pred =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Incremental extension: appended descendants *)
+
+(* Fill the appended region's rows. Appended edges all end in the region,
+   so it is closed under successors: a local Kahn order suffices, with a
+   per-row DFS fallback should the appended nodes ever form a cycle. The
+   list built by prepending pops sinks first, i.e. reverse topological —
+   every successor's row is complete before it is merged. *)
+let fill_new_rows succs rows ~lo ~hi =
+  let k = hi - lo in
+  let indeg = Array.make (max k 1) 0 in
+  for i = lo to hi - 1 do
+    Array.iter (fun j -> indeg.(j - lo) <- indeg.(j - lo) + 1) succs.(i)
+  done;
+  let queue = Queue.create () in
+  Array.iteri (fun d c -> if c = 0 && d < k then Queue.add (lo + d) queue) indeg;
+  let order = ref [] and seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    incr seen;
+    order := i :: !order;
+    Array.iter
+      (fun j ->
+        let d = j - lo in
+        indeg.(d) <- indeg.(d) - 1;
+        if indeg.(d) = 0 then Queue.add j queue)
+      succs.(i)
+  done;
+  if !seen = k then
+    List.iter
+      (fun i ->
+        Bitset.add rows.(i) i;
+        Array.iter (fun j -> Bitset.union_into ~dst:rows.(i) rows.(j)) succs.(i))
+      !order
+  else
+    for i = lo to hi - 1 do
+      let stack = ref [ i ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | u :: rest ->
+            stack := rest;
+            if not (Bitset.mem rows.(i) u) then begin
+              Bitset.add rows.(i) u;
+              Array.iter (fun v -> stack := v :: !stack) succs.(u)
+            end
+      done
+    done
+
+let extend ?(carry_names = fun _ _ -> []) t ~nodes ~edges =
+  if t.reaches_override <> None then
+    invalid_arg "Engine.extend: engine carries a reachability override";
+  let k = List.length nodes in
+  let n' = t.n + k in
+  let node_of = Array.append t.node_of (Array.of_list (List.map fst nodes)) in
+  let index_of = Hashtbl.copy t.index_of in
+  List.iteri
+    (fun i (u, _) ->
+      if Hashtbl.mem index_of u then
+        invalid_arg "Engine.extend: node id already present";
+      Hashtbl.replace index_of u (t.n + i))
+    nodes;
+  let dense_edges =
+    List.map
+      (fun (u, v) ->
+        let dense w =
+          match Hashtbl.find_opt index_of w with
+          | Some i -> i
+          | None -> invalid_arg "Engine.extend: edge endpoint unknown"
+        in
+        let i = dense u and j = dense v in
+        if j < t.n then invalid_arg "Engine.extend: edge into the frozen region";
+        (i, j))
+      edges
+  in
+  let extra = Array.make (max n' 1) [] in
+  List.iter
+    (fun (i, j) ->
+      if not (List.mem j extra.(i)) then extra.(i) <- j :: extra.(i))
+    dense_edges;
+  let succs =
+    Array.init n' (fun i ->
+        let old = if i < t.n then t.succs.(i) else [||] in
+        match extra.(i) with
+        | [] -> old
+        | js ->
+            (* Old targets are all [< t.n] and ascending; appended targets
+               all [>= t.n] — appending the sorted new ones keeps the
+               successor array ascending. *)
+            Array.append old (Array.of_list (List.sort compare js)))
+  in
+  let carries = Hashtbl.copy t.carries in
+  List.iter
+    (fun (i, j) ->
+      match carry_names node_of.(i) node_of.(j) with
+      | [] -> ()
+      | names -> Hashtbl.replace carries (i, j) names)
+    dense_edges;
+  (* Incremental closure maintenance. Appended edges only ever point into
+     the appended region (descendants), so an existing closed row can
+     only gain members of the new range — it is never invalidated. Widen
+     every old row, fill the appended rows, then sweep the old region in
+     reverse topological order unioning the (complete) rows of dirty
+     successors: only ancestors of an attach point are touched. *)
+  let closure =
+    match Atomic.get t.closure with
+    | None -> Atomic.make None
+    | Some rows -> (
+        match rev_topo_order t with
+        | None ->
+            (* Cyclic frozen region (never a view): recompute on demand. *)
+            Atomic.make None
+        | Some old_rev_topo ->
+            let rows' =
+              Array.init n' (fun i ->
+                  if i < t.n then Bitset.widen rows.(i) n'
+                  else Bitset.create n')
+            in
+            fill_new_rows succs rows' ~lo:t.n ~hi:n';
+            let dirty = Array.make (max n' 1) false in
+            for i = t.n to n' - 1 do
+              dirty.(i) <- true
+            done;
+            List.iter
+              (fun i ->
+                let touched = ref false in
+                Array.iter
+                  (fun j ->
+                    if dirty.(j) then begin
+                      Bitset.union_into ~dst:rows'.(i) rows'.(j);
+                      touched := true
+                    end)
+                  succs.(i);
+                if !touched then dirty.(i) <- true)
+              old_rev_topo;
+            Obs.Counter.add_op m_extend_rows k;
+            Atomic.make (Some rows'))
+  in
+  Obs.Counter.incr_op m_extends;
+  {
+    e_spec = t.e_spec;
+    hierarchy = t.hierarchy;
+    n = n';
+    node_of;
+    index_of;
+    succs;
+    modules = Array.append t.modules (Array.of_list (List.map snd nodes));
+    io_kind = Array.append t.io_kind (Array.make (max k 0) Io_none);
+    carries;
+    reaches_override = None;
+    closure;
+    closure_lock = Mutex.create ();
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Plan execution *)
 
 let pair_nodes pairs =
@@ -607,3 +763,20 @@ let run_searches ?pool ~index ~level plans =
   (* The index is immutable after build and cursors are per-call, so
      search pipelines fan out like query plans; counters are atomic. *)
   Pool.parallel_map_list ~chunk:1 pool (run_search_indexed ~index ~level) plans
+
+let run_search_live ~view ~level plan =
+  match plan with
+  | Plan.Project_top (k, Plan.Rank (Plan.Keyword_lookup kws)) ->
+      (* Same canonical-pipeline dispatch as {!run_search_indexed}; the
+         LSM view's top-k equals the frozen index's by construction. *)
+      Live_index.top_k view ~level ~k kws
+  | plan ->
+      run_search
+        ~lookup:(fun kws -> Live_index.score_entries view ~level kws)
+        plan
+
+let run_searches_live ?pool ~view ~level plans =
+  let pool = match pool with Some p -> p | None -> Pool.global () in
+  (* A pinned view is immutable (snapshot isolation), so search pipelines
+     fan out exactly like the frozen-index batch. *)
+  Pool.parallel_map_list ~chunk:1 pool (run_search_live ~view ~level) plans

@@ -41,6 +41,27 @@ val of_spec : Spec.t -> t
     included, unlike any flat view), with each workflow's internal
     dataflow edges. Candidate enumeration for {!Keyword}. *)
 
+val extend :
+  ?carry_names:(int -> int -> string list) ->
+  t ->
+  nodes:(int * Ids.module_id option) list ->
+  edges:(int * int) list ->
+  t
+(** Incremental preparation for a live view: a new engine over the old
+    graph plus the appended [nodes] (fresh external ids, with optional
+    modules) and [edges]. Every appended edge must end in an appended
+    node — DAG appends only add {e descendants} — so an already-memoized
+    closure is maintained incrementally instead of invalidated: old rows
+    are widened (they can only gain appended members, never lose any),
+    the appended region's rows are filled by a local reverse-topological
+    sweep, and one sweep over the old region unions the rows of dirty
+    successors — touching only ancestors of an attach point. Answers are
+    identical to a from-scratch preparation of the extended graph (the
+    differential suite pins rows and witnesses, sequential and
+    parallel). Raises [Invalid_argument] on a duplicate node id, an
+    unknown edge endpoint, an edge into the frozen region, or an engine
+    carrying a [reaches] override (the oracle cannot be extended). *)
+
 (** {2 Prepared-view accessors} *)
 
 val spec : t -> Spec.t
@@ -152,3 +173,23 @@ val run_searches :
 (** A batch of search pipelines against one immutable index, distributed
     across the pool's domains; results in input order, identical to
     mapping {!run_search_indexed}. Defaults to the global pool. *)
+
+val run_search_live :
+  view:Live_index.view ->
+  level:Wfpriv_privacy.Privilege.level ->
+  Plan.search ->
+  Ranking.entry list
+(** {!run_search_indexed} against a pinned LSM view ({!Live_index}):
+    the canonical top-k pipeline dispatches to the view's top-k (WAND on
+    a single source, merged exhaustive scores otherwise), everything
+    else ranks {!Live_index.score_entries}. Answers are identical to
+    running against {!Live_index.to_index} of the same view. *)
+
+val run_searches_live :
+  ?pool:Wfpriv_parallel.Pool.t ->
+  view:Live_index.view ->
+  level:Wfpriv_privacy.Privilege.level ->
+  Plan.search list ->
+  Ranking.entry list list
+(** Batched {!run_search_live} over one pinned (hence immutable) view;
+    results in input order. Defaults to the global pool. *)

@@ -317,7 +317,14 @@ let weighted_terms t ~level terms =
     (fun (term, mult) -> (term, float_of_int mult *. idf t ~level term))
     (group_terms terms)
 
-let score_entries t ~level terms =
+let query_terms = group_terms
+
+(* Scoring against caller-supplied term weights: the LSM view computes
+   global idf weights once across all segments, then scores each segment
+   with them — the per-doc accumulation below is then bit-identical to a
+   frozen single-index build's (same weights, same term order, same
+   int-tf sums, same float operations). *)
+let score_entries_weighted t ~level weighted =
   let n = Symtab.size t.symtab in
   let scores = Array.make (max n 1) 0.0 in
   let seen = Array.make (max n 1) false in
@@ -340,13 +347,16 @@ let score_entries t ~level terms =
               tf_acc.(d) <- 0;
               seen.(d) <- true)
             !touched)
-    (weighted_terms t ~level terms);
+    weighted;
   let acc = ref [] in
   for d = n - 1 downto 0 do
     if seen.(d) then
       acc := { Ranking.doc = Symtab.name t.symtab d; score = scores.(d) } :: !acc
   done;
   !acc
+
+let score_entries t ~level terms =
+  score_entries_weighted t ~level (weighted_terms t ~level terms)
 
 (* An aggregated per-term cursor over the partitions visible at the
    caller's level: current doc is the minimum over partition cursors,

@@ -87,6 +87,23 @@ val level_stats : t -> level_stat list
 val df : t -> level:Wfpriv_privacy.Privilege.level -> string -> int
 val idf : t -> level:Wfpriv_privacy.Privilege.level -> string -> float
 
+val query_terms : string list -> (string * int) list
+(** The query's distinct terms (lowercased) in first-occurrence order,
+    each with its multiplicity — the shared front half of the scoring
+    model, exposed so a segmented view ({!Live_index}) can weight terms
+    once against global corpus statistics. *)
+
+val score_entries_weighted :
+  t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  (string * float) list ->
+  Ranking.entry list
+(** {!score_entries} against caller-supplied (term, weight) pairs instead
+    of this index's own IDF: with weights computed from global corpus
+    statistics, per-segment scores add up bit-identically to a frozen
+    single-index build (same term order, same integer tf sums, same float
+    operations per doc). *)
+
 val score_entries :
   t ->
   level:Wfpriv_privacy.Privilege.level ->

@@ -1,0 +1,179 @@
+open Wfpriv_workflow
+open Wfpriv_privacy
+module Pool = Wfpriv_parallel.Pool
+module Obs = Wfpriv_obs
+
+(* Seals and merges are operator work (build-side, like index.builds);
+   view-side reads record through the underlying Index counters at the
+   caller's level, so the observer partitioning is unchanged. *)
+let m_seals = Obs.Registry.counter "live_index.seals"
+let m_merges = Obs.Registry.counter "live_index.merges"
+
+type entry = string * Spec.t * Privilege.t
+
+(* A sealed segment: an immutable PR 5 index over a contiguous slice of
+   the entry stream, kept with its source entries so merges rebuild from
+   the originals (identical blocks to a from-scratch build). *)
+type segment = { sg_index : Index.t; sg_entries : entry list }
+
+type view = {
+  v_entries : entry list;  (* insertion order *)
+  v_sources : Index.t list;  (* oldest first; doc sets disjoint *)
+}
+
+type t = {
+  seal_threshold : int;
+  fanout : int;
+  mutable segs : segment list;  (* oldest first *)
+  mutable tail : entry list;  (* memtable, newest first *)
+  mutable tail_n : int;
+  names : (string, unit) Hashtbl.t;
+  mutable cached : view option;
+}
+
+let default_seal_threshold = 8
+let default_fanout = 4
+
+let create ?(seal_threshold = default_seal_threshold)
+    ?(fanout = default_fanout) () =
+  if seal_threshold < 1 then
+    invalid_arg "Live_index.create: seal_threshold < 1";
+  if fanout < 2 then invalid_arg "Live_index.create: fanout < 2";
+  {
+    seal_threshold;
+    fanout;
+    segs = [];
+    tail = [];
+    tail_n = 0;
+    names = Hashtbl.create 64;
+    cached = None;
+  }
+
+let segments t = List.length t.segs
+let memtable_size t = t.tail_n
+let pending_merges t = max 0 (List.length t.segs - t.fanout)
+
+let seal ?pool t =
+  if t.tail_n > 0 then begin
+    let es = List.rev t.tail in
+    let sg = { sg_index = Index.build ?pool es; sg_entries = es } in
+    t.segs <- t.segs @ [ sg ];
+    t.tail <- [];
+    t.tail_n <- 0;
+    t.cached <- None;
+    Obs.Counter.incr_op m_seals
+  end
+
+let add ?pool t ((name, _, _) as e) =
+  if Hashtbl.mem t.names name then
+    invalid_arg ("Live_index.add: duplicate entry name " ^ name);
+  Hashtbl.replace t.names name ();
+  t.tail <- e :: t.tail;
+  t.tail_n <- t.tail_n + 1;
+  t.cached <- None;
+  if t.tail_n >= t.seal_threshold then seal ?pool t
+
+let of_entries ?pool ?seal_threshold ?fanout es =
+  let t = create ?seal_threshold ?fanout () in
+  List.iter (add ?pool t) es;
+  t
+
+let maintain ?pool t =
+  if pending_merges t = 0 then false
+  else
+    match t.segs with
+    | a :: b :: rest ->
+        (* Merge the two oldest adjacent segments: entry order within the
+           merged segment is stream order, so a view's entry list stays
+           the insertion order whatever the merge history. *)
+        let es = a.sg_entries @ b.sg_entries in
+        let sg = { sg_index = Index.build ?pool es; sg_entries = es } in
+        t.segs <- sg :: rest;
+        t.cached <- None;
+        Obs.Counter.incr_op m_merges;
+        true
+    | _ -> false
+
+let snapshot ?pool t =
+  match t.cached with
+  | Some v -> v
+  | None ->
+      let entries =
+        List.concat_map (fun s -> s.sg_entries) t.segs @ List.rev t.tail
+      in
+      let sources =
+        List.map (fun s -> s.sg_index) t.segs
+        @
+        if t.tail_n = 0 then []
+        else [ Index.build ?pool (List.rev t.tail) ]
+      in
+      let v = { v_entries = entries; v_sources = sources } in
+      t.cached <- Some v;
+      v
+
+(* {2 View-side queries}
+
+   Doc sets are disjoint across sources (one entry lives in exactly one
+   segment or the memtable), so global statistics are sums and merged
+   result lists interleave without collisions. *)
+
+let entries v = v.v_entries
+let nb_sources v = List.length v.v_sources
+
+let doc_count v =
+  List.fold_left (fun acc ix -> acc + Index.doc_count ix) 0 v.v_sources
+
+let df v ~level term =
+  List.fold_left (fun acc ix -> acc + Index.df ix ~level term) 0 v.v_sources
+
+let idf v ~level term = Tfidf.idf_for ~n:(doc_count v) ~df:(df v ~level term)
+
+let weighted v ~level terms =
+  let n = doc_count v in
+  List.map
+    (fun (term, mult) ->
+      (term, float_of_int mult *. Tfidf.idf_for ~n ~df:(df v ~level term)))
+    (Index.query_terms terms)
+
+let merge_ranked a b =
+  List.merge
+    (fun (x : Ranking.entry) (y : Ranking.entry) ->
+      String.compare x.doc y.doc)
+    a b
+
+let score_entries v ~level terms =
+  (* Weight once from global statistics, score each source exhaustively
+     with those weights, merge by doc name: same floats and same doc
+     order as a frozen single-index build of the whole view. *)
+  let wt = weighted v ~level terms in
+  List.fold_left
+    (fun acc ix -> merge_ranked acc (Index.score_entries_weighted ix ~level wt))
+    [] v.v_sources
+
+let top_k v ~level ~k terms =
+  match v.v_sources with
+  | [ ix ] ->
+      (* Single source: its local statistics are the globals, so the
+         block-max WAND path applies unchanged. *)
+      Index.top_k ix ~level ~k terms
+  | _ -> Ranking.top_k k (score_entries v ~level terms)
+
+let posting_compare (a : Index.posting) (b : Index.posting) =
+  compare
+    (a.Index.doc, a.Index.module_id, a.Index.min_level)
+    (b.Index.doc, b.Index.module_id, b.Index.min_level)
+
+let lookup v ~level term =
+  List.fold_left
+    (fun acc ix -> List.merge posting_compare acc (Index.lookup ix ~level term))
+    [] v.v_sources
+
+let matching_docs v ~level terms =
+  if terms = [] then []
+  else
+    List.fold_left
+      (fun acc ix ->
+        List.merge String.compare acc (Index.matching_docs ix ~level terms))
+      [] v.v_sources
+
+let to_index ?pool v = Index.build ?pool v.v_entries

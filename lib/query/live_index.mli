@@ -1,0 +1,134 @@
+(** LSM view of the privacy-partitioned keyword index: sealed immutable
+    segments (the PR 5 delta-block format {e is} the segment format)
+    plus an in-memory memtable of recent entries, so a live repository
+    can absorb appends without rebuilding the index per write.
+
+    The mutable {!t} is single-writer: [add] appends to the memtable and
+    seals it into a segment at the threshold; [maintain] performs one
+    merge step (the two oldest segments rebuild into one) whenever the
+    segment count exceeds the fanout. Readers never touch {!t} — they
+    pin an immutable {!view} ({!snapshot}), which stays valid and
+    unchanged whatever the writer does next; this is the epoch/snapshot
+    isolation contract of the live repository.
+
+    Query results over a view are {e bit-identical} to a frozen
+    {!Index.build} of the same entries: entry doc sets are disjoint
+    across sources, so document count and per-term document frequency
+    are sums of per-source values; term weights are computed once from
+    those global statistics ({!Index.query_terms} order,
+    {!Tfidf.idf_for}); each source then scores exhaustively with the
+    shared weights ({!Index.score_entries_weighted} — same integer
+    frequency sums, same float operations per doc) and the per-source
+    lists, each ascending by doc name, interleave into exactly the
+    frozen index's doc order. Top-k over that equals the frozen
+    block-max WAND answer by the PR 5 differential invariant. The
+    differential suite pins all of this against {!to_index}. *)
+
+type entry =
+  string * Wfpriv_workflow.Spec.t * Wfpriv_privacy.Privilege.t
+(** Same triple as {!Index.build} consumes: entry name, spec, and its
+    expansion-level assignment. *)
+
+type t
+(** The mutable LSM: memtable + sealed segments. Single-writer; not for
+    concurrent mutation. *)
+
+type view
+(** An immutable snapshot of the LSM at one instant — the index a pinned
+    generation queries. Safe to share across domains. *)
+
+val create : ?seal_threshold:int -> ?fanout:int -> unit -> t
+(** Empty LSM. [seal_threshold] (default 8) is the memtable size that
+    forces a seal; [fanout] (default 4) the sealed-segment count above
+    which merges are pending. Raises [Invalid_argument] when
+    [seal_threshold < 1] or [fanout < 2]. *)
+
+val of_entries :
+  ?pool:Wfpriv_parallel.Pool.t ->
+  ?seal_threshold:int ->
+  ?fanout:int ->
+  entry list ->
+  t
+(** Bulk load by streaming every entry through {!add} — the segment
+    shape is the one a live process reaching the same stream position
+    would have, so offline status reports are deterministic. *)
+
+val add : ?pool:Wfpriv_parallel.Pool.t -> t -> entry -> unit
+(** Append one entry to the memtable, sealing at the threshold. Raises
+    [Invalid_argument] on a duplicate entry name. The pool (defaulting
+    inside {!Index.build} to the global pool) parallelises the seal's
+    segment build. *)
+
+val seal : ?pool:Wfpriv_parallel.Pool.t -> t -> unit
+(** Force the memtable into a sealed segment now; no-op when empty. *)
+
+val maintain : ?pool:Wfpriv_parallel.Pool.t -> t -> bool
+(** One background-merge step: when merges are pending, rebuild the two
+    oldest segments into one (entry stream order preserved) and return
+    [true]. Merges change only the segment shape, never any query
+    answer, and write nothing durable — a crash mid-merge loses
+    nothing. *)
+
+val segments : t -> int
+(** Sealed-segment count. *)
+
+val memtable_size : t -> int
+(** Entries currently in the unsealed memtable. *)
+
+val pending_merges : t -> int
+(** How many merge steps {!maintain} would still perform:
+    [max 0 (segments - fanout)]. *)
+
+val snapshot : ?pool:Wfpriv_parallel.Pool.t -> t -> view
+(** Pin the current state. Builds a small index over the memtable (at
+    most [seal_threshold] entries) so the view is self-contained and
+    read-only; cached until the next mutation. *)
+
+(** {2 View-side queries}
+
+    Mirrors of the {!Index} read API, answered across all sources of the
+    pinned view. [level] partitioning is unchanged: every per-source
+    read decodes only partitions [<= level]. *)
+
+val entries : view -> entry list
+(** The view's entries in insertion order (merge history invisible). *)
+
+val nb_sources : view -> int
+(** Sealed segments plus the memtable index if non-empty. *)
+
+val doc_count : view -> int
+
+val df : view -> level:Wfpriv_privacy.Privilege.level -> string -> int
+val idf : view -> level:Wfpriv_privacy.Privilege.level -> string -> float
+
+val score_entries :
+  view ->
+  level:Wfpriv_privacy.Privilege.level ->
+  string list ->
+  Ranking.entry list
+(** Exhaustive scoring, bit-identical to {!Index.score_entries} on
+    {!to_index} of the same view. *)
+
+val top_k :
+  view ->
+  level:Wfpriv_privacy.Privilege.level ->
+  k:int ->
+  string list ->
+  Ranking.entry list
+(** Identical to {!Index.top_k} on {!to_index}: the single-source case
+    runs block-max WAND directly; the multi-source case ranks the merged
+    exhaustive scores (same floats by construction). *)
+
+val lookup :
+  view -> level:Wfpriv_privacy.Privilege.level -> string -> Index.posting list
+(** Merged per-source lookups, sorted by (doc, module) like the frozen
+    lookup. *)
+
+val matching_docs :
+  view -> level:Wfpriv_privacy.Privilege.level -> string list -> string list
+(** Docs containing every term at the level, ascending. An entry's
+    modules live wholly in one source, so the per-source conjunctive
+    intersections merge losslessly. *)
+
+val to_index : ?pool:Wfpriv_parallel.Pool.t -> view -> Index.t
+(** The frozen rebuild of the view — the differential reference. *)

@@ -46,8 +46,14 @@ let create ?(capacity = 256) () =
     evictions = 0;
   }
 
-let group_key ~entry ~run ~prefix =
-  Printf.sprintf "%s/%d/{%s}" entry run (String.concat "," prefix)
+let group_key ?(generation = 0) ~entry ~run ~prefix () =
+  (* Executions are immutable once stored, so closure/engine entries for
+     a given (entry, run) stay valid across epochs and the generation
+     defaults to 0 — keys are then byte-identical to the frozen ones.
+     Callers that must re-key per epoch (anything derived from the whole
+     corpus rather than one stored run) pass the generation. *)
+  let epoch = if generation = 0 then "" else Printf.sprintf "@g%d" generation in
+  Printf.sprintf "%s/%d/{%s}%s" entry run (String.concat "," prefix) epoch
 
 let touch t slot =
   t.tick <- t.tick + 1;

@@ -22,8 +22,18 @@ val create : ?capacity:int -> unit -> t
     least-recently-used, ties broken deterministically. *)
 
 val group_key :
-  entry:string -> run:int -> prefix:Wfpriv_workflow.Ids.workflow_id list -> string
-(** Canonical key for a user group's view of one stored run. *)
+  ?generation:int ->
+  entry:string ->
+  run:int ->
+  prefix:Wfpriv_workflow.Ids.workflow_id list ->
+  unit ->
+  string
+(** Canonical key for a user group's view of one stored run. Stored runs
+    are immutable, so the key is epoch-free by default (generation 0 —
+    byte-identical to the historical key) and cached closures/engines
+    stay shareable across a live repository's generations; a non-zero
+    [generation] suffixes the key for callers whose cached value depends
+    on the whole corpus at one epoch. *)
 
 val closure :
   t -> key:string -> Wfpriv_workflow.Exec_view.t -> Wfpriv_graph.Reachability.closure

@@ -12,6 +12,12 @@ type t = { mutable entries : entry list }
 
 let create () = { entries = [] }
 
+(* Snapshot isolation for the live path: every write below builds a new
+   list (and new entry records) instead of mutating in place, so an O(1)
+   capture of the current list is a full immutable snapshot — readers on
+   a pinned generation keep querying it while the writer moves on. *)
+let freeze t = { entries = t.entries }
+
 let find t name =
   match List.find_opt (fun e -> String.equal e.name name) t.entries with
   | Some e -> e
@@ -87,9 +93,10 @@ let visible_terms entry level =
 let visible_corpus t ~level =
   Tfidf.build (List.map (fun e -> (e.name, visible_terms e level)) t.entries)
 
-let search_index ?pool t =
-  Index.build ?pool
-    (List.map (fun e -> (e.name, e.spec, Policy.privilege e.policy)) t.entries)
+let index_entries t =
+  List.map (fun e -> (e.name, e.spec, Policy.privilege e.policy)) t.entries
+
+let search_index ?pool t = Index.build ?pool (index_entries t)
 
 let keyword_topk ?index t ~level ~k keywords =
   let index = match index with Some i -> i | None -> search_index t in
@@ -207,7 +214,7 @@ let structural_query ?cache t ~level name q =
                group and run — Sec. 4's cached-information reuse. *)
             let key =
               Reach_cache.group_key ~entry:name ~run
-                ~prefix:(Access_gate.allowed gate)
+                ~prefix:(Access_gate.allowed gate) ()
             in
             Reach_cache.engine c ~key ev
       in

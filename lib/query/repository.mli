@@ -20,6 +20,14 @@ type t
 
 val create : unit -> t
 
+val freeze : t -> t
+(** An O(1) immutable snapshot: captures the current entry list. All
+    writes build fresh lists and records instead of mutating in place,
+    so the snapshot keeps answering every read API unchanged while the
+    original continues to grow — the per-generation repository a live
+    reader pins. (Immutability is by convention: don't write to a frozen
+    value.) *)
+
 val add :
   t ->
   name:string ->
@@ -97,6 +105,13 @@ val visible_corpus :
   t -> level:Wfpriv_privacy.Privilege.level -> Tfidf.corpus
 (** The TF/IDF corpus a user at this level searches: per entry, the terms
     of the modules visible in their access view. *)
+
+val index_entries :
+  t ->
+  (string * Wfpriv_workflow.Spec.t * Wfpriv_privacy.Privilege.t) list
+(** The (name, spec, privilege) triples {!search_index} builds from, in
+    entry order — what a live repository streams into its LSM index
+    ({!Live_index}). *)
 
 val search_index : ?pool:Wfpriv_parallel.Pool.t -> t -> Index.t
 (** The repository's privacy-partitioned compressed index: one build

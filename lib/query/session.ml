@@ -24,6 +24,7 @@ let start privilege ~level exec =
 let current t = t.view
 let gate t = t.gate
 let level t = Access_gate.level t.gate
+let generation t = Access_gate.generation t.gate
 let prefix t = Exec_view.prefix t.view
 
 let engine t =

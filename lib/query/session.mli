@@ -30,6 +30,11 @@ val start_gated : Access_gate.t -> Wfpriv_workflow.Execution.t -> t
 val current : t -> Wfpriv_workflow.Exec_view.t
 val gate : t -> Access_gate.t
 val level : t -> Wfpriv_privacy.Privilege.level
+
+val generation : t -> int
+(** The epoch the session's gate is pinned to ({!Access_gate.generation});
+    0 for frozen repositories. *)
+
 val prefix : t -> Wfpriv_workflow.Ids.workflow_id list
 
 val engine : t -> Engine.t

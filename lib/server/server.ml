@@ -1,4 +1,5 @@
 module Q = Wfpriv_query
+module D = Wfpriv_durable
 module W = Wfpriv_workflow
 module Obs = Wfpriv_obs
 
@@ -10,6 +11,7 @@ let h_lat_query = Obs.Registry.histogram "server.latency_ns.query"
 let h_lat_topk = Obs.Registry.histogram "server.latency_ns.topk"
 let h_lat_zoom = Obs.Registry.histogram "server.latency_ns.zoom_out"
 let h_lat_stats = Obs.Registry.histogram "server.latency_ns.stats"
+let h_lat_append = Obs.Registry.histogram "server.latency_ns.append"
 
 type config = {
   max_level : int;
@@ -32,25 +34,40 @@ let default_config =
    answer must use. *)
 type job = { jm : Wire.mode; jf : Wire.req_frame }
 
+(* A frozen repository (immutable while serving — the degenerate
+   single-generation case) or a live one whose writer publishes a new
+   generation per committed append batch. Readers always execute
+   against the pinned current generation, never mid-batch state. *)
+type backing = Frozen of Q.Repository.t | Live of D.Live_repo.t
+
+type appender =
+  entry:string -> workload:string option -> seed:int -> Q.Repository.mutation
+
 type t = {
   cfg : config;
-  repo : Q.Repository.t;
+  backing : backing;
+  appender : appender option;
   cache : Level_cache.t option;
   rcache : Q.Reach_cache.t; (* prepared engines, shared across levels
                                with equal access prefixes *)
   sched : job Scheduler.t;
   gates : (string * int, Q.Access_gate.t * string) Hashtbl.t;
-      (* (entry, level) -> prepared gate + fingerprint *)
-  mutable index : Q.Index.t option; (* built on first top-k *)
+      (* (entry, level) -> prepared gate + fingerprint. Entries are
+         append-only and a policy never changes, so gates (and the
+         engines below) stay valid across generations and need no
+         epoch in their key. *)
+  mutable index : Q.Index.t option; (* built on first top-k (frozen) *)
   mutable served : int;
 }
 
-let create ?(config = default_config) ?(now = Unix.gettimeofday) repo =
+let make ?(config = default_config) ?(now = Unix.gettimeofday) ?appender
+    backing =
   if config.max_level < 0 || config.cache_capacity < 1 || config.engine_capacity < 1
   then invalid_arg "Server.create: bad config";
   {
     cfg = config;
-    repo;
+    backing;
+    appender;
     cache =
       (if config.cache then
          Some (Level_cache.create ~capacity:config.cache_capacity ())
@@ -62,7 +79,18 @@ let create ?(config = default_config) ?(now = Unix.gettimeofday) repo =
     served = 0;
   }
 
-let repo t = t.repo
+let create ?config ?now repo = make ?config ?now (Frozen repo)
+
+let create_live ?config ?now ?appender live =
+  make ?config ?now ?appender (Live live)
+
+let repo t =
+  match t.backing with
+  | Frozen r -> r
+  | Live lr -> (D.Live_repo.pin lr).D.Live_repo.gen_repo
+
+let generation t =
+  match t.backing with Frozen _ -> 0 | Live lr -> D.Live_repo.generation lr
 
 let cache_stats t =
   match t.cache with
@@ -96,7 +124,7 @@ let engine_for t gate ~entry ~run exec =
      sharing. Results stay level-partitioned in the level cache. *)
   let view = Q.Access_gate.exec_view gate exec in
   let key =
-    Q.Reach_cache.group_key ~entry ~run ~prefix:(W.Exec_view.prefix view)
+    Q.Reach_cache.group_key ~entry ~run ~prefix:(W.Exec_view.prefix view) ()
   in
   Q.Reach_cache.engine t.rcache ~key view
 
@@ -104,7 +132,7 @@ let index_for t =
   match t.index with
   | Some ix -> ix
   | None ->
-      let ix = Q.Repository.search_index t.repo in
+      let ix = Q.Repository.search_index (repo t) in
       t.index <- Some ix;
       ix
 
@@ -158,7 +186,7 @@ type q_state =
   | Q_miss of Q.Query_ast.t list
 
 let exec_query_group t ~level ~entry ~run frames =
-  match Q.Repository.find t.repo entry with
+  match Q.Repository.find (repo t) entry with
   | exception Not_found ->
       List.map (fun (f : Wire.req_frame) -> unknown_entry f.rid entry) frames
   | e -> (
@@ -253,8 +281,24 @@ type t_state =
   | T_hit of string list * Wire.result
   | T_miss of int * string list
 
+(* Top-k answers depend on the whole visible corpus, so their cache
+   fingerprint carries the pinned generation (entry-scoped results do
+   not: an execution's DAG never changes once stored). Generation 0
+   keeps the frozen byte format. *)
+let topk_fingerprint t ~level =
+  let g = generation t in
+  if g = 0 then Printf.sprintf "l%d/topk" level
+  else Printf.sprintf "l%d/g%d/topk" level g
+
+let run_searches t ~level plans =
+  match t.backing with
+  | Frozen _ -> Q.Engine.run_searches ~index:(index_for t) ~level plans
+  | Live lr ->
+      Q.Engine.run_searches_live
+        ~view:(D.Live_repo.pin lr).D.Live_repo.gen_view ~level plans
+
 let exec_topk_group t ~level frames =
-  let fp = Printf.sprintf "l%d/topk" level in
+  let fp = topk_fingerprint t ~level in
   let states =
     List.map
       (fun (f : Wire.req_frame) ->
@@ -280,8 +324,7 @@ let exec_topk_group t ~level frames =
       states
   in
   let results =
-    if searches = [] then []
-    else Q.Engine.run_searches ~index:(index_for t) ~level searches
+    if searches = [] then [] else run_searches t ~level searches
   in
   let rem = ref results in
   List.map
@@ -313,7 +356,7 @@ let exec_topk_group t ~level frames =
 let exec_zoom t ~level (f : Wire.req_frame) =
   match f.req with
   | Wire.Zoom_out { entry; run } -> (
-      match Q.Repository.find t.repo entry with
+      match Q.Repository.find (repo t) entry with
       | exception Not_found -> unknown_entry f.rid entry
       | e -> (
           match List.nth_opt e.executions run with
@@ -347,6 +390,84 @@ let exec_zoom t ~level (f : Wire.req_frame) =
               Wire.Result { rid = f.rid; result }))
   | _ -> bad f.rid "mixed batch"
 
+(* {2 Streaming ingestion}
+
+   All [Append] frames of one scheduler batch commit as a single
+   {!D.Live_repo.append_streaming} call — one WAL batch, one fsync'd
+   commit record, one published generation. Frames whose mutation
+   cannot apply (duplicate entry, unknown workload) are answered
+   individually with [bad-request] after a dry run on a scratch
+   snapshot, so one bad frame never poisons the batch. *)
+
+type a_state = A_err of Wire.response | A_ok of Q.Repository.mutation
+
+let exec_append_group t ~level frames =
+  match (t.backing, t.appender) with
+  | Frozen _, _ ->
+      List.map
+        (fun (f : Wire.req_frame) ->
+          bad f.rid "repository is frozen: no live store mounted")
+        frames
+  | Live _, None ->
+      List.map
+        (fun (f : Wire.req_frame) -> bad f.rid "server accepts no appends")
+        frames
+  | Live lr, Some make_mutation ->
+      let scratch =
+        Q.Repository.freeze (D.Durable_repo.repo (D.Live_repo.store lr))
+      in
+      let states =
+        List.map
+          (fun (f : Wire.req_frame) ->
+            match f.req with
+            | Wire.Append { entry; workload; seed } -> (
+                match
+                  let m = make_mutation ~entry ~workload ~seed in
+                  Q.Repository.validate scratch m;
+                  Q.Repository.apply scratch m;
+                  m
+                with
+                | m -> (f, A_ok m)
+                | exception Invalid_argument msg -> (f, A_err (bad f.rid msg)))
+            | _ -> (f, A_err (bad f.rid "mixed batch")))
+          frames
+      in
+      let muts =
+        List.filter_map
+          (fun (_, st) -> match st with A_ok m -> Some m | A_err _ -> None)
+          states
+      in
+      let committed =
+        if muts = [] then None
+        else
+          match D.Live_repo.append_streaming lr muts with
+          | g -> Some (Ok g)
+          | exception Invalid_argument msg -> Some (Error msg)
+      in
+      (match committed with
+      | Some (Ok _) ->
+          Obs.Audit_log.record ~op:"server.append" ~level
+            ~nodes:(List.length muts) Obs.Audit_log.Allowed
+      | _ -> ());
+      List.map
+        (fun ((f : Wire.req_frame), st) ->
+          match (st, committed) with
+          | A_err r, _ -> r
+          | A_ok _, Some (Ok g) ->
+              Wire.Result
+                {
+                  rid = f.rid;
+                  result =
+                    Wire.Committed
+                      {
+                        generation = g.D.Live_repo.gen_id;
+                        lsn = g.D.Live_repo.gen_lsn;
+                      };
+                }
+          | A_ok _, Some (Error msg) -> bad f.rid msg
+          | A_ok _, None -> bad f.rid "empty batch")
+        states
+
 let exec_stats _t ~level (f : Wire.req_frame) =
   match f.req with
   | Wire.Stats { prefix } ->
@@ -373,6 +494,9 @@ let exec_frames t ~level frames =
   | Wire.Stats _ ->
       Obs.Histogram.time h_lat_stats (fun () ->
           List.map (exec_stats t ~level) frames)
+  | Wire.Append _ ->
+      Obs.Histogram.time h_lat_append (fun () ->
+          exec_append_group t ~level frames)
 
 (* {2 Admission} *)
 
@@ -424,7 +548,7 @@ let submit t ~client ?(mode = Wire.Json) (f : Wire.req_frame) =
       | _ -> (
           let cost =
             match f.req with
-            | Wire.Zoom_out _ -> Scheduler.Expensive
+            | Wire.Zoom_out _ | Wire.Append _ -> Scheduler.Expensive
             | _ -> Scheduler.Cheap
           in
           match
@@ -457,8 +581,16 @@ let batch_key (j : job) =
   | Wire.Topk _ -> "t"
   | Wire.Zoom_out { entry; run } -> Printf.sprintf "z/%s/%d" entry run
   | Wire.Stats _ -> "s"
+  | Wire.Append _ -> "a" (* the whole batch commits as one generation *)
 
 let cycle t =
+  (* One LSM merge step per cycle: background maintenance rides the
+     serving loop without a thread, bounded so a deep merge backlog
+     cannot stall the queues. No-op when nothing is pending (and always
+     on a frozen backing). *)
+  (match t.backing with
+  | Live lr -> ignore (D.Live_repo.maintain lr)
+  | Frozen _ -> ());
   let events = Scheduler.drain t.sched ~batch_key () in
   List.concat_map
     (fun ev ->

@@ -37,8 +37,34 @@ type t
 
 val create :
   ?config:config -> ?now:(unit -> float) -> Wfpriv_query.Repository.t -> t
+(** Serve a frozen repository — the degenerate single-generation case:
+    [generation] stays 0 and [Append] frames are refused. *)
+
+type appender =
+  entry:string -> workload:string option -> seed:int -> Wfpriv_query.Repository.mutation
+(** Materializes an {!Wire.Append} frame into a repository mutation.
+    Injected so the serving layer stays workload-agnostic (the CLI
+    mounts a synthetic-workload appender). May raise [Invalid_argument]
+    to refuse a frame. *)
+
+val create_live :
+  ?config:config ->
+  ?now:(unit -> float) ->
+  ?appender:appender ->
+  Wfpriv_durable.Live_repo.t ->
+  t
+(** Serve a live repository: queries execute against the pinned current
+    generation; [Append] frames (refused without an [appender]) batch
+    into one durable commit — one published generation — per scheduler
+    cycle, and each cycle runs one background LSM merge step. *)
 
 val repo : t -> Wfpriv_query.Repository.t
+(** The repository queries currently execute against: the frozen one,
+    or the live backing's pinned current generation. *)
+
+val generation : t -> int
+(** Current epoch; 0 on a frozen backing. *)
+
 val cache_stats : t -> Level_cache.stats
 val cache_keys : t -> string list
 

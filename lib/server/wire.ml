@@ -6,6 +6,7 @@ type request =
   | Topk of { k : int; keywords : string list }
   | Zoom_out of { entry : string; run : int }
   | Stats of { prefix : string option }
+  | Append of { entry : string; workload : string option; seed : int }
 
 type req_frame = { rid : int; level : int; deadline_ms : int; req : request }
 
@@ -14,6 +15,7 @@ type result =
   | Hits of (string * float) list
   | View of { view_prefix : string list; view_nodes : int }
   | Counters of (string * int) list
+  | Committed of { generation : int; lsn : int }
 
 type error_code =
   | Bad_request
@@ -99,6 +101,15 @@ let w_req w { rid; level; deadline_ms; req } =
       | Some p ->
           B.Writer.u8 w 1;
           B.Writer.str w p)
+  | Append { entry; workload; seed } ->
+      B.Writer.u8 w 5;
+      B.Writer.str w entry;
+      (match workload with
+      | None -> B.Writer.u8 w 0
+      | Some wl ->
+          B.Writer.u8 w 1;
+          B.Writer.str w wl);
+      B.Writer.varint w seed
 
 let r_req r =
   let rid = B.Reader.varint r in
@@ -127,6 +138,16 @@ let r_req r =
           | t -> malformed "bad stats prefix tag %d" t
         in
         Stats { prefix }
+    | 5 ->
+        let entry = B.Reader.str r in
+        let workload =
+          match B.Reader.u8 r with
+          | 0 -> None
+          | 1 -> Some (B.Reader.str r)
+          | t -> malformed "bad workload tag %d" t
+        in
+        let seed = B.Reader.varint r in
+        Append { entry; workload; seed }
     | t -> malformed "unknown request tag %d" t
   in
   { rid; level; deadline_ms; req }
@@ -168,7 +189,11 @@ let w_resp w = function
             (fun w (name, v) ->
               B.Writer.str w name;
               B.Writer.varint w v)
-            cs)
+            cs
+      | Committed { generation; lsn } ->
+          B.Writer.u8 w 5;
+          B.Writer.varint w generation;
+          B.Writer.varint w lsn)
   | Error { rid; code; retryable; floor; message } -> (
       B.Writer.u8 w 2;
       B.Writer.varint w rid;
@@ -214,6 +239,10 @@ let r_resp r =
                    let name = B.Reader.str r in
                    let v = B.Reader.varint r in
                    (name, v)))
+        | 5 ->
+            let generation = B.Reader.varint r in
+            let lsn = B.Reader.varint r in
+            Committed { generation; lsn }
         | t -> malformed "unknown result tag %d" t
       in
       Result { rid; result }
@@ -265,6 +294,12 @@ let req_to_json { rid; level; deadline_ms; req } =
         ("op", J.str "stats")
         ::
         (match prefix with None -> [] | Some p -> [ ("prefix", J.str p) ]))
+    | Append { entry; workload; seed } ->
+        [ ("op", J.str "append"); ("entry", J.str entry) ]
+        @ (match workload with
+          | None -> []
+          | Some wl -> [ ("workload", J.str wl) ])
+        @ [ ("seed", J.int seed) ]
   in
   J.Obj (base @ deadline @ body)
 
@@ -322,6 +357,16 @@ let req_of_json obj =
               | Some p -> Some (J.get_string p)
               | None -> None);
           }
+    | "append" ->
+        Append
+          {
+            entry = member_str "entry" obj;
+            workload =
+              (match J.member_opt "workload" obj with
+              | Some wl -> Some (J.get_string wl)
+              | None -> None);
+            seed = member_nat "seed" ~default:0 obj;
+          }
     | op -> malformed "unknown op %S" op
   in
   { rid; level; deadline_ms; req }
@@ -368,6 +413,12 @@ let resp_to_json = function
                   (List.map
                      (fun (name, v) -> J.Arr [ J.str name; J.int v ])
                      cs) );
+            ]
+        | Committed { generation; lsn } ->
+            [
+              ("kind", J.str "committed");
+              ("generation", J.int generation);
+              ("lsn", J.int lsn);
             ]
       in
       J.Obj
@@ -418,6 +469,12 @@ let resp_of_json obj =
                      match J.to_list pair with
                      | [ n; v ] -> (J.get_string n, J.get_int v)
                      | _ -> malformed "bad counter pair"))
+        | "committed" ->
+            Committed
+              {
+                generation = member_nat "generation" obj;
+                lsn = member_nat "lsn" obj;
+              }
         | k -> malformed "unknown result kind %S" k
       in
       Result { rid; result }
@@ -531,3 +588,4 @@ let request_digest = function
       Some (Printf.sprintf "t/%d/%s" k (String.concat "\x00" keywords))
   | Zoom_out { entry; run } -> Some (Printf.sprintf "z/%s/%d" entry run)
   | Stats _ -> None
+  | Append _ -> None

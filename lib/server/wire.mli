@@ -31,6 +31,11 @@ type request =
   | Stats of { prefix : string option }
       (** the caller's observer view of the metric registry, optionally
           restricted to names starting with [prefix] *)
+  | Append of { entry : string; workload : string option; seed : int }
+      (** streaming ingestion: ask the server to append entry [entry]
+          (materialized by its mounted appender from [workload]/[seed])
+          to the live repository; all [Append] frames of one scheduler
+          batch commit as a single durable generation *)
 
 type req_frame = {
   rid : int;  (** request id, echoed verbatim in the response *)
@@ -44,6 +49,9 @@ type result =
   | Hits of (string * float) list  (** (doc, score), rank order *)
   | View of { view_prefix : string list; view_nodes : int }
   | Counters of (string * int) list
+  | Committed of { generation : int; lsn : int }
+      (** append acknowledgement: the epoch the batch published and the
+          lsn of its durable commit record *)
 
 type error_code =
   | Bad_request  (** malformed frame or unparsable query text *)
@@ -104,4 +112,5 @@ val request_digest : request -> string option
 (** Canonical digest of everything that determines a request's answer
     (the kind and its parameters — not [rid] or the deadline): the
     second half of the level cache's key. [None] for requests that must
-    never be cached ({!Stats} reads live counters). *)
+    never be cached ({!Stats} reads live counters; {!Append} is a
+    write). *)

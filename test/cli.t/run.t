@@ -81,27 +81,35 @@ single JSON file. Appends journal one mutation; recovery replays the log:
   $ wfpriv repo init demo.d
   initialised demo.d: 2 entries, 2 records, snapshot 0
   $ wfpriv repo append demo.d disease-susceptibility --seed 7
-  appended to disease-susceptibility (lsn 3)
+  appended to disease-susceptibility (generation 1, last lsn 4)
   $ wfpriv repo status demo.d
   segments: 1
   snapshot: 0
   replayed records: 3
-  last lsn: 3
+  last lsn: 4
+  generation: 1
   entries: 2
+  index segments: 0
+  memtable: 2
+  pending merges: 0
   $ wfpriv repo recover demo.d
-  recovered demo.d: snapshot 0, replayed 3 records, last lsn 3, 2 entries
+  recovered demo.d: snapshot 0, replayed 3 records, last lsn 4, 2 entries
 
 Checkpointing moves the snapshot to the log head so compaction can drop
 every fully-covered segment:
 
   $ wfpriv repo compact demo.d
-  checkpoint at lsn 3, dropped 1 segment(s), pruned 1 snapshot(s)
+  checkpoint at lsn 4, dropped 1 segment(s), pruned 1 snapshot(s)
   $ wfpriv repo status demo.d
   segments: 1
-  snapshot: 3
+  snapshot: 4
   replayed records: 0
-  last lsn: 3
+  last lsn: 5
+  generation: 1
   entries: 2
+  index segments: 0
+  memtable: 2
+  pending merges: 0
 
 Queries work identically on both store flavours:
 
@@ -160,6 +168,8 @@ with the required privilege floor only — never the hidden structure:
     engine.batches           1
     engine.closure_builds    1
     engine.closure_rows      15
+    engine.extend_rows       0
+    engine.extends           0
     engine.prepares          1
     engine.rows              2
     engine.runs              0
@@ -176,6 +186,9 @@ with the required privilege floor only — never the hidden structure:
     index.lookup_postings    0
     index.lookups            0
     index.topk_queries       0
+    live_index.merges        0
+    live_index.seals         0
+    live_repo.publishes      0
     recovery.bytes_scanned   0
     recovery.replayed        0
     recovery.runs            0
@@ -194,6 +207,7 @@ with the required privilege floor only — never the hidden structure:
     engine.closure_build_ns  count=1
     engine.compile_ns        count=3
     index.build_ns           count=0
+    server.latency_ns.append count=0
     server.latency_ns.query  count=0
     server.latency_ns.stats  count=0
     server.latency_ns.topk   count=0

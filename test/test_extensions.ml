@@ -19,7 +19,7 @@ let exec = Disease.run ()
 let test_cache_hits_and_correctness () =
   let cache = Reach_cache.create () in
   let view = Exec_view.full exec in
-  let key = Reach_cache.group_key ~entry:"disease" ~run:0 ~prefix:[ "W1" ] in
+  let key = Reach_cache.group_key ~entry:"disease" ~run:0 ~prefix:[ "W1" ] () in
   let g = Exec_view.graph view in
   let nodes = Exec_view.nodes view in
   List.iter

@@ -18,10 +18,28 @@ module Server = Wfpriv_server.Server
 module Scheduler = Wfpriv_server.Scheduler
 module Wire = Wfpriv_server.Wire
 module Repository = Wfpriv_query.Repository
+module Durable_repo = Wfpriv_durable.Durable_repo
+module Live_repo = Wfpriv_durable.Live_repo
 module Disease = Wfpriv_workloads.Disease
 module Clinical = Wfpriv_workloads.Clinical
+module Synthetic = Wfpriv_workloads.Synthetic
+module Rng = Wfpriv_workloads.Rng
 
 let check = Alcotest.check
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir () =
+  let path = Filename.temp_file "wfpriv-server-test" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
 
 let with_obs f =
   Obs.Config.set_enabled true;
@@ -29,14 +47,14 @@ let with_obs f =
   Obs.Audit_log.reset ();
   Fun.protect ~finally:(fun () -> Obs.Config.set_enabled false) f
 
+let disease_policy =
+  Policy.make
+    ~expand_levels:[ ("W2", 1); ("W3", 2); ("W4", 3) ]
+    ~data_levels:[ ("disorders", 2); ("prognosis", 1) ]
+    Disease.spec
+
 let demo_repo () =
   let repo = Repository.create () in
-  let disease_policy =
-    Policy.make
-      ~expand_levels:[ ("W2", 1); ("W3", 2); ("W4", 3) ]
-      ~data_levels:[ ("disorders", 2); ("prognosis", 1) ]
-      Disease.spec
-  in
   Repository.add repo ~name:"disease-susceptibility" ~policy:disease_policy
     ~executions:[ Disease.run () ] ();
   Repository.add repo ~name:"clinical-trial" ~policy:Clinical.policy
@@ -63,6 +81,9 @@ let gen_request =
         (list_size (int_range 1 4) word);
       map2 (fun entry run -> Wire.Zoom_out { entry; run }) word (int_bound 3);
       map (fun p -> Wire.Stats { prefix = p }) (opt word);
+      map3
+        (fun entry workload seed -> Wire.Append { entry; workload; seed })
+        word (opt word) (int_bound 1_000);
     ]
 
 let gen_req_frame =
@@ -91,6 +112,9 @@ let gen_result =
       map
         (fun cs -> Wire.Counters cs)
         (list_size (int_bound 4) (pair word (int_bound 10_000)));
+      map2
+        (fun generation lsn -> Wire.Committed { generation; lsn })
+        (int_bound 10_000) (int_bound 10_000);
     ]
 
 let gen_response =
@@ -457,6 +481,137 @@ let test_privilege_denial_audited () =
         (List.length rs)
 
 (* ------------------------------------------------------------------ *)
+(* Live serving: Append frames interleaved with queries *)
+
+let synthetic_appender ~entry ~workload ~seed =
+  (match workload with
+  | None | Some "synthetic" -> ()
+  | Some w -> invalid_arg (Printf.sprintf "unknown workload %S" w));
+  let spec, exec = Synthetic.run (Rng.create seed) Synthetic.default_params in
+  Repository.Add_entry
+    { entry_name = entry; policy = Policy.make spec; executions = [ exec ] }
+
+(* A live server over a durable store seeded with the demo corpus. *)
+let with_live_server f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let store = Durable_repo.init (Filename.concat dir "store") in
+  Fun.protect ~finally:(fun () -> Durable_repo.close store) @@ fun () ->
+  ignore
+    (Durable_repo.append store
+       (Repository.Add_entry
+          {
+            entry_name = "disease-susceptibility";
+            policy = disease_policy;
+            executions = [ Disease.run () ];
+          }));
+  ignore
+    (Durable_repo.append store
+       (Repository.Add_entry
+          {
+            entry_name = "clinical-trial";
+            policy = Clinical.policy;
+            executions = [ Clinical.run () ];
+          }));
+  let live = Live_repo.of_store store in
+  let now = ref 0.0 in
+  let server = Server.create_live ~now:(fun () -> !now) ~appender:synthetic_appender live in
+  f server live
+
+let test_frozen_rejects_append () =
+  with_obs @@ fun () ->
+  let server = Server.create (demo_repo ()) in
+  match
+    Server.handle server ~client:0
+      (frame ~level:0 (Wire.Append { entry = "x"; workload = None; seed = 1 }))
+  with
+  | Wire.Error { code = Wire.Bad_request; retryable = false; _ } -> ()
+  | _ -> Alcotest.fail "frozen backing must refuse appends"
+
+let test_live_interleaved_appends () =
+  with_obs @@ fun () ->
+  with_live_server @@ fun server live ->
+  check Alcotest.int "starts at generation 0" 0 (Server.generation server);
+  let submit client req =
+    match
+      Server.submit server ~client (frame ~rid:client ~level:9 req)
+    with
+    | None -> ()
+    | Some r ->
+        Alcotest.failf "unexpected immediate response %s"
+          (Wire.encode_response Wire.Json r)
+  in
+  (* Two appends from distinct clients interleaved with queries: each
+     expensive append batch commits durably and publishes its own
+     epoch, while the queries answer against a pinned generation. *)
+  submit 1 (Wire.Append { entry = "syn-a"; workload = None; seed = 7 });
+  submit 2 (Wire.Topk { k = 3; keywords = [ "snp" ] });
+  submit 3
+    (Wire.Append { entry = "syn-b"; workload = Some "synthetic"; seed = 8 });
+  submit 4
+    (Wire.Query
+       { entry = "disease-susceptibility"; run = 0; queries = [ "node(*)" ] });
+  let responses = Server.drain_all server in
+  check Alcotest.int "every frame answered" 4 (List.length responses);
+  let committed =
+    List.filter_map
+      (fun (_, _, r) ->
+        match r with
+        | Wire.Result { result = Wire.Committed { generation; lsn }; _ } ->
+            Some (generation, lsn)
+        | _ -> None)
+      responses
+  in
+  (match List.sort compare committed with
+  | [ (g1, l1); (g2, l2) ] ->
+      check Alcotest.int "first streamed epoch" 1 g1;
+      check Alcotest.int "second streamed epoch" 2 g2;
+      check Alcotest.bool "commit lsns advance" true (l2 > l1)
+  | l ->
+      Alcotest.failf "expected 2 Committed responses, got %d" (List.length l));
+  check Alcotest.int "server republished the epochs" 2
+    (Server.generation server);
+  (* An appender refusal surfaces as a per-frame bad-request. *)
+  (match
+     Server.handle server ~client:5
+       (frame ~rid:50 ~level:9
+          (Wire.Append { entry = "syn-c"; workload = Some "nope"; seed = 9 }))
+   with
+  | Wire.Error { code = Wire.Bad_request; retryable = false; _ } -> ()
+  | _ -> Alcotest.fail "unknown workload must be refused");
+  (* A duplicate entry name fails validation without committing. *)
+  (match
+     Server.handle server ~client:6
+       (frame ~rid:60 ~level:9
+          (Wire.Append { entry = "syn-a"; workload = None; seed = 10 }))
+   with
+  | Wire.Error { code = Wire.Bad_request; retryable = false; _ } -> ()
+  | _ -> Alcotest.fail "duplicate entry must be refused");
+  check Alcotest.int "failed appends publish nothing" 2
+    (Server.generation server);
+  (* The served answers now equal a frozen server over a frozen rebuild
+     of the pinned generation — response-for-response. *)
+  let g = Live_repo.pin live in
+  let frozen = Server.create g.Live_repo.gen_repo in
+  let ask srv req =
+    Wire.encode_response Wire.Json
+      (Server.handle srv ~client:9 (frame ~rid:77 ~level:9 req))
+  in
+  let vocab = Synthetic.default_params.Synthetic.keyword_vocabulary in
+  List.iter
+    (fun req ->
+      check Alcotest.string "live answer = frozen rebuild answer"
+        (ask frozen req) (ask server req))
+    [
+      Wire.Topk { k = 5; keywords = [ List.nth vocab 0; List.nth vocab 1 ] };
+      Wire.Topk { k = 4; keywords = [ "snp"; List.nth vocab 2 ] };
+      Wire.Query { entry = "syn-a"; run = 0; queries = [ "node(*)" ] };
+      Wire.Query
+        { entry = "disease-susceptibility"; run = 0;
+          queries = [ "node(~\"risk\")" ] };
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Scheduler batching *)
 
 let test_batch_fusion () =
@@ -505,6 +660,13 @@ let () =
             test_stats_observer_view;
           Alcotest.test_case "privilege denial audited" `Quick
             test_privilege_denial_audited;
+        ] );
+      ( "live",
+        [
+          Alcotest.test_case "frozen backing refuses appends" `Quick
+            test_frozen_rejects_append;
+          Alcotest.test_case "interleaved appends and queries" `Quick
+            test_live_interleaved_appends;
         ] );
       ( "backpressure",
         [
