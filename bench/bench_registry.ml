@@ -262,6 +262,7 @@ let experiments =
     ("e17", Exp_query.e17);
     ("e18", Exp_server.e18);
     ("e19", Exp_live.e19);
+    ("e20", Exp_shard.e20);
     ("a1", Exp_extensions.a1);
     ("a2", Exp_extensions.a2);
     ("a3", Exp_extensions.a3);

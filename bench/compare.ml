@@ -15,8 +15,10 @@
    current run emits beyond the baseline are informational: reported as
    `new` lines (so fresh experiments surface in CI logs before their
    baseline entry lands) but never gating — the baseline names exactly
-   what is load-bearing. Exit code 0 = pass, 1 = regression,
-   2 = usage/parse error.
+   what is load-bearing. Every comparison also prints a signed
+   percentage delta against its reference (baseline or ceiling), so CI
+   logs show drift at a glance, not only pass/fail. Exit code 0 = pass,
+   1 = regression, 2 = usage/parse error.
 
    This exists so CI needs no shell JSON parsing: the workflow runs the
    bench, saves the artifact, and calls this with two file names. *)
@@ -56,6 +58,13 @@ let () =
   in
   let gated = obj_pairs "baseline metrics" (J.member "metrics" baseline) in
   let cur = J.member "metrics" current in
+  (* Signed percentage delta of [c] against reference [r] — "how far from
+     the committed number", easier to eyeball in CI logs than the raw
+     ratio when baselines differ by orders of magnitude. *)
+  let delta_pct c r =
+    if Float.abs r < 1e-12 then "n/a"
+    else Printf.sprintf "%+.1f%%" (100.0 *. ((c -. r) /. r))
+  in
   let failures =
     List.filter_map
       (fun (name, v) ->
@@ -68,10 +77,11 @@ let () =
             if c < floor then
               Some
                 (Printf.sprintf
-                   "%s: %.3f < %.3f (baseline %.3f, tolerance %.0f%%)" name c
-                   floor base (100.0 *. tolerance))
+                   "%s: %.3f < %.3f (baseline %.3f, %s, tolerance %.0f%%)"
+                   name c floor base (delta_pct c base) (100.0 *. tolerance))
             else begin
-              Printf.printf "ok %s: %.3f (>= %.3f)\n" name c floor;
+              Printf.printf "ok %s: %.3f (>= %.3f, %s vs baseline)\n" name c
+                floor (delta_pct c base);
               None
             end)
       gated
@@ -92,9 +102,11 @@ let () =
             let c = J.get_float c in
             if c > ceiling then
               Some
-                (Printf.sprintf "%s: %.3f > ceiling %.3f" name c ceiling)
+                (Printf.sprintf "%s: %.3f > ceiling %.3f (%s)" name c ceiling
+                   (delta_pct c ceiling))
             else begin
-              Printf.printf "ok %s: %.3f (<= %.3f)\n" name c ceiling;
+              Printf.printf "ok %s: %.3f (<= %.3f, %s vs ceiling)\n" name c
+                ceiling (delta_pct c ceiling);
               None
             end)
       slo

@@ -1,0 +1,302 @@
+(* E20: sharded scatter/gather planning vs the single-memo engine.
+
+   The tentpole claim of the sharding PR: on provenance graphs large
+   enough that the unsharded engine's n x n closure memo dominates the
+   cost of a structural-query session, hash-partitioning the graph
+   across N shards and answering reachability by per-shard local
+   closures plus a cross-shard frontier exchange cuts the prepared
+   state by ~N and the build work by ~N^2/N — an *algorithmic* saving,
+   measured here on one core (no parallelism claim is involved).
+
+   Three gated metrics (bench/baseline.json):
+
+   - e20.shard_speedup: structural throughput (prepare + selective
+     query batch) at 8 shards vs 1 shard. 1 shard *is* the unsharded
+     single-memo engine — `Frontier.engine_of_exec_view ~shards:1`
+     returns the plain `Engine` — so the ratio is exactly "sharded
+     planner vs what we had".
+
+   - e20.identical: every witness of every query at every shard count
+     equals the unsharded engine's, and the sharded keyword top-k is
+     bit-identical (float-identical scores, identical order) to the
+     unsharded index over the union of entries.
+
+   - e20.counters_invariant: the observer-visible counters of a
+     level-0 caller driving the sharded planner are bit-identical
+     across two corpora that differ only in hidden structure.
+
+   Corpus scale: full mode runs [entries] executions of ~3 x 10^4
+   provenance nodes each (>= 10^6 nodes total, reported as e20.nodes);
+   quick mode re-benches one such execution so the CI gate times the
+   same per-graph costs without the generation bill. *)
+
+open Wfpriv_workflow
+open Wfpriv_privacy
+open Wfpriv_query
+module Frontier = Wfpriv_shard.Frontier
+module Sharded_index = Wfpriv_shard.Sharded_index
+module Shard = Wfpriv_parallel.Shard
+module Shard_map = Wfpriv_shard.Shard_map
+module Rng = Wfpriv_workloads.Rng
+module Synthetic = Wfpriv_workloads.Synthetic
+module Obs = Wfpriv_obs
+
+(* ~3 x 10^4 provenance nodes per execution (the E14 sizing idiom,
+   bounded average degree): large enough that the n x n closure memo is
+   the dominant per-session cost the sharded planner is built to cut. *)
+let big_params =
+  {
+    Synthetic.default_params with
+    levels = 2;
+    composites_per_workflow = 3;
+    atomics_per_workflow = 2300;
+    edge_probability = 0.01;
+  }
+
+(* Selective structural batch: Reach_joins between specific modules.
+   Selectivity matters for the *sharded* side — the frontier exchange
+   memoizes per source, so a handful of sources touch a handful of
+   rows; the unsharded side pays the full n x n closure on the first
+   Reach_join regardless. *)
+let query_batch spec =
+  let ms = Spec.module_ids spec in
+  let nth k =
+    let l = List.length ms in
+    List.nth ms (((k mod l) + l) mod l)
+  in
+  let pair i =
+    (* Four distinct source modules across twelve joins: repeated
+       sources hit the frontier's per-source memo, the way a session
+       drilling into a few lineages does. *)
+    Query_ast.Before
+      ( Query_ast.Module_is (nth (3 + (i mod 4 * 7))),
+        Query_ast.Module_is (nth (List.length ms - 3 - (i * 11))) )
+  in
+  List.init 12 pair
+  @ Query_ast.
+      [
+        And (Node Atomic_only, Before (Module_is (nth 3), Module_is (nth 29)));
+        Edge (Module_is (nth 17), Any);
+        Node (Module_is (nth 41));
+      ]
+
+let witness_bits (w : Engine.witness) = (w.Engine.holds, w.Engine.nodes)
+
+(* One prepared-session pass at [shards]: build the engine over the
+   view (1 = the plain single-memo engine) and answer the whole batch. *)
+let session ~shards ev plans =
+  let eng =
+    if shards = 1 then Engine.of_exec_view ev
+    else Frontier.engine_of_exec_view ~shards ev
+  in
+  List.map (fun p -> witness_bits (Engine.run eng p)) plans
+
+let shard_counts = [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Keyword: sharded global merge vs the unsharded index *)
+
+let keyword_corpus n =
+  List.init n (fun i ->
+      let spec =
+        Synthetic.spec
+          (Rng.create (900 + i))
+          {
+            Synthetic.default_params with
+            levels = 1;
+            composites_per_workflow = 1;
+            atomics_per_workflow = 4;
+          }
+      in
+      let subs =
+        List.filter (fun w -> w <> Spec.root spec) (Spec.workflow_ids spec)
+      in
+      let expand_levels = List.mapi (fun j w -> (w, (j mod 3) + 1)) subs in
+      let policy = Policy.make ~expand_levels spec in
+      (Printf.sprintf "doc%03d" i, Policy.spec policy, Policy.privilege policy))
+
+let keyword_identical () =
+  let corpus = keyword_corpus (if !Util.quick then 32 else 96) in
+  let union = Index.build corpus in
+  let vocab = Synthetic.default_params.Synthetic.keyword_vocabulary in
+  let probes =
+    [
+      [ List.nth vocab 0 ];
+      [ List.nth vocab 1; List.nth vocab 2 ];
+      [ List.nth vocab 3; List.nth vocab 4; List.nth vocab 5 ];
+    ]
+  in
+  let rank =
+    List.map (fun (e : Ranking.entry) ->
+        (e.Ranking.doc, Int64.bits_of_float e.Ranking.score))
+  in
+  List.for_all
+    (fun shards ->
+      let sx =
+        Sharded_index.build
+          (Shard.partition ~shards
+             ~hash:(fun (n, _, _) -> Shard_map.fnv1a n)
+             corpus)
+      in
+      List.for_all
+        (fun level ->
+          List.for_all
+            (fun terms ->
+              rank (Index.top_k union ~level ~k:5 terms)
+              = rank (Sharded_index.top_k sx ~level ~k:5 terms))
+            probes)
+        [ 0; 1; 2; 9 ])
+    [ 3; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Leakage invariance of the sharded planner's observer counters *)
+
+let leak_entry ~hidden_chain =
+  let atom id name = Module_def.make ~id ~name Module_def.Atomic in
+  let hidden_ids = List.init hidden_chain (fun i -> 4 + i) in
+  let rec chain = function
+    | a :: (b :: _ as rest) ->
+        { Spec.src = a; dst = b; data = [ "h" ] } :: chain rest
+    | _ -> []
+  in
+  let spec =
+    Spec.create ~root:"W1"
+      ([
+         Module_def.input;
+         Module_def.output;
+         atom 2 "Visible Step";
+         Module_def.make ~id:3 ~name:"Secret Unit" (Module_def.Composite "W2");
+       ]
+      @ List.map
+          (fun id -> atom id (Printf.sprintf "Hidden Step %d" id))
+          hidden_ids)
+      [
+        {
+          Spec.wf_id = "W1";
+          title = "root";
+          members = [ Ids.input_module; Ids.output_module; 2; 3 ];
+          edges =
+            [
+              { Spec.src = Ids.input_module; dst = 2; data = [ "a" ] };
+              { Spec.src = 2; dst = 3; data = [ "b" ] };
+              { Spec.src = 3; dst = Ids.output_module; data = [ "c" ] };
+            ];
+        };
+        {
+          Spec.wf_id = "W2";
+          title = "secret";
+          members = hidden_ids;
+          edges = chain hidden_ids;
+        };
+      ]
+  in
+  Policy.make ~expand_levels:[ ("W2", 2) ] spec
+
+let observer_fingerprint ~hidden_chain =
+  Obs.Registry.reset ();
+  let policy = leak_entry ~hidden_chain in
+  let spec = Policy.spec policy in
+  let exec =
+    Executor.run spec (Synthetic.semantics spec)
+      ~inputs:(Synthetic.inputs_for spec ~seed:1)
+  in
+  let gate = Access_gate.of_policy policy ~level:0 in
+  let ev = Access_gate.exec_view gate exec in
+  let eng = Frontier.engine_of_exec_view ~shards:8 ev in
+  List.iter
+    (fun q -> ignore (Engine.run eng (Engine.compile q)))
+    Query_ast.
+      [ Node Any; Before (Any, Any); Edge (Any, Atomic_only) ];
+  let sx =
+    Sharded_index.build
+      (Shard.partition ~shards:8
+         ~hash:(fun (n, _, _) -> Shard_map.fnv1a n)
+         [ ("secret", Policy.spec policy, Policy.privilege policy) ])
+  in
+  ignore (Sharded_index.top_k sx ~level:0 ~k:3 [ "secret"; "visible" ]);
+  Obs.Registry.observer_counters ~level:0
+
+let counters_invariant () =
+  let saved = Obs.Config.enabled () in
+  Obs.Config.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.Config.set_enabled saved;
+      Obs.Registry.reset ())
+  @@ fun () ->
+  let a = observer_fingerprint ~hidden_chain:1 in
+  let b = observer_fingerprint ~hidden_chain:4 in
+  a = b && a <> []
+
+(* ------------------------------------------------------------------ *)
+
+let e20 () =
+  Util.heading "E20 Sharded scatter/gather planner vs single-memo engine";
+  let entries = if !Util.quick then 1 else 50 in
+  let totals = Array.make (List.length shard_counts) 0.0 in
+  let nodes_total = ref 0 in
+  let identical = ref true in
+  for i = 0 to entries - 1 do
+    let spec, exec = Synthetic.run (Rng.create (2000 + i)) big_params in
+    let ev = Exec_view.full exec in
+    let plans = List.map Engine.compile (query_batch spec) in
+    nodes_total := !nodes_total + Engine.nb_nodes (Engine.of_exec_view ev);
+    let reference = session ~shards:1 ev plans in
+    List.iteri
+      (fun j shards ->
+        (* A major collection before each timed run: the 1-shard session
+           retires an n x n closure per run, and its collection debt
+           must land in its own measurement, not a later shard count's. *)
+        if !Util.quick then begin
+          (* One graph, best of five sessions: same per-graph cost, no
+             100-generation bill in CI, noise floor from the minimum. *)
+          let best = ref infinity in
+          for _ = 1 to 5 do
+            Gc.full_major ();
+            let _, ms = Util.wall_ms (fun () -> session ~shards ev plans) in
+            if ms < !best then best := ms
+          done;
+          totals.(j) <- totals.(j) +. !best
+        end
+        else begin
+          Gc.full_major ();
+          let w, ms = Util.wall_ms (fun () -> session ~shards ev plans) in
+          totals.(j) <- totals.(j) +. ms;
+          if w <> reference then identical := false
+        end)
+      shard_counts;
+    if !Util.quick then
+      (* The timed loop discards witnesses; pin identity separately. *)
+      List.iter
+        (fun shards ->
+          if session ~shards ev plans <> reference then identical := false)
+        shard_counts
+  done;
+  let t1 = totals.(0) in
+  let rows =
+    List.mapi
+      (fun j shards ->
+        [
+          string_of_int shards;
+          Util.fmt_f totals.(j);
+          Util.fmt_f ~digits:2 (t1 /. Float.max 1e-9 totals.(j)) ^ "x";
+        ])
+      shard_counts
+  in
+  Util.print_table [ "shards"; "prepare+query ms"; "speedup vs 1" ] rows;
+  let t8 = totals.(List.length shard_counts - 1) in
+  let speedup = t1 /. Float.max 1e-9 t8 in
+  let kw_ok = keyword_identical () in
+  let inv_ok = counters_invariant () in
+  Util.print_table
+    [ "metric"; "value" ]
+    [
+      [ "corpus nodes"; string_of_int !nodes_total ];
+      [ "structural speedup (8 vs 1)"; Util.fmt_f ~digits:2 speedup ^ "x" ];
+      [ "witnesses identical"; (if !identical then "yes" else "NO") ];
+      [ "keyword top-k identical"; (if kw_ok then "yes" else "NO") ];
+      [ "observer counters invariant"; (if inv_ok then "yes" else "NO") ];
+    ];
+  Util.emit "e20.nodes" (float_of_int !nodes_total);
+  Util.emit "e20.shard_speedup" speedup;
+  Util.emit "e20.identical" (if !identical && kw_ok then 1.0 else 0.0);
+  Util.emit "e20.counters_invariant" (if inv_ok then 1.0 else 0.0)

@@ -396,12 +396,22 @@ let stats file workload seed level jobs json_out query_srcs =
 module Durable_repo = Wfpriv_durable.Durable_repo
 module Live_repo = Wfpriv_durable.Live_repo
 module Recovery = Wfpriv_durable.Recovery
+module Sharded_repo = Wfpriv_shard.Sharded_repo
+module Sharded_index = Wfpriv_shard.Sharded_index
+module Frontier = Wfpriv_shard.Frontier
 
-(* `repo` commands accept either a legacy whole-file JSON store or a
-   durable directory store (WAL + snapshots, lib/durable). *)
+(* `repo` commands accept a legacy whole-file JSON store, a durable
+   directory store (WAL + snapshots, lib/durable), or a sharded store
+   (shard-map manifest + one durable store per shard, lib/shard). *)
 let repo_load path =
   if Sys.file_exists path && Sys.is_directory path then
-    fst (Recovery.open_dir path)
+    if Sharded_repo.is_sharded path then begin
+      let sr = Sharded_repo.open_dir path in
+      Fun.protect
+        ~finally:(fun () -> Sharded_repo.close sr)
+        (fun () -> Sharded_repo.repo sr)
+    end
+    else fst (Recovery.open_dir path)
   else Wfpriv_store.Repo_store.load path
 
 let demo_entries () =
@@ -418,8 +428,27 @@ let demo_entries () =
       [ Wfpriv_workloads.Clinical.run () ] );
   ]
 
-let repo_init path =
-  if Filename.check_suffix path ".json" then begin
+let repo_init path shards =
+  if shards > 0 && not (Filename.check_suffix path ".json") then begin
+    (* Sharded directory store: entries route to per-shard WALs by the
+       manifest's hash of their name. *)
+    let sr = Sharded_repo.init ~shards path in
+    Fun.protect
+      ~finally:(fun () -> Sharded_repo.close sr)
+      (fun () ->
+        List.iter
+          (fun (entry_name, policy, executions) ->
+            ignore
+              (Sharded_repo.append sr
+                 (Repository.Add_entry { entry_name; policy; executions })))
+          (demo_entries ());
+        Printf.printf "initialised %s: %d shards, %d entries\n" path
+          (Sharded_repo.shards sr)
+          (Repository.nb_entries (Sharded_repo.repo sr)))
+  end
+  else if shards > 0 then
+    failwith "--shards requires a directory store (not a .json path)"
+  else if Filename.check_suffix path ".json" then begin
     (* Legacy single-file store. *)
     let repo = Repository.create () in
     List.iter
@@ -445,7 +474,31 @@ let repo_init path =
       (Durable_repo.snapshot_lsn t)
   end
 
+(* Synthetic re-execution of a stored entry's spec: deterministic in
+   the seed, valid for any spec — the mutation `repo append` journals. *)
+let append_mutation repo entry seed =
+  let e = Repository.find repo entry in
+  let spec = e.Repository.spec in
+  let exec =
+    Executor.run spec (Synthetic.semantics spec)
+      ~inputs:(Synthetic.inputs_for spec ~seed)
+  in
+  Repository.Add_execution { entry_name = entry; exec }
+
+let repo_append_sharded path entry seed =
+  let sr = Sharded_repo.open_dir path in
+  Fun.protect
+    ~finally:(fun () -> Sharded_repo.close sr)
+    (fun () ->
+      let m = append_mutation (Sharded_repo.repo sr) entry seed in
+      let shard = Sharded_repo.route sr entry in
+      let generation = Sharded_repo.append_streaming sr [ m ] in
+      Printf.printf "appended to %s (shard %d, generation %d)\n" entry shard
+        generation)
+
 let repo_append path entry seed =
+  if Sharded_repo.is_sharded path then repo_append_sharded path entry seed
+  else
   let t = Durable_repo.open_dir path in
   Fun.protect
     ~finally:(fun () -> Durable_repo.close t)
@@ -468,6 +521,28 @@ let repo_append path entry seed =
         generation (Durable_repo.last_lsn t))
 
 let repo_recover path =
+  if Sharded_repo.is_sharded path then begin
+    (* Shards recover independently (in parallel across the pool); each
+       truncates its own torn tail. *)
+    let sr = Sharded_repo.open_dir path in
+    Fun.protect
+      ~finally:(fun () -> Sharded_repo.close sr)
+      (fun () ->
+        for i = 0 to Sharded_repo.shards sr - 1 do
+          let st = Sharded_repo.shard_store sr i in
+          let r = Durable_repo.recovery_report st in
+          Printf.printf
+            "shard %d: snapshot %d, replayed %d records, last lsn %d\n" i
+            r.Recovery.snapshot_lsn r.Recovery.replayed r.Recovery.last_lsn;
+          if r.Recovery.torn_bytes > 0 then
+            Printf.printf "shard %d truncated torn tail: %d bytes\n" i
+              r.Recovery.torn_bytes
+        done;
+        Printf.printf "recovered %s: %d shards, %d entries\n" path
+          (Sharded_repo.shards sr)
+          (Repository.nb_entries (Sharded_repo.repo sr)))
+  end
+  else
   let t = Durable_repo.open_dir path in
   Durable_repo.close t;
   let r = Durable_repo.recovery_report t in
@@ -479,6 +554,22 @@ let repo_recover path =
     Printf.printf "truncated torn tail: %d bytes\n" r.Recovery.torn_bytes
 
 let repo_compact path =
+  if Sharded_repo.is_sharded path then begin
+    let sr = Sharded_repo.open_dir path in
+    Fun.protect
+      ~finally:(fun () -> Sharded_repo.close sr)
+      (fun () ->
+        let lsns = Sharded_repo.checkpoint sr in
+        let dropped = Sharded_repo.compact sr in
+        let pruned = Sharded_repo.prune_snapshots sr in
+        Printf.printf
+          "checkpointed %d shard(s) (lsns %s), dropped %d segment(s), pruned \
+           %d snapshot(s)\n"
+          (List.length lsns)
+          (String.concat "," (List.map string_of_int lsns))
+          dropped pruned)
+  end
+  else
   let t = Durable_repo.open_dir path in
   Fun.protect
     ~finally:(fun () -> Durable_repo.close t)
@@ -490,6 +581,31 @@ let repo_compact path =
         lsn dropped pruned)
 
 let repo_status path =
+  if Sharded_repo.is_sharded path then begin
+    (* Per-shard status via a full recovery pass each, plus the global
+       view a sharded reader computes: summed entries and generation. *)
+    let map, sts = Sharded_repo.status path in
+    Printf.printf "shards: %d\n" map.Wfpriv_shard.Shard_map.shards;
+    List.iter
+      (fun (i, s) ->
+        Printf.printf
+          "shard %d: segments %d, snapshot %d, last lsn %d, generation %d, \
+           entries %d%s\n"
+          i s.Durable_repo.st_segments s.Durable_repo.st_snapshot_lsn
+          s.Durable_repo.st_last_lsn s.Durable_repo.st_generation
+          s.Durable_repo.st_entries
+          (if s.Durable_repo.st_torn_bytes > 0 then
+             Printf.sprintf ", torn tail %d bytes" s.Durable_repo.st_torn_bytes
+           else ""))
+      sts;
+    Printf.printf "entries: %d\n"
+      (List.fold_left (fun acc (_, s) -> acc + s.Durable_repo.st_entries) 0 sts);
+    Printf.printf "generation: %d\n"
+      (List.fold_left
+         (fun acc (_, s) -> acc + s.Durable_repo.st_generation)
+         0 sts)
+  end
+  else
   let s = Durable_repo.status path in
   Printf.printf "segments: %d\n" s.Durable_repo.st_segments;
   Printf.printf "snapshot: %d\n" s.Durable_repo.st_snapshot_lsn;
@@ -576,15 +692,31 @@ let index_stats path json_out =
       stats
   end
 
-let repo_topk path level k keywords =
-  let repo = repo_load path in
-  let hits = Repository.keyword_topk repo ~level ~k keywords in
+let print_topk level hits =
   if hits = [] then Printf.printf "no hits at level %d\n" level
   else
     List.iter
       (fun (e : Ranking.entry) ->
         Printf.printf "%s (score %.2f)\n" e.Ranking.doc e.Ranking.score)
       hits
+
+let repo_topk path level k keywords =
+  if Sys.file_exists path && Sys.is_directory path
+     && Sharded_repo.is_sharded path
+  then begin
+    (* Per-shard block-max WAND with global weights, upper-bound shard
+       pruning, leakage-safe global merge — bit-identical to the
+       unsharded index over the same entries. *)
+    let sr = Sharded_repo.open_dir path in
+    Fun.protect
+      ~finally:(fun () -> Sharded_repo.close sr)
+      (fun () ->
+        let six = Sharded_repo.index sr in
+        print_topk level (Sharded_index.top_k six ~level ~k keywords))
+  end
+  else
+    let repo = repo_load path in
+    print_topk level (Repository.keyword_topk repo ~level ~k keywords)
 
 let repo_search path level keywords =
   let repo = repo_load path in
@@ -613,13 +745,39 @@ let repo_prov_search path level keywords =
       hits
 
 let repo_query path level entry query_src =
-  let repo = repo_load path in
-  let q = Query_parser.parse query_src in
-  List.iteri
-    (fun run w ->
-      Printf.printf "%s run %d at level %d: %b\n" entry run level
-        w.Query_eval.holds)
-    (Repository.structural_query repo ~level entry q)
+  if Sys.file_exists path && Sys.is_directory path
+     && Sharded_repo.is_sharded path
+  then begin
+    (* The scatter/gather structural path: engines whose reachability
+       oracle is the cross-shard frontier exchange. Answers are
+       bit-identical to the unsharded evaluation (differential suite). *)
+    let sr = Sharded_repo.open_dir path in
+    Fun.protect
+      ~finally:(fun () -> Sharded_repo.close sr)
+      (fun () ->
+        let nshards = Sharded_repo.shards sr in
+        let e = Repository.find (Sharded_repo.repo sr) entry in
+        let gate =
+          Access_gate.of_policy ~shards:nshards e.Repository.policy ~level
+        in
+        let plan = Plan.compile (Query_parser.parse query_src) in
+        List.iteri
+          (fun run exec ->
+            let ev = Access_gate.exec_view gate exec in
+            let engine = Frontier.engine_of_exec_view ~shards:nshards ev in
+            let w = Engine.run engine plan in
+            Printf.printf "%s run %d at level %d: %b\n" entry run level
+              w.Engine.holds)
+          e.Repository.executions)
+  end
+  else
+    let repo = repo_load path in
+    let q = Query_parser.parse query_src in
+    List.iteri
+      (fun run w ->
+        Printf.printf "%s run %d at level %d: %b\n" entry run level
+          w.Query_eval.holds)
+      (Repository.structural_query repo ~level entry q)
 
 (* ------------------------------------------------------------------ *)
 (* `serve` / `call`: the multi-session serving layer (lib/server) *)
@@ -672,6 +830,16 @@ let serve path port stdio port_file max_requests timeout max_level no_cache
   in
   let served =
     match path with
+    | Some p
+      when Sys.file_exists p && Sys.is_directory p && Sharded_repo.is_sharded p
+      ->
+        (* A sharded store serves read-only: structural queries on
+           frontier-backed engines, top-k on the sharded global merge,
+           cache keys carrying the shard topology. *)
+        let sr = Sharded_repo.open_dir p in
+        Fun.protect
+          ~finally:(fun () -> Sharded_repo.close sr)
+          (fun () -> run_front (Server.create_sharded ~config sr))
     | Some p when Sys.file_exists p && Sys.is_directory p ->
         (* A durable directory store mounts live: queries pin the
            current generation, appends stream through the WAL. *)
@@ -867,13 +1035,24 @@ let repo_group =
   in
   let kws p = Arg.(non_empty & pos_right p string [] & info [] ~docv:"KEYWORD") in
   let init =
+    let shards =
+      Arg.(
+        value & opt int 0
+        & info [ "shards" ] ~docv:"N"
+            ~doc:
+              "Hash-partition the store across N per-shard write-ahead \
+               logs under one root (entries route by name through the \
+               shard-map manifest). 0 (default) keeps the single-store \
+               layout; requires a directory path.")
+    in
     Cmd.v
       (Cmd.info "init"
          ~doc:
            "Write a demo repository (disease + clinical). A *.json path \
             gets the legacy whole-file store; any other path becomes a \
-            durable directory store (write-ahead log + snapshots).")
-      Term.(const repo_init $ path 0)
+            durable directory store (write-ahead log + snapshots), \
+            sharded across per-shard stores with $(b,--shards).")
+      Term.(const repo_init $ path 0 $ shards)
   in
   let append =
     let entry =

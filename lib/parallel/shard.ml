@@ -1,9 +1,20 @@
+(* The routing function is deliberately tiny and total: clearing the
+   sign bit with [land max_int] maps every int — including [min_int],
+   whose only set bit is the sign bit and which therefore routes like 0
+   — into [0, max_int], and the remainder picks the bucket. Sharded
+   stores persist partition keys derived from this function, so its
+   behaviour on every input is contract, not accident (see the qcheck
+   routing suite in test/test_shard.ml). *)
+let bucket ~shards h =
+  if shards < 1 then invalid_arg "Shard.bucket: shards < 1";
+  h land max_int mod shards
+
 let partition ~shards ~hash xs =
   if shards < 1 then invalid_arg "Shard.partition: shards < 1";
   let buckets = Array.make shards [] in
   List.iter
     (fun x ->
-      let b = hash x land max_int mod shards in
+      let b = bucket ~shards (hash x) in
       buckets.(b) <- x :: buckets.(b))
     xs;
   Array.map List.rev buckets

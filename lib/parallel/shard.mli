@@ -4,10 +4,23 @@
     fixed, the result is independent of scheduling whenever [map] and
     [merge] are pure. *)
 
+val bucket : shards:int -> int -> int
+(** [bucket ~shards h] is the routing function of the whole sharding
+    stack: the shard index in [0, shards) for hash value [h]. Defined as
+    [(h land max_int) mod shards] — the [land max_int] clears the sign
+    bit, so every input (negatives included) lands in range. The one
+    subtle input is [min_int], whose only set bit {e is} the sign bit:
+    it maps to bucket 0, exactly like a hash of 0. That behaviour is
+    part of the contract (property-tested, not incidental): routing is
+    total, deterministic, and stable for any [int], so on-disk partition
+    keys may rely on it. Raises [Invalid_argument] if [shards < 1]. *)
+
 val partition : shards:int -> hash:('a -> int) -> 'a list -> 'a list array
 (** [partition ~shards ~hash xs] routes each element to bucket
-    [(hash x land max_int) mod shards], preserving the relative order of
-    elements within a bucket. Raises [Invalid_argument] if [shards < 1]. *)
+    [bucket ~shards (hash x)], preserving the relative order of elements
+    within a bucket; every element appears in exactly one bucket (the
+    disjoint-coverage property the qcheck suite pins). Raises
+    [Invalid_argument] if [shards < 1]. *)
 
 val map_merge :
   Pool.t ->

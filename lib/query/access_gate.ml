@@ -5,6 +5,7 @@ type t = {
   g_spec : Spec.t;
   g_level : Privilege.level;
   g_generation : int;
+  g_shards : int;
   privilege : Privilege.t;
   classification : Data_privacy.t option;
   g_allowed : Ids.workflow_id list;
@@ -14,8 +15,9 @@ type t = {
   mutable g_view : View.t option;
 }
 
-let make_gen ?classification ?(generation = 0) privilege ~level =
+let make_gen ?classification ?(generation = 0) ?(shards = 1) privilege ~level =
   if generation < 0 then invalid_arg "Access_gate: negative generation";
+  if shards < 1 then invalid_arg "Access_gate: shards < 1";
   let g_allowed = Privilege.access_prefix privilege level in
   let allowed_set = Hashtbl.create (List.length g_allowed) in
   List.iter (fun w -> Hashtbl.replace allowed_set w ()) g_allowed;
@@ -24,6 +26,7 @@ let make_gen ?classification ?(generation = 0) privilege ~level =
     g_spec;
     g_level = level;
     g_generation = generation;
+    g_shards = shards;
     privilege;
     classification;
     g_allowed;
@@ -33,19 +36,21 @@ let make_gen ?classification ?(generation = 0) privilege ~level =
     g_view = None;
   }
 
-let make ?generation privilege ~level = make_gen ?generation privilege ~level
+let make ?generation ?shards privilege ~level =
+  make_gen ?generation ?shards privilege ~level
 
-let of_policy ?generation policy ~level =
+let of_policy ?generation ?shards policy ~level =
   make_gen
     ~classification:(Policy.data_classification policy)
-    ?generation (Policy.privilege policy) ~level
+    ?generation ?shards (Policy.privilege policy) ~level
 
-let unrestricted ?generation spec =
-  make_gen ?generation (Privilege.public spec) ~level:0
+let unrestricted ?generation ?shards spec =
+  make_gen ?generation ?shards (Privilege.public spec) ~level:0
 
 let spec t = t.g_spec
 let level t = t.g_level
 let generation t = t.g_generation
+let shards t = t.g_shards
 let allowed t = t.g_allowed
 let allows_workflow t w = Hashtbl.mem t.allowed_set w
 let workflow_floor t w = Privilege.required_level t.privilege w
@@ -113,7 +118,15 @@ let fingerprint t =
   let epoch =
     if t.g_generation = 0 then "" else Printf.sprintf "g%d/" t.g_generation
   in
-  Printf.sprintf "l%d/%sw{%s}/m{%s}/d{%s}" t.g_level epoch
+  (* Shard topology partitions caches like the epoch does: a result
+     computed against an N-shard layout must not answer for another
+     layout (counters, merge bounds and generations are
+     topology-relative). Unsharded gates (shards 1) keep the historical
+     string byte for byte. *)
+  let topology =
+    if t.g_shards <= 1 then "" else Printf.sprintf "s%d/" t.g_shards
+  in
+  Printf.sprintf "l%d/%s%sw{%s}/m{%s}/d{%s}" t.g_level epoch topology
     (String.concat "," t.g_allowed)
     (String.concat "," visible)
     (String.concat "," hidden_data)

@@ -15,20 +15,25 @@ open Wfpriv_privacy
 
 type t
 
-val make : ?generation:int -> Privilege.t -> level:Privilege.level -> t
+val make :
+  ?generation:int -> ?shards:int -> Privilege.t -> level:Privilege.level -> t
 (** Gate for one user level over one specification's expansion-level
     assignment. The allowed prefix is materialized immediately; views,
     the hierarchy and module floors are built lazily and memoized.
     [generation] (default 0) pins the gate to one epoch of a live
     repository: it enters {!fingerprint}, so everything keyed by
-    fingerprints re-partitions per committed batch. Raises
-    [Invalid_argument] when negative. *)
+    fingerprints re-partitions per committed batch. [shards] (default 1)
+    pins it to a shard topology the same way — a sharded store's
+    generation counter and merge behaviour are topology-relative, so
+    results must not cross layouts. Raises [Invalid_argument] when
+    [generation] is negative or [shards < 1]. *)
 
-val of_policy : ?generation:int -> Policy.t -> level:Privilege.level -> t
+val of_policy :
+  ?generation:int -> ?shards:int -> Policy.t -> level:Privilege.level -> t
 (** Same, additionally carrying the policy's data classification so
     {!data_readable} reflects data privacy. *)
 
-val unrestricted : ?generation:int -> Spec.t -> t
+val unrestricted : ?generation:int -> ?shards:int -> Spec.t -> t
 (** A gate that allows everything (public privilege at level 0) — for
     callers that need engine preparation without privacy. *)
 
@@ -37,6 +42,10 @@ val level : t -> Privilege.level
 
 val generation : t -> int
 (** The epoch the gate was built against; 0 for frozen repositories. *)
+
+val shards : t -> int
+(** The shard topology the gate was built against; 1 for unsharded
+    stores. *)
 
 val allowed : t -> Ids.workflow_id list
 (** The user's access prefix, sorted — materialized once at gate
@@ -76,6 +85,8 @@ val fingerprint : t -> string
     by privilege level by construction), the generation when non-zero
     (so cache entries are additionally partitioned by epoch on a live
     repository — the frozen, generation-0 string is unchanged), the
+    shard count when above one (partitioning by topology — the
+    unsharded string is again unchanged), the
     allowed prefix, the visible module set and the data names hidden at
     the level. Two gates have equal fingerprints iff they answer every
     visibility question identically against the same epoch — the key

@@ -31,8 +31,17 @@ type t = {
   index_of : (int, int) Hashtbl.t; (* external node id -> dense index *)
   succs : int array array; (* dense -> dense, ascending *)
   modules : Ids.module_id option array;
+  by_module : (Ids.module_id, int list) Hashtbl.t;
+      (* dense indices per module id, ascending: [Module_is] is the hot
+         predicate of selective structural batches, and a lookup beats
+         re-scanning all n nodes on every query *)
   io_kind : io array;
-  carries : (int * int, string list) Hashtbl.t; (* dense edge -> data names *)
+  carries : (int * int, string list) Hashtbl.t Lazy.t;
+      (* dense edge -> data names. Lazy: the build walks every edge
+         asking the view for its carried items — a large share of
+         preparation on big graphs — yet only carry-constrained edge
+         joins ever read it. [run_batch] forces it before fanning out
+         (Lazy is not domain-safe), like the hierarchy. *)
   reaches_override : (int -> int -> bool) option; (* over external ids *)
   closure : Bitset.t array option Atomic.t;
       (* the one mutable cell of a prepared view: written exactly once,
@@ -46,28 +55,66 @@ type witness = { holds : bool; nodes : int list }
 (* ------------------------------------------------------------------ *)
 (* Preparation *)
 
+let index_modules modules =
+  let by_module = Hashtbl.create 64 in
+  for i = Array.length modules - 1 downto 0 do
+    match modules.(i) with
+    | Some m ->
+        let tl =
+          match Hashtbl.find_opt by_module m with Some l -> l | None -> []
+        in
+        Hashtbl.replace by_module m (i :: tl)
+    | None -> ()
+  done;
+  by_module
+
 let prepare ~spec ~nodes ~succ_of ~module_of ~io_of ~carry_names ?reaches () =
   let node_of = Array.of_list nodes in
   let n = Array.length node_of in
   let index_of = Hashtbl.create (max n 1) in
   Array.iteri (fun i u -> Hashtbl.replace index_of u i) node_of;
   let succs =
-    Array.map
-      (fun u ->
-        succ_of u |> List.map (Hashtbl.find index_of) |> Array.of_list)
-      node_of
+    (* Execution node ids are near-contiguous in practice: when the id
+       range is compact, a flat array lookaside replaces one hashtable
+       probe per edge — a large share of preparation on dense graphs.
+       Unknown endpoints still raise [Not_found] as the probe would. *)
+    let lo = Array.fold_left min max_int node_of in
+    let hi = Array.fold_left max min_int node_of in
+    if n > 0 && hi - lo < (4 * n) + 8 then begin
+      let map = Array.make (hi - lo + 1) (-1) in
+      Array.iteri (fun i u -> map.(u - lo) <- i) node_of;
+      let dense v =
+        if v < lo || v > hi then raise Not_found
+        else
+          let i = map.(v - lo) in
+          if i < 0 then raise Not_found else i
+      in
+      Array.map
+        (fun u -> succ_of u |> List.map dense |> Array.of_list)
+        node_of
+    end
+    else
+      Array.map
+        (fun u ->
+          succ_of u |> List.map (Hashtbl.find index_of) |> Array.of_list)
+        node_of
   in
-  let carries = Hashtbl.create 32 in
-  Array.iteri
-    (fun i js ->
-      Array.iter
-        (fun j ->
-          match carry_names node_of.(i) node_of.(j) with
-          | [] -> ()
-          | names -> Hashtbl.replace carries (i, j) names)
-        js)
-    succs;
+  let carries =
+    lazy
+      (let carries = Hashtbl.create 32 in
+       Array.iteri
+         (fun i js ->
+           Array.iter
+             (fun j ->
+               match carry_names node_of.(i) node_of.(j) with
+               | [] -> ()
+               | names -> Hashtbl.replace carries (i, j) names)
+             js)
+         succs;
+       carries)
+  in
   Obs.Counter.incr_op m_prepares;
+  let modules = Array.map module_of node_of in
   {
     e_spec = spec;
     hierarchy = lazy (Hierarchy.of_spec spec);
@@ -75,7 +122,8 @@ let prepare ~spec ~nodes ~succ_of ~module_of ~io_of ~carry_names ?reaches () =
     node_of;
     index_of;
     succs;
-    modules = Array.map module_of node_of;
+    modules;
+    by_module = index_modules modules;
     io_kind = Array.map io_of node_of;
     carries;
     reaches_override = reaches;
@@ -121,7 +169,7 @@ let of_execution exec =
       |> List.map (fun d -> (Execution.find_item exec d).Execution.name))
     ()
 
-let of_spec spec =
+let of_spec ?reaches spec =
   (* Module universe: every module (composites included), edges from the
      union of the per-workflow dataflow graphs. *)
   let edge_data = Hashtbl.create 64 in
@@ -140,7 +188,7 @@ let of_spec spec =
     ~io_of:(fun _ -> Io_none)
     ~carry_names:(fun u v ->
       Option.value ~default:[] (Hashtbl.find_opt edge_data (u, v)))
-    ()
+    ?reaches ()
 
 (* ------------------------------------------------------------------ *)
 (* Accessors and predicate matching *)
@@ -174,6 +222,16 @@ let digest t =
       Buffer.add_char buf ']')
     t.node_of;
   Printf.sprintf "%d:%08x" t.n (Wfpriv_serial.Crc32.digest (Buffer.contents buf))
+
+let dense_graph t = (t.node_of, t.succs)
+
+let with_reaches t f =
+  {
+    t with
+    reaches_override = Some f;
+    closure = Atomic.make None;
+    closure_lock = Mutex.create ();
+  }
 
 let succ t u =
   match Hashtbl.find_opt t.index_of u with
@@ -209,11 +267,17 @@ let dense_matches_io t i pred =
   | _ -> dense_matches t i pred
 
 let matching_dense t pred =
-  let acc = ref [] in
-  for i = t.n - 1 downto 0 do
-    if dense_matches t i pred then acc := i :: !acc
-  done;
-  !acc
+  match pred with
+  | Query_ast.Module_is m -> (
+      (* Indexed fast path; [dense_matches] would reject every node whose
+         module differs and every io node, which is exactly the index. *)
+      match Hashtbl.find_opt t.by_module m with Some l -> l | None -> [])
+  | _ ->
+      let acc = ref [] in
+      for i = t.n - 1 downto 0 do
+        if dense_matches t i pred then acc := i :: !acc
+      done;
+      !acc
 
 let externalize t dense = List.map (fun i -> t.node_of.(i)) dense
 let matching t pred = externalize t (matching_dense t pred)
@@ -474,13 +538,17 @@ let extend ?(carry_names = fun _ _ -> []) t ~nodes ~edges =
                successor array ascending. *)
             Array.append old (Array.of_list (List.sort compare js)))
   in
-  let carries = Hashtbl.copy t.carries in
-  List.iter
-    (fun (i, j) ->
-      match carry_names node_of.(i) node_of.(j) with
-      | [] -> ()
-      | names -> Hashtbl.replace carries (i, j) names)
-    dense_edges;
+  let carries =
+    lazy
+      (let carries = Hashtbl.copy (Lazy.force t.carries) in
+       List.iter
+         (fun (i, j) ->
+           match carry_names node_of.(i) node_of.(j) with
+           | [] -> ()
+           | names -> Hashtbl.replace carries (i, j) names)
+         dense_edges;
+       carries)
+  in
   (* Incremental closure maintenance. Appended edges only ever point into
      the appended region (descendants), so an existing closed row can
      only gain members of the new range — it is never invalidated. Widen
@@ -522,6 +590,7 @@ let extend ?(carry_names = fun _ _ -> []) t ~nodes ~edges =
             Atomic.make (Some rows'))
   in
   Obs.Counter.incr_op m_extends;
+  let modules' = Array.append t.modules (Array.of_list (List.map snd nodes)) in
   {
     e_spec = t.e_spec;
     hierarchy = t.hierarchy;
@@ -529,7 +598,8 @@ let extend ?(carry_names = fun _ _ -> []) t ~nodes ~edges =
     node_of;
     index_of;
     succs;
-    modules = Array.append t.modules (Array.of_list (List.map snd nodes));
+    modules = modules';
+    by_module = index_modules modules';
     io_kind = Array.append t.io_kind (Array.make (max k 0) Io_none);
     carries;
     reaches_override = None;
@@ -562,7 +632,7 @@ let rec eval t trace plan =
                 match carry with
                 | None -> true
                 | Some d -> (
-                    match Hashtbl.find_opt t.carries (i, j) with
+                    match Hashtbl.find_opt (Lazy.force t.carries) (i, j) with
                     | Some names -> List.mem d names
                     | None -> false)
               in
@@ -704,6 +774,15 @@ let rec plan_needs_closure = function
   | Plan.Refine_join _ ->
       false
 
+let rec plan_needs_carries = function
+  | Plan.Edge_join (_, _, Some _) -> true
+  | Plan.Guarded_and (a, b) | Plan.Union (a, b) ->
+      plan_needs_carries a || plan_needs_carries b
+  | Plan.Complement a -> plan_needs_carries a
+  | Plan.Node_scan _ | Plan.Edge_join (_, _, None) | Plan.Reach_join _
+  | Plan.Inside_scan _ | Plan.Refine_join _ ->
+      false
+
 let run_batch ?pool t plans =
   let pool = match pool with Some p -> p | None -> Pool.global () in
   Obs.Trace.with_span "engine.run_batch"
@@ -718,6 +797,8 @@ let run_batch ?pool t plans =
          hierarchy (Lazy is not safe to force concurrently) and the
          closure (published once, under the lock). *)
       ignore (Lazy.force t.hierarchy);
+      if List.exists plan_needs_carries plans then
+        ignore (Lazy.force t.carries);
       if t.reaches_override = None && List.exists plan_needs_closure plans
       then ignore (closure_rows_with pool t);
       let ws =

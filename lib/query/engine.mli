@@ -36,10 +36,12 @@ val of_execution : Execution.t -> t
 (** The raw provenance graph (no collapsing) — candidate enumeration for
     {!Exec_search}. *)
 
-val of_spec : Spec.t -> t
+val of_spec : ?reaches:(int -> int -> bool) -> Spec.t -> t
 (** The module universe itself: every module of every workflow (composites
     included, unlike any flat view), with each workflow's internal
-    dataflow edges. Candidate enumeration for {!Keyword}. *)
+    dataflow edges. Candidate enumeration for {!Keyword}. [reaches]
+    overrides the reachability oracle as in {!of_exec_view} — the hook a
+    sharded scatter/gather planner plugs its frontier exchange into. *)
 
 val extend :
   ?carry_names:(int -> int -> string list) ->
@@ -81,6 +83,20 @@ val digest : t -> string
 
 val succ : t -> int -> int list
 (** Successors of an external node id, sorted; [[]] for unknown nodes. *)
+
+val dense_graph : t -> int array * int array array
+(** The prepared view's dense adjacency, [(node_of, succs)]:
+    [node_of.(i)] is the external id at dense index [i] (ascending) and
+    [succs.(i)] holds successors as dense indices. The arrays are the
+    engine's own — callers must not mutate them. Exposed so a sharded
+    planner can partition an already-prepared graph without paying a
+    second preparation pass. *)
+
+val with_reaches : t -> (int -> int -> bool) -> t
+(** A view sharing this engine's prepared graph (nodes, adjacency,
+    module index, carries) but answering reachability joins through the
+    given oracle over external node ids, with its own unmaterialized
+    closure cell. The base engine is unaffected. *)
 
 val module_of : t -> int -> Ids.module_id option
 

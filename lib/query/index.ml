@@ -428,16 +428,38 @@ let wand_cursor c ~weight =
     wc_next = (fun d -> tcur_next_at c d);
   }
 
-let top_k t ~level ~k terms =
+(* WAND against caller-supplied weights — the per-shard half of the
+   sharded global merge: each shard runs block-max WAND with weights
+   computed once from global corpus statistics, so per-shard scores are
+   the floats the unsharded index would produce for the same docs. *)
+let top_k_weighted t ~level ~k weighted =
   Obs.Counter.incr m_topk ~at:level;
   let cursors =
     List.filter_map
       (fun (term, weight) ->
         let c = cursor t ~level term in
         if Array.length c.tcs = 0 then None else Some (wand_cursor c ~weight))
-      (weighted_terms t ~level terms)
+      weighted
   in
   Ranking.top_k_wand ~k ~doc:(Symtab.name t.symtab) cursors
+
+let top_k t ~level ~k terms =
+  top_k_weighted t ~level ~k (weighted_terms t ~level terms)
+
+(* An upper bound on any single doc's score in this index at the level:
+   sum of weight * (global max aggregated tf at partitions <= level) per
+   term. Reads only partition metadata visible at the level — no block
+   is decoded — and float monotonicity (products of non-negative floats,
+   sums accumulated in the same term order as scoring) makes the bound
+   conservative under rounding: a shard pruned by it cannot hold a
+   top-k doc. *)
+let max_score t ~level weighted =
+  List.fold_left
+    (fun acc (term, weight) ->
+      let c = cursor t ~level term in
+      if Array.length c.tcs = 0 then acc
+      else acc +. (weight *. float_of_int (tcur_global_max c)))
+    0.0 weighted
 
 let matching_docs t ~level terms =
   let terms = List.sort_uniq compare (List.map String.lowercase_ascii terms) in

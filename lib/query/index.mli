@@ -124,6 +124,30 @@ val top_k :
     tie-break — skipping blocks whose bounds cannot reach the current
     k-th entry. All bounds come from partitions [<= level]. *)
 
+val top_k_weighted :
+  t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  k:int ->
+  (string * float) list ->
+  Ranking.entry list
+(** {!top_k} against caller-supplied (term, weight) pairs instead of
+    this index's own IDF — the per-shard half of a sharded global merge:
+    with weights computed from global corpus statistics (summed df, doc
+    counts), each shard's WAND produces exactly the floats the unsharded
+    index would assign its docs ({!score_entries_weighted}'s argument,
+    lifted to the ranked path). *)
+
+val max_score :
+  t -> level:Wfpriv_privacy.Privilege.level -> (string * float) list -> float
+(** Upper bound on any single doc's score at the level for the weighted
+    terms: sum of weight times the term's global maximum aggregated
+    frequency over partitions [<= level]. Decodes nothing (partition
+    metadata only) and reads only what the level may see, so a
+    cross-shard merge may prune a whole shard on it without its decision
+    — or the observer-visible decode/skip counters — depending on hidden
+    postings. Conservative under float rounding (monotone products and
+    sums, accumulated in term order). *)
+
 (** {2 Streaming cursors} *)
 
 type cursor

@@ -46,14 +46,19 @@ let create ?(capacity = 256) () =
     evictions = 0;
   }
 
-let group_key ?(generation = 0) ~entry ~run ~prefix () =
+let group_key ?(generation = 0) ?(shards = 1) ~entry ~run ~prefix () =
   (* Executions are immutable once stored, so closure/engine entries for
      a given (entry, run) stay valid across epochs and the generation
      defaults to 0 — keys are then byte-identical to the frozen ones.
      Callers that must re-key per epoch (anything derived from the whole
-     corpus rather than one stored run) pass the generation. *)
+     corpus rather than one stored run) pass the generation; callers
+     reading a sharded store pass its shard count, since its generation
+     counter only means something within one topology. *)
   let epoch = if generation = 0 then "" else Printf.sprintf "@g%d" generation in
-  Printf.sprintf "%s/%d/{%s}%s" entry run (String.concat "," prefix) epoch
+  let topology = if shards <= 1 then "" else Printf.sprintf "@s%d" shards in
+  Printf.sprintf "%s/%d/{%s}%s%s" entry run
+    (String.concat "," prefix)
+    epoch topology
 
 let touch t slot =
   t.tick <- t.tick + 1;

@@ -23,6 +23,7 @@ val create : ?capacity:int -> unit -> t
 
 val group_key :
   ?generation:int ->
+  ?shards:int ->
   entry:string ->
   run:int ->
   prefix:Wfpriv_workflow.Ids.workflow_id list ->
@@ -33,7 +34,9 @@ val group_key :
     byte-identical to the historical key) and cached closures/engines
     stay shareable across a live repository's generations; a non-zero
     [generation] suffixes the key for callers whose cached value depends
-    on the whole corpus at one epoch. *)
+    on the whole corpus at one epoch, and [shards > 1] (default 1)
+    additionally suffixes the shard topology — a sharded store's
+    generation counter is only comparable within one layout. *)
 
 val closure :
   t -> key:string -> Wfpriv_workflow.Exec_view.t -> Wfpriv_graph.Reachability.closure

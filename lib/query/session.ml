@@ -25,6 +25,7 @@ let current t = t.view
 let gate t = t.gate
 let level t = Access_gate.level t.gate
 let generation t = Access_gate.generation t.gate
+let shards t = Access_gate.shards t.gate
 let prefix t = Exec_view.prefix t.view
 
 let engine t =

@@ -35,6 +35,10 @@ val generation : t -> int
 (** The epoch the session's gate is pinned to ({!Access_gate.generation});
     0 for frozen repositories. *)
 
+val shards : t -> int
+(** The shard topology the session's gate is pinned to
+    ({!Access_gate.shards}); 1 for unsharded stores. *)
+
 val prefix : t -> Wfpriv_workflow.Ids.workflow_id list
 
 val engine : t -> Engine.t

@@ -1,6 +1,7 @@
 module Q = Wfpriv_query
 module D = Wfpriv_durable
 module W = Wfpriv_workflow
+module Sh = Wfpriv_shard
 module Obs = Wfpriv_obs
 
 (* Request volume and privilege denials are privilege-partitioned
@@ -35,10 +36,15 @@ let default_config =
 type job = { jm : Wire.mode; jf : Wire.req_frame }
 
 (* A frozen repository (immutable while serving — the degenerate
-   single-generation case) or a live one whose writer publishes a new
-   generation per committed append batch. Readers always execute
-   against the pinned current generation, never mid-batch state. *)
-type backing = Frozen of Q.Repository.t | Live of D.Live_repo.t
+   single-generation case), a live one whose writer publishes a new
+   generation per committed append batch, or a sharded store served
+   read-only (appends to a sharded store go through the CLI offline;
+   the serving loop reopens nothing). Readers always execute against
+   the pinned current generation, never mid-batch state. *)
+type backing =
+  | Frozen of Q.Repository.t
+  | Live of D.Live_repo.t
+  | Sharded of Sh.Sharded_repo.t
 
 type appender =
   entry:string -> workload:string option -> seed:int -> Q.Repository.mutation
@@ -57,6 +63,11 @@ type t = {
          engines below) stay valid across generations and need no
          epoch in their key. *)
   mutable index : Q.Index.t option; (* built on first top-k (frozen) *)
+  mutable sindex : (int * Sh.Sharded_index.t) option;
+      (* sharded top-k index, keyed by the generation it was built at *)
+  sengines : (string, Q.Engine.t) Hashtbl.t;
+      (* frontier-backed engines per user group (sharded backing only;
+         keys carry the shard topology via Reach_cache.group_key) *)
   mutable served : int;
 }
 
@@ -76,6 +87,8 @@ let make ?(config = default_config) ?(now = Unix.gettimeofday) ?appender
     sched = Scheduler.create ~config:config.sched ~now ();
     gates = Hashtbl.create 32;
     index = None;
+    sindex = None;
+    sengines = Hashtbl.create 32;
     served = 0;
   }
 
@@ -84,13 +97,22 @@ let create ?config ?now repo = make ?config ?now (Frozen repo)
 let create_live ?config ?now ?appender live =
   make ?config ?now ?appender (Live live)
 
+let create_sharded ?config ?now sr = make ?config ?now (Sharded sr)
+
 let repo t =
   match t.backing with
   | Frozen r -> r
   | Live lr -> (D.Live_repo.pin lr).D.Live_repo.gen_repo
+  | Sharded sr -> Sh.Sharded_repo.repo sr
 
 let generation t =
-  match t.backing with Frozen _ -> 0 | Live lr -> D.Live_repo.generation lr
+  match t.backing with
+  | Frozen _ -> 0
+  | Live lr -> D.Live_repo.generation lr
+  | Sharded sr -> Sh.Sharded_repo.generation sr
+
+let shards t =
+  match t.backing with Sharded sr -> Sh.Sharded_repo.shards sr | _ -> 1
 
 let cache_stats t =
   match t.cache with
@@ -112,7 +134,11 @@ let gate_for t (e : Q.Repository.entry) level =
   match Hashtbl.find_opt t.gates (e.name, level) with
   | Some g -> g
   | None ->
-      let gate = Q.Access_gate.of_policy e.policy ~level in
+      (* Gates carry the backing's shard topology so every fingerprint
+         — hence every Level_cache key — partitions by layout as well
+         as by visibility; unsharded backings keep the historical
+         strings (shards 1 adds nothing). *)
+      let gate = Q.Access_gate.of_policy ~shards:(shards t) e.policy ~level in
       Q.Access_gate.prepare gate;
       let g = (gate, Q.Access_gate.fingerprint gate) in
       Hashtbl.replace t.gates (e.name, level) g;
@@ -123,10 +149,27 @@ let engine_for t gate ~entry ~run exec =
      equal prefixes share one prepared engine — Reach_cache's user-group
      sharing. Results stay level-partitioned in the level cache. *)
   let view = Q.Access_gate.exec_view gate exec in
-  let key =
-    Q.Reach_cache.group_key ~entry ~run ~prefix:(W.Exec_view.prefix view) ()
-  in
-  Q.Reach_cache.engine t.rcache ~key view
+  let prefix = W.Exec_view.prefix view in
+  match t.backing with
+  | Sharded sr -> (
+      (* Frontier-backed engines: reachability by cross-shard exchange,
+         bit-identical to the memoized closure (the differential suite
+         pins it). Reach_cache cannot host these — it prepares its own
+         plain engines — so they memoize here, keyed with the topology
+         suffix so no group key ever collides with an unsharded one. *)
+      let nshards = Sh.Sharded_repo.shards sr in
+      let key =
+        Q.Reach_cache.group_key ~shards:nshards ~entry ~run ~prefix ()
+      in
+      match Hashtbl.find_opt t.sengines key with
+      | Some eng -> eng
+      | None ->
+          let eng = Sh.Frontier.engine_of_exec_view ~shards:nshards view in
+          Hashtbl.replace t.sengines key eng;
+          eng)
+  | Frozen _ | Live _ ->
+      let key = Q.Reach_cache.group_key ~entry ~run ~prefix () in
+      Q.Reach_cache.engine t.rcache ~key view
 
 let index_for t =
   match t.index with
@@ -135,6 +178,15 @@ let index_for t =
       let ix = Q.Repository.search_index (repo t) in
       t.index <- Some ix;
       ix
+
+let sindex_for t sr =
+  let g = Sh.Sharded_repo.generation sr in
+  match t.sindex with
+  | Some (g', six) when g' = g -> six
+  | _ ->
+      let six = Sh.Sharded_repo.index sr in
+      t.sindex <- Some (g, six);
+      six
 
 let cache_find t ~level key =
   match t.cache with
@@ -283,12 +335,30 @@ type t_state =
 
 (* Top-k answers depend on the whole visible corpus, so their cache
    fingerprint carries the pinned generation (entry-scoped results do
-   not: an execution's DAG never changes once stored). Generation 0
-   keeps the frozen byte format. *)
+   not: an execution's DAG never changes once stored) and, on a sharded
+   backing, the shard topology (its generation counter only means
+   something within one layout). Generation 0 with one shard keeps the
+   frozen byte format. *)
 let topk_fingerprint t ~level =
   let g = generation t in
-  if g = 0 then Printf.sprintf "l%d/topk" level
-  else Printf.sprintf "l%d/g%d/topk" level g
+  let epoch = if g = 0 then "" else Printf.sprintf "g%d/" g in
+  let s = shards t in
+  let topology = if s <= 1 then "" else Printf.sprintf "s%d/" s in
+  Printf.sprintf "l%d/%s%stopk" level epoch topology
+
+(* The canonical top-k pipeline dispatches to the sharded global merge
+   (per-shard WAND under global weights, upper-bound pruning);
+   everything else — in particular quantized pipelines — ranks the
+   exhaustive merged scores. The same dispatch rule as the frozen and
+   LSM paths, so answers are bit-identical across all three. *)
+let run_search_sharded ~sindex ~level plan =
+  match plan with
+  | Q.Plan.Project_top (k, Q.Plan.Rank (Q.Plan.Keyword_lookup kws)) ->
+      Sh.Sharded_index.top_k sindex ~level ~k kws
+  | plan ->
+      Q.Engine.run_search
+        ~lookup:(fun kws -> Sh.Sharded_index.score_entries sindex ~level kws)
+        plan
 
 let run_searches t ~level plans =
   match t.backing with
@@ -296,6 +366,9 @@ let run_searches t ~level plans =
   | Live lr ->
       Q.Engine.run_searches_live
         ~view:(D.Live_repo.pin lr).D.Live_repo.gen_view ~level plans
+  | Sharded sr ->
+      let sindex = sindex_for t sr in
+      List.map (run_search_sharded ~sindex ~level) plans
 
 let exec_topk_group t ~level frames =
   let fp = topk_fingerprint t ~level in
@@ -407,6 +480,11 @@ let exec_append_group t ~level frames =
       List.map
         (fun (f : Wire.req_frame) ->
           bad f.rid "repository is frozen: no live store mounted")
+        frames
+  | Sharded _, _ ->
+      List.map
+        (fun (f : Wire.req_frame) ->
+          bad f.rid "sharded store is served read-only: append via the CLI")
         frames
   | Live _, None ->
       List.map
@@ -590,7 +668,7 @@ let cycle t =
      on a frozen backing). *)
   (match t.backing with
   | Live lr -> ignore (D.Live_repo.maintain lr)
-  | Frozen _ -> ());
+  | Frozen _ | Sharded _ -> ());
   let events = Scheduler.drain t.sched ~batch_key () in
   List.concat_map
     (fun ev ->
@@ -632,6 +710,20 @@ let drain_all t =
     match cycle t with [] -> List.concat (List.rev acc) | rs -> go (rs :: acc)
   in
   go []
+
+(* Idle-time LSM maintenance: burn down the merge backlog while the
+   serving loop has nothing else to do (the select-timeout path of
+   {!serve_tcp}), bounded per call so a newly arrived request never
+   waits behind more than [max_steps] merge steps. *)
+let maintain_idle ?(max_steps = 4) t =
+  match t.backing with
+  | Live lr ->
+      let steps = ref 0 in
+      while !steps < max_steps && D.Live_repo.maintain lr do
+        incr steps
+      done;
+      !steps
+  | Frozen _ | Sharded _ -> 0
 
 (* {2 Front-ends} *)
 
@@ -761,6 +853,11 @@ let serve_tcp t ~port ?port_file ?max_requests ?timeout_s () =
         try Unix.select rds wrs [] tick
         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
       in
+      (* Select timed out with nothing to read, write, or schedule: the
+         loop is idle, so spend the lull on background LSM merges
+         instead of sleeping through the backlog. *)
+      if r = [] && w = [] && Scheduler.pending t.sched = 0 then
+        ignore (maintain_idle t);
       if List.mem lsock r then begin
         let rec accept_all () =
           match Unix.accept lsock with

@@ -58,12 +58,39 @@ val create_live :
     into one durable commit — one published generation — per scheduler
     cycle, and each cycle runs one background LSM merge step. *)
 
+val create_sharded :
+  ?config:config ->
+  ?now:(unit -> float) ->
+  Wfpriv_shard.Sharded_repo.t ->
+  t
+(** Serve a sharded store read-only (appends are refused like on a
+    frozen backing; write to a sharded store through the CLI and
+    restart or point a fresh server at it). Structural queries run on
+    frontier-backed engines ({!Wfpriv_shard.Frontier}), top-k frames on
+    the sharded global merge ({!Wfpriv_shard.Sharded_index}) — answers
+    bit-identical to serving the equivalent unsharded repository, while
+    every cache fingerprint carries the shard topology and the sharded
+    generation so no entry ever crosses layouts or epochs. *)
+
 val repo : t -> Wfpriv_query.Repository.t
 (** The repository queries currently execute against: the frozen one,
     or the live backing's pinned current generation. *)
 
 val generation : t -> int
-(** Current epoch; 0 on a frozen backing. *)
+(** Current epoch; 0 on a frozen backing. On a sharded backing, the
+    global (summed) {!Wfpriv_shard.Sharded_repo.generation}. *)
+
+val shards : t -> int
+(** Shard count of the backing; 1 unless created by
+    {!create_sharded}. *)
+
+val maintain_idle : ?max_steps:int -> t -> int
+(** Run up to [max_steps] (default 4) background LSM merge steps
+    ({!Wfpriv_durable.Live_repo.maintain}); returns how many ran (0 on
+    frozen and sharded backings, and once the backlog is empty).
+    {!serve_tcp} calls this on its select-timeout path, so merge debt
+    drains while the loop is idle instead of one step per request
+    cycle only. *)
 
 val cache_stats : t -> Level_cache.stats
 val cache_keys : t -> string list
@@ -112,4 +139,5 @@ val serve_tcp :
     bound port once listening — the rendezvous the smoke test uses.
     The loop exits after [max_requests] responses (once flushed) or
     [timeout_s] seconds; with neither, it runs until interrupted.
+    Select timeouts with no pending work drive {!maintain_idle}.
     Returns the number of responses written. *)

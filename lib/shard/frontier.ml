@@ -1,0 +1,342 @@
+module Bitset = Wfpriv_graph.Bitset
+module Pool = Wfpriv_parallel.Pool
+module Shard = Wfpriv_parallel.Shard
+module Engine = Wfpriv_query.Engine
+module Obs = Wfpriv_obs
+
+let m_prepares = Obs.Registry.counter "shard.frontier_prepares"
+let m_queries = Obs.Registry.counter "shard.frontier_queries"
+let m_rounds = Obs.Registry.counter "shard.frontier_rounds"
+let m_exchanges = Obs.Registry.counter "shard.frontier_exchanges"
+
+type t = {
+  shards : int;
+  node_of : int array; (* dense -> external, ascending *)
+  index_of : (int, int) Hashtbl.t; (* external -> dense *)
+  owner : int array; (* dense -> shard *)
+  slot : int array; (* dense -> local index within its shard *)
+  own : int array array; (* shard -> local index -> dense *)
+  cross : int array array array;
+      (* shard -> local index -> the node's outbox of boundary edges,
+         each packed as [(dest shard lsl 32) lor dest slot], ascending —
+         packed ints keep the hot delivery loop scanning one flat array
+         per node instead of chasing a tuple list *)
+  closures : Bitset.t array array; (* shard -> local closure rows *)
+  memo : (int, Bitset.t array) Hashtbl.t; (* dense src -> per-shard reached *)
+  mutable rounds : int;
+  mutable exchanges : int;
+}
+
+(* Deterministic partition key for graph nodes: a fixed avalanche mix of
+   the external id (splitmix64's finalizer constants, truncated to
+   OCaml's native int by the 32-bit compositions below), folded through
+   the documented routing function. Pure integer arithmetic — stable
+   across processes, unlike [Hashtbl.hash] no versioning caveats. *)
+let mix_a = (0x9e3779b9 lsl 32) lor 0x7f4a7c15
+let mix_b = (0xbf58476d lsl 32) lor 0x1ce4e5b9
+let mix_c = (0x94d049bb lsl 32) lor 0x133111eb
+
+let node_key u =
+  let h = u * mix_a in
+  let h = (h lxor (h lsr 30)) * mix_b in
+  (h lxor (h lsr 27)) * mix_c
+
+let mask32 = (1 lsl 32) - 1
+let pack ds dslot = (ds lsl 32) lor dslot
+
+(* In-place ascending sort + dedup; packed (shard, slot) ints order
+   exactly as the (shard, slot) pairs do lexicographically. *)
+let sort_uniq_ints a =
+  Array.sort (fun (x : int) y -> compare x y) a;
+  let m = Array.length a in
+  if m <= 1 then a
+  else begin
+    let w = ref 1 in
+    for r = 1 to m - 1 do
+      if a.(r) <> a.(!w - 1) then begin
+        a.(!w) <- a.(r);
+        incr w
+      end
+    done;
+    if !w = m then a else Array.sub a 0 !w
+  end
+
+(* Fill one shard's local closure rows: reverse-topological (Kahn over
+   the local subgraph), each row unioning its local successors' complete
+   rows; per-row DFS fallback if the local subgraph ever carries a cycle
+   (it cannot for DAG inputs, but the engine keeps the same guard). *)
+let local_closure local_succ =
+  let k = Array.length local_succ in
+  let rows = Array.init k (fun _ -> Bitset.create k) in
+  let indeg = Array.make k 0 in
+  Array.iter (Array.iter (fun j -> indeg.(j) <- indeg.(j) + 1)) local_succ;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let order = ref [] and seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    incr seen;
+    order := i :: !order;
+    Array.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j queue)
+      local_succ.(i)
+  done;
+  if !seen = k then
+    List.iter
+      (fun i ->
+        Bitset.add rows.(i) i;
+        Array.iter
+          (fun j -> Bitset.union_into ~dst:rows.(i) rows.(j))
+          local_succ.(i))
+      !order
+  else
+    for i = 0 to k - 1 do
+      let stack = ref [ i ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | u :: rest ->
+            stack := rest;
+            if not (Bitset.mem rows.(i) u) then begin
+              Bitset.add rows.(i) u;
+              Array.iter (fun v -> stack := v :: !stack) local_succ.(u)
+            end
+      done
+    done;
+  rows
+
+(* Core build over a dense adjacency: [node_of.(i)] external ids,
+   [dense_succ.(i)] successors as dense indices. Both the list-based
+   [prepare] and the engine-backed [of_engine] funnel here, so every
+   entry point yields the same owners, slots and closures. [sorted]
+   promises the successor arrays are ascending and duplicate-free (the
+   engine's invariant), letting the partition skip its sorts; layout
+   order is not observable — pendings are sets and the delivery guard
+   reads only state frozen during a sweep — so both paths answer and
+   count identically. *)
+let prepare_dense ?pool ~shards ~sorted ~node_of ~index_of ~dense_succ () =
+  if shards < 1 then invalid_arg "Frontier.prepare: shards < 1";
+  let pool = match pool with Some p -> p | None -> Pool.global () in
+  let n = Array.length node_of in
+  let owner =
+    Array.map (fun u -> Shard.bucket ~shards (node_key u)) node_of
+  in
+  let sizes = Array.make shards 0 in
+  let slot = Array.make (max n 1) 0 in
+  Array.iteri
+    (fun i s ->
+      slot.(i) <- sizes.(s);
+      sizes.(s) <- sizes.(s) + 1)
+    owner;
+  let own = Array.init shards (fun s -> Array.make (max sizes.(s) 1) 0) in
+  Array.iteri (fun i s -> own.(s).(slot.(i)) <- i) owner;
+  let own = Array.init shards (fun s -> Array.sub own.(s) 0 sizes.(s)) in
+  (* Split each node's successor list into local edges (same shard, in
+     local coordinates) and the cross-shard outbox. *)
+  let local_succ =
+    Array.init shards (fun s -> Array.make (max sizes.(s) 1) [||])
+  in
+  let cross = Array.init shards (fun s -> Array.make (max sizes.(s) 1) [||]) in
+  (* Two passes per node — count, then fill exact-size arrays — so the
+     partition allocates nothing per edge. *)
+  for i = 0 to n - 1 do
+    let s = owner.(i) in
+    let js = dense_succ.(i) in
+    let nl = ref 0 in
+    Array.iter (fun j -> if owner.(j) = s then incr nl) js;
+    let locals = Array.make !nl 0 in
+    let aways = Array.make (Array.length js - !nl) 0 in
+    let wl = ref 0 and wa = ref 0 in
+    Array.iter
+      (fun j ->
+        if owner.(j) = s then begin
+          locals.(!wl) <- slot.(j);
+          incr wl
+        end
+        else begin
+          aways.(!wa) <- pack owner.(j) slot.(j);
+          incr wa
+        end)
+      js;
+    (* Ascending input gives ascending local slots (slot order follows
+       dense order within a shard), so sorted inputs need no re-sort. *)
+    local_succ.(s).(slot.(i)) <- (if sorted then locals else sort_uniq_ints locals);
+    cross.(s).(slot.(i)) <- (if sorted then aways else sort_uniq_ints aways)
+  done;
+  let local_succ =
+    Array.init shards (fun s -> Array.sub local_succ.(s) 0 sizes.(s))
+  in
+  let cross = Array.init shards (fun s -> Array.sub cross.(s) 0 sizes.(s)) in
+  (* Per-shard closures fill in parallel: shards own disjoint rows and
+     read only their own local subgraph, so the fan-out is free of
+     sharing and the rows are identical to a sequential build's. *)
+  let closures = Pool.parallel_map ~chunk:1 pool local_closure local_succ in
+  Obs.Counter.incr_op m_prepares;
+  {
+    shards;
+    node_of;
+    index_of;
+    owner;
+    slot;
+    own;
+    cross;
+    closures;
+    memo = Hashtbl.create 64;
+    rounds = 0;
+    exchanges = 0;
+  }
+
+let prepare ?pool ~shards ~succ nodes =
+  if shards < 1 then invalid_arg "Frontier.prepare: shards < 1";
+  let node_of = Array.of_list nodes in
+  let n = Array.length node_of in
+  let index_of = Hashtbl.create (max n 1) in
+  Array.iteri (fun i u -> Hashtbl.replace index_of u i) node_of;
+  let dense_succ =
+    Array.map
+      (fun u ->
+        succ u
+        |> List.map (fun v ->
+               match Hashtbl.find_opt index_of v with
+               | Some j -> j
+               | None -> invalid_arg "Frontier.prepare: edge endpoint unknown")
+        |> Array.of_list)
+      node_of
+  in
+  prepare_dense ?pool ~shards ~sorted:false ~node_of ~index_of ~dense_succ ()
+
+let of_engine ?pool ~shards eng =
+  (* Reuse the engine's prepared dense adjacency: no per-edge Hashtbl
+     translation, no per-node successor lists. The arrays are shared
+     read-only; the partition never mutates them. *)
+  let node_of, dense_succ = Engine.dense_graph eng in
+  let n = Array.length node_of in
+  let index_of = Hashtbl.create (max n 1) in
+  Array.iteri (fun i u -> Hashtbl.replace index_of u i) node_of;
+  prepare_dense ?pool ~shards ~sorted:true ~node_of ~index_of ~dense_succ ()
+
+let shards t = t.shards
+let nb_nodes t = Array.length t.node_of
+
+let owner t u =
+  match Hashtbl.find_opt t.index_of u with
+  | Some i -> t.owner.(i)
+  | None -> raise Not_found
+
+(* One source's reachable set, as per-shard bitsets over local slots.
+   The frontier exchange: pending.(s) holds slots whose closure rows the
+   next sweep over shard [s] must union in; a sweep marks everything
+   newly reached and forwards the new nodes' outboxes. Pendings are
+   bitsets, so a delivery is one bit-set (idempotent — a slot delivered
+   from several shards unions once) and a sweep visits each pending slot
+   once, in ascending slot order. Shards are swept in ascending index,
+   so the iteration count and delivery count are deterministic. *)
+let compute t src_dense =
+  let reached =
+    Array.map (fun o -> Bitset.create (Array.length o)) t.own
+  in
+  let pending =
+    Array.map (fun o -> Bitset.create (Array.length o)) t.own
+  in
+  let any_pending = ref true in
+  let s0 = t.owner.(src_dense) in
+  Bitset.add pending.(s0) t.slot.(src_dense);
+  Obs.Counter.incr_op m_queries;
+  while !any_pending do
+    any_pending := false;
+    t.rounds <- t.rounds + 1;
+    Obs.Counter.incr_op m_rounds;
+    for s = 0 to t.shards - 1 do
+      if not (Bitset.is_empty pending.(s)) then begin
+        let ps = pending.(s) in
+        let k = Array.length t.own.(s) in
+        let acc = Bitset.create k in
+        Bitset.iter
+          (fun p ->
+            if not (Bitset.mem reached.(s) p) then
+              Bitset.union_into ~dst:acc t.closures.(s).(p))
+          ps;
+        (* Cross edges never stay in-shard, so no delivery below lands
+           back in [ps]: safe to clear before forwarding outboxes. *)
+        Bitset.clear ps;
+        (* Newly reached = acc minus what this shard already had. *)
+        Bitset.diff_into ~dst:acc reached.(s);
+        if not (Bitset.is_empty acc) then begin
+          Bitset.union_into ~dst:reached.(s) acc;
+          (* Deliveries tally locally and post once per sweep: the
+             registry add is atomic, and one per delivery would dominate
+             the exchange on dense graphs. *)
+          let delivered = ref 0 in
+          Bitset.iter
+            (fun p ->
+              Array.iter
+                (fun packed ->
+                  let ds = packed lsr 32 and dslot = packed land mask32 in
+                  if not (Bitset.mem reached.(ds) dslot) then begin
+                    Bitset.add pending.(ds) dslot;
+                    incr delivered
+                  end)
+                t.cross.(s).(p))
+            acc;
+          t.exchanges <- t.exchanges + !delivered;
+          Obs.Counter.add_op m_exchanges !delivered
+        end
+      end
+    done;
+    (* Deliveries to a shard index above the sweep position were already
+       consumed this round; anything still pending waits for the next. *)
+    any_pending := Array.exists (fun b -> not (Bitset.is_empty b)) pending
+  done;
+  reached
+
+let reached_for t src_dense =
+  match Hashtbl.find_opt t.memo src_dense with
+  | Some r -> r
+  | None ->
+      let r = compute t src_dense in
+      Hashtbl.replace t.memo src_dense r;
+      r
+
+let reaches t u v =
+  match (Hashtbl.find_opt t.index_of u, Hashtbl.find_opt t.index_of v) with
+  | Some i, Some j ->
+      let r = reached_for t i in
+      Bitset.mem r.(t.owner.(j)) t.slot.(j)
+  | _ -> false
+
+let reachable_set t u =
+  match Hashtbl.find_opt t.index_of u with
+  | None -> []
+  | Some i ->
+      let r = reached_for t i in
+      let acc = ref [] in
+      Array.iteri
+        (fun s bs ->
+          Bitset.iter (fun p -> acc := t.node_of.(t.own.(s).(p)) :: !acc) bs)
+        r;
+      List.sort compare !acc
+
+let rounds t = t.rounds
+let exchanges t = t.exchanges
+
+let closure_bytes t =
+  Array.fold_left
+    (fun acc rows ->
+      let k = Array.length rows in
+      let words = (k + 62) / 63 in
+      acc + (k * words * 8))
+    0 t.closures
+
+let engine_of_exec_view ?pool ~shards ev =
+  if shards <= 1 then Engine.of_exec_view ev
+  else begin
+    (* One preparation, not two: the engine is prepared once, the
+       frontier partitions its dense adjacency in place, and the
+       returned view shares the prepared graph with the frontier's
+       reachability oracle spliced in. *)
+    let eng = Engine.of_exec_view ev in
+    let f = of_engine ?pool ~shards eng in
+    Engine.with_reaches eng (reaches f)
+  end

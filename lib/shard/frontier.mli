@@ -1,0 +1,92 @@
+(** Scatter/gather reachability over a node-partitioned DAG: the
+    distributed-style query planner's structural half.
+
+    A prepared frontier hash-partitions the graph's nodes across
+    [shards] logical shards (deterministic partition key: a fixed
+    integer mix of the external node id through
+    {!Wfpriv_parallel.Shard.bucket}). Each shard owns its nodes, the
+    edges between them ({e local} edges), and a per-shard bitset closure
+    of the local subgraph — rows of [n_s] bits instead of the unsharded
+    engine's [n], so closure memory and build work drop by roughly the
+    shard count and its square respectively. Edges that cross shard
+    boundaries are kept as per-node outboxes.
+
+    Reachability from a source runs an iterative cross-shard frontier
+    exchange: each round, every shard with a pending frontier unions the
+    local-closure rows of its frontier nodes (one bitset sweep — the
+    within-shard jump), then forwards the cross-edges of the newly
+    reached nodes to their owning shards; the exchange converges when no
+    shard has pending work. Per-source results are memoized, so
+    [Reach_join]-style plans touch each source once. Answers are exactly
+    transitive reachability — the differential suite pins them
+    bit-identical to the unsharded {!Wfpriv_query.Engine} closure.
+
+    Shared-nothing by construction: shards own disjoint node sets, rows
+    are unioned in ascending shard order, and pending frontiers drain in
+    ascending slot order, so answers and the observer-visible round/
+    exchange counters are independent of the pool's scheduling.
+
+    A prepared frontier is immutable except for the per-source memo,
+    which is unsynchronized: share one frontier across domains only
+    read-after-memoization (the engine's batched evaluation runs
+    override-carrying engines sequentially, which is the intended
+    pairing). *)
+
+type t
+
+val prepare :
+  ?pool:Wfpriv_parallel.Pool.t ->
+  shards:int ->
+  succ:(int -> int list) ->
+  int list ->
+  t
+(** [prepare ~shards ~succ nodes] partitions the graph and builds every
+    shard's local closure (rows filled shard-parallel on the pool,
+    reverse-topological with a DFS fallback on cycles — the unsharded
+    engine's row discipline at local scale). [nodes] are external ids;
+    [succ] lists a node's successors. Raises [Invalid_argument] if
+    [shards < 1]. *)
+
+val of_engine : ?pool:Wfpriv_parallel.Pool.t -> shards:int -> Wfpriv_query.Engine.t -> t
+(** Partition a prepared engine's graph ({!Wfpriv_query.Engine.nodes} /
+    [succ]) without touching its closure. *)
+
+val engine_of_exec_view :
+  ?pool:Wfpriv_parallel.Pool.t ->
+  shards:int ->
+  Wfpriv_workflow.Exec_view.t ->
+  Wfpriv_query.Engine.t
+(** The sharded structural planner entry point: an engine over the view
+    whose reachability oracle is a prepared frontier at [shards].
+    [shards = 1] returns the plain engine — one shard {e is} the
+    unsharded single-memo path, bit-identical by definition. Plans
+    compiled by {!Wfpriv_query.Plan} run unchanged; only reachability is
+    answered by frontier exchange. *)
+
+val shards : t -> int
+val nb_nodes : t -> int
+
+val owner : t -> int -> int
+(** Owning shard of an external node id; raises [Not_found] on unknown
+    ids. *)
+
+val reaches : t -> int -> int -> bool
+(** Reflexive-transitive reachability over the full graph; [false] when
+    either id is unknown (the engine-closure convention). *)
+
+val reachable_set : t -> int -> int list
+(** External ids reachable from the node (itself included), ascending;
+    [[]] for unknown nodes. *)
+
+val rounds : t -> int
+(** Cumulative frontier-exchange rounds across all queries — a function
+    of the prepared (access-view-capped) graph and the queried sources
+    only, so exposing it leaks nothing beyond the view itself. *)
+
+val exchanges : t -> int
+(** Cumulative cross-shard frontier deliveries, same visibility
+    argument. *)
+
+val closure_bytes : t -> int
+(** Total bytes of all per-shard closure rows — the memory the sharding
+    saves versus one [n x n] memo (which costs [shards] times more). *)

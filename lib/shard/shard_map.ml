@@ -1,0 +1,86 @@
+module Binary = Wfpriv_serial.Binary
+module Crc32 = Wfpriv_serial.Crc32
+module Shard = Wfpriv_parallel.Shard
+
+type t = { shards : int }
+
+let file_name = "shard-map.bin"
+let magic = "WSM1"
+let version = 1
+let max_shards = 4096
+
+exception Corrupt of { file : string; reason : string }
+
+let make ~shards =
+  if shards < 1 || shards > max_shards then
+    invalid_arg
+      (Printf.sprintf "Shard_map.make: shards must be in [1, %d]" max_shards);
+  { shards }
+
+(* 64-bit FNV-1a, truncated to OCaml's 63-bit int by the final [land].
+   Stable across processes and architectures (pure byte arithmetic), so
+   the manifest's routing never depends on [Hashtbl.hash] internals. *)
+let fnv1a s =
+  let offset_basis = (0xcbf29ce4 lsl 32) lor 0x84222325 in
+  let prime = 0x100000001b3 in
+  let h = ref offset_basis in
+  String.iter (fun c -> h := (!h lxor Char.code c) * prime) s;
+  !h land max_int
+
+let route t name = Shard.bucket ~shards:t.shards (fnv1a name)
+let shard_dir root i = Filename.concat root (Printf.sprintf "shard-%04d" i)
+
+(* Frame: magic(4) | u8 version | u32 shards | u32 crc32(prefix). *)
+let encode t =
+  let w = Binary.Writer.create () in
+  Binary.Writer.raw w magic;
+  Binary.Writer.u8 w version;
+  Binary.Writer.u32 w t.shards;
+  let body = Binary.Writer.contents w in
+  Binary.Writer.u32 w (Crc32.digest body);
+  Binary.Writer.contents w
+
+let decode ?(file = file_name) s =
+  let fail reason = raise (Corrupt { file; reason }) in
+  if String.length s <> 13 then
+    fail (Printf.sprintf "manifest is %d bytes, want 13" (String.length s));
+  if String.sub s 0 4 <> magic then fail "bad magic";
+  let crc_stored = (Binary.Reader.of_string ~pos:9 s |> Binary.Reader.u32) in
+  let crc_actual = Crc32.digest ~pos:0 ~len:9 s in
+  if crc_stored <> crc_actual then
+    fail (Printf.sprintf "crc mismatch: stored %08x, computed %08x" crc_stored
+            crc_actual);
+  let r = Binary.Reader.of_string ~pos:4 s in
+  let v = Binary.Reader.u8 r in
+  if v <> version then fail (Printf.sprintf "unknown version %d" v);
+  let shards = Binary.Reader.u32 r in
+  if shards < 1 || shards > max_shards then
+    fail (Printf.sprintf "implausible shard count %d" shards);
+  { shards }
+
+let manifest_path dir = Filename.concat dir file_name
+
+let save ~dir t =
+  let path = manifest_path dir in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (encode t);
+     flush oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path
+
+let load ~dir =
+  let path = manifest_path dir in
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  decode ~file:path s
+
+let present dir = Sys.file_exists (manifest_path dir)

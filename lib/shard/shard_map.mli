@@ -1,0 +1,53 @@
+(** The shard-map manifest of a sharded store directory: how many shards
+    the store was created with, and the deterministic partition key that
+    routes an entry name to its shard.
+
+    The manifest is the root of trust for a sharded store — opening a
+    store with the wrong shard count would route reads to the wrong
+    shard silently — so it carries its own CRC'd codec, mirroring the
+    WAL frame discipline: magic, version, payload, CRC-32 of everything
+    before it. Writes are atomic (temp file + rename), so a crash during
+    [init] leaves either no manifest (no store) or a complete one.
+
+    Routing is by FNV-1a over the entry name folded through
+    {!Wfpriv_parallel.Shard.bucket} — a function of the name bytes and
+    the shard count only, so any process that can read the manifest
+    computes the same placement forever (the on-disk partition-key
+    contract; the MPI schema's partition-key discipline is the model). *)
+
+type t = { shards : int }
+
+val file_name : string
+(** ["shard-map.bin"], in the sharded store's root directory. *)
+
+exception Corrupt of { file : string; reason : string }
+
+val make : shards:int -> t
+(** Raises [Invalid_argument] unless [1 <= shards <= 4096]. *)
+
+val fnv1a : string -> int
+(** 64-bit FNV-1a of the bytes, truncated to OCaml's int — the stable
+    hash under {!route}. Exposed so tests can pin vectors. *)
+
+val route : t -> string -> int
+(** Shard index of an entry name:
+    [Shard.bucket ~shards (fnv1a name)]. *)
+
+val shard_dir : string -> int -> string
+(** [shard_dir root i] is the per-shard store directory
+    [root/shard-NNNN]. *)
+
+val save : dir:string -> t -> unit
+(** Write the manifest atomically into [dir] (which must exist). *)
+
+val load : dir:string -> t
+(** Raises {!Corrupt} on a bad magic, version, CRC or length; raises
+    [Sys_error] when the manifest does not exist. *)
+
+val present : string -> bool
+(** Whether [dir] holds a manifest — the "is this store sharded?"
+    probe the CLI and server use. *)
+
+val encode : t -> string
+val decode : ?file:string -> string -> t
+(** Raises {!Corrupt}; [file] labels the error. *)

@@ -1,0 +1,106 @@
+(* Per-shard privacy-partitioned indexes with a leakage-safe global
+   top-k merge. Doc sets are disjoint across shards, so global corpus
+   statistics are sums of per-shard values; weighting every query once
+   from the sums makes each shard's floats the floats of an unsharded
+   build over the union (the Live_index discipline, lifted from LSM
+   segments to hash shards). *)
+
+open Wfpriv_query
+module Pool = Wfpriv_parallel.Pool
+module Obs = Wfpriv_obs
+
+let m_topk = Obs.Registry.counter "shard.topk_queries"
+let m_scanned = Obs.Registry.counter "shard.topk_scanned"
+let m_pruned = Obs.Registry.counter "shard.topk_pruned"
+
+type t = { parts : Index.t array; n : int }
+
+let build ?pool shards_entries =
+  if Array.length shards_entries = 0 then
+    invalid_arg "Sharded_index.build: no shards";
+  let names =
+    List.sort String.compare
+      (List.concat_map
+         (List.map (fun (name, _, _) -> name))
+         (Array.to_list shards_entries))
+  in
+  let rec dup = function
+    | a :: (b :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg
+            (Printf.sprintf "Sharded_index.build: duplicate entry %S across \
+                             shards" a)
+        else dup rest
+    | _ -> ()
+  in
+  dup names;
+  let pool = match pool with Some p -> p | None -> Pool.global () in
+  let parts =
+    Pool.parallel_map ~chunk:1 pool (fun es -> Index.build es) shards_entries
+  in
+  { parts; n = List.length names }
+
+let shards t = Array.length t.parts
+let doc_count t = t.n
+let shard_index t i = t.parts.(i)
+
+let df t ~level term =
+  Array.fold_left (fun acc ix -> acc + Index.df ix ~level term) 0 t.parts
+
+let idf t ~level term = Tfidf.idf_for ~n:t.n ~df:(df t ~level term)
+
+let weighted_terms t ~level terms =
+  List.map
+    (fun (term, mult) ->
+      (term, float_of_int mult *. Tfidf.idf_for ~n:t.n ~df:(df t ~level term)))
+    (Index.query_terms terms)
+
+let merge_ranked a b =
+  List.merge
+    (fun (x : Ranking.entry) (y : Ranking.entry) ->
+      String.compare x.doc y.doc)
+    a b
+
+let score_entries t ~level terms =
+  let wt = weighted_terms t ~level terms in
+  Array.fold_left
+    (fun acc ix -> merge_ranked acc (Index.score_entries_weighted ix ~level wt))
+    [] t.parts
+
+(* The scatter/gather ranked merge. Shards are visited in ascending
+   index order; a shard is pruned exactly when its score upper bound
+   (Index.max_score — partition metadata at levels <= l, nothing
+   decoded) is strictly below the running k-th candidate score. Strict:
+   a doc scoring exactly the bound could still displace the current
+   k-th on the ascending-doc tie-break, so ties never prune — the
+   frozen index's tie-conservative rule across shards. A global top-k
+   doc is always inside its own shard's local top-k (the global order —
+   score descending, doc ascending — is a total order every shard
+   selects by), so re-ranking the surviving shards' local top-k lists
+   through Ranking.top_k reproduces the unsharded answer bit for bit. *)
+let top_k t ~level ~k terms =
+  Obs.Counter.incr m_topk ~at:level;
+  if k <= 0 then []
+  else begin
+    let wt = weighted_terms t ~level terms in
+    let best = ref [] and filled = ref 0 in
+    Array.iter
+      (fun ix ->
+        let kth =
+          if !filled < k then None
+          else
+            match List.rev !best with
+            | last :: _ -> Some last.Ranking.score
+            | [] -> None
+        in
+        let ub = Index.max_score ix ~level wt in
+        match kth with
+        | Some kth when ub < kth -> Obs.Counter.incr m_pruned ~at:level
+        | _ ->
+            Obs.Counter.incr m_scanned ~at:level;
+            let local = Index.top_k_weighted ix ~level ~k wt in
+            best := Ranking.top_k k (!best @ local);
+            filled := List.length !best)
+      t.parts;
+    !best
+  end

@@ -1,0 +1,80 @@
+(** Per-shard keyword indexes with a leakage-safe global top-k merge:
+    the distributed-style query planner's ranked half.
+
+    Entries are partitioned across shards by name (disjoint doc sets),
+    each shard holding its own privacy-partitioned compressed index
+    ({!Wfpriv_query.Index}). Global corpus statistics are sums of
+    per-shard values — a doc lives in exactly one shard, so global
+    document frequency and document count add up exactly — and term
+    weights are computed once from those sums (the
+    {!Wfpriv_query.Live_index} discipline), making every per-shard score
+    the float the unsharded index would assign the same doc.
+
+    {!top_k} then visits shards in ascending index order, running
+    per-shard block-max WAND with the shared global weights, and prunes
+    a whole shard exactly when its score upper bound
+    ({!Wfpriv_query.Index.max_score} — partition metadata at levels
+    [<= l] only, nothing decoded) is {e strictly} below the current
+    k-th candidate score: a tie at the bound could still win on the
+    ascending-doc tie-break, so ties never prune (the frozen index's
+    tie-conservative rule, lifted across shards). The surviving
+    candidates re-rank through {!Wfpriv_query.Ranking.top_k}, giving a
+    result bit-identical — float-identical scores, identical ordering —
+    to the unsharded index over the union of entries.
+
+    Leakage: weights, bounds and pruning decisions are functions of
+    partitions at levels [<= l] plus public doc counts, so the
+    observer-visible decode/skip/prune counters of a level-[l] caller
+    are a pure function of what that caller may see — hidden postings
+    cannot surface through work counts (the sharded leakage suite pins
+    this). *)
+
+type t
+
+val build :
+  ?pool:Wfpriv_parallel.Pool.t ->
+  (string * Wfpriv_workflow.Spec.t * Wfpriv_privacy.Privilege.t) list array ->
+  t
+(** One entry list per shard ([Index.build]'s triples); shard indexes
+    build in parallel on the pool. Raises [Invalid_argument] on an empty
+    shard array or duplicate entry names across shards. *)
+
+val shards : t -> int
+val doc_count : t -> int
+(** Global (summed) document count. *)
+
+val shard_index : t -> int -> Wfpriv_query.Index.t
+(** The shard's own index (e.g. for per-shard stats). *)
+
+val df : t -> level:Wfpriv_privacy.Privilege.level -> string -> int
+(** Global document frequency: the sum of per-shard dfs — exactly the
+    unsharded df, because doc sets are disjoint. *)
+
+val idf : t -> level:Wfpriv_privacy.Privilege.level -> string -> float
+
+val weighted_terms :
+  t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  string list ->
+  (string * float) list
+(** Query terms in first-occurrence order with global weights
+    (multiplicity times global IDF) — bit-identical to the unsharded
+    {!Wfpriv_query.Index}'s weights. *)
+
+val top_k :
+  t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  k:int ->
+  string list ->
+  Wfpriv_query.Ranking.entry list
+(** The global top-[k]: per-shard WAND + upper-bound pruning + global
+    re-rank, bit-identical to [Index.top_k] over the union of entries. *)
+
+val score_entries :
+  t ->
+  level:Wfpriv_privacy.Privilege.level ->
+  string list ->
+  Wfpriv_query.Ranking.entry list
+(** Exhaustive scoring across all shards, merged ascending by doc name —
+    the differential reference for {!top_k} (same floats, doc order
+    equal to the unsharded [score_entries]). *)

@@ -1,0 +1,145 @@
+module Pool = Wfpriv_parallel.Pool
+module Durable_repo = Wfpriv_durable.Durable_repo
+module Repository = Wfpriv_query.Repository
+module Obs = Wfpriv_obs
+
+let m_appends = Obs.Registry.counter "shard.repo_appends"
+let m_batches = Obs.Registry.counter "shard.repo_batches"
+let m_opens = Obs.Registry.counter "shard.repo_opens"
+
+type t = {
+  map : Shard_map.t;
+  root : string;
+  stores : Durable_repo.t array;
+  mutable merged : Repository.t option;
+}
+
+let init ?segment_bytes ~shards root =
+  let map = Shard_map.make ~shards in
+  if Shard_map.present root then
+    invalid_arg
+      (Printf.sprintf "Sharded_repo.init: %s already holds a sharded store"
+         root);
+  if not (Sys.file_exists root) then Sys.mkdir root 0o755;
+  let stores =
+    Array.init shards (fun i ->
+        Durable_repo.init ?segment_bytes (Shard_map.shard_dir root i))
+  in
+  Shard_map.save ~dir:root map;
+  { map; root; stores; merged = None }
+
+let open_dir ?pool ?segment_bytes root =
+  let map = Shard_map.load ~dir:root in
+  let pool = match pool with Some p -> p | None -> Pool.global () in
+  let stores =
+    Pool.parallel_map ~chunk:1 pool
+      (fun i -> Durable_repo.open_dir ?segment_bytes (Shard_map.shard_dir root i))
+      (Array.init map.Shard_map.shards Fun.id)
+  in
+  Obs.Counter.incr_op m_opens;
+  { map; root; stores; merged = None }
+
+let is_sharded = Shard_map.present
+let shards t = t.map.Shard_map.shards
+let dir t = t.root
+let shard_map t = t.map
+let route t name = Shard_map.route t.map name
+let shard_store t i = t.stores.(i)
+
+let mutation_entry = function
+  | Repository.Add_entry { entry_name; _ } -> entry_name
+  | Repository.Add_execution { entry_name; _ } -> entry_name
+
+let append t mutation =
+  let s = route t (mutation_entry mutation) in
+  let lsn = Durable_repo.append t.stores.(s) mutation in
+  t.merged <- None;
+  Obs.Counter.incr_op m_appends;
+  (s, lsn)
+
+let generation t =
+  Array.fold_left (fun acc st -> acc + Durable_repo.generation st) 0 t.stores
+
+let append_streaming t batch =
+  if batch = [] then invalid_arg "Sharded_repo.append_streaming: empty batch";
+  let groups = Array.make (shards t) [] in
+  List.iter
+    (fun m ->
+      let s = route t (mutation_entry m) in
+      groups.(s) <- m :: groups.(s))
+    batch;
+  (* Validate every group before journaling any: a doomed group must
+     not leave sibling shards already committed. Per-shard validation
+     is exact because a batch's dependencies are same-name, hence
+     same-group. *)
+  Array.iteri
+    (fun s group ->
+      match group with
+      | [] -> ()
+      | _ ->
+          let scratch = Repository.freeze (Durable_repo.repo t.stores.(s)) in
+          List.iter (Repository.apply scratch) (List.rev group))
+    groups;
+  Array.iteri
+    (fun s group ->
+      match group with
+      | [] -> ()
+      | _ -> ignore (Durable_repo.append_streaming t.stores.(s) (List.rev group)))
+    groups;
+  t.merged <- None;
+  Obs.Counter.incr_op m_batches;
+  generation t
+
+let merged_repo t =
+  let entries =
+    Array.fold_left
+      (fun acc st ->
+        let r = Durable_repo.repo st in
+        List.fold_left (fun acc n -> Repository.find r n :: acc) acc
+          (Repository.names r))
+      [] t.stores
+  in
+  let entries =
+    List.sort
+      (fun (a : Repository.entry) b -> String.compare a.name b.name)
+      entries
+  in
+  let r = Repository.create () in
+  List.iter
+    (fun (e : Repository.entry) ->
+      Repository.add r ~name:e.name ~policy:e.policy ~executions:e.executions
+        ())
+    entries;
+  r
+
+let repo t =
+  match t.merged with
+  | Some r -> r
+  | None ->
+      let r = merged_repo t in
+      t.merged <- Some r;
+      r
+
+let entries_by_shard t =
+  Array.map (fun st -> Repository.index_entries (Durable_repo.repo st)) t.stores
+
+let index ?pool t = Sharded_index.build ?pool (entries_by_shard t)
+
+let checkpoint t =
+  Array.to_list (Array.map Durable_repo.checkpoint t.stores)
+
+let compact t =
+  Array.fold_left (fun acc st -> acc + Durable_repo.compact st) 0 t.stores
+
+let prune_snapshots t =
+  Array.fold_left (fun acc st -> acc + Durable_repo.prune_snapshots st) 0 t.stores
+
+let close t = Array.iter Durable_repo.close t.stores
+
+let status root =
+  let map = Shard_map.load ~dir:root in
+  let sts =
+    List.init map.Shard_map.shards (fun i ->
+        (i, Durable_repo.status (Shard_map.shard_dir root i)))
+  in
+  (map, sts)

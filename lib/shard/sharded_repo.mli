@@ -1,0 +1,95 @@
+(** A hash-partitioned durable repository: N independent
+    {!Wfpriv_durable.Durable_repo} stores under one root, plus a CRC'd
+    shard-map manifest ({!Shard_map}) that makes the partitioning
+    self-describing on disk.
+
+    Every mutation names its entry, and entries route by
+    {!Shard_map.route} (FNV-1a of the entry name through
+    {!Wfpriv_parallel.Shard.bucket}) — so an entry's whole history
+    (its [Add_entry] and every later [Add_execution]) lives in exactly
+    one shard, appends touch one WAL, and recovery replays shards
+    independently (in parallel across the pool's domains). The merged
+    in-memory repository re-inserts entries in sorted-name order;
+    since every read API is insertion-order independent, queries
+    against it are bit-identical to an unsharded store fed the same
+    mutations. *)
+
+type t
+
+val init : ?segment_bytes:int -> shards:int -> string -> t
+(** Create a fresh sharded store under the root: the manifest plus
+    [shards] empty {!Wfpriv_durable.Durable_repo} stores in
+    [shard-0000 ..]. Raises [Invalid_argument] if the root already
+    holds a manifest, or as {!Shard_map.make} on a bad shard count. *)
+
+val open_dir :
+  ?pool:Wfpriv_parallel.Pool.t -> ?segment_bytes:int -> string -> t
+(** Recover every shard (parallel across the pool's domains — shards
+    are independent directories) and open for appending. Raises
+    {!Shard_map.Corrupt} on a damaged manifest, else as
+    {!Wfpriv_durable.Recovery.open_dir} naming the broken shard. *)
+
+val is_sharded : string -> bool
+(** Whether the directory holds a shard-map manifest — how the CLI
+    and server pick the sharded or plain open path. *)
+
+val shards : t -> int
+val dir : t -> string
+val shard_map : t -> Shard_map.t
+
+val route : t -> string -> int
+(** The shard an entry name lives in. *)
+
+val shard_store : t -> int -> Wfpriv_durable.Durable_repo.t
+
+val append : t -> Wfpriv_query.Repository.mutation -> int * int
+(** Route by the mutation's entry name, append to that shard's WAL;
+    returns [(shard, lsn)]. Raises as
+    {!Wfpriv_durable.Durable_repo.append}. *)
+
+val append_streaming : t -> Wfpriv_query.Repository.mutation list -> int
+(** Partition the batch by entry shard (within-shard order preserved —
+    and every dependency in a batch is same-name, hence same-shard),
+    stream each non-empty group as one generation commit, and return
+    the new global {!generation}. Atomicity is {e per shard}: a crash
+    mid-call can leave some shards on the new epoch and others on the
+    old, each individually consistent — the recovery fuzz exercises
+    exactly this. Raises [Invalid_argument] on an empty batch. *)
+
+val generation : t -> int
+(** Global epoch: the sum of per-shard generations. Monotonic (any
+    committed batch strictly raises it), and together with the shard
+    count it fingerprints the sharded corpus for result caches — it is
+    {e not} the batch count an unsharded store would report. *)
+
+val repo : t -> Wfpriv_query.Repository.t
+(** The merged repository: every shard's entries, re-inserted in
+    sorted-name order into one fresh repository. Cached; invalidated
+    by {!append} / {!append_streaming}. Treat as read-only. *)
+
+val entries_by_shard :
+  t ->
+  (string * Wfpriv_workflow.Spec.t * Wfpriv_privacy.Privilege.t) list array
+(** Per shard, the index triples of that shard's own repository — what
+    {!index} builds from, exposed for differential tests. *)
+
+val index : ?pool:Wfpriv_parallel.Pool.t -> t -> Sharded_index.t
+(** The sharded keyword index over the current entries (per-shard
+    builds in parallel). Not cached — pair with {!generation} to know
+    when to rebuild. *)
+
+val checkpoint : t -> int list
+(** Checkpoint every shard; per-shard snapshot lsns in shard order. *)
+
+val compact : t -> int
+(** Compact every shard; total segments deleted. *)
+
+val prune_snapshots : t -> int
+(** Prune every shard's old snapshots; total deleted. *)
+
+val close : t -> unit
+
+val status : string -> Shard_map.t * (int * Wfpriv_durable.Durable_repo.status) list
+(** Read-only: the manifest plus each shard's
+    {!Wfpriv_durable.Durable_repo.status} (full recovery pass per
+    shard), in shard order. *)

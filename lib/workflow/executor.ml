@@ -106,12 +106,22 @@ let run ?(priority = fun _ -> 0) spec sem ~inputs =
     let add_pending m f =
       Hashtbl.replace pending m (Option.value ~default:[] (Hashtbl.find_opt pending m) @ [ f ])
     in
+    (* Edge lists per endpoint, built once per workflow (edge order
+       preserved): the scheduling loop looks these up per module instead
+       of filtering the whole edge list each time. *)
+    let by_src : (Ids.module_id, Spec.edge list) Hashtbl.t = Hashtbl.create 64 in
+    let by_dst_count = Hashtbl.create 64 in
+    List.iter
+      (fun (e : Spec.edge) ->
+        Hashtbl.replace by_src e.src
+          (e :: Option.value ~default:[] (Hashtbl.find_opt by_src e.src));
+        Hashtbl.replace by_dst_count e.dst
+          (1 + Option.value ~default:0 (Hashtbl.find_opt by_dst_count e.dst)))
+      (List.rev wf.Spec.edges);
     let in_remaining = Hashtbl.create 8 in
     List.iter
       (fun m ->
-        let n =
-          List.length (List.filter (fun (e : Spec.edge) -> e.dst = m) wf.Spec.edges)
-        in
+        let n = Option.value ~default:0 (Hashtbl.find_opt by_dst_count m) in
         Hashtbl.replace in_remaining m n)
       wf.Spec.members;
     (* Entry modules of a sub-workflow receive everything flowing into the
@@ -137,7 +147,7 @@ let run ?(priority = fun _ -> 0) spec sem ~inputs =
       ready := List.filter (fun x -> x <> m) !ready;
       let feeds = Option.value ~default:[] (Hashtbl.find_opt pending m) in
       let node, out_items = exec_module m scope feeds in
-      let out_edges = List.filter (fun (e : Spec.edge) -> e.src = m) wf.Spec.edges in
+      let out_edges = Option.value ~default:[] (Hashtbl.find_opt by_src m) in
       if out_edges = [] then begin
         (* Exit module: outputs flow to the enclosing composite's end node
            (sub-workflows) or terminate (root). Output pseudo-modules

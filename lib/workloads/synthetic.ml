@@ -71,12 +71,20 @@ let spec rng params =
         kinds
     in
     let ms = List.map fst members in
-    let rec pairs = function
-      | [] -> []
-      | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
-    in
+    (* One bernoulli draw per ordered pair (x, y), x before y in member
+       order — the same draw sequence as filtering the materialized pair
+       list, without the O(members^2) intermediate allocation. *)
     let edges =
-      List.filter (fun _ -> Rng.bernoulli rng params.edge_probability) (pairs ms)
+      let arr = Array.of_list ms in
+      let n = Array.length arr in
+      let acc = ref [] in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if Rng.bernoulli rng params.edge_probability then
+            acc := (arr.(i), arr.(j)) :: !acc
+        done
+      done;
+      List.rev !acc
     in
     protos := { pw_id = wf_id; pw_members = members; pw_edges = edges } :: !protos;
     wf_id
@@ -85,17 +93,40 @@ let spec rng params =
   let protos = !protos in
   let proto w = List.find (fun p -> String.equal p.pw_id w) protos in
   (* out_names, bottom-up through the expansion tree (recursion follows
-     τ-edges, which form a tree, so it terminates). *)
+     τ-edges, which form a tree, so it terminates). Memoized per module
+     (it is pure in [(m, kind)] — kind is determined by [m]), with a
+     hashed per-proto source set: the unmemoized version rescans a
+     workflow's whole edge list per member per call, which is what made
+     generation cubic at benchmark scale. *)
+  let src_sets = Hashtbl.create 16 in
+  let srcs_of p =
+    match Hashtbl.find_opt src_sets p.pw_id with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 64 in
+        List.iter (fun (x, _) -> Hashtbl.replace s x ()) p.pw_edges;
+        Hashtbl.add src_sets p.pw_id s;
+        s
+  in
+  let names_memo = Hashtbl.create 64 in
   let rec out_names (m, kind) =
-    match kind with
-    | `Atomic -> [ out_name m ]
-    | `Composite w ->
-        let p = proto w in
-        let has_out x = List.exists (fun (s, _) -> s = x) p.pw_edges in
-        List.concat_map
-          (fun (x, k) -> if has_out x then [] else out_names (x, k))
-          p.pw_members
-        |> List.sort_uniq compare
+    match Hashtbl.find_opt names_memo m with
+    | Some v -> v
+    | None ->
+        let v =
+          match kind with
+          | `Atomic -> [ out_name m ]
+          | `Composite w ->
+              let p = proto w in
+              let srcs = srcs_of p in
+              List.concat_map
+                (fun (x, k) ->
+                  if Hashtbl.mem srcs x then [] else out_names (x, k))
+                p.pw_members
+              |> List.sort_uniq compare
+        in
+        Hashtbl.add names_memo m v;
+        v
   in
   let module_defs =
     List.concat_map
@@ -121,7 +152,20 @@ let spec rng params =
   let workflows =
     List.map
       (fun p ->
-        let kind_of m = List.assoc m p.pw_members in
+        (* Hashed member/endpoint lookups: per-edge [List.assoc] and
+           per-member edge scans are quadratic at synthetic-corpus
+           scale. Module ids are fresh per member, so [replace] is
+           exact. *)
+        let kinds = Hashtbl.create 64 in
+        List.iter (fun (m, k) -> Hashtbl.replace kinds m k) p.pw_members;
+        let kind_of m = Hashtbl.find kinds m in
+        let srcs = Hashtbl.create 64 in
+        let dsts = Hashtbl.create 64 in
+        List.iter
+          (fun (s, d) ->
+            Hashtbl.replace srcs s ();
+            Hashtbl.replace dsts d ())
+          p.pw_edges;
         let edges =
           List.map
             (fun (s, d) -> { Spec.src = s; dst = d; data = out_names (s, kind_of s) })
@@ -129,8 +173,8 @@ let spec rng params =
         in
         let is_root = String.equal p.pw_id root in
         if is_root then begin
-          let has_in m = List.exists (fun (_, d) -> d = m) p.pw_edges in
-          let has_out m = List.exists (fun (s, _) -> s = m) p.pw_edges in
+          let has_in m = Hashtbl.mem dsts m in
+          let has_out m = Hashtbl.mem srcs m in
           let entries = List.filter (fun (m, _) -> not (has_in m)) p.pw_members in
           let exits = List.filter (fun (m, _) -> not (has_out m)) p.pw_members in
           let io_edges =
@@ -167,21 +211,52 @@ let spec rng params =
   Spec.create ~root (Module_def.input :: Module_def.output :: module_defs) workflows
 
 let semantics spec : Executor.semantics =
-  let outgoing m =
-    let wf = Spec.find_workflow spec (Spec.owner spec m) in
-    List.concat_map
-      (fun (e : Spec.edge) -> if e.src = m then e.data else [])
-      wf.Spec.edges
-    |> List.sort_uniq compare
+  (* Per-workflow out-edge index and per-module memo tables. The
+     executor consults the semantics once per executed module, and
+     [outgoing]/[Spec.exits] as per-call scans over the owning
+     workflow's full edge (resp. member x edge) lists made execution
+     quadratic on large synthetic corpora. [expected] and [natural_out]
+     are pure in [m], so memoized values are identical. *)
+  let out_index = Hashtbl.create 16 in
+  let index_of w =
+    match Hashtbl.find_opt out_index w with
+    | Some i -> i
+    | None ->
+        let wf = Spec.find_workflow spec w in
+        let idx = Hashtbl.create 64 in
+        List.iter
+          (fun (e : Spec.edge) ->
+            Hashtbl.replace idx e.src
+              (Option.value ~default:[] (Hashtbl.find_opt idx e.src) @ e.data))
+          wf.Spec.edges;
+        (* Same set and order as {!Spec.exits}: members with no outgoing
+           edge (an edge with empty [data] still counts). *)
+        let exits =
+          List.filter (fun m -> not (Hashtbl.mem idx m)) wf.Spec.members
+        in
+        Hashtbl.add out_index w (idx, exits);
+        (idx, exits)
   in
+  let outgoing m =
+    let idx, _ = index_of (Spec.owner spec m) in
+    Option.value ~default:[] (Hashtbl.find_opt idx m) |> List.sort_uniq compare
+  in
+  let exits w = snd (index_of w) in
   (* Names module [m] contributes under the generator's own convention:
      [o<m>] for an atomic, the union of its inner exits' natural names
      for a composite (mirrors [out_names] in {!spec}). *)
+  let nat_memo = Hashtbl.create 64 in
   let rec natural_out m =
-    match Module_def.expansion (Spec.find_module spec m) with
-    | None -> [ out_name m ]
-    | Some w ->
-        List.concat_map natural_out (Spec.exits spec w) |> List.sort_uniq compare
+    match Hashtbl.find_opt nat_memo m with
+    | Some v -> v
+    | None ->
+        let v =
+          match Module_def.expansion (Spec.find_module spec m) with
+          | None -> [ out_name m ]
+          | Some w -> List.concat_map natural_out (exits w) |> List.sort_uniq compare
+        in
+        Hashtbl.add nat_memo m v;
+        v
   in
   (* The names module [m] must produce. A module with outgoing edges must
      cover their data. An exit of a sub-workflow feeds the enclosing
@@ -191,13 +266,21 @@ let semantics spec : Executor.semantics =
      executable under synthetic semantics); with several exits each keeps
      its natural names, the convention the generator builds composite
      edge data from. *)
+  let exp_memo = Hashtbl.create 64 in
   let rec expected m =
-    match outgoing m with
-    | [] -> (
-        match Spec.defined_by spec (Spec.owner spec m) with
-        | Some c when Spec.exits spec (Spec.owner spec m) = [ m ] -> expected c
-        | _ -> natural_out m)
-    | names -> names
+    match Hashtbl.find_opt exp_memo m with
+    | Some v -> v
+    | None ->
+        let v =
+          match outgoing m with
+          | [] -> (
+              match Spec.defined_by spec (Spec.owner spec m) with
+              | Some c when exits (Spec.owner spec m) = [ m ] -> expected c
+              | _ -> natural_out m)
+          | names -> names
+        in
+        Hashtbl.add exp_memo m v;
+        v
   in
   fun m inputs ->
     List.map

@@ -200,6 +200,16 @@ with the required privilege floor only — never the hidden structure:
     server.rejected          0
     server.requests          0
     server.shed              0
+    shard.frontier_exchanges 0
+    shard.frontier_prepares  0
+    shard.frontier_queries   0
+    shard.frontier_rounds    0
+    shard.repo_appends       0
+    shard.repo_batches       0
+    shard.repo_opens         0
+    shard.topk_pruned        0
+    shard.topk_queries       0
+    shard.topk_scanned       0
     wal.appends              0
     wal.bytes                0
     wal.fsyncs               0

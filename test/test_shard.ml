@@ -1,0 +1,938 @@
+(* Tests for the sharded repository + distributed-style query planner
+   (lib/shard): the routing contract of Shard.bucket/partition
+   (min_int included), the CRC'd shard-map manifest codec, the
+   differential acceptance bar — sharded structural closures, keyword
+   top-k, repositories and sessions bit-identical to the unsharded
+   engine at shards {1,3,8} under sequential and 4-domain pools — the
+   observer-leakage invariant of the sharded planner, and per-shard
+   crash recovery (truncating one shard's WAL tail at every byte
+   offset recovers that shard's last sealed state while the siblings
+   keep theirs). *)
+
+open Wfpriv_query
+open Wfpriv_workflow
+module Shard = Wfpriv_parallel.Shard
+module Pool = Wfpriv_parallel.Pool
+module Shard_map = Wfpriv_shard.Shard_map
+module Frontier = Wfpriv_shard.Frontier
+module Sharded_index = Wfpriv_shard.Sharded_index
+module Sharded_repo = Wfpriv_shard.Sharded_repo
+module Wal = Wfpriv_durable.Wal
+module Durable_repo = Wfpriv_durable.Durable_repo
+module Repo_store = Wfpriv_store.Repo_store
+module Rng = Wfpriv_workloads.Rng
+module Synthetic = Wfpriv_workloads.Synthetic
+module Disease = Wfpriv_workloads.Disease
+module Policy = Wfpriv_privacy.Policy
+module Privilege = Wfpriv_privacy.Privilege
+module Obs = Wfpriv_obs
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let with_obs f =
+  Obs.Config.set_enabled true;
+  Obs.Registry.reset ();
+  Obs.Audit_log.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Config.set_enabled false;
+      Obs.Registry.reset ())
+    f
+
+let with_pool jobs f =
+  let pool = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem helpers (stdlib only, same shape as test_live) *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir () =
+  let path = Filename.temp_file "wfpriv-shard-test" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let rec copy_tree src dst =
+  if Sys.is_directory src then begin
+    Sys.mkdir dst 0o755;
+    Array.iter
+      (fun e -> copy_tree (Filename.concat src e) (Filename.concat dst e))
+      (Sys.readdir src)
+  end
+  else write_file dst (Wal.read_all src)
+
+let in_tmp_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let snap repo = Repo_store.to_string repo
+
+(* ------------------------------------------------------------------ *)
+(* Workload helpers (the test_live corpus shapes) *)
+
+let small_params =
+  {
+    Synthetic.default_params with
+    levels = 1;
+    composites_per_workflow = 1;
+    atomics_per_workflow = 3;
+  }
+
+let tiny_params =
+  {
+    Synthetic.default_params with
+    levels = 0;
+    composites_per_workflow = 0;
+    atomics_per_workflow = 2;
+  }
+
+let syn_index_entry seed name =
+  let spec = Synthetic.spec (Rng.create seed) small_params in
+  let subs =
+    List.filter (fun w -> w <> Spec.root spec) (Spec.workflow_ids spec)
+  in
+  let expand_levels = List.mapi (fun i w -> (w, (i mod 3) + 1)) subs in
+  let policy = Policy.make ~expand_levels spec in
+  (name, Policy.spec policy, Policy.privilege policy)
+
+let disease_index_entry name =
+  let policy =
+    Policy.make
+      ~expand_levels:[ ("W2", 1); ("W3", 2); ("W4", 3) ]
+      Disease.spec
+  in
+  (name, Policy.spec policy, Policy.privilege policy)
+
+let corpus =
+  List.mapi
+    (fun i seed -> syn_index_entry seed (Printf.sprintf "syn%02d" i))
+    [ 101; 102; 103; 104; 105; 106; 107 ]
+  @ [ disease_index_entry "disease" ]
+
+let probe_terms =
+  let vocab = Synthetic.default_params.Synthetic.keyword_vocabulary in
+  let w i = List.nth vocab i in
+  [
+    [ w 0 ];
+    [ w 0; w 1 ];
+    [ w 2; w 3; w 4 ];
+    [ "no-such-term" ];
+    [ w 5; "no-such-term" ];
+    [ w 0; w 0; w 2 ];
+  ]
+
+let probe_levels = [ 0; 1; 2; 3; 9 ]
+
+let rank_bits =
+  List.map (fun (e : Ranking.entry) ->
+      (e.Ranking.doc, Int64.bits_of_float e.Ranking.score))
+
+let check_rank msg a b =
+  check
+    Alcotest.(list (pair string int64))
+    msg (rank_bits a) (rank_bits b)
+
+let entry_hash (name, _, _) = Shard_map.fnv1a name
+
+(* ------------------------------------------------------------------ *)
+(* Routing: the partition-key contract of Shard.bucket/partition *)
+
+let test_bucket_min_int () =
+  List.iter
+    (fun shards ->
+      check Alcotest.int
+        (Printf.sprintf "min_int routes like 0 at %d shards" shards)
+        (Shard.bucket ~shards 0)
+        (Shard.bucket ~shards min_int);
+      check Alcotest.int
+        (Printf.sprintf "min_int lands in bucket 0 at %d shards" shards)
+        0
+        (Shard.bucket ~shards min_int);
+      check Alcotest.int
+        (Printf.sprintf "max_int in range at %d shards" shards)
+        (max_int mod shards)
+        (Shard.bucket ~shards max_int))
+    [ 1; 2; 3; 7; 8; 4096 ];
+  (match Shard.bucket ~shards:0 5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bucket must refuse shards < 1");
+  match Shard.partition ~shards:0 ~hash:Fun.id [ 1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "partition must refuse shards < 1"
+
+(* Inject the adversarial hashes (min_int, negatives) into an ordinary
+   integer stream so the properties cover the sign-bit edge cases. *)
+let spiked_int =
+  QCheck.map
+    (fun (x, spike) ->
+      match spike mod 5 with
+      | 0 -> min_int
+      | 1 -> max_int
+      | 2 -> -x
+      | _ -> x)
+    QCheck.(pair int small_nat)
+
+let prop_bucket_in_range =
+  QCheck.Test.make ~name:"bucket total and in range (min_int included)"
+    ~count:500
+    QCheck.(pair spiked_int (int_range 1 64))
+    (fun (h, shards) ->
+      let b = Shard.bucket ~shards h in
+      0 <= b && b < shards)
+
+let prop_partition_order_and_coverage =
+  QCheck.Test.make
+    ~name:"partition preserves within-bucket order; buckets disjoint, cover"
+    ~count:200
+    QCheck.(pair (list spiked_int) (int_range 1 8))
+    (fun (xs, shards) ->
+      let buckets = Shard.partition ~shards ~hash:Fun.id xs in
+      Array.length buckets = shards
+      && Array.to_list buckets
+         |> List.mapi (fun i bucket ->
+                (* Exactly the input elements routed to [i], in input
+                   order — order preservation and disjointness at once. *)
+                bucket = List.filter (fun x -> Shard.bucket ~shards x = i) xs)
+         |> List.for_all Fun.id
+      && Array.fold_left (fun n b -> n + List.length b) 0 buckets
+         = List.length xs)
+
+(* ------------------------------------------------------------------ *)
+(* Manifest: the CRC'd shard-map codec *)
+
+let test_manifest_roundtrip () =
+  List.iter
+    (fun shards ->
+      let m = Shard_map.make ~shards in
+      let m' = Shard_map.decode (Shard_map.encode m) in
+      check Alcotest.int
+        (Printf.sprintf "roundtrip %d shards" shards)
+        shards m'.Shard_map.shards)
+    [ 1; 2; 8; 4096 ];
+  List.iter
+    (fun shards ->
+      match Shard_map.make ~shards with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "make must refuse %d shards" shards)
+    [ 0; -1; 4097 ]
+
+let test_manifest_corruption () =
+  let image = Shard_map.encode (Shard_map.make ~shards:5) in
+  (* Every single-byte flip and every truncation must be detected. *)
+  for i = 0 to String.length image - 1 do
+    let b = Bytes.of_string image in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    match Shard_map.decode (Bytes.to_string b) with
+    | exception Shard_map.Corrupt _ -> ()
+    | _ -> Alcotest.failf "flip at byte %d undetected" i
+  done;
+  for len = 0 to String.length image - 1 do
+    match Shard_map.decode (String.sub image 0 len) with
+    | exception Shard_map.Corrupt _ -> ()
+    | _ -> Alcotest.failf "truncation to %d bytes undetected" len
+  done
+
+let test_manifest_save_load () =
+  in_tmp_dir (fun dir ->
+      check Alcotest.bool "no manifest yet" false (Shard_map.present dir);
+      let m = Shard_map.make ~shards:6 in
+      Shard_map.save ~dir m;
+      check Alcotest.bool "manifest present" true (Shard_map.present dir);
+      let m' = Shard_map.load ~dir in
+      check Alcotest.int "shard count survives" 6 m'.Shard_map.shards;
+      (* A damaged on-disk manifest is refused, not misrouted. *)
+      let file = Filename.concat dir Shard_map.file_name in
+      let image = Wal.read_all file in
+      write_file file (String.sub image 0 (String.length image - 1));
+      match Shard_map.load ~dir with
+      | exception Shard_map.Corrupt _ -> ()
+      | _ -> Alcotest.fail "damaged manifest must raise Corrupt")
+
+let test_route_contract () =
+  let m = Shard_map.make ~shards:8 in
+  let names =
+    [ ""; "a"; "alpha"; "disease-susceptibility"; "syn00"; "syn01" ]
+  in
+  List.iter
+    (fun name ->
+      check Alcotest.int
+        (Printf.sprintf "route %S = bucket(fnv1a)" name)
+        (Shard.bucket ~shards:8 (Shard_map.fnv1a name))
+        (Shard_map.route m name);
+      check Alcotest.bool
+        (Printf.sprintf "fnv1a %S non-negative" name)
+        true
+        (Shard_map.fnv1a name >= 0))
+    names;
+  let spread =
+    List.sort_uniq compare (List.map (Shard_map.route m) names)
+  in
+  check Alcotest.bool "routing spreads over shards" true
+    (List.length spread > 1);
+  check Alcotest.string "shard dir naming" "root/shard-0003"
+    (Shard_map.shard_dir "root" 3)
+
+(* ------------------------------------------------------------------ *)
+(* Differential: sharded keyword top-k vs the unsharded index *)
+
+let test_keyword_differential () =
+  let union = Index.build corpus in
+  List.iter
+    (fun jobs ->
+      with_pool jobs @@ fun pool ->
+      List.iter
+        (fun shards ->
+          let parts = Shard.partition ~shards ~hash:entry_hash corpus in
+          let sx = Sharded_index.build ~pool parts in
+          let msg fmt =
+            Printf.ksprintf
+              (fun s -> Printf.sprintf "jobs=%d shards=%d %s" jobs shards s)
+              fmt
+          in
+          check Alcotest.int (msg "doc_count") (Index.doc_count union)
+            (Sharded_index.doc_count sx);
+          List.iter
+            (fun level ->
+              List.iter
+                (fun terms ->
+                  let label =
+                    msg "l%d [%s]" level (String.concat "," terms)
+                  in
+                  List.iter
+                    (fun t ->
+                      check Alcotest.int
+                        (Printf.sprintf "%s df %s" label t)
+                        (Index.df union ~level t)
+                        (Sharded_index.df sx ~level t);
+                      check Alcotest.int64
+                        (Printf.sprintf "%s idf %s" label t)
+                        (Int64.bits_of_float (Index.idf union ~level t))
+                        (Int64.bits_of_float (Sharded_index.idf sx ~level t)))
+                    terms;
+                  check_rank
+                    (label ^ " score_entries")
+                    (Index.score_entries union ~level terms)
+                    (Sharded_index.score_entries sx ~level terms);
+                  List.iter
+                    (fun k ->
+                      check_rank
+                        (Printf.sprintf "%s top-%d" label k)
+                        (Index.top_k union ~level ~k terms)
+                        (Sharded_index.top_k sx ~level ~k terms))
+                    [ 1; 3; 20 ])
+                probe_terms)
+            probe_levels)
+        [ 1; 3; 8 ])
+    [ 1; 4 ]
+
+let test_sharded_index_refusals () =
+  (match Sharded_index.build [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty shard array must be refused");
+  let e = syn_index_entry 7 "dup" in
+  match Sharded_index.build [| [ e ]; [ e ] |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cross-shard duplicate names must be refused"
+
+(* ------------------------------------------------------------------ *)
+(* Differential: frontier-exchange reachability vs the engine closure *)
+
+let structural_queries =
+  Query_ast.
+    [
+      Node Any;
+      Node Atomic_only;
+      Node Composite_only;
+      Before (Any, Any);
+      Before (Atomic_only, Composite_only);
+      Edge (Any, Any);
+      And (Node Atomic_only, Before (Any, Atomic_only));
+      Not (Before (Composite_only, Composite_only));
+    ]
+
+let exec_fixture seed =
+  let spec = Synthetic.spec (Rng.create seed) small_params in
+  let subs =
+    List.filter (fun w -> w <> Spec.root spec) (Spec.workflow_ids spec)
+  in
+  let expand_levels = List.mapi (fun i w -> (w, (i mod 3) + 1)) subs in
+  let policy = Policy.make ~expand_levels spec in
+  let exec =
+    Executor.run spec
+      (Synthetic.semantics spec)
+      ~inputs:(Synthetic.inputs_for spec ~seed)
+  in
+  (policy, exec)
+
+let check_witness msg (a : Engine.witness) (b : Engine.witness) =
+  check Alcotest.bool (msg ^ ": holds") a.Engine.holds b.Engine.holds;
+  check Alcotest.(list int) (msg ^ ": nodes") a.Engine.nodes b.Engine.nodes
+
+let test_frontier_differential () =
+  let policy, exec = exec_fixture 211 in
+  List.iter
+    (fun jobs ->
+      with_pool jobs @@ fun pool ->
+      List.iter
+        (fun level ->
+          let gate = Access_gate.of_policy policy ~level in
+          let ev = Access_gate.exec_view gate exec in
+          let plain = Engine.of_exec_view ev in
+          List.iter
+            (fun shards ->
+              let msg s =
+                Printf.sprintf "jobs=%d l%d shards=%d %s" jobs level shards s
+              in
+              let sharded =
+                Frontier.engine_of_exec_view ~pool ~shards ev
+              in
+              check
+                Alcotest.(list int)
+                (msg "nodes") (Engine.nodes plain) (Engine.nodes sharded);
+              List.iter
+                (fun n ->
+                  check
+                    Alcotest.(list int)
+                    (msg (Printf.sprintf "row %d" n))
+                    (Engine.reachable_set plain n)
+                    (Engine.reachable_set sharded n))
+                (Engine.nodes plain);
+              List.iter
+                (fun q ->
+                  let plan = Engine.compile q in
+                  check_witness
+                    (msg (Query_ast.to_string q))
+                    (Engine.run plain plan) (Engine.run sharded plan))
+                structural_queries;
+              (* The low-level frontier agrees pairwise too. *)
+              let f = Frontier.of_engine ~pool ~shards plain in
+              check Alcotest.int (msg "frontier population")
+                (Engine.nb_nodes plain) (Frontier.nb_nodes f);
+              let nodes = Engine.nodes plain in
+              List.iter
+                (fun u ->
+                  check Alcotest.bool
+                    (msg (Printf.sprintf "owner %d in range" u))
+                    true
+                    (Frontier.owner f u >= 0 && Frontier.owner f u < shards);
+                  List.iter
+                    (fun v ->
+                      check Alcotest.bool
+                        (msg (Printf.sprintf "reaches %d %d" u v))
+                        (Engine.reaches plain u v)
+                        (Frontier.reaches f u v))
+                    nodes)
+                nodes;
+              check Alcotest.bool (msg "queries ran rounds") true
+                (shards = 1 || Frontier.rounds f > 0))
+            [ 1; 3; 8 ])
+        [ 0; 1; 3; 9 ])
+    [ 1; 4 ]
+
+(* shards = 1 must *be* the unsharded engine path, not a 1-shard
+   emulation of it. *)
+let test_one_shard_degenerates () =
+  let policy, exec = exec_fixture 223 in
+  let gate = Access_gate.of_policy policy ~level:9 in
+  let ev = Access_gate.exec_view gate exec in
+  let eng = Frontier.engine_of_exec_view ~shards:1 ev in
+  let plain = Engine.of_exec_view ev in
+  check Alcotest.string "same digest as the plain engine"
+    (Engine.digest plain) (Engine.digest eng)
+
+(* ------------------------------------------------------------------ *)
+(* Differential: gated sessions carrying shard topology *)
+
+let test_session_topology () =
+  let policy, exec = exec_fixture 227 in
+  let level = 2 in
+  let gate_plain = Access_gate.of_policy policy ~level in
+  let gate_sharded = Access_gate.of_policy ~shards:3 policy ~level in
+  check Alcotest.int "plain gate reports 1 shard" 1
+    (Access_gate.shards gate_plain);
+  check Alcotest.int "sharded gate reports its topology" 3
+    (Access_gate.shards gate_sharded);
+  check Alcotest.bool "fingerprints split by topology" true
+    (Access_gate.fingerprint gate_plain
+    <> Access_gate.fingerprint gate_sharded);
+  let s_plain = Session.start_gated gate_plain exec in
+  let s_sharded = Session.start_gated gate_sharded exec in
+  check Alcotest.int "session exposes the shard count" 3
+    (Session.shards s_sharded);
+  (* Topology fingerprints partition caches; answers never change. *)
+  List.iter
+    (fun q ->
+      let a = Session.query s_plain q and b = Session.query s_sharded q in
+      check Alcotest.bool (Query_ast.to_string q) true
+        (a.Query_eval.holds = b.Query_eval.holds
+        && a.Query_eval.nodes = b.Query_eval.nodes))
+    structural_queries;
+  (* Reach-cache keys carry the same epoch/topology segments. *)
+  let k1 = Reach_cache.group_key ~entry:"e" ~run:0 ~prefix:[ "W1" ] () in
+  let k2 =
+    Reach_cache.group_key ~shards:3 ~entry:"e" ~run:0 ~prefix:[ "W1" ] ()
+  in
+  let k3 =
+    Reach_cache.group_key ~generation:2 ~shards:3 ~entry:"e" ~run:0
+      ~prefix:[ "W1" ] ()
+  in
+  check Alcotest.bool "topology in the group key" true (k1 <> k2);
+  check Alcotest.bool "epoch and topology compose" true (k2 <> k3);
+  check Alcotest.string "legacy keys unchanged" "e/0/{W1}" k1
+
+(* ------------------------------------------------------------------ *)
+(* Differential: the sharded durable repository vs an unsharded shadow *)
+
+let add_syn_entry ?(params = tiny_params) name seed =
+  let spec, exec = Synthetic.run (Rng.create seed) params in
+  Repository.Add_entry
+    { entry_name = name; policy = Policy.make spec; executions = [ exec ] }
+
+let exec_of_repo repo name seed =
+  let e = Repository.find repo name in
+  let spec = e.Repository.spec in
+  Executor.run spec
+    (Synthetic.semantics spec)
+    ~inputs:(Synthetic.inputs_for spec ~seed)
+
+let test_sharded_repo_differential () =
+  with_pool 4 @@ fun pool ->
+  in_tmp_dir @@ fun dir ->
+  let root = Filename.concat dir "store" in
+  let t = Sharded_repo.init ~shards:3 root in
+  Fun.protect ~finally:(fun () -> Sharded_repo.close t) @@ fun () ->
+  let shadow = Repository.create () in
+  let feed m =
+    Repository.apply shadow m;
+    ignore (Sharded_repo.append t m)
+  in
+  let names = List.init 9 (fun i -> Printf.sprintf "ent%02d" i) in
+  List.iteri (fun i n -> feed (add_syn_entry ~params:small_params n (300 + i))) names;
+  (* A streamed batch: same-name dependencies stay in one shard. *)
+  let batch =
+    [
+      add_syn_entry ~params:small_params "late" 400;
+      Repository.Add_execution
+        { entry_name = "ent00"; exec = exec_of_repo shadow "ent00" 401 };
+    ]
+  in
+  List.iter (Repository.apply shadow) batch;
+  let g = Sharded_repo.append_streaming t batch in
+  check Alcotest.bool "streamed batch raised the global epoch" true (g > 0);
+  check Alcotest.int "generation is the per-shard sum" g
+    (Sharded_repo.generation t);
+  (* Every entry landed in exactly the shard the manifest routes to. *)
+  let map = Sharded_repo.shard_map t in
+  Array.iteri
+    (fun s entries ->
+      List.iter
+        (fun (n, _, _) ->
+          check Alcotest.int
+            (Printf.sprintf "%s lives in its routed shard" n)
+            (Shard_map.route map n) s)
+        entries)
+    (Sharded_repo.entries_by_shard t);
+  (* The merged repository answers like the unsharded shadow. *)
+  let merged = Sharded_repo.repo t in
+  check
+    Alcotest.(list string)
+    "same entry names" (Repository.names shadow) (Repository.names merged);
+  List.iter
+    (fun n ->
+      check Alcotest.int
+        (Printf.sprintf "%s execution count" n)
+        (List.length (Repository.find shadow n).Repository.executions)
+        (List.length (Repository.find merged n).Repository.executions))
+    (Repository.names shadow);
+  let union = Repository.search_index shadow in
+  let sx = Sharded_repo.index ~pool t in
+  List.iter
+    (fun level ->
+      List.iter
+        (fun terms ->
+          check_rank
+            (Printf.sprintf "served top-k l%d [%s]" level
+               (String.concat "," terms))
+            (Index.top_k union ~level ~k:5 terms)
+            (Sharded_index.top_k sx ~level ~k:5 terms))
+        probe_terms)
+    probe_levels;
+  (* Reopen from disk: parallel per-shard recovery, same answers. *)
+  Sharded_repo.close t;
+  let t2 = Sharded_repo.open_dir ~pool root in
+  Fun.protect ~finally:(fun () -> Sharded_repo.close t2) @@ fun () ->
+  check
+    Alcotest.(list string)
+    "names survive reopen" (Repository.names shadow)
+    (Repository.names (Sharded_repo.repo t2));
+  check Alcotest.int "generation survives reopen"
+    (Sharded_repo.generation t) (Sharded_repo.generation t2);
+  check Alcotest.string "merged image survives reopen" (snap merged)
+    (snap (Sharded_repo.repo t2))
+
+let test_sharded_repo_refusals () =
+  in_tmp_dir @@ fun dir ->
+  let root = Filename.concat dir "store" in
+  let t = Sharded_repo.init ~shards:2 root in
+  Sharded_repo.close t;
+  (match Sharded_repo.init ~shards:2 root with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double init must be refused");
+  check Alcotest.bool "is_sharded on a sharded root" true
+    (Sharded_repo.is_sharded root);
+  check Alcotest.bool "is_sharded on a plain dir" false
+    (Sharded_repo.is_sharded dir);
+  let t = Sharded_repo.open_dir root in
+  Fun.protect ~finally:(fun () -> Sharded_repo.close t) @@ fun () ->
+  (match Sharded_repo.append_streaming t [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty batch must be refused");
+  (* A doomed batch (duplicate entry) must leave *no* shard changed,
+     even when a sibling shard's group would have been valid. *)
+  ignore (Sharded_repo.append t (add_syn_entry "a0" 1));
+  let g_before = Sharded_repo.generation t in
+  let image_before = snap (Sharded_repo.repo t) in
+  (match
+     Sharded_repo.append_streaming t
+       [ add_syn_entry "b7" 2; add_syn_entry "a0" 3 ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate entry in a batch must be refused");
+  check Alcotest.int "no shard committed the doomed batch" g_before
+    (Sharded_repo.generation t);
+  check Alcotest.string "repository image unchanged" image_before
+    (snap (Sharded_repo.repo t))
+
+(* ------------------------------------------------------------------ *)
+(* Leakage: the sharded planner's observer view is blind to hidden
+   structure (same scenario discipline as test_obs). *)
+
+let leak_spec ~hidden_chain =
+  let atom id name = Module_def.make ~id ~name Module_def.Atomic in
+  let hidden_ids = List.init hidden_chain (fun i -> 4 + i) in
+  let hidden =
+    List.map (fun id -> atom id (Printf.sprintf "Hidden Step %d" id)) hidden_ids
+  in
+  let rec chain = function
+    | a :: (b :: _ as rest) ->
+        { Spec.src = a; dst = b; data = [ "h" ] } :: chain rest
+    | _ -> []
+  in
+  let w1 =
+    {
+      Spec.wf_id = "W1";
+      title = "root";
+      members = [ Ids.input_module; Ids.output_module; 2; 3 ];
+      edges =
+        [
+          { Spec.src = Ids.input_module; dst = 2; data = [ "a" ] };
+          { Spec.src = 2; dst = 3; data = [ "b" ] };
+          { Spec.src = 3; dst = Ids.output_module; data = [ "c" ] };
+        ];
+    }
+  in
+  let w2 =
+    {
+      Spec.wf_id = "W2";
+      title = "secret";
+      members = hidden_ids;
+      edges = chain hidden_ids;
+    }
+  in
+  Spec.create ~root:"W1"
+    ([
+       Module_def.input;
+       Module_def.output;
+       atom 2 "Visible Step";
+       Module_def.make ~id:3 ~name:"Secret Unit" (Module_def.Composite "W2");
+     ]
+    @ hidden)
+    [ w1; w2 ]
+
+(* A corpus whose only difference is the hidden chain inside entry
+   "secret": the level-0/1 doc universe and postings are identical. *)
+let leak_corpus ~hidden_chain =
+  let secret =
+    let policy =
+      Policy.make ~expand_levels:[ ("W2", 2) ] (leak_spec ~hidden_chain)
+    in
+    ("secret", Policy.spec policy, Policy.privilege policy)
+  in
+  [ syn_index_entry 501 "pub-a"; secret; syn_index_entry 502 "pub-b" ]
+
+let leak_probe ~hidden_chain ~shards ~level =
+  Obs.Registry.reset ();
+  let parts =
+    Shard.partition ~shards ~hash:entry_hash (leak_corpus ~hidden_chain)
+  in
+  let sx = Sharded_index.build parts in
+  List.iter
+    (fun terms ->
+      ignore (Sharded_index.top_k sx ~level ~k:3 terms);
+      ignore (Sharded_index.score_entries sx ~level terms))
+    ([ [ "secret" ]; [ "hidden" ]; [ "visible" ] ] @ probe_terms);
+  let spec = leak_spec ~hidden_chain in
+  let policy = Policy.make ~expand_levels:[ ("W2", 2) ] spec in
+  let exec =
+    Executor.run spec (Synthetic.semantics spec)
+      ~inputs:(Synthetic.inputs_for spec ~seed:1)
+  in
+  let gate = Access_gate.of_policy policy ~level in
+  let ev = Access_gate.exec_view gate exec in
+  let eng = Frontier.engine_of_exec_view ~shards ev in
+  List.iter
+    (fun q -> ignore (Engine.run eng (Engine.compile q)))
+    structural_queries;
+  Obs.Registry.observer_counters ~level
+
+let test_sharded_leakage () =
+  with_obs @@ fun () ->
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun level ->
+          let a = leak_probe ~hidden_chain:1 ~shards ~level in
+          let b = leak_probe ~hidden_chain:4 ~shards ~level in
+          check
+            Alcotest.(list (pair string int))
+            (Printf.sprintf
+               "shards=%d observer at level %d blind to hidden structure"
+               shards level)
+            a b;
+          check Alcotest.bool "sharded top-k counters present" true
+            (match List.assoc_opt "shard.topk_queries" b with
+            | Some n -> n > 0
+            | None -> false))
+        [ 0; 1 ])
+    [ 3; 8 ];
+  (* Privileged sharded work stays above the observer. *)
+  Obs.Registry.reset ();
+  let sx =
+    Sharded_index.build
+      (Shard.partition ~shards:3 ~hash:entry_hash (leak_corpus ~hidden_chain:4))
+  in
+  ignore (Sharded_index.top_k sx ~level:1 ~k:3 [ "risk" ]);
+  let below = Obs.Registry.observer_counters ~level:1 in
+  ignore (Sharded_index.top_k sx ~level:3 ~k:3 [ "secret"; "hidden" ]);
+  check
+    Alcotest.(list (pair string int))
+    "level-3 sharded work invisible at level 1" below
+    (Obs.Registry.observer_counters ~level:1)
+
+(* ------------------------------------------------------------------ *)
+(* Per-shard crash recovery: truncate ONE shard's WAL tail at every
+   byte offset. The damaged shard must recover a sealed per-shard
+   state (never a torn batch), siblings keep their full state, and the
+   reopened store keeps serving and accepting appends. *)
+
+let name_routed map shard tag =
+  let rec go i =
+    let name = Printf.sprintf "%s%02d" tag i in
+    if Shard_map.route map name = shard then name else go (i + 1)
+  in
+  go 0
+
+let test_shard_truncation_fuzz () =
+  in_tmp_dir @@ fun dir ->
+  let root = Filename.concat dir "store" in
+  let t = Sharded_repo.init ~shards:3 root in
+  let map = Sharded_repo.shard_map t in
+  let target = 1 in
+  (* Shadow of the target shard only, with a state table keyed by the
+     replayed-record count (the same discipline as test_live). *)
+  let shadow = Repository.create () in
+  let states = Hashtbl.create 8 in
+  let count = ref 0 in
+  let note gen = Hashtbl.replace states !count (snap shadow, gen) in
+  let apply_target ms =
+    List.iter
+      (fun m ->
+        Repository.apply shadow m;
+        incr count)
+      ms
+  in
+  note 0;
+  let a0 = name_routed map 0 "a" in
+  let a1 = name_routed map target "b" in
+  let a2 = name_routed map 2 "c" in
+  ignore (Sharded_repo.append t (add_syn_entry a0 11));
+  (* Mutation values are shared between the store and the shadow: the
+     repository pins executions to the physically-same spec. *)
+  let m_a1 = add_syn_entry a1 12 in
+  ignore (Sharded_repo.append t m_a1);
+  apply_target [ m_a1 ];
+  note 0;
+  ignore (Sharded_repo.append t (add_syn_entry a2 13));
+  (* Batch 1 spans all three shards; the target's group is the two
+     same-shard mutations, sealed atomically. *)
+  let b1 = name_routed map target "d" in
+  let target_group1 =
+    [
+      add_syn_entry b1 14;
+      Repository.Add_execution
+        { entry_name = a1; exec = exec_of_repo (Sharded_repo.repo t) a1 15 };
+    ]
+  in
+  let batch1 =
+    [ add_syn_entry (name_routed map 0 "e") 16 ]
+    @ target_group1
+    @ [ add_syn_entry (name_routed map 2 "f") 17 ]
+  in
+  ignore (Sharded_repo.append_streaming t batch1);
+  apply_target target_group1;
+  note 1;
+  (* Batch 2 touches only the target shard. *)
+  let target_group2 =
+    [
+      Repository.Add_execution
+        { entry_name = b1; exec = exec_of_repo (Sharded_repo.repo t) b1 18 };
+    ]
+  in
+  ignore (Sharded_repo.append_streaming t target_group2);
+  apply_target target_group2;
+  note 2;
+  let full_images =
+    Array.init 3 (fun s -> snap (Durable_repo.repo (Sharded_repo.shard_store t s)))
+  in
+  let full_names = Repository.names (Sharded_repo.repo t) in
+  Sharded_repo.close t;
+  let target_dir = Shard_map.shard_dir root target in
+  let seg =
+    match Wal.segments target_dir with
+    | [ s ] -> s
+    | l -> Alcotest.failf "expected one segment, got %d" (List.length l)
+  in
+  let image = Wal.read_all seg.Wal.path in
+  for b = 0 to String.length image do
+    in_tmp_dir (fun dir2 ->
+        let root2 = Filename.concat dir2 "store" in
+        copy_tree root root2;
+        write_file
+          (Filename.concat
+             (Shard_map.shard_dir root2 target)
+             (Filename.basename seg.Wal.path))
+          (String.sub image 0 b);
+        let t2 = Sharded_repo.open_dir root2 in
+        Fun.protect ~finally:(fun () -> Sharded_repo.close t2) @@ fun () ->
+        let store = Sharded_repo.shard_store t2 target in
+        let report = Durable_repo.recovery_report store in
+        (match
+           Hashtbl.find_opt states report.Wfpriv_durable.Recovery.replayed
+         with
+        | None ->
+            Alcotest.failf
+              "offset %d: replay horizon %d sits inside a batch" b
+              report.Wfpriv_durable.Recovery.replayed
+        | Some (st, gen) ->
+            check Alcotest.string
+              (Printf.sprintf "offset %d recovers a sealed shard state" b)
+              st
+              (snap (Durable_repo.repo store));
+            check Alcotest.int
+              (Printf.sprintf "offset %d shard generation" b)
+              gen
+              report.Wfpriv_durable.Recovery.generation);
+        (* Sibling shards are untouched by the damage. *)
+        List.iter
+          (fun s ->
+            check Alcotest.string
+              (Printf.sprintf "offset %d: shard %d keeps its state" b s)
+              full_images.(s)
+              (snap (Durable_repo.repo (Sharded_repo.shard_store t2 s))))
+          [ 0; 2 ];
+        (* The merged view is exactly siblings + recovered target. *)
+        let expect_names =
+          List.filter
+            (fun n ->
+              Shard_map.route map n <> target
+              || List.mem n (Repository.names shadow)
+              || Hashtbl.length states = 0)
+            full_names
+        in
+        let merged_names = Repository.names (Sharded_repo.repo t2) in
+        check Alcotest.bool
+          (Printf.sprintf "offset %d: merged = siblings + recovered" b)
+          true
+          (List.for_all
+             (fun n ->
+               if Shard_map.route map n <> target then
+                 List.mem n merged_names
+               else true)
+             expect_names);
+        (* The store still accepts a fresh append after repair. *)
+        let g_before = Sharded_repo.generation t2 in
+        let shard, _ =
+          Sharded_repo.append t2
+            (Repository.Add_execution
+               {
+                 entry_name = a0;
+                 exec = exec_of_repo (Sharded_repo.repo t2) a0 99;
+               })
+        in
+        check Alcotest.int
+          (Printf.sprintf "offset %d: append routes to shard 0" b)
+          0 shard;
+        check Alcotest.int
+          (Printf.sprintf "offset %d: append is immediate (epoch stable)" b)
+          g_before (Sharded_repo.generation t2))
+  done
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "min_int and bounds" `Quick test_bucket_min_int;
+          qcheck prop_bucket_in_range;
+          qcheck prop_partition_order_and_coverage;
+        ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "codec roundtrip" `Quick test_manifest_roundtrip;
+          Alcotest.test_case "corruption detected (every byte)" `Quick
+            test_manifest_corruption;
+          Alcotest.test_case "save/load" `Quick test_manifest_save_load;
+          Alcotest.test_case "route contract" `Quick test_route_contract;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "keyword top-k vs unsharded index" `Quick
+            test_keyword_differential;
+          Alcotest.test_case "sharded index refusals" `Quick
+            test_sharded_index_refusals;
+          Alcotest.test_case "frontier closures vs engine" `Quick
+            test_frontier_differential;
+          Alcotest.test_case "one shard is the plain engine" `Quick
+            test_one_shard_degenerates;
+          Alcotest.test_case "session and cache topology" `Quick
+            test_session_topology;
+          Alcotest.test_case "sharded repository vs shadow" `Quick
+            test_sharded_repo_differential;
+          Alcotest.test_case "repository refusals" `Quick
+            test_sharded_repo_refusals;
+        ] );
+      ( "leakage",
+        [
+          Alcotest.test_case "observer blind to hidden structure" `Quick
+            test_sharded_leakage;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "one-shard truncation fuzz (every offset)"
+            `Quick test_shard_truncation_fuzz;
+        ] );
+    ]
