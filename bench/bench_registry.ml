@@ -263,6 +263,7 @@ let experiments =
     ("e18", Exp_server.e18);
     ("e19", Exp_live.e19);
     ("e20", Exp_shard.e20);
+    ("e21", Exp_durable.e21);
     ("a1", Exp_extensions.a1);
     ("a2", Exp_extensions.a2);
     ("a3", Exp_extensions.a3);

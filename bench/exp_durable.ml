@@ -86,3 +86,90 @@ let e13 () =
   Printf.printf
     "expected shape: WAL ms/op stays flat while whole-file saves grow\n\
      linearly with the store; post-checkpoint recovery replays no records.\n"
+
+(* E21: durable erasure — the history-rewrite cost as the store grows.
+   `Durable_repo.erase` commits the tombstone, checkpoints the redacted
+   state, compacts every pre-erase segment and prunes every pre-erase
+   snapshot, so its cost is O(live store), not O(1) like a plain append.
+   This experiment measures that curve, and checks the rewritten store
+   recovers to the same entry count it held before the erase.
+
+   Metrics:
+   - e21.erase_ms_small / e21.erase_ms_large: one data-item erasure on
+     the smallest and largest store (wall ms);
+   - e21.erase_scaling: large/small cost ratio (expected to grow with
+     the ratio of live records, not with the number of dead segments);
+   - e21.recover_ms_large: reopening the rewritten large store (the
+     redacted snapshot makes this replay-free);
+   - e21.redaction_ok: 1.0 iff after erasing data "snps" every
+     recovered execution masks it and the entry count is unchanged. *)
+
+let e21 () =
+  Util.heading "E21  Durable erasure: history-rewrite cost vs store size";
+  let sizes = if !Util.quick then [ 8; 32 ] else [ 8; 64; 256 ] in
+  let exec = Disease.run () in
+  let policy = Wfpriv_privacy.Policy.make Disease.spec in
+  let ok = ref true in
+  let rows =
+    List.map
+      (fun n ->
+        let dir = fresh_dir "wfpriv-e21" in
+        let t = Durable_repo.init dir in
+        ignore
+          (Durable_repo.append t
+             (Repository.Add_entry
+                { entry_name = "subject"; policy; executions = [] }));
+        for _ = 1 to n do
+          ignore
+            (Durable_repo.append t
+               (Repository.Add_execution { entry_name = "subject"; exec }))
+        done;
+        let report, erase_ms =
+          Util.wall_ms (fun () ->
+              Durable_repo.erase t
+                (Repository.Erase
+                   { entry_name = "subject"; data_name = Some "snps" }))
+        in
+        Durable_repo.close t;
+        let (repo, rep), recover_ms =
+          Util.wall_ms (fun () -> Recovery.open_dir dir)
+        in
+        let e = Repository.find repo "subject" in
+        if List.length e.Repository.executions <> n then ok := false;
+        List.iter
+          (fun ex ->
+            match Wfpriv_workflow.Execution.items_named ex "snps" with
+            | [] -> ok := false
+            | items ->
+                List.iter
+                  (fun (it : Wfpriv_workflow.Execution.item) ->
+                    if not (Wfpriv_workflow.Data_value.is_masked it.value)
+                    then ok := false)
+                  items)
+          e.Repository.executions;
+        if rep.Recovery.replayed <> 0 then ok := false;
+        rm_rf dir;
+        (n, erase_ms, recover_ms, report))
+      sizes
+  in
+  let _, ms_small, _, _ = List.hd rows in
+  let n_large, ms_large, recover_large, _ = List.nth rows (List.length rows - 1) in
+  Util.emit "e21.erase_ms_small" ms_small;
+  Util.emit "e21.erase_ms_large" ms_large;
+  Util.emit "e21.erase_scaling" (ms_large /. Float.max 1e-6 ms_small);
+  Util.emit "e21.recover_ms_large" recover_large;
+  Util.emit "e21.redaction_ok" (if !ok then 1.0 else 0.0);
+  Util.print_table
+    [ "runs"; "erase ms"; "recover ms"; "dropped"; "pruned" ]
+    (List.map
+       (fun (n, erase_ms, recover_ms, r) ->
+         [
+           string_of_int n; Util.fmt_f erase_ms; Util.fmt_f recover_ms;
+           string_of_int r.Durable_repo.er_dropped_segments;
+           string_of_int r.Durable_repo.er_pruned_snapshots;
+         ])
+       rows);
+  Printf.printf
+    "expected shape: erase cost grows with the live store (each rewrite\n\
+     re-snapshots %d runs) while recovery stays replay-free.\n"
+    n_large

@@ -414,15 +414,17 @@ let repo_load path =
     else fst (Recovery.open_dir path)
   else Wfpriv_store.Repo_store.load path
 
+(* The demo privacy policy over the paper's Fig. 1 workflow — shared by
+   `repo init`, the serve appender and the `policy` commands. *)
+let disease_policy () =
+  Policy.make
+    ~expand_levels:[ ("W2", 1); ("W3", 2); ("W4", 3) ]
+    ~data_levels:[ ("disorders", 2); ("prognosis", 1) ]
+    Disease.spec
+
 let demo_entries () =
-  let disease_policy =
-    Policy.make
-      ~expand_levels:[ ("W2", 1); ("W3", 2); ("W4", 3) ]
-      ~data_levels:[ ("disorders", 2); ("prognosis", 1) ]
-      Disease.spec
-  in
   [
-    ("disease-susceptibility", disease_policy, [ Disease.run () ]);
+    ("disease-susceptibility", disease_policy (), [ Disease.run () ]);
     ( "clinical-trial",
       Wfpriv_workloads.Clinical.policy,
       [ Wfpriv_workloads.Clinical.run () ] );
@@ -474,51 +476,107 @@ let repo_init path shards =
       (Durable_repo.snapshot_lsn t)
   end
 
+(* `--input NAME=VALUE` overrides of the synthetic root inputs — how
+   the erasure CI gate plants a recognisable sentinel payload whose
+   bytes it can then prove absent after `repo erase`. *)
+let parse_input_override s =
+  match String.index_opt s '=' with
+  | Some i when i > 0 ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | _ -> failwith (Printf.sprintf "bad --input %S (expected NAME=VALUE)" s)
+
+(* Entry lookup with a user-facing error instead of a bare Not_found —
+   after `repo erase` the name is genuinely gone, so this is a normal
+   condition, not an internal error. *)
+let find_entry repo entry =
+  match Repository.find repo entry with
+  | e -> e
+  | exception Not_found ->
+      failwith (Printf.sprintf "unknown entry %S (erased or never stored)" entry)
+
 (* Synthetic re-execution of a stored entry's spec: deterministic in
    the seed, valid for any spec — the mutation `repo append` journals. *)
-let append_mutation repo entry seed =
-  let e = Repository.find repo entry in
+let append_mutation repo entry seed overrides =
+  let e = find_entry repo entry in
   let spec = e.Repository.spec in
-  let exec =
-    Executor.run spec (Synthetic.semantics spec)
-      ~inputs:(Synthetic.inputs_for spec ~seed)
+  let inputs = Synthetic.inputs_for spec ~seed in
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name inputs) then
+        failwith (Printf.sprintf "unknown root input %S for %s" name entry))
+    overrides;
+  let inputs =
+    List.map
+      (fun (name, v) ->
+        match List.assoc_opt name overrides with
+        | Some s -> (name, Data_value.Str s)
+        | None -> (name, v))
+      inputs
   in
+  let exec = Executor.run spec (Synthetic.semantics spec) ~inputs in
   Repository.Add_execution { entry_name = entry; exec }
 
-let repo_append_sharded path entry seed =
+let repo_append_sharded path entry seed overrides =
   let sr = Sharded_repo.open_dir path in
   Fun.protect
     ~finally:(fun () -> Sharded_repo.close sr)
     (fun () ->
-      let m = append_mutation (Sharded_repo.repo sr) entry seed in
+      let m = append_mutation (Sharded_repo.repo sr) entry seed overrides in
       let shard = Sharded_repo.route sr entry in
       let generation = Sharded_repo.append_streaming sr [ m ] in
       Printf.printf "appended to %s (shard %d, generation %d)\n" entry shard
         generation)
 
-let repo_append path entry seed =
-  if Sharded_repo.is_sharded path then repo_append_sharded path entry seed
+let repo_append path entry seed inputs =
+  let overrides = List.map parse_input_override inputs in
+  if Sharded_repo.is_sharded path then
+    repo_append_sharded path entry seed overrides
   else
-  let t = Durable_repo.open_dir path in
-  Fun.protect
-    ~finally:(fun () -> Durable_repo.close t)
-    (fun () ->
-      let e = Repository.find (Durable_repo.repo t) entry in
-      (* Re-execute the stored spec under synthetic hash-based semantics:
-         deterministic in the seed, valid for any spec. *)
-      let spec = e.Repository.spec in
-      let exec =
-        Executor.run spec (Synthetic.semantics spec)
-          ~inputs:(Synthetic.inputs_for spec ~seed)
-      in
-      (* The streaming path: the execution journals as a batched record
-         closed by a commit record publishing a fresh generation. *)
-      let generation =
-        Durable_repo.append_streaming t
-          [ Repository.Add_execution { entry_name = entry; exec } ]
-      in
-      Printf.printf "appended to %s (generation %d, last lsn %d)\n" entry
-        generation (Durable_repo.last_lsn t))
+    let t = Durable_repo.open_dir path in
+    Fun.protect
+      ~finally:(fun () -> Durable_repo.close t)
+      (fun () ->
+        let m = append_mutation (Durable_repo.repo t) entry seed overrides in
+        (* The streaming path: the execution journals as a batched record
+           closed by a commit record publishing a fresh generation. *)
+        let generation = Durable_repo.append_streaming t [ m ] in
+        Printf.printf "appended to %s (generation %d, last lsn %d)\n" entry
+          generation (Durable_repo.last_lsn t))
+
+(* Durable erasure: journal the tombstone, checkpoint, drop every
+   pre-erasure segment, prune every pre-erasure snapshot — after which
+   the erased bytes exist in no on-disk artifact (the CI erasure gate
+   greps the raw store to prove it). *)
+let repo_erase path entry data =
+  let mutation = Repository.Erase { entry_name = entry; data_name = data } in
+  let target =
+    match data with None -> entry | Some d -> Printf.sprintf "%s/%s" entry d
+  in
+  if Filename.check_suffix path ".json" then
+    failwith "erase requires a durable directory store"
+  else if Sharded_repo.is_sharded path then begin
+    let sr = Sharded_repo.open_dir path in
+    Fun.protect
+      ~finally:(fun () -> Sharded_repo.close sr)
+      (fun () ->
+        let shard, r = Sharded_repo.erase sr mutation in
+        Printf.printf
+          "erased %s (shard %d, generation %d, dropped %d segment(s), \
+           pruned %d snapshot(s))\n"
+          target shard r.Durable_repo.er_generation
+          r.Durable_repo.er_dropped_segments r.Durable_repo.er_pruned_snapshots)
+  end
+  else
+    let t = Durable_repo.open_dir path in
+    Fun.protect
+      ~finally:(fun () -> Durable_repo.close t)
+      (fun () ->
+        let r = Durable_repo.erase t mutation in
+        Printf.printf
+          "erased %s (generation %d, dropped %d segment(s), pruned %d \
+           snapshot(s))\n"
+          target r.Durable_repo.er_generation r.Durable_repo.er_dropped_segments
+          r.Durable_repo.er_pruned_snapshots)
 
 let repo_recover path =
   if Sharded_repo.is_sharded path then begin
@@ -756,7 +814,7 @@ let repo_query path level entry query_src =
       ~finally:(fun () -> Sharded_repo.close sr)
       (fun () ->
         let nshards = Sharded_repo.shards sr in
-        let e = Repository.find (Sharded_repo.repo sr) entry in
+        let e = find_entry (Sharded_repo.repo sr) entry in
         let gate =
           Access_gate.of_policy ~shards:nshards e.Repository.policy ~level
         in
@@ -772,12 +830,126 @@ let repo_query path level entry query_src =
   end
   else
     let repo = repo_load path in
+    ignore (find_entry repo entry);
     let q = Query_parser.parse query_src in
     List.iteri
       (fun run w ->
         Printf.printf "%s run %d at level %d: %b\n" entry run level
           w.Query_eval.holds)
       (Repository.structural_query repo ~level entry q)
+
+(* ------------------------------------------------------------------ *)
+(* `policy` commands: the policy algebra (lib/privacy/policy_algebra) *)
+
+(* The base policy the algebra refines: the demo disease policy for the
+   built-in disease workload, a plain (floor-only) policy otherwise. *)
+let base_policy_for file workload seed =
+  let { spec; _ } = load_workload ?file workload seed in
+  if file = None && workload = "disease" then disease_policy ()
+  else Policy.make spec
+
+let parse_role s =
+  match String.index_opt s ':' with
+  | Some i when i > 0 -> (
+      let name = String.sub s 0 i in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+      with
+      | Some l -> (name, l)
+      | None -> failwith (Printf.sprintf "bad --role %S (expected NAME:LEVEL)" s)
+      )
+  | _ -> failwith (Printf.sprintf "bad --role %S (expected NAME:LEVEL)" s)
+
+(* `SUBJECT:ITEM[,ITEM..]` — items naming workflows of the spec become
+   workflow grants, everything else a data-name grant. *)
+let parse_consent spec s =
+  match String.index_opt s ':' with
+  | Some i when i > 0 ->
+      let subject = String.sub s 0 i in
+      let items =
+        String.sub s (i + 1) (String.length s - i - 1)
+        |> String.split_on_char ','
+        |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+      in
+      let wids = Spec.workflow_ids spec in
+      let workflows, data = List.partition (fun it -> List.mem it wids) items in
+      (subject, workflows, data)
+  | _ ->
+      failwith (Printf.sprintf "bad --consent %S (expected SUBJECT:ITEMS)" s)
+
+let print_audit_tail () =
+  print_string "audit:\n";
+  List.iter
+    (fun r -> Printf.printf "  %s\n" (Obs.Audit_log.render r))
+    (Obs.Audit_log.records ())
+
+let print_compiled_view env ~base ~level expr =
+  let compiled = Policy_algebra.compile env ~base ~level expr in
+  let gate = Access_gate.of_policy compiled ~level in
+  let render = function [] -> "(none)" | l -> String.concat ", " l in
+  Printf.printf "visible workflows: %s\n" (render (Access_gate.allowed gate));
+  let names = List.map fst (Policy.effective_data_levels compiled) in
+  let readable, masked = List.partition (Access_gate.data_readable gate) names in
+  Printf.printf "readable data: %s\n" (render readable);
+  Printf.printf "masked data: %s\n" (render masked);
+  Printf.printf "fingerprint: %s\n" (Access_gate.fingerprint gate)
+
+(* Build the expression `--role`/`--consent`/`--revoke` describe:
+   revoked consents override a union of the floor, the roles and the
+   (still granted) consents — the shape under which revocation denies
+   exactly the revoked sets and everything else falls through. *)
+let policy_show file workload seed level roles consents revoked =
+  Obs.Config.set_enabled true;
+  let { spec; _ } = load_workload ?file workload seed in
+  let base = base_policy_for file workload seed in
+  let env = Policy_algebra.create () in
+  let expr =
+    List.fold_left
+      (fun acc rs ->
+        let name, l = parse_role rs in
+        Policy_algebra.define_role env name l;
+        Policy_algebra.Union (acc, Policy_algebra.Role name))
+      Policy_algebra.Floor roles
+  in
+  let expr =
+    List.fold_left
+      (fun acc cs ->
+        let subject, workflows, data = parse_consent spec cs in
+        Policy_algebra.grant_consent env ~subject ~workflows ~data ();
+        Policy_algebra.Union (acc, Policy_algebra.Consent subject))
+      expr consents
+  in
+  let expr =
+    List.fold_left
+      (fun acc subject ->
+        Policy_algebra.revoke_consent env ~subject;
+        Policy_algebra.Override (Policy_algebra.Consent subject, acc))
+      expr revoked
+  in
+  Printf.printf "policy at level %d:\n" level;
+  print_compiled_view env ~base ~level expr;
+  print_audit_tail ()
+
+(* Grant, show the widened view, tick past the ttl, show the reverted
+   view — the whole round trip audited. *)
+let policy_break_glass file workload seed level actor glass_level ttl reason =
+  Obs.Config.set_enabled true;
+  let base = base_policy_for file workload seed in
+  let env = Policy_algebra.create () in
+  Policy_algebra.grant_break_glass env ~actor ~level:glass_level ~ttl ~reason;
+  let expr =
+    Policy_algebra.Union (Policy_algebra.Floor, Policy_algebra.Break_glass actor)
+  in
+  Printf.printf "t=%d, break-glass active: %b\n" (Policy_algebra.now env)
+    (Policy_algebra.break_glass_active env actor);
+  print_compiled_view env ~base ~level expr;
+  for _ = 1 to ttl do
+    Policy_algebra.tick env
+  done;
+  Printf.printf "t=%d, break-glass active: %b\n" (Policy_algebra.now env)
+    (Policy_algebra.break_glass_active env actor);
+  print_compiled_view env ~base ~level expr;
+  print_audit_tail ()
 
 (* ------------------------------------------------------------------ *)
 (* `serve` / `call`: the multi-session serving layer (lib/server) *)
@@ -792,14 +964,12 @@ module Scheduler = Wfpriv_server.Scheduler
 let serve_appender ~entry ~workload ~seed =
   match Option.value workload ~default:"synthetic" with
   | "disease" ->
-      let policy =
-        Policy.make
-          ~expand_levels:[ ("W2", 1); ("W3", 2); ("W4", 3) ]
-          ~data_levels:[ ("disorders", 2); ("prognosis", 1) ]
-          Disease.spec
-      in
       Repository.Add_entry
-        { entry_name = entry; policy; executions = [ Disease.run () ] }
+        {
+          entry_name = entry;
+          policy = disease_policy ();
+          executions = [ Disease.run () ];
+        }
   | "synthetic" ->
       let spec, exec = Synthetic.run (Rng.create seed) Synthetic.default_params in
       Repository.Add_entry
@@ -1058,12 +1228,44 @@ let repo_group =
     let entry =
       Arg.(required & pos 1 (some string) None & info [] ~docv:"ENTRY")
     in
+    let inputs =
+      Arg.(
+        value & opt_all string []
+        & info [ "input" ] ~docv:"NAME=VALUE"
+            ~doc:
+              "Override a root input of the re-executed spec with a \
+               string value (repeatable). The CI erasure gate uses this \
+               to plant a sentinel payload it later proves erased.")
+    in
     Cmd.v
       (Cmd.info "append"
          ~doc:
            "Journal a fresh execution of ENTRY's spec to a durable \
             directory store (deterministic in --seed).")
-      Term.(const repo_append $ path 0 $ entry $ seed_arg)
+      Term.(const repo_append $ path 0 $ entry $ seed_arg $ inputs)
+  in
+  let erase =
+    let entry =
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"ENTRY")
+    in
+    let data =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "data" ] ~docv:"NAME"
+            ~doc:
+              "Redact only this data item (in every stored execution of \
+               ENTRY) instead of tombstoning the whole entry.")
+    in
+    Cmd.v
+      (Cmd.info "erase"
+         ~doc:
+           "Durably erase ENTRY (or one of its data items with \
+            $(b,--data)) from a durable directory store: journal the \
+            tombstone, rewrite WAL history and snapshots via checkpoint \
+            + compact + prune, so the erased bytes survive in no on-disk \
+            artifact.")
+      Term.(const repo_erase $ path 0 $ entry $ data)
   in
   let recover =
     Cmd.v
@@ -1126,7 +1328,98 @@ let repo_group =
   in
   Cmd.group
     (Cmd.info "repo" ~doc:"Operate on persisted repositories")
-    [ init; append; recover; compact; status; info_; search; prov; query; topk ]
+    [
+      init; append; erase; recover; compact; status; info_; search; prov;
+      query; topk;
+    ]
+
+let policy_group =
+  let lvl =
+    Arg.(
+      value & opt int 1
+      & info [ "l"; "level" ] ~docv:"LEVEL" ~doc:"Caller privilege level.")
+  in
+  let show =
+    let roles =
+      Arg.(
+        value & opt_all string []
+        & info [ "role" ] ~docv:"NAME:LEVEL"
+            ~doc:
+              "Define a role at a privilege level and union its view in \
+               (repeatable).")
+    in
+    let consents =
+      Arg.(
+        value & opt_all string []
+        & info [ "consent" ] ~docv:"SUBJECT:ITEM[,ITEM..]"
+            ~doc:
+              "Record a subject's consent to the listed workflows and \
+               data names and union it in (repeatable).")
+    in
+    let revoked =
+      Arg.(
+        value & opt_all string []
+        & info [ "revoke" ] ~docv:"SUBJECT"
+            ~doc:
+              "Revoke a previously given $(b,--consent): the subject's \
+               granted sets become explicit denials overriding the rest \
+               of the policy (repeatable).")
+    in
+    Cmd.v
+      (Cmd.info "show"
+         ~doc:
+           "Compile a policy-algebra expression — the union of the \
+            legacy floor, the given roles and consents, overridden by \
+            any revocations — down to a single derived policy, and \
+            print the visible workflows, readable/masked data names, \
+            the gate fingerprint and the audit trail.")
+      Term.(
+        const policy_show $ file_arg $ workload_arg $ seed_arg $ lvl $ roles
+        $ consents $ revoked)
+  in
+  let break_glass =
+    let actor =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "actor" ] ~docv:"NAME" ~doc:"Who receives the grant.")
+    in
+    let glass_level =
+      Arg.(
+        value & opt int 3
+        & info [ "grant-level" ] ~docv:"LEVEL"
+            ~doc:"Privilege level the emergency grant confers.")
+    in
+    let ttl =
+      Arg.(
+        value & opt int 2
+        & info [ "ttl" ] ~docv:"TICKS"
+            ~doc:"Logical-clock ticks before the grant expires.")
+    in
+    let reason =
+      Arg.(
+        value & opt string "emergency"
+        & info [ "reason" ] ~docv:"TEXT" ~doc:"Recorded in the audit log.")
+    in
+    Cmd.v
+      (Cmd.info "break-glass"
+         ~doc:
+           "Demonstrate a time-boxed emergency grant: show the caller's \
+            widened view while the grant is live, advance the logical \
+            clock past its ttl, and show the view reverting — every \
+            step audited.")
+      Term.(
+        const policy_break_glass $ file_arg $ workload_arg $ seed_arg $ lvl
+        $ actor $ glass_level $ ttl $ reason)
+  in
+  Cmd.group
+    (Cmd.info "policy"
+       ~doc:
+         "Compose access policies in the policy algebra — union, \
+          intersection and override of role, consent and break-glass \
+          views — compiled down to the single gate mechanism the \
+          engine already enforces.")
+    [ show; break_glass ]
 
 let index_stats_cmd =
   let path =
@@ -1287,13 +1580,21 @@ let () =
       ~doc:"Privacy-aware provenance workflow toolkit (CIDR 2011 reproduction)"
   in
   let code =
-    Cmd.eval
-      (Cmd.group info
-         [
-           show_cmd; hierarchy_cmd; run_cmd_; prov_cmd; search_cmd; query_cmd;
-           structural_cmd; export_cmd; stats_cmd; index_stats_cmd; repo_group;
-           serve_cmd; call_cmd;
-         ])
+    (* ~catch:false so domain errors (bad store path, unknown entry,
+       malformed flag values) render as one-line messages with a
+       distinct exit code, not cmdliner's "internal error" banner. *)
+    try
+      Cmd.eval ~catch:false
+        (Cmd.group info
+           [
+             show_cmd; hierarchy_cmd; run_cmd_; prov_cmd; search_cmd; query_cmd;
+             structural_cmd; export_cmd; stats_cmd; index_stats_cmd; repo_group;
+             policy_group; serve_cmd; call_cmd;
+           ])
+    with
+    | Failure msg | Invalid_argument msg | Sys_error msg ->
+        Printf.eprintf "wfpriv: %s\n" msg;
+        2
   in
   Obs.Trace.close ();
   exit code

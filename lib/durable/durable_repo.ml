@@ -10,6 +10,7 @@
    covered by the newest checkpoint. *)
 
 open Wfpriv_query
+module Obs = Wfpriv_obs
 
 type t = {
   dir : string;
@@ -193,6 +194,36 @@ let prune_snapshots t =
   | _newest :: older ->
       List.iter (fun lsn -> Sys.remove (Snapshot.path t.dir lsn)) older;
       List.length older
+
+let m_erasures = Obs.Registry.counter "repo.erasures"
+
+type erase_report = {
+  er_generation : int;
+  er_dropped_segments : int;
+  er_pruned_snapshots : int;
+}
+
+(* Durable erasure: commit the erase like any streamed batch, then
+   rewrite history so the erased bytes leave the disk entirely —
+   checkpoint (the new snapshot holds only the redacted state and the
+   rotate closes the segment carrying both the original payload and the
+   erase record), compact (drop every covered segment), and prune the
+   older snapshots. What remains on disk afterwards: one snapshot of the
+   redacted repository and an active segment holding one generation
+   commit. Pinned in-memory readers keep their frozen pre-erasure
+   generation until they re-pin — durability of the erasure is a disk
+   property, visibility follows the epoch bump. *)
+let erase t mutation =
+  (match mutation with
+  | Repository.Erase _ -> ()
+  | Repository.Add_entry _ | Repository.Add_execution _ ->
+      invalid_arg "Durable_repo.erase: not an erase mutation");
+  let er_generation = append_streaming t [ mutation ] in
+  ignore (checkpoint t);
+  let er_dropped_segments = compact t in
+  let er_pruned_snapshots = prune_snapshots t in
+  Obs.Counter.incr_op m_erasures;
+  { er_generation; er_dropped_segments; er_pruned_snapshots }
 
 let close t = Wal.close t.writer
 

@@ -58,6 +58,24 @@ val compact : t -> int
 val prune_snapshots : t -> int
 (** Delete all but the newest snapshot; returns how many were deleted. *)
 
+type erase_report = {
+  er_generation : int;  (** epoch the erase committed as *)
+  er_dropped_segments : int;
+  er_pruned_snapshots : int;
+}
+
+val erase : t -> Wfpriv_query.Repository.mutation -> erase_report
+(** Durable erasure: commit the {!Wfpriv_query.Repository.Erase}
+    mutation as its own streamed batch, then rewrite history —
+    {!checkpoint} (the fresh snapshot holds only the redacted state),
+    {!compact} (every pre-erase segment, including the one carrying the
+    original payload bytes and the erase record itself, is dropped) and
+    {!prune_snapshots}. After it returns, the erased bytes are absent
+    from every on-disk artifact; a subsequent recovery replays nothing
+    that ever contained them. Raises [Invalid_argument] on a non-erase
+    mutation, and as {!append_streaming} (unknown entry) with nothing
+    journaled. *)
+
 val last_lsn : t -> int
 val snapshot_lsn : t -> int
 val recovery_report : t -> Recovery.report

@@ -80,9 +80,27 @@ let append_streaming ?pool t mutations =
       | Repository.Add_entry { entry_name; policy; _ } ->
           Live_index.add ?pool t.lsm
             (entry_name, Policy.spec policy, Policy.privilege policy)
-      | Repository.Add_execution _ -> ())
+      | Repository.Add_execution _ -> ()
+      | Repository.Erase _ ->
+          invalid_arg "Live_repo.append_streaming: erase via Live_repo.erase")
     mutations;
   publish ?pool t ~gen_id
+
+let erase ?pool t mutation =
+  (* The durable rewrite first (journal, checkpoint, compact, prune —
+     raises with nothing changed on an unknown entry), then the
+     in-memory LSM: a whole-entry erase rewrites the posting segment
+     that held it; a data redaction never touches the index, values are
+     not indexed. The epoch bump re-keys gates and caches so
+     post-erasure requests can never hit pre-erasure cached results;
+     pinned readers keep their frozen generation until they re-pin. *)
+  let report = Durable_repo.erase t.store mutation in
+  (match mutation with
+  | Repository.Erase { entry_name; data_name = None } ->
+      ignore (Live_index.erase ?pool t.lsm entry_name)
+  | _ -> ());
+  ignore (publish ?pool t ~gen_id:report.Durable_repo.er_generation);
+  report
 
 let maintain ?pool t =
   if Live_index.maintain ?pool t.lsm then begin

@@ -39,7 +39,27 @@ val append_streaming :
 (** Durably commit one batch ({!Durable_repo.append_streaming}) and
     publish the new epoch; entry additions extend the LSM memtable,
     executions carry no index content. Raises as the underlying append,
-    in which case nothing — store or index — changed. *)
+    in which case nothing — store or index — changed. Erase mutations
+    must go through {!erase} (they rewrite history, not just append) and
+    raise [Invalid_argument] here. *)
+
+val erase :
+  ?pool:Wfpriv_parallel.Pool.t ->
+  t ->
+  Wfpriv_query.Repository.mutation ->
+  Durable_repo.erase_report
+(** Durable erasure under live readers: run the full
+    {!Durable_repo.erase} rewrite (commit + checkpoint + compact +
+    prune), rewrite the LSM posting segment that held a removed entry
+    (data redactions never touch the index — values are not indexed),
+    and publish the new epoch. Corpus-scoped result caches key on the
+    published generation, so post-erasure requests can never hit
+    pre-erasure answers; entry-scoped answers are structure-only
+    (witness node sets, view prefixes — never data values), so a
+    redaction cannot change them and a removed entry's cached answers
+    become unreachable behind the failing entry lookup. Readers pinned
+    on older generations keep their frozen view until they re-pin.
+    Raises as {!Durable_repo.erase} with nothing changed. *)
 
 val maintain : ?pool:Wfpriv_parallel.Pool.t -> t -> bool
 (** One background merge step; [true] if a merge ran. Reshapes segments

@@ -29,7 +29,16 @@ let tag_commit = 3
 let tag_add_entry_batched = 5
 let tag_add_execution_batched = 6
 
-let is_batched tag = tag = tag_add_entry_batched || tag = tag_add_execution_batched
+(* Erasure records carry only the entry name and the optional data name
+   — never the bytes being erased. The record itself is transient: the
+   erasure protocol checkpoints and compacts right after committing, so
+   both the erased payload and the erase record leave the log. *)
+let tag_erase = 7
+let tag_erase_batched = 8
+
+let is_batched tag =
+  tag = tag_add_entry_batched || tag = tag_add_execution_batched
+  || tag = tag_erase_batched
 
 let exec_to_json exec =
   Json.to_string (Repo_store.strip_spec (Exec_codec.encode exec))
@@ -51,6 +60,14 @@ let encode ?(batched = false) mutation =
       Binary.Writer.str w (exec_to_json exec);
       ( (if batched then tag_add_execution_batched else tag_add_execution),
         Binary.Writer.contents w )
+  | Repository.Erase { entry_name; data_name } ->
+      Binary.Writer.str w entry_name;
+      (match data_name with
+      | None -> Binary.Writer.u8 w 0
+      | Some n ->
+          Binary.Writer.u8 w 1;
+          Binary.Writer.str w n);
+      ((if batched then tag_erase_batched else tag_erase), Binary.Writer.contents w)
 
 let encode_commit ~generation =
   if generation < 1 then invalid_arg "Mutation_codec: generation < 1";
@@ -71,6 +88,7 @@ let decode repo tag payload =
   let tag =
     if tag = tag_add_entry_batched then tag_add_entry
     else if tag = tag_add_execution_batched then tag_add_execution
+    else if tag = tag_erase_batched then tag_erase
     else tag
   in
   let mutation =
@@ -96,6 +114,17 @@ let decode repo tag payload =
       in
       let exec = exec_of_json spec (Binary.Reader.str r) in
       Repository.Add_execution { entry_name; exec }
+    end
+    else if tag = tag_erase then begin
+      let entry_name = Binary.Reader.str r in
+      let data_name =
+        match Binary.Reader.u8 r with
+        | 0 -> None
+        | 1 -> Some (Binary.Reader.str r)
+        | t ->
+            invalid_arg (Printf.sprintf "Mutation_codec: bad erase scope tag %d" t)
+      in
+      Repository.Erase { entry_name; data_name }
     end
     else invalid_arg (Printf.sprintf "Mutation_codec: unknown record tag %d" tag)
   in

@@ -23,6 +23,14 @@ val tag_add_execution_batched : int
     streaming append path journals these, followed by one
     {!tag_commit}. *)
 
+val tag_erase : int
+val tag_erase_batched : int
+(** Erasure records: entry name plus optional data name, never the bytes
+    being erased. Replayed like any mutation; the durable erasure
+    protocol checkpoints and compacts immediately after committing one,
+    so neither the erased payload nor the erase record outlives the
+    rewrite on disk. *)
+
 val is_batched : int -> bool
 (** Whether the tag is one of the batched mutation tags. *)
 

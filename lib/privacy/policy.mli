@@ -34,6 +34,11 @@ val data_classification : t -> Data_privacy.t
 (** Effective per-name levels: the max of the declared data level and
     every module-mask level mentioning the name. *)
 
+val effective_data_levels : t -> (string * Privilege.level) list
+(** The classification {!data_classification} builds from — declared
+    levels merged with module-mask contributions, sorted. The data-name
+    universe the policy algebra evaluates over. *)
+
 type user_view = {
   level : Privilege.level;
   view : Wfpriv_workflow.View.t;  (** access view of the specification *)

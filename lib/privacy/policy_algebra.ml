@@ -1,0 +1,265 @@
+open Wfpriv_workflow
+module Obs = Wfpriv_obs
+
+type expr =
+  | Floor
+  | Role of string
+  | Consent of string
+  | Break_glass of string
+  | Union of expr * expr
+  | Inter of expr * expr
+  | Override of expr * expr
+
+type verdict = Grant | Deny | Abstain
+
+type consent = {
+  c_workflows : Ids.workflow_id list;
+  c_data : string list;
+  mutable c_revoked : bool;
+}
+
+type bg = { bg_level : Privilege.level; bg_expires : int }
+
+type t = {
+  roles : (string, Privilege.level) Hashtbl.t;
+  consents : (string, consent) Hashtbl.t;
+  glass : (string, bg) Hashtbl.t;
+  mutable clock : int;
+}
+
+let m_compiles = Obs.Registry.counter "policy.compiles"
+let m_consents = Obs.Registry.counter "policy.consent_updates"
+let m_break_glass = Obs.Registry.counter "policy.break_glass"
+
+let create () =
+  {
+    roles = Hashtbl.create 7;
+    consents = Hashtbl.create 7;
+    glass = Hashtbl.create 7;
+    clock = 0;
+  }
+
+let define_role t name level =
+  if level < 0 then invalid_arg "Policy_algebra.define_role: negative level";
+  Hashtbl.replace t.roles name level
+
+let grant_consent t ~subject ?(workflows = []) ?(data = []) () =
+  Hashtbl.replace t.consents subject
+    { c_workflows = workflows; c_data = data; c_revoked = false };
+  Obs.Counter.incr_op m_consents;
+  Obs.Audit_log.record ~op:"policy.consent" ~level:0
+    ~query:(Printf.sprintf "grant subject=%s" subject)
+    ~nodes:(List.length workflows + List.length data)
+    Obs.Audit_log.Allowed
+
+let revoke_consent t ~subject =
+  match Hashtbl.find_opt t.consents subject with
+  | None -> raise Not_found
+  | Some c ->
+      c.c_revoked <- true;
+      Obs.Counter.incr_op m_consents;
+      Obs.Audit_log.record ~op:"policy.consent" ~level:0
+        ~query:(Printf.sprintf "revoke subject=%s" subject)
+        Obs.Audit_log.Allowed
+
+let grant_break_glass t ~actor ~level ~ttl ~reason =
+  if level < 0 then invalid_arg "Policy_algebra.grant_break_glass: negative level";
+  if ttl <= 0 then invalid_arg "Policy_algebra.grant_break_glass: ttl must be positive";
+  Hashtbl.replace t.glass actor { bg_level = level; bg_expires = t.clock + ttl };
+  Obs.Counter.incr_op m_break_glass;
+  Obs.Audit_log.record ~op:"policy.break_glass" ~level
+    ~query:(Printf.sprintf "actor=%s ttl=%d reason=%s" actor ttl reason)
+    Obs.Audit_log.Allowed
+
+let break_glass_active t actor =
+  match Hashtbl.find_opt t.glass actor with
+  | Some g -> g.bg_expires > t.clock
+  | None -> false
+
+let now t = t.clock
+
+let tick t =
+  t.clock <- t.clock + 1;
+  (* Expire in actor order so the audit trail is deterministic. *)
+  let expired =
+    Hashtbl.fold
+      (fun actor g acc -> if g.bg_expires <= t.clock then (actor, g) :: acc else acc)
+      t.glass []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (actor, g) ->
+      Hashtbl.remove t.glass actor;
+      Obs.Audit_log.record ~op:"policy.break_glass_expire" ~level:g.bg_level
+        ~query:(Printf.sprintf "actor=%s" actor)
+        Obs.Audit_log.Allowed)
+    expired
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation. Universes are tiny (a spec's workflows, a policy's data
+   names), so verdict maps are plain association lists. *)
+
+let parent spec w =
+  if w = Spec.root spec then None
+  else Option.map (Spec.owner spec) (Spec.defined_by spec w)
+
+(* Normalize a workflow verdict map to a valid access prefix: a grant
+   whose ancestor chain is not fully granted is void — demoted to an
+   explicit denial. Unions/intersections of normalized maps are already
+   normalized (prefixes are closed under both), so for those this is the
+   identity; [Override] can displace an ancestor and genuinely needs it. *)
+let normalize spec verdicts =
+  let granted w =
+    w = Spec.root spec
+    || List.assoc_opt w verdicts = Some Grant
+  in
+  let rec chain_ok w =
+    match parent spec w with
+    | None -> true
+    | Some p -> granted p && chain_ok p
+  in
+  List.map
+    (fun (w, v) -> if v = Grant && not (chain_ok w) then (w, Deny) else (w, v))
+    verdicts
+
+let union_v a b =
+  match (a, b) with
+  | Grant, _ | _, Grant -> Grant
+  | Deny, _ | _, Deny -> Deny
+  | Abstain, Abstain -> Abstain
+
+let inter_v a b =
+  match (a, b) with
+  | Deny, _ | _, Deny -> Deny
+  | Abstain, _ | _, Abstain -> Abstain
+  | Grant, Grant -> Grant
+
+let override_v a b = match a with Abstain -> b | _ -> a
+
+let role_level t r =
+  match Hashtbl.find_opt t.roles r with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Policy_algebra: unknown role %S" r)
+
+let consent_of t s =
+  match Hashtbl.find_opt t.consents s with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Policy_algebra: unknown consent subject %S" s)
+
+(* Data-name universe: everything the base policy classifies plus every
+   name a referenced consent grant mentions (so revocations can deny
+   names the base policy never listed). *)
+let data_universe t base expr =
+  let rec mentioned = function
+    | Floor | Role _ | Break_glass _ -> []
+    | Consent s -> (consent_of t s).c_data
+    | Union (a, b) | Inter (a, b) | Override (a, b) -> mentioned a @ mentioned b
+  in
+  List.map fst (Policy.effective_data_levels base) @ mentioned expr
+  |> List.sort_uniq compare
+
+let eval_workflows t ~base ~level expr =
+  let spec = Policy.spec base in
+  let priv = Policy.privilege base in
+  let universe = Spec.workflow_ids spec in
+  let at_level l =
+    List.map
+      (fun w -> (w, if Privilege.required_level priv w <= l then Grant else Abstain))
+      universe
+  in
+  let map2 f a b = List.map2 (fun (w, va) (_, vb) -> (w, f va vb)) a b in
+  let rec eval = function
+    | Floor ->
+        List.map
+          (fun w ->
+            (w, if Privilege.required_level priv w <= level then Grant else Deny))
+          universe
+    | Role r -> at_level (role_level t r)
+    | Break_glass a ->
+        if break_glass_active t a then
+          at_level (Hashtbl.find t.glass a).bg_level
+        else List.map (fun w -> (w, Abstain)) universe
+    | Consent s ->
+        let c = consent_of t s in
+        let marked = if c.c_revoked then Deny else Grant in
+        normalize spec
+          (List.map
+             (fun w -> (w, if List.mem w c.c_workflows then marked else Abstain))
+             universe)
+    | Union (a, b) -> map2 union_v (eval a) (eval b)
+    | Inter (a, b) -> map2 inter_v (eval a) (eval b)
+    | Override (a, b) -> normalize spec (map2 override_v (eval a) (eval b))
+  in
+  eval expr
+
+let eval_data t ~base ~level expr =
+  let classification = Policy.data_classification base in
+  let universe = data_universe t base expr in
+  let at_level l =
+    List.map
+      (fun n ->
+        (n, if Data_privacy.required_level classification n <= l then Grant else Abstain))
+      universe
+  in
+  let map2 f a b = List.map2 (fun (n, va) (_, vb) -> (n, f va vb)) a b in
+  let rec eval = function
+    | Floor ->
+        List.map
+          (fun n ->
+            ( n,
+              if Data_privacy.required_level classification n <= level then Grant
+              else Deny ))
+          universe
+    | Role r -> at_level (role_level t r)
+    | Break_glass a ->
+        if break_glass_active t a then at_level (Hashtbl.find t.glass a).bg_level
+        else List.map (fun n -> (n, Abstain)) universe
+    | Consent s ->
+        let c = consent_of t s in
+        let marked = if c.c_revoked then Deny else Grant in
+        List.map
+          (fun n -> (n, if List.mem n c.c_data then marked else Abstain))
+          universe
+    | Union (a, b) -> map2 union_v (eval a) (eval b)
+    | Inter (a, b) -> map2 inter_v (eval a) (eval b)
+    | Override (a, b) -> map2 override_v (eval a) (eval b)
+  in
+  eval expr
+
+let workflow_verdicts = eval_workflows
+let data_verdicts = eval_data
+
+let compile t ~base ~level expr =
+  if level < 0 then invalid_arg "Policy_algebra.compile: negative level";
+  let spec = Policy.spec base in
+  let priv = Policy.privilege base in
+  let root = Spec.root spec in
+  let wv = eval_workflows t ~base ~level expr in
+  let dv = eval_data t ~base ~level expr in
+  let classification = Policy.data_classification base in
+  (* Closed world at the top: abstention denies. Denials compile to the
+     same floor regardless of cause, so nothing downstream (audit
+     floors, counters, answers) can tell a role denial from a revoked
+     consent from a plain privilege floor. *)
+  let expand_levels =
+    List.filter_map
+      (fun (w, v) ->
+        if w = root then None
+        else
+          let legacy = Privilege.required_level priv w in
+          match v with
+          | Grant -> Some (w, min legacy level)
+          | Deny | Abstain -> Some (w, max legacy (level + 1)))
+      wv
+  in
+  let data_levels =
+    List.map
+      (fun (n, v) ->
+        let legacy = Data_privacy.required_level classification n in
+        match v with
+        | Grant -> (n, min legacy level)
+        | Deny | Abstain -> (n, max legacy (level + 1)))
+      dv
+  in
+  Obs.Counter.incr m_compiles ~at:level;
+  Policy.make ~expand_levels ~data_levels spec

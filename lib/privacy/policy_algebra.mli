@@ -1,0 +1,135 @@
+(** A small algebra of access policies compiling down to the single
+    {!Policy} (and hence the single [Access_gate]) the rest of the
+    system already understands.
+
+    The paper's privilege model is one total order; real deployments
+    need role-based grants, per-subject consent, and emergency
+    break-glass access. Rather than teaching the engine, the caches or
+    the server a second permission mechanism, an {!expr} {e denotes} an
+    access view — a prefix-closed set of visible workflows plus a set
+    of readable data names — and {!compile} folds that view back into a
+    derived {!Policy.t}. Evaluation then runs through the ordinary
+    [Access_gate.of_policy]; policy identity rides the gate fingerprint,
+    so result and reachability caches stay partitioned per compiled
+    policy by construction.
+
+    {2 Semantics}
+
+    Expressions evaluate, per workflow and per data name, to a
+    three-valued {!verdict}:
+
+    - [Floor] is total: grants exactly what the base policy's legacy
+      privilege floor grants at the caller's level, denies the rest.
+    - [Role r] grants the view at the role's level and {e abstains}
+      elsewhere; likewise [Break_glass a] while the grant is live.
+    - [Consent s] grants the subject's consented workflows/data names
+      and abstains elsewhere; once revoked it {e denies} them instead
+      (and still abstains elsewhere), so revocation only bites when
+      composed with {!Override} or {!Inter}.
+    - [Union] is permit-overrides, [Inter] deny-overrides, and
+      [Override l r] takes [l]'s verdict wherever [l] speaks (is not
+      abstaining) and falls through to [r] elsewhere.
+
+    At every node the grant set over workflows is normalized to a valid
+    access prefix: a granted workflow whose ancestor chain is not fully
+    granted is demoted to an explicit denial (a grant that cannot stand
+    alone is void). Unions and intersections of valid prefixes are valid
+    prefixes, so for those the normalization is the identity and the
+    compiled gates' visible sets are {e exactly} the set-union /
+    set-intersection of the operands' — the law the qcheck suite in
+    [test/test_privacy.ml] checks. At the top, abstention means denial
+    (closed world) and the root is always visible.
+
+    Denied workflows compile to floor [max(legacy floor, level + 1)]:
+    whatever the {e cause} of a denial — floor, role, revoked consent —
+    the derived policy expresses it the same way, so audit floors,
+    observer counters and answers cannot distinguish causes beyond what
+    the visible set itself reveals (the leakage-gate invariant).
+
+    Consent and break-glass state live in an environment {!t} with a
+    deterministic logical clock; every administrative action and every
+    break-glass expiry appends to the {!Wfpriv_obs.Audit_log}. *)
+
+type expr =
+  | Floor  (** the base policy's legacy privilege floor *)
+  | Role of string  (** a named role: the view at the role's level *)
+  | Consent of string  (** a subject's consent grant (deny once revoked) *)
+  | Break_glass of string  (** an actor's live emergency grant *)
+  | Union of expr * expr
+  | Inter of expr * expr
+  | Override of expr * expr
+
+type verdict = Grant | Deny | Abstain
+
+type t
+(** Environment: role definitions, consent grants, live break-glass
+    grants, and the logical clock. *)
+
+val create : unit -> t
+
+val define_role : t -> string -> Privilege.level -> unit
+(** Define (or redefine) a role as a privilege level. Raises
+    [Invalid_argument] on negative levels. *)
+
+val grant_consent :
+  t ->
+  subject:string ->
+  ?workflows:Wfpriv_workflow.Ids.workflow_id list ->
+  ?data:string list ->
+  unit ->
+  unit
+(** Record a subject's consent to expand the given workflows and read
+    the given data names (audited, [policy.consent] / allowed).
+    Re-granting replaces the previous grant and clears revocation. *)
+
+val revoke_consent : t -> subject:string -> unit
+(** Flip the subject's grant to revoked (audited). [Consent subject]
+    then denies the previously granted sets. Raises [Not_found] on
+    unknown subjects. *)
+
+val grant_break_glass :
+  t -> actor:string -> level:Privilege.level -> ttl:int -> reason:string -> unit
+(** A time-boxed emergency grant: [Break_glass actor] denotes the view
+    at [level] until [ttl] clock ticks elapse. Audited at the claimed
+    level ([policy.break_glass]). Raises [Invalid_argument] on negative
+    levels or non-positive ttl. *)
+
+val break_glass_active : t -> string -> bool
+
+val now : t -> int
+(** The logical clock, starting at 0. *)
+
+val tick : t -> unit
+(** Advance the clock one step. Break-glass grants whose ttl has
+    elapsed are dropped and audited ([policy.break_glass_expire], at
+    the granted level, in actor order). *)
+
+val workflow_verdicts :
+  t ->
+  base:Policy.t ->
+  level:Privilege.level ->
+  expr ->
+  (Wfpriv_workflow.Ids.workflow_id * verdict) list
+(** The normalized per-workflow verdicts of the expression over the
+    base policy's workflow universe, in [Spec.workflow_ids] order —
+    what {!compile} closes over. Raises [Invalid_argument] on roles or
+    consent subjects the environment does not know. *)
+
+val data_verdicts :
+  t ->
+  base:Policy.t ->
+  level:Privilege.level ->
+  expr ->
+  (string * verdict) list
+(** Per-data-name verdicts over the universe: every name the base
+    policy classifies plus every name mentioned by a consent grant the
+    expression references, sorted. *)
+
+val compile : t -> base:Policy.t -> level:Privilege.level -> expr -> Policy.t
+(** Fold the expression's denoted view into a derived {!Policy.t} for
+    use at exactly [level]: visible workflows get their legacy floor
+    capped at [level], denied ones [max(legacy, level + 1)]; readable
+    names likewise, unreadable ones [max(legacy, level + 1)]. Feed the
+    result to [Access_gate.of_policy ~level]: the gate's visible set is
+    the denoted view, and its fingerprint distinguishes any two
+    compiled policies denoting different views. *)

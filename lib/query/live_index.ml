@@ -78,6 +78,36 @@ let of_entries ?pool ?seal_threshold ?fanout es =
   List.iter (add ?pool t) es;
   t
 
+let m_erases = Obs.Registry.counter "live_index.erases"
+
+let erase ?pool t name =
+  if not (Hashtbl.mem t.names name) then false
+  else begin
+    Hashtbl.remove t.names name;
+    let keep (n, _, _) = not (String.equal n name) in
+    if not (List.for_all keep t.tail) then begin
+      t.tail <- List.filter keep t.tail;
+      t.tail_n <- List.length t.tail
+    end;
+    (* Rewrite (only) the sealed segment holding the entry from its
+       surviving source entries — identical blocks to a from-scratch
+       build over the survivors, so the erased name is absent from the
+       posting bytes, not merely tombstoned. An emptied segment is
+       dropped. *)
+    t.segs <-
+      List.filter_map
+        (fun sg ->
+          if List.for_all keep sg.sg_entries then Some sg
+          else
+            match List.filter keep sg.sg_entries with
+            | [] -> None
+            | es -> Some { sg_index = Index.build ?pool es; sg_entries = es })
+        t.segs;
+    t.cached <- None;
+    Obs.Counter.incr_op m_erases;
+    true
+  end
+
 let maintain ?pool t =
   if pending_merges t = 0 then false
   else

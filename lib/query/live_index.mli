@@ -62,6 +62,15 @@ val add : ?pool:Wfpriv_parallel.Pool.t -> t -> entry -> unit
 val seal : ?pool:Wfpriv_parallel.Pool.t -> t -> unit
 (** Force the memtable into a sealed segment now; no-op when empty. *)
 
+val erase : ?pool:Wfpriv_parallel.Pool.t -> t -> string -> bool
+(** Remove an entry from the LSM: drop it from the memtable and rewrite
+    the sealed segment holding it from its surviving source entries (an
+    emptied segment disappears). Because segments rebuild rather than
+    tombstone, the erased name is absent from the posting bytes
+    themselves. Returns [false] when the name is unknown. Views pinned
+    before the erase are untouched — pinned readers keep pre-erasure
+    answers until they re-pin, per the epoch contract. *)
+
 val maintain : ?pool:Wfpriv_parallel.Pool.t -> t -> bool
 (** One background-merge step: when merges are pending, rebuild the two
     oldest segments into one (entry stream order preserved) and return

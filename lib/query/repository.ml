@@ -46,6 +46,29 @@ let add_execution t ~name exec =
         else e')
       t.entries
 
+(* Erasure: drop a whole entry, or redact every stored value of one data
+   name inside an entry. Both build fresh lists/records so frozen
+   snapshots keep the pre-erasure state (pinned readers stay consistent
+   until they re-pin a newer generation). *)
+let erase t ~name data_name =
+  ignore (find t name);
+  match data_name with
+  | None ->
+      t.entries <-
+        List.filter (fun e -> not (String.equal e.name name)) t.entries
+  | Some dn ->
+      t.entries <-
+        List.map
+          (fun e ->
+            if String.equal e.name name then
+              {
+                e with
+                executions =
+                  List.map (fun x -> Execution.redact_named x dn) e.executions;
+              }
+            else e)
+          t.entries
+
 (* Reified repository writes. The durable storage engine journals values
    of this type before applying them; new kinds extend the log format
    without touching existing records. *)
@@ -56,6 +79,7 @@ type mutation =
       executions : Execution.t list;
     }
   | Add_execution of { entry_name : string; exec : Execution.t }
+  | Erase of { entry_name : string; data_name : string option }
 
 (* Check a mutation without applying it, raising as [apply] would. Lets a
    write-ahead log refuse a doomed mutation before journaling it, so a
@@ -75,11 +99,13 @@ let validate t = function
       let e = find t entry_name in
       if Execution.spec exec != e.spec then
         invalid_arg "Repository.add_execution: execution of a different spec"
+  | Erase { entry_name; data_name = _ } -> ignore (find t entry_name)
 
 let apply t = function
   | Add_entry { entry_name; policy; executions } ->
       add t ~name:entry_name ~policy ~executions ()
   | Add_execution { entry_name; exec } -> add_execution t ~name:entry_name exec
+  | Erase { entry_name; data_name } -> erase t ~name:entry_name data_name
 
 let names t = List.map (fun e -> e.name) t.entries |> List.sort compare
 let nb_entries t = List.length t.entries

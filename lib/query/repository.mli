@@ -51,15 +51,28 @@ type mutation =
       executions : Wfpriv_workflow.Execution.t list;
     }
   | Add_execution of { entry_name : string; exec : Wfpriv_workflow.Execution.t }
+  | Erase of { entry_name : string; data_name : string option }
+      (** [data_name = None] removes the whole entry;
+          [Some n] redacts every stored value of data name [n] inside the
+          entry's executions to {!Wfpriv_workflow.Data_value.masked},
+          keeping the provenance structure. Replayed like any mutation —
+          the durable store additionally rewrites history (checkpoint +
+          compaction) so the erased bytes leave the disk. *)
 
 val validate : t -> mutation -> unit
 (** Raise exactly as {!apply} would, without changing the repository.
     Lets a journal refuse a doomed mutation before persisting it. *)
 
 val apply : t -> mutation -> unit
-(** Apply a mutation ({!add} / {!add_execution} respectively). Raises
-    [Invalid_argument] / [Not_found] as they do; the repository is
-    unchanged on failure. *)
+(** Apply a mutation ({!add} / {!add_execution} / {!erase}
+    respectively). Raises [Invalid_argument] / [Not_found] as they do;
+    the repository is unchanged on failure. *)
+
+val erase : t -> name:string -> string option -> unit
+(** Direct form of the {!Erase} mutation. Builds fresh entry records
+    (freeze semantics: earlier {!freeze} snapshots keep the un-erased
+    state in memory until dropped). Raises [Not_found] on unknown
+    entries. *)
 
 val find : t -> string -> entry
 (** Raises [Not_found]. *)

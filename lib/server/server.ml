@@ -13,6 +13,7 @@ let h_lat_topk = Obs.Registry.histogram "server.latency_ns.topk"
 let h_lat_zoom = Obs.Registry.histogram "server.latency_ns.zoom_out"
 let h_lat_stats = Obs.Registry.histogram "server.latency_ns.stats"
 let h_lat_append = Obs.Registry.histogram "server.latency_ns.append"
+let h_lat_erase = Obs.Registry.histogram "server.latency_ns.erase"
 
 type config = {
   max_level : int;
@@ -546,6 +547,66 @@ let exec_append_group t ~level frames =
           | A_ok _, None -> bad f.rid "empty batch")
         states
 
+(* {2 Durable erasure}
+
+   Each erase is a full history rewrite — journal, checkpoint, compact,
+   prune, plus the LSM segment rewrite — so frames execute one at a
+   time, live backing only. Erasure is governed by the entry policy's
+   audit level (the level that sees everything the policy mentions): a
+   caller below it is refused with only that floor recorded, the same
+   claimed-floor discipline every other denial follows. *)
+
+let exec_erase t ~level (f : Wire.req_frame) =
+  match f.req with
+  | Wire.Erase { entry; data } -> (
+      match t.backing with
+      | Frozen _ -> bad f.rid "repository is frozen: no live store mounted"
+      | Sharded _ ->
+          bad f.rid "sharded store is served read-only: erase via the CLI"
+      | Live lr -> (
+          match Q.Repository.find (repo t) entry with
+          | exception Not_found -> unknown_entry f.rid entry
+          | e ->
+              let floor = Wfpriv_privacy.Policy.audit_level e.policy in
+              if level < floor then begin
+                Obs.Counter.incr m_denied ~at:level;
+                Obs.Audit_log.record ~op:"server.erase" ~level
+                  (Obs.Audit_log.Denied { floor });
+                Wire.Error
+                  {
+                    rid = f.rid;
+                    code = Wire.Privilege;
+                    retryable = false;
+                    floor = Some floor;
+                    message = "erasure requires the entry's audit level";
+                  }
+              end
+              else
+                let mutation =
+                  Q.Repository.Erase { entry_name = entry; data_name = data }
+                in
+                (match D.Live_repo.erase lr mutation with
+                | report ->
+                    Obs.Audit_log.record ~op:"server.erase" ~level ~query:entry
+                      ~nodes:report.D.Durable_repo.er_dropped_segments
+                      Obs.Audit_log.Allowed;
+                    (* The frozen-path index (if one was built) may hold
+                       the erased entry; drop it so the next top-k
+                       rebuilds from the surviving corpus. *)
+                    t.index <- None;
+                    Wire.Result
+                      {
+                        rid = f.rid;
+                        result =
+                          Wire.Committed
+                            {
+                              generation = report.D.Durable_repo.er_generation;
+                              lsn = (D.Live_repo.pin lr).D.Live_repo.gen_lsn;
+                            };
+                      }
+                | exception Invalid_argument msg -> bad f.rid msg)))
+  | _ -> bad f.rid "mixed batch"
+
 let exec_stats _t ~level (f : Wire.req_frame) =
   match f.req with
   | Wire.Stats { prefix } ->
@@ -575,6 +636,9 @@ let exec_frames t ~level frames =
   | Wire.Append _ ->
       Obs.Histogram.time h_lat_append (fun () ->
           exec_append_group t ~level frames)
+  | Wire.Erase _ ->
+      Obs.Histogram.time h_lat_erase (fun () ->
+          List.map (exec_erase t ~level) frames)
 
 (* {2 Admission} *)
 
@@ -626,7 +690,8 @@ let submit t ~client ?(mode = Wire.Json) (f : Wire.req_frame) =
       | _ -> (
           let cost =
             match f.req with
-            | Wire.Zoom_out _ | Wire.Append _ -> Scheduler.Expensive
+            | Wire.Zoom_out _ | Wire.Append _ | Wire.Erase _ ->
+                Scheduler.Expensive
             | _ -> Scheduler.Cheap
           in
           match
@@ -660,6 +725,7 @@ let batch_key (j : job) =
   | Wire.Zoom_out { entry; run } -> Printf.sprintf "z/%s/%d" entry run
   | Wire.Stats _ -> "s"
   | Wire.Append _ -> "a" (* the whole batch commits as one generation *)
+  | Wire.Erase _ -> "e" (* grouped for ordering; executed one at a time *)
 
 let cycle t =
   (* One LSM merge step per cycle: background maintenance rides the

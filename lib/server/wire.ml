@@ -7,6 +7,7 @@ type request =
   | Zoom_out of { entry : string; run : int }
   | Stats of { prefix : string option }
   | Append of { entry : string; workload : string option; seed : int }
+  | Erase of { entry : string; data : string option }
 
 type req_frame = { rid : int; level : int; deadline_ms : int; req : request }
 
@@ -110,6 +111,14 @@ let w_req w { rid; level; deadline_ms; req } =
           B.Writer.u8 w 1;
           B.Writer.str w wl);
       B.Writer.varint w seed
+  | Erase { entry; data } ->
+      B.Writer.u8 w 6;
+      B.Writer.str w entry;
+      (match data with
+      | None -> B.Writer.u8 w 0
+      | Some d ->
+          B.Writer.u8 w 1;
+          B.Writer.str w d)
 
 let r_req r =
   let rid = B.Reader.varint r in
@@ -148,6 +157,15 @@ let r_req r =
         in
         let seed = B.Reader.varint r in
         Append { entry; workload; seed }
+    | 6 ->
+        let entry = B.Reader.str r in
+        let data =
+          match B.Reader.u8 r with
+          | 0 -> None
+          | 1 -> Some (B.Reader.str r)
+          | t -> malformed "bad erase data tag %d" t
+        in
+        Erase { entry; data }
     | t -> malformed "unknown request tag %d" t
   in
   { rid; level; deadline_ms; req }
@@ -300,6 +318,9 @@ let req_to_json { rid; level; deadline_ms; req } =
           | None -> []
           | Some wl -> [ ("workload", J.str wl) ])
         @ [ ("seed", J.int seed) ]
+    | Erase { entry; data } -> (
+        [ ("op", J.str "erase"); ("entry", J.str entry) ]
+        @ match data with None -> [] | Some d -> [ ("data", J.str d) ])
   in
   J.Obj (base @ deadline @ body)
 
@@ -366,6 +387,15 @@ let req_of_json obj =
               | Some wl -> Some (J.get_string wl)
               | None -> None);
             seed = member_nat "seed" ~default:0 obj;
+          }
+    | "erase" ->
+        Erase
+          {
+            entry = member_str "entry" obj;
+            data =
+              (match J.member_opt "data" obj with
+              | Some d -> Some (J.get_string d)
+              | None -> None);
           }
     | op -> malformed "unknown op %S" op
   in
@@ -589,3 +619,4 @@ let request_digest = function
   | Zoom_out { entry; run } -> Some (Printf.sprintf "z/%s/%d" entry run)
   | Stats _ -> None
   | Append _ -> None
+  | Erase _ -> None

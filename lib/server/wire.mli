@@ -36,6 +36,12 @@ type request =
           (materialized by its mounted appender from [workload]/[seed])
           to the live repository; all [Append] frames of one scheduler
           batch commit as a single durable generation *)
+  | Erase of { entry : string; data : string option }
+      (** durable erasure: tombstone the whole entry ([data = None]) or
+          redact one named data item in every stored execution, rewriting
+          WAL history, snapshots and posting segments so the erased bytes
+          are absent from disk; acknowledged with {!Committed} carrying
+          the bumped generation *)
 
 type req_frame = {
   rid : int;  (** request id, echoed verbatim in the response *)
@@ -112,5 +118,5 @@ val request_digest : request -> string option
 (** Canonical digest of everything that determines a request's answer
     (the kind and its parameters — not [rid] or the deadline): the
     second half of the level cache's key. [None] for requests that must
-    never be cached ({!Stats} reads live counters; {!Append} is a
-    write). *)
+    never be cached ({!Stats} reads live counters; {!Append} and
+    {!Erase} are writes). *)

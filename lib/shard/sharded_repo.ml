@@ -49,6 +49,7 @@ let shard_store t i = t.stores.(i)
 let mutation_entry = function
   | Repository.Add_entry { entry_name; _ } -> entry_name
   | Repository.Add_execution { entry_name; _ } -> entry_name
+  | Repository.Erase { entry_name; _ } -> entry_name
 
 let append t mutation =
   let s = route t (mutation_entry mutation) in
@@ -56,6 +57,15 @@ let append t mutation =
   t.merged <- None;
   Obs.Counter.incr_op m_appends;
   (s, lsn)
+
+(* Erasure routes like any mutation; the owning shard runs the full
+   durable rewrite (commit + checkpoint + compact + prune), and sibling
+   shards — which never held the erased bytes — are untouched. *)
+let erase t mutation =
+  let s = route t (mutation_entry mutation) in
+  let report = Durable_repo.erase t.stores.(s) mutation in
+  t.merged <- None;
+  (s, report)
 
 let generation t =
   Array.fold_left (fun acc st -> acc + Durable_repo.generation st) 0 t.stores

@@ -47,6 +47,15 @@ val append : t -> Wfpriv_query.Repository.mutation -> int * int
     returns [(shard, lsn)]. Raises as
     {!Wfpriv_durable.Durable_repo.append}. *)
 
+val erase :
+  t ->
+  Wfpriv_query.Repository.mutation ->
+  int * Wfpriv_durable.Durable_repo.erase_report
+(** Route an [Erase] to its entry's shard and run the full
+    {!Wfpriv_durable.Durable_repo.erase} history rewrite there; returns
+    [(shard, report)]. Other shards never held the erased bytes and are
+    untouched. Raises as the underlying erase. *)
+
 val append_streaming : t -> Wfpriv_query.Repository.mutation list -> int
 (** Partition the batch by entry shard (within-shard order preserved —
     and every dependency in a batch is same-name, hence same-shard),

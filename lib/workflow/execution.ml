@@ -89,6 +89,19 @@ let find_item t d =
 let items_named t name =
   List.filter (fun it -> String.equal it.name name) (items t)
 
+let redact_named t name =
+  (* Shares graph/kind/scope tables (read-only after Builder.finish) and
+     keeps the same [spec] pointer: stores compare specs physically. *)
+  {
+    t with
+    items =
+      Array.map
+        (fun it ->
+          if String.equal it.name name then { it with value = Data_value.masked }
+          else it)
+        t.items;
+  }
+
 let output_items t =
   let out_node =
     List.find_opt (fun n -> node_kind t n = Output) (nodes t)

@@ -76,6 +76,13 @@ val find_item : t -> Ids.data_id -> item
 val items_named : t -> string -> item list
 (** Items whose name matches, in id order. *)
 
+val redact_named : t -> string -> t
+(** A copy whose items of the given name carry {!Data_value.masked}
+    instead of their value — the erasure primitive. Structure (graph,
+    lineage, edge annotations, ids) is untouched and the [spec] pointer
+    is shared, so the result is interchangeable with the original for
+    every structural operation. *)
+
 val output_items : t -> item list
 (** Items flowing into the [Output] node (the workflow results). *)
 

@@ -186,12 +186,17 @@ with the required privilege floor only — never the hidden structure:
     index.lookup_postings    0
     index.lookups            0
     index.topk_queries       0
+    live_index.erases        0
     live_index.merges        0
     live_index.seals         0
     live_repo.publishes      0
+    policy.break_glass       0
+    policy.compiles          0
+    policy.consent_updates   0
     recovery.bytes_scanned   0
     recovery.replayed        0
     recovery.runs            0
+    repo.erasures            0
     server.admitted          0
     server.cache_evictions   0
     server.cache_hits        0
@@ -218,6 +223,7 @@ with the required privilege floor only — never the hidden structure:
     engine.compile_ns        count=3
     index.build_ns           count=0
     server.latency_ns.append count=0
+    server.latency_ns.erase  count=0
     server.latency_ns.query  count=0
     server.latency_ns.stats  count=0
     server.latency_ns.topk   count=0
@@ -259,3 +265,88 @@ included) as one machine-readable document:
         "outcome": "denied",
         "floor": 2,
     "audit_dropped": 0
+
+Durable erasure: a subject's raw bytes are scrubbed from every on-disk
+artifact. Plant a sentinel value as a root input, prove it reaches the
+WAL, erase it, and prove no store file holds the bytes any more:
+
+  $ wfpriv repo init erase.d
+  initialised erase.d: 2 entries, 2 records, snapshot 0
+  $ wfpriv repo append erase.d disease-susceptibility --seed 41 --input snps=ERASURE_SENTINEL_XYZZY
+  appended to disease-susceptibility (generation 1, last lsn 4)
+  $ grep -Rl ERASURE_SENTINEL_XYZZY erase.d
+  erase.d/wal-0000000000000001.log
+  $ wfpriv repo erase erase.d disease-susceptibility --data snps
+  erased disease-susceptibility/snps (generation 2, dropped 1 segment(s), pruned 1 snapshot(s))
+  $ grep -Rl ERASURE_SENTINEL_XYZZY erase.d
+  [1]
+  $ wfpriv repo recover erase.d
+  recovered erase.d: snapshot 6, replayed 0 records, last lsn 7, 2 entries
+
+Erasing the whole entry tombstones it out of the store; recovery and
+queries agree it was never there:
+
+  $ wfpriv repo erase erase.d disease-susceptibility
+  erased disease-susceptibility (generation 3, dropped 1 segment(s), pruned 1 snapshot(s))
+  $ wfpriv repo status erase.d
+  segments: 1
+  snapshot: 9
+  replayed records: 0
+  last lsn: 10
+  generation: 3
+  entries: 1
+  index segments: 0
+  memtable: 1
+  pending merges: 0
+  $ wfpriv repo query erase.d disease-susceptibility -l 3 'node(~"risk")'
+  wfpriv: unknown entry "disease-susceptibility" (erased or never stored)
+  [2]
+
+The policy algebra from the shell: role views union onto the legacy
+floor, and the compiled gate is all the engine ever sees:
+
+  $ wfpriv policy show -l 1
+  policy at level 1:
+  visible workflows: W1, W2
+  readable data: prognosis
+  masked data: disorders
+  fingerprint: l1/w{W1,W2}/m{0,1,2,3,4,5}/d{disorders}
+  audit:
+  $ wfpriv policy show -l 1 --role nurse:2
+  policy at level 1:
+  visible workflows: W1, W2, W3
+  readable data: disorders, prognosis
+  masked data: (none)
+  fingerprint: l1/w{W1,W2,W3}/m{0,1,2,3,4,5,10,11,12,13,14,15,16}/d{}
+  audit:
+
+A revoked consent overrides whatever the floor would have granted, and
+the fingerprint separates the two views:
+
+  $ wfpriv policy show -l 1 --consent alice:W3,disorders --revoke alice
+  policy at level 1:
+  visible workflows: W1, W2
+  readable data: prognosis
+  masked data: disorders
+  fingerprint: l1/w{W1,W2}/m{0,1,2,3,4,5}/d{disorders}
+  audit:
+    #1 policy.consent level=0 allowed nodes=2 q='grant subject=alice'
+    #2 policy.consent level=0 allowed nodes=0 q='revoke subject=alice'
+
+Break-glass grants are time-boxed: active at issue, inert after the
+ttl expires, both transitions on the audit log:
+
+  $ wfpriv policy break-glass --actor oncall --grant-level 3 --ttl 2 --reason emergency
+  t=0, break-glass active: true
+  visible workflows: W1, W2, W3, W4
+  readable data: disorders, prognosis
+  masked data: (none)
+  fingerprint: l1/w{W1,W2,W3,W4}/m{0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16}/d{}
+  t=2, break-glass active: false
+  visible workflows: W1, W2
+  readable data: prognosis
+  masked data: disorders
+  fingerprint: l1/w{W1,W2}/m{0,1,2,3,4,5}/d{disorders}
+  audit:
+    #1 policy.break_glass level=3 allowed nodes=0 q='actor=oncall ttl=2 reason=emergency'
+    #2 policy.break_glass_expire level=3 allowed nodes=0 q='actor=oncall'

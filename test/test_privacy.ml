@@ -527,6 +527,370 @@ let test_policy_projection () =
   check Alcotest.bool "d10 (disorders) masked" true (Data_privacy.is_masked proj 10);
   check Alcotest.bool "d2 readable" false (Data_privacy.is_masked proj 2)
 
+(* ------------------------------------------------------------------ *)
+(* Policy algebra: union/intersection/override laws, fingerprints,
+   consent and break-glass flows. *)
+
+module PA = Policy_algebra
+module Gate = Wfpriv_query.Access_gate
+
+let algebra_base =
+  Policy.make
+    ~expand_levels:[ ("W2", 1); ("W3", 2); ("W4", 3) ]
+    ~data_levels:[ ("disorders", 2); ("prognosis", 1) ]
+    spec
+
+(* A fixed environment: four role tiers, a granted consent, a revoked
+   one, a void one (broken ancestor chain), a live break-glass grant and
+   an expired one. Consent data names stay within the base policy's
+   universe so every subexpression classifies the same names. *)
+let algebra_env () =
+  let env = PA.create () in
+  PA.define_role env "intern" 0;
+  PA.define_role env "nurse" 1;
+  PA.define_role env "doctor" 2;
+  PA.define_role env "auditor" 3;
+  PA.grant_consent env ~subject:"alice" ~workflows:[ "W2"; "W3" ]
+    ~data:[ "disorders" ] ();
+  PA.grant_consent env ~subject:"bob" ~workflows:[ "W2"; "W3"; "W4" ]
+    ~data:[ "disorders"; "prognosis" ] ();
+  PA.revoke_consent env ~subject:"bob";
+  PA.grant_consent env ~subject:"carol" ~workflows:[ "W4" ]
+    ~data:[ "prognosis" ] ();
+  PA.grant_consent env ~subject:"dave" ~workflows:[ "W3"; "W4" ]
+    ~data:[ "disorders" ] ();
+  PA.revoke_consent env ~subject:"dave";
+  PA.grant_break_glass env ~actor:"oncall" ~level:3 ~ttl:5 ~reason:"incident";
+  PA.grant_break_glass env ~actor:"stale" ~level:2 ~ttl:1 ~reason:"drill";
+  PA.tick env;
+  (* "stale" expired at t=1; "oncall" lives until t=5 *)
+  env
+
+let atoms =
+  [
+    PA.Floor; PA.Role "intern"; PA.Role "nurse"; PA.Role "doctor";
+    PA.Role "auditor"; PA.Consent "alice"; PA.Consent "bob";
+    PA.Consent "carol"; PA.Consent "dave"; PA.Break_glass "oncall";
+    PA.Break_glass "stale";
+  ]
+
+let rec expr_to_string = function
+  | PA.Floor -> "floor"
+  | PA.Role r -> Printf.sprintf "role(%s)" r
+  | PA.Consent s -> Printf.sprintf "consent(%s)" s
+  | PA.Break_glass a -> Printf.sprintf "glass(%s)" a
+  | PA.Union (a, b) ->
+      Printf.sprintf "(%s | %s)" (expr_to_string a) (expr_to_string b)
+  | PA.Inter (a, b) ->
+      Printf.sprintf "(%s & %s)" (expr_to_string a) (expr_to_string b)
+  | PA.Override (a, b) ->
+      Printf.sprintf "(%s >> %s)" (expr_to_string a) (expr_to_string b)
+
+let gen_expr =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n = 0 then oneofl atoms
+           else
+             frequency
+               [
+                 (2, oneofl atoms);
+                 ( 3,
+                   map2
+                     (fun a b -> PA.Union (a, b))
+                     (self (n / 2)) (self (n / 2)) );
+                 ( 3,
+                   map2
+                     (fun a b -> PA.Inter (a, b))
+                     (self (n / 2)) (self (n / 2)) );
+                 ( 3,
+                   map2
+                     (fun a b -> PA.Override (a, b))
+                     (self (n / 2)) (self (n / 2)) );
+               ]))
+
+let arb_expr = QCheck.make ~print:expr_to_string gen_expr
+let arb_expr2 = QCheck.pair arb_expr arb_expr
+let arb_level = QCheck.int_range 0 4
+
+(* The compiled policy's denoted view, read back through the ordinary
+   privilege machinery: visible workflows and readable data names. *)
+let compiled_view env level e =
+  let p = PA.compile env ~base:algebra_base ~level e in
+  let priv = Policy.privilege p in
+  let cls = Policy.data_classification p in
+  let visible =
+    List.filter
+      (fun w -> Privilege.required_level priv w <= level)
+      (Spec.workflow_ids spec)
+  in
+  let readable =
+    List.filter
+      (Data_privacy.readable cls level)
+      (List.map fst (Policy.effective_data_levels p))
+  in
+  (visible, readable)
+
+let union_sorted a b = List.sort_uniq compare (a @ b)
+let inter_sorted a b = List.filter (fun x -> List.mem x b) a
+
+let prop_union_is_set_union =
+  QCheck.Test.make ~name:"compile(Union) is set-union of operand views"
+    ~count:200
+    (QCheck.pair arb_expr2 arb_level)
+    (fun ((a, b), level) ->
+      let env = algebra_env () in
+      let va, ra = compiled_view env level a in
+      let vb, rb = compiled_view env level b in
+      let vu, ru = compiled_view env level (PA.Union (a, b)) in
+      vu = union_sorted va vb && ru = union_sorted ra rb)
+
+let prop_inter_is_set_inter =
+  QCheck.Test.make ~name:"compile(Inter) is set-intersection of operand views"
+    ~count:200
+    (QCheck.pair arb_expr2 arb_level)
+    (fun ((a, b), level) ->
+      let env = algebra_env () in
+      let va, ra = compiled_view env level a in
+      let vb, rb = compiled_view env level b in
+      let vi, ri = compiled_view env level (PA.Inter (a, b)) in
+      vi = inter_sorted va vb && ri = inter_sorted ra rb)
+
+(* Independent reference for Override: merge the exported per-id
+   verdicts (left wherever it speaks, right elsewhere), then close the
+   workflow grants into a valid prefix by demoting any grant whose
+   ancestor chain is not fully granted. *)
+let prop_override_matches_reference =
+  QCheck.Test.make ~name:"compile(Override) matches the verdict-merge reference"
+    ~count:200
+    (QCheck.pair arb_expr2 arb_level)
+    (fun ((a, b), level) ->
+      let env = algebra_env () in
+      let base = algebra_base in
+      let merge va vb =
+        List.map2
+          (fun (k, x) (_, y) -> (k, if x = PA.Abstain then y else x))
+          va vb
+      in
+      let wm =
+        merge
+          (PA.workflow_verdicts env ~base ~level a)
+          (PA.workflow_verdicts env ~base ~level b)
+      in
+      let parent w =
+        if w = Spec.root spec then None
+        else Option.map (Spec.owner spec) (Spec.defined_by spec w)
+      in
+      let granted w =
+        w = Spec.root spec || List.assoc_opt w wm = Some PA.Grant
+      in
+      let rec chain_ok w =
+        match parent w with None -> true | Some p -> granted p && chain_ok p
+      in
+      let expect_visible =
+        List.filter
+          (fun w -> w = Spec.root spec || (granted w && chain_ok w))
+          (Spec.workflow_ids spec)
+      in
+      let dm =
+        merge
+          (PA.data_verdicts env ~base ~level a)
+          (PA.data_verdicts env ~base ~level b)
+      in
+      let expect_readable =
+        List.filter_map
+          (fun (n, v) -> if v = PA.Grant then Some n else None)
+          dm
+      in
+      let vo, ro = compiled_view env level (PA.Override (a, b)) in
+      vo = expect_visible && ro = expect_readable)
+
+let prop_fingerprint_separates =
+  QCheck.Test.make
+    ~name:"gate fingerprints agree exactly on equal denoted views" ~count:200
+    (QCheck.pair arb_expr2 arb_level)
+    (fun ((a, b), level) ->
+      let env = algebra_env () in
+      let gate e =
+        Gate.of_policy (PA.compile env ~base:algebra_base ~level e) ~level
+      in
+      let fp_equal =
+        String.equal (Gate.fingerprint (gate a)) (Gate.fingerprint (gate b))
+      in
+      let view_equal = compiled_view env level a = compiled_view env level b in
+      fp_equal = view_equal)
+
+let test_algebra_floor_is_identity () =
+  let env = algebra_env () in
+  List.iter
+    (fun level ->
+      let compiled = PA.compile env ~base:algebra_base ~level PA.Floor in
+      check Alcotest.string
+        (Printf.sprintf "Floor reproduces the base gate at level %d" level)
+        (Gate.fingerprint (Gate.of_policy algebra_base ~level))
+        (Gate.fingerprint (Gate.of_policy compiled ~level)))
+    [ 0; 1; 2; 3 ]
+
+let test_algebra_revocation_denies () =
+  let env = algebra_env () in
+  (* dave's revoked grant {W3, W4, disorders} overrides a floor that
+     would otherwise see everything. *)
+  let v, r =
+    compiled_view env 3 (PA.Override (PA.Consent "dave", PA.Floor))
+  in
+  check strl "revoked workflows denied" [ "W1"; "W2" ] v;
+  check strl "revoked data denied" [ "prognosis" ] r
+
+let test_algebra_void_consent () =
+  let env = algebra_env () in
+  (* carol consents to W4 without its parent W2: a grant that cannot
+     stand alone is demoted, but her data grant still stands. *)
+  let v, r = compiled_view env 0 (PA.Union (PA.Floor, PA.Consent "carol")) in
+  check strl "broken-chain grant void" [ "W1" ] v;
+  check strl "data grant survives" [ "prognosis" ] r
+
+let test_algebra_break_glass_expiry () =
+  let env = algebra_env () in
+  let e = PA.Union (PA.Floor, PA.Break_glass "oncall") in
+  let v_live, _ = compiled_view env 0 e in
+  check strl "live grant widens the view" [ "W1"; "W2"; "W3"; "W4" ] v_live;
+  check Alcotest.bool "expired grant is inert" true
+    (fst (compiled_view env 0 (PA.Union (PA.Floor, PA.Break_glass "stale")))
+    = [ "W1" ]);
+  for _ = 1 to 4 do
+    PA.tick env
+  done;
+  check Alcotest.bool "oncall expired" false (PA.break_glass_active env "oncall");
+  let v_after, _ = compiled_view env 0 e in
+  check strl "view reverts at expiry" [ "W1" ] v_after
+
+let test_algebra_unknowns () =
+  let env = algebra_env () in
+  Alcotest.check_raises "unknown role"
+    (Invalid_argument "Policy_algebra: unknown role \"ghost\"") (fun () ->
+      ignore (PA.compile env ~base:algebra_base ~level:1 (PA.Role "ghost")));
+  Alcotest.check_raises "unknown subject"
+    (Invalid_argument "Policy_algebra: unknown consent subject \"ghost\"")
+    (fun () ->
+      ignore (PA.compile env ~base:algebra_base ~level:1 (PA.Consent "ghost")));
+  check Alcotest.bool "revoking unknown subject raises" true
+    (match PA.revoke_consent env ~subject:"ghost" with
+    | () -> false
+    | exception Not_found -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Leakage: denial causes are indistinguishable.
+
+   Three policies produce the same visible view at level 1 — the legacy
+   privilege floor, a role intersection, and a revoked consent override.
+   Whatever the cause, the compiled gates must be fingerprint-identical,
+   answer every query bit-identically, and move the observer-visible
+   counters by exactly the same deltas. Run under WFPRIV_JOBS=1 and 4 in
+   CI: answers are jobs-invariant too. *)
+
+let leakage_level = 1
+
+let leakage_policies () =
+  let env = algebra_env () in
+  [
+    ("legacy-floor", algebra_base);
+    ( "role-intersection",
+      PA.compile env ~base:algebra_base ~level:leakage_level
+        (PA.Inter (PA.Floor, PA.Role "nurse")) );
+    ( "revoked-consent",
+      PA.compile env ~base:algebra_base ~level:leakage_level
+        (PA.Override (PA.Consent "dave", PA.Floor)) );
+  ]
+
+let leakage_queries =
+  [
+    "before(~\"Expand SNP\", ~\"OMIM\")";
+    "node(~\"risk\")";
+    "inside(*, W4)";
+    "inside(*, W2)";
+  ]
+
+(* One full serving exercise of a policy: gate, engine, query batch.
+   Returns everything an observer at the level could see — witness
+   answers, denied floors, the observer counter deltas and the audit
+   lines (seq numbers stripped). *)
+let leakage_run policy =
+  let module Q = Wfpriv_query in
+  let exec = Disease.run () in
+  let before = Wfpriv_obs.Registry.observer_counters ~level:leakage_level in
+  let audit_before =
+    List.length (Wfpriv_obs.Audit_log.records ())
+  in
+  let gate = Gate.of_policy policy ~level:leakage_level in
+  Gate.prepare gate;
+  let engine = Q.Engine.of_exec_view (Gate.exec_view gate exec) in
+  let qs = List.map Q.Query_parser.parse leakage_queries in
+  let witnesses = Q.Engine.run_batch engine (List.map Q.Plan.compile qs) in
+  List.iter2
+    (fun q (w : Q.Engine.witness) ->
+      Gate.audit_query gate q ~nodes:(List.length w.Q.Engine.nodes))
+    qs witnesses;
+  let answers =
+    List.map
+      (fun (w : Q.Engine.witness) -> (w.Q.Engine.holds, w.Q.Engine.nodes))
+      witnesses
+  in
+  let floors = List.concat_map (Gate.denied_floors gate) qs in
+  let after = Wfpriv_obs.Registry.observer_counters ~level:leakage_level in
+  let deltas =
+    List.map
+      (fun (name, v) ->
+        let v0 =
+          match List.assoc_opt name before with Some x -> x | None -> 0
+        in
+        (name, v - v0))
+      after
+  in
+  let audit =
+    List.filteri
+      (fun i _ -> i >= audit_before)
+      (Wfpriv_obs.Audit_log.records ())
+    |> List.map (fun r ->
+           let line = Wfpriv_obs.Audit_log.render r in
+           (* strip the per-run sequence number prefix "#N " *)
+           match String.index_opt line ' ' with
+           | Some i -> String.sub line (i + 1) (String.length line - i - 1)
+           | None -> line)
+  in
+  (answers, floors, deltas, audit)
+
+let test_leakage_causes_indistinguishable () =
+  Wfpriv_obs.Config.set_enabled true;
+  let policies = leakage_policies () in
+  (* The gates themselves are indistinguishable... *)
+  let fps =
+    List.map
+      (fun (_, p) ->
+        Gate.fingerprint (Gate.of_policy p ~level:leakage_level))
+      policies
+  in
+  List.iter
+    (fun fp -> check Alcotest.string "fingerprints agree" (List.hd fps) fp)
+    fps;
+  (* ...and so is everything observable downstream of them. *)
+  let runs = List.map (fun (name, p) -> (name, leakage_run p)) policies in
+  let _, (answers0, floors0, deltas0, audit0) = List.hd runs in
+  List.iter
+    (fun (name, (answers, floors, deltas, audit)) ->
+      check
+        Alcotest.(list (pair bool (list int)))
+        (name ^ ": answers bit-identical") answers0 answers;
+      check
+        Alcotest.(list int)
+        (name ^ ": denied floors identical") floors0 floors;
+      check
+        Alcotest.(list (pair string int))
+        (name ^ ": observer counter deltas identical") deltas0 deltas;
+      check
+        Alcotest.(list string)
+        (name ^ ": audit lines identical") audit0 audit)
+    runs
+
 let qtests = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -585,5 +949,27 @@ let () =
         [
           Alcotest.test_case "compilation" `Quick test_policy_compilation;
           Alcotest.test_case "execution projection" `Quick test_policy_projection;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "Floor is the identity embedding" `Quick
+            test_algebra_floor_is_identity;
+          Alcotest.test_case "revocation denies" `Quick
+            test_algebra_revocation_denies;
+          Alcotest.test_case "broken-chain consent is void" `Quick
+            test_algebra_void_consent;
+          Alcotest.test_case "break-glass expires" `Quick
+            test_algebra_break_glass_expiry;
+          Alcotest.test_case "unknown names rejected" `Quick
+            test_algebra_unknowns;
+        ]
+        @ qtests
+            [ prop_union_is_set_union; prop_inter_is_set_inter;
+              prop_override_matches_reference; prop_fingerprint_separates ]
+      );
+      ( "leakage",
+        [
+          Alcotest.test_case "denial causes indistinguishable" `Quick
+            test_leakage_causes_indistinguishable;
         ] );
     ]
